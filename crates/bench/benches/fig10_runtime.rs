@@ -1,0 +1,40 @@
+//! Criterion version of Figure 10: per-dataset, per-algorithm query
+//! runtimes on the Table-11 fuzzy queries. Collections are subsampled
+//! (`SCALE`) to keep Criterion's repeated sampling tractable; the `figures`
+//! binary runs the full-scale version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shapesearch_bench::{engine, query, FIG10_ALGOS, SEED};
+use shapesearch_datagen::table11::DatasetId;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.12;
+const K: usize = 10;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for id in DatasetId::ALL {
+        let data = shapesearch_bench::scaled(id.generate(SEED), SCALE);
+        let q = query(id.fuzzy_queries()[0]);
+        for (kind, name) in FIG10_ALGOS {
+            // DP on the long datasets is quadratic; trim its budget further.
+            let dataset_len = data.first().map_or(0, |t| t.points.len());
+            if name == "DP" && dataset_len > 1000 {
+                continue; // covered by the figures binary
+            }
+            let eng = engine(data.clone(), kind);
+            group.bench_with_input(
+                BenchmarkId::new(name, id.name()),
+                &eng,
+                |b, eng| {
+                    b.iter(|| black_box(eng.top_k(&q, K).expect("query")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

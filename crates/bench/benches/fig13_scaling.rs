@@ -1,0 +1,75 @@
+//! Criterion version of the Figure 13 sweeps: runtime scaling in (a) points
+//! per visualization, (b) ShapeSegments per query, and (c) collection size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shapesearch_bench::{engine, query, FIG13_ALGOS, SEED};
+use shapesearch_datagen::table11::DatasetId;
+use shapesearch_datastore::Trendline;
+use std::hint::black_box;
+
+const K: usize = 10;
+
+fn fig13a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13a_points");
+    group.sample_size(10);
+    let full = shapesearch_bench::scaled(DatasetId::Worms.generate(SEED), 0.08);
+    let q = query("[p=up][p=down][p=up][p=down]");
+    for n in [100, 300, 600, 900] {
+        let data: Vec<Trendline> = full
+            .iter()
+            .map(|t| Trendline {
+                key: t.key.clone(),
+                points: t.points.iter().take(n).copied().collect(),
+            })
+            .collect();
+        for (kind, name) in FIG13_ALGOS {
+            let eng = engine(data.clone(), kind);
+            group.bench_with_input(BenchmarkId::new(name, n), &eng, |b, eng| {
+                b.iter(|| black_box(eng.top_k(&q, K).expect("query")));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig13b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13b_segments");
+    group.sample_size(10);
+    let data = shapesearch_bench::scaled(DatasetId::Weather.generate(SEED), 0.2);
+    for k in [2usize, 4, 6] {
+        let text: String = (0..k)
+            .map(|i| if i % 2 == 0 { "[p=up]" } else { "[p=down]" })
+            .collect();
+        let q = query(&text);
+        for (kind, name) in FIG13_ALGOS {
+            let eng = engine(data.clone(), kind);
+            group.bench_with_input(BenchmarkId::new(name, k), &eng, |b, eng| {
+                b.iter(|| black_box(eng.top_k(&q, K).expect("query")));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig13c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13c_visualizations");
+    group.sample_size(10);
+    let full = DatasetId::RealEstate.generate(SEED);
+    let q = query("[p=up][p=down][p=up][p=down]");
+    for n in [100usize, 400, 1000] {
+        let data: Vec<Trendline> = full.iter().take(n).cloned().collect();
+        for (kind, name) in FIG13_ALGOS {
+            if name == "DP" && n > 400 {
+                continue; // quadratic baseline; full sweep in `figures`
+            }
+            let eng = engine(data.clone(), kind);
+            group.bench_with_input(BenchmarkId::new(name, n), &eng, |b, eng| {
+                b.iter(|| black_box(eng.top_k(&q, K).expect("query")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13a, fig13b, fig13c);
+criterion_main!(benches);

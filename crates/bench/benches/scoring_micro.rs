@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the scoring substrate: Table-5 pattern scorers,
+//! summarized-statistics merging (Theorem 5.1), per-visualization
+//! segmentation (DP vs SegmentTree vs Greedy), and the DTW baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shapesearch_core::algo::dp::DpSegmenter;
+use shapesearch_core::algo::greedy::GreedySegmenter;
+use shapesearch_core::algo::segment_tree::SegmentTreeSegmenter;
+use shapesearch_core::chain::expand_chains;
+use shapesearch_core::{
+    Evaluator, ScoreParams, Segmenter, ShapeQuery, StatsIndex, SummaryStats, UdpRegistry, VizData,
+};
+use shapesearch_datastore::Trendline;
+use shapesearch_similarity::{dtw, znormalize};
+use std::hint::black_box;
+
+fn make_viz(n: usize) -> VizData {
+    let pairs: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            (t, (t * 0.05).sin() * 3.0 + (t * 0.013).cos())
+        })
+        .collect();
+    VizData::from_trendline(&Trendline::from_pairs("bench", &pairs), 0, 1).expect("viz")
+}
+
+fn scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring");
+    group.bench_function("score_up", |b| {
+        b.iter(|| black_box(shapesearch_core::score::score_up(black_box(1.37))));
+    });
+    group.bench_function("score_theta", |b| {
+        b.iter(|| black_box(shapesearch_core::score::score_theta(black_box(1.37), 45.0)));
+    });
+    let a = SummaryStats::from_points(&[(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]);
+    let bb = SummaryStats::from_points(&[(3.0, 2.5), (4.0, 3.0)]);
+    group.bench_function("stats_merge_slope", |b| {
+        b.iter(|| black_box(a.merge(&bb).slope()));
+    });
+    let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x * 0.01).sin()).collect();
+    group.bench_function("stats_index_build_1000", |b| {
+        b.iter(|| black_box(StatsIndex::new(&xs, &ys)));
+    });
+    group.finish();
+}
+
+fn segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmentation_per_viz");
+    group.sample_size(20);
+    let params = ScoreParams::default();
+    let udps = UdpRegistry::new();
+    let q = ShapeQuery::concat(vec![
+        ShapeQuery::up(),
+        ShapeQuery::down(),
+        ShapeQuery::up(),
+    ]);
+    let chains = expand_chains(&q);
+    for n in [100usize, 400, 900] {
+        let viz = make_viz(n);
+        let ev = Evaluator::new(&viz, &params, &udps);
+        group.bench_with_input(BenchmarkId::new("dp", n), &ev, |b, ev| {
+            b.iter(|| black_box(DpSegmenter.match_viz(ev, &chains)));
+        });
+        group.bench_with_input(BenchmarkId::new("segment_tree", n), &ev, |b, ev| {
+            b.iter(|| black_box(SegmentTreeSegmenter::default().match_viz(ev, &chains)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &ev, |b, ev| {
+            b.iter(|| black_box(GreedySegmenter::new().match_viz(ev, &chains)));
+        });
+    }
+    group.finish();
+}
+
+fn dtw_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    for n in [100usize, 400] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let bseries: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11 + 0.4).sin()).collect();
+        let (za, zb) = (znormalize(&a), znormalize(&bseries));
+        group.bench_with_input(BenchmarkId::new("unbanded", n), &n, |b, _| {
+            b.iter(|| black_box(dtw(&za, &zb)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scoring, segmentation, dtw_bench);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Whole-series similarity baselines (paper §7.3 and §9, algorithm (vi)):
+//! Dynamic Time Warping and Euclidean matching as used by visual query
+//! systems. The query is rendered into a *prototype* trendline (each unit a
+//! line piece over an equal share of the x axis), both series are
+//! z-normalized, and the distance is mapped into the [−1, 1] score range so
+//! the same top-k machinery ranks the results.
+
+use super::{MatchResult, Segmenter};
+use crate::ast::{Pattern, ShapeQuery, ShapeSegment};
+use crate::chain::Chain;
+use crate::eval::Evaluator;
+use shapesearch_similarity::{dtw, euclidean, normalized_similarity, znormalize};
+
+/// Distance measure for the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineMethod {
+    /// Dynamic Time Warping (unconstrained band, O(n²)).
+    Dtw,
+    /// Point-wise Euclidean distance, O(n).
+    Euclidean,
+}
+
+/// A whole-series baseline matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct WholeSeriesBaseline {
+    /// The distance measure.
+    pub method: BaselineMethod,
+}
+
+impl Segmenter for WholeSeriesBaseline {
+    fn match_viz(&self, ev: &Evaluator<'_>, chains: &[Chain]) -> MatchResult {
+        let n = ev.viz.n();
+        if n < 2 {
+            return MatchResult::infeasible();
+        }
+        let series = znormalize(&ev.viz.ys);
+        let mut best = MatchResult::infeasible();
+        for chain in chains {
+            let proto = znormalize(&prototype(chain, n));
+            let dist = match self.method {
+                BaselineMethod::Dtw => dtw(&series, &proto),
+                BaselineMethod::Euclidean => euclidean(&series, &proto),
+            };
+            let score = normalized_similarity(dist, (n as f64).sqrt());
+            if score > best.score {
+                best = MatchResult {
+                    score,
+                    ranges: Vec::new(),
+                };
+            }
+        }
+        best
+    }
+}
+
+/// Renders a chain into a prototype series of `n` points: each unit
+/// occupies an equal share of the x axis with the slope its pattern implies
+/// on the unit canvas (up = +45°, down = −45°, flat = 0, θ = tan(θ)). If a
+/// unit carries an explicit sketch, its y values are used directly.
+pub fn prototype(chain: &Chain, n: usize) -> Vec<f64> {
+    let k = chain.len().max(1);
+    let steps = (n - 1).max(1);
+    let mut ys = Vec::with_capacity(n);
+    let mut level = 0.0f64;
+    ys.push(level);
+    for t in 1..n {
+        // Assign the step by its x midpoint so unit spans are balanced.
+        let pos = (t as f64 - 0.5) / steps as f64; // (0, 1)
+        let unit_idx = ((pos * k as f64) as usize).min(k - 1);
+        let slope = chain
+            .units
+            .get(unit_idx)
+            .map_or(0.0, |u| leaf_slope(&u.query));
+        // Integrate the slope over one x step of the canvas.
+        level += slope / steps as f64;
+        ys.push(level);
+    }
+    ys
+}
+
+/// The canvas slope implied by the first leaf pattern of a node.
+fn leaf_slope(q: &ShapeQuery) -> f64 {
+    match q {
+        ShapeQuery::Segment(ShapeSegment { pattern, sketch, .. }) => {
+            if sketch.is_some() {
+                return 0.0;
+            }
+            match pattern {
+                Some(Pattern::Up) => 1.0,
+                Some(Pattern::Down) => -1.0,
+                Some(Pattern::Flat) | Some(Pattern::Any) | None => 0.0,
+                Some(Pattern::Slope(deg)) => deg.to_radians().tan().clamp(-10.0, 10.0),
+                Some(Pattern::Nested(inner)) => leaf_slope(inner),
+                Some(Pattern::Udp(_)) | Some(Pattern::Position(_)) => 0.0,
+            }
+        }
+        ShapeQuery::Concat(cs) | ShapeQuery::And(cs) | ShapeQuery::Or(cs) => {
+            cs.first().map_or(0.0, leaf_slope)
+        }
+        ShapeQuery::Not(c) => -leaf_slope(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::expand_chains;
+    use crate::engine::group::VizData;
+    use crate::eval::UdpRegistry;
+    use crate::score::ScoreParams;
+    use shapesearch_datastore::Trendline;
+
+    fn viz(pairs: &[(f64, f64)]) -> VizData {
+        VizData::from_trendline(&Trendline::from_pairs("t", pairs), 0, 1).unwrap()
+    }
+
+    fn score(method: BaselineMethod, q: &ShapeQuery, v: &VizData) -> f64 {
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(v, &params, &udps);
+        WholeSeriesBaseline { method }
+            .match_viz(&ev, &expand_chains(q))
+            .score
+    }
+
+    #[test]
+    fn prototype_shapes() {
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+        let p = prototype(&expand_chains(&q)[0], 9);
+        assert_eq!(p.len(), 9);
+        // Rises then falls.
+        let mid = p[4];
+        assert!(mid > p[0] && mid > p[8]);
+    }
+
+    #[test]
+    fn dtw_ranks_matching_shape_higher() {
+        let peak = viz(&[
+            (0.0, 0.0),
+            (1.0, 2.0),
+            (2.0, 4.0),
+            (3.0, 2.0),
+            (4.0, 0.0),
+        ]);
+        let rise = viz(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]);
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+        for m in [BaselineMethod::Dtw, BaselineMethod::Euclidean] {
+            let s_peak = score(m, &q, &peak);
+            let s_rise = score(m, &q, &rise);
+            assert!(
+                s_peak > s_rise,
+                "{m:?}: peak {s_peak} should beat rise {s_rise}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_prototype_match_scores_high() {
+        // A perfect up-down triangle matches the prototype closely after
+        // z-normalization.
+        let v = viz(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (2.0, 2.0),
+            (3.0, 1.0),
+            (4.0, 0.0),
+        ]);
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+        let s = score(BaselineMethod::Dtw, &q, &v);
+        assert!(s > 0.5, "dtw score {s}");
+    }
+
+    #[test]
+    fn leaf_slopes() {
+        assert_eq!(leaf_slope(&ShapeQuery::up()), 1.0);
+        assert_eq!(leaf_slope(&ShapeQuery::down()), -1.0);
+        assert_eq!(leaf_slope(&ShapeQuery::flat()), 0.0);
+        assert_eq!(
+            leaf_slope(&ShapeQuery::Not(Box::new(ShapeQuery::up()))),
+            -1.0
+        );
+        let theta = ShapeQuery::pattern(Pattern::Slope(45.0));
+        assert!((leaf_slope(&theta) - 1.0).abs() < 1e-12);
+    }
+}

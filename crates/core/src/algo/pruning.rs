@@ -1,0 +1,377 @@
+//! Two-stage collective pruning (paper §6.3).
+//!
+//! Stage 1 samples a small set of visualizations and scores them with the
+//! DP on a uniform subset of points, yielding a lower bound on the final
+//! top-k score. Stage 2 processes the collection: for each visualization it
+//! first derives *score bounds* from coarse partitions of the trendline
+//! (Theorem 6.4 / Table 7 — the final score of a pattern is bounded by the
+//! extreme scores of that pattern across any level of the SegmentTree) and
+//! prunes visualizations whose upper bound cannot reach the current top-k
+//! lower bound. Survivors run the full SegmentTree and tighten the bound
+//! online.
+//!
+//! The pruning "helps avoid processing until the root node for the majority
+//! of visualizations ... particularly effective when the user is looking for
+//! visualizations with rare (needle-in-the-haystack) patterns".
+
+use super::dp::DpSegmenter;
+use super::segment_tree::SegmentTreeSegmenter;
+use super::{MatchResult, Segmenter};
+use crate::ast::{Pattern, ShapeQuery, ShapeSegment};
+use crate::chain::Chain;
+use crate::engine::group::VizData;
+use crate::eval::{Evaluator, UdpRegistry};
+use crate::score::{score_down, score_flat, score_theta, score_up, ScoreParams};
+
+/// Configuration of the two-stage pruning driver.
+#[derive(Debug, Clone, Copy)]
+pub struct PruningConfig {
+    /// Stage-1 sample size.
+    pub sample_size: usize,
+    /// Stage-1 coarse point budget per sampled visualization.
+    pub coarse_points: usize,
+    /// Safety margin subtracted from the sampled lower bound (the sampled
+    /// scores are approximate).
+    pub margin: f64,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 16,
+            coarse_points: 32,
+            margin: 0.05,
+        }
+    }
+}
+
+/// Outcome of the pruned run for one visualization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrunedOutcome {
+    /// Scored exactly (survived the bound checks).
+    Scored(MatchResult),
+    /// Pruned by the bound check; the value is the proven upper bound.
+    Pruned(f64),
+}
+
+/// Runs the two-stage collective pruning over a collection.
+///
+/// Returns one outcome per visualization, in input order. Visualizations
+/// whose upper bound fell below the running top-k lower bound are
+/// [`PrunedOutcome::Pruned`]; they are guaranteed (under the paper's
+/// Closure/bound assumptions) not to belong to the top k.
+pub fn run_pruned(
+    vizzes: &[VizData],
+    query: &ShapeQuery,
+    chains: &[Chain],
+    params: &ScoreParams,
+    udps: &UdpRegistry,
+    k: usize,
+    config: &PruningConfig,
+) -> Vec<PrunedOutcome> {
+    let tree = SegmentTreeSegmenter::default();
+    let mut outcomes: Vec<Option<PrunedOutcome>> = vec![None; vizzes.len()];
+
+    // ---- Stage 1: sampled lower bound.
+    let mut lb = f64::NEG_INFINITY;
+    if vizzes.len() > k {
+        let stride = (vizzes.len() / config.sample_size.max(1)).max(1);
+        let mut sampled_scores: Vec<f64> = Vec::new();
+        for viz in vizzes.iter().step_by(stride).take(config.sample_size) {
+            let coarse = viz.coarsened(config.coarse_points);
+            let ev = Evaluator::new(&coarse, params, udps);
+            let r = DpSegmenter.match_viz(&ev, chains);
+            sampled_scores.push(r.score);
+        }
+        sampled_scores.sort_by(|a, b| b.total_cmp(a));
+        if sampled_scores.len() >= k {
+            lb = sampled_scores[k - 1] - config.margin;
+        }
+    }
+
+    // ---- Stage 2: bound-check then refine.
+    // Maintain the running k-th best exact score as the tightening bound.
+    let mut exact_scores: Vec<f64> = Vec::new();
+    for (i, viz) in vizzes.iter().enumerate() {
+        let ev = Evaluator::new(viz, params, udps);
+        let (_, ub) = query_bounds(query, viz, params);
+        if ub < lb {
+            outcomes[i] = Some(PrunedOutcome::Pruned(ub));
+            continue;
+        }
+        let r = tree.match_viz(&ev, chains);
+        exact_scores.push(r.score);
+        outcomes[i] = Some(PrunedOutcome::Scored(r));
+        // Tighten the lower bound once k exact scores exist.
+        if exact_scores.len() >= k {
+            exact_scores.sort_by(|a, b| b.total_cmp(a));
+            exact_scores.truncate(k);
+            lb = lb.max(exact_scores[k - 1]);
+        }
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every viz receives an outcome"))
+        .collect()
+}
+
+/// Score bounds for a query over one visualization from the leaf level of
+/// the SegmentTree: the slopes of the intervals between adjacent points.
+///
+/// Returns `(lower, upper)` per Table 7, combined through the operator
+/// bounds of Property 5.1. Validity follows from the least-squares slope of
+/// any merged range being a convex combination of its interval slopes
+/// (the "law of the triangle" in the paper's Theorem 6.4 proof), so every
+/// pattern's final score lies between the extreme interval-level scores.
+pub fn query_bounds(query: &ShapeQuery, viz: &VizData, params: &ScoreParams) -> (f64, f64) {
+    let n = viz.n();
+    let mut slopes = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        slopes.push(viz.stats.slope(i, i + 1));
+    }
+    node_bounds(query, &slopes, params)
+}
+
+fn node_bounds(q: &ShapeQuery, slopes: &[f64], params: &ScoreParams) -> (f64, f64) {
+    match q {
+        ShapeQuery::Segment(s) => segment_bounds(s, slopes),
+        ShapeQuery::Concat(cs) => {
+            let (mut lo, mut hi) = (0.0, 0.0);
+            for c in cs {
+                let (l, h) = node_bounds(c, slopes, params);
+                lo += l;
+                hi += h;
+            }
+            let k = cs.len().max(1) as f64;
+            (lo / k, hi / k)
+        }
+        ShapeQuery::And(cs) => fold_bounds(cs, slopes, params, f64::min),
+        ShapeQuery::Or(cs) => fold_bounds(cs, slopes, params, f64::max),
+        ShapeQuery::Not(c) => {
+            let (l, h) = node_bounds(c, slopes, params);
+            (-h, -l)
+        }
+    }
+}
+
+fn fold_bounds(
+    cs: &[ShapeQuery],
+    slopes: &[f64],
+    params: &ScoreParams,
+    pick: fn(f64, f64) -> f64,
+) -> (f64, f64) {
+    let mut lo: Option<f64> = None;
+    let mut hi: Option<f64> = None;
+    for c in cs {
+        let (l, h) = node_bounds(c, slopes, params);
+        lo = Some(lo.map_or(l, |v| pick(v, l)));
+        hi = Some(hi.map_or(h, |v| pick(v, h)));
+    }
+    (lo.unwrap_or(-1.0), hi.unwrap_or(1.0))
+}
+
+/// Table 7 bounds for one segment given the block slopes of a level.
+fn segment_bounds(s: &ShapeSegment, slopes: &[f64]) -> (f64, f64) {
+    // Quantifiers, sharp/gradual/comparison modifiers, sketches, UDPs,
+    // positions, and y constraints use rescaled or non-slope scorers — the
+    // plain Table-7 bounds don't apply, so fall back to the trivial
+    // interval.
+    let complicated = s.sketch.is_some()
+        || s.location.y_start.is_some()
+        || s.location.y_end.is_some()
+        || s.modifier.is_some();
+    if complicated || slopes.is_empty() {
+        return (-1.0, 1.0);
+    }
+    let scores: Vec<f64> = match &s.pattern {
+        Some(Pattern::Up) => slopes.iter().map(|&sl| score_up(sl)).collect(),
+        Some(Pattern::Down) => slopes.iter().map(|&sl| score_down(sl)).collect(),
+        Some(Pattern::Flat) => {
+            let min = slopes
+                .iter()
+                .map(|&sl| score_flat(sl))
+                .fold(f64::INFINITY, f64::min);
+            // Mixed-sign slopes can cancel into a perfectly flat merge.
+            let same_sign = slopes.iter().all(|&sl| sl >= 0.0) || slopes.iter().all(|&sl| sl <= 0.0);
+            let max = if same_sign {
+                slopes
+                    .iter()
+                    .map(|&sl| score_flat(sl))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                1.0
+            };
+            return (min, max);
+        }
+        Some(Pattern::Slope(deg)) => {
+            let target = deg.to_radians().tan();
+            let min = slopes
+                .iter()
+                .map(|&sl| score_theta(sl, *deg))
+                .fold(f64::INFINITY, f64::min);
+            let same_side =
+                slopes.iter().all(|&sl| sl >= target) || slopes.iter().all(|&sl| sl <= target);
+            let max = if same_side {
+                slopes
+                    .iter()
+                    .map(|&sl| score_theta(sl, *deg))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                1.0
+            };
+            return (min, max);
+        }
+        _ => return (-1.0, 1.0),
+    };
+    (
+        scores.iter().copied().fold(f64::INFINITY, f64::min),
+        scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::expand_chains;
+    use shapesearch_datastore::Trendline;
+
+    fn viz(pairs: &[(f64, f64)], idx: usize) -> VizData {
+        VizData::from_trendline(&Trendline::from_pairs(format!("v{idx}"), pairs), idx, 1).unwrap()
+    }
+
+    fn make_collection() -> Vec<VizData> {
+        let mut out = Vec::new();
+        // 3 clear peaks, 17 monotone falls.
+        for i in 0..20 {
+            let pairs: Vec<(f64, f64)> = if i < 3 {
+                (0..16)
+                    .map(|t| {
+                        let t = t as f64;
+                        (t, if t < 8.0 { t } else { 16.0 - t })
+                    })
+                    .collect()
+            } else {
+                (0..16).map(|t| (t as f64, 16.0 - t as f64)).collect()
+            };
+            out.push(viz(&pairs, i));
+        }
+        out
+    }
+
+    #[test]
+    fn bounds_contain_final_score() {
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        for q in [
+            ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]),
+            ShapeQuery::up(),
+            ShapeQuery::flat(),
+            ShapeQuery::Or(vec![ShapeQuery::up(), ShapeQuery::flat()]),
+            ShapeQuery::Not(Box::new(ShapeQuery::down())),
+        ] {
+            for v in make_collection() {
+                let ev = Evaluator::new(&v, &params, &udps);
+                let exact = DpSegmenter.match_viz(&ev, &expand_chains(&q)).score;
+                let (lo, hi) = query_bounds(&q, &v, &params);
+                assert!(
+                    exact <= hi + 1e-9 && exact >= lo - 1e-9,
+                    "score {exact} outside [{lo}, {hi}] for {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_tight_on_monotone_series() {
+        // A perfectly linear rise: every interval slope equals the whole
+        // slope, so the bound interval collapses onto the exact score.
+        let v = viz(&(0..16).map(|t| (t as f64, t as f64)).collect::<Vec<_>>(), 0);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&v, &params, &udps);
+        let q = ShapeQuery::up();
+        let exact = DpSegmenter.match_viz(&ev, &expand_chains(&q)).score;
+        let (lo, hi) = query_bounds(&q, &v, &params);
+        assert!((hi - exact).abs() < 1e-9);
+        assert!((lo - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_mixed_sign_bound_is_one() {
+        // A zigzag merges into near-flat: Table 7's special case.
+        let v = viz(
+            &[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0), (4.0, 0.0)],
+            0,
+        );
+        let params = ScoreParams::default();
+        let (_, hi) = query_bounds(&ShapeQuery::flat(), &v, &params);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn pruned_run_matches_unpruned_topk() {
+        let vizzes = make_collection();
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+        let chains = expand_chains(&q);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let k = 3;
+
+        let outcomes = run_pruned(
+            &vizzes,
+            &q,
+            &chains,
+            &params,
+            &udps,
+            k,
+            &PruningConfig::default(),
+        );
+        // Unpruned reference: full SegmentTree on everything.
+        let tree = SegmentTreeSegmenter::default();
+        let mut reference: Vec<(usize, f64)> = vizzes
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let ev = Evaluator::new(v, &params, &udps);
+                (i, tree.match_viz(&ev, &chains).score)
+            })
+            .collect();
+        reference.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let top_ref: Vec<usize> = reference[..k].iter().map(|&(i, _)| i).collect();
+
+        let mut scored: Vec<(usize, f64)> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match o {
+                PrunedOutcome::Scored(r) => Some((i, r.score)),
+                PrunedOutcome::Pruned(_) => None,
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let top_pruned: Vec<usize> = scored[..k].iter().map(|&(i, _)| i).collect();
+        assert_eq!(top_pruned, top_ref);
+    }
+
+    #[test]
+    fn pruning_actually_prunes_needle_in_haystack() {
+        let vizzes = make_collection();
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+        let chains = expand_chains(&q);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let outcomes = run_pruned(
+            &vizzes,
+            &q,
+            &chains,
+            &params,
+            &udps,
+            2,
+            &PruningConfig::default(),
+        );
+        let pruned = outcomes
+            .iter()
+            .filter(|o| matches!(o, PrunedOutcome::Pruned(_)))
+            .count();
+        assert!(pruned > 0, "expected monotone falls to be pruned");
+    }
+}

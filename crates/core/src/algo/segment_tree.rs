@@ -1,0 +1,483 @@
+//! The SegmentTree algorithm (paper §6.2): pattern-aware segmentation in
+//! time linear in the number of points.
+//!
+//! A SegmentTree is a balanced binary tree whose nodes are VisualSegments:
+//! the root covers the whole visualization and each node splits into two
+//! halves down to single intervals between adjacent points (Definition 6.1;
+//! the tree is never materialized — it "only defines the logical order in
+//! which VisualSegments are created and scored").
+//!
+//! Each node stores, for every contiguous sub-chain `[l, r)` of the query's
+//! unit sequence, the best placement whose units exactly tile the node's
+//! point range. Nodes are combined bottom-up three ways (mirroring the
+//! paper's Figure 7 enumeration):
+//!
+//! 1. **direct** — a single unit spanning the whole node range (computed
+//!    O(1) from summarized statistics);
+//! 2. **split** — left child's `[l, m)` next to right child's `[m, r)`,
+//!    placing a unit boundary at the node midpoint;
+//! 3. **bridge** — left child's `[l, b+1)` merged with right child's
+//!    `[b, r)`: unit `b` spans the midpoint, its score recomputed over the
+//!    merged range (this is how "a⊗b from node 3 and b from node 4" combine
+//!    in the paper's example).
+//!
+//! Keeping only the best entry per sub-chain is the **Closure assumption**
+//! (Assumption 6.1): a break point optimal in a small region is assumed to
+//! remain the candidate break point in enclosing regions. Under it the
+//! algorithm is optimal and runs in O(nk⁴) (Theorem 6.3); in practice it
+//! trades ≲15% top-k accuracy for 2–40× speed-up versus the DP (§9).
+
+use super::{best_over_chains, MatchResult, Segmenter};
+use crate::chain::{Chain, Unit};
+use crate::eval::{chain_score_with_positions, Evaluator};
+
+/// The SegmentTree segmenter.
+///
+/// `bridges` controls the bridge combination rule (on by default); turning
+/// it off restricts unit boundaries to dyadic node midpoints — the ablation
+/// measured by `figures -- ablation`, showing how much accuracy the bridge
+/// rule recovers.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentTreeSegmenter {
+    /// Enables the midpoint-spanning bridge combinations.
+    pub bridges: bool,
+}
+
+impl Default for SegmentTreeSegmenter {
+    fn default() -> Self {
+        Self { bridges: true }
+    }
+}
+
+impl SegmentTreeSegmenter {
+    /// The ablated variant without bridge combinations.
+    pub fn without_bridges() -> Self {
+        Self { bridges: false }
+    }
+}
+
+impl Segmenter for SegmentTreeSegmenter {
+    fn match_viz(&self, ev: &Evaluator<'_>, chains: &[Chain]) -> MatchResult {
+        best_over_chains(chains, |chain| solve_tree_with(ev, chain, self.bridges))
+    }
+}
+
+/// One stored placement: the partial weighted score and the unit-boundary
+/// points strictly inside the covered range.
+#[derive(Debug, Clone)]
+struct Entry {
+    score: f64,
+    breaks: Vec<u32>,
+}
+
+/// Per-node table of best entries, indexed by sub-chain (l, r).
+struct NodeTable {
+    k: usize,
+    entries: Vec<Option<Entry>>,
+}
+
+impl NodeTable {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            entries: vec![None; (k + 1) * (k + 1)],
+        }
+    }
+
+    fn get(&self, l: usize, r: usize) -> Option<&Entry> {
+        self.entries[l * (self.k + 1) + r].as_ref()
+    }
+
+    fn set_max(&mut self, l: usize, r: usize, candidate: Entry) {
+        let slot = &mut self.entries[l * (self.k + 1) + r];
+        match slot {
+            Some(existing) if existing.score >= candidate.score => {}
+            _ => *slot = Some(candidate),
+        }
+    }
+}
+
+/// Solves one chain on one visualization with the SegmentTree.
+fn solve_tree_with(ev: &Evaluator<'_>, chain: &Chain, bridges: bool) -> MatchResult {
+    let n = ev.viz.n();
+    if n < 2 {
+        return MatchResult::infeasible();
+    }
+    if !chain.is_fully_fuzzy() {
+        return solve_hybrid(ev, chain, bridges);
+    }
+    match tree_range(ev, &chain.units, 0, n - 1, bridges) {
+        Some((score, ranges)) => finish(ev, chain, score, ranges),
+        None => MatchResult::infeasible(),
+    }
+}
+
+fn finish(ev: &Evaluator<'_>, chain: &Chain, score: f64, ranges: Vec<(usize, usize)>) -> MatchResult {
+    let score = if chain.has_position_refs() {
+        chain_score_with_positions(ev, chain, &ranges)
+    } else {
+        score
+    };
+    MatchResult { score, ranges }
+}
+
+/// Hybrid fuzzy/non-fuzzy queries (§6): fully pinned units are anchored
+/// directly; maximal runs of fuzzy units tile the gaps between anchors with
+/// their own SegmentTree. Partially pinned or width units fall back to the
+/// exact DP, which handles every constraint.
+fn solve_hybrid(ev: &Evaluator<'_>, chain: &Chain, bridges: bool) -> MatchResult {
+    let fully_pinned = |u: &Unit| u.pin_start.is_some() && u.pin_end.is_some();
+    if !chain.units.iter().all(|u| u.is_fuzzy() || fully_pinned(u)) {
+        return super::dp::solve_chain(ev, chain, 0, ev.viz.n() - 1);
+    }
+    let n = ev.viz.n();
+    let mut score = 0.0;
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(chain.len());
+    let mut prev_end = 0usize;
+    let mut fuzzy_run: Vec<Unit> = Vec::new();
+
+    let flush_run = |run: &mut Vec<Unit>,
+                         lo: usize,
+                         hi: usize,
+                         score: &mut f64,
+                         ranges: &mut Vec<(usize, usize)>|
+     -> bool {
+        if run.is_empty() {
+            return true;
+        }
+        let Some((s, rs)) = tree_range(ev, run, lo, hi, bridges) else {
+            return false;
+        };
+        *score += s;
+        ranges.extend(rs);
+        run.clear();
+        true
+    };
+
+    for unit in &chain.units {
+        if fully_pinned(unit) {
+            let s = ev.viz.x_to_index(unit.pin_start.expect("pinned"));
+            let e = ev.viz.x_to_index(unit.pin_end.expect("pinned"));
+            if e <= s || s < prev_end {
+                return MatchResult::infeasible();
+            }
+            // Fuzzy run before this anchor tiles [prev_end, s].
+            if !fuzzy_run.is_empty() && !flush_run(&mut fuzzy_run, prev_end, s, &mut score, &mut ranges)
+            {
+                return MatchResult::infeasible();
+            }
+            score += unit.weight * ev.eval_node(&unit.query, s, e, None);
+            ranges.push((s, e));
+            prev_end = e;
+        } else {
+            fuzzy_run.push(unit.clone());
+        }
+    }
+    if !fuzzy_run.is_empty()
+        && !flush_run(&mut fuzzy_run, prev_end, n - 1, &mut score, &mut ranges)
+    {
+        return MatchResult::infeasible();
+    }
+    finish(ev, chain, score, ranges)
+}
+
+/// Runs the SegmentTree over points `[lo, hi]` for a run of fuzzy units,
+/// returning the partial weighted score and per-unit ranges.
+fn tree_range(
+    ev: &Evaluator<'_>,
+    units: &[Unit],
+    lo: usize,
+    hi: usize,
+    bridges: bool,
+) -> Option<(f64, Vec<(usize, usize)>)> {
+    let k = units.len();
+    if k == 0 || hi <= lo || hi - lo < k {
+        return None;
+    }
+    let table = solve_node(ev, units, lo, hi, bridges);
+    let entry = table.get(0, k)?;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = lo;
+    for (t, &b) in entry.breaks.iter().enumerate() {
+        debug_assert!(t < k - 1);
+        ranges.push((start, b as usize));
+        start = b as usize;
+    }
+    ranges.push((start, hi));
+    Some((entry.score, ranges))
+}
+
+/// Recursive bottom-up construction of a node's table (points `[lo, hi]`).
+#[allow(clippy::needless_range_loop)] // sub-chain indices cross both children
+fn solve_node(ev: &Evaluator<'_>, units: &[Unit], lo: usize, hi: usize, bridges: bool) -> NodeTable {
+    let k = units.len();
+    let mut table = NodeTable::new(k);
+    let intervals = hi - lo;
+
+    // Direct single-unit entries: unit t spans the whole node range.
+    for (t, u) in units.iter().enumerate() {
+        table.set_max(
+            t,
+            t + 1,
+            Entry {
+                score: u.weight * ev.eval_node(&u.query, lo, hi, None),
+                breaks: Vec::new(),
+            },
+        );
+    }
+    if intervals == 1 || k == 1 {
+        return table;
+    }
+
+    let mid = lo + intervals / 2;
+    let left = solve_node(ev, units, lo, mid, bridges);
+    let right = solve_node(ev, units, mid, hi, bridges);
+
+    for len in 2..=k.min(intervals) {
+        for l in 0..=(k - len) {
+            let r = l + len;
+            // Split: boundary between units m-1 and m at the midpoint.
+            for m in (l + 1)..r {
+                let (Some(le), Some(re)) = (left.get(l, m), right.get(m, r)) else {
+                    continue;
+                };
+                let mut breaks = Vec::with_capacity(len - 1);
+                breaks.extend_from_slice(&le.breaks);
+                breaks.push(mid as u32);
+                breaks.extend_from_slice(&re.breaks);
+                table.set_max(
+                    l,
+                    r,
+                    Entry {
+                        score: le.score + re.score,
+                        breaks,
+                    },
+                );
+            }
+            // Bridge: unit b spans the midpoint; recompute it over the
+            // merged range.
+            if !bridges {
+                continue;
+            }
+            for b in l..r {
+                let (Some(le), Some(re)) = (left.get(l, b + 1), right.get(b, r)) else {
+                    continue;
+                };
+                // Unit b's sub-ranges in each child.
+                let left_start = le.breaks.last().map_or(lo, |&x| x as usize);
+                let right_end = re.breaks.first().map_or(hi, |&x| x as usize);
+                let w = units[b].weight;
+                let q = &units[b].query;
+                let old_left = w * ev.eval_node(q, left_start, mid, None);
+                let old_right = w * ev.eval_node(q, mid, right_end, None);
+                let merged = w * ev.eval_node(q, left_start, right_end, None);
+                let mut breaks = Vec::with_capacity(len - 1);
+                breaks.extend_from_slice(&le.breaks);
+                breaks.extend_from_slice(&re.breaks);
+                table.set_max(
+                    l,
+                    r,
+                    Entry {
+                        score: le.score - old_left + re.score - old_right + merged,
+                        breaks,
+                    },
+                );
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dp::DpSegmenter;
+    use crate::ast::{Pattern, ShapeQuery, ShapeSegment};
+    use crate::chain::expand_chains;
+    use crate::engine::group::VizData;
+    use crate::eval::UdpRegistry;
+    use crate::score::ScoreParams;
+    use shapesearch_datastore::Trendline;
+
+    fn viz(pairs: &[(f64, f64)]) -> VizData {
+        VizData::from_trendline(&Trendline::from_pairs("t", pairs), 0, 1).unwrap()
+    }
+
+    fn run(q: &ShapeQuery, v: &VizData) -> (MatchResult, MatchResult) {
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(v, &params, &udps);
+        let chains = expand_chains(q);
+        (
+            SegmentTreeSegmenter::default().match_viz(&ev, &chains),
+            DpSegmenter.match_viz(&ev, &chains),
+        )
+    }
+
+    #[test]
+    fn matches_dp_on_clean_peak() {
+        let v = viz(&[
+            (0.0, 0.0),
+            (1.0, 2.0),
+            (2.0, 4.0),
+            (3.0, 6.0),
+            (4.0, 4.0),
+            (5.0, 2.0),
+            (6.0, 0.0),
+        ]);
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+        let (t, d) = run(&q, &v);
+        assert!((t.score - d.score).abs() < 1e-9, "{} vs {}", t.score, d.score);
+        assert_eq!(t.ranges, d.ranges);
+    }
+
+    #[test]
+    fn bridge_handles_off_center_breaks() {
+        // Peak at index 5 of 0..=7 — not at any dyadic midpoint; the bridge
+        // rule must recover it.
+        let v = viz(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (2.0, 2.0),
+            (3.0, 3.0),
+            (4.0, 4.0),
+            (5.0, 5.0),
+            (6.0, 2.5),
+            (7.0, 0.0),
+        ]);
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+        let (t, d) = run(&q, &v);
+        assert_eq!(t.ranges, vec![(0, 5), (5, 7)]);
+        assert!((t.score - d.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_beats_dp_and_stays_close() {
+        // A noisy trendline with several local structures.
+        let pts: Vec<(f64, f64)> = [
+            0.2, 0.9, 0.7, 1.8, 1.4, 2.6, 2.0, 1.1, 1.5, 0.4, 0.8, 0.1, 1.0, 2.2, 1.9, 3.0,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| (i as f64, y))
+        .collect();
+        let v = viz(&pts);
+        for q in [
+            ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]),
+            ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down(), ShapeQuery::up()]),
+            ShapeQuery::concat(vec![
+                ShapeQuery::up(),
+                ShapeQuery::down(),
+                ShapeQuery::up(),
+                ShapeQuery::down(),
+            ]),
+            ShapeQuery::concat(vec![ShapeQuery::flat(), ShapeQuery::up()]),
+        ] {
+            let (t, d) = run(&q, &v);
+            assert!(
+                t.score <= d.score + 1e-9,
+                "tree {} exceeded optimal {} for {q}",
+                t.score,
+                d.score
+            );
+            assert!(
+                t.score >= d.score - 0.35,
+                "tree {} too far below optimal {} for {q}",
+                t.score,
+                d.score
+            );
+        }
+    }
+
+    #[test]
+    fn or_chains_resolved() {
+        let v = viz(&[
+            (0.0, 0.0),
+            (1.0, 2.0),
+            (2.0, 4.0),
+            (3.0, 4.1),
+            (4.0, 3.9),
+            (5.0, 4.0),
+        ]);
+        // up then (flat or down): flat branch should win.
+        let q = ShapeQuery::concat(vec![
+            ShapeQuery::up(),
+            ShapeQuery::Or(vec![ShapeQuery::flat(), ShapeQuery::down()]),
+        ]);
+        let (t, _) = run(&q, &v);
+        assert!(t.score > 0.5, "score {}", t.score);
+    }
+
+    #[test]
+    fn hybrid_pinned_anchor_with_fuzzy_tail() {
+        let v = viz(&[
+            (0.0, 5.0),
+            (1.0, 4.0),
+            (2.0, 3.0),
+            (3.0, 4.0),
+            (4.0, 5.0),
+            (5.0, 4.0),
+            (6.0, 3.0),
+        ]);
+        let q = ShapeQuery::concat(vec![
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Down, 0.0, 2.0)),
+            ShapeQuery::up(),
+            ShapeQuery::down(),
+        ]);
+        let (t, d) = run(&q, &v);
+        assert_eq!(t.ranges[0], (0, 2));
+        assert_eq!(t.ranges.last().unwrap().1, 6);
+        assert!((t.score - d.score).abs() < 0.15, "{} vs {}", t.score, d.score);
+    }
+
+    #[test]
+    fn width_units_fall_back_to_dp() {
+        let v = viz(&[
+            (0.0, 1.0),
+            (1.0, 1.1),
+            (2.0, 1.0),
+            (3.0, 5.0),
+            (4.0, 9.0),
+            (5.0, 9.1),
+            (6.0, 9.0),
+        ]);
+        let q = ShapeQuery::Segment(ShapeSegment::pattern(Pattern::Up).with_width(2.0));
+        let (t, d) = run(&q, &v);
+        assert_eq!(t.ranges, d.ranges);
+        assert_eq!(t.score, d.score);
+    }
+
+    #[test]
+    fn infeasible_cases() {
+        let v = viz(&[(0.0, 0.0), (1.0, 1.0)]);
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down(), ShapeQuery::up()]);
+        let (t, _) = run(&q, &v);
+        assert_eq!(t.score, -1.0);
+    }
+
+    #[test]
+    fn three_segment_tree_matches_shape() {
+        // down, up, down over 12 points.
+        let v = viz(&[
+            (0.0, 5.0),
+            (1.0, 4.0),
+            (2.0, 3.0),
+            (3.0, 2.0),
+            (4.0, 3.0),
+            (5.0, 4.0),
+            (6.0, 5.0),
+            (7.0, 6.0),
+            (8.0, 5.0),
+            (9.0, 4.0),
+            (10.0, 3.0),
+            (11.0, 2.0),
+        ]);
+        let q = ShapeQuery::concat(vec![ShapeQuery::down(), ShapeQuery::up(), ShapeQuery::down()]);
+        let (t, d) = run(&q, &v);
+        assert!(t.score > 0.7, "score {}", t.score);
+        assert!((t.score - d.score).abs() < 0.05);
+        // Breaks near the true turning points (3 and 7).
+        assert!((t.ranges[0].1 as i64 - 3).abs() <= 1, "{:?}", t.ranges);
+        assert!((t.ranges[1].1 as i64 - 7).abs() <= 1, "{:?}", t.ranges);
+    }
+}

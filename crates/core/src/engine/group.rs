@@ -1,0 +1,323 @@
+//! The GROUP physical operator (paper §5.3, step 2).
+//!
+//! GROUP turns each extracted trendline into the engine's internal
+//! representation: coordinates are normalized onto the rendering canvas
+//! (x and y each mapped to `[0, 1]`, matching how the visualization is
+//! perceived on screen — a slope of 1 is the 45° diagonal), optionally binned
+//! ("each visualization is approximated using a sequence of small
+//! line-segments of length b, the binning width"), and indexed with prefix
+//! summarized statistics so any sub-range's fitted line is O(1)
+//! (Theorem 5.1).
+//!
+//! Push-down optimization (c) of §5.4 is supported via
+//! [`VizData::from_trendline_restricted`]: statistics are computed only over
+//! the x ranges the query references.
+//!
+//! *Normalization note.* The paper applies z-score normalization when the
+//! query has no y constraints. Because all pattern scores are functions of
+//! the *perceived* slope, this implementation normalizes both axes onto the
+//! unit canvas, which is invariant to affine y transforms — it subsumes
+//! z-normalization for slope-based scoring while keeping raw coordinate
+//! mappings available for y-location constraints.
+
+use crate::stats::StatsIndex;
+use shapesearch_datastore::Trendline;
+
+/// A candidate visualization prepared for segmentation and scoring.
+#[derive(Debug, Clone)]
+pub struct VizData {
+    /// The `z` value identifying the visualization.
+    pub key: String,
+    /// Canvas x coordinates in `[0, 1]`, ascending.
+    pub xs: Vec<f64>,
+    /// Canvas y coordinates in `[0, 1]`.
+    pub ys: Vec<f64>,
+    /// Raw x domain (min, max) for mapping query literals.
+    pub raw_x: (f64, f64),
+    /// Raw y domain (min, max).
+    pub raw_y: (f64, f64),
+    /// Prefix summarized statistics over the canvas coordinates.
+    pub stats: StatsIndex,
+    /// Index of the source trendline in the engine's collection.
+    pub source: usize,
+}
+
+impl VizData {
+    /// Builds the GROUP output for a trendline, binning every `bin` raw
+    /// points into one canvas point (bin = 1 keeps all points). Returns
+    /// `None` when fewer than two canvas points remain.
+    pub fn from_trendline(t: &Trendline, source: usize, bin: usize) -> Option<Self> {
+        Self::build(t, source, bin, None)
+    }
+
+    /// GROUP with push-down (c): only points whose raw x falls inside one of
+    /// `ranges` are retained (normalization still uses the full extents so
+    /// scores are identical to unrestricted execution over those ranges).
+    pub fn from_trendline_restricted(
+        t: &Trendline,
+        source: usize,
+        bin: usize,
+        ranges: &[(f64, f64)],
+    ) -> Option<Self> {
+        Self::build(t, source, bin, Some(ranges))
+    }
+
+    fn build(
+        t: &Trendline,
+        source: usize,
+        bin: usize,
+        restrict: Option<&[(f64, f64)]>,
+    ) -> Option<Self> {
+        if t.points.len() < 2 {
+            return None;
+        }
+        let bin = bin.max(1);
+        let raw_x = extent(t.points.iter().map(|p| p.x));
+        let raw_y = extent(t.points.iter().map(|p| p.y));
+        let x_span = span(raw_x);
+        let y_span = span(raw_y);
+
+        let mut xs = Vec::with_capacity(t.points.len() / bin + 1);
+        let mut ys = Vec::with_capacity(xs.capacity());
+        let mut chunk_x = 0.0;
+        let mut chunk_y = 0.0;
+        let mut chunk_n = 0usize;
+        for p in &t.points {
+            if let Some(ranges) = restrict {
+                if !ranges.iter().any(|&(lo, hi)| p.x >= lo && p.x <= hi) {
+                    continue;
+                }
+            }
+            chunk_x += (p.x - raw_x.0) / x_span;
+            chunk_y += (p.y - raw_y.0) / y_span;
+            chunk_n += 1;
+            if chunk_n == bin {
+                xs.push(chunk_x / bin as f64);
+                ys.push(chunk_y / bin as f64);
+                chunk_x = 0.0;
+                chunk_y = 0.0;
+                chunk_n = 0;
+            }
+        }
+        if chunk_n > 0 {
+            xs.push(chunk_x / chunk_n as f64);
+            ys.push(chunk_y / chunk_n as f64);
+        }
+        if xs.len() < 2 {
+            return None;
+        }
+        let stats = StatsIndex::new(&xs, &ys);
+        Some(Self {
+            key: t.key.clone(),
+            xs,
+            ys,
+            raw_x,
+            raw_y,
+            stats,
+            source,
+        })
+    }
+
+    /// Number of canvas points.
+    pub fn n(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// A coarsened copy with at most `target_points` points (used by the
+    /// pruning stage-1 sampled scoring, §6.3: "a DP-based scoring on a subset
+    /// of points distributed uniformly across the visualization").
+    pub fn coarsened(&self, target_points: usize) -> VizData {
+        let target = target_points.max(2);
+        if self.n() <= target {
+            return self.clone();
+        }
+        let bin = self.n().div_ceil(target);
+        let mut xs = Vec::with_capacity(target);
+        let mut ys = Vec::with_capacity(target);
+        for chunk in self.xs.chunks(bin).zip(self.ys.chunks(bin)) {
+            let (cx, cy) = chunk;
+            xs.push(cx.iter().sum::<f64>() / cx.len() as f64);
+            ys.push(cy.iter().sum::<f64>() / cy.len() as f64);
+        }
+        let stats = StatsIndex::new(&xs, &ys);
+        VizData {
+            key: self.key.clone(),
+            xs,
+            ys,
+            raw_x: self.raw_x,
+            raw_y: self.raw_y,
+            stats,
+            source: self.source,
+        }
+    }
+
+    /// Maps a raw x value onto the canvas.
+    pub fn norm_x(&self, raw: f64) -> f64 {
+        (raw - self.raw_x.0) / span(self.raw_x)
+    }
+
+    /// Maps a raw y value onto the canvas.
+    pub fn norm_y(&self, raw: f64) -> f64 {
+        (raw - self.raw_y.0) / span(self.raw_y)
+    }
+
+    /// Index of the canvas point closest to raw x value `raw`, clamped to
+    /// the valid range.
+    pub fn x_to_index(&self, raw: f64) -> usize {
+        let target = self.norm_x(raw);
+        match self
+            .xs
+            .binary_search_by(|probe| probe.total_cmp(&target))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) if i >= self.xs.len() => self.xs.len() - 1,
+            Err(i) => {
+                // Choose the nearer neighbour.
+                if (self.xs[i] - target).abs() < (target - self.xs[i - 1]).abs() {
+                    i
+                } else {
+                    i - 1
+                }
+            }
+        }
+    }
+
+    /// Converts an x-axis width (raw units) into a number of canvas point
+    /// steps (at least 1).
+    pub fn width_to_points(&self, raw_width: f64) -> usize {
+        let frac = raw_width / span(self.raw_x);
+        let avg_step = 1.0 / (self.n() - 1) as f64;
+        ((frac / avg_step).round() as usize).max(1)
+    }
+}
+
+fn extent(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// Width of an extent, guarded against zero (constant series).
+fn span((lo, hi): (f64, f64)) -> f64 {
+    let s = hi - lo;
+    if s > 0.0 {
+        s
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trend(pairs: &[(f64, f64)]) -> Trendline {
+        Trendline::from_pairs("t", pairs)
+    }
+
+    #[test]
+    fn normalizes_to_unit_canvas() {
+        let t = trend(&[(10.0, 100.0), (20.0, 300.0), (30.0, 200.0)]);
+        let v = VizData::from_trendline(&t, 0, 1).unwrap();
+        assert_eq!(v.xs, vec![0.0, 0.5, 1.0]);
+        assert_eq!(v.ys, vec![0.0, 1.0, 0.5]);
+        assert_eq!(v.raw_x, (10.0, 30.0));
+        assert_eq!(v.raw_y, (100.0, 300.0));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let t = trend(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
+        let v = VizData::from_trendline(&t, 0, 1).unwrap();
+        assert!(v.ys.iter().all(|&y| y == 0.0));
+    }
+
+    #[test]
+    fn binning_averages_chunks() {
+        let t = trend(&[(0.0, 0.0), (1.0, 4.0), (2.0, 0.0), (3.0, 4.0)]);
+        let v = VizData::from_trendline(&t, 0, 2).unwrap();
+        assert_eq!(v.n(), 2);
+        // First bin: x mean of (0, 1/3), y mean of (0, 1) = 0.5.
+        assert!((v.ys[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        let t = trend(&[(0.0, 1.0)]);
+        assert!(VizData::from_trendline(&t, 0, 1).is_none());
+        let t = trend(&[(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert!(VizData::from_trendline(&t, 0, 3).is_none());
+    }
+
+    #[test]
+    fn x_to_index_picks_nearest() {
+        let t = trend(&[(0.0, 0.0), (10.0, 1.0), (20.0, 2.0), (30.0, 1.0)]);
+        let v = VizData::from_trendline(&t, 0, 1).unwrap();
+        assert_eq!(v.x_to_index(0.0), 0);
+        assert_eq!(v.x_to_index(9.0), 1);
+        assert_eq!(v.x_to_index(14.0), 1);
+        assert_eq!(v.x_to_index(16.0), 2);
+        assert_eq!(v.x_to_index(35.0), 3);
+        assert_eq!(v.x_to_index(-5.0), 0);
+    }
+
+    #[test]
+    fn width_conversion() {
+        let t = trend(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]);
+        let v = VizData::from_trendline(&t, 0, 1).unwrap();
+        // 2 raw-x units = half the span = 2 of the 4 steps.
+        assert_eq!(v.width_to_points(2.0), 2);
+        assert_eq!(v.width_to_points(0.1), 1); // floor at 1
+    }
+
+    #[test]
+    fn restriction_keeps_only_ranged_points() {
+        let t = trend(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]);
+        let v = VizData::from_trendline_restricted(&t, 0, 1, &[(1.0, 3.0)]).unwrap();
+        assert_eq!(v.n(), 3);
+        // Normalization still spans the full extents.
+        assert_eq!(v.xs, vec![0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn restriction_below_two_points_is_none() {
+        let t = trend(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert!(VizData::from_trendline_restricted(&t, 0, 1, &[(0.9, 1.1)]).is_none());
+    }
+
+    #[test]
+    fn coarsened_reduces_points_and_preserves_shape() {
+        let pairs: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let v = VizData::from_trendline(&trend(&pairs), 0, 1).unwrap();
+        let c = v.coarsened(10);
+        assert!(c.n() <= 10);
+        assert!(c.n() >= 2);
+        // A straight diagonal stays a straight diagonal.
+        assert!((c.stats.slope(0, c.n() - 1) - 1.0).abs() < 1e-9);
+        // Raw extents preserved for literal mapping.
+        assert_eq!(c.raw_x, v.raw_x);
+        assert_eq!(c.raw_y, v.raw_y);
+    }
+
+    #[test]
+    fn coarsened_is_noop_when_small_enough() {
+        let t = trend(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let v = VizData::from_trendline(&t, 0, 1).unwrap();
+        let c = v.coarsened(10);
+        assert_eq!(c.n(), 3);
+        assert_eq!(c.xs, v.xs);
+    }
+
+    #[test]
+    fn stats_index_slope_on_canvas() {
+        let t = trend(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let v = VizData::from_trendline(&t, 0, 1).unwrap();
+        // Canvas diagonal: slope 1.
+        assert!((v.stats.slope(0, 2) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,476 @@
+//! The ShapeSearch execution engine (paper §5): the pipelined
+//! EXTRACT → GROUP → SEGMENT → SCORE executor solving Problem 1 — "given a
+//! dataset D, a ShapeQuery Q, visual parameters R, and a scoring function SF,
+//! find top k visualizations that maximize SF(Q, Vᵢ)".
+
+pub mod group;
+pub mod pushdown;
+mod topk;
+
+use crate::algo::baseline::{BaselineMethod, WholeSeriesBaseline};
+use crate::algo::dp::DpSegmenter;
+use crate::algo::greedy::GreedySegmenter;
+use crate::algo::pruning::{run_pruned, PrunedOutcome, PruningConfig};
+use crate::algo::segment_tree::SegmentTreeSegmenter;
+use crate::algo::{MatchResult, Segmenter, SegmenterKind};
+use crate::ast::Pattern;
+use crate::chain::{expand_chains, Chain};
+use crate::error::{CoreError, Result};
+use crate::eval::{Evaluator, UdpFn, UdpRegistry};
+use crate::score::ScoreParams;
+use crate::ShapeQuery;
+use group::VizData;
+use shapesearch_datastore::{extract, ExtractOptions, Table, Trendline, VisualSpec};
+use topk::TopK;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Segmentation algorithm (Figure 10's competitors).
+    pub segmenter: SegmenterKind,
+    /// GROUP binning width in raw points per bin (1 = no binning).
+    pub bin_width: usize,
+    /// Enables the §5.4 push-down optimizations.
+    pub pushdown: bool,
+    /// Scores candidate visualizations on multiple threads.
+    pub parallel: bool,
+    /// Scoring parameters.
+    pub params: ScoreParams,
+    /// Two-stage pruning configuration (used by
+    /// [`SegmenterKind::SegmentTreePruned`]).
+    pub pruning: PruningConfig,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            segmenter: SegmenterKind::default(),
+            bin_width: 1,
+            pushdown: true,
+            parallel: false,
+            params: ScoreParams::default(),
+            pruning: PruningConfig::default(),
+        }
+    }
+}
+
+/// One entry of the top-k answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// The `z` value of the matched visualization.
+    pub key: String,
+    /// Final score in [−1, 1].
+    pub score: f64,
+    /// Index into [`ShapeEngine::trendlines`].
+    pub viz_index: usize,
+    /// Canvas point range fitted to each unit of the winning chain (empty
+    /// for whole-series baselines) — the "green line segments" the
+    /// front-end overlays on results.
+    pub ranges: Vec<(usize, usize)>,
+}
+
+/// The ShapeSearch execution engine over one visualization collection.
+#[derive(Debug)]
+pub struct ShapeEngine {
+    trendlines: Vec<Trendline>,
+    options: EngineOptions,
+    udps: UdpRegistry,
+}
+
+impl ShapeEngine {
+    /// Builds an engine by running EXTRACT over a table with the given
+    /// visual parameters.
+    ///
+    /// # Errors
+    /// Propagates extraction errors (unknown columns, non-numeric axes).
+    pub fn new(table: &Table, spec: &VisualSpec) -> Result<Self> {
+        let trendlines = extract(table, spec, &ExtractOptions::default())?;
+        Ok(Self::from_trendlines(trendlines))
+    }
+
+    /// Builds an engine directly from trendlines (e.g. from a generator).
+    pub fn from_trendlines(trendlines: Vec<Trendline>) -> Self {
+        Self {
+            trendlines,
+            options: EngineOptions::default(),
+            udps: UdpRegistry::new(),
+        }
+    }
+
+    /// Replaces the engine options, returning `self` for chaining.
+    #[must_use]
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects the segmentation algorithm, returning `self` for chaining.
+    #[must_use]
+    pub fn with_segmenter(mut self, kind: SegmenterKind) -> Self {
+        self.options.segmenter = kind;
+        self
+    }
+
+    /// Registers a user-defined pattern usable as `p=udp:<name>`.
+    pub fn register_udp(&mut self, name: impl Into<String>, f: UdpFn) {
+        self.udps.register(name, f);
+    }
+
+    /// Registers all built-in mathematical patterns (`concave`, `convex`,
+    /// `exponential`, `logarithmic`, `entropy_high`, `entropy_low`,
+    /// `v_shape`, `spike`) — the §7.2 user-requested extensions.
+    pub fn register_builtin_udps(&mut self) {
+        crate::udps::register_builtins(&mut self.udps);
+    }
+
+    /// The extracted candidate trendlines.
+    pub fn trendlines(&self) -> &[Trendline] {
+        &self.trendlines
+    }
+
+    /// Current options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Mutable options access.
+    pub fn options_mut(&mut self) -> &mut EngineOptions {
+        &mut self.options
+    }
+
+    /// Executes a ShapeQuery, returning the top `k` visualizations by score.
+    ///
+    /// # Errors
+    /// Fails when the query references unregistered UDPs or is structurally
+    /// empty.
+    pub fn top_k(&self, query: &ShapeQuery, k: usize) -> Result<Vec<TopKResult>> {
+        self.validate(query)?;
+        let chains = expand_chains(query);
+        if chains.is_empty() || chains.iter().any(Chain::is_empty) {
+            return Err(CoreError::InvalidQuery("query has no segments".into()));
+        }
+
+        // Push-down (a): viz-level pruning on pinned x ranges.
+        let pinned = query.pinned_x_ranges();
+        let candidates: Vec<(usize, &Trendline)> = self
+            .trendlines
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !self.options.pushdown
+                    || pinned.is_empty()
+                    || pushdown::covers_ranges(t, &pinned)
+            })
+            .collect();
+
+        // GROUP, with push-down (c) for fully non-fuzzy queries.
+        let restrict = self.options.pushdown && pushdown::fully_pinned(query);
+        let vizzes: Vec<VizData> = candidates
+            .into_iter()
+            .filter_map(|(source, t)| {
+                if restrict {
+                    VizData::from_trendline_restricted(t, source, self.options.bin_width, &pinned)
+                } else {
+                    VizData::from_trendline(t, source, self.options.bin_width)
+                }
+            })
+            .collect();
+
+        let results = match self.options.segmenter {
+            SegmenterKind::SegmentTreePruned => self.run_pruned_driver(&vizzes, query, &chains, k),
+            kind => self.run_per_viz(&vizzes, &chains, kind, k),
+        };
+
+        Ok(results
+            .into_sorted()
+            .into_iter()
+            .filter(|s| s.result.score > -1.0 || !s.result.ranges.is_empty())
+            .map(|s| TopKResult {
+                key: self.trendlines[s.viz].key.clone(),
+                score: s.result.score,
+                viz_index: s.viz,
+                ranges: s.result.ranges,
+            })
+            .collect())
+    }
+
+    fn run_per_viz(
+        &self,
+        vizzes: &[VizData],
+        chains: &[Chain],
+        kind: SegmenterKind,
+        k: usize,
+    ) -> TopK {
+        let score_one = |viz: &VizData| -> MatchResult {
+            let ev = Evaluator::new(viz, &self.options.params, &self.udps);
+            if self.options.pushdown && pushdown::eager_discard(&ev, chains) {
+                return MatchResult::infeasible();
+            }
+            match kind {
+                SegmenterKind::Dp => DpSegmenter.match_viz(&ev, chains),
+                SegmenterKind::SegmentTree => SegmentTreeSegmenter::default().match_viz(&ev, chains),
+                SegmenterKind::Greedy => GreedySegmenter::new().match_viz(&ev, chains),
+                SegmenterKind::Dtw => WholeSeriesBaseline {
+                    method: BaselineMethod::Dtw,
+                }
+                .match_viz(&ev, chains),
+                SegmenterKind::Euclidean => WholeSeriesBaseline {
+                    method: BaselineMethod::Euclidean,
+                }
+                .match_viz(&ev, chains),
+                SegmenterKind::SegmentTreePruned => unreachable!("handled by the pruned driver"),
+            }
+        };
+
+        let mut topk = TopK::new(k);
+        if self.options.parallel && vizzes.len() > 1 {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(vizzes.len());
+            let chunk = vizzes.len().div_ceil(threads);
+            let mut all: Vec<(usize, MatchResult)> = Vec::with_capacity(vizzes.len());
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = vizzes
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            part.iter()
+                                .map(|v| (v.source, score_one(v)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    all.extend(h.join().expect("scoring thread panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            for (src, r) in all {
+                topk.push(src, r);
+            }
+        } else {
+            for v in vizzes {
+                topk.push(v.source, score_one(v));
+            }
+        }
+        topk
+    }
+
+    fn run_pruned_driver(
+        &self,
+        vizzes: &[VizData],
+        query: &ShapeQuery,
+        chains: &[Chain],
+        k: usize,
+    ) -> TopK {
+        let outcomes = run_pruned(
+            vizzes,
+            query,
+            chains,
+            &self.options.params,
+            &self.udps,
+            k,
+            &self.options.pruning,
+        );
+        let mut topk = TopK::new(k);
+        for (viz, outcome) in vizzes.iter().zip(outcomes) {
+            if let PrunedOutcome::Scored(r) = outcome {
+                topk.push(viz.source, r);
+            }
+        }
+        topk
+    }
+
+    /// Validates a query against this engine (UDP registration).
+    fn validate(&self, query: &ShapeQuery) -> Result<()> {
+        for seg in query.segments() {
+            if let Some(Pattern::Udp(name)) = &seg.pattern {
+                if !self.udps.contains(name) {
+                    return Err(CoreError::UnknownUdp(name.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ShapeSegment;
+    use std::sync::Arc;
+
+    fn peaked(key: &str, peak_at: f64, n: usize) -> Trendline {
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let x = i as f64;
+                let y = if x < peak_at { x } else { 2.0 * peak_at - x };
+                (x, y)
+            })
+            .collect();
+        Trendline::from_pairs(key, &pairs)
+    }
+
+    fn falling(key: &str, n: usize) -> Trendline {
+        let pairs: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, (n - i) as f64)).collect();
+        Trendline::from_pairs(key, &pairs)
+    }
+
+    fn collection() -> Vec<Trendline> {
+        vec![
+            peaked("peak_mid", 8.0, 16),
+            falling("fall_a", 16),
+            peaked("peak_late", 12.0, 16),
+            falling("fall_b", 16),
+        ]
+    }
+
+    fn updown() -> ShapeQuery {
+        ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()])
+    }
+
+    #[test]
+    fn top_k_ranks_peaks_first() {
+        let engine = ShapeEngine::from_trendlines(collection());
+        let results = engine.top_k(&updown(), 2).unwrap();
+        assert_eq!(results.len(), 2);
+        let keys: Vec<&str> = results.iter().map(|r| r.key.as_str()).collect();
+        assert!(keys.contains(&"peak_mid"));
+        assert!(keys.contains(&"peak_late"));
+        assert!(results[0].score >= results[1].score);
+        assert!(!results[0].ranges.is_empty());
+    }
+
+    #[test]
+    fn all_segmenters_agree_on_easy_data() {
+        for kind in [
+            SegmenterKind::Dp,
+            SegmenterKind::SegmentTree,
+            SegmenterKind::SegmentTreePruned,
+            SegmenterKind::Greedy,
+        ] {
+            let engine = ShapeEngine::from_trendlines(collection()).with_segmenter(kind);
+            let results = engine.top_k(&updown(), 2).unwrap();
+            let keys: Vec<&str> = results.iter().map(|r| r.key.as_str()).collect();
+            assert!(
+                keys.contains(&"peak_mid") && keys.contains(&"peak_late"),
+                "{kind:?} got {keys:?}"
+            );
+        }
+        // The whole-series baselines compare against a symmetric prototype;
+        // the asymmetric late peak may rank below (that weakness is exactly
+        // what §7.3 measures). They must still put a peak first.
+        for kind in [SegmenterKind::Dtw, SegmenterKind::Euclidean] {
+            let engine = ShapeEngine::from_trendlines(collection()).with_segmenter(kind);
+            let results = engine.top_k(&updown(), 2).unwrap();
+            assert!(
+                results[0].key.starts_with("peak"),
+                "{kind:?} ranked {} first",
+                results[0].key
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let opts = EngineOptions {
+            parallel: true,
+            ..EngineOptions::default()
+        };
+        let par = ShapeEngine::from_trendlines(collection()).with_options(opts);
+        let seq = ShapeEngine::from_trendlines(collection());
+        let a = par.top_k(&updown(), 4).unwrap();
+        let b = seq.top_k(&updown(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pushdown_prunes_uncovered_trendlines() {
+        let mut tls = collection();
+        // A short trendline that does not reach x = 12.
+        tls.push(Trendline::from_pairs(
+            "short",
+            &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)],
+        ));
+        let engine = ShapeEngine::from_trendlines(tls);
+        let q = ShapeQuery::concat(vec![
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, 10.0, 14.0)),
+            ShapeQuery::down(),
+        ]);
+        let results = engine.top_k(&q, 10).unwrap();
+        assert!(results.iter().all(|r| r.key != "short"));
+    }
+
+    #[test]
+    fn pushdown_on_off_same_results() {
+        let q = ShapeQuery::concat(vec![
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, 0.0, 8.0)),
+            ShapeQuery::down(),
+        ]);
+        let on = ShapeEngine::from_trendlines(collection());
+        let off_opts = EngineOptions {
+            pushdown: false,
+            ..EngineOptions::default()
+        };
+        let off = ShapeEngine::from_trendlines(collection()).with_options(off_opts);
+        let a = on.top_k(&q, 2).unwrap();
+        let b = off.top_k(&q, 2).unwrap();
+        let ka: Vec<&str> = a.iter().map(|r| r.key.as_str()).collect();
+        let kb: Vec<&str> = b.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn unknown_udp_is_an_error() {
+        let engine = ShapeEngine::from_trendlines(collection());
+        let q = ShapeQuery::pattern(Pattern::Udp("mystery".into()));
+        assert!(matches!(
+            engine.top_k(&q, 1),
+            Err(CoreError::UnknownUdp(_))
+        ));
+    }
+
+    #[test]
+    fn registered_udp_runs() {
+        let mut engine = ShapeEngine::from_trendlines(collection());
+        // "ends higher than it starts".
+        engine.register_udp(
+            "net_gain",
+            Arc::new(|ys: &[f64]| {
+                if ys.last() > ys.first() {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }),
+        );
+        let q = ShapeQuery::pattern(Pattern::Udp("net_gain".into()));
+        let results = engine.top_k(&q, 4).unwrap();
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn from_table_via_extract() {
+        use shapesearch_datastore::table_from_series;
+        let table = table_from_series(
+            "stock",
+            "week",
+            "price",
+            &[
+                (
+                    "rises".into(),
+                    (0..8).map(|i| (i as f64, i as f64)).collect(),
+                ),
+                (
+                    "falls".into(),
+                    (0..8).map(|i| (i as f64, -(i as f64))).collect(),
+                ),
+            ],
+        );
+        let spec = VisualSpec::new("stock", "week", "price");
+        let engine = ShapeEngine::new(&table, &spec).unwrap();
+        let results = engine.top_k(&ShapeQuery::up(), 1).unwrap();
+        assert_eq!(results[0].key, "rises");
+    }
+}

@@ -1,0 +1,130 @@
+//! Push-down optimizations (paper §5.4): exploiting LOCATION primitives to
+//! prune visualizations (or parts of them) early in the pipeline.
+//!
+//! * **(a) LOCATION → EXTRACT**: visualizations without any value in the
+//!   query's pinned x ranges are pruned before GROUP — see
+//!   [`covers_ranges`] and `ExtractOptions::require_x_ranges` in the
+//!   datastore crate.
+//! * **(b) Eager discard in SEGMENT**: segments with both endpoints pinned
+//!   and an up/down pattern are scored first; a negative score discards the
+//!   visualization before any fuzzy segmentation is attempted — see
+//!   [`eager_discard`].
+//! * **(c) Stat skipping in GROUP**: for fully non-fuzzy queries, summarized
+//!   statistics are computed only over the referenced x ranges — see
+//!   [`VizData::from_trendline_restricted`](crate::engine::group::VizData::from_trendline_restricted).
+
+use crate::ast::Pattern;
+use crate::chain::Chain;
+use crate::eval::Evaluator;
+use crate::ShapeQuery;
+use shapesearch_datastore::Trendline;
+
+/// True when the trendline has at least one point in every required range
+/// (push-down (a): "prune visualizations that do not have any value in the
+/// specified x ranges").
+pub fn covers_ranges(t: &Trendline, ranges: &[(f64, f64)]) -> bool {
+    ranges
+        .iter()
+        .all(|&(lo, hi)| t.points.iter().any(|p| p.x >= lo && p.x <= hi))
+}
+
+/// True when *every* segment of the query is non-fuzzy (both x endpoints
+/// pinned), enabling GROUP stat skipping (c).
+pub fn fully_pinned(q: &ShapeQuery) -> bool {
+    let segs = q.segments();
+    !segs.is_empty() && segs.iter().all(|s| !s.is_fuzzy())
+}
+
+/// Push-down (b): returns `true` when the visualization can be discarded
+/// because, in every alternative chain, some fully pinned up/down unit
+/// scores negatively over its anchored range ("eagerly checks and discards
+/// visualizations with negative scores in these regions").
+pub fn eager_discard(ev: &Evaluator<'_>, chains: &[Chain]) -> bool {
+    if chains.is_empty() {
+        return false;
+    }
+    chains.iter().all(|chain| {
+        chain.units.iter().any(|u| {
+            let (Some(xs), Some(xe)) = (u.pin_start, u.pin_end) else {
+                return false;
+            };
+            let is_directional = matches!(
+                &u.query,
+                ShapeQuery::Segment(s) if matches!(s.pattern, Some(Pattern::Up) | Some(Pattern::Down))
+            );
+            if !is_directional {
+                return false;
+            }
+            let i = ev.viz.x_to_index(xs);
+            let j = ev.viz.x_to_index(xe);
+            j > i && ev.eval_node(&u.query, i, j, None) < 0.0
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ShapeSegment;
+    use crate::chain::expand_chains;
+    use crate::engine::group::VizData;
+    use crate::eval::UdpRegistry;
+    use crate::score::ScoreParams;
+
+    #[test]
+    fn covers_ranges_checks_every_range() {
+        let t = Trendline::from_pairs("t", &[(0.0, 1.0), (5.0, 2.0), (10.0, 3.0)]);
+        assert!(covers_ranges(&t, &[(0.0, 2.0), (9.0, 11.0)]));
+        assert!(!covers_ranges(&t, &[(6.0, 8.0)]));
+        assert!(covers_ranges(&t, &[]));
+    }
+
+    #[test]
+    fn fully_pinned_detection() {
+        let pinned = ShapeQuery::concat(vec![
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, 0.0, 5.0)),
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Down, 5.0, 9.0)),
+        ]);
+        assert!(fully_pinned(&pinned));
+        let hybrid = ShapeQuery::concat(vec![
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, 0.0, 5.0)),
+            ShapeQuery::down(),
+        ]);
+        assert!(!fully_pinned(&hybrid));
+    }
+
+    #[test]
+    fn eager_discard_on_wrong_direction() {
+        let falling = Trendline::from_pairs(
+            "f",
+            &[(0.0, 9.0), (1.0, 7.0), (2.0, 5.0), (3.0, 3.0), (4.0, 1.0)],
+        );
+        let v = VizData::from_trendline(&falling, 0, 1).unwrap();
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&v, &params, &udps);
+        // Query wants a rise pinned over [0, 2].
+        let q = ShapeQuery::concat(vec![
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, 0.0, 2.0)),
+            ShapeQuery::down(),
+        ]);
+        assert!(eager_discard(&ev, &expand_chains(&q)));
+        // A matching rise is not discarded.
+        let q2 = ShapeQuery::concat(vec![
+            ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Down, 0.0, 2.0)),
+            ShapeQuery::down(),
+        ]);
+        assert!(!eager_discard(&ev, &expand_chains(&q2)));
+    }
+
+    #[test]
+    fn fuzzy_units_never_trigger_discard() {
+        let falling = Trendline::from_pairs("f", &[(0.0, 9.0), (1.0, 7.0), (2.0, 5.0)]);
+        let v = VizData::from_trendline(&falling, 0, 1).unwrap();
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&v, &params, &udps);
+        let q = ShapeQuery::up(); // fuzzy: scored normally, never eagerly discarded
+        assert!(!eager_discard(&ev, &expand_chains(&q)));
+    }
+}

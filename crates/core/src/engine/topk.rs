@@ -1,0 +1,133 @@
+//! Top-k selection: a bounded min-heap over match scores with deterministic
+//! tie-breaking (lower visualization index wins ties, so runs are
+//! reproducible).
+
+use crate::algo::MatchResult;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scored candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Scored {
+    pub viz: usize,
+    pub result: MatchResult,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Higher score first; ties broken by lower index.
+        self.result
+            .score
+            .total_cmp(&other.result.score)
+            .then_with(|| other.viz.cmp(&self.viz))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded collector of the k best candidates.
+#[derive(Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    heap: BinaryHeap<std::cmp::Reverse<Scored>>,
+}
+
+impl TopK {
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers a candidate; keeps only the k best.
+    pub fn push(&mut self, viz: usize, result: MatchResult) {
+        if self.k == 0 {
+            return;
+        }
+        self.heap.push(std::cmp::Reverse(Scored { viz, result }));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// The current k-th best score (the pruning lower bound), or −∞ when
+    /// fewer than k candidates have been seen.
+    #[allow(dead_code)] // used by collection-level drivers and tests
+    pub fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::NEG_INFINITY
+        } else {
+            self.heap
+                .peek()
+                .map_or(f64::NEG_INFINITY, |s| s.0.result.score)
+        }
+    }
+
+    /// Drains into descending score order.
+    pub fn into_sorted(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(score: f64) -> MatchResult {
+        MatchResult {
+            score,
+            ranges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn keeps_k_best_in_order() {
+        let mut tk = TopK::new(3);
+        for (i, s) in [0.1, 0.9, -0.5, 0.7, 0.3].into_iter().enumerate() {
+            tk.push(i, res(s));
+        }
+        let out = tk.into_sorted();
+        let scores: Vec<f64> = out.iter().map(|s| s.result.score).collect();
+        assert_eq!(scores, vec![0.9, 0.7, 0.3]);
+        assert_eq!(out[0].viz, 1);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_best() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), f64::NEG_INFINITY);
+        tk.push(0, res(0.5));
+        assert_eq!(tk.threshold(), f64::NEG_INFINITY);
+        tk.push(1, res(0.8));
+        assert_eq!(tk.threshold(), 0.5);
+        tk.push(2, res(0.9));
+        assert_eq!(tk.threshold(), 0.8);
+    }
+
+    #[test]
+    fn ties_break_by_lower_index() {
+        let mut tk = TopK::new(2);
+        tk.push(5, res(0.5));
+        tk.push(1, res(0.5));
+        tk.push(3, res(0.5));
+        let out = tk.into_sorted();
+        assert_eq!(out[0].viz, 1);
+        assert_eq!(out[1].viz, 3);
+    }
+
+    #[test]
+    fn zero_k_collects_nothing() {
+        let mut tk = TopK::new(0);
+        tk.push(0, res(1.0));
+        assert!(tk.into_sorted().is_empty());
+    }
+}

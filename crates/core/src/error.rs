@@ -1,0 +1,57 @@
+//! Error type for query validation and execution.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while validating or executing ShapeQueries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The query references a user-defined pattern that is not registered.
+    UnknownUdp(String),
+    /// The query is structurally invalid.
+    InvalidQuery(String),
+    /// An error from the datastore layer.
+    Data(shapesearch_datastore::DataError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownUdp(name) => write!(f, "unknown user-defined pattern `{name}`"),
+            CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<shapesearch_datastore::DataError> for CoreError {
+    fn from(e: shapesearch_datastore::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::UnknownUdp("x".into()).to_string().contains("x"));
+        assert!(CoreError::InvalidQuery("empty".into())
+            .to_string()
+            .contains("empty"));
+        let data: CoreError = shapesearch_datastore::DataError::UnknownColumn("c".into()).into();
+        assert!(data.to_string().contains("`c`"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Summarized statistics and O(1) range regression (paper §5.3, Theorem 5.1).
+//!
+//! GROUP "passes only five numbers, called summarized statistics, for each
+//! line segment, namely Σxᵢ, Σyᵢ, Σxᵢyᵢ, Σxᵢ², n". These are additive
+//! (Theorem 5.1): the least-squares line over the union of two adjacent
+//! VisualSegments is computed exactly from the sums of their statistics.
+//!
+//! [`StatsIndex`] stores prefix sums over a trendline's points so any
+//! contiguous point range's statistics — and hence its fitted slope and
+//! intercept — are available in O(1), which is what makes the DP and
+//! SegmentTree algorithms fast.
+
+/// The five summarized statistics of a set of points.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SummaryStats {
+    /// Σ xᵢ
+    pub sx: f64,
+    /// Σ yᵢ
+    pub sy: f64,
+    /// Σ xᵢ·yᵢ
+    pub sxy: f64,
+    /// Σ xᵢ²
+    pub sxx: f64,
+    /// Number of points.
+    pub n: u32,
+}
+
+impl SummaryStats {
+    /// Statistics of a single point.
+    pub fn point(x: f64, y: f64) -> Self {
+        Self {
+            sx: x,
+            sy: y,
+            sxy: x * y,
+            sxx: x * x,
+            n: 1,
+        }
+    }
+
+    /// Statistics of a point set.
+    pub fn from_points(points: &[(f64, f64)]) -> Self {
+        points
+            .iter()
+            .fold(Self::default(), |acc, &(x, y)| acc.merge(&Self::point(x, y)))
+    }
+
+    /// Additive merge (Theorem 5.1): statistics of the disjoint union of two
+    /// point sets.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            sx: self.sx + other.sx,
+            sy: self.sy + other.sy,
+            sxy: self.sxy + other.sxy,
+            sxx: self.sxx + other.sxx,
+            n: self.n + other.n,
+        }
+    }
+
+    /// Least-squares slope θ = (n·Σxy − Σx·Σy) / (n·Σx² − (Σx)²).
+    ///
+    /// Returns 0 for degenerate ranges (fewer than 2 points or zero x
+    /// variance) — a single point renders as a flat mark.
+    pub fn slope(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let denom = n * self.sxx - self.sx * self.sx;
+        if denom.abs() < 1e-12 {
+            return 0.0;
+        }
+        (n * self.sxy - self.sx * self.sy) / denom
+    }
+
+    /// Least-squares intercept δ = (Σy − θ·Σx) / n.
+    pub fn intercept(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (self.sy - self.slope() * self.sx) / self.n as f64
+    }
+
+    /// Mean x of the range.
+    pub fn mean_x(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sx / self.n as f64
+        }
+    }
+
+    /// Mean y of the range.
+    pub fn mean_y(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sy / self.n as f64
+        }
+    }
+}
+
+/// Prefix-sum index over a trendline's points: O(1) statistics, slope, and
+/// fitted line for any contiguous point range.
+#[derive(Debug, Clone)]
+pub struct StatsIndex {
+    /// prefix[i] = statistics over points [0, i).
+    prefix: Vec<SummaryStats>,
+}
+
+impl StatsIndex {
+    /// Builds the index from (x, y) points.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must align");
+        let mut prefix = Vec::with_capacity(xs.len() + 1);
+        prefix.push(SummaryStats::default());
+        let mut acc = SummaryStats::default();
+        for (&x, &y) in xs.iter().zip(ys) {
+            acc = acc.merge(&SummaryStats::point(x, y));
+            prefix.push(acc);
+        }
+        Self { prefix }
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics over the inclusive point range `[i, j]`.
+    ///
+    /// # Panics
+    /// Panics when `j < i` or `j` is out of bounds (debug builds index-check).
+    pub fn range(&self, i: usize, j: usize) -> SummaryStats {
+        debug_assert!(i <= j, "range [{i}, {j}] is inverted");
+        let hi = &self.prefix[j + 1];
+        let lo = &self.prefix[i];
+        SummaryStats {
+            sx: hi.sx - lo.sx,
+            sy: hi.sy - lo.sy,
+            sxy: hi.sxy - lo.sxy,
+            sxx: hi.sxx - lo.sxx,
+            n: hi.n - lo.n,
+        }
+    }
+
+    /// Fitted slope over the inclusive point range `[i, j]`.
+    pub fn slope(&self, i: usize, j: usize) -> f64 {
+        self.range(i, j).slope()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_stats() {
+        let s = SummaryStats::point(2.0, 3.0);
+        assert_eq!(s.sx, 2.0);
+        assert_eq!(s.sy, 3.0);
+        assert_eq!(s.sxy, 6.0);
+        assert_eq!(s.sxx, 4.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn slope_of_perfect_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        let s = SummaryStats::from_points(&pts);
+        assert!((s.slope() - 2.0).abs() < 1e-12);
+        assert!((s.intercept() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_from_points_on_union() {
+        let a: Vec<(f64, f64)> = vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)];
+        let b: Vec<(f64, f64)> = vec![(3.0, 5.0), (4.0, 4.0)];
+        let merged = SummaryStats::from_points(&a).merge(&SummaryStats::from_points(&b));
+        let all: Vec<(f64, f64)> = a.into_iter().chain(b).collect();
+        let direct = SummaryStats::from_points(&all);
+        assert!((merged.slope() - direct.slope()).abs() < 1e-12);
+        assert!((merged.intercept() - direct.intercept()).abs() < 1e-12);
+        assert_eq!(merged.n, direct.n);
+    }
+
+    #[test]
+    fn degenerate_slopes_are_zero() {
+        assert_eq!(SummaryStats::default().slope(), 0.0);
+        assert_eq!(SummaryStats::point(1.0, 5.0).slope(), 0.0);
+        // Two points with the same x: vertical, reported as 0 (degenerate).
+        let s = SummaryStats::from_points(&[(1.0, 0.0), (1.0, 5.0)]);
+        assert_eq!(s.slope(), 0.0);
+    }
+
+    #[test]
+    fn index_matches_direct_computation() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x * 0.1 - x).collect();
+        let idx = StatsIndex::new(&xs, &ys);
+        for i in 0..xs.len() {
+            for j in i..xs.len() {
+                let pts: Vec<(f64, f64)> =
+                    (i..=j).map(|t| (xs[t], ys[t])).collect();
+                let direct = SummaryStats::from_points(&pts);
+                let ranged = idx.range(i, j);
+                assert!((direct.slope() - ranged.slope()).abs() < 1e-9);
+                assert_eq!(direct.n, ranged.n);
+            }
+        }
+    }
+
+    #[test]
+    fn index_len() {
+        let idx = StatsIndex::new(&[0.0, 1.0, 2.0], &[5.0, 6.0, 7.0]);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+        assert!((idx.slope(0, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        let s = SummaryStats::from_points(&[(0.0, 2.0), (2.0, 4.0)]);
+        assert_eq!(s.mean_x(), 1.0);
+        assert_eq!(s.mean_y(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_inputs_panic() {
+        StatsIndex::new(&[0.0], &[]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Built-in mathematical user-defined patterns.
+//!
+//! The paper's user study (§7.2, "How can ShapeSearch be improved?") found
+//! that "a large number of participants wanted ShapeSearch to support more
+//! mathematical patterns by default like concave, convex, exponential, or
+//! statistical measures such as entropy". This module provides those as
+//! ready-made UDPs, registered under the names
+//! `concave`, `convex`, `exponential`, `logarithmic`, `entropy_high`,
+//! `entropy_low`, `v_shape`, and `spike` (use them in queries as
+//! `p=udp:concave` etc., or via [`UdpRegistry::with_builtins`]).
+//!
+//! Every scorer takes the normalized y values of a VisualSegment and returns
+//! a score in [−1, 1], per §5.2's UDP contract.
+
+use crate::eval::{UdpFn, UdpRegistry};
+use crate::stats::SummaryStats;
+use std::sync::Arc;
+
+impl UdpRegistry {
+    /// A registry pre-loaded with all built-in mathematical patterns.
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        register_builtins(&mut reg);
+        reg
+    }
+}
+
+/// Registers every built-in pattern into an existing registry.
+pub fn register_builtins(reg: &mut UdpRegistry) {
+    reg.register("concave", Arc::new(score_concave) as UdpFn);
+    reg.register("convex", Arc::new(score_convex) as UdpFn);
+    reg.register("exponential", Arc::new(score_exponential) as UdpFn);
+    reg.register("logarithmic", Arc::new(score_logarithmic) as UdpFn);
+    reg.register("entropy_high", Arc::new(score_entropy_high) as UdpFn);
+    reg.register("entropy_low", Arc::new(|ys: &[f64]| -score_entropy_high(ys)) as UdpFn);
+    reg.register("v_shape", Arc::new(score_v_shape) as UdpFn);
+    reg.register("spike", Arc::new(score_spike) as UdpFn);
+}
+
+/// Fits the second difference trend: positive curvature = convex (opening
+/// upward), negative = concave. Returns the mean sign-consistency of the
+/// discrete second derivative, weighted by magnitude.
+fn curvature(ys: &[f64]) -> f64 {
+    if ys.len() < 3 {
+        return 0.0;
+    }
+    // Regress the first differences against the index: a positive slope of
+    // the derivative means convex.
+    let diffs: Vec<(f64, f64)> = ys
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| (i as f64 / (ys.len() - 1) as f64, w[1] - w[0]))
+        .collect();
+    let slope = SummaryStats::from_points(&diffs).slope();
+    // Map the derivative slope through the same perceptual atan transform.
+    2.0 * (slope * (ys.len() as f64)).atan() / std::f64::consts::PI
+}
+
+/// Concave (∩-shaped curvature): score > 0 when the slope decreases.
+pub fn score_concave(ys: &[f64]) -> f64 {
+    -curvature(ys)
+}
+
+/// Convex (∪-shaped curvature): score > 0 when the slope increases.
+pub fn score_convex(ys: &[f64]) -> f64 {
+    curvature(ys)
+}
+
+/// Exponential growth: the series fits `a·e^{bx}` with b > 0 better than a
+/// straight line. Measured as convexity restricted to rising series.
+pub fn score_exponential(ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n < 3 {
+        return -1.0;
+    }
+    let rising = ys[n - 1] > ys[0];
+    if !rising {
+        return -1.0;
+    }
+    score_convex(ys).clamp(-1.0, 1.0)
+}
+
+/// Logarithmic growth: rising but with diminishing increments.
+pub fn score_logarithmic(ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n < 3 {
+        return -1.0;
+    }
+    if ys[n - 1] <= ys[0] {
+        return -1.0;
+    }
+    score_concave(ys).clamp(-1.0, 1.0)
+}
+
+/// High sample entropy of the (binned) increments: noisy / erratic series
+/// score near 1, smooth monotone series near −1.
+pub fn score_entropy_high(ys: &[f64]) -> f64 {
+    if ys.len() < 3 {
+        return -1.0;
+    }
+    // Histogram the signs/magnitudes of increments into 5 buckets and
+    // compute normalized Shannon entropy.
+    let diffs: Vec<f64> = ys.windows(2).map(|w| w[1] - w[0]).collect();
+    let max = diffs.iter().map(|d| d.abs()).fold(0.0, f64::max);
+    if max == 0.0 {
+        return -1.0; // perfectly constant: zero entropy
+    }
+    let mut buckets = [0usize; 5];
+    for d in &diffs {
+        let t = (d / max + 1.0) / 2.0; // [0, 1]
+        let idx = ((t * 5.0) as usize).min(4);
+        buckets[idx] += 1;
+    }
+    let n = diffs.len() as f64;
+    let entropy: f64 = buckets
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    let max_entropy = 5f64.ln();
+    (2.0 * entropy / max_entropy - 1.0).clamp(-1.0, 1.0)
+}
+
+/// A V shape: falls to a minimum near the middle then recovers.
+pub fn score_v_shape(ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n < 3 {
+        return -1.0;
+    }
+    let (min_idx, _) = ys
+        .iter()
+        .enumerate()
+        .fold((0, f64::INFINITY), |(bi, bv), (i, &v)| {
+            if v < bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        });
+    let centered = 1.0 - 2.0 * ((min_idx as f64 / (n - 1) as f64) - 0.5).abs() * 2.0;
+    let left = SummaryStats::from_points(
+        &ys[..=min_idx.max(1)]
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 / (n - 1) as f64, y))
+            .collect::<Vec<_>>(),
+    )
+    .slope();
+    let right = SummaryStats::from_points(
+        &ys[min_idx.min(n - 2)..]
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 / (n - 1) as f64, y))
+            .collect::<Vec<_>>(),
+    )
+    .slope();
+    let fall = (2.0 * (-left).atan() / std::f64::consts::PI).max(-1.0);
+    let rise = (2.0 * right.atan() / std::f64::consts::PI).max(-1.0);
+    ((fall + rise) / 2.0 * centered.max(0.1)).clamp(-1.0, 1.0)
+}
+
+/// A narrow spike: the peak value is far above the typical level and the
+/// high region is narrow.
+pub fn score_spike(ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n < 4 {
+        return -1.0;
+    }
+    let mut sorted = ys.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[n / 2];
+    let max = sorted[n - 1];
+    let range = (sorted[n - 1] - sorted[0]).max(1e-12);
+    let prominence = (max - median) / range; // 0..1
+    let wide = ys.iter().filter(|&&y| y > median + 0.5 * (max - median)).count() as f64 / n as f64;
+    (2.0 * prominence * (1.0 - wide) * 2.0 - 1.0).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| f(i as f64 / (n - 1) as f64)).collect()
+    }
+
+    #[test]
+    fn concave_vs_convex() {
+        let concave = series(|t| -(t - 0.5).powi(2), 32); // ∩
+        let convex = series(|t| (t - 0.5).powi(2), 32); // ∪
+        assert!(score_concave(&concave) > 0.5, "{}", score_concave(&concave));
+        assert!(score_concave(&convex) < -0.5);
+        assert!(score_convex(&convex) > 0.5);
+        assert!(score_convex(&concave) < -0.5);
+        let line = series(|t| t, 32);
+        assert!(score_concave(&line).abs() < 0.2);
+    }
+
+    #[test]
+    fn exponential_and_logarithmic() {
+        let exp = series(|t| (4.0 * t).exp(), 32);
+        let log = series(|t| (1.0 + 20.0 * t).ln(), 32);
+        assert!(score_exponential(&exp) > 0.5, "{}", score_exponential(&exp));
+        assert!(score_exponential(&log) < 0.0);
+        assert!(score_logarithmic(&log) > 0.5, "{}", score_logarithmic(&log));
+        assert!(score_logarithmic(&exp) < 0.0);
+        // Falling series are neither.
+        let fall = series(|t| -t, 32);
+        assert_eq!(score_exponential(&fall), -1.0);
+        assert_eq!(score_logarithmic(&fall), -1.0);
+    }
+
+    #[test]
+    fn entropy_separates_noise_from_trend() {
+        let smooth = series(|t| t, 64);
+        // A deterministic pseudo-noise series.
+        let noisy: Vec<f64> = (0..64).map(|i| ((i * 2654435761u64 as usize) % 97) as f64).collect();
+        assert!(score_entropy_high(&noisy) > score_entropy_high(&smooth));
+        assert!(score_entropy_high(&smooth) < 0.0);
+        assert_eq!(score_entropy_high(&[5.0, 5.0, 5.0, 5.0]), -1.0);
+    }
+
+    #[test]
+    fn v_shape_detection() {
+        let v = series(|t| (t - 0.5).abs(), 33);
+        let rise = series(|t| t, 33);
+        assert!(score_v_shape(&v) > 0.4, "{}", score_v_shape(&v));
+        assert!(score_v_shape(&v) > score_v_shape(&rise));
+    }
+
+    #[test]
+    fn spike_detection() {
+        let mut flat = vec![0.0; 40];
+        flat[20] = 10.0;
+        flat[21] = 8.0;
+        assert!(score_spike(&flat) > 0.5, "{}", score_spike(&flat));
+        let ramp = series(|t| t, 40);
+        assert!(score_spike(&flat) > score_spike(&ramp));
+    }
+
+    #[test]
+    fn builtins_registered() {
+        let reg = UdpRegistry::with_builtins();
+        for name in [
+            "concave", "convex", "exponential", "logarithmic", "entropy_high", "entropy_low",
+            "v_shape", "spike",
+        ] {
+            assert!(reg.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        for f in [
+            score_concave as fn(&[f64]) -> f64,
+            score_convex,
+            score_v_shape,
+            score_spike,
+            score_entropy_high,
+        ] {
+            let s = f(&[1.0, 2.0]);
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Evaluation: token accuracy, per-label precision/recall/F1, and k-fold
+//! cross-validation — used to reproduce the paper's reported tagging quality
+//! ("On cross-validation, the model had an F1 score of 81% (precision = 73%,
+//! recall = 90%)").
+
+use crate::model::CrfModel;
+use crate::train::{train, TrainConfig};
+use crate::Sequence;
+use std::collections::BTreeMap;
+
+/// Precision/recall/F1 for one label.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LabelMetrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl LabelMetrics {
+    /// Precision = tp / (tp + fp); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall = tp / (tp + fn); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Aggregate evaluation report.
+#[derive(Debug, Clone, Default)]
+pub struct EvalReport {
+    /// Correct tokens.
+    pub correct: usize,
+    /// Total tokens.
+    pub total: usize,
+    /// Per-label counts, keyed by label name.
+    pub per_label: BTreeMap<String, LabelMetrics>,
+}
+
+impl EvalReport {
+    /// Token-level accuracy.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.correct, self.total)
+    }
+
+    /// Macro-averaged precision over labels.
+    pub fn macro_precision(&self) -> f64 {
+        self.macro_avg(LabelMetrics::precision)
+    }
+
+    /// Macro-averaged recall over labels.
+    pub fn macro_recall(&self) -> f64 {
+        self.macro_avg(LabelMetrics::recall)
+    }
+
+    /// Macro-averaged F1 over labels.
+    pub fn macro_f1(&self) -> f64 {
+        self.macro_avg(LabelMetrics::f1)
+    }
+
+    fn macro_avg(&self, f: impl Fn(&LabelMetrics) -> f64) -> f64 {
+        if self.per_label.is_empty() {
+            return 0.0;
+        }
+        self.per_label.values().map(f).sum::<f64>() / self.per_label.len() as f64
+    }
+
+    fn merge(&mut self, other: &EvalReport) {
+        self.correct += other.correct;
+        self.total += other.total;
+        for (label, m) in &other.per_label {
+            let e = self.per_label.entry(label.clone()).or_default();
+            e.tp += m.tp;
+            e.fp += m.fp;
+            e.fn_ += m.fn_;
+        }
+    }
+}
+
+/// Decodes each test sequence with `model` and scores against gold labels.
+pub fn evaluate(model: &CrfModel, test: &[Sequence]) -> EvalReport {
+    let mut report = EvalReport::default();
+    for seq in test {
+        let predicted = model.decode(seq);
+        for (gold, pred) in seq.labels.iter().zip(&predicted) {
+            report.total += 1;
+            if gold == pred {
+                report.correct += 1;
+                report.per_label.entry(gold.clone()).or_default().tp += 1;
+            } else {
+                report.per_label.entry(pred.clone()).or_default().fp += 1;
+                report.per_label.entry(gold.clone()).or_default().fn_ += 1;
+            }
+        }
+    }
+    report
+}
+
+/// K-fold cross-validation: trains on k−1 folds, evaluates on the held-out
+/// fold, and merges the per-fold reports.
+///
+/// # Panics
+/// Panics when `k < 2` or there are fewer sequences than folds.
+pub fn cross_validate(data: &[Sequence], k: usize, config: TrainConfig) -> EvalReport {
+    assert!(k >= 2, "cross-validation needs k >= 2");
+    assert!(data.len() >= k, "need at least k sequences");
+    let mut merged = EvalReport::default();
+    for fold in 0..k {
+        let mut train_set = Vec::new();
+        let mut test_set = Vec::new();
+        for (i, s) in data.iter().enumerate() {
+            if i % k == fold {
+                test_set.push(s.clone());
+            } else {
+                train_set.push(s.clone());
+            }
+        }
+        let model = train(&train_set, config);
+        merged.merge(&evaluate(&model, &test_set));
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_arithmetic() {
+        let m = LabelMetrics { tp: 8, fp: 2, fn_: 4 };
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 12.0).abs() < 1e-12);
+        let f1 = m.f1();
+        assert!(f1 > 0.72 && f1 < 0.73);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let m = LabelMetrics::default();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    fn corpus() -> Vec<Sequence> {
+        // "up"-words are UP, "down"-words are DOWN — easily learnable.
+        let mk = |words: &[&str], labels: &[&str]| {
+            Sequence::new(
+                words.iter().map(|w| vec![format!("w={w}")]).collect(),
+                labels.iter().map(|s| (*s).to_owned()).collect(),
+            )
+        };
+        vec![
+            mk(&["rising", "falling"], &["UP", "DOWN"]),
+            mk(&["increasing", "decreasing"], &["UP", "DOWN"]),
+            mk(&["rising", "decreasing"], &["UP", "DOWN"]),
+            mk(&["increasing", "falling"], &["UP", "DOWN"]),
+            mk(&["falling", "rising"], &["DOWN", "UP"]),
+            mk(&["decreasing", "increasing"], &["DOWN", "UP"]),
+        ]
+    }
+
+    #[test]
+    fn evaluate_perfect_model() {
+        let model = train(&corpus(), TrainConfig::default());
+        let report = evaluate(&model, &corpus());
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn cross_validation_generalizes_on_easy_data() {
+        let report = cross_validate(&corpus(), 3, TrainConfig::default());
+        assert!(report.accuracy() >= 0.8, "accuracy {}", report.accuracy());
+        assert_eq!(report.total, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn cross_validation_rejects_k1() {
+        cross_validate(&corpus(), 1, TrainConfig::default());
+    }
+}

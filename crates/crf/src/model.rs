@@ -1,0 +1,297 @@
+//! The linear-chain CRF model: parameters, log-space inference
+//! (forward–backward), and Viterbi decoding.
+
+use crate::vocab::Vocab;
+use crate::Sequence;
+
+/// A trained linear-chain CRF.
+///
+/// Scores factor as
+/// `score(y | x) = start[y₀] + Σₜ unary(xₜ, yₜ) + Σₜ trans[yₜ][yₜ₊₁] + end[yₙ₋₁]`
+/// with `unary(xₜ, y) = Σ_{f ∈ feats(xₜ)} w[f·L + y]`.
+#[derive(Debug, Clone)]
+pub struct CrfModel {
+    pub(crate) features: Vocab,
+    pub(crate) labels: Vocab,
+    /// Unary weights, indexed `[feature_id * num_labels + label_id]`.
+    pub(crate) unary: Vec<f64>,
+    /// Transition weights, `[prev * num_labels + next]`.
+    pub(crate) transition: Vec<f64>,
+    /// Start-of-sequence weights per label.
+    pub(crate) start: Vec<f64>,
+    /// End-of-sequence weights per label.
+    pub(crate) end: Vec<f64>,
+}
+
+impl CrfModel {
+    pub(crate) fn new(features: Vocab, labels: Vocab) -> Self {
+        let nl = labels.len();
+        let nf = features.len();
+        Self {
+            features,
+            labels,
+            unary: vec![0.0; nf * nl],
+            transition: vec![0.0; nl * nl],
+            start: vec![0.0; nl],
+            end: vec![0.0; nl],
+        }
+    }
+
+    /// Number of labels the model predicts.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct unary features seen during training.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The label names, in id order.
+    pub fn label_names(&self) -> Vec<&str> {
+        (0..self.labels.len() as u32)
+            .map(|i| self.labels.name(i))
+            .collect()
+    }
+
+    /// Maps a token's feature strings to known feature ids (unknown features
+    /// are silently dropped — they carry zero weight anyway).
+    pub(crate) fn feature_ids(&self, token: &[String]) -> Vec<u32> {
+        token
+            .iter()
+            .filter_map(|f| self.features.get(f))
+            .collect()
+    }
+
+    /// Unary log-potential for a token (given resolved feature ids).
+    pub(crate) fn unary_score(&self, feat_ids: &[u32], label: usize) -> f64 {
+        let nl = self.num_labels();
+        feat_ids
+            .iter()
+            .map(|&f| self.unary[f as usize * nl + label])
+            .sum()
+    }
+
+    /// Per-token unary score matrix for a sequence, row-major `[t][label]`.
+    pub(crate) fn unary_matrix(&self, seq: &Sequence) -> Vec<Vec<f64>> {
+        seq.features
+            .iter()
+            .map(|tok| {
+                let ids = self.feature_ids(tok);
+                (0..self.num_labels())
+                    .map(|l| self.unary_score(&ids, l))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Viterbi-decodes the most likely label sequence for `seq`.
+    /// Returns an empty vector for an empty sequence.
+    #[allow(clippy::needless_range_loop)] // indices span several DP tables
+    pub fn decode(&self, seq: &Sequence) -> Vec<String> {
+        let n = seq.len();
+        let nl = self.num_labels();
+        if n == 0 || nl == 0 {
+            return Vec::new();
+        }
+        let unary = self.unary_matrix(seq);
+        // delta[t][y]: best score of any path ending at label y at time t.
+        let mut delta = vec![vec![f64::NEG_INFINITY; nl]; n];
+        let mut back = vec![vec![0usize; nl]; n];
+        for y in 0..nl {
+            delta[0][y] = self.start[y] + unary[0][y];
+        }
+        for t in 1..n {
+            for y in 0..nl {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                for prev in 0..nl {
+                    let s = delta[t - 1][prev] + self.transition[prev * nl + y];
+                    if s > best {
+                        best = s;
+                        arg = prev;
+                    }
+                }
+                delta[t][y] = best + unary[t][y];
+                back[t][y] = arg;
+            }
+        }
+        let mut last = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for y in 0..nl {
+            let s = delta[n - 1][y] + self.end[y];
+            if s > best {
+                best = s;
+                last = y;
+            }
+        }
+        let mut path = vec![0usize; n];
+        path[n - 1] = last;
+        for t in (1..n).rev() {
+            path[t - 1] = back[t][path[t]];
+        }
+        path.iter()
+            .map(|&y| self.labels.name(y as u32).to_owned())
+            .collect()
+    }
+
+    /// Forward–backward pass. Returns (log α, log β, log Z).
+    #[allow(clippy::needless_range_loop)] // indices span several DP tables
+    pub(crate) fn forward_backward(
+        &self,
+        unary: &[Vec<f64>],
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, f64) {
+        let n = unary.len();
+        let nl = self.num_labels();
+        let mut alpha = vec![vec![f64::NEG_INFINITY; nl]; n];
+        let mut beta = vec![vec![f64::NEG_INFINITY; nl]; n];
+
+        for y in 0..nl {
+            alpha[0][y] = self.start[y] + unary[0][y];
+        }
+        let mut scratch = vec![0.0; nl];
+        for t in 1..n {
+            for y in 0..nl {
+                for (prev, s) in scratch.iter_mut().enumerate() {
+                    *s = alpha[t - 1][prev] + self.transition[prev * nl + y];
+                }
+                alpha[t][y] = log_sum_exp(&scratch) + unary[t][y];
+            }
+        }
+        for y in 0..nl {
+            beta[n - 1][y] = self.end[y];
+        }
+        for t in (0..n - 1).rev() {
+            for y in 0..nl {
+                for (next, s) in scratch.iter_mut().enumerate() {
+                    *s = self.transition[y * nl + next] + unary[t + 1][next] + beta[t + 1][next];
+                }
+                beta[t][y] = log_sum_exp(&scratch);
+            }
+        }
+        let log_z = log_sum_exp(
+            &(0..nl)
+                .map(|y| alpha[n - 1][y] + self.end[y])
+                .collect::<Vec<_>>(),
+        );
+        (alpha, beta, log_z)
+    }
+
+    /// Log-likelihood of a labeled sequence under the model (label ids in
+    /// model order). Useful for monitoring convergence and for tests.
+    pub fn log_likelihood(&self, seq: &Sequence, label_ids: &[usize]) -> f64 {
+        let unary = self.unary_matrix(seq);
+        let (_, _, log_z) = self.forward_backward(&unary);
+        let nl = self.num_labels();
+        let n = seq.len();
+        let mut score = self.start[label_ids[0]] + unary[0][label_ids[0]];
+        for t in 1..n {
+            score += self.transition[label_ids[t - 1] * nl + label_ids[t]] + unary[t][label_ids[t]];
+        }
+        score += self.end[label_ids[n - 1]];
+        score - log_z
+    }
+}
+
+/// Numerically stable log(Σ exp(xᵢ)).
+pub(crate) fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> CrfModel {
+        // Two labels A(0), B(1); two features f0, f1.
+        let mut feats = Vocab::new();
+        feats.intern("f0");
+        feats.intern("f1");
+        let mut labels = Vocab::new();
+        labels.intern("A");
+        labels.intern("B");
+        let mut m = CrfModel::new(feats, labels);
+        // f0 prefers A strongly; f1 prefers B.
+        m.unary[0] = 2.0; // f0,A
+        m.unary[1] = -1.0; // f0,B
+        m.unary[2] = -1.0; // f1,A
+        m.unary[3] = 2.0; // f1,B
+        m
+    }
+
+    fn seq(tokens: &[&str]) -> Sequence {
+        Sequence::unlabeled(tokens.iter().map(|t| vec![(*t).to_owned()]).collect())
+    }
+
+    #[test]
+    fn decode_follows_unary_evidence() {
+        let m = toy_model();
+        let out = m.decode(&seq(&["f0", "f1", "f0"]));
+        assert_eq!(out, vec!["A", "B", "A"]);
+    }
+
+    #[test]
+    fn decode_empty_sequence() {
+        let m = toy_model();
+        assert!(m.decode(&Sequence::unlabeled(vec![])).is_empty());
+    }
+
+    #[test]
+    fn unknown_features_are_ignored() {
+        let m = toy_model();
+        let out = m.decode(&seq(&["zzz"]));
+        // With all-zero scores the argmax is the first label.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn transitions_can_override_unary() {
+        let mut m = toy_model();
+        let nl = 2;
+        // Make A→B transition extremely unlikely.
+        m.transition[nl] = 0.0; // B->A
+        m.transition[1] = -100.0; // A->B
+        let out = m.decode(&seq(&["f0", "f1"]));
+        // Unary wants [A, B] but the transition forbids it; with f1's B
+        // preference (+2) vs the -100 penalty, [A, A] wins.
+        assert_eq!(out, vec!["A", "A"]);
+    }
+
+    #[test]
+    fn log_z_upper_bounds_any_path_score() {
+        let m = toy_model();
+        let s = seq(&["f0", "f1"]);
+        let unary = m.unary_matrix(&s);
+        let (_, _, log_z) = m.forward_backward(&unary);
+        let ll = m.log_likelihood(&s, &[0, 1]);
+        assert!(ll <= 0.0, "log-likelihood must be non-positive, got {ll}");
+        assert!(log_z.is_finite());
+    }
+
+    #[test]
+    fn forward_backward_marginals_sum_to_one() {
+        let m = toy_model();
+        let s = seq(&["f0", "f1", "f0"]);
+        let unary = m.unary_matrix(&s);
+        let (alpha, beta, log_z) = m.forward_backward(&unary);
+        for t in 0..3 {
+            let total: f64 = (0..2)
+                .map(|y| (alpha[t][y] + beta[t][y] - log_z).exp())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "marginals at t={t} sum to {total}");
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        // Huge magnitudes must not overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,211 @@
+//! A small rule-based part-of-speech tagger.
+//!
+//! The paper's NL parser classifies words as noise / non-noise "based on the
+//! Part-of-Speech (POS) tags and word-level features" (§4) and uses POS tags
+//! of neighbouring words as CRF features (Table 3). A full statistical POS
+//! tagger is unnecessary for the shape-query vocabulary; a lexicon plus
+//! suffix heuristics reproduces the behaviour the parser relies on
+//! (determiner/preposition/stop-word detection, `ends(ing)` / `ends(ly)`
+//! style cues, number detection).
+
+/// Coarse POS tags, modeled after the Penn Treebank classes the paper's
+/// feature table references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Noun.
+    Noun,
+    /// Verb (including gerunds like "rising").
+    Verb,
+    /// Adjective.
+    Adjective,
+    /// Adverb.
+    Adverb,
+    /// Cardinal number.
+    Number,
+    /// Determiner (a, the, ...).
+    Determiner,
+    /// Preposition (from, to, between, ...).
+    Preposition,
+    /// Conjunction / transition word (and, then, or, ...).
+    Conjunction,
+    /// Pronoun (me, that, ...).
+    Pronoun,
+    /// Punctuation.
+    Punct,
+    /// Anything else.
+    Other,
+}
+
+impl PosTag {
+    /// Short name used when embedding the tag into CRF feature strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            PosTag::Noun => "NN",
+            PosTag::Verb => "VB",
+            PosTag::Adjective => "JJ",
+            PosTag::Adverb => "RB",
+            PosTag::Number => "CD",
+            PosTag::Determiner => "DT",
+            PosTag::Preposition => "IN",
+            PosTag::Conjunction => "CC",
+            PosTag::Pronoun => "PRP",
+            PosTag::Punct => "PUNCT",
+            PosTag::Other => "XX",
+        }
+    }
+}
+
+const DETERMINERS: &[&str] = &["a", "an", "the", "this", "these", "those", "some", "any", "each", "every"];
+const PREPOSITIONS: &[&str] = &[
+    "from", "to", "at", "in", "on", "of", "over", "within", "between", "during", "by", "until",
+    "till", "after", "before", "around", "near", "above", "below", "across", "for", "with",
+];
+const CONJUNCTIONS: &[&str] = &["and", "or", "then", "but", "followed", "next", "afterwards", "afterward", "finally", "later"];
+const PRONOUNS: &[&str] = &["i", "me", "my", "we", "us", "our", "you", "your", "it", "its", "that", "which", "who", "them", "they"];
+const COMMON_VERBS: &[&str] = &[
+    "show", "find", "search", "get", "give", "want", "is", "are", "was", "were", "be", "been",
+    "has", "have", "had", "look", "display", "see", "going", "goes", "go", "stay", "stays",
+    "remain", "remains", "start", "starts", "end", "ends",
+];
+const COMMON_ADJECTIVES: &[&str] = &[
+    "sharp", "steep", "gradual", "slow", "fast", "rapid", "sudden", "high", "low", "flat",
+    "stable", "steady", "constant", "maximum", "minimum", "double", "triple", "similar",
+];
+const COMMON_NOUNS: &[&str] = &[
+    "peak", "peaks", "valley", "valleys", "trend", "trends", "pattern", "patterns", "shape",
+    "shapes", "stock", "stocks", "gene", "genes", "city", "cities", "month", "months", "week",
+    "weeks", "day", "days", "year", "years", "point", "points", "slope", "top", "bottom",
+    "head", "shoulder", "shoulders", "cup", "dip", "dips", "spike", "spikes", "times", "time",
+];
+
+/// Tags a single lowercase token.
+pub fn tag_word(word: &str) -> PosTag {
+    let w = word.to_ascii_lowercase();
+    if w.is_empty() {
+        return PosTag::Other;
+    }
+    if w.chars().all(|c| c.is_ascii_punctuation()) {
+        return PosTag::Punct;
+    }
+    if w.parse::<f64>().is_ok() || w.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-') {
+        return PosTag::Number;
+    }
+    let w = w.as_str();
+    if DETERMINERS.contains(&w) {
+        return PosTag::Determiner;
+    }
+    if PREPOSITIONS.contains(&w) {
+        return PosTag::Preposition;
+    }
+    if CONJUNCTIONS.contains(&w) {
+        return PosTag::Conjunction;
+    }
+    if PRONOUNS.contains(&w) {
+        return PosTag::Pronoun;
+    }
+    if COMMON_VERBS.contains(&w) {
+        return PosTag::Verb;
+    }
+    if COMMON_ADJECTIVES.contains(&w) {
+        return PosTag::Adjective;
+    }
+    if COMMON_NOUNS.contains(&w) {
+        return PosTag::Noun;
+    }
+    // Suffix heuristics.
+    if w.ends_with("ing") {
+        return PosTag::Verb;
+    }
+    if w.ends_with("ly") {
+        return PosTag::Adverb;
+    }
+    if w.ends_with("ed") {
+        return PosTag::Verb;
+    }
+    if w.ends_with("er") || w.ends_with("est") || w.ends_with("ous") || w.ends_with("ive") {
+        return PosTag::Adjective;
+    }
+    if w.ends_with('s') || w.ends_with("ion") || w.ends_with("ity") || w.ends_with("ness") {
+        return PosTag::Noun;
+    }
+    PosTag::Noun
+}
+
+/// Tags every token of a sentence.
+pub fn tag_sentence(tokens: &[String]) -> Vec<PosTag> {
+    tokens.iter().map(|t| tag_word(t)).collect()
+}
+
+/// True when the tag is one of the likely-noise classes the paper filters
+/// out: "words ∈ {determiner, preposition, stop-words} are more likely to be
+/// noise". Prepositions are *kept* despite being listed, because the paper's
+/// own feature table uses space/time prepositions; the noise filter here
+/// matches the entity classes that never carry entity information.
+pub fn is_noise_tag(tag: PosTag) -> bool {
+    matches!(tag, PosTag::Determiner | PosTag::Pronoun | PosTag::Punct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_hits() {
+        assert_eq!(tag_word("the"), PosTag::Determiner);
+        assert_eq!(tag_word("from"), PosTag::Preposition);
+        assert_eq!(tag_word("and"), PosTag::Conjunction);
+        assert_eq!(tag_word("me"), PosTag::Pronoun);
+        assert_eq!(tag_word("show"), PosTag::Verb);
+        assert_eq!(tag_word("sharp"), PosTag::Adjective);
+        assert_eq!(tag_word("peak"), PosTag::Noun);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tag_word("42"), PosTag::Number);
+        assert_eq!(tag_word("3.5"), PosTag::Number);
+        assert_eq!(tag_word("-7"), PosTag::Number);
+    }
+
+    #[test]
+    fn suffix_rules() {
+        assert_eq!(tag_word("rising"), PosTag::Verb);
+        assert_eq!(tag_word("sharply"), PosTag::Adverb);
+        assert_eq!(tag_word("dropped"), PosTag::Verb);
+        assert_eq!(tag_word("expressions"), PosTag::Noun);
+    }
+
+    #[test]
+    fn punctuation_and_case() {
+        assert_eq!(tag_word(","), PosTag::Punct);
+        assert_eq!(tag_word("..."), PosTag::Punct);
+        assert_eq!(tag_word("The"), PosTag::Determiner);
+    }
+
+    #[test]
+    fn noise_classes() {
+        assert!(is_noise_tag(PosTag::Determiner));
+        assert!(is_noise_tag(PosTag::Punct));
+        assert!(!is_noise_tag(PosTag::Verb));
+        assert!(!is_noise_tag(PosTag::Preposition));
+    }
+
+    #[test]
+    fn sentence_tagging() {
+        let tokens: Vec<String> = ["show", "me", "genes", "rising", "sharply"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let tags = tag_sentence(&tokens);
+        assert_eq!(
+            tags,
+            vec![PosTag::Verb, PosTag::Pronoun, PosTag::Noun, PosTag::Verb, PosTag::Adverb]
+        );
+    }
+
+    #[test]
+    fn tag_names_are_stable() {
+        assert_eq!(PosTag::Noun.name(), "NN");
+        assert_eq!(PosTag::Number.name(), "CD");
+    }
+}

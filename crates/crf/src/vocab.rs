@@ -1,0 +1,79 @@
+//! String interning for features and labels.
+
+use std::collections::HashMap;
+
+/// A bidirectional string ↔ id mapping. Ids are dense and start at 0.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.by_name.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Looks up an existing id without inserting.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for an id.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_without_insert() {
+        let mut v = Vocab::new();
+        v.intern("x");
+        assert_eq!(v.get("x"), Some(0));
+        assert_eq!(v.get("y"), None);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        let mut v = Vocab::new();
+        let id = v.intern("hello");
+        assert_eq!(v.name(id), "hello");
+    }
+}

@@ -1,0 +1,257 @@
+//! Seeded synthetic trendline generators.
+//!
+//! These produce the shape vocabulary the paper's datasets exhibit:
+//! piecewise-linear motifs with noise, random walks, seasonal curves,
+//! luminosity-style dips, and the chart patterns the introduction motivates
+//! (double top, head-and-shoulders, cup, W-shape). Everything is driven by a
+//! caller-provided RNG so datasets are reproducible.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A standard-normal sample via Box–Muller (keeps the dependency surface to
+/// `rand` alone).
+pub fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A piecewise-linear series of `n` points: each `(width, delta)` piece
+/// spans `width` (relative units, normalized over the total) and moves the
+/// level by `delta`. Gaussian noise with standard deviation `noise` is
+/// added per point.
+pub fn piecewise(rng: &mut StdRng, n: usize, pieces: &[(f64, f64)], noise: f64) -> Vec<f64> {
+    assert!(n >= 2 && !pieces.is_empty());
+    let total_w: f64 = pieces.iter().map(|p| p.0).sum();
+    let mut ys = Vec::with_capacity(n);
+    let mut level = 0.0;
+    // Cumulative piece boundaries in [0, 1].
+    let mut bounds = Vec::with_capacity(pieces.len());
+    let mut acc = 0.0;
+    for &(w, _) in pieces {
+        acc += w / total_w;
+        bounds.push(acc);
+    }
+    let mut piece = 0usize;
+    let mut prev_frac = 0.0;
+    for i in 0..n {
+        let frac = i as f64 / (n - 1) as f64;
+        while piece + 1 < pieces.len() && frac > bounds[piece] {
+            piece += 1;
+        }
+        let width_frac = if piece == 0 {
+            bounds[0]
+        } else {
+            bounds[piece] - bounds[piece - 1]
+        };
+        let d_frac = frac - prev_frac;
+        level += pieces[piece].1 * d_frac / width_frac.max(1e-9);
+        prev_frac = frac;
+        ys.push(level + noise * gauss(rng));
+    }
+    ys
+}
+
+/// A random walk with per-step `drift` and volatility `vol`.
+pub fn random_walk(rng: &mut StdRng, n: usize, drift: f64, vol: f64) -> Vec<f64> {
+    let mut ys = Vec::with_capacity(n);
+    let mut level = 0.0;
+    for _ in 0..n {
+        ys.push(level);
+        level += drift + vol * gauss(rng);
+    }
+    ys
+}
+
+/// A seasonal (sinusoidal) series: `cycles` full periods with the given
+/// `amplitude`, `phase` (radians), and additive noise.
+pub fn seasonal(
+    rng: &mut StdRng,
+    n: usize,
+    cycles: f64,
+    amplitude: f64,
+    phase: f64,
+    noise: f64,
+) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1).max(1) as f64;
+            amplitude * (2.0 * std::f64::consts::PI * cycles * t + phase).sin()
+                + noise * gauss(rng)
+        })
+        .collect()
+}
+
+/// Injects a dip (e.g. a planet transit in a luminosity curve) centred at
+/// `center` (fraction of the series) with the given relative `width` and
+/// `depth`.
+pub fn inject_dip(ys: &mut [f64], center: f64, width: f64, depth: f64) {
+    let n = ys.len();
+    for (i, y) in ys.iter_mut().enumerate() {
+        let t = i as f64 / (n - 1).max(1) as f64;
+        let d = (t - center).abs() / width.max(1e-9);
+        if d < 1.0 {
+            // Smooth V-shaped notch.
+            *y -= depth * (1.0 - d);
+        }
+    }
+}
+
+/// Injects a sharp rise of `height` over `[start, start + width]`
+/// (fractions of the series).
+pub fn inject_ramp(ys: &mut [f64], start: f64, width: f64, height: f64) {
+    let n = ys.len();
+    for (i, y) in ys.iter_mut().enumerate() {
+        let t = i as f64 / (n - 1).max(1) as f64;
+        if t >= start {
+            let progress = ((t - start) / width.max(1e-9)).min(1.0);
+            *y += height * progress;
+        }
+    }
+}
+
+/// Chart-pattern motifs from the introduction's finance examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartPattern {
+    /// Two peaks of similar height ("double top ... indicate future
+    /// downtrends").
+    DoubleTop,
+    /// Three peaks with the middle one highest.
+    HeadAndShoulders,
+    /// A rounded bottom followed by recovery.
+    Cup,
+    /// Down-up-down-up.
+    WShape,
+}
+
+/// Generates a chart-pattern series with noise.
+pub fn chart_pattern(rng: &mut StdRng, n: usize, pattern: ChartPattern, noise: f64) -> Vec<f64> {
+    let pieces: &[(f64, f64)] = match pattern {
+        ChartPattern::DoubleTop => &[
+            (1.0, 1.0),
+            (1.0, -0.6),
+            (1.0, 0.6),
+            (1.0, -1.0),
+        ],
+        ChartPattern::HeadAndShoulders => &[
+            (1.0, 0.7),
+            (0.7, -0.4),
+            (1.0, 0.8),
+            (1.0, -0.8),
+            (0.7, 0.4),
+            (1.0, -0.7),
+        ],
+        ChartPattern::Cup => &[(1.0, -0.8), (1.2, -0.15), (1.2, 0.15), (1.0, 0.8)],
+        ChartPattern::WShape => &[(1.0, -0.8), (1.0, 0.5), (1.0, -0.5), (1.0, 0.8)],
+    };
+    piecewise(rng, n, pieces, noise)
+}
+
+/// Pairs a y series with 0-based integer x coordinates.
+pub fn with_index_x(ys: &[f64]) -> Vec<(f64, f64)> {
+    ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect()
+}
+
+/// Pairs a y series with x spanning `[lo, hi]` uniformly.
+pub fn with_x_range(ys: &[f64], lo: f64, hi: f64) -> Vec<(f64, f64)> {
+    let n = ys.len();
+    ys.iter()
+        .enumerate()
+        .map(|(i, &y)| {
+            let t = i as f64 / (n - 1).max(1) as f64;
+            (lo + t * (hi - lo), y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn gauss_has_sane_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| gauss(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn piecewise_hits_target_deltas() {
+        let mut r = rng();
+        let ys = piecewise(&mut r, 101, &[(1.0, 2.0), (1.0, -1.0)], 0.0);
+        assert_eq!(ys.len(), 101);
+        assert!((ys[50] - 2.0).abs() < 0.1, "mid {}", ys[50]);
+        assert!((ys[100] - 1.0).abs() < 0.1, "end {}", ys[100]);
+    }
+
+    #[test]
+    fn piecewise_is_deterministic_per_seed() {
+        let a = piecewise(&mut rng(), 50, &[(1.0, 1.0)], 0.2);
+        let b = piecewise(&mut rng(), 50, &[(1.0, 1.0)], 0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_walk_drift() {
+        let mut r = rng();
+        let ys = random_walk(&mut r, 2000, 0.5, 0.1);
+        assert!(ys[1999] > 800.0, "end {}", ys[1999]);
+    }
+
+    #[test]
+    fn seasonal_oscillates() {
+        let mut r = rng();
+        let ys = seasonal(&mut r, 200, 2.0, 1.0, 0.0, 0.0);
+        let max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max > 0.9 && min < -0.9);
+    }
+
+    #[test]
+    fn dip_lowers_center() {
+        let mut ys = vec![1.0; 101];
+        inject_dip(&mut ys, 0.5, 0.1, 0.8);
+        assert!((ys[50] - 0.2).abs() < 0.05);
+        assert_eq!(ys[0], 1.0);
+        assert_eq!(ys[100], 1.0);
+    }
+
+    #[test]
+    fn ramp_raises_tail() {
+        let mut ys = vec![0.0; 101];
+        inject_ramp(&mut ys, 0.5, 0.2, 2.0);
+        assert_eq!(ys[40], 0.0);
+        assert!((ys[100] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chart_patterns_have_expected_turning_points() {
+        let mut r = rng();
+        let w = chart_pattern(&mut r, 101, ChartPattern::WShape, 0.0);
+        // W: low points near 25% and 75%.
+        assert!(w[25] < w[0] && w[25] < w[50]);
+        assert!(w[75] < w[50] && w[75] < w[100]);
+        let dt = chart_pattern(&mut r, 101, ChartPattern::DoubleTop, 0.0);
+        assert!(dt[25] > dt[0] && dt[25] > dt[50]);
+        assert!(dt[75] > dt[50] && dt[75] > dt[100]);
+    }
+
+    #[test]
+    fn x_pairing_helpers() {
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(with_index_x(&ys)[2], (2.0, 3.0));
+        let ranged = with_x_range(&ys, 10.0, 20.0);
+        assert_eq!(ranged[0].0, 10.0);
+        assert_eq!(ranged[2].0, 20.0);
+        assert_eq!(ranged[1].0, 15.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # shapesearch-datagen
+//!
+//! Seeded synthetic data for the ShapeSearch evaluation:
+//!
+//! * [`generators`] — trendline building blocks (piecewise motifs, random
+//!   walks, seasonal curves, dips/ramps, chart patterns).
+//! * [`table11`] — the five evaluation datasets of paper Table 11 with
+//!   identical (#visualizations × length) shapes, plus the exact fuzzy and
+//!   non-fuzzy queries issued over each.
+//! * [`tasks`] — the seven Table-10 task categories with planted ground
+//!   truth, powering the scoring-effectiveness experiment (Fig 9a, §7.3).
+//!
+//! All generation is deterministic given a seed; no file I/O or wall-clock
+//! dependence anywhere.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+pub mod table11;
+pub mod tasks;
+
+pub use table11::DatasetId;
+pub use tasks::{Task, TaskKind};

@@ -1,0 +1,357 @@
+//! The seven pattern-matching task categories of paper Table 10, generated
+//! with **known ground truth** so scoring effectiveness (Fig 9a's "Scoring
+//! Function (DP)" series, §7.3) is measurable without human raters: each
+//! task plants positives that exhibit the sought pattern and distractors
+//! that do not.
+
+use crate::generators::{self, gauss, ChartPattern};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use shapesearch_core::{Modifier, Pattern, ShapeQuery, ShapeSegment};
+use shapesearch_datastore::Trendline;
+use std::collections::BTreeSet;
+
+/// Table-10 task categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// ET — exact trend matching.
+    ExactTrend,
+    /// SQ — sequence matching.
+    Sequence,
+    /// SP — sub-pattern (motif) matching.
+    SubPattern,
+    /// WS — width-specific matching.
+    WidthSpecific,
+    /// MXY — multiple x/y constraints.
+    MultiConstraint,
+    /// TC — trend characterization.
+    TrendCharacterization,
+    /// CS — complex shape matching.
+    ComplexShape,
+}
+
+impl TaskKind {
+    /// All seven tasks in Table-10 order.
+    pub const ALL: [TaskKind; 7] = [
+        TaskKind::ExactTrend,
+        TaskKind::Sequence,
+        TaskKind::SubPattern,
+        TaskKind::WidthSpecific,
+        TaskKind::MultiConstraint,
+        TaskKind::TrendCharacterization,
+        TaskKind::ComplexShape,
+    ];
+
+    /// The paper's symbol for the task.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            TaskKind::ExactTrend => "ET",
+            TaskKind::Sequence => "SQ",
+            TaskKind::SubPattern => "SP",
+            TaskKind::WidthSpecific => "WS",
+            TaskKind::MultiConstraint => "MXY",
+            TaskKind::TrendCharacterization => "TC",
+            TaskKind::ComplexShape => "CS",
+        }
+    }
+}
+
+/// A generated task instance: a collection, a query, and the gold positives.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Which Table-10 category this is.
+    pub kind: TaskKind,
+    /// The candidate visualizations.
+    pub trendlines: Vec<Trendline>,
+    /// The ShapeQuery expressing the task.
+    pub query: ShapeQuery,
+    /// Keys of the trendlines that truly exhibit the pattern.
+    pub positives: BTreeSet<String>,
+}
+
+/// Generates one task instance. `n` is the collection size (≥ 12) and
+/// `length` the trendline length.
+pub fn generate(kind: TaskKind, n: usize, length: usize, seed: u64) -> Task {
+    let mut rng = StdRng::seed_from_u64(seed ^ (kind.symbol().len() as u64) << 7 ^ kind as u64);
+    let n = n.max(12);
+    let n_pos = n / 4;
+    let mut trendlines = Vec::with_capacity(n);
+    let mut positives = BTreeSet::new();
+
+    // Distractor: a drifting noisy walk, regenerated per index.
+    let mut distractor = |rng: &mut StdRng, i: usize| {
+        let drift = rng.random_range(-0.015..0.015);
+        let ys = generators::random_walk(rng, length, drift, 0.12);
+        Trendline::from_pairs(format!("neg{i}"), &generators::with_index_x(&ys))
+    };
+
+    let query: ShapeQuery = match kind {
+        TaskKind::ExactTrend => {
+            // Reference shape; positives are noisy clones.
+            let reference = generators::piecewise(
+                &mut rng,
+                length,
+                &[(1.0, 0.8), (1.0, -0.3), (1.0, 0.6)],
+                0.0,
+            );
+            for i in 0..n_pos {
+                let noisy: Vec<f64> = reference.iter().map(|&y| y + 0.04 * gauss(&mut rng)).collect();
+                let key = format!("pos{i}");
+                positives.insert(key.clone());
+                trendlines.push(Trendline::from_pairs(key, &generators::with_index_x(&noisy)));
+            }
+            for i in n_pos..n {
+                trendlines.push(distractor(&mut rng, i));
+            }
+            ShapeQuery::Segment(ShapeSegment {
+                sketch: Some(generators::with_index_x(&reference)),
+                ..ShapeSegment::default()
+            })
+        }
+        TaskKind::Sequence => {
+            plant(
+                &mut rng,
+                &mut trendlines,
+                &mut positives,
+                n,
+                n_pos,
+                length,
+                &[(1.0, 1.0), (1.0, 0.0), (1.0, -1.0)],
+                &mut distractor,
+            );
+            shapesearch_parser::parse_regex("[p=up][p=flat][p=down]").expect("static query")
+        }
+        TaskKind::SubPattern => {
+            // Positives contain exactly two peaks.
+            for i in 0..n_pos {
+                let ys = generators::piecewise(
+                    &mut rng,
+                    length,
+                    &[(1.0, 1.0), (1.0, -1.0), (1.0, 1.0), (1.0, -1.0)],
+                    0.03,
+                );
+                let key = format!("pos{i}");
+                positives.insert(key.clone());
+                trendlines.push(Trendline::from_pairs(key, &generators::with_index_x(&ys)));
+            }
+            // Distractors: monotone or single-peak.
+            for i in n_pos..n {
+                let ys = if i % 2 == 0 {
+                    generators::piecewise(&mut rng, length, &[(1.0, 1.2)], 0.05)
+                } else {
+                    generators::piecewise(&mut rng, length, &[(1.0, 1.0), (1.0, -1.0)], 0.05)
+                };
+                trendlines.push(Trendline::from_pairs(
+                    format!("neg{i}"),
+                    &generators::with_index_x(&ys),
+                ));
+            }
+            let peak = Pattern::Nested(Box::new(ShapeQuery::concat(vec![
+                ShapeQuery::up(),
+                ShapeQuery::down(),
+            ])));
+            ShapeQuery::Segment(ShapeSegment::pattern(peak).with_modifier(Modifier::exactly(2)))
+        }
+        TaskKind::WidthSpecific => {
+            // Positives: a sharp ramp confined to a ~15% window.
+            let w = (length as f64 * 0.15).round();
+            for i in 0..n_pos {
+                let mut ys = generators::random_walk(&mut rng, length, 0.0, 0.02);
+                let start = rng.random_range(0.1..0.7);
+                generators::inject_ramp(&mut ys, start, 0.15, 3.0);
+                let key = format!("pos{i}");
+                positives.insert(key.clone());
+                trendlines.push(Trendline::from_pairs(key, &generators::with_index_x(&ys)));
+            }
+            for i in n_pos..n {
+                // Slow-rise distractors: same net gain, spread out.
+                let mut ys = generators::random_walk(&mut rng, length, 0.0, 0.02);
+                generators::inject_ramp(&mut ys, 0.05, 0.9, 3.0);
+                trendlines.push(Trendline::from_pairs(
+                    format!("neg{i}"),
+                    &generators::with_index_x(&ys),
+                ));
+            }
+            ShapeQuery::Segment(ShapeSegment::pattern(Pattern::Up).with_width(w))
+        }
+        TaskKind::MultiConstraint => {
+            // Rise in [10%, 30%] AND fall in [50%, 70%] of the x range.
+            let (a, b) = (length as f64 * 0.1, length as f64 * 0.3);
+            let (c, d) = (length as f64 * 0.5, length as f64 * 0.7);
+            for i in 0..n_pos {
+                let ys = generators::piecewise(
+                    &mut rng,
+                    length,
+                    &[(0.1, 0.0), (0.2, 1.0), (0.2, 0.1), (0.2, -1.0), (0.3, 0.0)],
+                    0.03,
+                );
+                let key = format!("pos{i}");
+                positives.insert(key.clone());
+                trendlines.push(Trendline::from_pairs(key, &generators::with_index_x(&ys)));
+            }
+            for i in n_pos..n {
+                // Inverted placement: fall first, rise later.
+                let ys = generators::piecewise(
+                    &mut rng,
+                    length,
+                    &[(0.1, 0.0), (0.2, -1.0), (0.2, -0.1), (0.2, 1.0), (0.3, 0.0)],
+                    0.03,
+                );
+                trendlines.push(Trendline::from_pairs(
+                    format!("neg{i}"),
+                    &generators::with_index_x(&ys),
+                ));
+            }
+            ShapeQuery::concat(vec![
+                ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, a, b)),
+                ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Down, c, d)),
+            ])
+        }
+        TaskKind::TrendCharacterization => {
+            // A dominant "typical" seasonal shape vs outliers; the task is
+            // to retrieve the typical members.
+            let n_typical = (n * 7) / 10;
+            for i in 0..n_typical {
+                let ys = generators::piecewise(
+                    &mut rng,
+                    length,
+                    &[(1.0, 1.0), (1.0, -1.0)],
+                    0.05,
+                );
+                let key = format!("pos{i}");
+                positives.insert(key.clone());
+                trendlines.push(Trendline::from_pairs(key, &generators::with_index_x(&ys)));
+            }
+            for i in n_typical..n {
+                trendlines.push(distractor(&mut rng, i));
+            }
+            ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()])
+        }
+        TaskKind::ComplexShape => {
+            // Head-and-shoulders positives vs cup/walk distractors.
+            for i in 0..n_pos {
+                let ys =
+                    generators::chart_pattern(&mut rng, length, ChartPattern::HeadAndShoulders, 0.03);
+                let key = format!("pos{i}");
+                positives.insert(key.clone());
+                trendlines.push(Trendline::from_pairs(key, &generators::with_index_x(&ys)));
+            }
+            for i in n_pos..n {
+                let ys = if i % 2 == 0 {
+                    generators::chart_pattern(&mut rng, length, ChartPattern::Cup, 0.03)
+                } else {
+                    generators::random_walk(&mut rng, length, 0.0, 0.1)
+                };
+                trendlines.push(Trendline::from_pairs(
+                    format!("neg{i}"),
+                    &generators::with_index_x(&ys),
+                ));
+            }
+            shapesearch_parser::parse_regex("[p=up][p=down][p=up][p=down][p=up][p=down]")
+                .expect("static query")
+        }
+    };
+
+    Task {
+        kind,
+        trendlines,
+        query,
+        positives,
+    }
+}
+
+/// Plants `n_pos` noisy instances of a piecewise motif among distractors.
+#[allow(clippy::too_many_arguments)]
+fn plant(
+    rng: &mut StdRng,
+    trendlines: &mut Vec<Trendline>,
+    positives: &mut BTreeSet<String>,
+    n: usize,
+    n_pos: usize,
+    length: usize,
+    motif: &[(f64, f64)],
+    distractor: &mut impl FnMut(&mut StdRng, usize) -> Trendline,
+) {
+    for i in 0..n_pos {
+        let jittered: Vec<(f64, f64)> = motif
+            .iter()
+            .map(|&(w, d)| (w * rng.random_range(0.7..1.4), d * rng.random_range(0.8..1.2)))
+            .collect();
+        let ys = generators::piecewise(rng, length, &jittered, 0.04);
+        let key = format!("pos{i}");
+        positives.insert(key.clone());
+        trendlines.push(Trendline::from_pairs(key, &generators::with_index_x(&ys)));
+    }
+    for i in n_pos..n {
+        trendlines.push(distractor(rng, i));
+    }
+}
+
+/// Precision@|positives|: the fraction of retrieved keys that are gold
+/// positives when retrieving exactly as many results as there are
+/// positives (the effectiveness metric for E7).
+pub fn precision_at_gold(task: &Task, retrieved: &[String]) -> f64 {
+    let k = task.positives.len().min(retrieved.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = retrieved[..k]
+        .iter()
+        .filter(|key| task.positives.contains(*key))
+        .count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapesearch_core::{SegmenterKind, ShapeEngine};
+
+    #[test]
+    fn all_tasks_generate() {
+        for kind in TaskKind::ALL {
+            let t = generate(kind, 24, 64, 42);
+            assert_eq!(t.trendlines.len(), 24, "{kind:?}");
+            assert!(!t.positives.is_empty(), "{kind:?}");
+            assert!(t.positives.len() <= t.trendlines.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(TaskKind::Sequence, 20, 50, 7);
+        let b = generate(TaskKind::Sequence, 20, 50, 7);
+        assert_eq!(a.trendlines[0].points, b.trendlines[0].points);
+    }
+
+    #[test]
+    fn dp_scoring_retrieves_sequence_positives() {
+        let t = generate(TaskKind::Sequence, 24, 64, 42);
+        let engine = ShapeEngine::from_trendlines(t.trendlines.clone())
+            .with_segmenter(SegmenterKind::Dp);
+        let results = engine.top_k(&t.query, t.positives.len()).unwrap();
+        let keys: Vec<String> = results.into_iter().map(|r| r.key).collect();
+        let p = precision_at_gold(&t, &keys);
+        assert!(p >= 0.8, "precision {p}");
+    }
+
+    #[test]
+    fn dp_scoring_retrieves_width_positives() {
+        let t = generate(TaskKind::WidthSpecific, 24, 80, 42);
+        let engine = ShapeEngine::from_trendlines(t.trendlines.clone())
+            .with_segmenter(SegmenterKind::Dp);
+        let results = engine.top_k(&t.query, t.positives.len()).unwrap();
+        let keys: Vec<String> = results.into_iter().map(|r| r.key).collect();
+        let p = precision_at_gold(&t, &keys);
+        assert!(p >= 0.6, "precision {p}");
+    }
+
+    #[test]
+    fn precision_metric() {
+        let t = generate(TaskKind::Sequence, 16, 40, 1);
+        let all_pos: Vec<String> = t.positives.iter().cloned().collect();
+        assert_eq!(precision_at_gold(&t, &all_pos), 1.0);
+        let all_neg: Vec<String> = (0..t.positives.len()).map(|i| format!("neg{i}")).collect();
+        assert_eq!(precision_at_gold(&t, &all_neg), 0.0);
+    }
+}

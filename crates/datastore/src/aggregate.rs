@@ -1,0 +1,87 @@
+//! Aggregations applied when multiple `y` values share one `x` coordinate
+//! within a trendline (the Real Estate dataset of Table 11 "has multiple y
+//! values per x coordinate, and hence required aggregation (avg)").
+
+/// Aggregation function over a group of y values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Arithmetic mean (the paper's default for Real Estate).
+    #[default]
+    Avg,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of values.
+    Count,
+}
+
+impl Aggregation {
+    /// Applies the aggregation to a non-empty slice. Returns `None` on empty
+    /// input (no rows for the x coordinate).
+    pub fn apply(self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(match self {
+            Aggregation::Avg => values.iter().sum::<f64>() / values.len() as f64,
+            Aggregation::Sum => values.iter().sum(),
+            Aggregation::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Count => values.len() as f64,
+        })
+    }
+
+    /// Parses a name such as `avg` (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "avg" | "mean" => Some(Aggregation::Avg),
+            "sum" => Some(Aggregation::Sum),
+            "min" => Some(Aggregation::Min),
+            "max" => Some(Aggregation::Max),
+            "count" => Some(Aggregation::Count),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_sum_min_max_count() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(Aggregation::Avg.apply(&v), Some(2.5));
+        assert_eq!(Aggregation::Sum.apply(&v), Some(10.0));
+        assert_eq!(Aggregation::Min.apply(&v), Some(1.0));
+        assert_eq!(Aggregation::Max.apply(&v), Some(4.0));
+        assert_eq!(Aggregation::Count.apply(&v), Some(4.0));
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert_eq!(Aggregation::Avg.apply(&[]), None);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(Aggregation::Avg.apply(&[7.0]), Some(7.0));
+        assert_eq!(Aggregation::Min.apply(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Aggregation::parse("AVG"), Some(Aggregation::Avg));
+        assert_eq!(Aggregation::parse("mean"), Some(Aggregation::Avg));
+        assert_eq!(Aggregation::parse("sum"), Some(Aggregation::Sum));
+        assert_eq!(Aggregation::parse("bogus"), None);
+    }
+
+    #[test]
+    fn default_is_avg() {
+        assert_eq!(Aggregation::default(), Aggregation::Avg);
+    }
+}

@@ -1,0 +1,291 @@
+//! Hand-rolled CSV reader (RFC-4180 subset): comma separation, double-quote
+//! quoting with `""` escapes, CRLF/LF line endings, and a mandatory header
+//! row. Types are inferred per column ([`crate::Value::infer`] semantics).
+
+use crate::error::{DataError, Result};
+use crate::table::{Table, TableBuilder};
+use crate::value::Value;
+use std::fs;
+use std::path::Path;
+
+/// Parses CSV text with a header row into a [`Table`].
+///
+/// # Errors
+/// Fails on ragged rows, unterminated quotes, or an empty input.
+pub fn read_str(input: &str) -> Result<Table> {
+    let mut records = parse_records(input)?;
+    if records.is_empty() {
+        return Err(DataError::Parse {
+            line: 1,
+            message: "empty CSV input: missing header row".into(),
+        });
+    }
+    let header = records.remove(0);
+    let ncols = header.len();
+    let mut builder = TableBuilder::new(header);
+    for (i, record) in records.into_iter().enumerate() {
+        if record.len() != ncols {
+            return Err(DataError::Parse {
+                line: i + 2,
+                message: format!("expected {ncols} fields, found {}", record.len()),
+            });
+        }
+        builder.push_row(record.into_iter().map(|s| Value::infer(&s)).collect())?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a CSV file from disk.
+///
+/// # Errors
+/// Propagates I/O and parse errors.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Table> {
+    let text = fs::read_to_string(path)?;
+    read_str(&text)
+}
+
+/// Serializes a table to CSV text (header + rows), quoting fields that
+/// contain commas, quotes, or newlines. `write_str` and [`read_str`] round
+/// trip for any table.
+pub fn write_str(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| quote_field(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in 0..table.num_rows() {
+        let cells: Vec<String> = (0..table.num_columns())
+            .map(|c| {
+                let v = table.column_at(c).value(row);
+                match v {
+                    // Quoted-empty so a lone null row is not read back as a
+                    // blank line.
+                    Value::Null => quote_field(""),
+                    other => quote_field(&other.to_string()),
+                }
+            })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote_field(s: &str) -> String {
+    // Empty fields are quoted so a lone null cell in a single-column table
+    // is not mistaken for a blank line on re-read.
+    if s.is_empty() {
+        return "\"\"".to_owned();
+    }
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Writes a table to a CSV file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    fs::write(path, write_str(table))?;
+    Ok(())
+}
+
+/// Splits raw CSV text into records of fields, handling quoting.
+fn parse_records(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    let mut saw_any = false;
+    // Tracks whether the current line contained any character at all
+    // (quotes and commas count) — only character-free lines are skipped.
+    let mut line_had_content = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if c != '\n' && c != '\r' {
+            line_had_content = true;
+        }
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(DataError::Parse {
+                        line,
+                        message: "quote appearing mid-field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                // Swallow; the following '\n' terminates the record.
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                // Skip truly blank lines (e.g. a trailing newline); a line
+                // containing only `""` is a real single-field record.
+                if line_had_content {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear();
+                }
+                line_had_content = false;
+                line += 1;
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Parse {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn basic_inference() {
+        let t = read_str("z,x,y\na,1,1.5\nb,2,2.5\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().field("z").unwrap().data_type, DataType::Str);
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Int);
+        assert_eq!(t.schema().field("y").unwrap().data_type, DataType::Float);
+        assert_eq!(t.value(1, "y").unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let t = read_str("name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n").unwrap();
+        assert_eq!(t.value(0, "name").unwrap(), Value::Str("a,b".into()));
+        assert_eq!(t.value(1, "name").unwrap(), Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn quoted_newline_stays_in_field() {
+        let t = read_str("name,v\n\"two\nlines\",1\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.value(0, "name").unwrap(), Value::Str("two\nlines".into()));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read_str("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "b").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = read_str("a\n1").unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn ragged_row_is_an_error() {
+        let err = read_str("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(read_str("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_str("").is_err());
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let t = read_str("a,b\n,2\n").unwrap();
+        assert_eq!(t.value(0, "a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = read_str("a\n1\n\n2\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let input = "z,x,y\n\"a,1\",1,1.5\n\"say \"\"hi\"\"\",2,2.5\n";
+        let t = read_str(input).unwrap();
+        let out = write_str(&t);
+        let t2 = read_str(&out).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn write_handles_nulls_and_specials() {
+        // In a string column a null cell is stored as the empty string (the
+        // dictionary has no null sentinel); numeric columns keep real nulls.
+        let t = read_str("name,v\n,1\nplain,2\n,\n").unwrap();
+        let out = write_str(&t);
+        assert!(out.starts_with("name,v\n"));
+        let t2 = read_str(&out).unwrap();
+        assert_eq!(t2.value(0, "name").unwrap(), Value::Str(String::new()));
+        // A nullable integer column is widened to float.
+        assert_eq!(t2.value(1, "v").unwrap(), Value::Float(2.0));
+        assert_eq!(t2.value(2, "v").unwrap(), Value::Null);
+        // (No whole-table equality here: the null is an in-band NaN, and
+        // NaN ≠ NaN under `PartialEq`.)
+    }
+
+    #[test]
+    fn write_file_and_read_back() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ss_csv_{}.csv", std::process::id()));
+        let t = read_str("a,b\n1,x\n2,y\n").unwrap();
+        write_file(&t, &path).unwrap();
+        let t2 = read_file(&path).unwrap();
+        assert_eq!(t, t2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by all datastore operations.
+
+use std::fmt;
+
+/// Result alias for datastore operations.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors raised while building, reading, or querying tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A column was used with an incompatible type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Expected data type.
+        expected: &'static str,
+        /// Actual data type.
+        actual: &'static str,
+    },
+    /// Columns of a table have differing lengths.
+    LengthMismatch {
+        /// Expected row count.
+        expected: usize,
+        /// Offending column's row count.
+        actual: usize,
+    },
+    /// Malformed input while parsing CSV or JSON.
+    Parse {
+        /// 1-based line number where the error occurred.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error, carried as a string to keep the error type `Clone`.
+    Io(String),
+    /// The operation is invalid for the given arguments.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DataError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has type {actual}, expected {expected}"
+            ),
+            DataError::LengthMismatch { expected, actual } => {
+                write!(f, "column length {actual} does not match table length {expected}")
+            }
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+            DataError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_column() {
+        let e = DataError::UnknownColumn("sales".into());
+        assert_eq!(e.to_string(), "unknown column `sales`");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = DataError::TypeMismatch {
+            column: "x".into(),
+            expected: "float",
+            actual: "string",
+        };
+        assert!(e.to_string().contains("expected float"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,276 @@
+//! The EXTRACT physical operator (paper §5.3, step 1): "selects and
+//! aggregates records from the data source based on the z, x, y, filters (f),
+//! and aggregation (a) constraints, and sorts them on z and x attributes
+//! before streaming them to downstream operators."
+//!
+//! Push-down optimization (a) from §5.4 is exposed through
+//! [`ExtractOptions::require_x_ranges`]: visualizations without any value in
+//! a required x-range are pruned here, before GROUP/SEGMENT/SCORE ever see
+//! them.
+
+use crate::error::{DataError, Result};
+use crate::schema::DataType;
+use crate::table::Table;
+use crate::value::Value;
+use crate::VisualSpec;
+use std::collections::HashMap;
+
+/// One point of a trendline, after aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPoint {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// A candidate visualization: the trendline for one distinct `z` value,
+/// sorted by `x`, with duplicate `x` values aggregated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trendline {
+    /// The `z` value identifying this visualization.
+    pub key: String,
+    /// The (x, y) points, ascending in x.
+    pub points: Vec<TrendPoint>,
+}
+
+impl Trendline {
+    /// Convenience constructor from raw (x, y) pairs.
+    pub fn from_pairs(key: impl Into<String>, pairs: &[(f64, f64)]) -> Self {
+        Self {
+            key: key.into(),
+            points: pairs.iter().map(|&(x, y)| TrendPoint { x, y }).collect(),
+        }
+    }
+
+    /// Y values as a contiguous vector (used by the similarity baselines).
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y).collect()
+    }
+
+    /// X values as a contiguous vector.
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.x).collect()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the trendline has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Knobs for EXTRACT, including push-down constraints.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractOptions {
+    /// Push-down (a): prune visualizations that have no point inside *each*
+    /// of these inclusive x ranges.
+    pub require_x_ranges: Vec<(f64, f64)>,
+    /// Drop trendlines with fewer points than this (default 2: a single point
+    /// cannot form a line segment).
+    pub min_points: usize,
+}
+
+impl ExtractOptions {
+    /// Options with a required-x-range push-down constraint.
+    pub fn with_ranges(ranges: Vec<(f64, f64)>) -> Self {
+        Self {
+            require_x_ranges: ranges,
+            min_points: 2,
+        }
+    }
+}
+
+/// Runs EXTRACT: filter → project (z, x, y) → group by z → sort by x →
+/// aggregate duplicate x. Returns trendlines ordered by first appearance of
+/// their `z` value (stable, deterministic).
+///
+/// # Errors
+/// Fails when referenced columns are missing or `x`/`y` are non-numeric.
+pub fn extract(table: &Table, spec: &VisualSpec, opts: &ExtractOptions) -> Result<Vec<Trendline>> {
+    let rows = table.filter_indices(&spec.filters)?;
+    let z_col = table.column(&spec.z)?;
+    let x_col = table.column(&spec.x)?;
+    let y_col = table.column(&spec.y)?;
+    // Validate numeric axis types eagerly for a clear error.
+    for (name, col) in [(&spec.x, x_col), (&spec.y, y_col)] {
+        if col.data_type() == DataType::Str {
+            return Err(DataError::TypeMismatch {
+                column: name.clone(),
+                expected: "numeric",
+                actual: "string",
+            });
+        }
+    }
+
+    // Group row indices by z value, keeping first-appearance order.
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for &row in &rows {
+        let key = match z_col.value(row) {
+            Value::Str(s) => s,
+            other => other.to_string(),
+        };
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            })
+            .push(row);
+    }
+
+    let min_points = opts.min_points.max(2);
+    let mut result = Vec::with_capacity(order.len());
+    'next_group: for key in order {
+        let idxs = &groups[&key];
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(idxs.len());
+        for &row in idxs {
+            let (Some(x), Some(y)) = (x_col.numeric_at(row), y_col.numeric_at(row)) else {
+                continue; // skip null coordinates
+            };
+            pts.push((x, y));
+        }
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Aggregate duplicate x coordinates.
+        let mut points: Vec<TrendPoint> = Vec::with_capacity(pts.len());
+        let mut i = 0;
+        while i < pts.len() {
+            let x = pts[i].0;
+            let mut j = i;
+            while j < pts.len() && pts[j].0 == x {
+                j += 1;
+            }
+            let ys: Vec<f64> = pts[i..j].iter().map(|p| p.1).collect();
+            let y = spec
+                .aggregation
+                .apply(&ys)
+                .expect("non-empty group by construction");
+            points.push(TrendPoint { x, y });
+            i = j;
+        }
+
+        if points.len() < min_points {
+            continue;
+        }
+        // Push-down (a): require coverage of every requested x range.
+        for &(lo, hi) in &opts.require_x_ranges {
+            if !points.iter().any(|p| p.x >= lo && p.x <= hi) {
+                continue 'next_group;
+            }
+        }
+        result.push(Trendline { key, points });
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CompareOp, Predicate};
+    use crate::table::TableBuilder;
+    use crate::Aggregation;
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(vec!["z".into(), "x".into(), "y".into()]);
+        let rows = [
+            ("a", 2, 20.0),
+            ("a", 1, 10.0),
+            ("b", 1, 5.0),
+            ("a", 2, 40.0), // duplicate x=2 for z=a
+            ("b", 2, 2.5),
+            ("b", 3, 7.5),
+        ];
+        for (z, x, y) in rows {
+            b.push_row(vec![Value::Str(z.into()), Value::Int(x), Value::Float(y)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn groups_sorts_and_aggregates() {
+        let spec = VisualSpec::new("z", "x", "y");
+        let trends = extract(&sample(), &spec, &ExtractOptions::default()).unwrap();
+        assert_eq!(trends.len(), 2);
+        assert_eq!(trends[0].key, "a");
+        // x sorted ascending; duplicate x=2 averaged: (20+40)/2 = 30.
+        assert_eq!(trends[0].points, vec![
+            TrendPoint { x: 1.0, y: 10.0 },
+            TrendPoint { x: 2.0, y: 30.0 },
+        ]);
+        assert_eq!(trends[1].key, "b");
+        assert_eq!(trends[1].len(), 3);
+    }
+
+    #[test]
+    fn aggregation_variants() {
+        let spec = VisualSpec::new("z", "x", "y").with_aggregation(Aggregation::Max);
+        let trends = extract(&sample(), &spec, &ExtractOptions::default()).unwrap();
+        assert_eq!(trends[0].points[1].y, 40.0);
+        let spec = VisualSpec::new("z", "x", "y").with_aggregation(Aggregation::Sum);
+        let trends = extract(&sample(), &spec, &ExtractOptions::default()).unwrap();
+        assert_eq!(trends[0].points[1].y, 60.0);
+    }
+
+    #[test]
+    fn filters_apply_before_grouping() {
+        let spec = VisualSpec::new("z", "x", "y")
+            .with_filter(Predicate::new("z", CompareOp::Eq, "b"));
+        let trends = extract(&sample(), &spec, &ExtractOptions::default()).unwrap();
+        assert_eq!(trends.len(), 1);
+        assert_eq!(trends[0].key, "b");
+    }
+
+    #[test]
+    fn x_range_pushdown_prunes() {
+        let spec = VisualSpec::new("z", "x", "y");
+        // Only z=b has a point with x >= 3.
+        let opts = ExtractOptions::with_ranges(vec![(3.0, 10.0)]);
+        let trends = extract(&sample(), &spec, &opts).unwrap();
+        assert_eq!(trends.len(), 1);
+        assert_eq!(trends[0].key, "b");
+    }
+
+    #[test]
+    fn single_point_trendlines_are_dropped() {
+        let mut b = TableBuilder::new(vec!["z".into(), "x".into(), "y".into()]);
+        b.push_row(vec![Value::Str("solo".into()), Value::Int(1), Value::Float(1.0)])
+            .unwrap();
+        b.push_row(vec![Value::Str("pair".into()), Value::Int(1), Value::Float(1.0)])
+            .unwrap();
+        b.push_row(vec![Value::Str("pair".into()), Value::Int(2), Value::Float(2.0)])
+            .unwrap();
+        let t = b.finish();
+        let trends = extract(&t, &VisualSpec::new("z", "x", "y"), &ExtractOptions::default())
+            .unwrap();
+        assert_eq!(trends.len(), 1);
+        assert_eq!(trends[0].key, "pair");
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let spec = VisualSpec::new("nope", "x", "y");
+        assert!(extract(&sample(), &spec, &ExtractOptions::default()).is_err());
+    }
+
+    #[test]
+    fn string_y_column_errors() {
+        let spec = VisualSpec::new("x", "y", "z"); // z (string) used as y
+        let res = extract(&sample(), &spec, &ExtractOptions::default());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn trendline_helpers() {
+        let t = Trendline::from_pairs("k", &[(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(t.ys(), vec![1.0, 2.0]);
+        assert_eq!(t.xs(), vec![0.0, 1.0]);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Hand-rolled JSON-lines reader: one flat JSON object per line, with
+//! string / number / bool / null values. This covers the paper's "raw file in
+//! CSV or JSON" ingestion path without pulling in a JSON dependency.
+
+use crate::error::{DataError, Result};
+use crate::table::{Table, TableBuilder};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Parses JSON-lines text into a [`Table`]. The column set is the union of
+/// keys seen across all records; missing keys become nulls. Keys are ordered
+/// alphabetically for determinism.
+///
+/// # Errors
+/// Fails on malformed JSON or non-scalar field values.
+pub fn read_str(input: &str) -> Result<Table> {
+    let mut rows: Vec<BTreeMap<String, Value>> = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        rows.push(parse_object(line, i + 1)?);
+    }
+    let mut keys: Vec<String> = Vec::new();
+    for row in &rows {
+        for k in row.keys() {
+            if !keys.contains(k) {
+                keys.push(k.clone());
+            }
+        }
+    }
+    keys.sort();
+    let mut builder = TableBuilder::new(keys.clone());
+    for row in rows {
+        let values = keys
+            .iter()
+            .map(|k| row.get(k).cloned().unwrap_or(Value::Null))
+            .collect();
+        builder.push_row(values)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a JSON-lines file from disk.
+///
+/// # Errors
+/// Propagates I/O and parse errors.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Table> {
+    let text = fs::read_to_string(path)?;
+    read_str(&text)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str, line: usize) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+            line,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DataError {
+        DataError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("dangling escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full code point.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    self.pos = start + width;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => {
+                self.take_literal("true")?;
+                Ok(Value::Int(1))
+            }
+            Some(b'f') => {
+                self.take_literal("false")?;
+                Ok(Value::Int(0))
+            }
+            Some(b'n') => {
+                self.take_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unsupported JSON value starting with `{}`", b as char))),
+            None => Err(self.err("unexpected end of line")),
+        }
+    }
+
+    fn take_literal(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected literal `{lit}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err(format!("invalid float `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err(format!("invalid integer `{text}`")))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_object(line: &str, line_no: usize) -> Result<BTreeMap<String, Value>> {
+    let mut c = Cursor::new(line, line_no);
+    c.skip_ws();
+    c.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    c.skip_ws();
+    if c.peek() == Some(b'}') {
+        return Ok(map);
+    }
+    loop {
+        c.skip_ws();
+        let key = c.parse_string()?;
+        c.skip_ws();
+        c.expect(b':')?;
+        let value = c.parse_value()?;
+        map.insert(key, value);
+        c.skip_ws();
+        match c.peek() {
+            Some(b',') => {
+                c.pos += 1;
+            }
+            Some(b'}') => {
+                c.pos += 1;
+                c.skip_ws();
+                if c.peek().is_some() {
+                    return Err(c.err("trailing content after object"));
+                }
+                return Ok(map);
+            }
+            _ => return Err(c.err("expected `,` or `}` in object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn basic_objects() {
+        let t = read_str("{\"z\":\"a\",\"x\":1,\"y\":1.5}\n{\"z\":\"b\",\"x\":2,\"y\":2.5}\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, "z").unwrap(), Value::Str("a".into()));
+        assert_eq!(t.value(1, "y").unwrap(), Value::Float(2.5));
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Int);
+    }
+
+    #[test]
+    fn missing_keys_become_null() {
+        let t = read_str("{\"a\":1}\n{\"b\":2.0}\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, "b").unwrap(), Value::Null);
+        assert_eq!(t.value(1, "a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let t = read_str("{\"s\":\"a\\n\\\"b\\\" \\u00e9\"}\n").unwrap();
+        assert_eq!(t.value(0, "s").unwrap(), Value::Str("a\n\"b\" é".into()));
+    }
+
+    #[test]
+    fn bools_become_ints() {
+        let t = read_str("{\"flag\":true}\n{\"flag\":false}\n").unwrap();
+        assert_eq!(t.value(0, "flag").unwrap(), Value::Int(1));
+        assert_eq!(t.value(1, "flag").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let t = read_str("{\"v\":-3}\n{\"v\":1e2}\n").unwrap();
+        assert_eq!(t.value(0, "v").unwrap(), Value::Float(-3.0));
+        assert_eq!(t.value(1, "v").unwrap(), Value::Float(100.0));
+    }
+
+    #[test]
+    fn empty_object_and_blank_lines() {
+        // An empty object contributes no columns; with zero columns the table
+        // has no representable rows.
+        let t = read_str("\n{}\n").unwrap();
+        assert_eq!(t.num_columns(), 0);
+        // Blank lines between objects are skipped.
+        let t = read_str("{\"a\":1}\n\n{\"a\":2}\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn malformed_reports_line() {
+        let err = read_str("{\"a\":1}\n{oops}\n").unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        assert!(read_str("{\"a\":1} extra\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(read_str("{\"a\":\"oops}\n").is_err());
+    }
+}

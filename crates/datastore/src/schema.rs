@@ -1,0 +1,122 @@
+//! Table schemas: ordered, named, typed fields.
+
+use crate::error::{DataError, Result};
+
+/// Physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// 64-bit signed integer.
+    Int,
+    /// Dictionary-encoded UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Float => "float",
+            DataType::Int => "int",
+            DataType::Str => "string",
+        }
+    }
+}
+
+/// A named, typed field in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a new field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of fields describing a table's columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema from a list of fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_owned()))
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        let idx = self.index_of(name)?;
+        Ok(&self.fields[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("z", DataType::Str),
+            Field::new("x", DataType::Int),
+            Field::new("y", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("x").unwrap(), 1);
+        assert_eq!(s.index_of("y").unwrap(), 2);
+        assert!(matches!(s.index_of("w"), Err(DataError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn field_lookup() {
+        let s = schema();
+        assert_eq!(s.field("z").unwrap().data_type, DataType::Str);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(DataType::Float.name(), "float");
+        assert_eq!(DataType::Int.name(), "int");
+        assert_eq!(DataType::Str.name(), "string");
+    }
+}

@@ -1,0 +1,54 @@
+//! Parser error types.
+
+use std::fmt;
+
+/// Result alias for parsing operations.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// A parse failure with position information for front-end highlighting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Character offset where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending input (echoed for context).
+    pub input: String,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(position: usize, message: String, input: String) -> Self {
+        Self {
+            position,
+            message,
+            input,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at position {}: {} (input: `{}`)",
+            self.position, self.message, self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_input() {
+        let e = ParseError::new(3, "expected `]`".into(), "[p=".into());
+        let s = e.to_string();
+        assert!(s.contains("position 3"));
+        assert!(s.contains("expected `]`"));
+        assert!(s.contains("[p="));
+    }
+}

@@ -1,0 +1,320 @@
+//! Synthetic training corpus for the NL entity tagger.
+//!
+//! The paper "collected and tagged 250 natural language queries via
+//! Mechanical Turk, where crowd workers were asked to describe patterns in
+//! trendline visualizations using at most three sentences". That corpus is
+//! not public; this module generates a comparable seeded corpus from
+//! compositional templates over the same vocabulary (pattern clauses with
+//! modifiers, location constraints, widths, counts, and operator
+//! connectives), tagged with gold entity labels per token. The substitution
+//! preserves the code path and the measurable: the CRF trains on noisy
+//! paraphrased sentences and is cross-validated exactly as in §4.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A gold-tagged sentence: tokens with one label each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedSentence {
+    /// Lowercased tokens.
+    pub tokens: Vec<String>,
+    /// Gold label per token (`O` for noise).
+    pub labels: Vec<String>,
+}
+
+impl TaggedSentence {
+    fn push(&mut self, token: &str, label: &str) {
+        self.tokens.push(token.to_owned());
+        self.labels.push(label.to_owned());
+    }
+
+    fn push_noise(&mut self, phrase: &str) {
+        for tok in phrase.split_whitespace() {
+            self.push(tok, "O");
+        }
+    }
+}
+
+const LEADS: &[&str] = &[
+    "show me",
+    "find",
+    "find me",
+    "search for",
+    "get",
+    "display",
+    "i want",
+    "give me",
+    "",
+];
+const SUBJECTS: &[&str] = &[
+    "genes", "stocks", "cities", "products", "objects", "trendlines", "companies", "patients",
+    "stars",
+];
+const LINKS: &[&str] = &["that are", "which are", "that", "with trends", ""];
+
+const UP_WORDS: &[&str] = &["rising", "increasing", "growing", "climbing", "going up", "improving"];
+const DOWN_WORDS: &[&str] = &["falling", "decreasing", "declining", "dropping", "going down"];
+const FLAT_WORDS: &[&str] = &["flat", "stable", "steady", "constant", "plateauing"];
+const SHARP_WORDS: &[&str] = &["sharply", "steeply", "rapidly", "quickly", "suddenly"];
+const GRADUAL_WORDS: &[&str] = &["gradually", "slowly", "gently"];
+const CONCATS: &[&str] = &["then", "and then", "followed by", "next", "and later", "and"];
+const UNITS: &[&str] = &["months", "weeks", "days", "hours", "points"];
+
+/// Generates `count` tagged sentences with the given seed.
+pub fn generate(count: usize, seed: u64) -> Vec<TaggedSentence> {
+    generate_noisy(count, seed, 0.08)
+}
+
+/// Generates `count` tagged sentences, perturbing a `typo_rate` fraction of
+/// entity-bearing words with character-level typos and inserting occasional
+/// filler words — approximating the messiness of the crowd-sourced queries
+/// the paper's CRF was trained on.
+pub fn generate_noisy(count: usize, seed: u64, typo_rate: f64) -> Vec<TaggedSentence> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut s = generate_one(&mut rng);
+            perturb(&mut s, &mut rng, typo_rate);
+            s
+        })
+        .collect()
+}
+
+const FILLERS: &[&str] = &["really", "kind", "basically", "like", "maybe", "somewhat", "overall"];
+
+/// Pattern words deliberately absent from the synonym lexicon: the tagger
+/// must label them from context alone (crowd workers used vocabulary far
+/// beyond any fixed list).
+const RARE_PATTERNS: &[&str] = &[
+    "rebounding", "tumbling", "cresting", "sliding", "spiking", "moderating", "escalating",
+    "collapsing", "drifting", "strengthening", "weakening", "flattening",
+];
+
+/// Applies typos to non-numeric tokens, swaps some pattern words for
+/// out-of-lexicon vocabulary, and inserts fillers (labeled `O`).
+fn perturb(s: &mut TaggedSentence, rng: &mut StdRng, typo_rate: f64) {
+    for (tok, label) in s.tokens.iter_mut().zip(&s.labels) {
+        if label == "PATTERN" && rng.random_bool(0.18) {
+            *tok = (*RARE_PATTERNS.choose(rng).expect("non-empty")).to_owned();
+        }
+    }
+    for tok in s.tokens.iter_mut() {
+        if tok.len() >= 4 && tok.parse::<f64>().is_err() && rng.random_bool(typo_rate) {
+            let mut chars: Vec<char> = tok.chars().collect();
+            let i = rng.random_range(1..chars.len());
+            match rng.random_range(0..3) {
+                0 => {
+                    chars.remove(i); // deletion
+                }
+                1 => chars.insert(i, chars[i - 1]), // duplication
+                _ => chars.swap(i - 1, i),          // transposition
+            }
+            *tok = chars.into_iter().collect();
+        }
+    }
+    if rng.random_bool(0.3) && !s.tokens.is_empty() {
+        let pos = rng.random_range(0..=s.tokens.len());
+        s.tokens
+            .insert(pos, (*FILLERS.choose(rng).expect("non-empty")).to_owned());
+        s.labels.insert(pos, "O".to_owned());
+    }
+}
+
+fn generate_one(rng: &mut StdRng) -> TaggedSentence {
+    let mut s = TaggedSentence {
+        tokens: Vec::new(),
+        labels: Vec::new(),
+    };
+    s.push_noise(LEADS.choose(rng).expect("non-empty"));
+    s.push_noise(SUBJECTS.choose(rng).expect("non-empty"));
+    s.push_noise(LINKS.choose(rng).expect("non-empty"));
+
+    let clauses = rng.random_range(1..=3);
+    for c in 0..clauses {
+        if c > 0 {
+            // Connective between clauses.
+            let roll: f64 = rng.random();
+            if roll < 0.72 {
+                let conn = CONCATS.choose(rng).expect("non-empty");
+                // Multi-word connectives: only the head word carries the label.
+                let mut first = true;
+                for tok in conn.split_whitespace() {
+                    if first && (tok == "then" || tok == "followed" || tok == "next" || tok == "later" || tok == "and")
+                    {
+                        // "and then": label "then", leave "and" as noise.
+                        if conn.starts_with("and ") && tok == "and" {
+                            s.push(tok, "O");
+                        } else {
+                            s.push(tok, "CONCAT");
+                            first = false;
+                        }
+                    } else if first {
+                        s.push(tok, "CONCAT");
+                        first = false;
+                    } else if tok == "then" || tok == "later" {
+                        s.push(tok, "CONCAT");
+                    } else {
+                        s.push(tok, "O");
+                    }
+                }
+            } else if roll < 0.88 {
+                s.push("or", "OR");
+            } else {
+                s.push("while", "AND");
+            }
+        }
+        clause(rng, &mut s);
+    }
+    s
+}
+
+/// One pattern clause: optional NOT, pattern word, optional modifier,
+/// optional location/width/count attachments.
+fn clause(rng: &mut StdRng, s: &mut TaggedSentence) {
+    if rng.random_bool(0.08) {
+        s.push("not", "NOT");
+    }
+    // Count prefix: "2 peaks" / "at least 2 peaks".
+    if rng.random_bool(0.12) {
+        if rng.random_bool(0.5) {
+            s.push_noise(if rng.random_bool(0.5) { "at least" } else { "at most" });
+        }
+        let n = rng.random_range(2..=4);
+        s.push(&n.to_string(), "COUNT");
+        s.push(if rng.random_bool(0.5) { "peaks" } else { "dips" }, "PATTERN");
+        return;
+    }
+
+    // Modifier before or after the pattern word.
+    let modifier = if rng.random_bool(0.35) {
+        Some(
+            *(if rng.random_bool(0.6) {
+                SHARP_WORDS
+            } else {
+                GRADUAL_WORDS
+            })
+            .choose(rng)
+            .expect("non-empty"),
+        )
+    } else {
+        None
+    };
+    let before = rng.random_bool(0.4);
+    if let (Some(m), true) = (modifier, before) {
+        s.push(m, "MODIFIER");
+    }
+    let pat = *[UP_WORDS, DOWN_WORDS, FLAT_WORDS]
+        .choose(rng)
+        .expect("non-empty")
+        .choose(rng)
+        .expect("non-empty");
+    for (i, tok) in pat.split_whitespace().enumerate() {
+        // "going up": the head verb is noise, the direction word carries it.
+        if pat.contains(' ') && i == 0 {
+            s.push(tok, "O");
+        } else {
+            s.push(tok, "PATTERN");
+        }
+    }
+    if let (Some(m), false) = (modifier, before) {
+        s.push(m, "MODIFIER");
+    }
+
+    // Optional attachments.
+    match rng.random_range(0..10) {
+        0 | 1 => {
+            // x range: "from 2 to 5".
+            let a = rng.random_range(0..50);
+            let b = a + rng.random_range(1..50);
+            s.push("from", "O");
+            if rng.random_bool(0.3) {
+                s.push("x", "O");
+                s.push("=", "O");
+            }
+            s.push(&a.to_string(), "XS");
+            s.push("to", "O");
+            s.push(&b.to_string(), "XE");
+        }
+        2 => {
+            // y range: "from y = 10 to y = 50".
+            let a = rng.random_range(0..100);
+            let b = rng.random_range(0..100);
+            s.push("from", "O");
+            s.push("y", "O");
+            s.push("=", "O");
+            s.push(&a.to_string(), "YS");
+            s.push("to", "O");
+            s.push("y", "O");
+            s.push("=", "O");
+            s.push(&b.to_string(), "YE");
+        }
+        3 => {
+            // Width: "over 3 months" / "within a span of 6 weeks".
+            let w = rng.random_range(2..12);
+            if rng.random_bool(0.5) {
+                s.push("over", "O");
+            } else {
+                s.push_noise("within a span of");
+            }
+            s.push(&w.to_string(), "WIDTH");
+            s.push(UNITS.choose(rng).expect("non-empty"), "O");
+        }
+        4 => {
+            // Count suffix: "twice" / "3 times".
+            if rng.random_bool(0.5) {
+                s.push("twice", "COUNT");
+            } else {
+                let n = rng.random_range(2..5);
+                s.push(&n.to_string(), "COUNT");
+                s.push("times", "O");
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(20, 7), generate(20, 7));
+        assert_ne!(generate(20, 7), generate(20, 8));
+    }
+
+    #[test]
+    fn tokens_and_labels_align() {
+        for s in generate(100, 42) {
+            assert_eq!(s.tokens.len(), s.labels.len());
+            assert!(!s.tokens.is_empty());
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_entity_types() {
+        let labels: BTreeSet<String> = generate(250, 42)
+            .into_iter()
+            .flat_map(|s| s.labels)
+            .collect();
+        for want in [
+            "PATTERN", "MODIFIER", "CONCAT", "OR", "AND", "NOT", "XS", "XE", "YS", "YE", "WIDTH",
+            "COUNT", "O",
+        ] {
+            assert!(labels.contains(want), "label {want} missing from corpus");
+        }
+    }
+
+    #[test]
+    fn every_sentence_has_a_pattern() {
+        for s in generate(100, 1) {
+            assert!(
+                s.labels.iter().any(|l| l == "PATTERN"),
+                "sentence without pattern: {:?}",
+                s.tokens
+            );
+        }
+    }
+}

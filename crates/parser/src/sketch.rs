@@ -1,0 +1,287 @@
+//! The sketch parser (paper §2 "Sketching on Canvas" and §3 SKETCH):
+//! converts a user-drawn stroke (pixel coordinates) into either a precise
+//! ShapeQuery (`v=` vector matching) or a blurry pattern sequence
+//! ("complex non-linear shapes [are represented] using multiple line
+//! segments that ShapeSearch can automatically infer from the user-drawn
+//! sketch").
+
+use shapesearch_core::{Pattern, ShapeQuery, ShapeSegment};
+
+/// The drawing canvas geometry and the data-domain ranges it maps onto.
+#[derive(Debug, Clone, Copy)]
+pub struct Canvas {
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+    /// Data-domain x range displayed on the canvas.
+    pub x_domain: (f64, f64),
+    /// Data-domain y range displayed on the canvas.
+    pub y_domain: (f64, f64),
+}
+
+impl Canvas {
+    /// Maps a pixel coordinate (origin top-left, y growing downward, the
+    /// browser convention) into domain coordinates.
+    pub fn to_domain(&self, px: f64, py: f64) -> (f64, f64) {
+        let fx = (px / self.width).clamp(0.0, 1.0);
+        let fy = 1.0 - (py / self.height).clamp(0.0, 1.0);
+        (
+            self.x_domain.0 + fx * (self.x_domain.1 - self.x_domain.0),
+            self.y_domain.0 + fy * (self.y_domain.1 - self.y_domain.0),
+        )
+    }
+}
+
+/// Translates pixel points into domain points, dropping strokes that go
+/// backwards in x (a trendline is a function of x).
+pub fn pixels_to_domain(pixels: &[(f64, f64)], canvas: &Canvas) -> Vec<(f64, f64)> {
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(pixels.len());
+    for &(px, py) in pixels {
+        let (x, y) = canvas.to_domain(px, py);
+        if out.last().is_none_or(|&(lx, _)| x > lx) {
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+/// Builds a *precise* ShapeQuery from a sketch: the drawn vector is matched
+/// by normalized L2 distance (§5.2).
+pub fn sketch_to_precise_query(pixels: &[(f64, f64)], canvas: &Canvas) -> Option<ShapeQuery> {
+    let points = pixels_to_domain(pixels, canvas);
+    if points.len() < 2 {
+        return None;
+    }
+    Some(ShapeQuery::Segment(ShapeSegment {
+        sketch: Some(points),
+        ..ShapeSegment::default()
+    }))
+}
+
+/// A fitted line piece of the sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchPiece {
+    /// Start index into the domain points.
+    pub start: usize,
+    /// End index (inclusive).
+    pub end: usize,
+    /// Fitted slope in canvas-normalized coordinates.
+    pub slope: f64,
+}
+
+/// Builds a *blurry* ShapeQuery from a sketch: the stroke is simplified
+/// into line pieces (bottom-up merging while the regression error stays
+/// under `tolerance`, as a fraction of the y extent), and each piece maps
+/// to up / down / flat by its canvas slope.
+pub fn sketch_to_pattern_query(
+    pixels: &[(f64, f64)],
+    canvas: &Canvas,
+    tolerance: f64,
+) -> Option<ShapeQuery> {
+    let domain = pixels_to_domain(pixels, canvas);
+    let pieces = simplify(&domain, tolerance)?;
+    let flat_band = 0.25; // |slope| below this (canvas units) reads as flat
+    let parts: Vec<ShapeQuery> = pieces
+        .iter()
+        .map(|p| {
+            let pattern = if p.slope > flat_band {
+                Pattern::Up
+            } else if p.slope < -flat_band {
+                Pattern::Down
+            } else {
+                Pattern::Flat
+            };
+            ShapeQuery::pattern(pattern)
+        })
+        .collect();
+    // Collapse adjacent identical patterns.
+    let mut dedup: Vec<ShapeQuery> = Vec::with_capacity(parts.len());
+    for p in parts {
+        if dedup.last() != Some(&p) {
+            dedup.push(p);
+        }
+    }
+    Some(ShapeQuery::concat(dedup))
+}
+
+/// Bottom-up piecewise-linear simplification on canvas-normalized
+/// coordinates. Starts from single intervals and repeatedly merges the
+/// adjacent pair whose merged regression error is smallest, while that
+/// error stays under `tolerance`.
+pub fn simplify(domain_points: &[(f64, f64)], tolerance: f64) -> Option<Vec<SketchPiece>> {
+    let n = domain_points.len();
+    if n < 2 {
+        return None;
+    }
+    // Normalize to the unit canvas so slopes and errors are perceptual.
+    let (xs, ys) = normalize(domain_points);
+
+    #[derive(Clone, Copy)]
+    struct Piece {
+        start: usize,
+        end: usize,
+    }
+    let mut pieces: Vec<Piece> = (0..n - 1).map(|i| Piece { start: i, end: i + 1 }).collect();
+
+    let err_of = |start: usize, end: usize| -> f64 {
+        // Max residual of the least-squares fit over [start, end].
+        let pts: Vec<(f64, f64)> = (start..=end).map(|i| (xs[i], ys[i])).collect();
+        let stats = shapesearch_core::SummaryStats::from_points(&pts);
+        let (a, b) = (stats.slope(), stats.intercept());
+        pts.iter()
+            .map(|&(x, y)| (y - (a * x + b)).abs())
+            .fold(0.0, f64::max)
+    };
+
+    loop {
+        if pieces.len() <= 1 {
+            break;
+        }
+        // Find the cheapest adjacent merge.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..pieces.len() - 1 {
+            let e = err_of(pieces[i].start, pieces[i + 1].end);
+            if best.is_none_or(|(_, be)| e < be) {
+                best = Some((i, e));
+            }
+        }
+        let (i, e) = best.expect("non-empty");
+        if e > tolerance {
+            break;
+        }
+        pieces[i].end = pieces[i + 1].end;
+        pieces.remove(i + 1);
+    }
+
+    Some(
+        pieces
+            .iter()
+            .map(|p| {
+                let pts: Vec<(f64, f64)> = (p.start..=p.end).map(|i| (xs[i], ys[i])).collect();
+                SketchPiece {
+                    start: p.start,
+                    end: p.end,
+                    slope: shapesearch_core::SummaryStats::from_points(&pts).slope(),
+                }
+            })
+            .collect(),
+    )
+}
+
+fn normalize(points: &[(f64, f64)]) -> (Vec<f64>, Vec<f64>) {
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    let xs = (x_hi - x_lo).max(f64::MIN_POSITIVE);
+    let ys = (y_hi - y_lo).max(f64::MIN_POSITIVE);
+    (
+        points.iter().map(|&(x, _)| (x - x_lo) / xs).collect(),
+        points.iter().map(|&(_, y)| (y - y_lo) / ys).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas() -> Canvas {
+        Canvas {
+            width: 100.0,
+            height: 100.0,
+            x_domain: (0.0, 10.0),
+            y_domain: (0.0, 1000.0),
+        }
+    }
+
+    #[test]
+    fn pixel_mapping_flips_y() {
+        let c = canvas();
+        // Top-left pixel = (x min, y max).
+        assert_eq!(c.to_domain(0.0, 0.0), (0.0, 1000.0));
+        assert_eq!(c.to_domain(100.0, 100.0), (10.0, 0.0));
+        assert_eq!(c.to_domain(50.0, 50.0), (5.0, 500.0));
+    }
+
+    #[test]
+    fn backwards_strokes_are_dropped() {
+        let c = canvas();
+        let stroke = [(0.0, 50.0), (10.0, 40.0), (5.0, 30.0), (20.0, 20.0)];
+        let pts = pixels_to_domain(&stroke, &c);
+        assert_eq!(pts.len(), 3); // the x-backwards point is removed
+        assert!(pts.windows(2).all(|w| w[1].0 > w[0].0));
+    }
+
+    #[test]
+    fn precise_query_carries_vector() {
+        let c = canvas();
+        let q = sketch_to_precise_query(&[(0.0, 100.0), (50.0, 0.0), (100.0, 100.0)], &c).unwrap();
+        let ShapeQuery::Segment(s) = q else { panic!() };
+        let v = s.sketch.unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1], (5.0, 1000.0));
+    }
+
+    #[test]
+    fn too_short_sketch_is_none() {
+        let c = canvas();
+        assert!(sketch_to_precise_query(&[(0.0, 0.0)], &c).is_none());
+        assert!(sketch_to_pattern_query(&[], &c, 0.1).is_none());
+    }
+
+    #[test]
+    fn v_stroke_becomes_down_up() {
+        let c = canvas();
+        // Pixel y grows downward: a "V" on screen.
+        let stroke: Vec<(f64, f64)> = (0..=10)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                let y = if i <= 5 { i as f64 * 18.0 } else { (10 - i) as f64 * 18.0 };
+                (x, y)
+            })
+            .collect();
+        let q = sketch_to_pattern_query(&stroke, &c, 0.12).unwrap();
+        assert_eq!(q.to_string(), "[p=down][p=up]");
+    }
+
+    #[test]
+    fn rising_line_becomes_up() {
+        let c = canvas();
+        let stroke: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 * 10.0, 100.0 - i as f64 * 10.0)).collect();
+        let q = sketch_to_pattern_query(&stroke, &c, 0.1).unwrap();
+        assert_eq!(q.to_string(), "[p=up]");
+    }
+
+    #[test]
+    fn plateau_detected_as_flat() {
+        let c = canvas();
+        // Rise, then flat plateau.
+        let mut stroke: Vec<(f64, f64)> = (0..=5).map(|i| (i as f64 * 10.0, 100.0 - i as f64 * 18.0)).collect();
+        stroke.extend((6..=10).map(|i| (i as f64 * 10.0, 10.0 + (i % 2) as f64)));
+        let q = sketch_to_pattern_query(&stroke, &c, 0.15).unwrap();
+        assert_eq!(q.to_string(), "[p=up][p=flat]");
+    }
+
+    #[test]
+    fn simplify_fits_exact_lines() {
+        let pts: Vec<(f64, f64)> = (0..=8)
+            .map(|i| {
+                let x = i as f64;
+                let y = if i <= 4 { x } else { 8.0 - x };
+                (x, y)
+            })
+            .collect();
+        let pieces = simplify(&pts, 0.05).unwrap();
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].start, 0);
+        assert_eq!(pieces[0].end, 4);
+        assert_eq!(pieces[1].end, 8);
+        assert!(pieces[0].slope > 0.0);
+        assert!(pieces[1].slope < 0.0);
+    }
+}

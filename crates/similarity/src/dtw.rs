@@ -1,0 +1,134 @@
+//! Dynamic Time Warping (Rabiner et al. [36], Sakoe & Chiba [41]).
+//!
+//! DTW aligns two series by warping the time axis to minimize accumulated
+//! point-wise cost. The paper uses it both as an effectiveness baseline
+//! (§7.3: "DTW measure is poor at capturing blurry trends") and an efficiency
+//! baseline (§9: "DTW's runtime is better than that of DP ... but worse by up
+//! to 10X compared to SegmentTree").
+//!
+//! The implementation is the standard O(n·m) dynamic program with a
+//! two-row rolling buffer, plus an optional Sakoe-Chiba band constraint that
+//! restricts warping to a diagonal window.
+
+/// Options controlling the DTW computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DtwOptions {
+    /// Sakoe-Chiba band half-width; `None` means unconstrained warping.
+    pub band: Option<usize>,
+}
+
+/// Unconstrained DTW distance between two series, using squared point cost
+/// and returning the square root of the accumulated cost (the common
+/// "DTW-Euclidean" convention, comparable in scale to [`crate::euclidean`]).
+///
+/// Returns `f64::INFINITY` when either series is empty.
+pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
+    dtw_banded(a, b, DtwOptions::default())
+}
+
+/// DTW with options (see [`DtwOptions`]).
+pub fn dtw_banded(a: &[f64], b: &[f64], opts: DtwOptions) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // The band must be at least |n - m| wide for a path to exist.
+    let band = opts
+        .band
+        .map(|w| w.max(n.abs_diff(m)))
+        .unwrap_or(usize::MAX);
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        // Columns within the band around the diagonal j ≈ i·m/n.
+        let center = i * m / n;
+        let lo = center.saturating_sub(band).max(1);
+        let hi = center.saturating_add(band).min(m);
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]).powi(2);
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_zero_distance() {
+        let s = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn phase_shift_is_cheap_for_dtw() {
+        // The same triangle, shifted by one step: Euclidean sees a large
+        // difference, DTW warps it away almost completely.
+        let a = [0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0];
+        let d_dtw = dtw(&a, &b);
+        let d_euc = crate::euclidean(&a, &b);
+        assert!(d_dtw < d_euc, "dtw {d_dtw} should be < euclidean {d_euc}");
+        assert!(d_dtw < 1e-9);
+    }
+
+    #[test]
+    fn unequal_lengths_supported() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let d = dtw(&a, &b);
+        assert!(d.is_finite());
+        assert!(d < 1.0);
+    }
+
+    #[test]
+    fn empty_series_is_infinite() {
+        assert_eq!(dtw(&[], &[1.0]), f64::INFINITY);
+        assert_eq!(dtw(&[1.0], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn band_zero_reduces_to_euclidean_on_equal_lengths() {
+        let a = [1.0, 5.0, 3.0, 8.0];
+        let b = [2.0, 4.0, 4.0, 6.0];
+        let banded = dtw_banded(&a, &b, DtwOptions { band: Some(0) });
+        // Band 0 on equal lengths forces the diagonal path = Euclidean.
+        assert!((banded - crate::euclidean(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_band_never_increases_distance() {
+        let a = [0.0, 2.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [0.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let d1 = dtw_banded(&a, &b, DtwOptions { band: Some(1) });
+        let d2 = dtw_banded(&a, &b, DtwOptions { band: Some(3) });
+        let d3 = dtw_banded(&a, &b, DtwOptions { band: None });
+        assert!(d1 >= d2 - 1e-12);
+        assert!(d2 >= d3 - 1e-12);
+    }
+
+    #[test]
+    fn band_expands_to_length_difference() {
+        // band=0 with different lengths would have no valid path; the
+        // implementation widens it so a path always exists.
+        let a = [0.0, 1.0];
+        let b = [0.0, 0.5, 1.0];
+        let d = dtw_banded(&a, &b, DtwOptions { band: Some(0) });
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 3.0, 1.0, 4.0];
+        let b = [1.0, 2.0, 2.0, 5.0];
+        assert!((dtw(&a, &b) - dtw(&b, &a)).abs() < 1e-12);
+    }
+}

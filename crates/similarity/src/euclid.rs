@@ -1,0 +1,89 @@
+//! Point-wise Euclidean (L2) distance, plus linear resampling so
+//! different-length series can be compared (a sketch rarely has exactly as
+//! many points as the target trendline).
+
+/// Euclidean (L2) distance between two equal-length series.
+///
+/// # Panics
+/// Panics when the series lengths differ; callers resample first (see
+/// [`resample_linear`]).
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean requires equal-length series");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Linearly resamples `values` to `target_len` points, interpolating between
+/// neighbours. Degenerate inputs (empty, or target 0) return an empty vector;
+/// a single input point is repeated.
+pub fn resample_linear(values: &[f64], target_len: usize) -> Vec<f64> {
+    if values.is_empty() || target_len == 0 {
+        return Vec::new();
+    }
+    if values.len() == 1 {
+        return vec![values[0]; target_len];
+    }
+    if target_len == 1 {
+        return vec![values[0]];
+    }
+    let scale = (values.len() - 1) as f64 / (target_len - 1) as f64;
+    (0..target_len)
+        .map(|i| {
+            let pos = i as f64 * scale;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(values.len() - 1);
+            let frac = pos - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_distance_zero() {
+        assert_eq!(euclidean(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pythagorean_triple() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_identity() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(resample_linear(&v, 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn resample_upsamples_linearly() {
+        let out = resample_linear(&[0.0, 2.0], 5);
+        assert_eq!(out, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn resample_downsamples_endpoints() {
+        let out = resample_linear(&[0.0, 1.0, 2.0, 3.0], 2);
+        assert_eq!(out, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn resample_degenerate_cases() {
+        assert!(resample_linear(&[], 5).is_empty());
+        assert!(resample_linear(&[1.0], 0).is_empty());
+        assert_eq!(resample_linear(&[7.0], 3), vec![7.0, 7.0, 7.0]);
+        assert_eq!(resample_linear(&[1.0, 2.0], 1), vec![1.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # shapesearch-similarity
+//!
+//! Time-series similarity baselines used by ShapeSearch (paper §7.3 and §9):
+//!
+//! * [`dtw`] — Dynamic Time Warping, the "state-of-the-art shape matching
+//!   approach" ShapeSearch compares against, with an optional Sakoe-Chiba
+//!   band.
+//! * [`euclidean`] — point-wise L2 distance, the other measure supported by
+//!   visual query systems.
+//! * [`znormalize`] — z-score normalization, applied "to achieve scaling and
+//!   translation invariances ... before matching" (§10) and by the GROUP
+//!   operator when a ShapeQuery has no y constraints (§5.3).
+//! * [`normalized_similarity`] — maps a non-negative distance into the
+//!   ShapeSearch score range [−1, 1] so baselines can be ranked by the same
+//!   top-k machinery (§5.2: "The L2 norm can vary from 0 to ∞, therefore we
+//!   normalize the distance within [1, −1]").
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dtw;
+mod euclid;
+mod norm;
+
+pub use dtw::{dtw, dtw_banded, DtwOptions};
+pub use euclid::{euclidean, resample_linear};
+pub use norm::{normalized_similarity, znormalize, znormalize_in_place};

@@ -1,0 +1,132 @@
+//! The astronomy scenarios from §1 and §3: transit dips in stellar
+//! luminosity, supernova-style sharp peaks, and the POSITION (`$`)
+//! primitive for objects whose approach slows down.
+//!
+//! ```sh
+//! cargo run --example astronomy
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shapesearch::datagen::generators;
+use shapesearch::prelude::*;
+use shapesearch_datastore::Trendline;
+use std::sync::Arc;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1977);
+    let mut stars: Vec<Trendline> = Vec::new();
+
+    // Stars with transit dips: "a dip in brightness is symbolic of a
+    // planetary object passing between the star and the telescope".
+    for i in 0..5 {
+        let mut ys = generators::random_walk(&mut rng, 120, 0.0, 0.01);
+        generators::inject_dip(&mut ys, 0.3 + 0.1 * i as f64, 0.05, 1.5);
+        stars.push(Trendline::from_pairs(
+            format!("transit_{i}"),
+            &generators::with_index_x(&ys),
+        ));
+    }
+    // A supernova: sharp luminosity peak.
+    let mut ys = generators::random_walk(&mut rng, 120, 0.0, 0.01);
+    generators::inject_dip(&mut ys, 0.5, 0.04, -3.0);
+    stars.push(Trendline::from_pairs(
+        "sn2026a",
+        &generators::with_index_x(&ys),
+    ));
+    // An approaching object that slows: brightness rises fast then slower
+    // (the paper's [p=up][p=$0, m=<] example) — and its mirror image, an
+    // accelerating object, to contrast against.
+    let ys = generators::piecewise(&mut rng, 120, &[(1.0, 2.0), (1.0, 0.4)], 0.01);
+    stars.push(Trendline::from_pairs(
+        "slowing_object",
+        &generators::with_index_x(&ys),
+    ));
+    let ys = generators::piecewise(&mut rng, 120, &[(1.0, 0.4), (1.0, 2.0)], 0.01);
+    stars.push(Trendline::from_pairs(
+        "accelerating_object",
+        &generators::with_index_x(&ys),
+    ));
+    // Quiet stars.
+    for i in 0..10 {
+        let ys = generators::random_walk(&mut rng, 120, 0.0, 0.015);
+        stars.push(Trendline::from_pairs(
+            format!("quiet_{i}"),
+            &generators::with_index_x(&ys),
+        ));
+    }
+
+    let mut engine = ShapeEngine::from_trendlines(stars);
+
+    // Transit dips: "the width and the degree of dips are used for
+    // characterizing these planetary objects" (§1) — a dip confined to a
+    // ~15-day window, via the ITERATOR sub-primitive and a nested pattern.
+    let transit = parse_regex("[x.s=., x.e=.+15, p=[[p=down, m=>>][p=up, m=>>]]]").expect("valid");
+    println!("transit query: {transit}");
+    let hits = engine.top_k(&transit, 5).expect("run");
+    println!("transit candidates:");
+    for r in &hits {
+        println!("  {:16} {:+.3}  window {:?}", r.key, r.score, r.ranges);
+    }
+    assert!(hits[0].key.starts_with("transit"), "top: {}", hits[0].key);
+
+    // Supernova: "find me objects with a sharp peak in luminosity" (§2) —
+    // the inverse window: sharp rise then sharp fall.
+    let nova = parse_regex("[x.s=., x.e=.+15, p=[[p=up, m=>>][p=down, m=>>]]]").expect("valid");
+    let hits = engine.top_k(&nova, 3).expect("run");
+    println!("supernova candidates:");
+    for r in &hits {
+        println!("  {:16} {:+.3}", r.key, r.score);
+    }
+    assert_eq!(hits[0].key, "sn2026a");
+
+    // The POSITION example: "[p=up][p=$0, m=<] ... to search for celestial
+    // objects that were initially moving fast towards earth, but after some
+    // point either slowed down or started moving away" (§3.1).
+    let slowing = parse_regex("[p=up][p=$0, m=<]").expect("valid");
+    let all = engine.top_k(&slowing, 50).expect("run");
+    let score_of = |key: &str| {
+        all.iter()
+            .find(|r| r.key == key)
+            .map(|r| r.score)
+            .expect("present")
+    };
+    println!(
+        "slowing-approach query ranks slowing {:+.3} vs accelerating {:+.3}",
+        score_of("slowing_object"),
+        score_of("accelerating_object")
+    );
+    assert!(score_of("slowing_object") > score_of("accelerating_object"));
+    // And the mirror query prefers the accelerating object.
+    let accel = parse_regex("[p=up][p=$0, m=>]").expect("valid");
+    let all = engine.top_k(&accel, 50).expect("run");
+    let score_of = |key: &str| {
+        all.iter()
+            .find(|r| r.key == key)
+            .map(|r| r.score)
+            .expect("present")
+    };
+    println!(
+        "accelerating-approach query ranks accelerating {:+.3} vs slowing {:+.3}",
+        score_of("accelerating_object"),
+        score_of("slowing_object")
+    );
+    assert!(score_of("accelerating_object") > score_of("slowing_object"));
+
+    // A user-defined pattern: relative dip depth ≥ 20% of the range.
+    engine.register_udp(
+        "deep_dip",
+        Arc::new(|ys: &[f64]| {
+            let max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let depth = max - min;
+            (2.0 * depth - 1.0).clamp(-1.0, 1.0)
+        }),
+    );
+    let udp = parse_regex("[p=udp:deep_dip]").expect("valid");
+    let hits = engine.top_k(&udp, 3).expect("run");
+    println!("deep-variation objects (UDP):");
+    for r in &hits {
+        println!("  {:16} {:+.3}", r.key, r.score);
+    }
+}

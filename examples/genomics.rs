@@ -1,0 +1,95 @@
+//! The paper's §8 genomics case study, reproduced on synthetic gene
+//! expressions: drug-response patterns (sudden expression then gradual
+//! suppression), stem-cell differentiation (high-flat then falling), and
+//! outlier hunting (two expression peaks in a short window).
+//!
+//! ```sh
+//! cargo run --example genomics
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shapesearch::datagen::generators;
+use shapesearch::prelude::*;
+use shapesearch_datastore::Trendline;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut genes: Vec<Trendline> = Vec::new();
+
+    // Drug-response genes: stable low, sudden expression, gradual decay
+    // ("immediately after the treatment they suddenly get expressed, and
+    // then as the effect of treatment subsides, the expression reduces
+    // gradually").
+    for i in 0..6 {
+        let ys = generators::piecewise(
+            &mut rng,
+            48,
+            &[(1.2, 0.05), (0.25, 2.2), (2.0, -1.9)],
+            0.05,
+        );
+        genes.push(Trendline::from_pairs(
+            format!("drug_response_{i}"),
+            &generators::with_index_x(&ys),
+        ));
+    }
+    // Stem-cell self-renewal genes: rising ~45° then high and flat.
+    for i in 0..6 {
+        let ys = generators::piecewise(&mut rng, 48, &[(1.0, 1.5), (1.0, 0.02)], 0.05);
+        genes.push(Trendline::from_pairs(
+            format!("stem_{i}"),
+            &generators::with_index_x(&ys),
+        ));
+    }
+    // The pvt1-style outlier: two peaks within a short window.
+    let mut ys = generators::random_walk(&mut rng, 48, 0.0, 0.02);
+    generators::inject_dip(&mut ys, 0.42, 0.06, -1.8); // inverted dip = peak
+    generators::inject_dip(&mut ys, 0.58, 0.06, -1.8);
+    genes.push(Trendline::from_pairs(
+        "pvt1",
+        &generators::with_index_x(&ys),
+    ));
+    // Background genes: slow noisy walks.
+    for i in 0..12 {
+        let ys = generators::random_walk(&mut rng, 48, 0.0, 0.05);
+        genes.push(Trendline::from_pairs(
+            format!("bg_{i}"),
+            &generators::with_index_x(&ys),
+        ));
+    }
+
+    let engine = ShapeEngine::from_trendlines(genes);
+
+    // R1's first query, via natural language: genes that suddenly get
+    // expressed, then their expression drops back.
+    let parsed = parse_natural_language("show me genes rising suddenly and then dropping")
+        .expect("parseable");
+    println!("NL → {}", parsed.query);
+    let hits = engine.top_k(&parsed.query, 6).expect("run");
+    println!("drug-response candidates:");
+    for r in &hits {
+        println!("  {:20} {:+.3}", r.key, r.score);
+    }
+    assert!(hits[0].key.starts_with("drug_response"), "top: {}", hits[0].key);
+
+    // R2's stem-cell query, via regex: a steady rise then high and flat.
+    // (On the unit canvas a rise covering half the x range and the full y
+    // range fits a ~63° line, so θ=60 is the faithful slope query.)
+    let stem = parse_regex("[p=60][p=flat]").expect("valid");
+    let hits = engine.top_k(&stem, 6).expect("run");
+    println!("stem-cell candidates:");
+    for r in &hits {
+        println!("  {:20} {:+.3}", r.key, r.score);
+    }
+    let stem_hits = hits.iter().take(3).filter(|r| r.key.starts_with("stem")).count();
+    assert!(stem_hits >= 2, "top-3 {:?}", hits.iter().map(|r| &r.key).collect::<Vec<_>>());
+
+    // R1's outlier hunt: two peaks in a short duration.
+    let two_peaks = parse_regex("[p=[[p=up][p=down]], m={2,}]").expect("valid");
+    let hits = engine.top_k(&two_peaks, 3).expect("run");
+    println!("two-peak outliers:");
+    for r in &hits {
+        println!("  {:20} {:+.3}", r.key, r.score);
+    }
+    assert!(hits.iter().any(|r| r.key == "pvt1"));
+}

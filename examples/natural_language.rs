@@ -1,0 +1,74 @@
+//! The natural-language and sketch front-ends: how free-text queries are
+//! tagged, resolved, and translated (with Table-4 ambiguity resolutions
+//! surfaced), and how a drawn stroke becomes a query.
+//!
+//! ```sh
+//! cargo run --example natural_language
+//! ```
+
+use shapesearch::parser::sketch::{sketch_to_pattern_query, sketch_to_precise_query, Canvas};
+use shapesearch::parser::NlParser;
+
+fn main() {
+    // Train the tagger once (the paper trains a CRF on 250 tagged queries;
+    // here a seeded synthetic corpus stands in).
+    let parser = NlParser::train_default();
+
+    let queries = [
+        "show me genes that are rising, then going down, and then increasing",
+        "stocks increasing sharply from 2 to 5 then falling",
+        "cities that are either stable or declining",
+        "trendlines with at least 2 peaks",
+        "products not flat over 3 months",
+        "increasing from y = 10 to y = 5", // the paper's semantic-ambiguity example
+    ];
+    for text in queries {
+        match parser.parse(text) {
+            Ok(parsed) => {
+                println!("NL:    {text}");
+                println!("query: {}", parsed.query);
+                let tags: Vec<String> = parsed
+                    .entities
+                    .iter()
+                    .filter(|e| e.label != "O")
+                    .map(|e| format!("{}/{}", e.token, e.label))
+                    .collect();
+                println!("tags:  {}", tags.join(" "));
+                for note in &parsed.notes {
+                    println!("note:  {note}");
+                }
+                println!();
+            }
+            Err(e) => println!("NL:    {text}\nerror: {e}\n"),
+        }
+    }
+
+    // Sketching: a stroke drawn on a 200×100 canvas mapped to a year of
+    // prices 0..500. Pixel y grows downward.
+    let canvas = Canvas {
+        width: 200.0,
+        height: 100.0,
+        x_domain: (0.0, 365.0),
+        y_domain: (0.0, 500.0),
+    };
+    let stroke: Vec<(f64, f64)> = (0..=20)
+        .map(|i| {
+            let x = i as f64 * 10.0;
+            let y = if i <= 10 { 90.0 - 8.0 * i as f64 } else { 10.0 + 8.0 * (i - 10) as f64 };
+            (x, y)
+        })
+        .collect();
+
+    let blurry = sketch_to_pattern_query(&stroke, &canvas, 0.1).expect("enough points");
+    println!("sketch (blurry)  → {blurry}");
+
+    let precise = sketch_to_precise_query(&stroke, &canvas).expect("enough points");
+    let shapesearch::core::ShapeQuery::Segment(seg) = &precise else {
+        unreachable!("precise sketches are single segments")
+    };
+    println!(
+        "sketch (precise) → v with {} domain points, first {:?}",
+        seg.sketch.as_ref().expect("sketch").len(),
+        seg.sketch.as_ref().expect("sketch")[0]
+    );
+}

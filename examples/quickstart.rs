@@ -1,0 +1,65 @@
+//! Quickstart: load a CSV, issue a visual-regex ShapeQuery, print the top
+//! matches with their fitted segmentation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use shapesearch::prelude::*;
+
+fn main() {
+    // A small product-sales dataset, inline for the example. Real usage:
+    // `datastore::csv::read_file("sales.csv")`.
+    let csv = "\
+product,week,sales
+widget,1,12
+widget,2,19
+widget,3,28
+widget,4,41
+widget,5,33
+widget,6,21
+widget,7,14
+gadget,1,30
+gadget,2,27
+gadget,3,24
+gadget,4,22
+gadget,5,26
+gadget,6,31
+gadget,7,36
+doodad,1,20
+doodad,2,21
+doodad,3,19
+doodad,4,20
+doodad,5,21
+doodad,6,20
+doodad,7,19
+";
+    let table = shapesearch::datastore::csv::read_str(csv).expect("valid CSV");
+
+    // The visual parameters R: one candidate visualization per product,
+    // x = week, y = sales.
+    let spec = VisualSpec::new("product", "week", "sales");
+    let engine = ShapeEngine::new(&table, &spec).expect("engine");
+
+    // "Rising then falling" — a peak.
+    let query = parse_regex("[p=up][p=down]").expect("valid query");
+    println!("query: {query}");
+
+    let results = engine.top_k(&query, 3).expect("execution");
+    for (rank, r) in results.iter().enumerate() {
+        println!(
+            "#{}: {:8}  score {:+.3}  fitted segments: {:?}",
+            rank + 1,
+            r.key,
+            r.score,
+            r.ranges
+        );
+    }
+    assert_eq!(results[0].key, "widget");
+
+    // A dip instead: "falling then rising".
+    let dip = parse_regex("[p=down][p=up]").expect("valid query");
+    let results = engine.top_k(&dip, 1).expect("execution");
+    println!("best dip: {} (score {:+.3})", results[0].key, results[0].score);
+    assert_eq!(results[0].key, "gadget");
+}

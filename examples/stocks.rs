@@ -1,0 +1,51 @@
+//! The introduction's finance motivation: chart-pattern hunting with
+//! width constraints — double tops ("at least 2 peaks within a span"),
+//! head-and-shoulders, and W-shapes.
+//!
+//! ```sh
+//! cargo run --example stocks
+//! ```
+
+use shapesearch::datagen::table11;
+use shapesearch::prelude::*;
+
+fn main() {
+    // A mixed market: chart patterns interleaved with random walks.
+    let stocks = table11::stocks(2024, 40, 160);
+    let engine = ShapeEngine::from_trendlines(stocks);
+
+    // Double top: "finding stocks with at least 2 peaks" (§1).
+    let double_top = parse_regex("[p=[[p=up][p=down]], m={2,}]").expect("valid");
+    println!("double-top query: {double_top}");
+    let hits = engine.top_k(&double_top, 5).expect("run");
+    for r in &hits {
+        println!("  {:10} {:+.3}", r.key, r.score);
+    }
+
+    // Head and shoulders: up-down-up-down-up-down with the head in the
+    // middle (here approximated by the 6-part sequence).
+    let hns = parse_regex("[p=up][p=down][p=up][p=down][p=up][p=down]").expect("valid");
+    let hits = engine.top_k(&hns, 3).expect("run");
+    println!("head-and-shoulders candidates:");
+    for r in &hits {
+        println!("  {:10} {:+.3}  segments {:?}", r.key, r.score, r.ranges);
+    }
+
+    // W-shape with POSITION: second rebound at least as steep as the first
+    // ([p=down][p=up][p=down][p=$1, m=>]).
+    let w = parse_regex("[p=down][p=up][p=down][p=$1, m=>]").expect("valid");
+    let hits = engine.top_k(&w, 3).expect("run");
+    println!("W-shapes with a stronger second rebound:");
+    for r in &hits {
+        println!("  {:10} {:+.3}", r.key, r.score);
+    }
+
+    // Width-constrained: the sharpest rise within a 20-day window
+    // ([x.s=., x.e=.+20, p=up] — the ITERATOR sub-primitive).
+    let sharp_rise = parse_regex("[x.s=., x.e=.+20, p=up]").expect("valid");
+    let hits = engine.top_k(&sharp_rise, 3).expect("run");
+    println!("sharpest 20-day rises:");
+    for r in &hits {
+        println!("  {:10} {:+.3}  window {:?}", r.key, r.score, r.ranges);
+    }
+}

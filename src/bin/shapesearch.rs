@@ -1,0 +1,189 @@
+//! The `shapesearch` command-line tool: shape-based search over a CSV or
+//! JSON-lines file.
+//!
+//! ```text
+//! shapesearch --data sales.csv --z product --x week --y sales \
+//!             --query "[p=up][p=down]" [--k 5] [--algo tree|dp|greedy|dtw] \
+//!             [--filter "col<=value"] [--agg avg]
+//! shapesearch --data genes.csv -z gene -x time -y expr \
+//!             --nl "rising then falling sharply"
+//! ```
+//!
+//! Prints the ranked matches with scores and the fitted segment boundaries
+//! (the engine-side equivalent of the paper's result panel, Figure 2 Box 4).
+
+use shapesearch::prelude::*;
+use shapesearch_core::SegmenterKind;
+use std::process::ExitCode;
+
+#[derive(Debug, Default)]
+struct Cli {
+    data: Option<String>,
+    z: Option<String>,
+    x: Option<String>,
+    y: Option<String>,
+    query: Option<String>,
+    nl: Option<String>,
+    k: usize,
+    algo: SegmenterKind,
+    filters: Vec<String>,
+    agg: Option<String>,
+    builtins: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: shapesearch --data FILE --z COL --x COL --y COL \
+     (--query REGEX | --nl TEXT) [--k N] [--algo dp|tree|pruned|greedy|dtw|euclid] \
+     [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]"
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        k: 5,
+        ..Cli::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--data" => cli.data = Some(take("--data")?),
+            "--z" | "-z" => cli.z = Some(take("--z")?),
+            "--x" | "-x" => cli.x = Some(take("--x")?),
+            "--y" | "-y" => cli.y = Some(take("--y")?),
+            "--query" | "-q" => cli.query = Some(take("--query")?),
+            "--nl" => cli.nl = Some(take("--nl")?),
+            "--k" | "-k" => {
+                cli.k = take("--k")?
+                    .parse()
+                    .map_err(|_| "--k must be an integer".to_owned())?;
+            }
+            "--algo" => {
+                cli.algo = match take("--algo")?.as_str() {
+                    "dp" => SegmenterKind::Dp,
+                    "tree" => SegmenterKind::SegmentTree,
+                    "pruned" => SegmenterKind::SegmentTreePruned,
+                    "greedy" => SegmenterKind::Greedy,
+                    "dtw" => SegmenterKind::Dtw,
+                    "euclid" | "euclidean" => SegmenterKind::Euclidean,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                };
+            }
+            "--filter" => cli.filters.push(take("--filter")?),
+            "--agg" => cli.agg = Some(take("--agg")?),
+            "--builtins" => cli.builtins = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses a `col OP value` filter expression.
+fn parse_filter(text: &str) -> Result<Predicate, String> {
+    for (op_text, op) in [
+        ("<=", CompareOp::Le),
+        (">=", CompareOp::Ge),
+        ("!=", CompareOp::Ne),
+        ("<", CompareOp::Lt),
+        (">", CompareOp::Gt),
+        ("=", CompareOp::Eq),
+    ] {
+        if let Some((col, val)) = text.split_once(op_text) {
+            let col = col.trim();
+            let val = val.trim();
+            if col.is_empty() || val.is_empty() {
+                return Err(format!("malformed filter `{text}`"));
+            }
+            return Ok(Predicate::new(
+                col,
+                op,
+                shapesearch::datastore::Value::infer(val),
+            ));
+        }
+    }
+    Err(format!("filter `{text}` has no comparison operator"))
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let data = cli.data.ok_or_else(|| usage().to_owned())?;
+    let (z, x, y) = match (&cli.z, &cli.x, &cli.y) {
+        (Some(z), Some(x), Some(y)) => (z.clone(), x.clone(), y.clone()),
+        _ => return Err(usage().to_owned()),
+    };
+
+    // Load the table (CSV or JSON-lines by extension).
+    let table = if data.ends_with(".json") || data.ends_with(".jsonl") {
+        shapesearch::datastore::json::read_file(&data)
+    } else {
+        shapesearch::datastore::csv::read_file(&data)
+    }
+    .map_err(|e| format!("loading {data}: {e}"))?;
+
+    // Build the visual spec.
+    let mut spec = VisualSpec::new(z, x, y);
+    for f in &cli.filters {
+        spec = spec.with_filter(parse_filter(f)?);
+    }
+    if let Some(agg) = &cli.agg {
+        spec = spec.with_aggregation(
+            Aggregation::parse(agg).ok_or_else(|| format!("unknown aggregation `{agg}`"))?,
+        );
+    }
+
+    // Parse the query.
+    let query = match (&cli.query, &cli.nl) {
+        (Some(q), _) => parse_regex(q).map_err(|e| e.to_string())?,
+        (None, Some(text)) => {
+            let parsed = parse_natural_language(text).map_err(|e| e.to_string())?;
+            eprintln!("parsed query: {}", parsed.query);
+            for note in &parsed.notes {
+                eprintln!("note: {note}");
+            }
+            parsed.query
+        }
+        (None, None) => return Err(usage().to_owned()),
+    };
+
+    let mut engine = ShapeEngine::new(&table, &spec)
+        .map_err(|e| e.to_string())?
+        .with_segmenter(cli.algo);
+    if cli.builtins {
+        engine.register_builtin_udps();
+    }
+    let results = engine.top_k(&query, cli.k).map_err(|e| e.to_string())?;
+
+    if results.is_empty() {
+        println!("no matches");
+        return Ok(());
+    }
+    println!("{:<4} {:<24} {:>8}  segments", "rank", "key", "score");
+    for (i, r) in results.iter().enumerate() {
+        let segs: Vec<String> = r
+            .ranges
+            .iter()
+            .map(|&(s, e)| format!("{s}..{e}"))
+            .collect();
+        println!(
+            "{:<4} {:<24} {:>+8.3}  {}",
+            i + 1,
+            r.key,
+            r.score,
+            segs.join(" ")
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # ShapeSearch
+//!
+//! A flexible and efficient system for shape-based exploration of trendlines —
+//! a from-scratch Rust implementation of the ShapeSearch system (Siddiqui et
+//! al., SIGMOD 2020).
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`core`] — the ShapeQuery algebra, scoring, segmentation algorithms
+//!   (optimal DP, SegmentTree, greedy), pruning, and the execution engine.
+//! * [`datastore`] — the columnar OLAP substrate (tables, CSV/JSON, filters,
+//!   aggregation, the EXTRACT operator).
+//! * [`parser`] — regex, natural-language, and sketch front-ends producing
+//!   ShapeQuery ASTs.
+//! * [`crf`] — the linear-chain CRF and POS-tagging substrate used by the NL
+//!   parser.
+//! * [`similarity`] — DTW and Euclidean baselines.
+//! * [`datagen`] — seeded synthetic datasets and workloads reproducing the
+//!   paper's evaluation (Table 11, Table 10 task categories).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shapesearch::prelude::*;
+//!
+//! // A tiny dataset: two products' sales over time.
+//! let csv = "\
+//! product,week,sales
+//! widget,1,10
+//! widget,2,20
+//! widget,3,15
+//! widget,4,5
+//! gadget,1,5
+//! gadget,2,4
+//! gadget,3,8
+//! gadget,4,12
+//! ";
+//! let table = shapesearch::datastore::csv::read_str(csv).unwrap();
+//!
+//! // "rising then falling", as a visual regex.
+//! let query = parse_regex("[p=up][p=down]").unwrap();
+//!
+//! let spec = VisualSpec::new("product", "week", "sales");
+//! let results = ShapeEngine::new(&table, &spec)
+//!     .unwrap()
+//!     .top_k(&query, 1)
+//!     .unwrap();
+//! assert_eq!(results[0].key, "widget");
+//! ```
+
+pub use shapesearch_core as core;
+pub use shapesearch_crf as crf;
+pub use shapesearch_datagen as datagen;
+pub use shapesearch_datastore as datastore;
+pub use shapesearch_parser as parser;
+pub use shapesearch_similarity as similarity;
+
+/// Commonly used items, importable with `use shapesearch::prelude::*`.
+pub mod prelude {
+    pub use shapesearch_core::{
+        Pattern, ScoreParams, Segmenter, SegmenterKind, ShapeEngine, ShapeQuery, ShapeSegment,
+        TopKResult,
+    };
+    pub use shapesearch_datastore::{
+        Aggregation, CompareOp, Predicate, Table, Trendline, VisualSpec,
+    };
+    pub use shapesearch_parser::{parse_natural_language, parse_regex};
+}

@@ -1,0 +1,208 @@
+//! Semantic laws of the ShapeQuery algebra, checked through the engine on
+//! concrete data: operator identities (Table 6), modifier behaviours,
+//! nesting, and the CONCAT weighting of nested averages.
+
+use shapesearch_core::algo::dp::DpSegmenter;
+use shapesearch_core::chain::expand_chains;
+use shapesearch_core::{
+    Evaluator, Modifier, Pattern, ScoreParams, Segmenter, ShapeQuery, ShapeSegment, UdpRegistry,
+    VizData,
+};
+use shapesearch_datastore::Trendline;
+
+fn viz(ys: &[f64]) -> VizData {
+    let pairs: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+    VizData::from_trendline(&Trendline::from_pairs("t", pairs.as_slice()), 0, 1).unwrap()
+}
+
+fn eval_full(q: &ShapeQuery, v: &VizData) -> f64 {
+    let params = ScoreParams::default();
+    let udps = UdpRegistry::new();
+    let ev = Evaluator::new(v, &params, &udps);
+    ev.eval_node(q, 0, v.n() - 1, None)
+}
+
+fn dp_score(q: &ShapeQuery, v: &VizData) -> f64 {
+    let params = ScoreParams::default();
+    let udps = UdpRegistry::new();
+    let ev = Evaluator::new(v, &params, &udps);
+    DpSegmenter.match_viz(&ev, &expand_chains(q)).score
+}
+
+fn zigzag() -> VizData {
+    viz(&[0.0, 2.0, 1.0, 3.0, 2.5, 4.0, 1.0, 0.5])
+}
+
+#[test]
+fn double_negation_is_identity() {
+    let v = zigzag();
+    let q = ShapeQuery::up();
+    let nn = ShapeQuery::Not(Box::new(ShapeQuery::Not(Box::new(ShapeQuery::up()))));
+    assert!((eval_full(&q, &v) - eval_full(&nn, &v)).abs() < 1e-12);
+}
+
+#[test]
+fn not_up_equals_down() {
+    // Table 5: down(slope) = −up(slope), so !up ≡ down pointwise.
+    let v = zigzag();
+    let not_up = ShapeQuery::Not(Box::new(ShapeQuery::up()));
+    assert!((eval_full(&not_up, &v) - eval_full(&ShapeQuery::down(), &v)).abs() < 1e-12);
+}
+
+#[test]
+fn or_commutative_and_commutative() {
+    let v = zigzag();
+    let a = ShapeQuery::up();
+    let b = ShapeQuery::flat();
+    let or1 = ShapeQuery::Or(vec![a.clone(), b.clone()]);
+    let or2 = ShapeQuery::Or(vec![b.clone(), a.clone()]);
+    assert_eq!(eval_full(&or1, &v), eval_full(&or2, &v));
+    let and1 = ShapeQuery::And(vec![a.clone(), b.clone()]);
+    let and2 = ShapeQuery::And(vec![b, a]);
+    assert_eq!(eval_full(&and1, &v), eval_full(&and2, &v));
+}
+
+#[test]
+fn or_dominates_and() {
+    // max(a, b) ≥ min(a, b) always.
+    let v = zigzag();
+    for (a, b) in [
+        (ShapeQuery::up(), ShapeQuery::down()),
+        (ShapeQuery::flat(), ShapeQuery::up()),
+        (ShapeQuery::pattern(Pattern::Slope(20.0)), ShapeQuery::down()),
+    ] {
+        let or = eval_full(&ShapeQuery::Or(vec![a.clone(), b.clone()]), &v);
+        let and = eval_full(&ShapeQuery::And(vec![a, b]), &v);
+        assert!(or >= and);
+    }
+}
+
+#[test]
+fn de_morgan_holds_for_min_max() {
+    // !(a ⊕ b) = !a ⊙ !b under max/min/negation semantics.
+    let v = zigzag();
+    let a = ShapeQuery::up();
+    let b = ShapeQuery::flat();
+    let lhs = ShapeQuery::Not(Box::new(ShapeQuery::Or(vec![a.clone(), b.clone()])));
+    let rhs = ShapeQuery::And(vec![
+        ShapeQuery::Not(Box::new(a)),
+        ShapeQuery::Not(Box::new(b)),
+    ]);
+    assert!((eval_full(&lhs, &v) - eval_full(&rhs, &v)).abs() < 1e-12);
+}
+
+#[test]
+fn any_is_or_identity_and_upper_bound() {
+    let v = zigzag();
+    let any = ShapeQuery::pattern(Pattern::Any);
+    assert_eq!(eval_full(&any, &v), 1.0);
+    // OR with Any is always 1 (Any absorbs).
+    let or = ShapeQuery::Or(vec![ShapeQuery::down(), any]);
+    assert_eq!(eval_full(&or, &v), 1.0);
+}
+
+#[test]
+fn nested_average_weights_match_manual_evaluation() {
+    // a ⊗ (b ⊗ c) = weighted sum [a:1/2, b:1/4, c:1/4], not a flat third.
+    let v = viz(&[0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0]);
+    let nested = ShapeQuery::Concat(vec![
+        ShapeQuery::up(),
+        ShapeQuery::Concat(vec![ShapeQuery::down(), ShapeQuery::flat()]),
+    ]);
+    let flat3 = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down(), ShapeQuery::flat()]);
+    let s_nested = dp_score(&nested, &v);
+    let s_flat = dp_score(&flat3, &v);
+    // Both find good matches but weight them differently; the nested one
+    // puts half the weight on the first rise.
+    assert!(s_nested > 0.0 && s_flat > 0.0);
+    assert!((s_nested - s_flat).abs() > 1e-6, "weights should differ");
+}
+
+#[test]
+fn quantifier_bounds_ordering() {
+    // at-least-1 ≥ exactly-2 can differ, but all stay in bounds and
+    // at-least-k is monotone decreasing in k (harder constraints can only
+    // lower or equal the count-feasibility).
+    let v = viz(&[0.0, 3.0, 0.5, 3.5, 0.2, 3.8, 0.0]);
+    let seg = |m: Modifier| {
+        ShapeQuery::Segment(ShapeSegment::pattern(Pattern::Up).with_modifier(m))
+    };
+    let s1 = eval_full(&seg(Modifier::at_least(1)), &v);
+    let s3 = eval_full(&seg(Modifier::at_least(3)), &v);
+    let s5 = eval_full(&seg(Modifier::at_least(5)), &v);
+    assert!(s1 > 0.0, "three rises satisfy ≥1: {s1}");
+    assert!(s3 > 0.0, "three rises satisfy ≥3: {s3}");
+    assert_eq!(s5, -1.0, "only three rises exist");
+}
+
+#[test]
+fn sharp_modifier_discriminates_steepness_per_segment() {
+    // On the same visualization, the sharp modifier scores the steep jump
+    // segment far above the diluted whole-range fit, and above what the
+    // same segments get on a uniform diagonal.
+    let steep = viz(&[0.0, 0.0, 0.0, 10.0, 10.0, 10.0]);
+    let shallow = viz(&[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    let params = ScoreParams::default();
+    let udps = UdpRegistry::new();
+    let sharp = ShapeSegment::pattern(Pattern::Up).with_modifier(Modifier::MuchMore);
+
+    let ev_steep = Evaluator::new(&steep, &params, &udps);
+    let jump = ev_steep.eval_segment(&sharp, 2, 3, None);
+    let whole = ev_steep.eval_segment(&sharp, 0, 5, None);
+    assert!(jump > whole, "jump {jump} <= whole {whole}");
+
+    let ev_shallow = Evaluator::new(&shallow, &params, &udps);
+    let diag = ev_shallow.eval_segment(&sharp, 0, 5, None);
+    assert!(jump > diag + 0.2, "jump {jump} vs diagonal {diag}");
+}
+
+#[test]
+fn slope_pattern_peaks_at_matching_angle() {
+    // 45° on the canvas = the full diagonal.
+    let diagonal = viz(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+    let s45 = dp_score(&ShapeQuery::pattern(Pattern::Slope(45.0)), &diagonal);
+    let s80 = dp_score(&ShapeQuery::pattern(Pattern::Slope(80.0)), &diagonal);
+    let s10 = dp_score(&ShapeQuery::pattern(Pattern::Slope(10.0)), &diagonal);
+    assert!(s45 > s80 && s45 > s10);
+    assert!((s45 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn udp_builtins_compose_with_operators() {
+    let mut reg = UdpRegistry::with_builtins();
+    // A custom pattern alongside builtins.
+    reg.register(
+        "positive_mean",
+        std::sync::Arc::new(|ys: &[f64]| {
+            let m = ys.iter().sum::<f64>() / ys.len() as f64;
+            (4.0 * m - 1.0).clamp(-1.0, 1.0)
+        }),
+    );
+    let params = ScoreParams::default();
+    let convex = viz(&[4.0, 1.0, 0.0, 1.0, 4.0]);
+    let ev = Evaluator::new(&convex, &params, &reg);
+    let q = ShapeQuery::And(vec![
+        ShapeQuery::pattern(Pattern::Udp("convex".into())),
+        ShapeQuery::pattern(Pattern::Udp("positive_mean".into())),
+    ]);
+    let s = ev.eval_node(&q, 0, convex.n() - 1, None);
+    assert!(s > 0.0, "convex ∧ positive_mean on a parabola: {s}");
+}
+
+#[test]
+fn concat_weight_normalization_keeps_scores_bounded() {
+    // Deeply nested concats still yield a weighted average in [−1, 1].
+    let v = zigzag();
+    let deep = ShapeQuery::Concat(vec![
+        ShapeQuery::up(),
+        ShapeQuery::Concat(vec![
+            ShapeQuery::down(),
+            ShapeQuery::Concat(vec![ShapeQuery::up(), ShapeQuery::down()]),
+        ]),
+    ]);
+    let s = dp_score(&deep, &v);
+    assert!((-1.0..=1.0).contains(&s));
+    let chains = expand_chains(&deep);
+    let total: f64 = chains[0].units.iter().map(|u| u.weight).sum();
+    assert!((total - 1.0).abs() < 1e-12);
+}

@@ -1,0 +1,78 @@
+//! File-level I/O round trips: writing CSV / JSON-lines to disk, reading
+//! them back through the datastore, and querying — plus CLI-style filter
+//! flows.
+
+use shapesearch::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("shapesearch_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn csv_file_round_trip() {
+    let path = temp_path("roundtrip.csv");
+    fs::write(
+        &path,
+        "z,x,y\na,1,1.0\na,2,2.0\na,3,3.0\nb,1,3.0\nb,2,2.0\nb,3,1.0\n",
+    )
+    .unwrap();
+    let table = shapesearch::datastore::csv::read_file(&path).unwrap();
+    assert_eq!(table.num_rows(), 6);
+    let engine = ShapeEngine::new(&table, &VisualSpec::new("z", "x", "y")).unwrap();
+    assert_eq!(
+        engine.top_k(&parse_regex("[p=up]").unwrap(), 1).unwrap()[0].key,
+        "a"
+    );
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn json_file_round_trip() {
+    let path = temp_path("roundtrip.jsonl");
+    let mut content = String::new();
+    for i in 0..6 {
+        content.push_str(&format!(
+            "{{\"z\":\"g\",\"x\":{i},\"y\":{}}}\n",
+            (i as f64).sin()
+        ));
+    }
+    fs::write(&path, content).unwrap();
+    let table = shapesearch::datastore::json::read_file(&path).unwrap();
+    assert_eq!(table.num_rows(), 6);
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = shapesearch::datastore::csv::read_file("/nonexistent/nope.csv");
+    assert!(err.is_err());
+    let err = shapesearch::datastore::json::read_file("/nonexistent/nope.jsonl");
+    assert!(err.is_err());
+}
+
+#[test]
+fn bin_width_reduces_resolution_but_keeps_ranking() {
+    use shapesearch_core::EngineOptions;
+    let data = shapesearch::datagen::table11::DatasetId::Weather.generate(5);
+    let subset: Vec<_> = data.into_iter().take(20).collect();
+    let q = parse_regex("[p=up][p=down]").unwrap();
+
+    let fine = ShapeEngine::from_trendlines(subset.clone());
+    let coarse = ShapeEngine::from_trendlines(subset).with_options(EngineOptions {
+        bin_width: 4,
+        ..EngineOptions::default()
+    });
+    let top_fine = fine.top_k(&q, 5).unwrap();
+    let top_coarse = coarse.top_k(&q, 5).unwrap();
+    // Binning by 4 keeps the broad ranking: at least 3 of 5 keys shared.
+    let fine_keys: Vec<&str> = top_fine.iter().map(|r| r.key.as_str()).collect();
+    let shared = top_coarse
+        .iter()
+        .filter(|r| fine_keys.contains(&r.key.as_str()))
+        .count();
+    assert!(shared >= 3, "only {shared} shared keys");
+}

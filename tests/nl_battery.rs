@@ -1,0 +1,121 @@
+//! A battery of natural-language queries spanning the paper's examples and
+//! the Table-10 task vocabulary, checking the full tag → resolve → translate
+//! pipeline output. Uses one shared trained parser (training is seeded and
+//! deterministic).
+
+use shapesearch_parser::NlParser;
+use std::sync::OnceLock;
+
+fn parser() -> &'static NlParser {
+    static P: OnceLock<NlParser> = OnceLock::new();
+    P.get_or_init(NlParser::train_default)
+}
+
+/// Asserts the NL text translates to exactly the expected regex form.
+fn expect(text: &str, expected: &str) {
+    let parsed = parser()
+        .parse(text)
+        .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+    assert_eq!(
+        parsed.query.to_string(),
+        expected,
+        "for NL input `{text}` (entities: {:?})",
+        parsed.entities
+    );
+}
+
+#[test]
+fn basic_sequences() {
+    expect("rising then falling", "[p=up][p=down]");
+    expect("going up and then going down", "[p=up][p=down]");
+    expect("increasing followed by decreasing", "[p=up][p=down]");
+    expect("show me stocks that are climbing then dropping then climbing", "[p=up][p=down][p=up]");
+    expect("first flat then rising", "[p=flat][p=up]");
+}
+
+#[test]
+fn paper_figure2_query() {
+    expect(
+        "show me genes that are rising, then going down, and then increasing",
+        "[p=up][p=down][p=up]",
+    );
+}
+
+#[test]
+fn modifiers() {
+    expect("rising sharply", "[p=up, m=>>]");
+    expect("falling steeply", "[p=down, m=>>]");
+    expect("increasing gradually", "[p=up, m=>]");
+    expect("rising slowly then dropping quickly", "[p=up, m=>][p=down, m=>>]");
+}
+
+#[test]
+fn disjunction_and_negation() {
+    expect("either rising or falling", "[p=up] | [p=down]");
+    expect("stable or declining", "[p=flat] | [p=down]");
+    expect("not flat", "![p=flat]");
+}
+
+#[test]
+fn locations() {
+    expect("rising from 2 to 5", "[x.s=2, x.e=5, p=up]");
+    expect("increasing from 10 to 80 then falling", "[x.s=10, x.e=80, p=up][p=down]");
+}
+
+#[test]
+fn widths_and_counts() {
+    expect("rising over 3 months", "[x.s=., x.e=.+3, p=up]");
+    expect("at least 2 peaks", "[p=[[p=up][p=down]], m={2,}]");
+    expect("exactly 3 dips", "[p=down, m=3]");
+    expect("rising twice", "[p=up, m=2]");
+}
+
+#[test]
+fn vocabulary_breadth() {
+    // Synonyms and related words outside the core templates.
+    expect("surging then plunging", "[p=up][p=down]");
+    expect("declining then recovering", "[p=down][p=up]");
+    expect("stocks plateauing", "[p=flat]");
+}
+
+#[test]
+fn ambiguity_resolutions_reported() {
+    // The paper's semantic-ambiguity example: "increasing from y=10 to y=5".
+    let parsed = parser().parse("increasing from y = 10 to y = 5").unwrap();
+    assert_eq!(parsed.query.to_string(), "[y.s=5, y.e=10, p=up]");
+    assert!(!parsed.notes.is_empty(), "a resolution note is expected");
+}
+
+#[test]
+fn noise_words_are_ignored() {
+    expect(
+        "could you please show me all of the stocks that are really rising and then falling",
+        "[p=up][p=down]",
+    );
+}
+
+#[test]
+fn garbage_is_rejected() {
+    assert!(parser().parse("the quick brown fox").is_err());
+    assert!(parser().parse("").is_err());
+    assert!(parser().parse("42 17 3").is_err());
+}
+
+#[test]
+fn entities_align_with_tokens() {
+    let entities = parser().tag("rising from 2 to 5 then falling sharply");
+    // Every returned entity token must appear in the sentence.
+    for e in &entities {
+        assert!(
+            "rising from 2 to 5 then falling sharply".contains(&e.token),
+            "{e:?}"
+        );
+    }
+    // Numbers get location labels.
+    let labels: Vec<(&str, &str)> = entities
+        .iter()
+        .map(|e| (e.token.as_str(), e.label.as_str()))
+        .collect();
+    assert!(labels.contains(&("2", "XS")), "{labels:?}");
+    assert!(labels.contains(&("5", "XE")), "{labels:?}");
+}

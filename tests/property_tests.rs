@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * summarized-statistics additivity (Theorem 5.1),
+//! * score boundedness under arbitrary operator trees (Property 5.1),
+//! * DP optimality vs SegmentTree and Greedy,
+//! * Theorem 6.4 score bounds containing the exact score,
+//! * parser round-trip (AST → regex text → AST).
+
+use proptest::prelude::*;
+use shapesearch_core::algo::dp::DpSegmenter;
+use shapesearch_core::algo::greedy::GreedySegmenter;
+use shapesearch_core::algo::pruning::query_bounds;
+use shapesearch_core::algo::segment_tree::SegmentTreeSegmenter;
+use shapesearch_core::chain::expand_chains;
+use shapesearch_core::{
+    Evaluator, Modifier, Pattern, ScoreParams, Segmenter, ShapeQuery, ShapeSegment, StatsIndex,
+    SummaryStats, UdpRegistry, VizData,
+};
+use shapesearch_datastore::Trendline;
+use shapesearch_parser::parse_regex;
+
+fn viz_from_ys(ys: &[f64]) -> VizData {
+    let pairs: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+    VizData::from_trendline(&Trendline::from_pairs("prop", &pairs), 0, 1).expect("≥2 points")
+}
+
+/// Strategy: a plausible trendline of 6–40 points.
+fn ys_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 6..40)
+}
+
+/// Strategy: a small random operator tree over leaf patterns.
+fn query_strategy() -> impl Strategy<Value = ShapeQuery> {
+    let leaf = prop_oneof![
+        Just(ShapeQuery::up()),
+        Just(ShapeQuery::down()),
+        Just(ShapeQuery::flat()),
+        Just(ShapeQuery::pattern(Pattern::Slope(30.0))),
+        Just(ShapeQuery::pattern(Pattern::Any)),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(ShapeQuery::concat),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(ShapeQuery::Or),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(ShapeQuery::And),
+            inner.prop_map(|q| ShapeQuery::Not(Box::new(q))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stats_additivity(
+        a in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..20),
+        b in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..20),
+    ) {
+        let merged = SummaryStats::from_points(&a).merge(&SummaryStats::from_points(&b));
+        let all: Vec<(f64, f64)> = a.iter().chain(b.iter()).copied().collect();
+        let direct = SummaryStats::from_points(&all);
+        prop_assert!((merged.slope() - direct.slope()).abs() < 1e-6);
+        prop_assert!((merged.intercept() - direct.intercept()).abs() < 1e-6);
+        prop_assert_eq!(merged.n, direct.n);
+    }
+
+    #[test]
+    fn stats_index_matches_direct(ys in ys_strategy()) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let idx = StatsIndex::new(&xs, &ys);
+        let n = ys.len();
+        // Check a few ranges including the extremes.
+        for (i, j) in [(0, n - 1), (0, 1), (n - 2, n - 1), (n / 3, 2 * n / 3 + 1)] {
+            if j > i && j < n {
+                let pts: Vec<(f64, f64)> = (i..=j).map(|t| (xs[t], ys[t])).collect();
+                let direct = SummaryStats::from_points(&pts);
+                prop_assert!((idx.range(i, j).slope() - direct.slope()).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_always_bounded(ys in ys_strategy(), q in query_strategy()) {
+        let viz = viz_from_ys(&ys);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&viz, &params, &udps);
+        let chains = expand_chains(&q);
+        for segmenter in [
+            &DpSegmenter as &dyn Segmenter,
+            &SegmentTreeSegmenter::default(),
+            &GreedySegmenter::new(),
+        ] {
+            let r = segmenter.match_viz(&ev, &chains);
+            prop_assert!((-1.0..=1.0).contains(&r.score), "score {} for {}", r.score, q);
+        }
+    }
+
+    #[test]
+    fn dp_dominates_heuristics(ys in ys_strategy(), q in query_strategy()) {
+        let viz = viz_from_ys(&ys);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&viz, &params, &udps);
+        let chains = expand_chains(&q);
+        let dp = DpSegmenter.match_viz(&ev, &chains).score;
+        let tree = SegmentTreeSegmenter::default().match_viz(&ev, &chains).score;
+        let greedy = GreedySegmenter::new().match_viz(&ev, &chains).score;
+        prop_assert!(tree <= dp + 1e-9, "tree {tree} > dp {dp} for {q}");
+        prop_assert!(greedy <= dp + 1e-9, "greedy {greedy} > dp {dp} for {q}");
+    }
+
+    #[test]
+    fn bounds_contain_exact_score(ys in ys_strategy(), q in query_strategy()) {
+        let viz = viz_from_ys(&ys);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&viz, &params, &udps);
+        let chains = expand_chains(&q);
+        let exact = DpSegmenter.match_viz(&ev, &chains).score;
+        let (lo, hi) = query_bounds(&q, &viz, &params);
+        // Infeasible queries (more units than intervals) return −1, which is
+        // always within the trivial bound range.
+        prop_assert!(exact >= lo - 1e-6 && exact <= hi + 1e-6,
+            "score {exact} outside [{lo}, {hi}] for {q}");
+    }
+
+    #[test]
+    fn segmentation_tiles_and_orders(ys in ys_strategy()) {
+        let viz = viz_from_ys(&ys);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&viz, &params, &udps);
+        let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down(), ShapeQuery::up()]);
+        let chains = expand_chains(&q);
+        let r = DpSegmenter.match_viz(&ev, &chains);
+        if !r.ranges.is_empty() {
+            prop_assert_eq!(r.ranges[0].0, 0);
+            prop_assert_eq!(r.ranges.last().unwrap().1, viz.n() - 1);
+            for w in r.ranges.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
+            for &(s, e) in &r.ranges {
+                prop_assert!(e > s);
+            }
+        }
+    }
+
+    #[test]
+    fn regex_round_trip(q in query_strategy()) {
+        let text = q.to_string();
+        let reparsed = parse_regex(&text).map_err(|e| {
+            TestCaseError::fail(format!("reparse of `{text}` failed: {e}"))
+        })?;
+        prop_assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn quantifier_scores_bounded(ys in ys_strategy(), min in 1u32..4, span in 0u32..3) {
+        let viz = viz_from_ys(&ys);
+        let params = ScoreParams::default();
+        let udps = UdpRegistry::new();
+        let ev = Evaluator::new(&viz, &params, &udps);
+        let seg = ShapeSegment::pattern(Pattern::Up).with_modifier(Modifier::Quantifier {
+            min: Some(min),
+            max: Some(min + span),
+        });
+        let s = ev.eval_segment(&seg, 0, viz.n() - 1, None);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn znormalize_is_affine_invariant(
+        ys in proptest::collection::vec(-100.0f64..100.0, 4..30),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let a = shapesearch_similarity::znormalize(&ys);
+        let transformed: Vec<f64> = ys.iter().map(|y| y * scale + shift).collect();
+        let b = shapesearch_similarity::znormalize(&transformed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dtw_symmetry_and_identity(
+        a in proptest::collection::vec(-10.0f64..10.0, 3..20),
+        b in proptest::collection::vec(-10.0f64..10.0, 3..20),
+    ) {
+        let d_ab = shapesearch_similarity::dtw(&a, &b);
+        let d_ba = shapesearch_similarity::dtw(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!(shapesearch_similarity::dtw(&a, &a) < 1e-9);
+        prop_assert!(d_ab >= 0.0);
+    }
+}
