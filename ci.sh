@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate. Run from the repository root; any failure
+# aborts the script with a nonzero exit.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "ci: all green"

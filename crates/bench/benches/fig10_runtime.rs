@@ -24,13 +24,9 @@ fn fig10(c: &mut Criterion) {
                 continue; // covered by the figures binary
             }
             let eng = engine(data.clone(), kind);
-            group.bench_with_input(
-                BenchmarkId::new(name, id.name()),
-                &eng,
-                |b, eng| {
-                    b.iter(|| black_box(eng.top_k(&q, K).expect("query")));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, id.name()), &eng, |b, eng| {
+                b.iter(|| black_box(eng.top_k(&q, K).expect("query")));
+            });
         }
     }
     group.finish();

@@ -50,11 +50,7 @@ fn segmentation(c: &mut Criterion) {
     group.sample_size(20);
     let params = ScoreParams::default();
     let udps = UdpRegistry::new();
-    let q = ShapeQuery::concat(vec![
-        ShapeQuery::up(),
-        ShapeQuery::down(),
-        ShapeQuery::up(),
-    ]);
+    let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down(), ShapeQuery::up()]);
     let chains = expand_chains(&q);
     for n in [100usize, 400, 900] {
         let viz = make_viz(n);

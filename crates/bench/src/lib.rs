@@ -22,9 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use shapesearch_core::{
-    EngineOptions, SegmenterKind, ShapeEngine, ShapeQuery, TopKResult,
-};
+use shapesearch_core::{EngineOptions, SegmenterKind, ShapeEngine, ShapeQuery, TopKResult};
 use shapesearch_datagen::{table11::DatasetId, tasks, TaskKind};
 use shapesearch_datastore::Trendline;
 use shapesearch_parser::parse_regex;
@@ -39,7 +37,10 @@ pub const FIG10_ALGOS: [(SegmenterKind, &str); 5] = [
     (SegmenterKind::Dtw, "DTW"),
     (SegmenterKind::Greedy, "Greedy"),
     (SegmenterKind::SegmentTree, "Segment Tree"),
-    (SegmenterKind::SegmentTreePruned, "Segment Tree with Pruning"),
+    (
+        SegmenterKind::SegmentTreePruned,
+        "Segment Tree with Pruning",
+    ),
 ];
 
 /// Builds an engine with the given segmenter over owned trendlines.
@@ -56,11 +57,7 @@ pub fn query(text: &str) -> ShapeQuery {
 }
 
 /// Runs one query and returns (elapsed, top-k results).
-pub fn timed_top_k(
-    engine: &ShapeEngine,
-    q: &ShapeQuery,
-    k: usize,
-) -> (Duration, Vec<TopKResult>) {
+pub fn timed_top_k(engine: &ShapeEngine, q: &ShapeQuery, k: usize) -> (Duration, Vec<TopKResult>) {
     let start = Instant::now();
     let results = engine.top_k(q, k).expect("query execution");
     (start.elapsed(), results)
@@ -104,7 +101,9 @@ pub fn scaled(data: Vec<Trendline>, scale: f64) -> Vec<Trendline> {
     if scale >= 1.0 {
         return data;
     }
-    let keep = ((data.len() as f64 * scale) as usize).max(8).min(data.len());
+    let keep = ((data.len() as f64 * scale) as usize)
+        .max(8)
+        .min(data.len());
     data.into_iter().take(keep).collect()
 }
 
@@ -125,8 +124,7 @@ pub fn fig10_runtimes(scale: f64, k: usize) -> Vec<Fig10Row> {
         .iter()
         .map(|&id| {
             let data = scaled(id.generate(SEED), scale);
-            let queries: Vec<ShapeQuery> =
-                id.fuzzy_queries().iter().map(|q| query(q)).collect();
+            let queries: Vec<ShapeQuery> = id.fuzzy_queries().iter().map(|q| query(q)).collect();
             let runtimes = FIG10_ALGOS
                 .iter()
                 .map(|&(kind, name)| {
@@ -253,7 +251,10 @@ pub struct SweepPoint {
 pub const FIG13_ALGOS: [(SegmenterKind, &str); 3] = [
     (SegmenterKind::Dp, "DP"),
     (SegmenterKind::SegmentTree, "Segment Tree"),
-    (SegmenterKind::SegmentTreePruned, "Segment Tree with Pruning"),
+    (
+        SegmenterKind::SegmentTreePruned,
+        "Segment Tree with Pruning",
+    ),
 ];
 
 /// Figure 13a: runtime vs number of points per visualization (prefixes of
@@ -361,8 +362,7 @@ pub fn fig9a_scoring(n: usize, length: usize, repeats: u64) -> Vec<Fig9aRow> {
                         let results = eng
                             .top_k(&task.query, task.positives.len())
                             .expect("task query");
-                        let keys: Vec<String> =
-                            results.into_iter().map(|r| r.key).collect();
+                        let keys: Vec<String> = results.into_iter().map(|r| r.key).collect();
                         total += tasks::precision_at_gold(&task, &keys);
                     }
                     (name, 100.0 * total / repeats as f64)
@@ -423,7 +423,9 @@ pub fn bridge_ablation(scale: f64) -> Vec<AblationRow> {
                 };
                 let ev = Evaluator::new(&viz, &params, &udps);
                 let dp = DpSegmenter.match_viz(&ev, &chains).score;
-                let with = SegmentTreeSegmenter::default().match_viz(&ev, &chains).score;
+                let with = SegmentTreeSegmenter::default()
+                    .match_viz(&ev, &chains)
+                    .score;
                 let without = SegmentTreeSegmenter::without_bridges()
                     .match_viz(&ev, &chains)
                     .score;
@@ -508,7 +510,11 @@ mod tests {
                 .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        assert!(avg("Segment Tree") > 20.0, "tree accuracy {}", avg("Segment Tree"));
+        assert!(
+            avg("Segment Tree") > 20.0,
+            "tree accuracy {}",
+            avg("Segment Tree")
+        );
     }
 
     #[test]

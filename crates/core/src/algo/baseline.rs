@@ -81,7 +81,9 @@ pub fn prototype(chain: &Chain, n: usize) -> Vec<f64> {
 /// The canvas slope implied by the first leaf pattern of a node.
 fn leaf_slope(q: &ShapeQuery) -> f64 {
     match q {
-        ShapeQuery::Segment(ShapeSegment { pattern, sketch, .. }) => {
+        ShapeQuery::Segment(ShapeSegment {
+            pattern, sketch, ..
+        }) => {
             if sketch.is_some() {
                 return 0.0;
             }
@@ -135,13 +137,7 @@ mod tests {
 
     #[test]
     fn dtw_ranks_matching_shape_higher() {
-        let peak = viz(&[
-            (0.0, 0.0),
-            (1.0, 2.0),
-            (2.0, 4.0),
-            (3.0, 2.0),
-            (4.0, 0.0),
-        ]);
+        let peak = viz(&[(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 2.0), (4.0, 0.0)]);
         let rise = viz(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]);
         let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
         for m in [BaselineMethod::Dtw, BaselineMethod::Euclidean] {
@@ -158,13 +154,7 @@ mod tests {
     fn exact_prototype_match_scores_high() {
         // A perfect up-down triangle matches the prototype closely after
         // z-normalization.
-        let v = viz(&[
-            (0.0, 0.0),
-            (1.0, 1.0),
-            (2.0, 2.0),
-            (3.0, 1.0),
-            (4.0, 0.0),
-        ]);
+        let v = viz(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 1.0), (4.0, 0.0)]);
         let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
         let s = score(BaselineMethod::Dtw, &q, &v);
         assert!(s > 0.5, "dtw score {s}");

@@ -327,13 +327,7 @@ mod tests {
 
     #[test]
     fn nested_range_segmentation() {
-        let v = viz(&[
-            (0.0, 0.0),
-            (1.0, 2.0),
-            (2.0, 4.0),
-            (3.0, 2.0),
-            (4.0, 0.0),
-        ]);
+        let v = viz(&[(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 2.0), (4.0, 0.0)]);
         let params = ScoreParams::default();
         let udps = UdpRegistry::new();
         let ev = Evaluator::new(&v, &params, &udps);

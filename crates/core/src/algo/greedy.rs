@@ -125,13 +125,7 @@ mod tests {
     #[test]
     fn greedy_finds_obvious_break() {
         // Clean symmetric peak: the equal split is already optimal.
-        let v = viz(&[
-            (0.0, 0.0),
-            (1.0, 2.0),
-            (2.0, 4.0),
-            (3.0, 2.0),
-            (4.0, 0.0),
-        ]);
+        let v = viz(&[(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 2.0), (4.0, 0.0)]);
         let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
         let (g, d) = run(&q, &v);
         assert_eq!(g.ranges, d.ranges);

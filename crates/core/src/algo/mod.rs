@@ -59,6 +59,33 @@ pub enum SegmenterKind {
     Euclidean,
 }
 
+impl SegmenterKind {
+    /// Parses the short CLI / wire name of an algorithm.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "dp" => Some(SegmenterKind::Dp),
+            "tree" | "segment_tree" => Some(SegmenterKind::SegmentTree),
+            "pruned" | "tree_pruned" => Some(SegmenterKind::SegmentTreePruned),
+            "greedy" => Some(SegmenterKind::Greedy),
+            "dtw" => Some(SegmenterKind::Dtw),
+            "euclid" | "euclidean" => Some(SegmenterKind::Euclidean),
+            _ => None,
+        }
+    }
+
+    /// The canonical short name ([`Self::parse`] round-trips it).
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmenterKind::Dp => "dp",
+            SegmenterKind::SegmentTree => "tree",
+            SegmenterKind::SegmentTreePruned => "pruned",
+            SegmenterKind::Greedy => "greedy",
+            SegmenterKind::Dtw => "dtw",
+            SegmenterKind::Euclidean => "euclid",
+        }
+    }
+}
+
 /// A per-visualization segmentation strategy.
 pub trait Segmenter {
     /// Matches the expanded chains of a query against one visualization,

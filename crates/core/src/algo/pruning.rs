@@ -192,7 +192,8 @@ fn segment_bounds(s: &ShapeSegment, slopes: &[f64]) -> (f64, f64) {
                 .map(|&sl| score_flat(sl))
                 .fold(f64::INFINITY, f64::min);
             // Mixed-sign slopes can cancel into a perfectly flat merge.
-            let same_sign = slopes.iter().all(|&sl| sl >= 0.0) || slopes.iter().all(|&sl| sl <= 0.0);
+            let same_sign =
+                slopes.iter().all(|&sl| sl >= 0.0) || slopes.iter().all(|&sl| sl <= 0.0);
             let max = if same_sign {
                 slopes
                     .iter()
@@ -285,7 +286,10 @@ mod tests {
     fn bounds_are_tight_on_monotone_series() {
         // A perfectly linear rise: every interval slope equals the whole
         // slope, so the bound interval collapses onto the exact score.
-        let v = viz(&(0..16).map(|t| (t as f64, t as f64)).collect::<Vec<_>>(), 0);
+        let v = viz(
+            &(0..16).map(|t| (t as f64, t as f64)).collect::<Vec<_>>(),
+            0,
+        );
         let params = ScoreParams::default();
         let udps = UdpRegistry::new();
         let ev = Evaluator::new(&v, &params, &udps);

@@ -112,7 +112,12 @@ fn solve_tree_with(ev: &Evaluator<'_>, chain: &Chain, bridges: bool) -> MatchRes
     }
 }
 
-fn finish(ev: &Evaluator<'_>, chain: &Chain, score: f64, ranges: Vec<(usize, usize)>) -> MatchResult {
+fn finish(
+    ev: &Evaluator<'_>,
+    chain: &Chain,
+    score: f64,
+    ranges: Vec<(usize, usize)>,
+) -> MatchResult {
     let score = if chain.has_position_refs() {
         chain_score_with_positions(ev, chain, &ranges)
     } else {
@@ -137,10 +142,10 @@ fn solve_hybrid(ev: &Evaluator<'_>, chain: &Chain, bridges: bool) -> MatchResult
     let mut fuzzy_run: Vec<Unit> = Vec::new();
 
     let flush_run = |run: &mut Vec<Unit>,
-                         lo: usize,
-                         hi: usize,
-                         score: &mut f64,
-                         ranges: &mut Vec<(usize, usize)>|
+                     lo: usize,
+                     hi: usize,
+                     score: &mut f64,
+                     ranges: &mut Vec<(usize, usize)>|
      -> bool {
         if run.is_empty() {
             return true;
@@ -162,7 +167,8 @@ fn solve_hybrid(ev: &Evaluator<'_>, chain: &Chain, bridges: bool) -> MatchResult
                 return MatchResult::infeasible();
             }
             // Fuzzy run before this anchor tiles [prev_end, s].
-            if !fuzzy_run.is_empty() && !flush_run(&mut fuzzy_run, prev_end, s, &mut score, &mut ranges)
+            if !fuzzy_run.is_empty()
+                && !flush_run(&mut fuzzy_run, prev_end, s, &mut score, &mut ranges)
             {
                 return MatchResult::infeasible();
             }
@@ -173,8 +179,7 @@ fn solve_hybrid(ev: &Evaluator<'_>, chain: &Chain, bridges: bool) -> MatchResult
             fuzzy_run.push(unit.clone());
         }
     }
-    if !fuzzy_run.is_empty()
-        && !flush_run(&mut fuzzy_run, prev_end, n - 1, &mut score, &mut ranges)
+    if !fuzzy_run.is_empty() && !flush_run(&mut fuzzy_run, prev_end, n - 1, &mut score, &mut ranges)
     {
         return MatchResult::infeasible();
     }
@@ -209,7 +214,13 @@ fn tree_range(
 
 /// Recursive bottom-up construction of a node's table (points `[lo, hi]`).
 #[allow(clippy::needless_range_loop)] // sub-chain indices cross both children
-fn solve_node(ev: &Evaluator<'_>, units: &[Unit], lo: usize, hi: usize, bridges: bool) -> NodeTable {
+fn solve_node(
+    ev: &Evaluator<'_>,
+    units: &[Unit],
+    lo: usize,
+    hi: usize,
+    bridges: bool,
+) -> NodeTable {
     let k = units.len();
     let mut table = NodeTable::new(k);
     let intervals = hi - lo;
@@ -327,7 +338,12 @@ mod tests {
         ]);
         let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
         let (t, d) = run(&q, &v);
-        assert!((t.score - d.score).abs() < 1e-9, "{} vs {}", t.score, d.score);
+        assert!(
+            (t.score - d.score).abs() < 1e-9,
+            "{} vs {}",
+            t.score,
+            d.score
+        );
         assert_eq!(t.ranges, d.ranges);
     }
 
@@ -427,7 +443,12 @@ mod tests {
         let (t, d) = run(&q, &v);
         assert_eq!(t.ranges[0], (0, 2));
         assert_eq!(t.ranges.last().unwrap().1, 6);
-        assert!((t.score - d.score).abs() < 0.15, "{} vs {}", t.score, d.score);
+        assert!(
+            (t.score - d.score).abs() < 0.15,
+            "{} vs {}",
+            t.score,
+            d.score
+        );
     }
 
     #[test]
@@ -472,7 +493,11 @@ mod tests {
             (10.0, 3.0),
             (11.0, 2.0),
         ]);
-        let q = ShapeQuery::concat(vec![ShapeQuery::down(), ShapeQuery::up(), ShapeQuery::down()]);
+        let q = ShapeQuery::concat(vec![
+            ShapeQuery::down(),
+            ShapeQuery::up(),
+            ShapeQuery::down(),
+        ]);
         let (t, d) = run(&q, &v);
         assert!(t.score > 0.7, "score {}", t.score);
         assert!((t.score - d.score).abs() < 0.05);

@@ -289,7 +289,12 @@ mod tests {
         // 4 ORs of 4 alternatives each = 256 > 64 cap: one chain remains,
         // with each OR kept as an opaque unit (NOT the whole concat — that
         // would recurse when evaluated).
-        let or4 = ShapeQuery::Or(vec![up(), down(), flat(), ShapeQuery::pattern(Pattern::Any)]);
+        let or4 = ShapeQuery::Or(vec![
+            up(),
+            down(),
+            flat(),
+            ShapeQuery::pattern(Pattern::Any),
+        ]);
         let q = ShapeQuery::concat(vec![or4.clone(), or4.clone(), or4.clone(), or4.clone()]);
         let chains = expand_chains(&q);
         assert_eq!(chains.len(), 1);

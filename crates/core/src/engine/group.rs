@@ -165,10 +165,7 @@ impl VizData {
     /// the valid range.
     pub fn x_to_index(&self, raw: f64) -> usize {
         let target = self.norm_x(raw);
-        match self
-            .xs
-            .binary_search_by(|probe| probe.total_cmp(&target))
-        {
+        match self.xs.binary_search_by(|probe| probe.total_cmp(&target)) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) if i >= self.xs.len() => self.xs.len() - 1,

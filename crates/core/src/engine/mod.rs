@@ -144,6 +144,24 @@ impl ShapeEngine {
     /// Fails when the query references unregistered UDPs or is structurally
     /// empty.
     pub fn top_k(&self, query: &ShapeQuery, k: usize) -> Result<Vec<TopKResult>> {
+        self.top_k_with_options(query, k, &self.options)
+    }
+
+    /// Executes a ShapeQuery under the given options instead of the
+    /// engine's own — the seam that lets a shared, immutable engine (e.g.
+    /// one behind an `Arc` in a server catalog) serve requests that pick
+    /// their own algorithm or scoring parameters without cloning the
+    /// extracted trendlines.
+    ///
+    /// # Errors
+    /// Fails when the query references unregistered UDPs or is structurally
+    /// empty.
+    pub fn top_k_with_options(
+        &self,
+        query: &ShapeQuery,
+        k: usize,
+        options: &EngineOptions,
+    ) -> Result<Vec<TopKResult>> {
         self.validate(query)?;
         let chains = expand_chains(query);
         if chains.is_empty() || chains.iter().any(Chain::is_empty) {
@@ -157,28 +175,28 @@ impl ShapeEngine {
             .iter()
             .enumerate()
             .filter(|(_, t)| {
-                !self.options.pushdown
-                    || pinned.is_empty()
-                    || pushdown::covers_ranges(t, &pinned)
+                !options.pushdown || pinned.is_empty() || pushdown::covers_ranges(t, &pinned)
             })
             .collect();
 
         // GROUP, with push-down (c) for fully non-fuzzy queries.
-        let restrict = self.options.pushdown && pushdown::fully_pinned(query);
+        let restrict = options.pushdown && pushdown::fully_pinned(query);
         let vizzes: Vec<VizData> = candidates
             .into_iter()
             .filter_map(|(source, t)| {
                 if restrict {
-                    VizData::from_trendline_restricted(t, source, self.options.bin_width, &pinned)
+                    VizData::from_trendline_restricted(t, source, options.bin_width, &pinned)
                 } else {
-                    VizData::from_trendline(t, source, self.options.bin_width)
+                    VizData::from_trendline(t, source, options.bin_width)
                 }
             })
             .collect();
 
-        let results = match self.options.segmenter {
-            SegmenterKind::SegmentTreePruned => self.run_pruned_driver(&vizzes, query, &chains, k),
-            kind => self.run_per_viz(&vizzes, &chains, kind, k),
+        let results = match options.segmenter {
+            SegmenterKind::SegmentTreePruned => {
+                self.run_pruned_driver(&vizzes, query, &chains, k, options)
+            }
+            kind => self.run_per_viz(&vizzes, &chains, kind, k, options),
         };
 
         Ok(results
@@ -200,15 +218,18 @@ impl ShapeEngine {
         chains: &[Chain],
         kind: SegmenterKind,
         k: usize,
+        options: &EngineOptions,
     ) -> TopK {
         let score_one = |viz: &VizData| -> MatchResult {
-            let ev = Evaluator::new(viz, &self.options.params, &self.udps);
-            if self.options.pushdown && pushdown::eager_discard(&ev, chains) {
+            let ev = Evaluator::new(viz, &options.params, &self.udps);
+            if options.pushdown && pushdown::eager_discard(&ev, chains) {
                 return MatchResult::infeasible();
             }
             match kind {
                 SegmenterKind::Dp => DpSegmenter.match_viz(&ev, chains),
-                SegmenterKind::SegmentTree => SegmentTreeSegmenter::default().match_viz(&ev, chains),
+                SegmenterKind::SegmentTree => {
+                    SegmentTreeSegmenter::default().match_viz(&ev, chains)
+                }
                 SegmenterKind::Greedy => GreedySegmenter::new().match_viz(&ev, chains),
                 SegmenterKind::Dtw => WholeSeriesBaseline {
                     method: BaselineMethod::Dtw,
@@ -223,18 +244,18 @@ impl ShapeEngine {
         };
 
         let mut topk = TopK::new(k);
-        if self.options.parallel && vizzes.len() > 1 {
+        if options.parallel && vizzes.len() > 1 {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .min(vizzes.len());
             let chunk = vizzes.len().div_ceil(threads);
             let mut all: Vec<(usize, MatchResult)> = Vec::with_capacity(vizzes.len());
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = vizzes
                     .chunks(chunk)
                     .map(|part| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             part.iter()
                                 .map(|v| (v.source, score_one(v)))
                                 .collect::<Vec<_>>()
@@ -244,8 +265,7 @@ impl ShapeEngine {
                 for h in handles {
                     all.extend(h.join().expect("scoring thread panicked"));
                 }
-            })
-            .expect("crossbeam scope");
+            });
             for (src, r) in all {
                 topk.push(src, r);
             }
@@ -263,15 +283,16 @@ impl ShapeEngine {
         query: &ShapeQuery,
         chains: &[Chain],
         k: usize,
+        options: &EngineOptions,
     ) -> TopK {
         let outcomes = run_pruned(
             vizzes,
             query,
             chains,
-            &self.options.params,
+            &options.params,
             &self.udps,
             k,
-            &self.options.pruning,
+            &options.pruning,
         );
         let mut topk = TopK::new(k);
         for (viz, outcome) in vizzes.iter().zip(outcomes) {
@@ -425,10 +446,7 @@ mod tests {
     fn unknown_udp_is_an_error() {
         let engine = ShapeEngine::from_trendlines(collection());
         let q = ShapeQuery::pattern(Pattern::Udp("mystery".into()));
-        assert!(matches!(
-            engine.top_k(&q, 1),
-            Err(CoreError::UnknownUdp(_))
-        ));
+        assert!(matches!(engine.top_k(&q, 1), Err(CoreError::UnknownUdp(_))));
     }
 
     #[test]
@@ -437,13 +455,7 @@ mod tests {
         // "ends higher than it starts".
         engine.register_udp(
             "net_gain",
-            Arc::new(|ys: &[f64]| {
-                if ys.last() > ys.first() {
-                    1.0
-                } else {
-                    -1.0
-                }
-            }),
+            Arc::new(|ys: &[f64]| if ys.last() > ys.first() { 1.0 } else { -1.0 }),
         );
         let q = ShapeQuery::pattern(Pattern::Udp("net_gain".into()));
         let results = engine.top_k(&q, 4).unwrap();

@@ -99,16 +99,26 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Scores an arbitrary query node over inclusive point range `[i, j]`.
-    pub fn eval_node(&self, q: &ShapeQuery, i: usize, j: usize, pos: Option<PosContext<'_>>) -> f64 {
+    pub fn eval_node(
+        &self,
+        q: &ShapeQuery,
+        i: usize,
+        j: usize,
+        pos: Option<PosContext<'_>>,
+    ) -> f64 {
         debug_assert!(j > i && j < self.viz.n());
         match q {
             ShapeQuery::Segment(s) => self.eval_segment(s, i, j, pos),
-            ShapeQuery::And(cs) => {
-                combine_and(&cs.iter().map(|c| self.eval_node(c, i, j, pos)).collect::<Vec<_>>())
-            }
-            ShapeQuery::Or(cs) => {
-                combine_or(&cs.iter().map(|c| self.eval_node(c, i, j, pos)).collect::<Vec<_>>())
-            }
+            ShapeQuery::And(cs) => combine_and(
+                &cs.iter()
+                    .map(|c| self.eval_node(c, i, j, pos))
+                    .collect::<Vec<_>>(),
+            ),
+            ShapeQuery::Or(cs) => combine_or(
+                &cs.iter()
+                    .map(|c| self.eval_node(c, i, j, pos))
+                    .collect::<Vec<_>>(),
+            ),
             ShapeQuery::Not(c) => combine_not(self.eval_node(c, i, j, pos)),
             ShapeQuery::Concat(_) => {
                 // A nested CONCAT segments its assigned range optimally.
@@ -580,7 +590,13 @@ mod tests {
         // Steep rise: y goes 0..100 over x 0..4 on canvas = slope after
         // normalization is 1 over the whole range; sub-range [0,1] is x=0.25
         // wide and y spans 0.9 of the range -> steep.
-        let v = viz(&[(0.0, 0.0), (1.0, 90.0), (2.0, 92.0), (3.0, 95.0), (4.0, 100.0)]);
+        let v = viz(&[
+            (0.0, 0.0),
+            (1.0, 90.0),
+            (2.0, 92.0),
+            (3.0, 95.0),
+            (4.0, 100.0),
+        ]);
         let ev = c.ev(&v);
         let sharp = ShapeSegment::pattern(Pattern::Up).with_modifier(Modifier::MuchMore);
         let s_steep = ev.eval_segment(&sharp, 0, 1, None);
@@ -596,13 +612,7 @@ mod tests {
     fn quantifier_counts_two_peaks() {
         let c = Ctx::new();
         // Two clear peaks.
-        let v = viz(&[
-            (0.0, 0.0),
-            (1.0, 5.0),
-            (2.0, 0.5),
-            (3.0, 5.5),
-            (4.0, 0.0),
-        ]);
+        let v = viz(&[(0.0, 0.0), (1.0, 5.0), (2.0, 0.5), (3.0, 5.5), (4.0, 0.0)]);
         let ev = c.ev(&v);
         let two_ups = ShapeSegment::pattern(Pattern::Up).with_modifier(Modifier::exactly(2));
         let s = ev.eval_segment(&two_ups, 0, 4, None);
@@ -658,10 +668,8 @@ mod tests {
     #[test]
     fn udp_lookup_and_missing() {
         let mut c = Ctx::new();
-        c.udps.register(
-            "always_half",
-            Arc::new(|_ys: &[f64]| 0.5) as UdpFn,
-        );
+        c.udps
+            .register("always_half", Arc::new(|_ys: &[f64]| 0.5) as UdpFn);
         let v = rising();
         let ev = c.ev(&v);
         let good = ShapeSegment::pattern(Pattern::Udp("always_half".into()));
@@ -676,11 +684,23 @@ mod tests {
         let v = peak();
         let ev = c.ev(&v);
         let match_sketch = ShapeSegment {
-            sketch: Some(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 2.0), (4.0, 0.0)]),
+            sketch: Some(vec![
+                (0.0, 0.0),
+                (1.0, 2.0),
+                (2.0, 4.0),
+                (3.0, 2.0),
+                (4.0, 0.0),
+            ]),
             ..ShapeSegment::default()
         };
         let anti_sketch = ShapeSegment {
-            sketch: Some(vec![(0.0, 4.0), (1.0, 2.0), (2.0, 0.0), (3.0, 2.0), (4.0, 4.0)]),
+            sketch: Some(vec![
+                (0.0, 4.0),
+                (1.0, 2.0),
+                (2.0, 0.0),
+                (3.0, 2.0),
+                (4.0, 4.0),
+            ]),
             ..ShapeSegment::default()
         };
         let s_match = ev.eval_segment(&match_sketch, 0, 4, None);
@@ -716,7 +736,13 @@ mod tests {
     fn chain_score_with_positions_resolves_refs() {
         let c = Ctx::new();
         // Steep rise then gentle rise.
-        let v = viz(&[(0.0, 0.0), (1.0, 80.0), (2.0, 85.0), (3.0, 90.0), (4.0, 95.0)]);
+        let v = viz(&[
+            (0.0, 0.0),
+            (1.0, 80.0),
+            (2.0, 85.0),
+            (3.0, 90.0),
+            (4.0, 95.0),
+        ]);
         let ev = c.ev(&v);
         let q = ShapeQuery::concat(vec![
             ShapeQuery::up(),

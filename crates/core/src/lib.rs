@@ -54,9 +54,7 @@ pub mod stats;
 pub mod udps;
 
 pub use algo::{MatchResult, Segmenter, SegmenterKind};
-pub use ast::{
-    IteratorSpec, Location, Modifier, Pattern, PosRef, ShapeQuery, ShapeSegment,
-};
+pub use ast::{IteratorSpec, Location, Modifier, Pattern, PosRef, ShapeQuery, ShapeSegment};
 pub use engine::group::VizData;
 pub use engine::{EngineOptions, ShapeEngine, TopKResult};
 pub use error::{CoreError, Result};

@@ -103,12 +103,20 @@ pub fn combine_concat(scores: &[f64]) -> f64 {
 
 /// AND (⊙): the minimum, "to avoid any pattern not having a good match".
 pub fn combine_and(scores: &[f64]) -> f64 {
-    scores.iter().copied().fold(f64::INFINITY, f64::min).min(1.0)
+    scores
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0)
 }
 
 /// OR (⊕): the maximum — "picks the best matching pattern among many".
 pub fn combine_or(scores: &[f64]) -> f64 {
-    scores.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(-1.0)
+    scores
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(-1.0)
 }
 
 /// NOT (!): negation.

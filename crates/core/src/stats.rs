@@ -39,9 +39,9 @@ impl SummaryStats {
 
     /// Statistics of a point set.
     pub fn from_points(points: &[(f64, f64)]) -> Self {
-        points
-            .iter()
-            .fold(Self::default(), |acc, &(x, y)| acc.merge(&Self::point(x, y)))
+        points.iter().fold(Self::default(), |acc, &(x, y)| {
+            acc.merge(&Self::point(x, y))
+        })
     }
 
     /// Additive merge (Theorem 5.1): statistics of the disjoint union of two
@@ -205,8 +205,7 @@ mod tests {
         let idx = StatsIndex::new(&xs, &ys);
         for i in 0..xs.len() {
             for j in i..xs.len() {
-                let pts: Vec<(f64, f64)> =
-                    (i..=j).map(|t| (xs[t], ys[t])).collect();
+                let pts: Vec<(f64, f64)> = (i..=j).map(|t| (xs[t], ys[t])).collect();
                 let direct = SummaryStats::from_points(&pts);
                 let ranged = idx.range(i, j);
                 assert!((direct.slope() - ranged.slope()).abs() < 1e-9);

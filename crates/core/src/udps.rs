@@ -32,7 +32,10 @@ pub fn register_builtins(reg: &mut UdpRegistry) {
     reg.register("exponential", Arc::new(score_exponential) as UdpFn);
     reg.register("logarithmic", Arc::new(score_logarithmic) as UdpFn);
     reg.register("entropy_high", Arc::new(score_entropy_high) as UdpFn);
-    reg.register("entropy_low", Arc::new(|ys: &[f64]| -score_entropy_high(ys)) as UdpFn);
+    reg.register(
+        "entropy_low",
+        Arc::new(|ys: &[f64]| -score_entropy_high(ys)) as UdpFn,
+    );
     reg.register("v_shape", Arc::new(score_v_shape) as UdpFn);
     reg.register("spike", Arc::new(score_spike) as UdpFn);
 }
@@ -130,16 +133,17 @@ pub fn score_v_shape(ys: &[f64]) -> f64 {
     if n < 3 {
         return -1.0;
     }
-    let (min_idx, _) = ys
-        .iter()
-        .enumerate()
-        .fold((0, f64::INFINITY), |(bi, bv), (i, &v)| {
-            if v < bv {
-                (i, v)
-            } else {
-                (bi, bv)
-            }
-        });
+    let (min_idx, _) =
+        ys.iter().enumerate().fold(
+            (0, f64::INFINITY),
+            |(bi, bv), (i, &v)| {
+                if v < bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            },
+        );
     let centered = 1.0 - 2.0 * ((min_idx as f64 / (n - 1) as f64) - 0.5).abs() * 2.0;
     let left = SummaryStats::from_points(
         &ys[..=min_idx.max(1)]
@@ -175,7 +179,11 @@ pub fn score_spike(ys: &[f64]) -> f64 {
     let max = sorted[n - 1];
     let range = (sorted[n - 1] - sorted[0]).max(1e-12);
     let prominence = (max - median) / range; // 0..1
-    let wide = ys.iter().filter(|&&y| y > median + 0.5 * (max - median)).count() as f64 / n as f64;
+    let wide = ys
+        .iter()
+        .filter(|&&y| y > median + 0.5 * (max - median))
+        .count() as f64
+        / n as f64;
     (2.0 * prominence * (1.0 - wide) * 2.0 - 1.0).clamp(-1.0, 1.0)
 }
 
@@ -217,7 +225,9 @@ mod tests {
     fn entropy_separates_noise_from_trend() {
         let smooth = series(|t| t, 64);
         // A deterministic pseudo-noise series.
-        let noisy: Vec<f64> = (0..64).map(|i| ((i * 2654435761u64 as usize) % 97) as f64).collect();
+        let noisy: Vec<f64> = (0..64)
+            .map(|i| ((i * 2654435761u64 as usize) % 97) as f64)
+            .collect();
         assert!(score_entropy_high(&noisy) > score_entropy_high(&smooth));
         assert!(score_entropy_high(&smooth) < 0.0);
         assert_eq!(score_entropy_high(&[5.0, 5.0, 5.0, 5.0]), -1.0);
@@ -245,8 +255,14 @@ mod tests {
     fn builtins_registered() {
         let reg = UdpRegistry::with_builtins();
         for name in [
-            "concave", "convex", "exponential", "logarithmic", "entropy_high", "entropy_low",
-            "v_shape", "spike",
+            "concave",
+            "convex",
+            "exponential",
+            "logarithmic",
+            "entropy_high",
+            "entropy_low",
+            "v_shape",
+            "spike",
         ] {
             assert!(reg.contains(name), "{name} missing");
         }

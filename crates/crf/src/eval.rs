@@ -150,7 +150,11 @@ mod tests {
 
     #[test]
     fn metrics_arithmetic() {
-        let m = LabelMetrics { tp: 8, fp: 2, fn_: 4 };
+        let m = LabelMetrics {
+            tp: 8,
+            fp: 2,
+            fn_: 4,
+        };
         assert!((m.precision() - 0.8).abs() < 1e-12);
         assert!((m.recall() - 8.0 / 12.0).abs() < 1e-12);
         let f1 = m.f1();

@@ -57,10 +57,7 @@ impl CrfModel {
     /// Maps a token's feature strings to known feature ids (unknown features
     /// are silently dropped — they carry zero weight anyway).
     pub(crate) fn feature_ids(&self, token: &[String]) -> Vec<u32> {
-        token
-            .iter()
-            .filter_map(|f| self.features.get(f))
-            .collect()
+        token.iter().filter_map(|f| self.features.get(f)).collect()
     }
 
     /// Unary log-potential for a token (given resolved feature ids).
@@ -282,7 +279,10 @@ mod tests {
             let total: f64 = (0..2)
                 .map(|y| (alpha[t][y] + beta[t][y] - log_z).exp())
                 .sum();
-            assert!((total - 1.0).abs() < 1e-9, "marginals at t={t} sum to {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "marginals at t={t} sum to {total}"
+            );
         }
     }
 

@@ -55,13 +55,29 @@ impl PosTag {
     }
 }
 
-const DETERMINERS: &[&str] = &["a", "an", "the", "this", "these", "those", "some", "any", "each", "every"];
+const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "this", "these", "those", "some", "any", "each", "every",
+];
 const PREPOSITIONS: &[&str] = &[
     "from", "to", "at", "in", "on", "of", "over", "within", "between", "during", "by", "until",
     "till", "after", "before", "around", "near", "above", "below", "across", "for", "with",
 ];
-const CONJUNCTIONS: &[&str] = &["and", "or", "then", "but", "followed", "next", "afterwards", "afterward", "finally", "later"];
-const PRONOUNS: &[&str] = &["i", "me", "my", "we", "us", "our", "you", "your", "it", "its", "that", "which", "who", "them", "they"];
+const CONJUNCTIONS: &[&str] = &[
+    "and",
+    "or",
+    "then",
+    "but",
+    "followed",
+    "next",
+    "afterwards",
+    "afterward",
+    "finally",
+    "later",
+];
+const PRONOUNS: &[&str] = &[
+    "i", "me", "my", "we", "us", "our", "you", "your", "it", "its", "that", "which", "who", "them",
+    "they",
+];
 const COMMON_VERBS: &[&str] = &[
     "show", "find", "search", "get", "give", "want", "is", "are", "was", "were", "be", "been",
     "has", "have", "had", "look", "display", "see", "going", "goes", "go", "stay", "stays",
@@ -72,10 +88,45 @@ const COMMON_ADJECTIVES: &[&str] = &[
     "stable", "steady", "constant", "maximum", "minimum", "double", "triple", "similar",
 ];
 const COMMON_NOUNS: &[&str] = &[
-    "peak", "peaks", "valley", "valleys", "trend", "trends", "pattern", "patterns", "shape",
-    "shapes", "stock", "stocks", "gene", "genes", "city", "cities", "month", "months", "week",
-    "weeks", "day", "days", "year", "years", "point", "points", "slope", "top", "bottom",
-    "head", "shoulder", "shoulders", "cup", "dip", "dips", "spike", "spikes", "times", "time",
+    "peak",
+    "peaks",
+    "valley",
+    "valleys",
+    "trend",
+    "trends",
+    "pattern",
+    "patterns",
+    "shape",
+    "shapes",
+    "stock",
+    "stocks",
+    "gene",
+    "genes",
+    "city",
+    "cities",
+    "month",
+    "months",
+    "week",
+    "weeks",
+    "day",
+    "days",
+    "year",
+    "years",
+    "point",
+    "points",
+    "slope",
+    "top",
+    "bottom",
+    "head",
+    "shoulder",
+    "shoulders",
+    "cup",
+    "dip",
+    "dips",
+    "spike",
+    "spikes",
+    "times",
+    "time",
 ];
 
 /// Tags a single lowercase token.
@@ -87,7 +138,10 @@ pub fn tag_word(word: &str) -> PosTag {
     if w.chars().all(|c| c.is_ascii_punctuation()) {
         return PosTag::Punct;
     }
-    if w.parse::<f64>().is_ok() || w.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '-') {
+    if w.parse::<f64>().is_ok()
+        || w.chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '-')
+    {
         return PosTag::Number;
     }
     let w = w.as_str();
@@ -199,7 +253,13 @@ mod tests {
         let tags = tag_sentence(&tokens);
         assert_eq!(
             tags,
-            vec![PosTag::Verb, PosTag::Pronoun, PosTag::Noun, PosTag::Verb, PosTag::Adverb]
+            vec![
+                PosTag::Verb,
+                PosTag::Pronoun,
+                PosTag::Noun,
+                PosTag::Verb,
+                PosTag::Adverb
+            ]
         );
     }
 

@@ -184,9 +184,9 @@ fn sgd_step(model: &mut CrfModel, feats: &[Vec<u32>], labs: &[usize], lr: f64, l
     for t in 0..n.saturating_sub(1) {
         for a in 0..nl {
             for b in 0..nl {
-                let lp = alpha[t][a] + model.transition[a * nl + b] + unary[t + 1][b]
-                    + beta[t + 1][b]
-                    - log_z;
+                let lp =
+                    alpha[t][a] + model.transition[a * nl + b] + unary[t + 1][b] + beta[t + 1][b]
+                        - log_z;
                 let marginal = lp.exp();
                 let empirical = if labs[t] == a && labs[t + 1] == b {
                     1.0

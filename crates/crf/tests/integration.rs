@@ -12,7 +12,9 @@ fn corpus(n: usize, seed: u64) -> Vec<Sequence> {
     let mut out = Vec::new();
     let mut state = seed;
     let mut next = |m: usize| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as usize) % m
     };
     for _ in 0..n {

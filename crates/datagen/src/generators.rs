@@ -77,8 +77,7 @@ pub fn seasonal(
     (0..n)
         .map(|i| {
             let t = i as f64 / (n - 1).max(1) as f64;
-            amplitude * (2.0 * std::f64::consts::PI * cycles * t + phase).sin()
-                + noise * gauss(rng)
+            amplitude * (2.0 * std::f64::consts::PI * cycles * t + phase).sin() + noise * gauss(rng)
         })
         .collect()
 }
@@ -128,12 +127,7 @@ pub enum ChartPattern {
 /// Generates a chart-pattern series with noise.
 pub fn chart_pattern(rng: &mut StdRng, n: usize, pattern: ChartPattern, noise: f64) -> Vec<f64> {
     let pieces: &[(f64, f64)] = match pattern {
-        ChartPattern::DoubleTop => &[
-            (1.0, 1.0),
-            (1.0, -0.6),
-            (1.0, 0.6),
-            (1.0, -1.0),
-        ],
+        ChartPattern::DoubleTop => &[(1.0, 1.0), (1.0, -0.6), (1.0, 0.6), (1.0, -1.0)],
         ChartPattern::HeadAndShoulders => &[
             (1.0, 0.7),
             (0.7, -0.4),

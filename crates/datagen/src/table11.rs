@@ -339,8 +339,7 @@ mod tests {
         // The paper required ≥ 20 visualizations with score > 0 per query.
         // Check the smallest dataset (Weather) on its first query.
         let data = weather(42);
-        let engine =
-            ShapeEngine::from_trendlines(data).with_segmenter(SegmenterKind::SegmentTree);
+        let engine = ShapeEngine::from_trendlines(data).with_segmenter(SegmenterKind::SegmentTree);
         let q = parse_regex(DatasetId::Weather.fuzzy_queries()[0]).unwrap();
         let results = engine.top_k(&q, 144).unwrap();
         let positives = results.iter().filter(|r| r.score > 0.0).count();
@@ -353,8 +352,7 @@ mod tests {
         // 5 regions × 138 months × 2..4 listings.
         assert!(table.num_rows() > 5 * 138);
         let spec = shapesearch_datastore::VisualSpec::new("region", "month", "price");
-        let trends =
-            shapesearch_datastore::extract(&table, &spec, &Default::default()).unwrap();
+        let trends = shapesearch_datastore::extract(&table, &spec, &Default::default()).unwrap();
         assert_eq!(trends.len(), 5);
         assert!(trends.iter().all(|t| t.points.len() == 138));
     }

@@ -52,9 +52,14 @@ impl fmt::Display for DataError {
                 "column `{column}` has type {actual}, expected {expected}"
             ),
             DataError::LengthMismatch { expected, actual } => {
-                write!(f, "column length {actual} does not match table length {expected}")
+                write!(
+                    f,
+                    "column length {actual} does not match table length {expected}"
+                )
             }
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
         }

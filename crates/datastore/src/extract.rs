@@ -200,10 +200,13 @@ mod tests {
         assert_eq!(trends.len(), 2);
         assert_eq!(trends[0].key, "a");
         // x sorted ascending; duplicate x=2 averaged: (20+40)/2 = 30.
-        assert_eq!(trends[0].points, vec![
-            TrendPoint { x: 1.0, y: 10.0 },
-            TrendPoint { x: 2.0, y: 30.0 },
-        ]);
+        assert_eq!(
+            trends[0].points,
+            vec![
+                TrendPoint { x: 1.0, y: 10.0 },
+                TrendPoint { x: 2.0, y: 30.0 },
+            ]
+        );
         assert_eq!(trends[1].key, "b");
         assert_eq!(trends[1].len(), 3);
     }
@@ -220,8 +223,8 @@ mod tests {
 
     #[test]
     fn filters_apply_before_grouping() {
-        let spec = VisualSpec::new("z", "x", "y")
-            .with_filter(Predicate::new("z", CompareOp::Eq, "b"));
+        let spec =
+            VisualSpec::new("z", "x", "y").with_filter(Predicate::new("z", CompareOp::Eq, "b"));
         let trends = extract(&sample(), &spec, &ExtractOptions::default()).unwrap();
         assert_eq!(trends.len(), 1);
         assert_eq!(trends[0].key, "b");
@@ -240,15 +243,31 @@ mod tests {
     #[test]
     fn single_point_trendlines_are_dropped() {
         let mut b = TableBuilder::new(vec!["z".into(), "x".into(), "y".into()]);
-        b.push_row(vec![Value::Str("solo".into()), Value::Int(1), Value::Float(1.0)])
-            .unwrap();
-        b.push_row(vec![Value::Str("pair".into()), Value::Int(1), Value::Float(1.0)])
-            .unwrap();
-        b.push_row(vec![Value::Str("pair".into()), Value::Int(2), Value::Float(2.0)])
-            .unwrap();
+        b.push_row(vec![
+            Value::Str("solo".into()),
+            Value::Int(1),
+            Value::Float(1.0),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            Value::Str("pair".into()),
+            Value::Int(1),
+            Value::Float(1.0),
+        ])
+        .unwrap();
+        b.push_row(vec![
+            Value::Str("pair".into()),
+            Value::Int(2),
+            Value::Float(2.0),
+        ])
+        .unwrap();
         let t = b.finish();
-        let trends = extract(&t, &VisualSpec::new("z", "x", "y"), &ExtractOptions::default())
-            .unwrap();
+        let trends = extract(
+            &t,
+            &VisualSpec::new("z", "x", "y"),
+            &ExtractOptions::default(),
+        )
+        .unwrap();
         assert_eq!(trends.len(), 1);
         assert_eq!(trends[0].key, "pair");
     }

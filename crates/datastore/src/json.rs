@@ -90,10 +90,7 @@ impl<'a> Cursor<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(self.err(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -122,15 +119,9 @@ impl<'a> Cursor<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let c = decode_unicode_escape(self.bytes, &mut self.pos)
+                                .map_err(|m| self.err(m))?;
+                            out.push(c);
                         }
                         other => {
                             return Err(self.err(format!("unknown escape \\{}", other as char)))
@@ -167,7 +158,10 @@ impl<'a> Cursor<'a> {
                 Ok(Value::Null)
             }
             Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            Some(b) => Err(self.err(format!("unsupported JSON value starting with `{}`", b as char))),
+            Some(b) => Err(self.err(format!(
+                "unsupported JSON value starting with `{}`",
+                b as char
+            ))),
             None => Err(self.err("unexpected end of line")),
         }
     }
@@ -211,7 +205,45 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn utf8_width(first: u8) -> usize {
+fn read_hex4(bytes: &[u8], pos: &mut usize) -> std::result::Result<u32, String> {
+    if *pos + 4 > bytes.len() {
+        return Err("truncated \\u escape".into());
+    }
+    let hex = std::str::from_utf8(&bytes[*pos..*pos + 4])
+        .map_err(|_| "non-utf8 \\u escape".to_owned())?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_owned())?;
+    *pos += 4;
+    Ok(code)
+}
+
+/// Decodes the payload of a JSON `\u` escape with `*pos` just past the
+/// `u`, consuming a following `\uDC00`–`\uDFFF` escape when the first
+/// code unit is a high surrogate (non-BMP characters arrive as UTF-16
+/// surrogate pairs). Unpaired surrogates are an error, not U+FFFD.
+/// Shared with the server crate's full-JSON parser.
+pub fn decode_unicode_escape(bytes: &[u8], pos: &mut usize) -> std::result::Result<char, String> {
+    let code = read_hex4(bytes, pos)?;
+    match code {
+        0xD800..=0xDBFF => {
+            if bytes.get(*pos) != Some(&b'\\') || bytes.get(*pos + 1) != Some(&b'u') {
+                return Err("unpaired utf-16 surrogate".into());
+            }
+            *pos += 2;
+            let low = read_hex4(bytes, pos)?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return Err("unpaired utf-16 surrogate".into());
+            }
+            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            char::from_u32(combined).ok_or_else(|| "bad surrogate pair".to_owned())
+        }
+        0xDC00..=0xDFFF => Err("unpaired utf-16 surrogate".into()),
+        code => char::from_u32(code).ok_or_else(|| "bad \\u escape".to_owned()),
+    }
+}
+
+/// Width in bytes of a UTF-8 sequence from its leading byte. Shared
+/// with the server crate's full-JSON parser.
+pub fn utf8_width(first: u8) -> usize {
     match first {
         0x00..=0x7f => 1,
         0xc0..=0xdf => 2,
@@ -261,7 +293,8 @@ mod tests {
 
     #[test]
     fn basic_objects() {
-        let t = read_str("{\"z\":\"a\",\"x\":1,\"y\":1.5}\n{\"z\":\"b\",\"x\":2,\"y\":2.5}\n").unwrap();
+        let t =
+            read_str("{\"z\":\"a\",\"x\":1,\"y\":1.5}\n{\"z\":\"b\",\"x\":2,\"y\":2.5}\n").unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.value(0, "z").unwrap(), Value::Str("a".into()));
         assert_eq!(t.value(1, "y").unwrap(), Value::Float(2.5));
@@ -280,6 +313,15 @@ mod tests {
     fn escapes_and_unicode() {
         let t = read_str("{\"s\":\"a\\n\\\"b\\\" \\u00e9\"}\n").unwrap();
         assert_eq!(t.value(0, "s").unwrap(), Value::Str("a\n\"b\" é".into()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_unpaired_reject() {
+        // U+1F4C8 encoded as a UTF-16 surrogate pair.
+        let t = read_str("{\"s\":\"\\ud83d\\udcc8\"}\n").unwrap();
+        assert_eq!(t.value(0, "s").unwrap(), Value::Str("\u{1F4C8}".into()));
+        assert!(read_str("{\"s\":\"\\ud83d\"}\n").is_err());
+        assert!(read_str("{\"s\":\"\\udcc8\"}\n").is_err());
     }
 
     #[test]

@@ -148,7 +148,11 @@ impl TableBuilder {
 
     /// Finishes all columns (inferring types) and assembles the table.
     pub fn finish(self) -> Table {
-        let columns: Vec<Column> = self.builders.into_iter().map(ColumnBuilder::finish).collect();
+        let columns: Vec<Column> = self
+            .builders
+            .into_iter()
+            .map(ColumnBuilder::finish)
+            .collect();
         let fields = self
             .names
             .into_iter()

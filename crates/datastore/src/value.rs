@@ -139,13 +139,19 @@ mod tests {
     fn numeric_widening_in_cmp() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn null_sorts_first_strings_last() {
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
-        assert_eq!(Value::Int(0).total_cmp(&Value::Str("a".into())), Ordering::Less);
+        assert_eq!(
+            Value::Int(0).total_cmp(&Value::Str("a".into())),
+            Ordering::Less
+        );
         assert_eq!(
             Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
             Ordering::Less

@@ -19,17 +19,15 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 fn table_strategy() -> impl Strategy<Value = Table> {
     (1usize..5, 0usize..20).prop_flat_map(|(cols, rows)| {
         let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
-        proptest::collection::vec(
-            proptest::collection::vec(value_strategy(), cols),
-            rows,
+        proptest::collection::vec(proptest::collection::vec(value_strategy(), cols), rows).prop_map(
+            move |data| {
+                let mut b = TableBuilder::new(names.clone());
+                for row in data {
+                    b.push_row(row).expect("arity matches");
+                }
+                b.finish()
+            },
         )
-        .prop_map(move |data| {
-            let mut b = TableBuilder::new(names.clone());
-            for row in data {
-                b.push_row(row).expect("arity matches");
-            }
-            b.finish()
-        })
     })
 }
 

@@ -48,17 +48,44 @@ const LEADS: &[&str] = &[
     "",
 ];
 const SUBJECTS: &[&str] = &[
-    "genes", "stocks", "cities", "products", "objects", "trendlines", "companies", "patients",
+    "genes",
+    "stocks",
+    "cities",
+    "products",
+    "objects",
+    "trendlines",
+    "companies",
+    "patients",
     "stars",
 ];
 const LINKS: &[&str] = &["that are", "which are", "that", "with trends", ""];
 
-const UP_WORDS: &[&str] = &["rising", "increasing", "growing", "climbing", "going up", "improving"];
-const DOWN_WORDS: &[&str] = &["falling", "decreasing", "declining", "dropping", "going down"];
+const UP_WORDS: &[&str] = &[
+    "rising",
+    "increasing",
+    "growing",
+    "climbing",
+    "going up",
+    "improving",
+];
+const DOWN_WORDS: &[&str] = &[
+    "falling",
+    "decreasing",
+    "declining",
+    "dropping",
+    "going down",
+];
 const FLAT_WORDS: &[&str] = &["flat", "stable", "steady", "constant", "plateauing"];
 const SHARP_WORDS: &[&str] = &["sharply", "steeply", "rapidly", "quickly", "suddenly"];
 const GRADUAL_WORDS: &[&str] = &["gradually", "slowly", "gently"];
-const CONCATS: &[&str] = &["then", "and then", "followed by", "next", "and later", "and"];
+const CONCATS: &[&str] = &[
+    "then",
+    "and then",
+    "followed by",
+    "next",
+    "and later",
+    "and",
+];
 const UNITS: &[&str] = &["months", "weeks", "days", "hours", "points"];
 
 /// Generates `count` tagged sentences with the given seed.
@@ -81,14 +108,32 @@ pub fn generate_noisy(count: usize, seed: u64, typo_rate: f64) -> Vec<TaggedSent
         .collect()
 }
 
-const FILLERS: &[&str] = &["really", "kind", "basically", "like", "maybe", "somewhat", "overall"];
+const FILLERS: &[&str] = &[
+    "really",
+    "kind",
+    "basically",
+    "like",
+    "maybe",
+    "somewhat",
+    "overall",
+];
 
 /// Pattern words deliberately absent from the synonym lexicon: the tagger
 /// must label them from context alone (crowd workers used vocabulary far
 /// beyond any fixed list).
 const RARE_PATTERNS: &[&str] = &[
-    "rebounding", "tumbling", "cresting", "sliding", "spiking", "moderating", "escalating",
-    "collapsing", "drifting", "strengthening", "weakening", "flattening",
+    "rebounding",
+    "tumbling",
+    "cresting",
+    "sliding",
+    "spiking",
+    "moderating",
+    "escalating",
+    "collapsing",
+    "drifting",
+    "strengthening",
+    "weakening",
+    "flattening",
 ];
 
 /// Applies typos to non-numeric tokens, swaps some pattern words for
@@ -140,7 +185,12 @@ fn generate_one(rng: &mut StdRng) -> TaggedSentence {
                 // Multi-word connectives: only the head word carries the label.
                 let mut first = true;
                 for tok in conn.split_whitespace() {
-                    if first && (tok == "then" || tok == "followed" || tok == "next" || tok == "later" || tok == "and")
+                    if first
+                        && (tok == "then"
+                            || tok == "followed"
+                            || tok == "next"
+                            || tok == "later"
+                            || tok == "and")
                     {
                         // "and then": label "then", leave "and" as noise.
                         if conn.starts_with("and ") && tok == "and" {
@@ -178,11 +228,22 @@ fn clause(rng: &mut StdRng, s: &mut TaggedSentence) {
     // Count prefix: "2 peaks" / "at least 2 peaks".
     if rng.random_bool(0.12) {
         if rng.random_bool(0.5) {
-            s.push_noise(if rng.random_bool(0.5) { "at least" } else { "at most" });
+            s.push_noise(if rng.random_bool(0.5) {
+                "at least"
+            } else {
+                "at most"
+            });
         }
-        let n = rng.random_range(2..=4);
+        let n: i32 = rng.random_range(2..=4);
         s.push(&n.to_string(), "COUNT");
-        s.push(if rng.random_bool(0.5) { "peaks" } else { "dips" }, "PATTERN");
+        s.push(
+            if rng.random_bool(0.5) {
+                "peaks"
+            } else {
+                "dips"
+            },
+            "PATTERN",
+        );
         return;
     }
 
@@ -225,8 +286,8 @@ fn clause(rng: &mut StdRng, s: &mut TaggedSentence) {
     match rng.random_range(0..10) {
         0 | 1 => {
             // x range: "from 2 to 5".
-            let a = rng.random_range(0..50);
-            let b = a + rng.random_range(1..50);
+            let a: i32 = rng.random_range(0..50);
+            let b: i32 = a + rng.random_range(1..50);
             s.push("from", "O");
             if rng.random_bool(0.3) {
                 s.push("x", "O");
@@ -238,8 +299,8 @@ fn clause(rng: &mut StdRng, s: &mut TaggedSentence) {
         }
         2 => {
             // y range: "from y = 10 to y = 50".
-            let a = rng.random_range(0..100);
-            let b = rng.random_range(0..100);
+            let a: i32 = rng.random_range(0..100);
+            let b: i32 = rng.random_range(0..100);
             s.push("from", "O");
             s.push("y", "O");
             s.push("=", "O");
@@ -251,7 +312,7 @@ fn clause(rng: &mut StdRng, s: &mut TaggedSentence) {
         }
         3 => {
             // Width: "over 3 months" / "within a span of 6 weeks".
-            let w = rng.random_range(2..12);
+            let w: i32 = rng.random_range(2..12);
             if rng.random_bool(0.5) {
                 s.push("over", "O");
             } else {
@@ -265,7 +326,7 @@ fn clause(rng: &mut StdRng, s: &mut TaggedSentence) {
             if rng.random_bool(0.5) {
                 s.push("twice", "COUNT");
             } else {
-                let n = rng.random_range(2..5);
+                let n: i32 = rng.random_range(2..5);
                 s.push(&n.to_string(), "COUNT");
                 s.push("times", "O");
             }

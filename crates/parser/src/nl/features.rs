@@ -13,11 +13,15 @@
 use crate::nl::lexicon::predicted_entity;
 use shapesearch_crf::pos::{is_noise_tag, tag_word, PosTag};
 
-const TIME_PREPOSITIONS: &[&str] = &["during", "until", "till", "when", "while", "before", "after"];
-const SPACE_PREPOSITIONS: &[&str] = &["from", "to", "between", "at", "over", "within", "above", "below", "around"];
+const TIME_PREPOSITIONS: &[&str] = &[
+    "during", "until", "till", "when", "while", "before", "after",
+];
+const SPACE_PREPOSITIONS: &[&str] = &[
+    "from", "to", "between", "at", "over", "within", "above", "below", "around",
+];
 const STOPWORDS: &[&str] = &[
-    "me", "i", "we", "that", "which", "who", "a", "an", "the", "of", "for", "with", "are",
-    "is", "was", "were", "be", "been", "it", "its", "in", "on",
+    "me", "i", "we", "that", "which", "who", "a", "an", "the", "of", "for", "with", "are", "is",
+    "was", "were", "be", "been", "it", "its", "in", "on",
 ];
 
 /// A tokenized sentence with POS tags and the noise mask.
@@ -36,7 +40,8 @@ pub fn tokenize(text: &str) -> Vec<String> {
     let mut tokens = Vec::new();
     let mut current = String::new();
     for c in text.chars() {
-        if c.is_alphanumeric() || c == '.' && current.chars().all(|d| d.is_ascii_digit()) && !current.is_empty()
+        if c.is_alphanumeric()
+            || c == '.' && current.chars().all(|d| d.is_ascii_digit()) && !current.is_empty()
         {
             current.push(c.to_ascii_lowercase());
         } else {
@@ -70,7 +75,11 @@ pub fn analyze(text: &str) -> Tokenized {
             is_noise_tag(tag) || STOPWORDS.contains(&tok.as_str())
         })
         .collect();
-    Tokenized { tokens, tags, noise }
+    Tokenized {
+        tokens,
+        tags,
+        noise,
+    }
 }
 
 /// Buckets a distance for use as a discrete feature value.
@@ -87,15 +96,16 @@ fn bucket(d: usize) -> &'static str {
 /// Distance (in tokens) from `i` to the nearest later token satisfying
 /// `pred`, if any.
 fn dist_fwd(tokens: &[String], i: usize, pred: impl Fn(&str) -> bool) -> Option<usize> {
-    tokens[i + 1..]
-        .iter()
-        .position(|t| pred(t))
-        .map(|d| d + 1)
+    tokens[i + 1..].iter().position(|t| pred(t)).map(|d| d + 1)
 }
 
 /// Distance to the nearest earlier token satisfying `pred`.
 fn dist_bwd(tokens: &[String], i: usize, pred: impl Fn(&str) -> bool) -> Option<usize> {
-    tokens[..i].iter().rev().position(|t| pred(t)).map(|d| d + 1)
+    tokens[..i]
+        .iter()
+        .rev()
+        .position(|t| pred(t))
+        .map(|d| d + 1)
 }
 
 /// Extracts the Table-3 feature vector for token `i` of the full sequence.
@@ -137,12 +147,18 @@ pub fn token_features(t: &Tokenized, i: usize) -> Vec<String> {
     }
     if let Some(d) = dist_fwd(tokens, i, |t| predicted_entity(t).is_some()) {
         let j = i + d;
-        f.push(format!("pred+1={}", predicted_entity(&tokens[j]).expect("found")));
+        f.push(format!(
+            "pred+1={}",
+            predicted_entity(&tokens[j]).expect("found")
+        ));
         f.push(format!("d(pred+)={}", bucket(d)));
     }
     if let Some(d) = dist_bwd(tokens, i, |t| predicted_entity(t).is_some()) {
         let j = i - d;
-        f.push(format!("pred-1={}", predicted_entity(&tokens[j]).expect("found")));
+        f.push(format!(
+            "pred-1={}",
+            predicted_entity(&tokens[j]).expect("found")
+        ));
         f.push(format!("d(pred-)={}", bucket(d)));
     }
     // Time and space prepositions.

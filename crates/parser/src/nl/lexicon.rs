@@ -37,41 +37,127 @@ pub enum ModifierWord {
 }
 
 const UP_WORDS: &[&str] = &[
-    "up", "increase", "increasing", "increased", "rise", "rising", "rose", "grow", "growing",
-    "climb", "climbing", "gain", "gaining", "upward", "improve", "improving", "recover",
-    "recovering", "surge", "surging", "ascend", "ascending", "expressed", "expressing",
+    "up",
+    "increase",
+    "increasing",
+    "increased",
+    "rise",
+    "rising",
+    "rose",
+    "grow",
+    "growing",
+    "climb",
+    "climbing",
+    "gain",
+    "gaining",
+    "upward",
+    "improve",
+    "improving",
+    "recover",
+    "recovering",
+    "surge",
+    "surging",
+    "ascend",
+    "ascending",
+    "expressed",
+    "expressing",
 ];
 const DOWN_WORDS: &[&str] = &[
-    "down", "decrease", "decreasing", "decreased", "fall", "falling", "fell", "drop", "dropping",
-    "dropped", "decline", "declining", "shrink", "shrinking", "lose", "losing", "downward",
-    "plunge", "plunging", "descend", "descending", "reduce", "reducing", "suppress",
-    "suppressed", "dip", "dipping",
+    "down",
+    "decrease",
+    "decreasing",
+    "decreased",
+    "fall",
+    "falling",
+    "fell",
+    "drop",
+    "dropping",
+    "dropped",
+    "decline",
+    "declining",
+    "shrink",
+    "shrinking",
+    "lose",
+    "losing",
+    "downward",
+    "plunge",
+    "plunging",
+    "descend",
+    "descending",
+    "reduce",
+    "reducing",
+    "suppress",
+    "suppressed",
+    "dip",
+    "dipping",
 ];
 const FLAT_WORDS: &[&str] = &[
-    "flat", "stable", "stabilize", "stabilized", "constant", "steady", "unchanged", "plateau",
-    "level", "stagnant", "still",
+    "flat",
+    "stable",
+    "stabilize",
+    "stabilized",
+    "constant",
+    "steady",
+    "unchanged",
+    "plateau",
+    "level",
+    "stagnant",
+    "still",
 ];
-const PEAK_WORDS: &[&str] = &["peak", "peaks", "spike", "spikes", "bump", "bumps", "top", "tops", "maximum", "maxima"];
-const VALLEY_WORDS: &[&str] = &["valley", "valleys", "trough", "troughs", "bottom", "bottoms", "minimum", "minima"];
+const PEAK_WORDS: &[&str] = &[
+    "peak", "peaks", "spike", "spikes", "bump", "bumps", "top", "tops", "maximum", "maxima",
+];
+const VALLEY_WORDS: &[&str] = &[
+    "valley", "valleys", "trough", "troughs", "bottom", "bottoms", "minimum", "minima",
+];
 
 const SHARP_WORDS: &[&str] = &[
-    "sharp", "sharply", "steep", "steeply", "quickly", "rapidly", "rapid", "suddenly", "sudden",
-    "dramatically", "fast", "abruptly", "abrupt",
+    "sharp",
+    "sharply",
+    "steep",
+    "steeply",
+    "quickly",
+    "rapidly",
+    "rapid",
+    "suddenly",
+    "sudden",
+    "dramatically",
+    "fast",
+    "abruptly",
+    "abrupt",
 ];
 const GRADUAL_WORDS: &[&str] = &[
-    "gradual", "gradually", "slowly", "slow", "gently", "gentle", "mildly", "mild", "softly",
+    "gradual",
+    "gradually",
+    "slowly",
+    "slow",
+    "gently",
+    "gentle",
+    "mildly",
+    "mild",
+    "softly",
 ];
 
 /// Curated relatedness lists standing in for WordNet synsets: words that are
 /// semantically close to a value without being spelled like its synonyms.
 const UP_RELATED: &[&str] = &["bullish", "rally", "boom", "soar", "soaring", "upturn"];
-const DOWN_RELATED: &[&str] = &["bearish", "crash", "slump", "sink", "sinking", "downturn", "tank"];
+const DOWN_RELATED: &[&str] = &[
+    "bearish", "crash", "slump", "sink", "sinking", "downturn", "tank",
+];
 const FLAT_WORDS_RELATED: &[&str] = &["sideways", "quiet", "calm"];
 
 /// Words mapping to CONCAT.
 pub const CONCAT_WORDS: &[&str] = &[
-    "then", "next", "followed", "after", "afterwards", "afterward", "later", "subsequently",
-    "finally", "and",
+    "then",
+    "next",
+    "followed",
+    "after",
+    "afterwards",
+    "afterward",
+    "later",
+    "subsequently",
+    "finally",
+    "and",
 ];
 /// Words mapping to OR.
 pub const OR_WORDS: &[&str] = &["or", "alternatively", "either"];
@@ -250,7 +336,11 @@ pub fn predicted_entity(word: &str) -> Option<&'static str> {
     if matches!(w.as_str(), "once" | "twice" | "thrice") {
         return Some("COUNT");
     }
-    if close(UP_WORDS) || close(DOWN_WORDS) || close(FLAT_WORDS) || close(PEAK_WORDS) || close(VALLEY_WORDS)
+    if close(UP_WORDS)
+        || close(DOWN_WORDS)
+        || close(FLAT_WORDS)
+        || close(PEAK_WORDS)
+        || close(VALLEY_WORDS)
     {
         return Some("PATTERN");
     }

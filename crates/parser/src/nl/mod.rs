@@ -104,7 +104,11 @@ pub fn to_sequences(sentences: &[corpus::TaggedSentence]) -> Vec<Sequence> {
         .filter_map(|s| {
             let analyzed = Tokenized {
                 tokens: s.tokens.clone(),
-                tags: s.tokens.iter().map(|t| shapesearch_crf::pos::tag_word(t)).collect(),
+                tags: s
+                    .tokens
+                    .iter()
+                    .map(|t| shapesearch_crf::pos::tag_word(t))
+                    .collect(),
                 noise: {
                     let a = analyze(&s.tokens.join(" "));
                     // Token streams may differ if joining re-tokenizes; fall
@@ -186,7 +190,9 @@ mod tests {
 
     #[test]
     fn location_query() {
-        let p = parser().parse("stocks increasing from 2 to 5 then falling").unwrap();
+        let p = parser()
+            .parse("stocks increasing from 2 to 5 then falling")
+            .unwrap();
         let s = p.query.to_string();
         assert!(s.contains("x.s=2"), "got {s}");
         assert!(s.contains("x.e=5"), "got {s}");
@@ -203,7 +209,9 @@ mod tests {
 
     #[test]
     fn modifier_query() {
-        let p = parser().parse("cities with temperature rising sharply").unwrap();
+        let p = parser()
+            .parse("cities with temperature rising sharply")
+            .unwrap();
         assert_eq!(p.query.to_string(), "[p=up, m=>>]");
     }
 

@@ -200,7 +200,9 @@ pub fn translate(entities: &[Entity], raw_tokens: &[String]) -> Option<Translati
                 && groups[i + 1].modifier.is_none()
             {
                 Some(i + 1)
-            } else if i > 0 && !groups[i - 1].patterns.is_empty() && groups[i - 1].modifier.is_none()
+            } else if i > 0
+                && !groups[i - 1].patterns.is_empty()
+                && groups[i - 1].modifier.is_none()
             {
                 Some(i - 1)
             } else {
@@ -236,8 +238,7 @@ pub fn translate(entities: &[Entity], raw_tokens: &[String]) -> Option<Translati
             if a > b {
                 let dir = d.patterns.first().copied();
                 let y_free = d.y_start.is_none() && d.y_end.is_none();
-                if y_free
-                    && matches!(dir, Some(PatternWord::Down)) {
+                if y_free && matches!(dir, Some(PatternWord::Down)) {
                     // "decreasing from 8 to 0": those were y values.
                     d.y_start = Some(a);
                     d.y_end = Some(b);
@@ -326,11 +327,11 @@ pub fn translate(entities: &[Entity], raw_tokens: &[String]) -> Option<Translati
     for (op, q) in built {
         match op {
             Some(Op::Or) => alternatives.push(vec![(Op::Concat, q)]),
-            Some(o) => alternatives
+            Some(o) => alternatives.last_mut().expect("non-empty").push((o, q)),
+            None => alternatives
                 .last_mut()
                 .expect("non-empty")
-                .push((o, q)),
-            None => alternatives.last_mut().expect("non-empty").push((Op::Concat, q)),
+                .push((Op::Concat, q)),
         }
     }
     let alt_queries: Vec<ShapeQuery> = alternatives
@@ -448,7 +449,11 @@ mod tests {
     #[test]
     fn simple_sequence() {
         let t = translate(
-            &ent(&[("rising", "PATTERN"), ("then", "CONCAT"), ("falling", "PATTERN")]),
+            &ent(&[
+                ("rising", "PATTERN"),
+                ("then", "CONCAT"),
+                ("falling", "PATTERN"),
+            ]),
             &raw(&["rising", "then", "falling"]),
         )
         .unwrap();
@@ -469,11 +474,7 @@ mod tests {
     #[test]
     fn locations_and_width() {
         let t = translate(
-            &ent(&[
-                ("rising", "PATTERN"),
-                ("2", "XS"),
-                ("5", "XE"),
-            ]),
+            &ent(&[("rising", "PATTERN"), ("2", "XS"), ("5", "XE")]),
             &raw(&["rising", "from", "2", "to", "5"]),
         )
         .unwrap();
@@ -505,11 +506,7 @@ mod tests {
     #[test]
     fn or_and_not() {
         let t = translate(
-            &ent(&[
-                ("rising", "PATTERN"),
-                ("or", "OR"),
-                ("falling", "PATTERN"),
-            ]),
+            &ent(&[("rising", "PATTERN"), ("or", "OR"), ("falling", "PATTERN")]),
             &raw(&["rising", "or", "falling"]),
         )
         .unwrap();
@@ -554,10 +551,7 @@ mod tests {
 
     #[test]
     fn rule2_dangling_modifier_dropped_when_no_home() {
-        let t = translate(
-            &ent(&[("sharply", "MODIFIER")]),
-            &raw(&["sharply"]),
-        );
+        let t = translate(&ent(&[("sharply", "MODIFIER")]), &raw(&["sharply"]));
         // A modifier alone yields no usable segment.
         assert!(t.is_none() || t.unwrap().query.segments().is_empty());
     }
@@ -606,7 +600,19 @@ mod tests {
                 ("8", "XS"),
                 ("0", "XE"),
             ]),
-            &raw(&["increasing", "from", "4", "to", "8", "then", "decreasing", "from", "8", "to", "0"]),
+            &raw(&[
+                "increasing",
+                "from",
+                "4",
+                "to",
+                "8",
+                "then",
+                "decreasing",
+                "from",
+                "8",
+                "to",
+                "0",
+            ]),
         )
         .unwrap();
         let s = t.query.to_string();

@@ -523,7 +523,13 @@ mod tests {
             ("[p=up, m=<<]", Modifier::MuchLess),
             ("[p=$0, m==]", Modifier::Similar),
             ("[p=up, m=2]", Modifier::exactly(2)),
-            ("[p=up, m={2,5}]", Modifier::Quantifier { min: Some(2), max: Some(5) }),
+            (
+                "[p=up, m={2,5}]",
+                Modifier::Quantifier {
+                    min: Some(2),
+                    max: Some(5),
+                },
+            ),
             ("[p=up, m={2,}]", Modifier::at_least(2)),
             ("[p=up, m={,2}]", Modifier::at_most(2)),
         ];
@@ -551,8 +557,14 @@ mod tests {
         ));
         let q = parse_regex("[p=$-][p=$+]").unwrap();
         let segs = q.segments();
-        assert!(matches!(segs[0].pattern, Some(Pattern::Position(PosRef::Prev))));
-        assert!(matches!(segs[1].pattern, Some(Pattern::Position(PosRef::Next))));
+        assert!(matches!(
+            segs[0].pattern,
+            Some(Pattern::Position(PosRef::Prev))
+        ));
+        assert!(matches!(
+            segs[1].pattern,
+            Some(Pattern::Position(PosRef::Next))
+        ));
     }
 
     #[test]
@@ -583,7 +595,10 @@ mod tests {
     fn sketch_vector() {
         let q = parse_regex("[v=(2:10, 3:14, 10:100)]").unwrap();
         let ShapeQuery::Segment(s) = q else { panic!() };
-        assert_eq!(s.sketch.unwrap(), vec![(2.0, 10.0), (3.0, 14.0), (10.0, 100.0)]);
+        assert_eq!(
+            s.sketch.unwrap(),
+            vec![(2.0, 10.0), (3.0, 14.0), (10.0, 100.0)]
+        );
     }
 
     #[test]
@@ -617,7 +632,15 @@ mod tests {
 
     #[test]
     fn errors_carry_position() {
-        for bad in ["[p=up", "[q=up]", "[p=up]]", "", "[p=up] extra", "[m={2 5}]", "[v=(1:2)]"] {
+        for bad in [
+            "[p=up",
+            "[q=up]",
+            "[p=up]]",
+            "",
+            "[p=up] extra",
+            "[m={2 5}]",
+            "[v=(1:2)]",
+        ] {
             let e = parse_regex(bad);
             assert!(e.is_err(), "{bad} should fail");
         }

@@ -122,7 +122,12 @@ pub fn simplify(domain_points: &[(f64, f64)], tolerance: f64) -> Option<Vec<Sket
         start: usize,
         end: usize,
     }
-    let mut pieces: Vec<Piece> = (0..n - 1).map(|i| Piece { start: i, end: i + 1 }).collect();
+    let mut pieces: Vec<Piece> = (0..n - 1)
+        .map(|i| Piece {
+            start: i,
+            end: i + 1,
+        })
+        .collect();
 
     let err_of = |start: usize, end: usize| -> f64 {
         // Max residual of the least-squares fit over [start, end].
@@ -241,7 +246,11 @@ mod tests {
         let stroke: Vec<(f64, f64)> = (0..=10)
             .map(|i| {
                 let x = i as f64 * 10.0;
-                let y = if i <= 5 { i as f64 * 18.0 } else { (10 - i) as f64 * 18.0 };
+                let y = if i <= 5 {
+                    i as f64 * 18.0
+                } else {
+                    (10 - i) as f64 * 18.0
+                };
                 (x, y)
             })
             .collect();
@@ -252,7 +261,9 @@ mod tests {
     #[test]
     fn rising_line_becomes_up() {
         let c = canvas();
-        let stroke: Vec<(f64, f64)> = (0..=10).map(|i| (i as f64 * 10.0, 100.0 - i as f64 * 10.0)).collect();
+        let stroke: Vec<(f64, f64)> = (0..=10)
+            .map(|i| (i as f64 * 10.0, 100.0 - i as f64 * 10.0))
+            .collect();
         let q = sketch_to_pattern_query(&stroke, &c, 0.1).unwrap();
         assert_eq!(q.to_string(), "[p=up]");
     }
@@ -261,7 +272,9 @@ mod tests {
     fn plateau_detected_as_flat() {
         let c = canvas();
         // Rise, then flat plateau.
-        let mut stroke: Vec<(f64, f64)> = (0..=5).map(|i| (i as f64 * 10.0, 100.0 - i as f64 * 18.0)).collect();
+        let mut stroke: Vec<(f64, f64)> = (0..=5)
+            .map(|i| (i as f64 * 10.0, 100.0 - i as f64 * 18.0))
+            .collect();
         stroke.extend((6..=10).map(|i| (i as f64 * 10.0, 10.0 + (i % 2) as f64)));
         let q = sketch_to_pattern_query(&stroke, &c, 0.15).unwrap();
         assert_eq!(q.to_string(), "[p=up][p=flat]");

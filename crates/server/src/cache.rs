@@ -1,0 +1,432 @@
+//! The query-result cache: a hand-rolled O(1) LRU over a slab-backed
+//! intrusive list, plus the server-facing [`QueryCache`] wrapper keyed on
+//! `(dataset id, registration generation, normalized query AST, k,
+//! engine-option fingerprint)` with hit/miss counters.
+//!
+//! Repeated exploratory queries — the dominant pattern in shape-based
+//! exploration, where a user reissues near-identical ShapeQueries while
+//! tweaking k or switching datasets — skip segmentation entirely on a hit.
+
+use shapesearch_core::{EngineOptions, TopKResult};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map. `get` refreshes recency;
+/// `insert` evicts the coldest entry once `capacity` is exceeded. All
+/// operations are O(1) expected time. Evicted and retained-away values
+/// are dropped immediately (slots hold `Option` so a freed slot never
+/// pins its old value until reuse).
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Slot<K, V>>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn slot(&self, i: usize) -> &Slot<K, V> {
+        self.slots[i].as_ref().expect("occupied slot")
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut Slot<K, V> {
+        self.slots[i].as_mut().expect("occupied slot")
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slot_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slot_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        let head = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NIL;
+            s.next = head;
+        }
+        if head != NIL {
+            self.slot_mut(head).prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Releases slot `i`: unlinks it, drops its contents, recycles the
+    /// index, and returns the key.
+    fn release(&mut self, i: usize) -> K {
+        self.unlink(i);
+        let slot = self.slots[i].take().expect("occupied slot");
+        self.map.remove(&slot.key);
+        self.free.push(i);
+        slot.key
+    }
+
+    /// Fetches a value, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if i != self.head {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slot(i).value)
+    }
+
+    /// Inserts (or replaces) a value, evicting the least-recently-used
+    /// entry if the cache is full. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slot_mut(i).value = value;
+            if i != self.head {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            evicted = Some(self.release(lru));
+        }
+        let slot = Slot {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+        evicted
+    }
+
+    /// Drops every entry whose key fails the predicate (used when a
+    /// dataset is replaced and its cached results must go).
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        let doomed: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| !keep(k))
+            .map(|(_, &i)| i)
+            .collect();
+        for i in doomed {
+            self.release(i);
+        }
+    }
+
+    /// Keys from most to least recently used (test/debug helper).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            let s = self.slot(i);
+            out.push(s.key.clone());
+            i = s.next;
+        }
+        out
+    }
+}
+
+/// The cache key. The query component is the *canonical* rendering of the
+/// parsed AST (`ShapeQuery`'s `Display`), so textual variants of the same
+/// query — extra whitespace, NL phrasings that translate to the same AST,
+/// sugared regex forms — all hit the same entry. `generation` is the
+/// dataset's registration counter: re-registering an id bumps it, so a
+/// slow in-flight query against the replaced engine can never poison the
+/// new dataset's keyspace with stale results. The options component
+/// fingerprints every engine knob that can change results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub dataset: String,
+    pub generation: u64,
+    pub query_canon: String,
+    pub k: usize,
+    pub options_fp: String,
+}
+
+impl CacheKey {
+    pub fn new(
+        dataset: &str,
+        generation: u64,
+        query: &shapesearch_core::ShapeQuery,
+        k: usize,
+        options: &EngineOptions,
+    ) -> Self {
+        Self {
+            dataset: dataset.to_owned(),
+            generation,
+            query_canon: query.to_string(),
+            k,
+            options_fp: options_fingerprint(options),
+        }
+    }
+}
+
+/// A deterministic fingerprint of every result-affecting engine option.
+/// `parallel` is deliberately excluded: it changes scheduling, not
+/// results (`parallel_matches_sequential` in the engine tests).
+pub fn options_fingerprint(o: &EngineOptions) -> String {
+    format!(
+        "seg={:?};bin={};push={};params={:?};prune={:?}",
+        o.segmenter, o.bin_width, o.pushdown, o.params, o.pruning
+    )
+}
+
+/// Cache statistics surfaced through `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+/// The shared, thread-safe query-result cache.
+pub struct QueryCache {
+    inner: Mutex<LruCache<CacheKey, Arc<Vec<TopKResult>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a result, counting the hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<TopKResult>>> {
+        let mut cache = self.inner.lock().expect("cache lock");
+        match cache.get(key) {
+            Some(v) => {
+                let v = Arc::clone(v);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<TopKResult>>) {
+        self.inner.lock().expect("cache lock").insert(key, value);
+    }
+
+    /// Forgets every entry belonging to `dataset` (any generation),
+    /// releasing their memory now rather than waiting for LRU churn.
+    pub fn invalidate_dataset(&self, dataset: &str) {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .retain(|k| k.dataset != dataset);
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let cache = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: cache.len(),
+            capacity: cache.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapesearch_core::SegmenterKind;
+    use std::sync::Weak;
+
+    #[test]
+    fn lru_evicts_coldest_first() {
+        let mut lru = LruCache::new(3);
+        assert_eq!(lru.insert("a", 1), None);
+        assert_eq!(lru.insert("b", 2), None);
+        assert_eq!(lru.insert("c", 3), None);
+        // Touch "a" so "b" becomes the coldest.
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.insert("d", 4), Some("b"));
+        assert_eq!(lru.get(&"b"), None);
+        assert_eq!(lru.keys_by_recency(), vec!["d", "a", "c"]);
+        // Two more inserts evict "c" then "a".
+        assert_eq!(lru.insert("e", 5), Some("c"));
+        assert_eq!(lru.insert("f", 6), Some("a"));
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.keys_by_recency(), vec!["f", "e", "d"]);
+    }
+
+    #[test]
+    fn lru_replacing_does_not_evict() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.insert("a", 10), None);
+        assert_eq!(lru.get(&"a"), Some(&10));
+        assert_eq!(lru.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn lru_single_slot() {
+        let mut lru = LruCache::new(1);
+        lru.insert(1, "x");
+        assert_eq!(lru.insert(2, "y"), Some(1));
+        assert_eq!(lru.get(&1), None);
+        assert_eq!(lru.get(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn lru_retain_unlinks_cleanly() {
+        let mut lru = LruCache::new(4);
+        for i in 0..4 {
+            lru.insert(i, i * 10);
+        }
+        lru.retain(|&k| k % 2 == 0);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), None);
+        assert_eq!(lru.get(&2), Some(&20));
+        // The list is still sound: inserts + eviction keep working.
+        lru.insert(8, 80);
+        lru.insert(9, 90);
+        lru.insert(10, 100);
+        assert_eq!(lru.len(), 4);
+    }
+
+    #[test]
+    fn eviction_and_retain_drop_values_immediately() {
+        let mut lru: LruCache<&str, Arc<Vec<u8>>> = LruCache::new(2);
+        let a = Arc::new(vec![1u8; 16]);
+        let weak_a: Weak<Vec<u8>> = Arc::downgrade(&a);
+        lru.insert("a", a);
+        lru.insert("b", Arc::new(Vec::new()));
+        // Evicting "a" must release the only strong reference now, not
+        // when the slot is eventually reused.
+        assert_eq!(lru.insert("c", Arc::new(Vec::new())), Some("a"));
+        assert!(weak_a.upgrade().is_none(), "evicted value still alive");
+
+        let b_weak = {
+            let b = lru.get(&"b").unwrap();
+            Arc::downgrade(b)
+        };
+        lru.retain(|&k| k != "b");
+        assert!(
+            b_weak.upgrade().is_none(),
+            "retained-away value still alive"
+        );
+    }
+
+    #[test]
+    fn cache_key_normalizes_query_text() {
+        let opts = EngineOptions::default();
+        let a = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
+        let b = shapesearch_parser::parse_regex(" [ p = up ] [ p = down ] ").unwrap();
+        let ka = CacheKey::new("ds1", 1, &a, 5, &opts);
+        let kb = CacheKey::new("ds1", 1, &b, 5, &opts);
+        assert_eq!(ka, kb, "whitespace variants must share one cache entry");
+        // Different k, dataset, generation, or algorithm each split the key.
+        assert_ne!(ka, CacheKey::new("ds1", 1, &a, 6, &opts));
+        assert_ne!(ka, CacheKey::new("ds2", 1, &a, 5, &opts));
+        assert_ne!(ka, CacheKey::new("ds1", 2, &a, 5, &opts));
+        let dp = EngineOptions {
+            segmenter: SegmenterKind::Dp,
+            ..EngineOptions::default()
+        };
+        assert_ne!(ka, CacheKey::new("ds1", 1, &a, 5, &dp));
+    }
+
+    #[test]
+    fn options_fingerprint_ignores_parallel() {
+        let seq = EngineOptions::default();
+        let par = EngineOptions {
+            parallel: true,
+            ..EngineOptions::default()
+        };
+        assert_eq!(options_fingerprint(&seq), options_fingerprint(&par));
+    }
+
+    #[test]
+    fn query_cache_counts_and_invalidates() {
+        let cache = QueryCache::new(8);
+        let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
+        let key = CacheKey::new("sales", 1, &q, 3, &EngineOptions::default());
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), Arc::new(Vec::new()));
+        assert!(cache.get(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // Invalidation drops every generation of the dataset.
+        let key2 = CacheKey::new("sales", 2, &q, 3, &EngineOptions::default());
+        cache.insert(key2, Arc::new(Vec::new()));
+        cache.invalidate_dataset("sales");
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! A tiny blocking HTTP/JSON client for the server — used by the
+//! integration tests and handy for scripting against a running service.
+
+use crate::json::{self, Json};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed response: status code plus JSON body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub body: Json,
+}
+
+impl ClientResponse {
+    /// Panics with the server's error body unless the status is 2xx —
+    /// for tests and scripts where any failure is fatal anyway.
+    pub fn expect_ok(self, context: &str) -> Json {
+        assert!(
+            (200..300).contains(&self.status),
+            "{context}: status {} body {}",
+            self.status,
+            self.body.to_text()
+        );
+        self.body
+    }
+}
+
+/// A blocking client bound to one server address. Each call opens a
+/// fresh connection (`Connection: close`), which keeps the client free
+/// of pooling state and exercises the server's accept path.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    pub fn new(addr: impl ToString) -> Self {
+        Self {
+            addr: addr.to_string(),
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    /// I/O failures and malformed responses.
+    pub fn get(&self, path: &str) -> io::Result<ClientResponse> {
+        self.send("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    /// I/O failures and malformed responses.
+    pub fn post(&self, path: &str, body: &Json) -> io::Result<ClientResponse> {
+        self.send("POST", path, Some(body.to_text()))
+    }
+
+    fn send(&self, method: &str, path: &str, body: Option<String>) -> io::Result<ClientResponse> {
+        let addr = self
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unresolvable address"))?;
+        let mut stream = TcpStream::connect(addr)?;
+        let body = body.unwrap_or_default();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        );
+        stream.write_all(request.as_bytes())?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        // Skip headers; Connection: close means body runs to EOF.
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+                break;
+            }
+        }
+        let mut body_text = String::new();
+        reader.read_to_string(&mut body_text)?;
+        let body = json::parse(&body_text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad body: {e}")))?;
+        Ok(ClientResponse { status, body })
+    }
+}

@@ -1,0 +1,41 @@
+//! Server-side error type mapping onto HTTP status codes.
+
+use std::fmt;
+
+/// An error with the HTTP status it should be reported as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl ServerError {
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}

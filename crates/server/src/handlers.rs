@@ -1,0 +1,372 @@
+//! Route handlers tying the catalog, the query cache, and the engine
+//! together behind the JSON protocol.
+
+use crate::cache::{CacheKey, QueryCache};
+use crate::catalog::{Catalog, DataSource};
+use crate::error::ServerError;
+use crate::http::{Request, Response};
+use crate::json::{self, obj, Json};
+use crate::protocol;
+use shapesearch_core::EngineOptions;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared application state, one per server.
+pub struct AppState {
+    pub catalog: Catalog,
+    pub cache: QueryCache,
+    /// Total `POST /query` requests (hit or miss).
+    pub queries: AtomicU64,
+    /// Per-dataset engine defaults; requests may override per call.
+    pub default_options: EngineOptions,
+    /// Worker-pool size, echoed in `/healthz`.
+    pub workers: usize,
+    /// Directory that `POST /datasets` `path` sources must live under.
+    /// `None` (the default) disables path registration over HTTP
+    /// entirely — otherwise any network client could read arbitrary
+    /// server-local files. In-process registration (CLI preload) is
+    /// unrestricted.
+    pub data_root: Option<PathBuf>,
+}
+
+impl AppState {
+    pub fn new(cache_capacity: usize, workers: usize, data_root: Option<PathBuf>) -> Self {
+        Self {
+            catalog: Catalog::new(),
+            cache: QueryCache::new(cache_capacity),
+            queries: AtomicU64::new(0),
+            default_options: EngineOptions::default(),
+            workers,
+            data_root,
+        }
+    }
+}
+
+/// Validates an HTTP-supplied `path` source against the configured data
+/// root. Canonicalizes both sides so `..` hops and symlinks can't
+/// escape the sandbox, and returns the canonicalized path — the caller
+/// must load *that*, not the client's original string, or a symlink
+/// swapped in between check and open would re-escape (TOCTOU).
+fn check_path_source(path: &str, data_root: Option<&Path>) -> Result<PathBuf, ServerError> {
+    let Some(root) = data_root else {
+        return Err(ServerError::bad_request(
+            "`path` registration over HTTP is disabled; start the server with \
+             --data-root, or send the data inline via `csv`/`jsonl`",
+        ));
+    };
+    let root = root
+        .canonicalize()
+        .map_err(|e| ServerError::internal(format!("data root unusable: {e}")))?;
+    let resolved = Path::new(path)
+        .canonicalize()
+        .map_err(|e| ServerError::bad_request(format!("loading dataset: {e}")))?;
+    if !resolved.starts_with(&root) {
+        return Err(ServerError::bad_request(format!(
+            "`path` must be under the data root {}",
+            root.display()
+        )));
+    }
+    Ok(resolved)
+}
+
+fn ok(body: Json) -> Response {
+    Response::json(200, body.to_text())
+}
+
+fn fail(err: &ServerError) -> Response {
+    Response::json(err.status, protocol::error_to_json(err).to_text())
+}
+
+/// Dispatches one request. Unknown routes get 404, wrong methods 405.
+/// Query strings are ignored for routing (`/healthz?verbose=1` is
+/// `/healthz`).
+pub fn route(state: &Arc<AppState>, request: &Request) -> Response {
+    let path = request.path.split('?').next().unwrap_or("");
+    let result = match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Ok(healthz(state)),
+        ("GET", "/datasets") => Ok(list_datasets(state)),
+        ("POST", "/datasets") => register_dataset(state, request),
+        ("POST", "/query") => query(state, request),
+        (_, "/healthz" | "/datasets" | "/query") => Err(ServerError {
+            status: 405,
+            message: format!("method {} not allowed here", request.method),
+        }),
+        _ => Err(ServerError::not_found(format!(
+            "no route {} {}",
+            request.method, request.path
+        ))),
+    };
+    result.unwrap_or_else(|e| fail(&e))
+}
+
+fn body_json(request: &Request) -> Result<Json, ServerError> {
+    let text = request
+        .body_text()
+        .map_err(|_| ServerError::bad_request("body is not utf-8"))?;
+    json::parse(text).map_err(|e| ServerError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+fn healthz(state: &Arc<AppState>) -> Response {
+    let stats = state.cache.stats();
+    ok(obj([
+        ("status", "ok".into()),
+        ("datasets", state.catalog.len().into()),
+        ("queries", state.queries.load(Ordering::Relaxed).into()),
+        ("workers", state.workers.into()),
+        (
+            "cache",
+            obj([
+                ("hits", stats.hits.into()),
+                ("misses", stats.misses.into()),
+                ("entries", stats.entries.into()),
+                ("capacity", stats.capacity.into()),
+            ]),
+        ),
+    ]))
+}
+
+fn list_datasets(state: &Arc<AppState>) -> Response {
+    let datasets: Vec<Json> = state
+        .catalog
+        .list()
+        .iter()
+        .map(|e| protocol::dataset_to_json(e))
+        .collect();
+    ok(obj([("datasets", Json::Arr(datasets))]))
+}
+
+fn register_dataset(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
+    let body = body_json(request)?;
+    let mut spec = protocol::dataset_spec_from_json(&body)?;
+    if let DataSource::Path(path) = &mut spec.source {
+        let resolved = check_path_source(path, state.data_root.as_deref())?;
+        *path = resolved.to_string_lossy().into_owned();
+    }
+    let entry = state.catalog.register(spec)?;
+    // Replacing a dataset id must not serve the old dataset's results.
+    state.cache.invalidate_dataset(&entry.id);
+    Ok(Response::json(
+        201,
+        protocol::dataset_to_json(&entry).to_text(),
+    ))
+}
+
+fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
+    let body = body_json(request)?;
+    let req = protocol::query_request_from_json(&body)?;
+    state.queries.fetch_add(1, Ordering::Relaxed);
+
+    let entry = state
+        .catalog
+        .get(&req.dataset)
+        .ok_or_else(|| ServerError::not_found(format!("unknown dataset `{}`", req.dataset)))?;
+    let (query_ast, notes) = protocol::parse_query(&req)?;
+    let options = req.effective_options(&state.default_options);
+    let key = CacheKey::new(&entry.id, entry.generation, &query_ast, req.k, &options);
+
+    let started = Instant::now();
+    let (results, cached) = match state.cache.get(&key) {
+        Some(hit) => (hit, true),
+        None => {
+            let computed = entry
+                .engine
+                .top_k_with_options(&query_ast, req.k, &options)
+                .map_err(|e| ServerError::bad_request(format!("query failed: {e}")))?;
+            let computed = Arc::new(computed);
+            state.cache.insert(key, Arc::clone(&computed));
+            (computed, false)
+        }
+    };
+    let micros = started.elapsed().as_micros() as u64;
+
+    let mut fields = vec![
+        ("dataset", Json::Str(entry.id.clone())),
+        ("query", Json::Str(query_ast.to_string())),
+        ("k", req.k.into()),
+        ("algo", options.segmenter.name().into()),
+        ("cached", cached.into()),
+        ("micros", micros.into()),
+        ("results", protocol::results_to_json(&results)),
+    ];
+    if !notes.is_empty() {
+        fields.push((
+            "notes",
+            Json::Arr(notes.iter().map(|n| Json::Str(n.clone())).collect()),
+        ));
+    }
+    Ok(ok(obj(fields)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "z,x,y\\na,1,1\\na,2,3\\na,3,1\\nb,1,3\\nb,2,2\\nb,3,1\\n";
+
+    fn state() -> Arc<AppState> {
+        Arc::new(AppState::new(16, 2, None))
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn register(state: &Arc<AppState>) {
+        let body = format!(r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y"}}"#);
+        let resp = route(state, &post("/datasets", &body));
+        assert_eq!(resp.status, 201, "{}", resp.body);
+    }
+
+    #[test]
+    fn full_route_cycle() {
+        let state = state();
+        register(&state);
+
+        let listing = route(&state, &get("/datasets"));
+        assert_eq!(listing.status, 200);
+        assert!(listing.body.contains("\"id\":\"t1\""), "{}", listing.body);
+
+        let q = r#"{"dataset":"t1","query":"[p=up][p=down]","k":1}"#;
+        let first = route(&state, &post("/query", q));
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert!(first.body.contains("\"cached\":false"), "{}", first.body);
+        assert!(first.body.contains("\"key\":\"a\""), "{}", first.body);
+
+        let second = route(&state, &post("/query", q));
+        assert!(second.body.contains("\"cached\":true"), "{}", second.body);
+
+        let health = route(&state, &get("/healthz"));
+        assert!(health.body.contains("\"hits\":1"), "{}", health.body);
+        assert!(health.body.contains("\"misses\":1"), "{}", health.body);
+        assert!(health.body.contains("\"queries\":2"), "{}", health.body);
+    }
+
+    #[test]
+    fn query_strings_are_ignored_for_routing() {
+        let state = state();
+        let resp = route(&state, &get("/healthz?verbose=1"));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn path_registration_is_gated_by_data_root() {
+        let dir = std::env::temp_dir().join(format!("ss-data-root-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inside = dir.join("ok.csv");
+        std::fs::write(&inside, "z,x,y\na,1,1\na,2,2\n").unwrap();
+        let body = |path: &std::path::Path| {
+            format!(
+                r#"{{"name":"p","id":"p1","path":"{}","z":"z","x":"x","y":"y"}}"#,
+                path.display()
+            )
+        };
+
+        // Without a data root, HTTP path registration is refused.
+        let closed = state();
+        let resp = route(&closed, &post("/datasets", &body(&inside)));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("disabled"), "{}", resp.body);
+
+        // With a data root: inside is allowed, escapes are not.
+        let open = Arc::new(AppState::new(16, 2, Some(dir.clone())));
+        let resp = route(&open, &post("/datasets", &body(&inside)));
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        let escape = dir.join("..").join("outside.csv");
+        std::fs::write(dir.parent().unwrap().join("outside.csv"), "z,x,y\na,1,1\n").unwrap();
+        let resp = route(&open, &post("/datasets", &body(&escape)));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("data root"), "{}", resp.body);
+
+        std::fs::remove_file(dir.parent().unwrap().join("outside.csv")).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_inflight_insert_cannot_poison_new_generation() {
+        let state = state();
+        register(&state);
+        let old = state.catalog.get("t1").unwrap();
+        let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
+        let old_key = CacheKey::new(&old.id, old.generation, &q, 1, &state.default_options);
+        // Re-register (bumps the generation), then emulate a slow
+        // in-flight query against the OLD engine finishing late and
+        // inserting its stale results.
+        register(&state);
+        state.cache.insert(old_key, Arc::new(Vec::new()));
+        // A fresh query keys on the new generation: it must recompute,
+        // not hit the stale entry.
+        let resp = route(
+            &state,
+            &post("/query", r#"{"dataset":"t1","query":"[p=up]","k":1}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"cached\":false"), "{}", resp.body);
+        assert!(resp.body.contains("\"results\":[{"), "{}", resp.body);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let state = state();
+        assert_eq!(route(&state, &get("/nope")).status, 404);
+        assert_eq!(route(&state, &get("/query")).status, 405);
+        assert_eq!(route(&state, &post("/healthz", "")).status, 405);
+    }
+
+    #[test]
+    fn bad_query_bodies_are_400() {
+        let state = state();
+        register(&state);
+        for body in [
+            "not json",
+            r#"{"dataset":"t1"}"#,
+            r#"{"dataset":"t1","query":"[p=bogus...""#,
+            r#"{"dataset":"t1","query":"[p=up]","algo":"warp"}"#,
+        ] {
+            let resp = route(&state, &post("/query", body));
+            assert_eq!(resp.status, 400, "body `{body}` → {}", resp.body);
+        }
+        let resp = route(
+            &state,
+            &post("/query", r#"{"dataset":"missing","query":"[p=up]"}"#),
+        );
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn reregistering_dataset_invalidates_cache() {
+        let state = state();
+        register(&state);
+        let q = r#"{"dataset":"t1","query":"[p=up]","k":1}"#;
+        route(&state, &post("/query", q));
+        assert_eq!(state.cache.stats().entries, 1);
+        register(&state);
+        assert_eq!(state.cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn nl_query_round_trips() {
+        let state = state();
+        register(&state);
+        let q = r#"{"dataset":"t1","nl":"rising then falling","k":1}"#;
+        let resp = route(&state, &post("/query", q));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"results\""), "{}", resp.body);
+    }
+}

@@ -1,0 +1,692 @@
+//! A std-only HTTP/1.1 server: `TcpListener` accept loop feeding a fixed
+//! worker pool over an mpsc channel. No async runtime, no external
+//! dependencies — the concurrency model is N worker threads each owning
+//! one connection at a time, which is exactly right for a CPU-bound
+//! query engine (segmentation dominates; socket I/O is a rounding error).
+//!
+//! The layer is application-agnostic: it parses requests, hands them to a
+//! router closure, and writes responses (with keep-alive support).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Request bodies larger than this are rejected (inline dataset uploads
+/// are the biggest legitimate payload).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+const MAX_HEADERS: usize = 100;
+/// Request-line / header-line length cap: a peer streaming bytes with no
+/// newline must not grow a worker's buffer without bound.
+const MAX_LINE: usize = 64 * 1024;
+/// Socket read timeout. Blocked workers recheck the shutdown flag at
+/// this cadence, bounding how long `ServerHandle::shutdown` can take
+/// even while clients hold idle keep-alive connections open.
+const READ_TICK: Duration = Duration::from_millis(200);
+/// How long a worker waits for the *next* request on a keep-alive
+/// connection before closing it. Each worker owns one connection at a
+/// time, so without this deadline `workers` idle clients would starve
+/// the entire pool. (Shorter under `cfg(test)` so the suite can observe
+/// the behavior without multi-second sleeps.)
+#[cfg(not(test))]
+const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+#[cfg(test)]
+const IDLE_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Once a request's first byte has arrived, the whole request (line,
+/// headers, body) must complete within this budget — otherwise a
+/// slow-loris peer dribbling one byte per tick would hold a worker
+/// forever.
+#[cfg(not(test))]
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+#[cfg(test)]
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
+    }
+}
+
+/// An HTTP response to be written back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+    pub content_type: &'static str,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one `\n`-terminated line of at most `MAX_LINE` bytes, retrying
+/// across read timeouts until `stop` is raised, the hard deadline
+/// passes, or — if `idle_deadline` is set and nothing has been received
+/// yet — the idle deadline passes. `Ok(None)` means the wait was ended
+/// by one of those, and the connection should close.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    stop: &AtomicBool,
+    idle_deadline: Option<std::time::Instant>,
+    hard_deadline: std::time::Instant,
+) -> io::Result<Option<usize>> {
+    loop {
+        let remaining = (MAX_LINE.saturating_sub(buf.len())) as u64;
+        if remaining == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+        }
+        // `take` caps this attempt; partial reads before a timeout stay
+        // appended to `buf`, so retrying continues the same line.
+        match (&mut *reader).take(remaining).read_line(buf) {
+            // EOF: report what was read; an empty buf means a clean
+            // close, a partial line parses (and fails) downstream.
+            Ok(0) => return Ok(Some(buf.len())),
+            Ok(_) if !buf.ends_with('\n') && buf.len() >= MAX_LINE => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+            }
+            Ok(_) if !buf.ends_with('\n') => {
+                // The `take` cap split the line; keep reading it.
+                continue;
+            }
+            Ok(_) => return Ok(Some(buf.len())),
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                let now = std::time::Instant::now();
+                if now >= hard_deadline {
+                    return Ok(None);
+                }
+                if let Some(deadline) = idle_deadline {
+                    if buf.is_empty() && now >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads one request. `Ok(None)` means the peer closed cleanly between
+/// requests (normal keep-alive shutdown), the idle deadline expired, or
+/// a server shutdown was requested while waiting.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
+) -> io::Result<Option<(Request, bool)>> {
+    let mut line = String::new();
+    // The wait for the first byte is idle time; after that the whole
+    // request must complete within the hard deadline.
+    let started = std::time::Instant::now();
+    let idle_deadline = Some(started + IDLE_TIMEOUT);
+    let hard_deadline = started + IDLE_TIMEOUT + REQUEST_TIMEOUT;
+    match read_line_bounded(reader, &mut line, stop, idle_deadline, hard_deadline)? {
+        None | Some(0) => return Ok(None),
+        Some(_) => {}
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line: {line:?}"),
+            ))
+        }
+    };
+    // HTTP/1.0 (and unknown versions) default to connection-close
+    // framing; only HTTP/1.1 defaults to keep-alive.
+    let http11 = parts.next() == Some("HTTP/1.1");
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        match read_line_bounded(reader, &mut h, stop, None, hard_deadline)? {
+            None => return Ok(None),
+            Some(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof in headers",
+                ))
+            }
+            Some(_) => {}
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_owned(), v.trim().to_owned()));
+        }
+    }
+
+    // Chunked bodies are not implemented; treating them as body-less
+    // would misparse the chunk stream as pipelined requests, so refuse
+    // outright (the connection closes after the error response).
+    if headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "transfer-encoding is not supported; send a content-length body",
+        ));
+    }
+    // An unparseable Content-Length must be an error, not 0: defaulting
+    // would leave the body in the buffer to be misread as the next
+    // pipelined request.
+    let content_length = match headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+    {
+        Some((_, v)) => v.parse::<usize>().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid content-length `{v}`"),
+            )
+        })?,
+        None => 0,
+    };
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    // Grow the body as bytes actually arrive instead of committing
+    // Content-Length bytes up front (a header alone must not pin 64 MiB
+    // of worker memory).
+    let mut body: Vec<u8> = Vec::with_capacity(content_length.min(64 * 1024));
+    let mut chunk = [0u8; 64 * 1024];
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) || std::time::Instant::now() >= hard_deadline {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body,
+        },
+        http11,
+    )))
+}
+
+/// Writes all of `data`, retrying across write timeouts so a client
+/// applying slow backpressure still gets served — unless `stop` is
+/// raised, in which case the connection is abandoned so shutdown stays
+/// prompt even with a peer that never drains its receive buffer.
+fn write_all_ticking(stream: &mut TcpStream, data: &[u8], stop: &AtomicBool) -> io::Result<()> {
+    let mut written = 0;
+    while written < data.len() {
+        match stream.write(&data[written..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "peer gone")),
+            Ok(n) => written += n,
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Err(io::Error::other("shutdown"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    write_all_ticking(stream, head.as_bytes(), stop)?;
+    write_all_ticking(stream, response.body.as_bytes(), stop)?;
+    stream.flush()
+}
+
+/// The router: maps a request to a response. Panics in a router are
+/// caught per-connection so one bad request can't take a worker down.
+pub type Router = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+fn handle_connection(stream: TcpStream, router: &Router, stop: &AtomicBool) {
+    // Reads and writes tick at READ_TICK so a parked worker notices
+    // shutdown even when the peer neither sends nor receives.
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_write_timeout(Some(READ_TICK));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while !stop.load(Ordering::SeqCst) {
+        let (request, http11) = match read_request(&mut reader, stop) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                // Malformed request: best-effort 400 carrying the parse
+                // detail (our own error strings — "transfer-encoding is
+                // not supported", "line too long" — are the client's
+                // only diagnostic), then drop the connection.
+                let body = crate::json::obj([(
+                    "error",
+                    crate::json::Json::Str(format!("malformed request: {e}")),
+                )]);
+                let resp = Response::json(400, body.to_text());
+                let _ = write_response(&mut writer, &resp, false, stop);
+                return;
+            }
+        };
+        let keep_alive = if http11 {
+            !request
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        } else {
+            request
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+        };
+        let response =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router(&request))) {
+                Ok(r) => r,
+                Err(_) => Response::json(500, "{\"error\":\"internal panic\"}".into()),
+            };
+        if write_response(&mut writer, &response, keep_alive, stop).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// A running server: accept thread + fixed worker pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins all threads.
+    /// Workers parked on idle keep-alive connections notice within
+    /// [`READ_TICK`], so this returns promptly even while clients hold
+    /// sockets open.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves `router` on a pool of
+/// `workers` threads until [`ServerHandle::shutdown`].
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(addr: &str, workers: usize, router: Router) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let worker_count = workers.max(1);
+    let mut worker_handles = Vec::with_capacity(worker_count);
+    for _ in 0..worker_count {
+        let rx = Arc::clone(&rx);
+        let router = Arc::clone(&router);
+        let stop = Arc::clone(&shutdown);
+        worker_handles.push(std::thread::spawn(move || loop {
+            // Holding the lock only while receiving keeps the pool fair.
+            let next = rx.lock().expect("worker queue lock").recv();
+            match next {
+                Ok(stream) => handle_connection(stream, &router, &stop),
+                Err(_) => return, // accept thread gone: drain complete
+            }
+        }));
+    }
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // A send only fails if all workers died; stop
+                    // accepting.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Transient accept failure (e.g. fd exhaustion): back
+                // off instead of busy-spinning the accept loop.
+                Err(_) => std::thread::sleep(READ_TICK),
+            }
+        }
+        // Dropping `tx` here lets idle workers observe the hangup.
+    });
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_router() -> Router {
+        Arc::new(|req: &Request| {
+            Response::json(
+                200,
+                format!(
+                    "{{\"method\":\"{}\",\"path\":\"{}\",\"len\":{}}}",
+                    req.method,
+                    req.path,
+                    req.body.len()
+                ),
+            )
+        })
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_parses_and_shuts_down() {
+        let handle = serve("127.0.0.1:0", 2, echo_router()).unwrap();
+        let addr = handle.addr();
+        let reply = raw_roundtrip(
+            addr,
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbody",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("\"path\":\"/query\""), "{reply}");
+        assert!(reply.contains("\"len\":4"), "{reply}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        for i in 0..3 {
+            s.write_all(b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("HTTP/1.1 200"), "request {i}: {line}");
+            // Drain headers + body for this response.
+            let mut content_length = 0;
+            loop {
+                let mut h = String::new();
+                reader.read_line(&mut h).unwrap();
+                if h.trim_end().is_empty() {
+                    break;
+                }
+                if let Some((k, v)) = h.split_once(':') {
+                    if k.eq_ignore_ascii_case("content-length") {
+                        content_length = v.trim().parse().unwrap();
+                    }
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_workers_parked_on_idle_keepalive() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        // One request without Connection: close, then leave the socket
+        // open: the single worker parks in read_request on it.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut first = [0u8; 16];
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        reader.read_exact(&mut first).unwrap();
+        assert!(first.starts_with(b"HTTP/1.1 200"));
+
+        // Shutdown must complete despite the held-open connection.
+        let (done_tx, done_rx) = channel();
+        std::thread::spawn(move || {
+            handle.shutdown();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("shutdown hung on an idle keep-alive connection");
+        drop(s);
+    }
+
+    #[test]
+    fn invalid_content_length_is_rejected_not_zeroed() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        // Overflowing and non-numeric Content-Length must 400-and-close
+        // instead of misreading the body as a pipelined next request.
+        for cl in ["18446744073709551616", "abc"] {
+            let reply = raw_roundtrip(
+                handle.addr(),
+                &format!("POST /q HTTP/1.1\r\nContent-Length: {cl}\r\n\r\n{{}}"),
+            );
+            assert!(reply.contains("400"), "cl `{cl}`: {reply}");
+            assert!(reply.contains("content-length"), "cl `{cl}`: {reply}");
+            // Exactly one response: nothing was misparsed as a second
+            // request on this connection.
+            assert_eq!(reply.matches("HTTP/1.1").count(), 1, "{reply}");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn http10_defaults_to_connection_close() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        let t0 = std::time::Instant::now();
+        let reply = raw_roundtrip(handle.addr(), "GET /old HTTP/1.0\r\n\r\n");
+        // The server closes immediately (well inside the idle timeout)
+        // and says so.
+        assert!(t0.elapsed() < IDLE_TIMEOUT, "HTTP/1.0 hung to idle timeout");
+        assert!(reply.contains("connection: close"), "{reply}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_error_detail_reaches_the_client() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        let reply = raw_roundtrip(
+            handle.addr(),
+            "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        );
+        assert!(
+            reply.contains("transfer-encoding is not supported"),
+            "{reply}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_partial_request_is_cut_off_and_worker_freed() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        // A request line with no terminating blank line, then silence:
+        // the single worker must cut the connection at the hard
+        // deadline instead of being captured forever.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"GET /stuck HTTP/1.1\r\nx-slow: 1\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        let t0 = std::time::Instant::now();
+        let _ = s.read_to_string(&mut reply); // blocks until server closes
+        assert!(
+            t0.elapsed() < IDLE_TIMEOUT + REQUEST_TIMEOUT + Duration::from_secs(3),
+            "server did not cut off the stalled request"
+        );
+        // The worker is free again and serves the next client.
+        let reply = raw_roundtrip(
+            handle.addr(),
+            "GET /after HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.contains("200"), "{reply}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_header_line_is_rejected_not_buffered() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"GET /x HTTP/1.1\r\nx-junk: ").unwrap();
+        // Stream far more than MAX_LINE with no newline; the server
+        // must cut us off with a 400 instead of buffering forever.
+        let chunk = vec![b'a'; 8 * 1024];
+        let mut reply = String::new();
+        for _ in 0..((2 * MAX_LINE) / chunk.len()) {
+            if s.write_all(&chunk).is_err() {
+                break; // server already closed on us — also a pass
+            }
+        }
+        let _ = s.read_to_string(&mut reply);
+        if !reply.is_empty() {
+            assert!(reply.contains("400"), "{reply}");
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let handle = serve("127.0.0.1:0", 1, echo_router()).unwrap();
+        let reply = raw_roundtrip(handle.addr(), "NOT-HTTP\r\n\r\n");
+        assert!(reply.contains("400"), "{reply}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn router_panic_becomes_500() {
+        let router: Router = Arc::new(|req: &Request| {
+            if req.path == "/boom" {
+                panic!("kaboom");
+            }
+            Response::json(200, "{}".into())
+        });
+        let handle = serve("127.0.0.1:0", 1, router).unwrap();
+        let reply = raw_roundtrip(
+            handle.addr(),
+            "GET /boom HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.contains("500"), "{reply}");
+        // The worker survives and keeps serving.
+        let reply = raw_roundtrip(
+            handle.addr(),
+            "GET /fine HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.contains("200"), "{reply}");
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,144 @@
+//! # shapesearch-server
+//!
+//! The concurrent ShapeSearch query service (the system of paper
+//! Figure 2, productionized): a long-running process that registers
+//! datasets once, keeps their extracted trendlines hot behind `Arc`, and
+//! serves ShapeQueries over a std-only HTTP/1.1 JSON protocol from a
+//! fixed worker pool, with an LRU query-result cache in front of the
+//! segmentation engine.
+//!
+//! Architecture (one module per box):
+//!
+//! ```text
+//!        TcpListener ──► worker pool (http) ──► route (handlers)
+//!                                                   │
+//!                    ┌──────────────┬───────────────┤
+//!                    ▼              ▼               ▼
+//!              Catalog (catalog)  QueryCache    protocol/json
+//!                    │            (cache)
+//!                    ▼
+//!          Arc<DatasetEntry> { ShapeEngine, VisualSpec, … }
+//! ```
+//!
+//! * Registration (`POST /datasets`) runs EXTRACT eagerly; queries never
+//!   touch raw tables.
+//! * `POST /query` accepts regex or natural-language queries, any
+//!   segmentation algorithm, and per-request engine overrides; results
+//!   are cached under the **normalized query AST**, so textual variants
+//!   of one query share an entry.
+//! * `GET /healthz` exposes hit/miss counters for observability.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shapesearch_server::{json, Client, ServerConfig};
+//!
+//! let handle = shapesearch_server::serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let client = Client::new(handle.addr());
+//! client
+//!     .post("/datasets", &json::parse(r#"{
+//!         "name": "sales", "id": "sales",
+//!         "csv": "product,week,sales\nwidget,1,1\nwidget,2,3\nwidget,3,2\n",
+//!         "z": "product", "x": "week", "y": "sales"
+//!     }"#).unwrap())
+//!     .unwrap()
+//!     .expect_ok("register");
+//! let reply = client
+//!     .post("/query", &json::parse(
+//!         r#"{"dataset":"sales","query":"[p=up][p=down]","k":1}"#
+//!     ).unwrap())
+//!     .unwrap()
+//!     .expect_ok("query");
+//! assert_eq!(
+//!     reply.get("results").unwrap().as_array().unwrap()[0]
+//!         .get("key").unwrap().as_str(),
+//!     Some("widget")
+//! );
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod error;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod protocol;
+
+pub use cache::{CacheKey, CacheStats, LruCache, QueryCache};
+pub use catalog::{Catalog, DataSource, DatasetEntry, DatasetSpec};
+pub use client::{Client, ClientResponse};
+pub use error::ServerError;
+pub use handlers::AppState;
+pub use http::{Request, Response, ServerHandle};
+
+use std::io;
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (defaults to the machine's
+    /// available parallelism).
+    pub workers: usize,
+    /// Query-result cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Directory that `POST /datasets` `path` sources must live under;
+    /// `None` (the default) disables path registration over HTTP so
+    /// remote clients cannot read arbitrary server-local files.
+    pub data_root: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache_capacity: 256,
+            data_root: None,
+        }
+    }
+}
+
+/// A running ShapeSearch service: the HTTP handle plus its shared state
+/// (exposed so embedders — e.g. the CLI's `serve` subcommand — can
+/// preregister datasets without going through HTTP).
+pub struct Service {
+    handle: ServerHandle,
+    state: Arc<AppState>,
+}
+
+impl Service {
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.handle.addr()
+    }
+
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    pub fn shutdown(self) {
+        self.handle.shutdown();
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
+    let state = Arc::new(AppState::new(
+        config.cache_capacity,
+        config.workers,
+        config.data_root.clone(),
+    ));
+    let router_state = Arc::clone(&state);
+    let handle = http::serve(
+        addr,
+        config.workers,
+        Arc::new(move |request| handlers::route(&router_state, request)),
+    )?;
+    Ok(Service { handle, state })
+}

@@ -1,0 +1,290 @@
+//! The JSON wire protocol: typed request extraction and response
+//! construction for the four routes.
+//!
+//! ```text
+//! POST /datasets  {"name", "id"?, "csv"|"jsonl"|"path", "z", "x", "y",
+//!                  "filters"?: [{"column","op","value"}], "agg"?,
+//!                  "builtins"?: bool}
+//! GET  /datasets  → {"datasets":[{"id","name","z","x","y",
+//!                  "trendlines","points"}]}
+//! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
+//!                  "pushdown"?, "parallel"?}
+//! GET  /healthz   → {"status","datasets","queries","cache":{...}}
+//! ```
+
+use crate::catalog::{DataSource, DatasetEntry, DatasetSpec};
+use crate::error::ServerError;
+use crate::json::{obj, Json};
+use shapesearch_core::{EngineOptions, SegmenterKind, ShapeQuery, TopKResult};
+use shapesearch_datastore::{Aggregation, CompareOp, Predicate, Value, VisualSpec};
+
+fn required_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ServerError> {
+    body.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServerError::bad_request(format!("missing string field `{key}`")))
+}
+
+/// Parses a `POST /datasets` body.
+pub fn dataset_spec_from_json(body: &Json) -> Result<DatasetSpec, ServerError> {
+    let name = required_str(body, "name")?.to_owned();
+    let id = body.get("id").and_then(Json::as_str).map(str::to_owned);
+
+    let source = match (
+        body.get("csv").and_then(Json::as_str),
+        body.get("jsonl").and_then(Json::as_str),
+        body.get("path").and_then(Json::as_str),
+    ) {
+        (Some(text), None, None) => DataSource::InlineCsv(text.to_owned()),
+        (None, Some(text), None) => DataSource::InlineJsonl(text.to_owned()),
+        (None, None, Some(path)) => DataSource::Path(path.to_owned()),
+        _ => {
+            return Err(ServerError::bad_request(
+                "exactly one of `csv`, `jsonl`, or `path` is required",
+            ))
+        }
+    };
+
+    let mut visual = VisualSpec::new(
+        required_str(body, "z")?,
+        required_str(body, "x")?,
+        required_str(body, "y")?,
+    );
+    if let Some(filters) = body.get("filters").and_then(Json::as_array) {
+        for f in filters {
+            visual = visual.with_filter(predicate_from_json(f)?);
+        }
+    }
+    if let Some(agg) = body.get("agg").and_then(Json::as_str) {
+        let agg = Aggregation::parse(agg)
+            .ok_or_else(|| ServerError::bad_request(format!("unknown aggregation `{agg}`")))?;
+        visual = visual.with_aggregation(agg);
+    }
+
+    Ok(DatasetSpec {
+        id,
+        name,
+        source,
+        visual,
+        builtins: body.get("builtins").and_then(Json::as_bool).unwrap_or(true),
+    })
+}
+
+fn predicate_from_json(f: &Json) -> Result<Predicate, ServerError> {
+    let column = required_str(f, "column")?;
+    let op = match required_str(f, "op")? {
+        "=" | "==" | "eq" => CompareOp::Eq,
+        "!=" | "ne" => CompareOp::Ne,
+        "<" | "lt" => CompareOp::Lt,
+        "<=" | "le" => CompareOp::Le,
+        ">" | "gt" => CompareOp::Gt,
+        ">=" | "ge" => CompareOp::Ge,
+        other => {
+            return Err(ServerError::bad_request(format!(
+                "unknown filter op `{other}`"
+            )))
+        }
+    };
+    let value = match f.get("value") {
+        Some(Json::Num(n)) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                Value::Int(*n as i64)
+            } else {
+                Value::Float(*n)
+            }
+        }
+        Some(Json::Str(s)) => Value::infer(s),
+        Some(Json::Bool(b)) => Value::Int(i64::from(*b)),
+        Some(Json::Null) | None => Value::Null,
+        Some(other) => {
+            return Err(ServerError::bad_request(format!(
+                "unsupported filter value {other:?}"
+            )))
+        }
+    };
+    Ok(Predicate::new(column, op, value))
+}
+
+/// The parsed body of `POST /query`.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    pub dataset: String,
+    /// Regex-syntax query text, if given.
+    pub query: Option<String>,
+    /// Natural-language query text, if given (used when `query` absent).
+    pub nl: Option<String>,
+    pub k: usize,
+    pub algo: Option<SegmenterKind>,
+    pub bin_width: Option<usize>,
+    pub pushdown: Option<bool>,
+    pub parallel: Option<bool>,
+}
+
+pub fn query_request_from_json(body: &Json) -> Result<QueryRequest, ServerError> {
+    let dataset = required_str(body, "dataset")?.to_owned();
+    let query = body.get("query").and_then(Json::as_str).map(str::to_owned);
+    let nl = body.get("nl").and_then(Json::as_str).map(str::to_owned);
+    if query.is_none() && nl.is_none() {
+        return Err(ServerError::bad_request(
+            "one of `query` or `nl` is required",
+        ));
+    }
+    let algo = match body.get("algo").and_then(Json::as_str) {
+        Some(name) => Some(
+            SegmenterKind::parse(name)
+                .ok_or_else(|| ServerError::bad_request(format!("unknown algo `{name}`")))?,
+        ),
+        None => None,
+    };
+    Ok(QueryRequest {
+        dataset,
+        query,
+        nl,
+        k: body.get("k").and_then(Json::as_usize).unwrap_or(5),
+        algo,
+        bin_width: body.get("bin_width").and_then(Json::as_usize),
+        pushdown: body.get("pushdown").and_then(Json::as_bool),
+        parallel: body.get("parallel").and_then(Json::as_bool),
+    })
+}
+
+impl QueryRequest {
+    /// The effective engine options: the dataset defaults overridden by
+    /// whatever the request pins down.
+    pub fn effective_options(&self, defaults: &EngineOptions) -> EngineOptions {
+        let mut options = defaults.clone();
+        if let Some(algo) = self.algo {
+            options.segmenter = algo;
+        }
+        if let Some(bin_width) = self.bin_width {
+            options.bin_width = bin_width.max(1);
+        }
+        if let Some(pushdown) = self.pushdown {
+            options.pushdown = pushdown;
+        }
+        if let Some(parallel) = self.parallel {
+            options.parallel = parallel;
+        }
+        options
+    }
+}
+
+/// Parses the request's query text into an AST (regex syntax first,
+/// falling back to the NL pipeline when only `nl` was given). Returns
+/// the AST plus any NL translation notes.
+pub fn parse_query(request: &QueryRequest) -> Result<(ShapeQuery, Vec<String>), ServerError> {
+    if let Some(text) = &request.query {
+        let query = shapesearch_parser::parse_regex(text)
+            .map_err(|e| ServerError::bad_request(format!("query parse error: {e}")))?;
+        return Ok((query, Vec::new()));
+    }
+    let text = request.nl.as_deref().expect("validated at extraction");
+    let parsed = shapesearch_parser::parse_natural_language(text)
+        .map_err(|e| ServerError::bad_request(format!("natural-language parse error: {e}")))?;
+    Ok((parsed.query, parsed.notes))
+}
+
+pub fn dataset_to_json(entry: &DatasetEntry) -> Json {
+    obj([
+        ("id", entry.id.as_str().into()),
+        ("name", entry.name.as_str().into()),
+        ("z", entry.visual.z.as_str().into()),
+        ("x", entry.visual.x.as_str().into()),
+        ("y", entry.visual.y.as_str().into()),
+        ("trendlines", entry.trendline_count.into()),
+        ("points", entry.point_count.into()),
+    ])
+}
+
+pub fn results_to_json(results: &[TopKResult]) -> Json {
+    Json::Arr(
+        results
+            .iter()
+            .map(|r| {
+                obj([
+                    ("key", r.key.as_str().into()),
+                    ("score", r.score.into()),
+                    ("viz_index", r.viz_index.into()),
+                    (
+                        "ranges",
+                        Json::Arr(
+                            r.ranges
+                                .iter()
+                                .map(|&(s, e)| Json::Arr(vec![s.into(), e.into()]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+pub fn error_to_json(err: &ServerError) -> Json {
+    obj([("error", err.message.as_str().into())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn dataset_spec_parses_inline_csv() {
+        let body = json::parse(
+            r#"{"name":"sales","id":"s1","csv":"z,x,y\na,1,2\n","z":"z","x":"x","y":"y",
+                "filters":[{"column":"y","op":">","value":1}],"agg":"sum"}"#,
+        )
+        .unwrap();
+        let spec = dataset_spec_from_json(&body).unwrap();
+        assert_eq!(spec.id.as_deref(), Some("s1"));
+        assert_eq!(spec.visual.filters.len(), 1);
+        assert_eq!(spec.visual.aggregation, Aggregation::Sum);
+        assert!(matches!(spec.source, DataSource::InlineCsv(_)));
+    }
+
+    #[test]
+    fn dataset_spec_rejects_ambiguous_source() {
+        let body =
+            json::parse(r#"{"name":"x","csv":"a","path":"b","z":"z","x":"x","y":"y"}"#).unwrap();
+        assert!(dataset_spec_from_json(&body).is_err());
+    }
+
+    #[test]
+    fn query_request_parses_and_overrides_options() {
+        let body = json::parse(
+            r#"{"dataset":"s1","query":"[p=up]","k":3,"algo":"dp","bin_width":2,"pushdown":false}"#,
+        )
+        .unwrap();
+        let req = query_request_from_json(&body).unwrap();
+        assert_eq!(req.k, 3);
+        let options = req.effective_options(&EngineOptions::default());
+        assert_eq!(options.segmenter, SegmenterKind::Dp);
+        assert_eq!(options.bin_width, 2);
+        assert!(!options.pushdown);
+    }
+
+    #[test]
+    fn query_request_requires_some_query() {
+        let body = json::parse(r#"{"dataset":"s1","k":3}"#).unwrap();
+        assert!(query_request_from_json(&body).is_err());
+        let body = json::parse(r#"{"dataset":"s1","algo":"warp"}"#).unwrap();
+        assert!(query_request_from_json(&body).is_err());
+    }
+
+    #[test]
+    fn nl_and_regex_share_canonical_ast() {
+        let nl_req = QueryRequest {
+            dataset: "d".into(),
+            query: None,
+            nl: Some("rising then falling".into()),
+            k: 5,
+            algo: None,
+            bin_width: None,
+            pushdown: None,
+            parallel: None,
+        };
+        let (nl_query, _) = parse_query(&nl_req).unwrap();
+        let direct = shapesearch_parser::parse_regex(&nl_query.to_string()).unwrap();
+        assert_eq!(nl_query, direct, "canonical text must reparse identically");
+    }
+}

@@ -22,12 +22,8 @@ fn main() {
     // then as the effect of treatment subsides, the expression reduces
     // gradually").
     for i in 0..6 {
-        let ys = generators::piecewise(
-            &mut rng,
-            48,
-            &[(1.2, 0.05), (0.25, 2.2), (2.0, -1.9)],
-            0.05,
-        );
+        let ys =
+            generators::piecewise(&mut rng, 48, &[(1.2, 0.05), (0.25, 2.2), (2.0, -1.9)], 0.05);
         genes.push(Trendline::from_pairs(
             format!("drug_response_{i}"),
             &generators::with_index_x(&ys),
@@ -70,7 +66,11 @@ fn main() {
     for r in &hits {
         println!("  {:20} {:+.3}", r.key, r.score);
     }
-    assert!(hits[0].key.starts_with("drug_response"), "top: {}", hits[0].key);
+    assert!(
+        hits[0].key.starts_with("drug_response"),
+        "top: {}",
+        hits[0].key
+    );
 
     // R2's stem-cell query, via regex: a steady rise then high and flat.
     // (On the unit canvas a rise covering half the x range and the full y
@@ -81,8 +81,16 @@ fn main() {
     for r in &hits {
         println!("  {:20} {:+.3}", r.key, r.score);
     }
-    let stem_hits = hits.iter().take(3).filter(|r| r.key.starts_with("stem")).count();
-    assert!(stem_hits >= 2, "top-3 {:?}", hits.iter().map(|r| &r.key).collect::<Vec<_>>());
+    let stem_hits = hits
+        .iter()
+        .take(3)
+        .filter(|r| r.key.starts_with("stem"))
+        .count();
+    assert!(
+        stem_hits >= 2,
+        "top-3 {:?}",
+        hits.iter().map(|r| &r.key).collect::<Vec<_>>()
+    );
 
     // R1's outlier hunt: two peaks in a short duration.
     let two_peaks = parse_regex("[p=[[p=up][p=down]], m={2,}]").expect("valid");

@@ -54,7 +54,11 @@ fn main() {
     let stroke: Vec<(f64, f64)> = (0..=20)
         .map(|i| {
             let x = i as f64 * 10.0;
-            let y = if i <= 10 { 90.0 - 8.0 * i as f64 } else { 10.0 + 8.0 * (i - 10) as f64 };
+            let y = if i <= 10 {
+                90.0 - 8.0 * i as f64
+            } else {
+                10.0 + 8.0 * (i - 10) as f64
+            };
             (x, y)
         })
         .collect();

@@ -60,6 +60,9 @@ doodad,7,19
     // A dip instead: "falling then rising".
     let dip = parse_regex("[p=down][p=up]").expect("valid query");
     let results = engine.top_k(&dip, 1).expect("execution");
-    println!("best dip: {} (score {:+.3})", results[0].key, results[0].score);
+    println!(
+        "best dip: {} (score {:+.3})",
+        results[0].key, results[0].score
+    );
     assert_eq!(results[0].key, "gadget");
 }

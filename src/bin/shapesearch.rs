@@ -1,5 +1,5 @@
 //! The `shapesearch` command-line tool: shape-based search over a CSV or
-//! JSON-lines file.
+//! JSON-lines file, either one-shot or as a long-running query service.
 //!
 //! ```text
 //! shapesearch --data sales.csv --z product --x week --y sales \
@@ -7,10 +7,15 @@
 //!             [--filter "col<=value"] [--agg avg]
 //! shapesearch --data genes.csv -z gene -x time -y expr \
 //!             --nl "rising then falling sharply"
+//! shapesearch serve [--addr 127.0.0.1:7878] [--workers N] [--cache-cap N] \
+//!             [--data FILE --z COL --x COL --y COL [--name NAME]]
 //! ```
 //!
-//! Prints the ranked matches with scores and the fitted segment boundaries
-//! (the engine-side equivalent of the paper's result panel, Figure 2 Box 4).
+//! One-shot mode prints the ranked matches with scores and the fitted
+//! segment boundaries (the engine-side equivalent of the paper's result
+//! panel, Figure 2 Box 4). `serve` exposes the same pipeline over HTTP
+//! with a dataset catalog and a query-result cache; see the
+//! `shapesearch-server` crate docs for the protocol.
 
 use shapesearch::prelude::*;
 use shapesearch_core::SegmenterKind;
@@ -34,7 +39,9 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: shapesearch --data FILE --z COL --x COL --y COL \
      (--query REGEX | --nl TEXT) [--k N] [--algo dp|tree|pruned|greedy|dtw|euclid] \
-     [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]"
+     [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
+     shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--data-root DIR] \
+     [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...]]"
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -61,15 +68,9 @@ fn parse_cli() -> Result<Cli, String> {
                     .map_err(|_| "--k must be an integer".to_owned())?;
             }
             "--algo" => {
-                cli.algo = match take("--algo")?.as_str() {
-                    "dp" => SegmenterKind::Dp,
-                    "tree" => SegmenterKind::SegmentTree,
-                    "pruned" => SegmenterKind::SegmentTreePruned,
-                    "greedy" => SegmenterKind::Greedy,
-                    "dtw" => SegmenterKind::Dtw,
-                    "euclid" | "euclidean" => SegmenterKind::Euclidean,
-                    other => return Err(format!("unknown algorithm `{other}`")),
-                };
+                let name = take("--algo")?;
+                cli.algo = SegmenterKind::parse(&name)
+                    .ok_or_else(|| format!("unknown algorithm `{name}`"))?;
             }
             "--filter" => cli.filters.push(take("--filter")?),
             "--agg" => cli.agg = Some(take("--agg")?),
@@ -107,7 +108,99 @@ fn parse_filter(text: &str) -> Result<Predicate, String> {
     Err(format!("filter `{text}` has no comparison operator"))
 }
 
+/// Parses and runs `shapesearch serve ...`, blocking until killed.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    use shapesearch::server::{DataSource, DatasetSpec, ServerConfig};
+
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut config = ServerConfig::default();
+    let mut data: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut z = None;
+    let mut x = None;
+    let mut y = None;
+    let mut filters: Vec<String> = Vec::new();
+    let mut agg: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--addr" => addr = take("--addr")?,
+            "--workers" => {
+                config.workers = take("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_owned())?;
+            }
+            "--cache-cap" => {
+                config.cache_capacity = take("--cache-cap")?
+                    .parse()
+                    .map_err(|_| "--cache-cap must be an integer".to_owned())?;
+            }
+            "--data-root" => config.data_root = Some(take("--data-root")?.into()),
+            "--data" => data = Some(take("--data")?),
+            "--name" => name = Some(take("--name")?),
+            "--z" | "-z" => z = Some(take("--z")?),
+            "--x" | "-x" => x = Some(take("--x")?),
+            "--y" | "-y" => y = Some(take("--y")?),
+            "--filter" => filters.push(take("--filter")?),
+            "--agg" => agg = Some(take("--agg")?),
+            other => return Err(format!("unknown serve argument `{other}`\n{}", usage())),
+        }
+    }
+
+    let service =
+        shapesearch::server::serve(&addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
+
+    // Optional preregistration so the service starts useful.
+    if let Some(path) = data {
+        let (z, x, y) = match (z, x, y) {
+            (Some(z), Some(x), Some(y)) => (z, x, y),
+            _ => return Err("--data needs --z, --x, and --y".to_owned()),
+        };
+        let mut visual = VisualSpec::new(z, x, y);
+        for f in &filters {
+            visual = visual.with_filter(parse_filter(f)?);
+        }
+        if let Some(agg) = &agg {
+            visual = visual.with_aggregation(
+                Aggregation::parse(agg).ok_or_else(|| format!("unknown aggregation `{agg}`"))?,
+            );
+        }
+        let entry = service
+            .state()
+            .catalog
+            .register(DatasetSpec {
+                id: name.clone(),
+                name: name.unwrap_or_else(|| path.clone()),
+                source: DataSource::Path(path),
+                visual,
+                builtins: true,
+            })
+            .map_err(|e| e.to_string())?;
+        println!(
+            "registered dataset `{}` ({} trendlines, {} points)",
+            entry.id, entry.trendline_count, entry.point_count
+        );
+    }
+
+    let local = service.addr();
+    println!("shapesearch server listening on http://{local}");
+    println!("try: curl -s http://{local}/healthz");
+    loop {
+        std::thread::park();
+    }
+}
+
 fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return run_serve(&argv[1..]);
+    }
     let cli = parse_cli()?;
     let data = cli.data.ok_or_else(|| usage().to_owned())?;
     let (z, x, y) = match (&cli.z, &cli.x, &cli.y) {
@@ -162,11 +255,7 @@ fn run() -> Result<(), String> {
     }
     println!("{:<4} {:<24} {:>8}  segments", "rank", "key", "score");
     for (i, r) in results.iter().enumerate() {
-        let segs: Vec<String> = r
-            .ranges
-            .iter()
-            .map(|&(s, e)| format!("{s}..{e}"))
-            .collect();
+        let segs: Vec<String> = r.ranges.iter().map(|&(s, e)| format!("{s}..{e}")).collect();
         println!(
             "{:<4} {:<24} {:>+8.3}  {}",
             i + 1,

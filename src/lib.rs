@@ -14,6 +14,8 @@
 //!   ShapeQuery ASTs.
 //! * [`crf`] — the linear-chain CRF and POS-tagging substrate used by the NL
 //!   parser.
+//! * [`server`] — the concurrent query service: dataset catalog, HTTP/1.1
+//!   worker pool, and LRU query-result cache.
 //! * [`similarity`] — DTW and Euclidean baselines.
 //! * [`datagen`] — seeded synthetic datasets and workloads reproducing the
 //!   paper's evaluation (Table 11, Table 10 task categories).
@@ -53,6 +55,7 @@ pub use shapesearch_crf as crf;
 pub use shapesearch_datagen as datagen;
 pub use shapesearch_datastore as datastore;
 pub use shapesearch_parser as parser;
+pub use shapesearch_server as server;
 pub use shapesearch_similarity as similarity;
 
 /// Commonly used items, importable with `use shapesearch::prelude::*`.

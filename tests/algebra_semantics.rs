@@ -69,7 +69,10 @@ fn or_dominates_and() {
     for (a, b) in [
         (ShapeQuery::up(), ShapeQuery::down()),
         (ShapeQuery::flat(), ShapeQuery::up()),
-        (ShapeQuery::pattern(Pattern::Slope(20.0)), ShapeQuery::down()),
+        (
+            ShapeQuery::pattern(Pattern::Slope(20.0)),
+            ShapeQuery::down(),
+        ),
     ] {
         let or = eval_full(&ShapeQuery::Or(vec![a.clone(), b.clone()]), &v);
         let and = eval_full(&ShapeQuery::And(vec![a, b]), &v);
@@ -109,7 +112,11 @@ fn nested_average_weights_match_manual_evaluation() {
         ShapeQuery::up(),
         ShapeQuery::Concat(vec![ShapeQuery::down(), ShapeQuery::flat()]),
     ]);
-    let flat3 = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down(), ShapeQuery::flat()]);
+    let flat3 = ShapeQuery::concat(vec![
+        ShapeQuery::up(),
+        ShapeQuery::down(),
+        ShapeQuery::flat(),
+    ]);
     let s_nested = dp_score(&nested, &v);
     let s_flat = dp_score(&flat3, &v);
     // Both find good matches but weight them differently; the nested one
@@ -124,9 +131,8 @@ fn quantifier_bounds_ordering() {
     // at-least-k is monotone decreasing in k (harder constraints can only
     // lower or equal the count-feasibility).
     let v = viz(&[0.0, 3.0, 0.5, 3.5, 0.2, 3.8, 0.0]);
-    let seg = |m: Modifier| {
-        ShapeQuery::Segment(ShapeSegment::pattern(Pattern::Up).with_modifier(m))
-    };
+    let seg =
+        |m: Modifier| ShapeQuery::Segment(ShapeSegment::pattern(Pattern::Up).with_modifier(m));
     let s1 = eval_full(&seg(Modifier::at_least(1)), &v);
     let s3 = eval_full(&seg(Modifier::at_least(3)), &v);
     let s5 = eval_full(&seg(Modifier::at_least(5)), &v);

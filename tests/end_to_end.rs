@@ -24,7 +24,10 @@ fn csv_to_topk_with_regex() {
     let q = parse_regex("[p=up][p=down]").unwrap();
     let results = engine.top_k(&q, 2).unwrap();
     let keys: Vec<&str> = results.iter().map(|r| r.key.as_str()).collect();
-    assert!(keys.contains(&"peak_a") && keys.contains(&"peak_b"), "{keys:?}");
+    assert!(
+        keys.contains(&"peak_a") && keys.contains(&"peak_b"),
+        "{keys:?}"
+    );
 
     // Per-visualization normalization (canvas or z-score, §5.3) rescales a
     // near-constant series so its noise fills the canvas — so `flat` cannot
@@ -33,7 +36,10 @@ fn csv_to_topk_with_regex() {
     let q = parse_regex("[p=flat]").unwrap();
     let all = engine.top_k(&q, 5).unwrap();
     let bottom: Vec<&str> = all[3..].iter().map(|r| r.key.as_str()).collect();
-    assert!(bottom.contains(&"rise") && bottom.contains(&"fall"), "{all:?}");
+    assert!(
+        bottom.contains(&"rise") && bottom.contains(&"fall"),
+        "{all:?}"
+    );
 
     let q = parse_regex("[p=up]").unwrap();
     assert_eq!(engine.top_k(&q, 1).unwrap()[0].key, "rise");
@@ -42,10 +48,7 @@ fn csv_to_topk_with_regex() {
 #[test]
 fn json_lines_round_trip() {
     let mut lines = String::new();
-    for (z, pts) in [
-        ("up", [1.0, 2.0, 3.0, 4.0]),
-        ("down", [4.0, 3.0, 2.0, 1.0]),
-    ] {
+    for (z, pts) in [("up", [1.0, 2.0, 3.0, 4.0]), ("down", [4.0, 3.0, 2.0, 1.0])] {
         for (i, y) in pts.iter().enumerate() {
             lines.push_str(&format!("{{\"g\":\"{z}\",\"t\":{i},\"v\":{y}}}\n"));
         }
@@ -109,11 +112,14 @@ fn all_segmenters_run_table11_queries() {
 #[test]
 fn segment_tree_close_to_dp_on_real_mixtures() {
     use shapesearch::datagen::table11::DatasetId;
-    let data: Vec<_> = DatasetId::RealEstate.generate(7).into_iter().take(40).collect();
+    let data: Vec<_> = DatasetId::RealEstate
+        .generate(7)
+        .into_iter()
+        .take(40)
+        .collect();
     let q = parse_regex("[p=up][p=down][p=up][p=down]").unwrap();
     let dp = ShapeEngine::from_trendlines(data.clone()).with_segmenter(SegmenterKind::Dp);
-    let tree =
-        ShapeEngine::from_trendlines(data).with_segmenter(SegmenterKind::SegmentTree);
+    let tree = ShapeEngine::from_trendlines(data).with_segmenter(SegmenterKind::SegmentTree);
     let top_dp = dp.top_k(&q, 10).unwrap();
     let top_tree = tree.top_k(&q, 10).unwrap();
     let dp_keys: Vec<&str> = top_dp.iter().map(|r| r.key.as_str()).collect();
@@ -129,12 +135,16 @@ fn segment_tree_close_to_dp_on_real_mixtures() {
 #[test]
 fn pruned_run_preserves_top_k() {
     use shapesearch::datagen::table11::DatasetId;
-    let data: Vec<_> = DatasetId::Words50.generate(9).into_iter().take(60).collect();
+    let data: Vec<_> = DatasetId::Words50
+        .generate(9)
+        .into_iter()
+        .take(60)
+        .collect();
     let q = parse_regex("[p=flat][p=up][p=down][p=flat]").unwrap();
     let plain =
         ShapeEngine::from_trendlines(data.clone()).with_segmenter(SegmenterKind::SegmentTree);
-    let pruned = ShapeEngine::from_trendlines(data)
-        .with_segmenter(SegmenterKind::SegmentTreePruned);
+    let pruned =
+        ShapeEngine::from_trendlines(data).with_segmenter(SegmenterKind::SegmentTreePruned);
     let a = plain.top_k(&q, 5).unwrap();
     let b = pruned.top_k(&q, 5).unwrap();
     let ka: Vec<&str> = a.iter().map(|r| r.key.as_str()).collect();
@@ -155,7 +165,11 @@ fn sketch_pipeline_matches_drawn_shape() {
     let stroke: Vec<(f64, f64)> = (0..=10)
         .map(|i| {
             let x = i as f64 * 10.0;
-            let y = if i <= 5 { 90.0 - 16.0 * i as f64 } else { 10.0 + 16.0 * (i - 5) as f64 };
+            let y = if i <= 5 {
+                90.0 - 16.0 * i as f64
+            } else {
+                10.0 + 16.0 * (i - 5) as f64
+            };
             (x, y)
         })
         .collect();
@@ -163,8 +177,7 @@ fn sketch_pipeline_matches_drawn_shape() {
     assert_eq!(q.to_string(), "[p=up][p=down]");
 
     let table = shapesearch::datastore::csv::read_str(sales_csv()).unwrap();
-    let engine =
-        ShapeEngine::new(&table, &VisualSpec::new("product", "week", "sales")).unwrap();
+    let engine = ShapeEngine::new(&table, &VisualSpec::new("product", "week", "sales")).unwrap();
     let top = engine.top_k(&q, 1).unwrap();
     assert!(top[0].key.starts_with("peak"));
 }
@@ -172,8 +185,11 @@ fn sketch_pipeline_matches_drawn_shape() {
 #[test]
 fn filters_flow_through_extract() {
     let table = shapesearch::datastore::csv::read_str(sales_csv()).unwrap();
-    let spec = VisualSpec::new("product", "week", "sales")
-        .with_filter(Predicate::new("product", CompareOp::Ne, "fall"));
+    let spec = VisualSpec::new("product", "week", "sales").with_filter(Predicate::new(
+        "product",
+        CompareOp::Ne,
+        "fall",
+    ));
     let engine = ShapeEngine::new(&table, &spec).unwrap();
     let q = parse_regex("[p=down]").unwrap();
     let results = engine.top_k(&q, 5).unwrap();

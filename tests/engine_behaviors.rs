@@ -7,9 +7,9 @@ use shapesearch_core::{EngineOptions, Pattern, SegmenterKind, ShapeQuery};
 use shapesearch_datastore::Trendline;
 
 fn mixed_collection(n: usize) -> Vec<Trendline> {
-    use shapesearch::datagen::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use shapesearch::datagen::generators;
     let mut rng = StdRng::seed_from_u64(99);
     (0..n)
         .map(|i| {

@@ -29,7 +29,10 @@ fn basic_sequences() {
     expect("rising then falling", "[p=up][p=down]");
     expect("going up and then going down", "[p=up][p=down]");
     expect("increasing followed by decreasing", "[p=up][p=down]");
-    expect("show me stocks that are climbing then dropping then climbing", "[p=up][p=down][p=up]");
+    expect(
+        "show me stocks that are climbing then dropping then climbing",
+        "[p=up][p=down][p=up]",
+    );
     expect("first flat then rising", "[p=flat][p=up]");
 }
 
@@ -46,7 +49,10 @@ fn modifiers() {
     expect("rising sharply", "[p=up, m=>>]");
     expect("falling steeply", "[p=down, m=>>]");
     expect("increasing gradually", "[p=up, m=>]");
-    expect("rising slowly then dropping quickly", "[p=up, m=>][p=down, m=>>]");
+    expect(
+        "rising slowly then dropping quickly",
+        "[p=up, m=>][p=down, m=>>]",
+    );
 }
 
 #[test]
@@ -59,7 +65,10 @@ fn disjunction_and_negation() {
 #[test]
 fn locations() {
     expect("rising from 2 to 5", "[x.s=2, x.e=5, p=up]");
-    expect("increasing from 10 to 80 then falling", "[x.s=10, x.e=80, p=up][p=down]");
+    expect(
+        "increasing from 10 to 80 then falling",
+        "[x.s=10, x.e=80, p=up][p=down]",
+    );
 }
 
 #[test]
