@@ -61,7 +61,7 @@ pub enum PrunedOutcome {
 /// [`PrunedOutcome::Pruned`]; they are guaranteed (under the paper's
 /// Closure/bound assumptions) not to belong to the top k.
 pub fn run_pruned(
-    vizzes: &[VizData],
+    vizzes: &[&VizData],
     query: &ShapeQuery,
     chains: &[Chain],
     params: &ScoreParams,
@@ -322,7 +322,7 @@ mod tests {
         let k = 3;
 
         let outcomes = run_pruned(
-            &vizzes,
+            &vizzes.iter().collect::<Vec<_>>(),
             &q,
             &chains,
             &params,
@@ -364,7 +364,7 @@ mod tests {
         let params = ScoreParams::default();
         let udps = UdpRegistry::new();
         let outcomes = run_pruned(
-            &vizzes,
+            &vizzes.iter().collect::<Vec<_>>(),
             &q,
             &chains,
             &params,

@@ -162,59 +162,138 @@ impl ShapeEngine {
         k: usize,
         options: &EngineOptions,
     ) -> Result<Vec<TopKResult>> {
-        self.validate(query)?;
-        let chains = expand_chains(query);
-        if chains.is_empty() || chains.iter().any(Chain::is_empty) {
-            return Err(CoreError::InvalidQuery("query has no segments".into()));
+        self.top_k_batch(&[(query, k)], options)
+            .pop()
+            .expect("one outcome per batched query")
+    }
+
+    /// Executes a whole batch of ShapeQueries over **one pass** of the
+    /// trendline collection (the paper's §5 pipelining argument, lifted
+    /// from sharing work *within* a query to sharing it *across* queries):
+    /// the GROUP stage — normalization, binning, and the prefix statistics
+    /// index — runs at most once per trendline for the entire batch, no
+    /// matter how many queries reference it, instead of once per query.
+    /// Only the per-query segmentation and scoring remain proportional to
+    /// the batch size.
+    ///
+    /// Outcomes are per query, in input order, and are bit-identical to
+    /// running [`Self::top_k_with_options`] on each `(query, k)` pair
+    /// individually — one malformed query fails only its own slot, never
+    /// the rest of the batch. Queries that need a restricted GROUP
+    /// (push-down (c): fully pinned x ranges) fall back to a private
+    /// per-query GROUP so their restriction cannot leak into neighbours.
+    pub fn top_k_batch(
+        &self,
+        items: &[(&ShapeQuery, usize)],
+        options: &EngineOptions,
+    ) -> Vec<Result<Vec<TopKResult>>> {
+        struct Prep<'q> {
+            query: &'q ShapeQuery,
+            k: usize,
+            chains: Vec<Chain>,
+            pinned: Vec<(f64, f64)>,
+            /// Push-down (c): fully pinned queries GROUP privately over
+            /// their own x ranges.
+            restrict: bool,
         }
 
-        // Push-down (a): viz-level pruning on pinned x ranges.
-        let pinned = query.pinned_x_ranges();
-        let candidates: Vec<(usize, &Trendline)> = self
+        let preps: Vec<Result<Prep<'_>>> = items
+            .iter()
+            .map(|&(query, k)| {
+                self.validate(query)?;
+                let chains = expand_chains(query);
+                if chains.is_empty() || chains.iter().any(Chain::is_empty) {
+                    return Err(CoreError::InvalidQuery("query has no segments".into()));
+                }
+                Ok(Prep {
+                    query,
+                    k,
+                    chains,
+                    pinned: query.pinned_x_ranges(),
+                    restrict: options.pushdown && pushdown::fully_pinned(query),
+                })
+            })
+            .collect();
+
+        // Push-down (a): a query considers a trendline only when the
+        // trendline covers the query's pinned x ranges.
+        let wants = |p: &Prep<'_>, t: &Trendline| {
+            !options.pushdown || p.pinned.is_empty() || pushdown::covers_ranges(t, &p.pinned)
+        };
+
+        // Shared GROUP: each trendline is normalized/binned/indexed at most
+        // once for the whole batch. A trendline every query prunes (or that
+        // only restricted queries touch) is never GROUPed at all, so the
+        // single-query case keeps its pre-batch work profile exactly.
+        let shared: Vec<Option<VizData>> = self
             .trendlines
             .iter()
             .enumerate()
-            .filter(|(_, t)| {
-                !options.pushdown || pinned.is_empty() || pushdown::covers_ranges(t, &pinned)
+            .map(|(source, t)| {
+                preps
+                    .iter()
+                    .flatten()
+                    .any(|p| !p.restrict && wants(p, t))
+                    .then(|| VizData::from_trendline(t, source, options.bin_width))
+                    .flatten()
             })
             .collect();
 
-        // GROUP, with push-down (c) for fully non-fuzzy queries.
-        let restrict = options.pushdown && pushdown::fully_pinned(query);
-        let vizzes: Vec<VizData> = candidates
+        preps
             .into_iter()
-            .filter_map(|(source, t)| {
-                if restrict {
-                    VizData::from_trendline_restricted(t, source, options.bin_width, &pinned)
+            .map(|prep| {
+                let p = prep?;
+                let private: Vec<VizData>;
+                let vizzes: Vec<&VizData> = if p.restrict {
+                    private = self
+                        .trendlines
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| wants(&p, t))
+                        .filter_map(|(source, t)| {
+                            VizData::from_trendline_restricted(
+                                t,
+                                source,
+                                options.bin_width,
+                                &p.pinned,
+                            )
+                        })
+                        .collect();
+                    private.iter().collect()
                 } else {
-                    VizData::from_trendline(t, source, options.bin_width)
-                }
-            })
-            .collect();
+                    self.trendlines
+                        .iter()
+                        .zip(&shared)
+                        .filter(|(t, _)| wants(&p, t))
+                        .filter_map(|(_, v)| v.as_ref())
+                        .collect()
+                };
 
-        let results = match options.segmenter {
-            SegmenterKind::SegmentTreePruned => {
-                self.run_pruned_driver(&vizzes, query, &chains, k, options)
-            }
-            kind => self.run_per_viz(&vizzes, &chains, kind, k, options),
-        };
+                let results = match options.segmenter {
+                    SegmenterKind::SegmentTreePruned => {
+                        self.run_pruned_driver(&vizzes, p.query, &p.chains, p.k, options)
+                    }
+                    kind => self.run_per_viz(&vizzes, &p.chains, kind, p.k, options),
+                };
 
-        Ok(results
-            .into_sorted()
-            .into_iter()
-            .filter(|s| s.result.score > -1.0 || !s.result.ranges.is_empty())
-            .map(|s| TopKResult {
-                key: self.trendlines[s.viz].key.clone(),
-                score: s.result.score,
-                viz_index: s.viz,
-                ranges: s.result.ranges,
+                Ok(results
+                    .into_sorted()
+                    .into_iter()
+                    .filter(|s| s.result.score > -1.0 || !s.result.ranges.is_empty())
+                    .map(|s| TopKResult {
+                        key: self.trendlines[s.viz].key.clone(),
+                        score: s.result.score,
+                        viz_index: s.viz,
+                        ranges: s.result.ranges,
+                    })
+                    .collect())
             })
-            .collect())
+            .collect()
     }
 
     fn run_per_viz(
         &self,
-        vizzes: &[VizData],
+        vizzes: &[&VizData],
         chains: &[Chain],
         kind: SegmenterKind,
         k: usize,
@@ -279,7 +358,7 @@ impl ShapeEngine {
 
     fn run_pruned_driver(
         &self,
-        vizzes: &[VizData],
+        vizzes: &[&VizData],
         query: &ShapeQuery,
         chains: &[Chain],
         k: usize,
@@ -440,6 +519,52 @@ mod tests {
         let ka: Vec<&str> = a.iter().map(|r| r.key.as_str()).collect();
         let kb: Vec<&str> = b.iter().map(|r| r.key.as_str()).collect();
         assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_segmenter() {
+        let queries = [
+            updown(),
+            ShapeQuery::concat(vec![ShapeQuery::down(), ShapeQuery::up()]),
+            ShapeQuery::concat(vec![
+                ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, 0.0, 8.0)),
+                ShapeQuery::down(),
+            ]),
+            ShapeQuery::down(),
+        ];
+        for kind in [
+            SegmenterKind::Dp,
+            SegmenterKind::SegmentTree,
+            SegmenterKind::SegmentTreePruned,
+            SegmenterKind::Greedy,
+            SegmenterKind::Dtw,
+            SegmenterKind::Euclidean,
+        ] {
+            let engine = ShapeEngine::from_trendlines(collection()).with_segmenter(kind);
+            let items: Vec<(&ShapeQuery, usize)> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| (q, i + 1))
+                .collect();
+            let batched = engine.top_k_batch(&items, engine.options());
+            assert_eq!(batched.len(), queries.len());
+            for ((q, k), got) in items.iter().zip(batched) {
+                let want = engine.top_k(q, *k).unwrap();
+                assert_eq!(got.unwrap(), want, "{kind:?} diverged on {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_isolates_per_query_errors() {
+        let engine = ShapeEngine::from_trendlines(collection());
+        let good = updown();
+        let bad = ShapeQuery::pattern(Pattern::Udp("mystery".into()));
+        let outcomes = engine.top_k_batch(&[(&good, 2), (&bad, 2), (&good, 1)], engine.options());
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(outcomes[1], Err(CoreError::UnknownUdp(_))));
+        let solo = engine.top_k(&good, 1).unwrap();
+        assert_eq!(outcomes[2].as_ref().unwrap(), &solo);
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! The query-result cache: a hand-rolled O(1) LRU over a slab-backed
 //! intrusive list, plus the server-facing [`QueryCache`] wrapper keyed on
 //! `(dataset id, registration generation, normalized query AST, k,
-//! engine-option fingerprint)` with hit/miss counters.
+//! engine-option fingerprint)` with hit/miss/coalesced counters.
 //!
 //! Repeated exploratory queries — the dominant pattern in shape-based
 //! exploration, where a user reissues near-identical ShapeQueries while
 //! tweaking k or switching datasets — skip segmentation entirely on a hit.
+//!
+//! Concurrent *identical* misses are collapsed by a per-key singleflight
+//! latch ([`QueryCache::lookup`]): the first caller becomes the **leader**
+//! and computes; every racer gets a [`FlightWaiter`] that blocks until the
+//! leader publishes, so a stampede of N identical cold queries does the
+//! engine work exactly once and performs N−1 *coalesced* waits instead of
+//! N−1 redundant computations.
 
 use shapesearch_core::{EngineOptions, TopKResult};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 const NIL: usize = usize::MAX;
 
@@ -50,14 +57,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// True when the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
+    /// Maximum number of entries before eviction kicks in.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -200,14 +210,20 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 /// fingerprints every engine knob that can change results.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    /// Dataset id the query ran against.
     pub dataset: String,
+    /// The dataset's registration generation at planning time.
     pub generation: u64,
+    /// Canonical rendering of the parsed query AST.
     pub query_canon: String,
+    /// Requested result count.
     pub k: usize,
+    /// Fingerprint of every result-affecting engine option.
     pub options_fp: String,
 }
 
 impl CacheKey {
+    /// Assembles the key for one planned query.
     pub fn new(
         dataset: &str,
         generation: u64,
@@ -238,32 +254,176 @@ pub fn options_fingerprint(o: &EngineOptions) -> String {
 /// Cache statistics surfaced through `GET /healthz`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Lookups answered straight from the LRU.
     pub hits: u64,
+    /// Lookups that found nothing and elected a singleflight leader.
     pub misses: u64,
+    /// Lookups that joined another request's in-flight computation
+    /// instead of recomputing (the stampede that used to be N misses is
+    /// now 1 miss + N−1 coalesced).
+    pub coalesced: u64,
+    /// Live entries in the LRU.
     pub entries: usize,
+    /// LRU capacity in entries.
     pub capacity: usize,
 }
 
-/// The shared, thread-safe query-result cache.
-pub struct QueryCache {
-    inner: Mutex<LruCache<CacheKey, Arc<Vec<TopKResult>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+/// What a singleflight leader eventually publishes: the shared results, or
+/// `None` when the leader's computation failed (waiters then recompute on
+/// their own — engine errors are deterministic, so they will see the same
+/// error the leader did).
+type FlightResult = Option<Arc<Vec<TopKResult>>>;
+
+enum FlightState {
+    Pending,
+    Done(FlightResult),
 }
 
-impl QueryCache {
-    pub fn new(capacity: usize) -> Self {
+/// The per-key latch one leader and any number of waiters rendezvous on.
+struct FlightSlot {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> Self {
         Self {
-            inner: Mutex::new(LruCache::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
         }
     }
 
-    /// Looks up a result, counting the hit or miss.
+    fn publish(&self, value: FlightResult) {
+        *self.state.lock().expect("flight lock") = FlightState::Done(value);
+        self.cv.notify_all();
+    }
+}
+
+/// The waiter side of a coalesced lookup: blocks until the leader for the
+/// same key publishes its outcome.
+pub struct FlightWaiter {
+    slot: Arc<FlightSlot>,
+}
+
+impl FlightWaiter {
+    /// Blocks until the leader publishes. Returns the shared results, or
+    /// `None` when the leader failed (or panicked) — the caller should
+    /// then compute for itself.
+    pub fn wait(self) -> FlightResult {
+        let mut state = self.slot.state.lock().expect("flight lock");
+        loop {
+            match &*state {
+                FlightState::Done(value) => return value.clone(),
+                FlightState::Pending => {
+                    state = self.slot.cv.wait(state).expect("flight lock");
+                }
+            }
+        }
+    }
+}
+
+/// The leader side of a singleflight: the holder is the one caller that
+/// must compute the value, then hand it over with [`FlightGuard::complete`]
+/// (which inserts into the LRU and wakes every waiter). Dropping the guard
+/// without completing — an error path or a panic unwinding through the
+/// handler — publishes a failure so waiters never deadlock.
+pub struct FlightGuard<'a> {
+    cache: &'a QueryCache,
+    key: CacheKey,
+    slot: Arc<FlightSlot>,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes the computed results: inserts them into the LRU under the
+    /// flight's key and wakes all coalesced waiters with the shared `Arc`.
+    pub fn complete(mut self, value: Arc<Vec<TopKResult>>) {
+        self.cache.insert(self.key.clone(), Arc::clone(&value));
+        self.finish(Some(value));
+    }
+
+    fn finish(&mut self, value: FlightResult) {
+        self.done = true;
+        self.cache
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&self.key);
+        self.slot.publish(value);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.finish(None);
+        }
+    }
+}
+
+/// Outcome of a [`QueryCache::lookup`].
+pub enum Lookup<'a> {
+    /// The LRU had it.
+    Hit(Arc<Vec<TopKResult>>),
+    /// Another request is computing this exact key right now; call
+    /// [`FlightWaiter::wait`] to share its result.
+    Pending(FlightWaiter),
+    /// Nobody has it and nobody is computing it: the caller is elected
+    /// leader and must compute, then [`FlightGuard::complete`].
+    Lead(FlightGuard<'a>),
+}
+
+/// The LRU plus the per-dataset generation floors, guarded by one mutex
+/// so a floor bump and the purge it implies are atomic with respect to
+/// concurrent inserts.
+struct CacheMap {
+    lru: LruCache<CacheKey, Arc<Vec<TopKResult>>>,
+    /// Per dataset id: the lowest registration generation still allowed
+    /// to insert. Raised by [`QueryCache::invalidate_dataset`]; inserts
+    /// below the floor are stale re-registration leftovers and are
+    /// dropped instead of occupying (unreachable) LRU slots.
+    floors: HashMap<String, u64>,
+}
+
+impl CacheMap {
+    fn admits(&self, key: &CacheKey) -> bool {
+        self.floors
+            .get(&key.dataset)
+            .is_none_or(|&floor| key.generation >= floor)
+    }
+}
+
+/// The shared, thread-safe query-result cache with per-key singleflight
+/// request coalescing.
+pub struct QueryCache {
+    inner: Mutex<CacheMap>,
+    inflight: Mutex<HashMap<CacheKey, Arc<FlightSlot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` result sets.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheMap {
+                lru: LruCache::new(capacity),
+                floors: HashMap::new(),
+            }),
+            inflight: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a result, counting the hit or miss. Bypasses the
+    /// singleflight machinery — racing callers may all miss; prefer
+    /// [`Self::lookup`] on the query path.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<TopKResult>>> {
         let mut cache = self.inner.lock().expect("cache lock");
-        match cache.get(key) {
+        match cache.lru.get(key) {
             Some(v) => {
                 let v = Arc::clone(v);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -276,26 +436,83 @@ impl QueryCache {
         }
     }
 
+    /// The coalescing lookup: a hit returns immediately; a miss either
+    /// elects this caller singleflight leader ([`Lookup::Lead`] — compute,
+    /// then [`FlightGuard::complete`]) or, when an identical key is
+    /// already being computed, returns a [`Lookup::Pending`] waiter that
+    /// shares the leader's result. Exactly one of `hits`, `misses`, or
+    /// `coalesced` is incremented per call.
+    pub fn lookup(&self, key: &CacheKey) -> Lookup<'_> {
+        if let Some(v) = self.probe(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Hit(v);
+        }
+        let mut inflight = self.inflight.lock().expect("inflight lock");
+        // Re-check under the inflight lock: a leader that completed
+        // between our probe and this lock has already inserted into the
+        // LRU and left the inflight map, and must be seen as a hit, not
+        // re-led.
+        if let Some(v) = self.probe(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Hit(v);
+        }
+        if let Some(slot) = inflight.get(key) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Pending(FlightWaiter {
+                slot: Arc::clone(slot),
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(FlightSlot::new());
+        inflight.insert(key.clone(), Arc::clone(&slot));
+        Lookup::Lead(FlightGuard {
+            cache: self,
+            key: key.clone(),
+            slot,
+            done: false,
+        })
+    }
+
+    /// An uncounted LRU probe (still refreshes recency).
+    fn probe(&self, key: &CacheKey) -> Option<Arc<Vec<TopKResult>>> {
+        self.inner.lock().expect("cache lock").lru.get(key).cloned()
+    }
+
+    /// Inserts a computed result directly (used by leaders via
+    /// [`FlightGuard::complete`] and by callers that computed outside the
+    /// singleflight). Inserts keyed below the dataset's generation floor
+    /// — a singleflight leader finishing after its dataset was replaced —
+    /// are dropped: they could never be read again, but would evict live
+    /// entries.
     pub fn insert(&self, key: CacheKey, value: Arc<Vec<TopKResult>>) {
-        self.inner.lock().expect("cache lock").insert(key, value);
+        let mut cache = self.inner.lock().expect("cache lock");
+        if cache.admits(&key) {
+            cache.lru.insert(key, value);
+        }
     }
 
     /// Forgets every entry belonging to `dataset` (any generation),
-    /// releasing their memory now rather than waiting for LRU churn.
-    pub fn invalidate_dataset(&self, dataset: &str) {
-        self.inner
-            .lock()
-            .expect("cache lock")
-            .retain(|k| k.dataset != dataset);
+    /// releasing their memory now rather than waiting for LRU churn, and
+    /// raises the dataset's generation floor to `live_generation` so
+    /// in-flight computations against replaced registrations are left to
+    /// finish but can no longer pollute the LRU when they land (their
+    /// keys embed the old generation, so they could also never be read).
+    pub fn invalidate_dataset(&self, dataset: &str, live_generation: u64) {
+        let mut cache = self.inner.lock().expect("cache lock");
+        let floor = cache.floors.entry(dataset.to_owned()).or_insert(0);
+        *floor = (*floor).max(live_generation);
+        cache.lru.retain(|k| k.dataset != dataset);
     }
 
+    /// A consistent snapshot of the counters for `GET /healthz`.
     pub fn stats(&self) -> CacheStats {
         let cache = self.inner.lock().expect("cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: cache.len(),
-            capacity: cache.capacity(),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            entries: cache.lru.len(),
+            capacity: cache.lru.capacity(),
         }
     }
 }
@@ -413,6 +630,71 @@ mod tests {
     }
 
     #[test]
+    fn singleflight_collapses_concurrent_identical_misses() {
+        let cache = Arc::new(QueryCache::new(8));
+        let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
+        let key = CacheKey::new("sales", 1, &q, 3, &EngineOptions::default());
+        let n = 8;
+        let computations = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let key = key.clone();
+                    let computations = Arc::clone(&computations);
+                    scope.spawn(move || match cache.lookup(&key) {
+                        Lookup::Hit(v) => v,
+                        Lookup::Pending(waiter) => waiter.wait().expect("leader succeeded"),
+                        Lookup::Lead(guard) => {
+                            // Linger so the other threads pile up on the latch.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            computations.fetch_add(1, Ordering::Relaxed);
+                            let value = Arc::new(Vec::new());
+                            guard.complete(Arc::clone(&value));
+                            value
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+
+        assert_eq!(
+            computations.load(Ordering::Relaxed),
+            1,
+            "exactly one leader computes"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, n - 1);
+        assert!(stats.coalesced >= 1, "some thread must have coalesced");
+        // The flight is over: the next lookup is a plain hit.
+        assert!(matches!(cache.lookup(&key), Lookup::Hit(_)));
+        assert!(cache.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn dropped_leader_wakes_waiters_with_failure() {
+        let cache = QueryCache::new(4);
+        let q = shapesearch_parser::parse_regex("[p=down]").unwrap();
+        let key = CacheKey::new("sales", 1, &q, 1, &EngineOptions::default());
+        let Lookup::Lead(guard) = cache.lookup(&key) else {
+            panic!("first lookup must lead");
+        };
+        let Lookup::Pending(waiter) = cache.lookup(&key) else {
+            panic!("second lookup must coalesce");
+        };
+        drop(guard); // error path: leader never completed
+        assert!(waiter.wait().is_none(), "waiters see the failure");
+        // The key is free again: the next lookup leads a fresh flight.
+        assert!(matches!(cache.lookup(&key), Lookup::Lead(_)));
+        assert_eq!(cache.stats().entries, 0, "nothing was inserted");
+    }
+
+    #[test]
     fn query_cache_counts_and_invalidates() {
         let cache = QueryCache::new(8);
         let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
@@ -424,9 +706,21 @@ mod tests {
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         // Invalidation drops every generation of the dataset.
         let key2 = CacheKey::new("sales", 2, &q, 3, &EngineOptions::default());
-        cache.insert(key2, Arc::new(Vec::new()));
-        cache.invalidate_dataset("sales");
+        cache.insert(key2.clone(), Arc::new(Vec::new()));
+        cache.invalidate_dataset("sales", 3);
         assert!(cache.get(&key).is_none());
         assert_eq!(cache.stats().entries, 0);
+        // The generation floor also blocks LATE inserts from replaced
+        // registrations (a singleflight leader landing after the
+        // invalidation): they would be unreachable LRU pollution.
+        cache.insert(key2, Arc::new(Vec::new()));
+        assert_eq!(cache.stats().entries, 0, "stale insert must be dropped");
+        let live = CacheKey::new("sales", 3, &q, 3, &EngineOptions::default());
+        cache.insert(live.clone(), Arc::new(Vec::new()));
+        assert!(cache.get(&live).is_some(), "live generation still inserts");
+        // Other datasets are unaffected by the floor.
+        let other = CacheKey::new("genes", 1, &q, 3, &EngineOptions::default());
+        cache.insert(other.clone(), Arc::new(Vec::new()));
+        assert!(cache.get(&other).is_some());
     }
 }

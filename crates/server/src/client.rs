@@ -8,7 +8,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 /// A parsed response: status code plus JSON body.
 #[derive(Debug, Clone)]
 pub struct ClientResponse {
+    /// The HTTP status code.
     pub status: u16,
+    /// The parsed JSON response body.
     pub body: Json,
 }
 
@@ -35,6 +37,8 @@ pub struct Client {
 }
 
 impl Client {
+    /// A client for the server at `addr` (anything printable as
+    /// `host:port`).
     pub fn new(addr: impl ToString) -> Self {
         Self {
             addr: addr.to_string(),
@@ -57,6 +61,20 @@ impl Client {
         self.send("POST", path, Some(body.to_text()))
     }
 
+    /// Posts a whole batch of query objects to `/query` in one request.
+    /// The server shares one engine pass (and any in-flight identical
+    /// computations) across the batch and replies with
+    /// `{"batch", "micros", "responses": [...]}` — one response object
+    /// (or `{"error","status"}`) per query, in input order. Batches above
+    /// the server's `max_batch` are refused with a structured
+    /// `batch_too_large` 400.
+    ///
+    /// # Errors
+    /// I/O failures and malformed responses.
+    pub fn query_batch(&self, queries: Vec<Json>) -> io::Result<ClientResponse> {
+        self.post("/query", &Json::Arr(queries))
+    }
+
     fn send(&self, method: &str, path: &str, body: Option<String>) -> io::Result<ClientResponse> {
         let addr = self
             .addr
@@ -64,6 +82,8 @@ impl Client {
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unresolvable address"))?;
         let mut stream = TcpStream::connect(addr)?;
+        // The request goes out as one buffer; without Nagle it leaves now.
+        let _ = stream.set_nodelay(true);
         let body = body.unwrap_or_default();
         let request = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",

@@ -5,11 +5,14 @@ use std::fmt;
 /// An error with the HTTP status it should be reported as.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerError {
+    /// The HTTP status code to respond with.
     pub status: u16,
+    /// Human-readable description, surfaced as `{"error": …}`.
     pub message: String,
 }
 
 impl ServerError {
+    /// A 400 Bad Request.
     pub fn bad_request(message: impl Into<String>) -> Self {
         Self {
             status: 400,
@@ -17,6 +20,7 @@ impl ServerError {
         }
     }
 
+    /// A 404 Not Found.
     pub fn not_found(message: impl Into<String>) -> Self {
         Self {
             status: 404,
@@ -24,6 +28,7 @@ impl ServerError {
         }
     }
 
+    /// A 500 Internal Server Error.
     pub fn internal(message: impl Into<String>) -> Self {
         Self {
             status: 500,

@@ -1,13 +1,22 @@
-//! Route handlers tying the catalog, the query cache, and the engine
-//! together behind the JSON protocol.
+//! Route handlers tying the catalog, the query cache (with its
+//! singleflight latch), and the engine together behind the JSON protocol.
+//!
+//! `POST /query` accepts a single query object or an array of them. A
+//! batch is planned per item, deduplicated through the cache's
+//! singleflight lookup (identical queries within the batch — or racing in
+//! from other requests — collapse onto one computation), and the cache
+//! misses are executed with [`shapesearch_core::ShapeEngine::top_k_batch`]
+//! grouped per `(dataset, options)` so the GROUP stage runs once per
+//! trendline for the whole batch.
 
-use crate::cache::{CacheKey, QueryCache};
-use crate::catalog::{Catalog, DataSource};
+use crate::cache::{CacheKey, Lookup, QueryCache};
+use crate::catalog::{Catalog, DataSource, DatasetEntry};
 use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
 use crate::protocol;
-use shapesearch_core::EngineOptions;
+use shapesearch_core::{EngineOptions, ShapeQuery, TopKResult};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,14 +24,19 @@ use std::time::Instant;
 
 /// Shared application state, one per server.
 pub struct AppState {
+    /// Registered datasets with their hot, immutable engines.
     pub catalog: Catalog,
+    /// Query-result LRU with singleflight request coalescing.
     pub cache: QueryCache,
-    /// Total `POST /query` requests (hit or miss).
+    /// Total queries received (each batch item counts once).
     pub queries: AtomicU64,
     /// Per-dataset engine defaults; requests may override per call.
     pub default_options: EngineOptions,
     /// Worker-pool size, echoed in `/healthz`.
     pub workers: usize,
+    /// Maximum number of queries one `POST /query` batch may carry;
+    /// larger batches get a structured `batch_too_large` 400.
+    pub max_batch: usize,
     /// Directory that `POST /datasets` `path` sources must live under.
     /// `None` (the default) disables path registration over HTTP
     /// entirely — otherwise any network client could read arbitrary
@@ -32,6 +46,9 @@ pub struct AppState {
 }
 
 impl AppState {
+    /// Builds fresh state: an empty catalog, a cold cache of
+    /// `cache_capacity` entries, and the default batch cap
+    /// ([`protocol::MAX_BATCH_SIZE`]).
     pub fn new(cache_capacity: usize, workers: usize, data_root: Option<PathBuf>) -> Self {
         Self {
             catalog: Catalog::new(),
@@ -39,6 +56,7 @@ impl AppState {
             queries: AtomicU64::new(0),
             default_options: EngineOptions::default(),
             workers,
+            max_batch: protocol::MAX_BATCH_SIZE,
             data_root,
         }
     }
@@ -115,11 +133,13 @@ fn healthz(state: &Arc<AppState>) -> Response {
         ("datasets", state.catalog.len().into()),
         ("queries", state.queries.load(Ordering::Relaxed).into()),
         ("workers", state.workers.into()),
+        ("max_batch", state.max_batch.into()),
         (
             "cache",
             obj([
                 ("hits", stats.hits.into()),
                 ("misses", stats.misses.into()),
+                ("coalesced", stats.coalesced.into()),
                 ("entries", stats.entries.into()),
                 ("capacity", stats.capacity.into()),
             ]),
@@ -145,19 +165,31 @@ fn register_dataset(state: &Arc<AppState>, request: &Request) -> Result<Response
         *path = resolved.to_string_lossy().into_owned();
     }
     let entry = state.catalog.register(spec)?;
-    // Replacing a dataset id must not serve the old dataset's results.
-    state.cache.invalidate_dataset(&entry.id);
+    // Replacing a dataset id must not serve the old dataset's results,
+    // and stale in-flight completions must not pollute the LRU.
+    state.cache.invalidate_dataset(&entry.id, entry.generation);
     Ok(Response::json(
         201,
         protocol::dataset_to_json(&entry).to_text(),
     ))
 }
 
-fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
-    let body = body_json(request)?;
-    let req = protocol::query_request_from_json(&body)?;
-    state.queries.fetch_add(1, Ordering::Relaxed);
+/// One query of a request, planned: dataset resolved, query text parsed
+/// to its canonical AST, effective options and cache key computed.
+struct PlannedQuery {
+    entry: Arc<DatasetEntry>,
+    query_ast: ShapeQuery,
+    notes: Vec<String>,
+    k: usize,
+    options: EngineOptions,
+    key: CacheKey,
+    /// The request explicitly sent `"parallel": false` — batch groups
+    /// honor the opt-out instead of defaulting parallelism on.
+    parallel_opt_out: bool,
+}
 
+fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, ServerError> {
+    let req = protocol::query_request_from_json(body)?;
     let entry = state
         .catalog
         .get(&req.dataset)
@@ -165,38 +197,313 @@ fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerErr
     let (query_ast, notes) = protocol::parse_query(&req)?;
     let options = req.effective_options(&state.default_options);
     let key = CacheKey::new(&entry.id, entry.generation, &query_ast, req.k, &options);
+    Ok(PlannedQuery {
+        entry,
+        query_ast,
+        notes,
+        k: req.k,
+        options,
+        key,
+        parallel_opt_out: req.parallel == Some(false),
+    })
+}
 
-    let started = Instant::now();
-    let (results, cached) = match state.cache.get(&key) {
-        Some(hit) => (hit, true),
-        None => {
-            let computed = entry
-                .engine
-                .top_k_with_options(&query_ast, req.k, &options)
-                .map_err(|e| ServerError::bad_request(format!("query failed: {e}")))?;
-            let computed = Arc::new(computed);
-            state.cache.insert(key, Arc::clone(&computed));
-            (computed, false)
-        }
-    };
-    let micros = started.elapsed().as_micros() as u64;
+/// Runs one planned query on the engine, outside any singleflight.
+fn compute(planned: &PlannedQuery) -> Result<Arc<Vec<TopKResult>>, ServerError> {
+    planned
+        .entry
+        .engine
+        .top_k_with_options(&planned.query_ast, planned.k, &planned.options)
+        .map(Arc::new)
+        .map_err(|e| ServerError::bad_request(format!("query failed: {e}")))
+}
 
+/// The per-query response body (shared between the single and batch
+/// forms; only the single form carries `micros` — a batch reports one
+/// wall-clock figure for the whole request instead).
+fn query_response(
+    planned: &PlannedQuery,
+    results: &[TopKResult],
+    cached: bool,
+    coalesced: bool,
+    micros: Option<u64>,
+) -> Json {
     let mut fields = vec![
-        ("dataset", Json::Str(entry.id.clone())),
-        ("query", Json::Str(query_ast.to_string())),
-        ("k", req.k.into()),
-        ("algo", options.segmenter.name().into()),
+        ("dataset", Json::Str(planned.entry.id.clone())),
+        ("query", Json::Str(planned.query_ast.to_string())),
+        ("k", planned.k.into()),
+        ("algo", planned.options.segmenter.name().into()),
         ("cached", cached.into()),
-        ("micros", micros.into()),
-        ("results", protocol::results_to_json(&results)),
+        ("coalesced", coalesced.into()),
     ];
-    if !notes.is_empty() {
+    if let Some(micros) = micros {
+        fields.push(("micros", micros.into()));
+    }
+    fields.push(("results", protocol::results_to_json(results)));
+    if !planned.notes.is_empty() {
         fields.push((
             "notes",
-            Json::Arr(notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            Json::Arr(planned.notes.iter().map(|n| Json::Str(n.clone())).collect()),
         ));
     }
-    Ok(ok(obj(fields)))
+    obj(fields)
+}
+
+/// Resolves one planned query through the singleflight cache, blocking
+/// as long as it takes. When a foreign leader fails, the waiters retry
+/// the lookup — the next one elects itself leader (a fresh, *counted*
+/// miss) and the rest re-coalesce onto it — so every engine computation
+/// shows up as exactly one `misses` tick, even on error paths. Returns
+/// `(results, cached, coalesced)`.
+fn resolve_query(
+    state: &Arc<AppState>,
+    planned: &PlannedQuery,
+) -> Result<(Arc<Vec<TopKResult>>, bool, bool), ServerError> {
+    loop {
+        match state.cache.lookup(&planned.key) {
+            Lookup::Hit(v) => return Ok((v, true, false)),
+            Lookup::Pending(waiter) => match waiter.wait() {
+                Some(v) => return Ok((v, true, true)),
+                // Leader failed: its flight is gone; loop to contend for
+                // the vacated key (engine errors are deterministic, so
+                // whoever wins next will surface the same error).
+                None => continue,
+            },
+            Lookup::Lead(guard) => {
+                // `?` drops the guard on error, publishing the failure so
+                // coalesced waiters wake instead of deadlocking.
+                let v = compute(planned)?;
+                guard.complete(Arc::clone(&v));
+                return Ok((v, false, false));
+            }
+        }
+    }
+}
+
+fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
+    let body = body_json(request)?;
+    if let Json::Arr(items) = &body {
+        return query_batch(state, items);
+    }
+    // Counted on receipt — like batch items — so `queries` means
+    // "queries that reached planning", whether or not they planned
+    // cleanly.
+    state.queries.fetch_add(1, Ordering::Relaxed);
+    let planned = plan_query(state, &body)?;
+
+    let started = Instant::now();
+    let (results, cached, coalesced) = resolve_query(state, &planned)?;
+    let micros = started.elapsed().as_micros() as u64;
+
+    Ok(ok(query_response(
+        &planned,
+        &results,
+        cached,
+        coalesced,
+        Some(micros),
+    )))
+}
+
+/// Progress of one batch item through plan → singleflight → engine.
+enum ItemProgress<'a> {
+    Failed(ServerError),
+    Ready {
+        planned: PlannedQuery,
+        value: Arc<Vec<TopKResult>>,
+        cached: bool,
+        coalesced: bool,
+    },
+    Waiting(PlannedQuery, crate::cache::FlightWaiter),
+    Leading(PlannedQuery, crate::cache::FlightGuard<'a>),
+}
+
+fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, ServerError> {
+    if items.is_empty() {
+        return Err(ServerError::bad_request(
+            "batch must contain at least one query object",
+        ));
+    }
+    if items.len() > state.max_batch {
+        // Structured so clients can split and retry programmatically
+        // instead of pattern-matching an error string.
+        return Ok(Response::json(
+            400,
+            obj([
+                (
+                    "error",
+                    format!(
+                        "batch of {} queries exceeds this server's maximum of {}",
+                        items.len(),
+                        state.max_batch
+                    )
+                    .into(),
+                ),
+                ("code", "batch_too_large".into()),
+                ("max_batch", state.max_batch.into()),
+                ("batch_len", items.len().into()),
+            ])
+            .to_text(),
+        ));
+    }
+    state
+        .queries
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+    let started = Instant::now();
+
+    // Phase 1 — plan every item and run each through the singleflight
+    // lookup, in order. Duplicate keys *within* the batch coalesce here
+    // too: the first occurrence leads, later ones receive waiters on the
+    // very flight this request is about to compute.
+    let mut progress: Vec<ItemProgress<'_>> = items
+        .iter()
+        .map(|item| match plan_query(state, item) {
+            Err(e) => ItemProgress::Failed(e),
+            Ok(planned) => match state.cache.lookup(&planned.key) {
+                Lookup::Hit(value) => ItemProgress::Ready {
+                    planned,
+                    value,
+                    cached: true,
+                    coalesced: false,
+                },
+                Lookup::Pending(waiter) => ItemProgress::Waiting(planned, waiter),
+                Lookup::Lead(guard) => ItemProgress::Leading(planned, guard),
+            },
+        })
+        .collect();
+
+    // Phase 2 — execute every lead through the engine's batched path,
+    // grouped by (dataset registration, effective options): each group is
+    // one pass over its trendline collection, sharing the GROUP stage
+    // across all its queries. `generation` is globally unique, so it
+    // alone pins the dataset; the fingerprint pins every result-affecting
+    // option.
+    let mut groups: HashMap<(u64, String), Vec<usize>> = HashMap::new();
+    for (i, p) in progress.iter().enumerate() {
+        if let ItemProgress::Leading(planned, _) = p {
+            groups
+                .entry((planned.entry.generation, planned.key.options_fp.clone()))
+                .or_default()
+                .push(i);
+        }
+    }
+    for indices in groups.into_values() {
+        let specs: Vec<(&ShapeQuery, usize)> = indices
+            .iter()
+            .map(|&i| match &progress[i] {
+                ItemProgress::Leading(planned, _) => (&planned.query_ast, planned.k),
+                _ => unreachable!("group members are leads"),
+            })
+            .collect();
+        let (entry, mut options) = match &progress[indices[0]] {
+            ItemProgress::Leading(planned, _) => {
+                (Arc::clone(&planned.entry), planned.options.clone())
+            }
+            _ => unreachable!("group members are leads"),
+        };
+        // Batch execution policy: a group carrying several queries gets
+        // the engine's viz-level parallelism on top of the shared GROUP
+        // pass — one batched request may use the cores a sequential
+        // client would have left idle. Scores are scheduling-invariant
+        // (`parallel` is excluded from the cache fingerprint for the same
+        // reason), so results stay byte-identical to sequential runs. An
+        // explicit `"parallel": false` on any group member is an opt-out
+        // (a client capping its CPU footprint) and wins over the default.
+        let opted_out = indices
+            .iter()
+            .any(|&i| matches!(&progress[i], ItemProgress::Leading(p, _) if p.parallel_opt_out));
+        if opted_out {
+            options.parallel = false;
+        } else if specs.len() > 1 {
+            options.parallel = true;
+        }
+        let outcomes = entry.engine.top_k_batch(&specs, &options);
+        for (&i, outcome) in indices.iter().zip(outcomes) {
+            let ItemProgress::Leading(planned, guard) = std::mem::replace(
+                &mut progress[i],
+                ItemProgress::Failed(ServerError::internal("batch item resolved twice")),
+            ) else {
+                unreachable!("group members are leads");
+            };
+            progress[i] = match outcome {
+                Ok(results) => {
+                    let value = Arc::new(results);
+                    guard.complete(Arc::clone(&value));
+                    ItemProgress::Ready {
+                        planned,
+                        value,
+                        cached: false,
+                        coalesced: false,
+                    }
+                }
+                Err(e) => {
+                    // Dropping the guard publishes the failure and frees
+                    // the key for the next attempt.
+                    drop(guard);
+                    ItemProgress::Failed(ServerError::bad_request(format!("query failed: {e}")))
+                }
+            };
+        }
+    }
+
+    // Phase 3 — only now that every lead this request owns has been
+    // completed do we block on foreign (or own, for in-batch duplicates)
+    // flights. Completing before waiting means two requests leading
+    // different keys and waiting on each other's can never deadlock.
+    for p in progress.iter_mut() {
+        if !matches!(p, ItemProgress::Waiting(..)) {
+            continue;
+        }
+        let ItemProgress::Waiting(planned, waiter) = std::mem::replace(
+            p,
+            ItemProgress::Failed(ServerError::internal("batch item resolved twice")),
+        ) else {
+            unreachable!("matched Waiting above");
+        };
+        *p = match waiter.wait() {
+            Some(value) => ItemProgress::Ready {
+                planned,
+                value,
+                cached: true,
+                coalesced: true,
+            },
+            // Leader failed: re-contend through the singleflight so the
+            // retry is a counted miss (or re-coalesces onto whoever wins).
+            None => match resolve_query(state, &planned) {
+                Ok((value, cached, coalesced)) => ItemProgress::Ready {
+                    planned,
+                    value,
+                    cached,
+                    coalesced,
+                },
+                Err(e) => ItemProgress::Failed(e),
+            },
+        };
+    }
+
+    let micros = started.elapsed().as_micros() as u64;
+    let responses: Vec<Json> = progress
+        .iter()
+        .map(|p| match p {
+            ItemProgress::Ready {
+                planned,
+                value,
+                cached,
+                coalesced,
+            } => query_response(planned, value, *cached, *coalesced, None),
+            ItemProgress::Failed(e) => obj([
+                ("error", e.message.as_str().into()),
+                ("status", u64::from(e.status).into()),
+            ]),
+            ItemProgress::Waiting(..) | ItemProgress::Leading(..) => {
+                unreachable!("all items resolved before assembly")
+            }
+        })
+        .collect();
+    Ok(ok(obj([
+        ("batch", items.len().into()),
+        ("micros", micros.into()),
+        ("responses", Json::Arr(responses)),
+    ])))
 }
 
 #[cfg(test)]
@@ -347,6 +654,13 @@ mod tests {
             &post("/query", r#"{"dataset":"missing","query":"[p=up]"}"#),
         );
         assert_eq!(resp.status, 404);
+        // `queries` counts every query that reached planning — the three
+        // well-formed JSON bodies above — matching how batch items are
+        // counted; unparseable bodies never become queries. None of them
+        // touched the cache.
+        assert_eq!(state.queries.load(Ordering::Relaxed), 3);
+        let stats = state.cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.coalesced), (0, 0, 0));
     }
 
     #[test]
@@ -358,6 +672,157 @@ mod tests {
         assert_eq!(state.cache.stats().entries, 1);
         register(&state);
         assert_eq!(state.cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn batch_route_mixes_hits_misses_and_errors() {
+        let state = state();
+        register(&state);
+        // Warm one key so the batch sees a genuine hit.
+        let warm = route(
+            &state,
+            &post("/query", r#"{"dataset":"t1","query":"[p=up]","k":1}"#),
+        );
+        assert_eq!(warm.status, 200, "{}", warm.body);
+
+        let body = r#"[
+            {"dataset":"t1","query":"[p=up]","k":1},
+            {"dataset":"t1","query":"[p=up][p=down]","k":2},
+            {"dataset":"t1","query":"[p=up][p=down]","k":2},
+            {"dataset":"missing","query":"[p=up]"},
+            {"dataset":"t1","query":"[p=bogus"}
+        ]"#;
+        let resp = route(&state, &post("/query", body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = json::parse(&resp.body).unwrap();
+        assert_eq!(parsed.get("batch").unwrap().as_usize(), Some(5));
+        let responses = parsed.get("responses").unwrap().as_array().unwrap();
+        assert_eq!(responses.len(), 5);
+
+        // Item 0 was warmed: a hit.
+        assert_eq!(responses[0].get("cached").unwrap().as_bool(), Some(true));
+        // Item 1 is the cold lead; item 2 is its in-batch duplicate.
+        assert_eq!(responses[1].get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(responses[2].get("coalesced").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            responses[1].get("results").unwrap().to_text(),
+            responses[2].get("results").unwrap().to_text(),
+            "duplicate items share one computation's results"
+        );
+        // Items 3 and 4 fail per-item without sinking the batch.
+        assert_eq!(responses[3].get("status").unwrap().as_usize(), Some(404));
+        assert_eq!(responses[4].get("status").unwrap().as_usize(), Some(400));
+
+        // Counters: 1 warm single + 5 batch items; the duplicate counted
+        // as coalesced, not as a second miss.
+        let stats = state.cache.stats();
+        assert_eq!(stats.misses, 2, "warm miss + one batch lead");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(state.queries.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn batch_equals_sequential_results() {
+        let state = state();
+        register(&state);
+        let queries = ["[p=up]", "[p=up][p=down]", "[p=down][p=up]"];
+        let sequential: Vec<String> = queries
+            .iter()
+            .map(|q| {
+                let resp = route(
+                    &state,
+                    &post(
+                        "/query",
+                        &format!(r#"{{"dataset":"t1","query":"{q}","k":2}}"#),
+                    ),
+                );
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                let body = json::parse(&resp.body).unwrap();
+                body.get("results").unwrap().to_text()
+            })
+            .collect();
+
+        // Re-register to clear the cache: the batch recomputes cold.
+        register(&state);
+        let items: Vec<String> = queries
+            .iter()
+            .map(|q| format!(r#"{{"dataset":"t1","query":"{q}","k":2}}"#))
+            .collect();
+        let resp = route(&state, &post("/query", &format!("[{}]", items.join(","))));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = json::parse(&resp.body).unwrap();
+        let responses = parsed.get("responses").unwrap().as_array().unwrap();
+        for (got, want) in responses.iter().zip(&sequential) {
+            assert_eq!(got.get("cached").unwrap().as_bool(), Some(false));
+            assert_eq!(&got.get("results").unwrap().to_text(), want);
+        }
+    }
+
+    #[test]
+    fn oversized_batch_gets_structured_400() {
+        let mut raw = AppState::new(16, 2, None);
+        raw.max_batch = 3;
+        let state = Arc::new(raw);
+        register(&state);
+        let item = r#"{"dataset":"t1","query":"[p=up]","k":1}"#;
+        let body = format!("[{item},{item},{item},{item}]");
+        let resp = route(&state, &post("/query", &body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        let parsed = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            parsed.get("code").unwrap().as_str(),
+            Some("batch_too_large")
+        );
+        assert_eq!(parsed.get("max_batch").unwrap().as_usize(), Some(3));
+        assert_eq!(parsed.get("batch_len").unwrap().as_usize(), Some(4));
+        // An exactly-at-limit batch is fine.
+        let ok_body = format!("[{item},{item},{item}]");
+        assert_eq!(route(&state, &post("/query", &ok_body)).status, 200);
+        // And an empty batch is a plain 400.
+        assert_eq!(route(&state, &post("/query", "[]")).status, 400);
+    }
+
+    #[test]
+    fn concurrent_identical_cold_queries_compute_once() {
+        let state = state();
+        register(&state);
+        let n = 8;
+        let bodies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let state = Arc::clone(&state);
+                    scope.spawn(move || {
+                        let resp = route(
+                            &state,
+                            &post(
+                                "/query",
+                                r#"{"dataset":"t1","query":"[p=up][p=down]","k":2}"#,
+                            ),
+                        );
+                        assert_eq!(resp.status, 200, "{}", resp.body);
+                        resp.body
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Every response carries identical results.
+        let reference = json::parse(&bodies[0])
+            .unwrap()
+            .get("results")
+            .unwrap()
+            .to_text();
+        for body in &bodies {
+            let parsed = json::parse(body).unwrap();
+            assert_eq!(parsed.get("results").unwrap().to_text(), reference);
+        }
+        // Exactly one engine computation happened: one miss elected one
+        // leader; everyone else hit or coalesced.
+        let stats = state.cache.stats();
+        assert_eq!(stats.misses, 1, "stampede must elect exactly one leader");
+        assert_eq!(stats.hits + stats.coalesced, n - 1);
     }
 
     #[test]

@@ -48,9 +48,13 @@ const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
     pub method: String,
+    /// Request target, including any query string.
     pub path: String,
+    /// Header name/value pairs in arrival order.
     pub headers: Vec<(String, String)>,
+    /// Raw request body.
     pub body: Vec<u8>,
 }
 
@@ -72,12 +76,16 @@ impl Request {
 /// An HTTP response to be written back.
 #[derive(Debug, Clone)]
 pub struct Response {
+    /// HTTP status code.
     pub status: u16,
+    /// Response body text.
     pub body: String,
+    /// `content-type` header value.
     pub content_type: &'static str,
 }
 
 impl Response {
+    /// An `application/json` response with the given status and body.
     pub fn json(status: u16, body: String) -> Self {
         Self {
             status,
@@ -306,7 +314,11 @@ fn write_response(
     keep_alive: bool,
     stop: &AtomicBool,
 ) -> io::Result<()> {
-    let head = format!(
+    // Head and body go out in ONE write: with Nagle's algorithm active, a
+    // small body written after the head would sit in the kernel until the
+    // peer's (possibly delayed) ACK of the head arrived — a latency cliff
+    // of tens of milliseconds per response on loopback.
+    let mut wire = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
@@ -314,8 +326,8 @@ fn write_response(
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    write_all_ticking(stream, head.as_bytes(), stop)?;
-    write_all_ticking(stream, response.body.as_bytes(), stop)?;
+    wire.push_str(&response.body);
+    write_all_ticking(stream, wire.as_bytes(), stop)?;
     stream.flush()
 }
 
@@ -328,6 +340,9 @@ fn handle_connection(stream: TcpStream, router: &Router, stop: &AtomicBool) {
     // shutdown even when the peer neither sends nor receives.
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let _ = stream.set_write_timeout(Some(READ_TICK));
+    // Responses are written as one complete buffer; disabling Nagle lets
+    // that buffer leave immediately instead of coalescing with nothing.
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -386,9 +401,9 @@ impl ServerHandle {
     }
 
     /// Stops accepting, drains the workers, and joins all threads.
-    /// Workers parked on idle keep-alive connections notice within
-    /// [`READ_TICK`], so this returns promptly even while clients hold
-    /// sockets open.
+    /// Workers parked on idle keep-alive connections notice within the
+    /// socket read tick (200 ms), so this returns promptly even while
+    /// clients hold sockets open.
     pub fn shutdown(mut self) {
         self.stop();
     }

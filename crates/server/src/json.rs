@@ -10,11 +10,17 @@ use std::fmt::Write as _;
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (always carried as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object; insertion order is preserved for deterministic output.
     Obj(Vec<(String, Json)>),
 }
 
@@ -27,6 +33,7 @@ impl Json {
         }
     }
 
+    /// The string payload, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -34,6 +41,7 @@ impl Json {
         }
     }
 
+    /// The numeric payload, if this is a `Num`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
@@ -41,6 +49,7 @@ impl Json {
         }
     }
 
+    /// The payload as a non-negative integer, if it is one exactly.
     pub fn as_usize(&self) -> Option<usize> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
@@ -48,6 +57,7 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a `Bool`.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -55,6 +65,7 @@ impl Json {
         }
     }
 
+    /// The element slice, if this is an `Arr`.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),

@@ -7,7 +7,8 @@
 //! fixed worker pool, with an LRU query-result cache in front of the
 //! segmentation engine.
 //!
-//! Architecture (one module per box):
+//! Architecture (one module per box; `docs/ARCHITECTURE.md` at the repo
+//! root walks the full request lifecycle):
 //!
 //! ```text
 //!        TcpListener ──► worker pool (http) ──► route (handlers)
@@ -15,18 +16,26 @@
 //!                    ┌──────────────┬───────────────┤
 //!                    ▼              ▼               ▼
 //!              Catalog (catalog)  QueryCache    protocol/json
-//!                    │            (cache)
-//!                    ▼
+//!                    │            (cache: LRU +
+//!                    ▼             singleflight)
 //!          Arc<DatasetEntry> { ShapeEngine, VisualSpec, … }
 //! ```
 //!
 //! * Registration (`POST /datasets`) runs EXTRACT eagerly; queries never
 //!   touch raw tables.
-//! * `POST /query` accepts regex or natural-language queries, any
-//!   segmentation algorithm, and per-request engine overrides; results
-//!   are cached under the **normalized query AST**, so textual variants
-//!   of one query share an entry.
-//! * `GET /healthz` exposes hit/miss counters for observability.
+//! * `POST /query` accepts one query object **or an array of them**
+//!   (regex or natural-language, any segmentation algorithm, per-request
+//!   engine overrides). A batch is deduplicated through the singleflight
+//!   cache and its misses are executed over **one pass** of each
+//!   dataset's trendline collection
+//!   ([`shapesearch_core::ShapeEngine::top_k_batch`]); batches above the
+//!   configured `max_batch` get a structured `batch_too_large` 400.
+//! * Results are cached under the **normalized query AST**, so textual
+//!   variants of one query share an entry, and concurrent identical
+//!   misses coalesce onto one computation (the singleflight latch in
+//!   [`cache`]).
+//! * `GET /healthz` exposes hit/miss/coalesced counters for
+//!   observability.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +66,8 @@
 //! handle.shutdown();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod catalog;
 pub mod client;
@@ -84,6 +95,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Query-result cache capacity in entries.
     pub cache_capacity: usize,
+    /// Maximum number of queries a single `POST /query` batch may carry
+    /// (defaults to [`protocol::MAX_BATCH_SIZE`]); oversized batches get
+    /// a structured `batch_too_large` 400.
+    pub max_batch: usize,
     /// Directory that `POST /datasets` `path` sources must live under;
     /// `None` (the default) disables path registration over HTTP so
     /// remote clients cannot read arbitrary server-local files.
@@ -97,6 +112,7 @@ impl Default for ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             cache_capacity: 256,
+            max_batch: protocol::MAX_BATCH_SIZE,
             data_root: None,
         }
     }
@@ -111,14 +127,19 @@ pub struct Service {
 }
 
 impl Service {
+    /// The local address the service is listening on (useful with
+    /// ephemeral ports).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.handle.addr()
     }
 
+    /// The shared application state (catalog, cache, counters) — lets
+    /// embedders preregister datasets without an HTTP round trip.
     pub fn state(&self) -> &Arc<AppState> {
         &self.state
     }
 
+    /// Stops accepting, drains in-flight requests, and joins all threads.
     pub fn shutdown(self) {
         self.handle.shutdown();
     }
@@ -129,11 +150,13 @@ impl Service {
 /// # Errors
 /// Propagates bind failures.
 pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
-    let state = Arc::new(AppState::new(
+    let mut state = AppState::new(
         config.cache_capacity,
         config.workers,
         config.data_root.clone(),
-    ));
+    );
+    state.max_batch = config.max_batch.max(1);
+    let state = Arc::new(state);
     let router_state = Arc::clone(&state);
     let handle = http::serve(
         addr,

@@ -9,14 +9,35 @@
 //!                  "trendlines","points"}]}
 //! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
 //!                  "pushdown"?, "parallel"?}
-//! GET  /healthz   → {"status","datasets","queries","cache":{...}}
+//!              or [ {…}, {…}, … ]       (a batch of up to the server's
+//!                                        max batch size, default
+//!                                        MAX_BATCH_SIZE)
+//!              → single: {"dataset","query","k","algo","cached",
+//!                         "coalesced","micros","results",…}
+//!              → batch:  {"batch": n, "micros": total,
+//!                         "responses": [per-query objects or
+//!                                       {"error","status"}]}
+//! GET  /healthz   → {"status","datasets","queries",
+//!                    "cache":{"hits","misses","coalesced",…}}
 //! ```
+//!
+//! Oversized batches are refused with a *structured* 400 so clients can
+//! split and retry programmatically:
+//! `{"error": …, "code": "batch_too_large", "max_batch": …, "batch_len": …}`.
 
 use crate::catalog::{DataSource, DatasetEntry, DatasetSpec};
 use crate::error::ServerError;
 use crate::json::{obj, Json};
 use shapesearch_core::{EngineOptions, SegmenterKind, ShapeQuery, TopKResult};
 use shapesearch_datastore::{Aggregation, CompareOp, Predicate, Value, VisualSpec};
+
+/// Default upper bound on the number of queries one `POST /query` batch
+/// may carry (configurable per server via `ServerConfig::max_batch` /
+/// `shapesearch serve --max-batch`). Batches above the server's limit are
+/// rejected with a structured 400: `{"error", "code": "batch_too_large",
+/// "max_batch", "batch_len"}`. The bound keeps one request from pinning a
+/// worker thread on an unbounded amount of engine work.
+pub const MAX_BATCH_SIZE: usize = 64;
 
 fn required_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ServerError> {
     body.get(key)
@@ -104,21 +125,29 @@ fn predicate_from_json(f: &Json) -> Result<Predicate, ServerError> {
     Ok(Predicate::new(column, op, value))
 }
 
-/// The parsed body of `POST /query`.
+/// The parsed body of one `POST /query` query object (a batch is an
+/// array of these).
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
+    /// Id of the dataset to query.
     pub dataset: String,
     /// Regex-syntax query text, if given.
     pub query: Option<String>,
     /// Natural-language query text, if given (used when `query` absent).
     pub nl: Option<String>,
+    /// Number of results requested (default 5).
     pub k: usize,
+    /// Segmentation algorithm override.
     pub algo: Option<SegmenterKind>,
+    /// GROUP binning-width override.
     pub bin_width: Option<usize>,
+    /// Push-down optimization override.
     pub pushdown: Option<bool>,
+    /// Engine viz-level parallelism override.
     pub parallel: Option<bool>,
 }
 
+/// Parses one query object of a `POST /query` body.
 pub fn query_request_from_json(body: &Json) -> Result<QueryRequest, ServerError> {
     let dataset = required_str(body, "dataset")?.to_owned();
     let query = body.get("query").and_then(Json::as_str).map(str::to_owned);
@@ -183,6 +212,7 @@ pub fn parse_query(request: &QueryRequest) -> Result<(ShapeQuery, Vec<String>), 
     Ok((parsed.query, parsed.notes))
 }
 
+/// Serializes a catalog entry for listings and registration replies.
 pub fn dataset_to_json(entry: &DatasetEntry) -> Json {
     obj([
         ("id", entry.id.as_str().into()),
@@ -195,6 +225,7 @@ pub fn dataset_to_json(entry: &DatasetEntry) -> Json {
     ])
 }
 
+/// Serializes a top-k answer as the wire `results` array.
 pub fn results_to_json(results: &[TopKResult]) -> Json {
     Json::Arr(
         results
@@ -219,6 +250,7 @@ pub fn results_to_json(results: &[TopKResult]) -> Json {
     )
 }
 
+/// Serializes an error as the wire `{"error": …}` object.
 pub fn error_to_json(err: &ServerError) -> Json {
     obj([("error", err.message.as_str().into())])
 }

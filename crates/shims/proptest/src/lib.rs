@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access, so this workspace ships a
 //! small deterministic property-testing harness with the same surface the
-//! test suite uses: the [`Strategy`] trait with `prop_map` /
+//! test suite uses: the [`strategy::Strategy`] trait with `prop_map` /
 //! `prop_flat_map` / `prop_recursive` / `boxed`, range and tuple and
 //! `&str`-regex strategies, [`collection::vec`], [`strategy::Union`]
 //! (behind `prop_oneof!`), and the `proptest!` / `prop_assert*` macros.
@@ -394,7 +394,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// An inclusive length range for [`vec`].
+    /// An inclusive length range for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         pub lo: usize,

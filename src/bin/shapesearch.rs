@@ -8,7 +8,7 @@
 //! shapesearch --data genes.csv -z gene -x time -y expr \
 //!             --nl "rising then falling sharply"
 //! shapesearch serve [--addr 127.0.0.1:7878] [--workers N] [--cache-cap N] \
-//!             [--data FILE --z COL --x COL --y COL [--name NAME]]
+//!             [--max-batch N] [--data FILE --z COL --x COL --y COL [--name NAME]]
 //! ```
 //!
 //! One-shot mode prints the ranked matches with scores and the fitted
@@ -40,7 +40,8 @@ fn usage() -> &'static str {
     "usage: shapesearch --data FILE --z COL --x COL --y COL \
      (--query REGEX | --nl TEXT) [--k N] [--algo dp|tree|pruned|greedy|dtw|euclid] \
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
-     shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--data-root DIR] \
+     shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
+     [--data-root DIR] \
      [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...]]"
 }
 
@@ -140,6 +141,14 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 config.cache_capacity = take("--cache-cap")?
                     .parse()
                     .map_err(|_| "--cache-cap must be an integer".to_owned())?;
+            }
+            "--max-batch" => {
+                config.max_batch = take("--max-batch")?
+                    .parse()
+                    .map_err(|_| "--max-batch must be an integer".to_owned())?;
+                if config.max_batch == 0 {
+                    return Err("--max-batch must be at least 1".to_owned());
+                }
             }
             "--data-root" => config.data_root = Some(take("--data-root")?.into()),
             "--data" => data = Some(take("--data")?),
