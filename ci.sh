@@ -18,4 +18,56 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+echo "==> sharded serve smoke (--shards 4, HTTP batch query)"
+# Guards the whole fan-out path end to end: CLI flag -> catalog default
+# -> shard partitioning -> compute-pool fan-out -> merge -> JSON reply.
+SMOKE_PORT=$((20000 + $$ % 20000))
+./target/release/shapesearch serve --addr "127.0.0.1:$SMOKE_PORT" --shards 4 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales &
+SMOKE_PID=$!
+trap 'kill "$SMOKE_PID" 2>/dev/null || true' EXIT
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$SMOKE_PORT/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$up" ] || { echo "smoke: server never came up"; exit 1; }
+
+# The registration got the configured 4 shards.
+curl -sf "http://127.0.0.1:$SMOKE_PORT/datasets" | grep -q '"shards":4' || {
+    echo "smoke: dataset did not register with 4 shards"; exit 1;
+}
+
+# Per-run reply file: like SMOKE_PORT, $$ keeps concurrent ci.sh runs
+# on one machine from clobbering each other.
+SMOKE_REPLY="/tmp/smoke_batch_$$.json"
+BATCH_STATUS=$(curl -s -o "$SMOKE_REPLY" -w '%{http_code}' \
+    -X POST "http://127.0.0.1:$SMOKE_PORT/query" -d '[
+      {"dataset":"sales","query":"[p=up][p=down]","k":3},
+      {"dataset":"sales","query":"[p=down][p=up]","k":3}
+    ]')
+[ "$BATCH_STATUS" = "200" ] || {
+    echo "smoke: batch query returned $BATCH_STATUS"
+    cat "$SMOKE_REPLY"; exit 1;
+}
+# Non-empty results in every batch slot (a result object always carries
+# a "key"), and the per-item shard count is reported.
+grep -q '"key":' "$SMOKE_REPLY" || {
+    echo "smoke: batch reply carried no results"; cat "$SMOKE_REPLY"; exit 1;
+}
+grep -q '"shards":4' "$SMOKE_REPLY" || {
+    echo "smoke: batch reply did not report sharded execution"
+    cat "$SMOKE_REPLY"; exit 1;
+}
+
+kill "$SMOKE_PID" 2>/dev/null || true
+trap - EXIT
+rm -f "$SMOKE_REPLY"
+echo "smoke: sharded serve OK"
+
 echo "ci: all green"

@@ -5,6 +5,7 @@
 
 pub mod group;
 pub mod pushdown;
+pub mod shard;
 mod topk;
 
 use crate::algo::baseline::{BaselineMethod, WholeSeriesBaseline};
@@ -23,6 +24,12 @@ use group::VizData;
 use shapesearch_datastore::{extract, ExtractOptions, Table, Trendline, VisualSpec};
 use topk::TopK;
 
+/// Collection size (in trendlines) at or above which a single query runs
+/// with engine-level parallelism even when [`EngineOptions::parallel`] is
+/// off — past this point the per-thread fan-out cost is noise next to the
+/// segmentation work it spreads across cores.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1024;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineOptions {
@@ -34,6 +41,12 @@ pub struct EngineOptions {
     pub pushdown: bool,
     /// Scores candidate visualizations on multiple threads.
     pub parallel: bool,
+    /// Collections with at least this many trendlines are scored in
+    /// parallel even when [`Self::parallel`] is `false`
+    /// ([`DEFAULT_PARALLEL_THRESHOLD`] by default; `usize::MAX` disables
+    /// the auto-parallel policy entirely). Like `parallel`, this changes
+    /// scheduling only, never results.
+    pub parallel_threshold: usize,
     /// Scoring parameters.
     pub params: ScoreParams,
     /// Two-stage pruning configuration (used by
@@ -48,6 +61,7 @@ impl Default for EngineOptions {
             bin_width: 1,
             pushdown: true,
             parallel: false,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             params: ScoreParams::default(),
             pruning: PruningConfig::default(),
         }
@@ -61,7 +75,11 @@ pub struct TopKResult {
     pub key: String,
     /// Final score in [−1, 1].
     pub score: f64,
-    /// Index into [`ShapeEngine::trendlines`].
+    /// Global index of the matched trendline in the *collection*: for a
+    /// standalone engine this indexes [`ShapeEngine::trendlines`]; for a
+    /// shard of a [`shard::ShardedEngine`] it is the shard's base offset
+    /// plus the local index, so indices (and the tie order built on them)
+    /// are stable no matter how the collection is partitioned.
     pub viz_index: usize,
     /// Canvas point range fitted to each unit of the winning chain (empty
     /// for whole-series baselines) — the "green line segments" the
@@ -69,12 +87,19 @@ pub struct TopKResult {
     pub ranges: Vec<(usize, usize)>,
 }
 
-/// The ShapeSearch execution engine over one visualization collection.
+/// The ShapeSearch execution engine over one visualization collection
+/// (or over one shard of a larger, partitioned collection — see
+/// [`shard::ShardedEngine`]).
 #[derive(Debug)]
 pub struct ShapeEngine {
     trendlines: Vec<Trendline>,
     options: EngineOptions,
     udps: UdpRegistry,
+    /// Global index of `trendlines[0]` in the enclosing collection: 0 for
+    /// a standalone engine, the shard's partition offset otherwise.
+    /// Added to every local index on the way out so reported
+    /// `viz_index`es are collection-global.
+    base_index: usize,
 }
 
 impl ShapeEngine {
@@ -94,7 +119,24 @@ impl ShapeEngine {
             trendlines,
             options: EngineOptions::default(),
             udps: UdpRegistry::new(),
+            base_index: 0,
         }
+    }
+
+    /// Declares this engine a shard of a larger collection whose first
+    /// trendline sits at global index `base`: every reported `viz_index`
+    /// becomes `base + local index`, keeping indices (and tie ordering)
+    /// stable across any partitioning. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_base_index(mut self, base: usize) -> Self {
+        self.base_index = base;
+        self
+    }
+
+    /// The global index of this engine's first trendline (0 unless the
+    /// engine is a shard).
+    pub fn base_index(&self) -> usize {
+        self.base_index
     }
 
     /// Replaces the engine options, returning `self` for chaining.
@@ -283,7 +325,7 @@ impl ShapeEngine {
                     .map(|s| TopKResult {
                         key: self.trendlines[s.viz].key.clone(),
                         score: s.result.score,
-                        viz_index: s.viz,
+                        viz_index: self.base_index + s.viz,
                         ranges: s.result.ranges,
                     })
                     .collect())
@@ -323,7 +365,8 @@ impl ShapeEngine {
         };
 
         let mut topk = TopK::new(k);
-        if options.parallel && vizzes.len() > 1 {
+        let parallel = options.parallel || vizzes.len() >= options.parallel_threshold;
+        if parallel && vizzes.len() > 1 {
             let threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)

@@ -1,0 +1,626 @@
+//! Sharded execution: one trendline collection partitioned into N
+//! independent engine shards, queried with a fan-out / merge step.
+//!
+//! The paper's §5 executor scores every candidate visualization
+//! independently before the top-k selection, which makes the collection
+//! embarrassingly partitionable: a [`ShardedEngine`] splits the
+//! trendlines at build time into size-balanced contiguous shards (each a
+//! plain [`ShapeEngine`] carrying its partition offset so reported
+//! `viz_index`es stay collection-global), runs each shard's
+//! GROUP→SEGMENT→SCORE pass independently, and merges the per-shard
+//! top-k partials under the engine's deterministic order (score
+//! descending, then the lower global index — the same contract the
+//! unsharded heap uses), so results are **byte-identical to an unsharded
+//! run for every shard count**, including tie ordering and fitted
+//! `ranges`.
+//!
+//! Shards are held behind `Arc` so an embedder (e.g. the server's
+//! dataset catalog) can hand individual shard tasks to its own worker
+//! pool and merge with [`merge_topk`]; [`ShardedEngine::top_k_batch`]
+//! does the same fan-out in-process with scoped threads when parallelism
+//! is on (or the collection crosses
+//! [`EngineOptions::parallel_threshold`]).
+
+use super::{EngineOptions, ShapeEngine, TopKResult};
+use crate::error::Result;
+use crate::eval::UdpFn;
+use crate::ShapeQuery;
+use shapesearch_datastore::{extract, ExtractOptions, Table, Trendline, VisualSpec};
+use std::sync::Arc;
+
+/// A trendline collection partitioned into N independently queryable
+/// engine shards with a deterministic top-k merge.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Arc<ShapeEngine>>,
+    options: EngineOptions,
+    trendline_count: usize,
+    point_count: usize,
+}
+
+impl ShardedEngine {
+    /// Builds a sharded engine by running EXTRACT over a table, then
+    /// partitioning the trendlines into (at most) `shard_count` shards.
+    ///
+    /// # Errors
+    /// Propagates extraction errors (unknown columns, non-numeric axes).
+    pub fn new(table: &Table, spec: &VisualSpec, shard_count: usize) -> Result<Self> {
+        let trendlines = extract(table, spec, &ExtractOptions::default())?;
+        Ok(Self::from_trendlines(trendlines, shard_count))
+    }
+
+    /// Partitions `trendlines` into (at most) `shard_count` contiguous,
+    /// size-balanced shards. Balancing is by **point count**, not
+    /// trendline count — points drive segmentation cost — while keeping
+    /// partitions contiguous so each shard's global indices are its base
+    /// offset plus the local index. The effective shard count is clamped
+    /// to `[1, trendline_count]` (never an empty shard).
+    pub fn from_trendlines(trendlines: Vec<Trendline>, shard_count: usize) -> Self {
+        let trendline_count = trendlines.len();
+        let point_count: usize = trendlines.iter().map(|t| t.points.len()).sum();
+        let bounds = partition_bounds(&trendlines, shard_count);
+
+        let mut shards = Vec::with_capacity(bounds.len());
+        let mut rest = trendlines;
+        // Split back-to-front so each boundary is a cheap `split_off`.
+        for &(start, _) in bounds.iter().rev() {
+            let part = rest.split_off(start);
+            shards.push(Arc::new(
+                ShapeEngine::from_trendlines(part).with_base_index(start),
+            ));
+        }
+        shards.reverse();
+        Self {
+            shards,
+            options: EngineOptions::default(),
+            trendline_count,
+            point_count,
+        }
+    }
+
+    /// Replaces the engine options, returning `self` for chaining.
+    #[must_use]
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects the segmentation algorithm, returning `self` for chaining.
+    #[must_use]
+    pub fn with_segmenter(mut self, kind: crate::SegmenterKind) -> Self {
+        self.options.segmenter = kind;
+        self
+    }
+
+    /// Current options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Mutable options access.
+    pub fn options_mut(&mut self) -> &mut EngineOptions {
+        &mut self.options
+    }
+
+    /// Number of shards the collection is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard engines, in partition order. Each shard reports
+    /// collection-global `viz_index`es; partial results from individual
+    /// shards recombine with [`merge_topk`]. Shard handles are `Arc`s so
+    /// an embedder can move per-shard work onto long-lived worker
+    /// threads.
+    pub fn shards(&self) -> &[Arc<ShapeEngine>] {
+        &self.shards
+    }
+
+    /// Total trendlines across all shards.
+    pub fn trendline_count(&self) -> usize {
+        self.trendline_count
+    }
+
+    /// Total raw points across all shards.
+    pub fn point_count(&self) -> usize {
+        self.point_count
+    }
+
+    /// The trendline at global index `i`, if any.
+    pub fn trendline(&self, i: usize) -> Option<&Trendline> {
+        let shard = self
+            .shards
+            .iter()
+            .take_while(|s| s.base_index() <= i)
+            .last()?;
+        shard.trendlines().get(i - shard.base_index())
+    }
+
+    /// Iterates every trendline in global index order.
+    pub fn trendlines(&self) -> impl Iterator<Item = &Trendline> {
+        self.shards.iter().flat_map(|s| s.trendlines().iter())
+    }
+
+    /// Registers a user-defined pattern on every shard.
+    ///
+    /// # Panics
+    /// UDPs must be registered during construction, before any shard
+    /// handle from [`Self::shards`] has been cloned out.
+    pub fn register_udp(&mut self, name: impl Into<String>, f: UdpFn) {
+        let name = name.into();
+        for shard in &mut self.shards {
+            Arc::get_mut(shard)
+                .expect("register UDPs before sharing shard handles")
+                .register_udp(name.clone(), Arc::clone(&f));
+        }
+    }
+
+    /// Registers all built-in mathematical patterns on every shard (see
+    /// [`ShapeEngine::register_builtin_udps`]).
+    ///
+    /// # Panics
+    /// Like [`Self::register_udp`], only valid before shard handles have
+    /// been shared.
+    pub fn register_builtin_udps(&mut self) {
+        for shard in &mut self.shards {
+            Arc::get_mut(shard)
+                .expect("register UDPs before sharing shard handles")
+                .register_builtin_udps();
+        }
+    }
+
+    /// Executes a ShapeQuery across all shards, returning the merged top
+    /// `k`. Identical to an unsharded [`ShapeEngine::top_k`] over the
+    /// same collection, for every shard count.
+    ///
+    /// # Errors
+    /// Fails when the query references unregistered UDPs or is
+    /// structurally empty.
+    pub fn top_k(&self, query: &ShapeQuery, k: usize) -> Result<Vec<TopKResult>> {
+        self.top_k_with_options(query, k, &self.options)
+    }
+
+    /// [`Self::top_k`] under explicit options (the shared-engine seam —
+    /// see [`ShapeEngine::top_k_with_options`]).
+    ///
+    /// # Errors
+    /// Fails when the query references unregistered UDPs or is
+    /// structurally empty.
+    pub fn top_k_with_options(
+        &self,
+        query: &ShapeQuery,
+        k: usize,
+        options: &EngineOptions,
+    ) -> Result<Vec<TopKResult>> {
+        self.top_k_batch(&[(query, k)], options)
+            .pop()
+            .expect("one outcome per batched query")
+    }
+
+    /// Executes a whole batch of ShapeQueries: every shard runs the full
+    /// batched pass ([`ShapeEngine::top_k_batch`], sharing its GROUP
+    /// stage across the batch) over its own partition, then each query's
+    /// per-shard partials are merged deterministically.
+    ///
+    /// Shards run on scoped threads when `options.parallel` is set or
+    /// the collection holds at least `options.parallel_threshold`
+    /// trendlines — the "parallel" knob now simply fans out shards —
+    /// and sequentially otherwise. Either way the outcome is
+    /// bit-identical to the unsharded engine, per query.
+    ///
+    /// The server's `execute_on_shards` is the pool-task twin of this
+    /// fan-out (long-lived threads need `'static` tasks over `Arc`s,
+    /// where this path borrows); the single-shard and inner-options
+    /// policy must stay in sync between the two.
+    pub fn top_k_batch(
+        &self,
+        items: &[(&ShapeQuery, usize)],
+        options: &EngineOptions,
+    ) -> Vec<Result<Vec<TopKResult>>> {
+        if self.shards.len() == 1 {
+            // Single shard: the plain engine path, viz-level parallelism
+            // and all.
+            return self.shards[0].top_k_batch(items, options);
+        }
+        let fan_out = options.parallel || self.trendline_count >= options.parallel_threshold;
+        let partials: Vec<Vec<Result<Vec<TopKResult>>>> = if fan_out {
+            // One thread per shard; shard work is the unit of
+            // parallelism, so the engine's *inner* viz-level parallelism
+            // is switched off rather than oversubscribing cores.
+            let inner = EngineOptions {
+                parallel: false,
+                parallel_threshold: usize::MAX,
+                ..options.clone()
+            };
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        let inner = &inner;
+                        scope.spawn(move || shard.top_k_batch(items, inner))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards
+                .iter()
+                .map(|shard| shard.top_k_batch(items, options))
+                .collect()
+        };
+        merge_shard_outcomes(partials, items.iter().map(|&(_, k)| k))
+    }
+}
+
+/// Contiguous `(start, end)` trendline ranges for (at most) `shard_count`
+/// size-balanced shards. Balancing minimizes the spread of per-shard
+/// point totals by cutting at the cumulative-points quantiles.
+fn partition_bounds(trendlines: &[Trendline], shard_count: usize) -> Vec<(usize, usize)> {
+    let n = trendlines.len();
+    let shards = shard_count.clamp(1, n.max(1));
+    if n == 0 || shards == 1 {
+        return vec![(0, n)];
+    }
+    let total: usize = trendlines.iter().map(|t| t.points.len()).sum();
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut seen = 0usize;
+    let mut cut = 1usize; // which quantile boundary is being sought
+    for (i, t) in trendlines.iter().enumerate() {
+        seen += t.points.len();
+        if cut == shards {
+            break;
+        }
+        // Close the current shard once it reaches its points quantile —
+        // but only while enough trendlines remain for every later shard
+        // to stay non-empty, and immediately once exactly that many are
+        // left.
+        let remaining = n - (i + 1);
+        let quota_met = seen * shards >= total * cut;
+        let must_cut = remaining == shards - cut;
+        if remaining >= shards - cut && (quota_met || must_cut) {
+            bounds.push((start, i + 1));
+            start = i + 1;
+            cut += 1;
+        }
+    }
+    bounds.push((start, n));
+    bounds
+}
+
+/// Merges per-shard top-k partials for one query into the final top `k`,
+/// under the engine's deterministic order: score descending, ties to the
+/// lower global `viz_index`. Each partial must itself be sorted engine
+/// output (which per-shard [`ShapeEngine::top_k_batch`] guarantees);
+/// the merge then equals the unsharded top-k exactly, because any
+/// collection-global top-k member is necessarily inside its own shard's
+/// top-k.
+pub fn merge_topk(partials: Vec<Vec<TopKResult>>, k: usize) -> Vec<TopKResult> {
+    let mut all: Vec<TopKResult> = partials.into_iter().flatten().collect();
+    all.sort_by(|a, b| super::topk::rank(a.score, a.viz_index, b.score, b.viz_index));
+    all.truncate(k);
+    all
+}
+
+/// Recombines per-shard batch outcomes (one
+/// [`ShapeEngine::top_k_batch`] result per shard, over the same items)
+/// into per-query outcomes, merging each query's partials with
+/// [`merge_topk`] under its `k`. A query's validation error is
+/// shard-independent (every shard holds the same UDP registry and sees
+/// the same AST), so the first shard's error stands for all shards.
+/// Exposed so embedders that run shard tasks on their own worker pool
+/// (e.g. the server) recombine exactly like the in-process fan-out.
+pub fn merge_shard_outcomes(
+    partials: Vec<Vec<Result<Vec<TopKResult>>>>,
+    ks: impl Iterator<Item = usize>,
+) -> Vec<Result<Vec<TopKResult>>> {
+    let mut per_shard: Vec<_> = partials.into_iter().map(Vec::into_iter).collect();
+    ks.map(|k| {
+        let mut parts = Vec::with_capacity(per_shard.len());
+        let mut first_err = None;
+        for shard in per_shard.iter_mut() {
+            match shard.next().expect("one outcome per query per shard") {
+                Ok(results) => parts.push(results),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(merge_topk(parts, k)),
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreError, Pattern, SegmenterKind, ShapeSegment};
+
+    /// A deterministic pseudo-random collection with mixed shapes and
+    /// lengths (so point-balanced shards are *not* count-balanced) and
+    /// several exactly-duplicated trendlines (so the top-k contains real
+    /// score ties straddling shard boundaries).
+    fn collection(n: usize) -> Vec<Trendline> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) - 1.0 // [-1, 1)
+        };
+        (0..n)
+            .map(|i| {
+                if i % 5 == 3 {
+                    // Exact duplicates of one peak shape: tied scores.
+                    let pairs: Vec<(f64, f64)> = (0..20)
+                        .map(|t| {
+                            let t = t as f64;
+                            (t, if t < 10.0 { t } else { 20.0 - t })
+                        })
+                        .collect();
+                    return Trendline::from_pairs(format!("dup{i}"), &pairs);
+                }
+                let len = 12 + (i * 7) % 40;
+                let mut y = 0.0;
+                let pairs: Vec<(f64, f64)> = (0..len)
+                    .map(|t| {
+                        y += next() + ((i % 3) as f64 - 1.0) * 0.2;
+                        (t as f64, y)
+                    })
+                    .collect();
+                Trendline::from_pairs(format!("walk{i}"), &pairs)
+            })
+            .collect()
+    }
+
+    fn updown() -> ShapeQuery {
+        ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()])
+    }
+
+    #[test]
+    fn partition_is_contiguous_nonempty_and_offset_stable() {
+        let tls = collection(23);
+        for shards in [1, 2, 4, 7, 23, 100] {
+            let engine = ShardedEngine::from_trendlines(tls.clone(), shards);
+            assert_eq!(engine.shard_count(), shards.min(23));
+            assert_eq!(engine.trendline_count(), 23);
+            let mut expected_base = 0;
+            for shard in engine.shards() {
+                assert_eq!(shard.base_index(), expected_base);
+                assert!(!shard.trendlines().is_empty());
+                expected_base += shard.trendlines().len();
+            }
+            assert_eq!(expected_base, 23);
+            // Global order preserved, and global lookup agrees.
+            for (i, t) in engine.trendlines().enumerate() {
+                assert_eq!(t.key, tls[i].key);
+                assert_eq!(engine.trendline(i).unwrap().key, tls[i].key);
+            }
+            assert!(engine.trendline(23).is_none());
+        }
+    }
+
+    #[test]
+    fn partition_balances_points_not_counts() {
+        // 1 long trendline + 15 short ones: a count split would give
+        // shard 0 eight trendlines; a points split isolates the giant.
+        let mut tls = vec![Trendline::from_pairs(
+            "giant",
+            &(0..1000).map(|t| (t as f64, t as f64)).collect::<Vec<_>>(),
+        )];
+        for i in 0..15 {
+            tls.push(Trendline::from_pairs(
+                format!("small{i}"),
+                &[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)],
+            ));
+        }
+        let engine = ShardedEngine::from_trendlines(tls, 2);
+        assert_eq!(engine.shard_count(), 2);
+        assert_eq!(engine.shards()[0].trendlines().len(), 1);
+        assert_eq!(engine.shards()[1].trendlines().len(), 15);
+    }
+
+    #[test]
+    fn empty_collection_gets_one_empty_shard() {
+        let engine = ShardedEngine::from_trendlines(Vec::new(), 4);
+        assert_eq!(engine.shard_count(), 1);
+        assert!(engine.top_k(&updown(), 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sharded_top_k_identical_to_unsharded_for_every_segmenter() {
+        let tls = collection(23);
+        let queries = [
+            updown(),
+            ShapeQuery::down(),
+            ShapeQuery::concat(vec![
+                ShapeQuery::Segment(ShapeSegment::pinned(Pattern::Up, 2.0, 8.0)),
+                ShapeQuery::down(),
+            ]),
+        ];
+        for kind in [
+            SegmenterKind::Dp,
+            SegmenterKind::SegmentTree,
+            SegmenterKind::SegmentTreePruned,
+            SegmenterKind::Greedy,
+            SegmenterKind::Dtw,
+            SegmenterKind::Euclidean,
+        ] {
+            let reference = ShapeEngine::from_trendlines(tls.clone()).with_segmenter(kind);
+            for shards in [1usize, 2, 7, 23] {
+                let sharded =
+                    ShardedEngine::from_trendlines(tls.clone(), shards).with_segmenter(kind);
+                for q in &queries {
+                    for k in [1usize, 5, 23] {
+                        let want = reference.top_k(q, k).unwrap();
+                        let got = sharded.top_k(q, k).unwrap();
+                        assert_eq!(got, want, "{kind:?} shards={shards} k={k} diverged on {q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tie_order_is_global_index_order_across_shard_boundaries() {
+        // Duplicated trendlines land in different shards but must come
+        // back in ascending global index order.
+        let tls = collection(20);
+        let sharded = ShardedEngine::from_trendlines(tls.clone(), 7);
+        let results = sharded.top_k(&updown(), 20).unwrap();
+        let dup_indices: Vec<usize> = results
+            .iter()
+            .filter(|r| r.key.starts_with("dup"))
+            .map(|r| r.viz_index)
+            .collect();
+        assert!(dup_indices.len() >= 3, "expected several tied duplicates");
+        assert!(
+            dup_indices.windows(2).all(|w| w[0] < w[1]),
+            "tied duplicates out of global order: {dup_indices:?}"
+        );
+        // And identical to the unsharded ordering.
+        let reference = ShapeEngine::from_trendlines(tls)
+            .top_k(&updown(), 20)
+            .unwrap();
+        assert_eq!(results, reference);
+    }
+
+    #[test]
+    fn sharded_batch_matches_unsharded_batch_and_isolates_errors() {
+        let tls = collection(19);
+        let good = updown();
+        let bad = ShapeQuery::pattern(Pattern::Udp("mystery".into()));
+        let items: Vec<(&ShapeQuery, usize)> = vec![(&good, 4), (&bad, 2), (&good, 19)];
+        let reference = ShapeEngine::from_trendlines(tls.clone());
+        let want = reference.top_k_batch(&items, reference.options());
+        for shards in [2usize, 7, 19] {
+            let sharded = ShardedEngine::from_trendlines(tls.clone(), shards);
+            let got = sharded.top_k_batch(&items, sharded.options());
+            assert_eq!(got.len(), want.len());
+            assert_eq!(got[0].as_ref().unwrap(), want[0].as_ref().unwrap());
+            assert!(matches!(got[1], Err(CoreError::UnknownUdp(_))));
+            assert_eq!(got[2].as_ref().unwrap(), want[2].as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_and_auto_threshold_fan_out_match_sequential() {
+        let tls = collection(23);
+        let reference = ShapeEngine::from_trendlines(tls.clone());
+        let want = reference.top_k(&updown(), 10).unwrap();
+        // Explicit parallel fan-out.
+        let parallel = EngineOptions {
+            parallel: true,
+            ..EngineOptions::default()
+        };
+        let sharded = ShardedEngine::from_trendlines(tls.clone(), 4).with_options(parallel);
+        assert_eq!(sharded.top_k(&updown(), 10).unwrap(), want);
+        // Auto-parallel: the collection crosses the configured threshold.
+        let auto = EngineOptions {
+            parallel: false,
+            parallel_threshold: 23,
+            ..EngineOptions::default()
+        };
+        let sharded = ShardedEngine::from_trendlines(tls, 4).with_options(auto);
+        assert_eq!(sharded.top_k(&updown(), 10).unwrap(), want);
+    }
+
+    #[test]
+    fn udps_register_on_every_shard() {
+        let mut sharded = ShardedEngine::from_trendlines(collection(12), 3);
+        sharded.register_builtin_udps();
+        sharded.register_udp(
+            "net_gain",
+            Arc::new(|ys: &[f64]| if ys.last() > ys.first() { 1.0 } else { -1.0 }),
+        );
+        let q = ShapeQuery::pattern(Pattern::Udp("net_gain".into()));
+        assert!(!sharded.top_k(&q, 4).unwrap().is_empty());
+        let q = ShapeQuery::pattern(Pattern::Udp("spike".into()));
+        assert!(sharded.top_k(&q, 4).is_ok());
+    }
+
+    #[test]
+    fn merge_topk_is_deterministic_on_ties() {
+        let r = |viz: usize, score: f64| TopKResult {
+            key: format!("k{viz}"),
+            score,
+            viz_index: viz,
+            ranges: vec![(0, 1)],
+        };
+        let merged = merge_topk(
+            vec![
+                vec![r(4, 0.5), r(6, 0.5)],
+                vec![r(1, 0.5), r(2, 0.3)],
+                vec![r(0, 0.9)],
+            ],
+            4,
+        );
+        let order: Vec<usize> = merged.iter().map(|m| m.viz_index).collect();
+        assert_eq!(order, vec![0, 1, 4, 6]);
+    }
+
+    /// The acceptance benchmark: with real parallel hardware, fanning a
+    /// large collection across ≥4 shards must beat a single shard on
+    /// wall-clock. Self-gates on single-core machines (where there is
+    /// nothing to win) but still asserts result equality there.
+    #[test]
+    fn multi_shard_parallel_beats_single_shard_wall_clock() {
+        let tls: Vec<Trendline> = (0..48)
+            .map(|i| {
+                let pairs: Vec<(f64, f64)> = (0..400)
+                    .map(|t| {
+                        let t = t as f64;
+                        (t, (t * (0.01 + i as f64 * 0.001)).sin() * 3.0 + t * 0.002)
+                    })
+                    .collect();
+                Trendline::from_pairs(format!("s{i}"), &pairs)
+            })
+            .collect();
+        let opts = EngineOptions {
+            segmenter: SegmenterKind::Dp,
+            bin_width: 4,
+            parallel: true,
+            ..EngineOptions::default()
+        };
+        let single = ShardedEngine::from_trendlines(tls.clone(), 1).with_options(EngineOptions {
+            parallel: false,
+            ..opts.clone()
+        });
+        let sharded = ShardedEngine::from_trendlines(tls, 4).with_options(opts);
+        let q = updown();
+
+        let want = single.top_k(&q, 8).unwrap();
+        assert_eq!(sharded.top_k(&q, 8).unwrap(), want);
+
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores < 2 {
+            eprintln!("single-core machine: skipping the wall-clock comparison");
+            return;
+        }
+        let time = |engine: &ShardedEngine| {
+            let mut best = std::time::Duration::MAX;
+            for _ in 0..3 {
+                let started = std::time::Instant::now();
+                let _ = engine.top_k(&q, 8).unwrap();
+                best = best.min(started.elapsed());
+            }
+            best
+        };
+        let t_single = time(&single);
+        let t_sharded = time(&sharded);
+        assert!(
+            t_sharded < t_single,
+            "4-shard parallel run should beat 1 shard on {cores} cores: \
+             sharded {t_sharded:?} vs single {t_single:?}"
+        );
+    }
+}

@@ -1,10 +1,22 @@
 //! Top-k selection: a bounded min-heap over match scores with deterministic
 //! tie-breaking (lower visualization index wins ties, so runs are
 //! reproducible).
+//!
+//! [`rank`] is the single ordering contract: the per-collection heap, the
+//! final sort, and the cross-shard merge in [`crate::engine::shard`] all
+//! compare candidates through it, which is what makes sharded execution
+//! return byte-identical results (including tie order) to an unsharded run.
 
 use crate::algo::MatchResult;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// The deterministic result ordering: higher score first, ties broken by
+/// the lower (global) visualization index. Returns `Less` when `a` ranks
+/// ahead of `b`, so sorting by `rank` yields descending score order.
+pub(crate) fn rank(a_score: f64, a_viz: usize, b_score: f64, b_viz: usize) -> Ordering {
+    b_score.total_cmp(&a_score).then_with(|| a_viz.cmp(&b_viz))
+}
 
 /// One scored candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,11 +29,8 @@ impl Eq for Scored {}
 
 impl Ord for Scored {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Higher score first; ties broken by lower index.
-        self.result
-            .score
-            .total_cmp(&other.result.score)
-            .then_with(|| other.viz.cmp(&self.viz))
+        // `rank` orders best-first; the heap wants best = greatest, so flip.
+        rank(other.result.score, other.viz, self.result.score, self.viz)
     }
 }
 

@@ -165,6 +165,15 @@ impl<'a> Evaluator<'a> {
             }
         }
         let score = components.iter().sum::<f64>() / components.len() as f64;
+        // Optional minimum-segment-width fit term (off by default): a
+        // segment too narrow to be perceptual evidence cannot claim a
+        // strong score, which blocks the degenerate
+        // steep-sliver/flat/steep-sliver CONCAT segmentations.
+        let score = score::width_penalty(
+            score,
+            self.viz.xs[j] - self.viz.xs[i],
+            self.params.min_width_frac,
+        );
         clamp_score(score)
     }
 

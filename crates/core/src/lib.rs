@@ -56,6 +56,7 @@ pub mod udps;
 pub use algo::{MatchResult, Segmenter, SegmenterKind};
 pub use ast::{IteratorSpec, Location, Modifier, Pattern, PosRef, ShapeQuery, ShapeSegment};
 pub use engine::group::VizData;
+pub use engine::shard::{merge_shard_outcomes, merge_topk, ShardedEngine};
 pub use engine::{EngineOptions, ShapeEngine, TopKResult};
 pub use error::{CoreError, Result};
 pub use eval::{Evaluator, PosContext, UdpFn, UdpRegistry};

@@ -38,6 +38,19 @@ pub struct ScoreParams {
     pub sketch_distance_scale: f64,
     /// Relative tolerance (fraction of the y range) for y-location checks.
     pub y_tolerance: f64,
+    /// Minimum canvas-x fraction a scored segment must span before its
+    /// score counts at full strength; narrower segments have their score
+    /// blended linearly toward −1 (see [`width_penalty`]). `0.0` (the
+    /// default) disables the term.
+    ///
+    /// This counters the *flat-pattern degeneracy* of CONCAT-mean
+    /// scoring: with fuzzy segmentation the optimal DP can fit almost any
+    /// trendline with a near-degenerate split — a steep two-point rise, a
+    /// long "flat" middle, a steep two-point fall — whose per-segment
+    /// scores are all near 1, compressing the gap between genuine
+    /// matches and arbitrary random walks. Penalizing segments too
+    /// narrow to constitute perceptual evidence restores the gap.
+    pub min_width_frac: f64,
 }
 
 impl Default for ScoreParams {
@@ -48,8 +61,25 @@ impl Default for ScoreParams {
             quantifier_threshold: 0.0,
             sketch_distance_scale: 0.25,
             y_tolerance: 0.15,
+            min_width_frac: 0.0,
         }
     }
+}
+
+/// Applies the minimum-segment-width fit term: a segment spanning canvas
+/// width `width < min_width_frac` has its score blended linearly toward
+/// −1 (`t·score − (1 − t)` with `t = width / min_width_frac`), so a
+/// zero-width segment can never contribute positive evidence while a
+/// segment at or above the minimum width is untouched. The blend is
+/// monotone in both `score` and `width`, which keeps the segmentation
+/// DP's optimal-substructure argument intact. No-op when
+/// `min_width_frac` is 0.
+pub fn width_penalty(score: f64, width: f64, min_width_frac: f64) -> f64 {
+    if min_width_frac <= 0.0 || width >= min_width_frac {
+        return score;
+    }
+    let t = (width / min_width_frac).clamp(0.0, 1.0);
+    score * t - (1.0 - t)
 }
 
 /// Score of the `up` pattern for a fitted slope: 2·tan⁻¹(slope)/π.
@@ -241,5 +271,24 @@ mod tests {
         let p = ScoreParams::default();
         assert!(p.sharp_angle_deg > p.gradual_angle_deg);
         assert_eq!(p.quantifier_threshold, 0.0);
+        assert_eq!(p.min_width_frac, 0.0, "width term must default off");
+    }
+
+    #[test]
+    fn width_penalty_blends_toward_minus_one() {
+        // Off by default: untouched regardless of width.
+        assert_eq!(width_penalty(0.9, 0.0, 0.0), 0.9);
+        // Wide enough: untouched.
+        assert_eq!(width_penalty(0.9, 0.3, 0.2), 0.9);
+        assert_eq!(width_penalty(0.9, 0.2, 0.2), 0.9);
+        // Zero width: fully −1, even for a perfect score.
+        assert_eq!(width_penalty(1.0, 0.0, 0.2), -1.0);
+        // Halfway: the midpoint of score and −1.
+        assert!((width_penalty(1.0, 0.1, 0.2) - 0.0).abs() < EPS);
+        // Monotone in width and in score.
+        assert!(width_penalty(0.9, 0.05, 0.2) < width_penalty(0.9, 0.15, 0.2));
+        assert!(width_penalty(0.2, 0.1, 0.2) < width_penalty(0.9, 0.1, 0.2));
+        // A −1 score stays −1 (never *improved* by narrowness).
+        assert_eq!(width_penalty(-1.0, 0.05, 0.2), -1.0);
     }
 }

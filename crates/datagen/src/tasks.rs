@@ -315,7 +315,7 @@ pub fn precision_at_gold(task: &Task, retrieved: &[String]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shapesearch_core::{SegmenterKind, ShapeEngine};
+    use shapesearch_core::{EngineOptions, SegmenterKind, ShapeEngine};
 
     #[test]
     fn all_tasks_generate() {
@@ -341,9 +341,15 @@ mod tests {
         // (steep 2-point up, long flat middle, steep 2-point down)
         // segmentation scoring ≈0.9, so distractor random walks sit close
         // below the planted positives. Average over seeds and require the
-        // retrieval to clearly beat the 0.25 random baseline.
+        // retrieval to clearly beat the 0.25 random baseline — and check
+        // that the optional minimum-segment-width term
+        // (`ScoreParams::min_width_frac`), which exists precisely to
+        // suppress those degenerate slivers, *widens* the score gap
+        // between the planted positives and the distractors.
         let seeds = [1u64, 13, 42, 99, 123];
         let mut total = 0.0;
+        let mut gap_off = 0.0;
+        let mut gap_on = 0.0;
         for seed in seeds {
             let t = generate(TaskKind::Sequence, 24, 64, seed);
             let engine = ShapeEngine::from_trendlines(t.trendlines.clone())
@@ -351,9 +357,41 @@ mod tests {
             let results = engine.top_k(&t.query, t.positives.len()).unwrap();
             let keys: Vec<String> = results.into_iter().map(|r| r.key).collect();
             total += precision_at_gold(&t, &keys);
+
+            // Positive-vs-distractor score gap, with the width term off
+            // (the default) and on.
+            let gap = |min_width_frac: f64| -> f64 {
+                let mut options = EngineOptions {
+                    segmenter: SegmenterKind::Dp,
+                    ..EngineOptions::default()
+                };
+                options.params.min_width_frac = min_width_frac;
+                let engine =
+                    ShapeEngine::from_trendlines(t.trendlines.clone()).with_options(options);
+                let all = engine.top_k(&t.query, t.trendlines.len()).unwrap();
+                let (mut pos_sum, mut pos_n) = (0.0, 0u32);
+                let (mut neg_sum, mut neg_n) = (0.0, 0u32);
+                for r in &all {
+                    if t.positives.contains(&r.key) {
+                        pos_sum += r.score;
+                        pos_n += 1;
+                    } else {
+                        neg_sum += r.score;
+                        neg_n += 1;
+                    }
+                }
+                pos_sum / f64::from(pos_n) - neg_sum / f64::from(neg_n)
+            };
+            gap_off += gap(0.0);
+            gap_on += gap(0.1);
         }
         let mean = total / seeds.len() as f64;
         assert!(mean >= 0.7, "mean precision {mean}");
+        let (gap_off, gap_on) = (gap_off / seeds.len() as f64, gap_on / seeds.len() as f64);
+        assert!(
+            gap_on > gap_off,
+            "min-width term should widen the positive gap: off {gap_off:.4}, on {gap_on:.4}"
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The query-result cache: a hand-rolled O(1) LRU over a slab-backed
 //! intrusive list, plus the server-facing [`QueryCache`] wrapper keyed on
-//! `(dataset id, registration generation, normalized query AST, k,
-//! engine-option fingerprint)` with hit/miss/coalesced counters.
+//! `(dataset id, registration generation, shard count, normalized query
+//! AST, k, engine-option fingerprint)` with hit/miss/coalesced counters
+//! that live under the cache's own lock, so [`QueryCache::stats`] is a
+//! consistent snapshot (`hits + misses + coalesced == lookups`, always).
 //!
 //! Repeated exploratory queries — the dominant pattern in shape-based
 //! exploration, where a user reissues near-identical ShapeQueries while
@@ -17,7 +19,6 @@
 use shapesearch_core::{EngineOptions, TopKResult};
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 const NIL: usize = usize::MAX;
@@ -214,6 +215,12 @@ pub struct CacheKey {
     pub dataset: String,
     /// The dataset's registration generation at planning time.
     pub generation: u64,
+    /// The registration's shard count. Sharded execution is
+    /// result-identical for every shard count, and a re-registration
+    /// already bumps `generation` — carrying the shard count anyway makes
+    /// "a new shard count can never serve another layout's cached bytes"
+    /// structural rather than an indirect consequence.
+    pub shards: usize,
     /// Canonical rendering of the parsed query AST.
     pub query_canon: String,
     /// Requested result count.
@@ -227,6 +234,7 @@ impl CacheKey {
     pub fn new(
         dataset: &str,
         generation: u64,
+        shards: usize,
         query: &shapesearch_core::ShapeQuery,
         k: usize,
         options: &EngineOptions,
@@ -234,6 +242,7 @@ impl CacheKey {
         Self {
             dataset: dataset.to_owned(),
             generation,
+            shards,
             query_canon: query.to_string(),
             k,
             options_fp: options_fingerprint(options),
@@ -252,8 +261,16 @@ pub fn options_fingerprint(o: &EngineOptions) -> String {
 }
 
 /// Cache statistics surfaced through `GET /healthz`.
+///
+/// Snapshots are **consistent**: all counters live under the cache's one
+/// internal lock and every counted operation updates them inside its
+/// critical section, so `hits + misses + coalesced == lookups` holds in
+/// every snapshot — never only between updates, as it would with
+/// independently loaded atomics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Counted lookups (always exactly `hits + misses + coalesced`).
+    pub lookups: u64,
     /// Lookups answered straight from the LRU.
     pub hits: u64,
     /// Lookups that found nothing and elected a singleflight leader.
@@ -373,9 +390,42 @@ pub enum Lookup<'a> {
     Lead(FlightGuard<'a>),
 }
 
-/// The LRU plus the per-dataset generation floors, guarded by one mutex
-/// so a floor bump and the purge it implies are atomic with respect to
-/// concurrent inserts.
+/// Which counter a counted cache operation lands in.
+#[derive(Clone, Copy)]
+enum Counted {
+    Hit,
+    Miss,
+    Coalesced,
+}
+
+/// The hit/miss/coalesced tallies. They live *inside* the cache's inner
+/// mutex and are only ever bumped within a counted operation's critical
+/// section, so a [`QueryCache::stats`] snapshot can never catch them
+/// mid-update (the satisfied invariant: `hits + misses + coalesced ==
+/// lookups`, in every snapshot).
+#[derive(Default)]
+struct Counters {
+    lookups: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+impl Counters {
+    fn count(&mut self, outcome: Counted) {
+        self.lookups += 1;
+        match outcome {
+            Counted::Hit => self.hits += 1,
+            Counted::Miss => self.misses += 1,
+            Counted::Coalesced => self.coalesced += 1,
+        }
+    }
+}
+
+/// The LRU plus the per-dataset generation floors and the counters,
+/// guarded by one mutex so a floor bump and the purge it implies are
+/// atomic with respect to concurrent inserts, and counter reads are
+/// consistent snapshots.
 struct CacheMap {
     lru: LruCache<CacheKey, Arc<Vec<TopKResult>>>,
     /// Per dataset id: the lowest registration generation still allowed
@@ -383,6 +433,7 @@ struct CacheMap {
     /// below the floor are stale re-registration leftovers and are
     /// dropped instead of occupying (unreachable) LRU slots.
     floors: HashMap<String, u64>,
+    counters: Counters,
 }
 
 impl CacheMap {
@@ -398,9 +449,6 @@ impl CacheMap {
 pub struct QueryCache {
     inner: Mutex<CacheMap>,
     inflight: Mutex<HashMap<CacheKey, Arc<FlightSlot>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
 }
 
 impl QueryCache {
@@ -410,12 +458,21 @@ impl QueryCache {
             inner: Mutex::new(CacheMap {
                 lru: LruCache::new(capacity),
                 floors: HashMap::new(),
+                counters: Counters::default(),
             }),
             inflight: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
         }
+    }
+
+    /// Bumps one counter inside its own inner critical section (for the
+    /// lookup outcomes decided under the *inflight* lock, where the LRU
+    /// itself is not touched).
+    fn count(&self, outcome: Counted) {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .counters
+            .count(outcome);
     }
 
     /// Looks up a result, counting the hit or miss. Bypasses the
@@ -426,11 +483,11 @@ impl QueryCache {
         match cache.lru.get(key) {
             Some(v) => {
                 let v = Arc::clone(v);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                cache.counters.count(Counted::Hit);
                 Some(v)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                cache.counters.count(Counted::Miss);
                 None
             }
         }
@@ -441,10 +498,9 @@ impl QueryCache {
     /// then [`FlightGuard::complete`]) or, when an identical key is
     /// already being computed, returns a [`Lookup::Pending`] waiter that
     /// shares the leader's result. Exactly one of `hits`, `misses`, or
-    /// `coalesced` is incremented per call.
+    /// `coalesced` is incremented per call (atomically with `lookups`).
     pub fn lookup(&self, key: &CacheKey) -> Lookup<'_> {
-        if let Some(v) = self.probe(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.probe_counted(key) {
             return Lookup::Hit(v);
         }
         let mut inflight = self.inflight.lock().expect("inflight lock");
@@ -452,17 +508,16 @@ impl QueryCache {
         // between our probe and this lock has already inserted into the
         // LRU and left the inflight map, and must be seen as a hit, not
         // re-led.
-        if let Some(v) = self.probe(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.probe_counted(key) {
             return Lookup::Hit(v);
         }
         if let Some(slot) = inflight.get(key) {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.count(Counted::Coalesced);
             return Lookup::Pending(FlightWaiter {
                 slot: Arc::clone(slot),
             });
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.count(Counted::Miss);
         let slot = Arc::new(FlightSlot::new());
         inflight.insert(key.clone(), Arc::clone(&slot));
         Lookup::Lead(FlightGuard {
@@ -473,9 +528,16 @@ impl QueryCache {
         })
     }
 
-    /// An uncounted LRU probe (still refreshes recency).
-    fn probe(&self, key: &CacheKey) -> Option<Arc<Vec<TopKResult>>> {
-        self.inner.lock().expect("cache lock").lru.get(key).cloned()
+    /// An LRU probe that refreshes recency and, *within the same
+    /// critical section*, counts a hit — misses are not counted here
+    /// (the caller counts the lookup's eventual outcome instead).
+    fn probe_counted(&self, key: &CacheKey) -> Option<Arc<Vec<TopKResult>>> {
+        let mut cache = self.inner.lock().expect("cache lock");
+        let hit = cache.lru.get(key).cloned();
+        if hit.is_some() {
+            cache.counters.count(Counted::Hit);
+        }
+        hit
     }
 
     /// Inserts a computed result directly (used by leaders via
@@ -504,13 +566,18 @@ impl QueryCache {
         cache.lru.retain(|k| k.dataset != dataset);
     }
 
-    /// A consistent snapshot of the counters for `GET /healthz`.
+    /// A consistent snapshot of the counters for `GET /healthz`: one
+    /// lock acquisition reads every counter plus the entry count, so the
+    /// reported totals can never be mutually inconsistent mid-update
+    /// (`hits + misses + coalesced == lookups` holds in *every*
+    /// snapshot).
     pub fn stats(&self) -> CacheStats {
         let cache = self.inner.lock().expect("cache lock");
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            lookups: cache.counters.lookups,
+            hits: cache.counters.hits,
+            misses: cache.counters.misses,
+            coalesced: cache.counters.coalesced,
             entries: cache.lru.len(),
             capacity: cache.lru.capacity(),
         }
@@ -521,6 +588,7 @@ impl QueryCache {
 mod tests {
     use super::*;
     use shapesearch_core::SegmenterKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Weak;
 
     #[test]
@@ -605,18 +673,83 @@ mod tests {
         let opts = EngineOptions::default();
         let a = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
         let b = shapesearch_parser::parse_regex(" [ p = up ] [ p = down ] ").unwrap();
-        let ka = CacheKey::new("ds1", 1, &a, 5, &opts);
-        let kb = CacheKey::new("ds1", 1, &b, 5, &opts);
+        let ka = CacheKey::new("ds1", 1, 1, &a, 5, &opts);
+        let kb = CacheKey::new("ds1", 1, 1, &b, 5, &opts);
         assert_eq!(ka, kb, "whitespace variants must share one cache entry");
         // Different k, dataset, generation, or algorithm each split the key.
-        assert_ne!(ka, CacheKey::new("ds1", 1, &a, 6, &opts));
-        assert_ne!(ka, CacheKey::new("ds2", 1, &a, 5, &opts));
-        assert_ne!(ka, CacheKey::new("ds1", 2, &a, 5, &opts));
+        assert_ne!(ka, CacheKey::new("ds1", 1, 1, &a, 6, &opts));
+        assert_ne!(ka, CacheKey::new("ds2", 1, 1, &a, 5, &opts));
+        assert_ne!(ka, CacheKey::new("ds1", 2, 1, &a, 5, &opts));
         let dp = EngineOptions {
             segmenter: SegmenterKind::Dp,
             ..EngineOptions::default()
         };
-        assert_ne!(ka, CacheKey::new("ds1", 1, &a, 5, &dp));
+        assert_ne!(ka, CacheKey::new("ds1", 1, 1, &a, 5, &dp));
+        // A different shard layout also splits the key (belt and braces:
+        // re-registration already bumps the generation).
+        assert_ne!(ka, CacheKey::new("ds1", 1, 4, &a, 5, &opts));
+    }
+
+    #[test]
+    fn options_fingerprint_ignores_parallel_threshold_but_not_params() {
+        let a = EngineOptions::default();
+        let b = EngineOptions {
+            parallel_threshold: 7,
+            ..EngineOptions::default()
+        };
+        // Scheduling-only knobs share a fingerprint…
+        assert_eq!(options_fingerprint(&a), options_fingerprint(&b));
+        // …but result-affecting scoring parameters do not.
+        let mut c = EngineOptions::default();
+        c.params.min_width_frac = 0.2;
+        assert_ne!(options_fingerprint(&a), options_fingerprint(&c));
+    }
+
+    #[test]
+    fn stats_snapshots_are_always_mutually_consistent() {
+        // Hammer the counted paths from several threads while a reader
+        // snapshots continuously: with counters bumped under one lock,
+        // every snapshot must satisfy hits + misses + coalesced ==
+        // lookups exactly — independently loaded atomics would tear.
+        let cache = Arc::new(QueryCache::new(8));
+        let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
+        let present = CacheKey::new("sales", 1, 1, &q, 3, &EngineOptions::default());
+        cache.insert(present.clone(), Arc::new(Vec::new()));
+        let absent = CacheKey::new("sales", 1, 1, &q, 4, &EngineOptions::default());
+
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let cache = Arc::clone(&cache);
+                let stop = Arc::clone(&stop);
+                let present = present.clone();
+                let absent = absent.clone();
+                scope.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let _ = cache.get(&present);
+                        let _ = cache.get(&absent);
+                        if let Lookup::Lead(guard) = cache.lookup(&absent) {
+                            drop(guard);
+                        }
+                    }
+                });
+            }
+            let cache = Arc::clone(&cache);
+            let stop_flag = Arc::clone(&stop);
+            scope.spawn(move || {
+                for _ in 0..2000 {
+                    let s = cache.stats();
+                    assert_eq!(
+                        s.hits + s.misses + s.coalesced,
+                        s.lookups,
+                        "torn counter snapshot: {s:?}"
+                    );
+                }
+                stop_flag.store(1, Ordering::Relaxed);
+            });
+        });
+        let s = cache.stats();
+        assert!(s.lookups > 0 && s.hits > 0 && s.misses > 0);
     }
 
     #[test]
@@ -633,7 +766,7 @@ mod tests {
     fn singleflight_collapses_concurrent_identical_misses() {
         let cache = Arc::new(QueryCache::new(8));
         let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
-        let key = CacheKey::new("sales", 1, &q, 3, &EngineOptions::default());
+        let key = CacheKey::new("sales", 1, 1, &q, 3, &EngineOptions::default());
         let n = 8;
         let computations = Arc::new(AtomicU64::new(0));
 
@@ -680,7 +813,7 @@ mod tests {
     fn dropped_leader_wakes_waiters_with_failure() {
         let cache = QueryCache::new(4);
         let q = shapesearch_parser::parse_regex("[p=down]").unwrap();
-        let key = CacheKey::new("sales", 1, &q, 1, &EngineOptions::default());
+        let key = CacheKey::new("sales", 1, 1, &q, 1, &EngineOptions::default());
         let Lookup::Lead(guard) = cache.lookup(&key) else {
             panic!("first lookup must lead");
         };
@@ -698,14 +831,14 @@ mod tests {
     fn query_cache_counts_and_invalidates() {
         let cache = QueryCache::new(8);
         let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
-        let key = CacheKey::new("sales", 1, &q, 3, &EngineOptions::default());
+        let key = CacheKey::new("sales", 1, 1, &q, 3, &EngineOptions::default());
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), Arc::new(Vec::new()));
         assert!(cache.get(&key).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         // Invalidation drops every generation of the dataset.
-        let key2 = CacheKey::new("sales", 2, &q, 3, &EngineOptions::default());
+        let key2 = CacheKey::new("sales", 2, 1, &q, 3, &EngineOptions::default());
         cache.insert(key2.clone(), Arc::new(Vec::new()));
         cache.invalidate_dataset("sales", 3);
         assert!(cache.get(&key).is_none());
@@ -715,11 +848,11 @@ mod tests {
         // invalidation): they would be unreachable LRU pollution.
         cache.insert(key2, Arc::new(Vec::new()));
         assert_eq!(cache.stats().entries, 0, "stale insert must be dropped");
-        let live = CacheKey::new("sales", 3, &q, 3, &EngineOptions::default());
+        let live = CacheKey::new("sales", 3, 1, &q, 3, &EngineOptions::default());
         cache.insert(live.clone(), Arc::new(Vec::new()));
         assert!(cache.get(&live).is_some(), "live generation still inserts");
         // Other datasets are unaffected by the floor.
-        let other = CacheKey::new("genes", 1, &q, 3, &EngineOptions::default());
+        let other = CacheKey::new("genes", 1, 1, &q, 3, &EngineOptions::default());
         cache.insert(other.clone(), Arc::new(Vec::new()));
         assert!(cache.get(&other).is_some());
     }

@@ -1,33 +1,57 @@
 //! Route handlers tying the catalog, the query cache (with its
-//! singleflight latch), and the engine together behind the JSON protocol.
+//! singleflight latch), the shared compute pool, and the sharded engine
+//! together behind the JSON protocol.
 //!
 //! `POST /query` accepts a single query object or an array of them. A
 //! batch is planned per item, deduplicated through the cache's
 //! singleflight lookup (identical queries within the batch — or racing in
 //! from other requests — collapse onto one computation), and the cache
-//! misses are executed with [`shapesearch_core::ShapeEngine::top_k_batch`]
-//! grouped per `(dataset, options)` so the GROUP stage runs once per
-//! trendline for the whole batch.
+//! misses are grouped per `(dataset, options)`. Each group then fans out
+//! as **one compute-pool task per engine shard** (each task a
+//! [`shapesearch_core::ShapeEngine::top_k_batch`] pass over that shard's
+//! partition, so the GROUP stage still runs once per trendline for the
+//! whole group) and the per-shard top-k partials merge deterministically
+//! — one query can saturate every core, while a giant batch decomposes
+//! into short shard tasks that interleave fairly with other requests on
+//! the same pool.
 
 use crate::cache::{CacheKey, Lookup, QueryCache};
 use crate::catalog::{Catalog, DataSource, DatasetEntry};
+use crate::compute::ComputePool;
 use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
 use crate::protocol;
-use shapesearch_core::{EngineOptions, ShapeQuery, TopKResult};
+use shapesearch_core::{merge_shard_outcomes, EngineOptions, ShapeQuery, TopKResult};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Aggregate shard-execution gauges for `/healthz`. One mutex guards
+/// both fields, and every fan-out records them in a single critical
+/// section, so a snapshot can never be mutually inconsistent mid-update
+/// (e.g. tasks from one batch without its micros).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard tasks executed (one per shard per query group).
+    pub tasks: u64,
+    /// Total engine-side microseconds spent in shard tasks.
+    pub micros_total: u64,
+}
 
 /// Shared application state, one per server.
 pub struct AppState {
-    /// Registered datasets with their hot, immutable engines.
+    /// Registered datasets with their hot, immutable sharded engines.
     pub catalog: Catalog,
     /// Query-result LRU with singleflight request coalescing.
     pub cache: QueryCache,
+    /// The shared compute pool shard tasks fan out on (HTTP workers
+    /// submit to it and help drain it while they wait).
+    pub compute: ComputePool,
+    /// Consistent-snapshot shard gauges for `/healthz`.
+    pub shard_stats: Mutex<ShardStats>,
     /// Total queries received (each batch item counts once).
     pub queries: AtomicU64,
     /// Per-dataset engine defaults; requests may override per call.
@@ -46,19 +70,33 @@ pub struct AppState {
 }
 
 impl AppState {
-    /// Builds fresh state: an empty catalog, a cold cache of
-    /// `cache_capacity` entries, and the default batch cap
+    /// Builds fresh state: an empty catalog whose registrations default
+    /// to `shards` engine shards (0 = auto: available parallelism), a
+    /// cold cache of `cache_capacity` entries, a compute pool of
+    /// `workers` threads, and the default batch cap
     /// ([`protocol::MAX_BATCH_SIZE`]).
-    pub fn new(cache_capacity: usize, workers: usize, data_root: Option<PathBuf>) -> Self {
+    pub fn new(
+        cache_capacity: usize,
+        workers: usize,
+        data_root: Option<PathBuf>,
+        shards: usize,
+    ) -> Self {
         Self {
-            catalog: Catalog::new(),
+            catalog: Catalog::with_default_shards(shards),
             cache: QueryCache::new(cache_capacity),
+            compute: ComputePool::new(workers),
+            shard_stats: Mutex::new(ShardStats::default()),
             queries: AtomicU64::new(0),
             default_options: EngineOptions::default(),
             workers,
             max_batch: protocol::MAX_BATCH_SIZE,
             data_root,
         }
+    }
+
+    /// A consistent snapshot of the shard gauges.
+    pub fn shard_stats(&self) -> ShardStats {
+        *self.shard_stats.lock().expect("shard stats lock")
     }
 }
 
@@ -127,7 +165,14 @@ fn body_json(request: &Request) -> Result<Json, ServerError> {
 }
 
 fn healthz(state: &Arc<AppState>) -> Response {
+    // Each block is one consistent snapshot: the cache counters come
+    // from a single lock acquisition (hits + misses + coalesced ==
+    // lookups in every reply), the shard gauges from another, and the
+    // per-dataset shard totals from one pass under the catalog's read
+    // lock.
     let stats = state.cache.stats();
+    let shard_stats = state.shard_stats();
+    let dataset_shards: usize = state.catalog.list().iter().map(|e| e.shard_count).sum();
     ok(obj([
         ("status", "ok".into()),
         ("datasets", state.catalog.len().into()),
@@ -137,11 +182,22 @@ fn healthz(state: &Arc<AppState>) -> Response {
         (
             "cache",
             obj([
+                ("lookups", stats.lookups.into()),
                 ("hits", stats.hits.into()),
                 ("misses", stats.misses.into()),
                 ("coalesced", stats.coalesced.into()),
                 ("entries", stats.entries.into()),
                 ("capacity", stats.capacity.into()),
+            ]),
+        ),
+        (
+            "shards",
+            obj([
+                ("default", state.catalog.default_shards().into()),
+                ("dataset_shards", dataset_shards.into()),
+                ("compute_workers", state.compute.workers().into()),
+                ("tasks", shard_stats.tasks.into()),
+                ("micros_total", shard_stats.micros_total.into()),
             ]),
         ),
     ]))
@@ -196,7 +252,14 @@ fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, Server
         .ok_or_else(|| ServerError::not_found(format!("unknown dataset `{}`", req.dataset)))?;
     let (query_ast, notes) = protocol::parse_query(&req)?;
     let options = req.effective_options(&state.default_options);
-    let key = CacheKey::new(&entry.id, entry.generation, &query_ast, req.k, &options);
+    let key = CacheKey::new(
+        &entry.id,
+        entry.generation,
+        entry.shard_count,
+        &query_ast,
+        req.k,
+        &options,
+    );
     Ok(PlannedQuery {
         entry,
         query_ast,
@@ -208,36 +271,162 @@ fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, Server
     })
 }
 
-/// Runs one planned query on the engine, outside any singleflight.
-fn compute(planned: &PlannedQuery) -> Result<Arc<Vec<TopKResult>>, ServerError> {
-    planned
-        .entry
-        .engine
-        .top_k_with_options(&planned.query_ast, planned.k, &planned.options)
-        .map(Arc::new)
-        .map_err(|e| ServerError::bad_request(format!("query failed: {e}")))
+/// Executes one `(dataset, options)` query group over the dataset's
+/// engine shards and merges each query's per-shard top-k partials
+/// deterministically. Multi-shard datasets fan out **one compute-pool
+/// task per shard** — the submitting HTTP worker helps drain the pool
+/// while it waits, so a single query can saturate every core and large
+/// batches interleave with other requests as short shard tasks — unless
+/// `sequential` (a client's explicit `"parallel": false` CPU cap), which
+/// runs the shards inline one after another. Single-shard datasets run
+/// inline on the caller — with the options untouched, preserving the
+/// unsharded engine's exact execution profile (including its own
+/// viz-level parallelism policy), unless the client opted out, in which
+/// case the engine's auto-parallel threshold is disabled too (the cap
+/// must hold on every path).
+///
+/// This is the pool-task twin of the in-process fan-out in
+/// [`shapesearch_core::ShardedEngine::top_k_batch`] (which uses scoped
+/// threads over borrowed queries, where the server needs `'static`
+/// tasks over `Arc`s); the two must keep the same single-shard and
+/// inner-options policy.
+///
+/// Returns per-query outcomes plus the per-shard engine-side
+/// microseconds (also accumulated into the `/healthz` shard gauges).
+fn execute_on_shards(
+    state: &Arc<AppState>,
+    entry: &Arc<DatasetEntry>,
+    queries: Vec<(ShapeQuery, usize)>,
+    options: &EngineOptions,
+    sequential: bool,
+) -> (Vec<Result<Vec<TopKResult>, ServerError>>, Vec<u64>) {
+    /// One shard task: the batched engine pass over one partition, with
+    /// its engine-side time (every execution path times shards the same
+    /// way).
+    fn run_shard(
+        shard: &shapesearch_core::ShapeEngine,
+        queries: &[(ShapeQuery, usize)],
+        options: &EngineOptions,
+    ) -> ShardOutcome {
+        let started = Instant::now();
+        let items: Vec<(&ShapeQuery, usize)> = queries.iter().map(|(q, k)| (q, *k)).collect();
+        let outcome = shard.top_k_batch(&items, options);
+        (outcome, started.elapsed().as_micros() as u64)
+    }
+    type ShardOutcome = (Vec<shapesearch_core::Result<Vec<TopKResult>>>, u64);
+
+    let shards = entry.engine.shards();
+    let ks: Vec<usize> = queries.iter().map(|&(_, k)| k).collect();
+
+    let (partials, shard_micros): (Vec<_>, Vec<u64>) = if shards.len() == 1 {
+        // An explicit opt-out must also defeat the engine's internal
+        // auto-parallel threshold — a capped client gets one thread no
+        // matter the collection size.
+        let capped = EngineOptions {
+            parallel: false,
+            parallel_threshold: usize::MAX,
+            ..options.clone()
+        };
+        let effective = if sequential { &capped } else { options };
+        let (outcome, micros) = run_shard(&shards[0], &queries, effective);
+        (vec![outcome], vec![micros])
+    } else {
+        // Shard tasks are the unit of parallelism: the engine's inner
+        // viz-level parallelism is switched off rather than
+        // oversubscribing the pool's cores.
+        let inner = EngineOptions {
+            parallel: false,
+            parallel_threshold: usize::MAX,
+            ..options.clone()
+        };
+        if sequential {
+            shards
+                .iter()
+                .map(|shard| run_shard(shard, &queries, &inner))
+                .unzip()
+        } else {
+            // Pool tasks run on long-lived threads, so each owns `Arc`s
+            // of its shard and of the (shared) query list.
+            let queries = Arc::new(queries);
+            let tasks: Vec<Box<dyn FnOnce() -> ShardOutcome + Send>> = shards
+                .iter()
+                .map(|shard| {
+                    let shard = Arc::clone(shard);
+                    let queries = Arc::clone(&queries);
+                    let inner = inner.clone();
+                    Box::new(move || run_shard(&shard, &queries, &inner))
+                        as Box<dyn FnOnce() -> ShardOutcome + Send>
+                })
+                .collect();
+            state.compute.run_all(tasks).into_iter().unzip()
+        }
+    };
+
+    {
+        // One critical section per fan-out keeps the gauges mutually
+        // consistent (never tasks without their micros).
+        let mut stats = state.shard_stats.lock().expect("shard stats lock");
+        stats.tasks += shard_micros.len() as u64;
+        stats.micros_total += shard_micros.iter().sum::<u64>();
+    }
+
+    let merged = merge_shard_outcomes(partials, ks.into_iter())
+        .into_iter()
+        .map(|outcome| outcome.map_err(|e| ServerError::bad_request(format!("query failed: {e}"))))
+        .collect();
+    (merged, shard_micros)
+}
+
+/// Runs one planned query on the engine (all shards), outside any
+/// singleflight. Returns the merged results plus per-shard micros.
+fn compute(
+    state: &Arc<AppState>,
+    planned: &PlannedQuery,
+) -> Result<(Arc<Vec<TopKResult>>, Vec<u64>), ServerError> {
+    let (mut outcomes, shard_micros) = execute_on_shards(
+        state,
+        &planned.entry,
+        vec![(planned.query_ast.clone(), planned.k)],
+        &planned.options,
+        planned.parallel_opt_out,
+    );
+    outcomes
+        .pop()
+        .expect("one outcome per query")
+        .map(|results| (Arc::new(results), shard_micros))
 }
 
 /// The per-query response body (shared between the single and batch
 /// forms; only the single form carries `micros` — a batch reports one
-/// wall-clock figure for the whole request instead).
+/// wall-clock figure for the whole request instead). `shard_micros`
+/// carries the per-shard engine time of the computation this response
+/// came from, so it is present only when this very request did the
+/// computing (absent on cache hits and coalesced waits).
 fn query_response(
     planned: &PlannedQuery,
     results: &[TopKResult],
     cached: bool,
     coalesced: bool,
     micros: Option<u64>,
+    shard_micros: Option<&[u64]>,
 ) -> Json {
     let mut fields = vec![
         ("dataset", Json::Str(planned.entry.id.clone())),
         ("query", Json::Str(planned.query_ast.to_string())),
         ("k", planned.k.into()),
         ("algo", planned.options.segmenter.name().into()),
+        ("shards", planned.entry.shard_count.into()),
         ("cached", cached.into()),
         ("coalesced", coalesced.into()),
     ];
     if let Some(micros) = micros {
         fields.push(("micros", micros.into()));
+    }
+    if let Some(shard_micros) = shard_micros {
+        fields.push((
+            "shard_micros",
+            Json::Arr(shard_micros.iter().map(|&m| m.into()).collect()),
+        ));
     }
     fields.push(("results", protocol::results_to_json(results)));
     if !planned.notes.is_empty() {
@@ -249,21 +438,22 @@ fn query_response(
     obj(fields)
 }
 
+/// `(results, cached, coalesced, shard_micros)` of one resolved query;
+/// the per-shard timings exist only when this caller led the computation
+/// itself.
+type Resolved = (Arc<Vec<TopKResult>>, bool, bool, Option<Vec<u64>>);
+
 /// Resolves one planned query through the singleflight cache, blocking
 /// as long as it takes. When a foreign leader fails, the waiters retry
 /// the lookup — the next one elects itself leader (a fresh, *counted*
 /// miss) and the rest re-coalesce onto it — so every engine computation
-/// shows up as exactly one `misses` tick, even on error paths. Returns
-/// `(results, cached, coalesced)`.
-fn resolve_query(
-    state: &Arc<AppState>,
-    planned: &PlannedQuery,
-) -> Result<(Arc<Vec<TopKResult>>, bool, bool), ServerError> {
+/// shows up as exactly one `misses` tick, even on error paths.
+fn resolve_query(state: &Arc<AppState>, planned: &PlannedQuery) -> Result<Resolved, ServerError> {
     loop {
         match state.cache.lookup(&planned.key) {
-            Lookup::Hit(v) => return Ok((v, true, false)),
+            Lookup::Hit(v) => return Ok((v, true, false, None)),
             Lookup::Pending(waiter) => match waiter.wait() {
-                Some(v) => return Ok((v, true, true)),
+                Some(v) => return Ok((v, true, true, None)),
                 // Leader failed: its flight is gone; loop to contend for
                 // the vacated key (engine errors are deterministic, so
                 // whoever wins next will surface the same error).
@@ -272,9 +462,9 @@ fn resolve_query(
             Lookup::Lead(guard) => {
                 // `?` drops the guard on error, publishing the failure so
                 // coalesced waiters wake instead of deadlocking.
-                let v = compute(planned)?;
+                let (v, shard_micros) = compute(state, planned)?;
                 guard.complete(Arc::clone(&v));
-                return Ok((v, false, false));
+                return Ok((v, false, false, Some(shard_micros)));
             }
         }
     }
@@ -292,7 +482,7 @@ fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerErr
     let planned = plan_query(state, &body)?;
 
     let started = Instant::now();
-    let (results, cached, coalesced) = resolve_query(state, &planned)?;
+    let (results, cached, coalesced, shard_micros) = resolve_query(state, &planned)?;
     let micros = started.elapsed().as_micros() as u64;
 
     Ok(ok(query_response(
@@ -301,6 +491,7 @@ fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerErr
         cached,
         coalesced,
         Some(micros),
+        shard_micros.as_deref(),
     )))
 }
 
@@ -387,10 +578,10 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
         }
     }
     for indices in groups.into_values() {
-        let specs: Vec<(&ShapeQuery, usize)> = indices
+        let specs: Vec<(ShapeQuery, usize)> = indices
             .iter()
             .map(|&i| match &progress[i] {
-                ItemProgress::Leading(planned, _) => (&planned.query_ast, planned.k),
+                ItemProgress::Leading(planned, _) => (planned.query_ast.clone(), planned.k),
                 _ => unreachable!("group members are leads"),
             })
             .collect();
@@ -400,14 +591,15 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
             }
             _ => unreachable!("group members are leads"),
         };
-        // Batch execution policy: a group carrying several queries gets
+        // Batch execution policy: a group's work is parallel by default —
+        // multi-shard datasets fan their shard tasks across the compute
+        // pool, and a single-shard group carrying several queries gets
         // the engine's viz-level parallelism on top of the shared GROUP
-        // pass — one batched request may use the cores a sequential
-        // client would have left idle. Scores are scheduling-invariant
-        // (`parallel` is excluded from the cache fingerprint for the same
-        // reason), so results stay byte-identical to sequential runs. An
-        // explicit `"parallel": false` on any group member is an opt-out
-        // (a client capping its CPU footprint) and wins over the default.
+        // pass. Scores are scheduling-invariant (`parallel` is excluded
+        // from the cache fingerprint for the same reason), so results
+        // stay byte-identical to sequential runs. An explicit
+        // `"parallel": false` on any group member is an opt-out (a
+        // client capping its CPU footprint) and wins over the default.
         let opted_out = indices
             .iter()
             .any(|&i| matches!(&progress[i], ItemProgress::Leading(p, _) if p.parallel_opt_out));
@@ -416,7 +608,8 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
         } else if specs.len() > 1 {
             options.parallel = true;
         }
-        let outcomes = entry.engine.top_k_batch(&specs, &options);
+        let (outcomes, _shard_micros) =
+            execute_on_shards(state, &entry, specs, &options, opted_out);
         for (&i, outcome) in indices.iter().zip(outcomes) {
             let ItemProgress::Leading(planned, guard) = std::mem::replace(
                 &mut progress[i],
@@ -439,7 +632,7 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
                     // Dropping the guard publishes the failure and frees
                     // the key for the next attempt.
                     drop(guard);
-                    ItemProgress::Failed(ServerError::bad_request(format!("query failed: {e}")))
+                    ItemProgress::Failed(e)
                 }
             };
         }
@@ -469,7 +662,7 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
             // Leader failed: re-contend through the singleflight so the
             // retry is a counted miss (or re-coalesces onto whoever wins).
             None => match resolve_query(state, &planned) {
-                Ok((value, cached, coalesced)) => ItemProgress::Ready {
+                Ok((value, cached, coalesced, _shard_micros)) => ItemProgress::Ready {
                     planned,
                     value,
                     cached,
@@ -489,7 +682,7 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
                 value,
                 cached,
                 coalesced,
-            } => query_response(planned, value, *cached, *coalesced, None),
+            } => query_response(planned, value, *cached, *coalesced, None, None),
             ItemProgress::Failed(e) => obj([
                 ("error", e.message.as_str().into()),
                 ("status", u64::from(e.status).into()),
@@ -513,7 +706,7 @@ mod tests {
     const CSV: &str = "z,x,y\\na,1,1\\na,2,3\\na,3,1\\nb,1,3\\nb,2,2\\nb,3,1\\n";
 
     fn state() -> Arc<AppState> {
-        Arc::new(AppState::new(16, 2, None))
+        Arc::new(AppState::new(16, 2, None, 1))
     }
 
     fn post(path: &str, body: &str) -> Request {
@@ -592,7 +785,7 @@ mod tests {
         assert!(resp.body.contains("disabled"), "{}", resp.body);
 
         // With a data root: inside is allowed, escapes are not.
-        let open = Arc::new(AppState::new(16, 2, Some(dir.clone())));
+        let open = Arc::new(AppState::new(16, 2, Some(dir.clone()), 1));
         let resp = route(&open, &post("/datasets", &body(&inside)));
         assert_eq!(resp.status, 201, "{}", resp.body);
         let escape = dir.join("..").join("outside.csv");
@@ -611,7 +804,14 @@ mod tests {
         register(&state);
         let old = state.catalog.get("t1").unwrap();
         let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
-        let old_key = CacheKey::new(&old.id, old.generation, &q, 1, &state.default_options);
+        let old_key = CacheKey::new(
+            &old.id,
+            old.generation,
+            old.shard_count,
+            &q,
+            1,
+            &state.default_options,
+        );
         // Re-register (bumps the generation), then emulate a slow
         // in-flight query against the OLD engine finishing late and
         // inserting its stale results.
@@ -761,7 +961,7 @@ mod tests {
 
     #[test]
     fn oversized_batch_gets_structured_400() {
-        let mut raw = AppState::new(16, 2, None);
+        let mut raw = AppState::new(16, 2, None, 1);
         raw.max_batch = 3;
         let state = Arc::new(raw);
         register(&state);
@@ -833,5 +1033,108 @@ mod tests {
         let resp = route(&state, &post("/query", q));
         assert_eq!(resp.status, 200, "{}", resp.body);
         assert!(resp.body.contains("\"results\""), "{}", resp.body);
+    }
+
+    fn register_sharded(state: &Arc<AppState>, id: &str, shards: usize) {
+        let body = format!(
+            r#"{{"name":"t","id":"{id}","csv":"{CSV}","z":"z","x":"x","y":"y","shards":{shards}}}"#
+        );
+        let resp = route(state, &post("/datasets", &body));
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        let parsed = json::parse(&resp.body).unwrap();
+        assert_eq!(parsed.get("shards").unwrap().as_usize(), Some(shards));
+    }
+
+    #[test]
+    fn sharded_execution_reports_and_matches_single_shard() {
+        let state = state();
+        register_sharded(&state, "one", 1);
+        register_sharded(&state, "two", 2);
+
+        let q = |ds: &str| format!(r#"{{"dataset":"{ds}","query":"[p=up][p=down]","k":2}}"#);
+        let single = route(&state, &post("/query", &q("one")));
+        let sharded = route(&state, &post("/query", &q("two")));
+        assert_eq!(single.status, 200, "{}", single.body);
+        assert_eq!(sharded.status, 200, "{}", sharded.body);
+
+        let single = json::parse(&single.body).unwrap();
+        let sharded = json::parse(&sharded.body).unwrap();
+        // Identical answers, shard count reported, per-shard timings on
+        // the computing response.
+        assert_eq!(
+            single.get("results").unwrap().to_text(),
+            sharded.get("results").unwrap().to_text(),
+            "sharded execution must be result-identical"
+        );
+        assert_eq!(sharded.get("shards").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            sharded
+                .get("shard_micros")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2,
+            "one timing per shard"
+        );
+
+        // A cache hit reports shards but no per-shard timing (it did no
+        // shard work).
+        let warm = route(&state, &post("/query", &q("two")));
+        let warm = json::parse(&warm.body).unwrap();
+        assert_eq!(warm.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(warm.get("shards").unwrap().as_usize(), Some(2));
+        assert!(warm.get("shard_micros").is_none());
+
+        // Batches over a sharded dataset match too.
+        let batch = route(
+            &state,
+            &post("/query", &format!("[{},{}]", q("one"), q("two"))),
+        );
+        let batch = json::parse(&batch.body).unwrap();
+        let responses = batch.get("responses").unwrap().as_array().unwrap();
+        assert_eq!(
+            responses[0].get("results").unwrap().to_text(),
+            responses[1].get("results").unwrap().to_text()
+        );
+
+        // Healthz: shard gauges under one snapshot, per-dataset totals.
+        let health = route(&state, &get("/healthz"));
+        let parsed = json::parse(&health.body).unwrap();
+        let shards = parsed.get("shards").unwrap();
+        assert_eq!(shards.get("dataset_shards").unwrap().as_usize(), Some(3));
+        assert_eq!(shards.get("compute_workers").unwrap().as_usize(), Some(2));
+        // one single-shard task + two shard tasks (the warm hit did none).
+        assert!(shards.get("tasks").unwrap().as_usize().unwrap() >= 3);
+        let cache = parsed.get("cache").unwrap();
+        let lookups = cache.get("lookups").unwrap().as_usize().unwrap();
+        let sum = cache.get("hits").unwrap().as_usize().unwrap()
+            + cache.get("misses").unwrap().as_usize().unwrap()
+            + cache.get("coalesced").unwrap().as_usize().unwrap();
+        assert_eq!(lookups, sum, "{}", health.body);
+    }
+
+    #[test]
+    fn reregistering_with_new_shard_count_recomputes() {
+        let state = state();
+        register_sharded(&state, "ds", 1);
+        let q = r#"{"dataset":"ds","query":"[p=up]","k":1}"#;
+        let cold = route(&state, &post("/query", q));
+        assert!(cold.body.contains("\"cached\":false"), "{}", cold.body);
+        let warm = route(&state, &post("/query", q));
+        assert!(warm.body.contains("\"cached\":true"), "{}", warm.body);
+
+        // Same id, new shard count: the cached result must not survive.
+        register_sharded(&state, "ds", 2);
+        let after = route(&state, &post("/query", q));
+        assert!(after.body.contains("\"cached\":false"), "{}", after.body);
+        assert!(after.body.contains("\"shards\":2"), "{}", after.body);
+        // And the recomputed answer matches the pre-reshard one.
+        let before = json::parse(&cold.body).unwrap();
+        let after = json::parse(&after.body).unwrap();
+        assert_eq!(
+            before.get("results").unwrap().to_text(),
+            after.get("results").unwrap().to_text()
+        );
     }
 }

@@ -13,16 +13,24 @@
 //! ```text
 //!        TcpListener ──► worker pool (http) ──► route (handlers)
 //!                                                   │
-//!                    ┌──────────────┬───────────────┤
-//!                    ▼              ▼               ▼
-//!              Catalog (catalog)  QueryCache    protocol/json
-//!                    │            (cache: LRU +
-//!                    ▼             singleflight)
-//!          Arc<DatasetEntry> { ShapeEngine, VisualSpec, … }
+//!                    ┌──────────────┬───────────────┼──────────────┐
+//!                    ▼              ▼               ▼              ▼
+//!              Catalog (catalog)  QueryCache    protocol/json  ComputePool
+//!                    │            (cache: LRU +                (compute:
+//!                    ▼             singleflight)                shard tasks)
+//!          Arc<DatasetEntry> { ShardedEngine, VisualSpec, … }
+//!                    │
+//!                    ▼
+//!          shards: [Arc<ShapeEngine>; N]  ── fan out per query, merge
 //! ```
 //!
-//! * Registration (`POST /datasets`) runs EXTRACT eagerly; queries never
+//! * Registration (`POST /datasets`) runs EXTRACT eagerly and partitions
+//!   the trendlines into size-balanced engine shards; queries never
 //!   touch raw tables.
+//! * Every computation fans out as one compute-pool task per shard and
+//!   merges the per-shard top-k partials deterministically — results are
+//!   byte-identical for every shard count, one query can use every core,
+//!   and large batches interleave fairly with other requests.
 //! * `POST /query` accepts one query object **or an array of them**
 //!   (regex or natural-language, any segmentation algorithm, per-request
 //!   engine overrides). A batch is deduplicated through the singleflight
@@ -71,6 +79,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod client;
+pub mod compute;
 pub mod error;
 pub mod handlers;
 pub mod http;
@@ -99,6 +108,13 @@ pub struct ServerConfig {
     /// (defaults to [`protocol::MAX_BATCH_SIZE`]); oversized batches get
     /// a structured `batch_too_large` 400.
     pub max_batch: usize,
+    /// Engine shards per registered dataset, unless a registration pins
+    /// its own count. `0` (the default) means auto: the machine's
+    /// available parallelism. Always capped by each dataset's collection
+    /// size. Sharded execution returns results identical to `1` for
+    /// every value — this knob trades registration-time partitioning for
+    /// query-time fan-out across the compute pool.
+    pub shards: usize,
     /// Directory that `POST /datasets` `path` sources must live under;
     /// `None` (the default) disables path registration over HTTP so
     /// remote clients cannot read arbitrary server-local files.
@@ -113,6 +129,7 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             cache_capacity: 256,
             max_batch: protocol::MAX_BATCH_SIZE,
+            shards: 0,
             data_root: None,
         }
     }
@@ -154,6 +171,7 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
         config.cache_capacity,
         config.workers,
         config.data_root.clone(),
+        config.shards,
     );
     state.max_batch = config.max_batch.max(1);
     let state = Arc::new(state);

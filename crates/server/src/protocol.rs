@@ -4,21 +4,24 @@
 //! ```text
 //! POST /datasets  {"name", "id"?, "csv"|"jsonl"|"path", "z", "x", "y",
 //!                  "filters"?: [{"column","op","value"}], "agg"?,
-//!                  "builtins"?: bool}
+//!                  "builtins"?: bool, "shards"?: n}
 //! GET  /datasets  → {"datasets":[{"id","name","z","x","y",
-//!                  "trendlines","points"}]}
+//!                  "trendlines","points","shards"}]}
 //! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
 //!                  "pushdown"?, "parallel"?}
 //!              or [ {…}, {…}, … ]       (a batch of up to the server's
 //!                                        max batch size, default
 //!                                        MAX_BATCH_SIZE)
-//!              → single: {"dataset","query","k","algo","cached",
-//!                         "coalesced","micros","results",…}
+//!              → single: {"dataset","query","k","algo","shards","cached",
+//!                         "coalesced","micros","shard_micros"?,
+//!                         "results",…}
 //!              → batch:  {"batch": n, "micros": total,
 //!                         "responses": [per-query objects or
 //!                                       {"error","status"}]}
 //! GET  /healthz   → {"status","datasets","queries",
-//!                    "cache":{"hits","misses","coalesced",…}}
+//!                    "cache":{"lookups","hits","misses","coalesced",…},
+//!                    "shards":{"default","dataset_shards",
+//!                              "compute_workers","tasks","micros_total"}}
 //! ```
 //!
 //! Oversized batches are refused with a *structured* 400 so clients can
@@ -87,6 +90,7 @@ pub fn dataset_spec_from_json(body: &Json) -> Result<DatasetSpec, ServerError> {
         source,
         visual,
         builtins: body.get("builtins").and_then(Json::as_bool).unwrap_or(true),
+        shards: body.get("shards").and_then(Json::as_usize),
     })
 }
 
@@ -222,6 +226,7 @@ pub fn dataset_to_json(entry: &DatasetEntry) -> Json {
         ("y", entry.visual.y.as_str().into()),
         ("trendlines", entry.trendline_count.into()),
         ("points", entry.point_count.into()),
+        ("shards", entry.shard_count.into()),
     ])
 }
 

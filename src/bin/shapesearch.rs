@@ -8,7 +8,8 @@
 //! shapesearch --data genes.csv -z gene -x time -y expr \
 //!             --nl "rising then falling sharply"
 //! shapesearch serve [--addr 127.0.0.1:7878] [--workers N] [--cache-cap N] \
-//!             [--max-batch N] [--data FILE --z COL --x COL --y COL [--name NAME]]
+//!             [--max-batch N] [--shards N] \
+//!             [--data FILE --z COL --x COL --y COL [--name NAME]]
 //! ```
 //!
 //! One-shot mode prints the ranked matches with scores and the fitted
@@ -41,7 +42,7 @@ fn usage() -> &'static str {
      (--query REGEX | --nl TEXT) [--k N] [--algo dp|tree|pruned|greedy|dtw|euclid] \
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
      shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
-     [--data-root DIR] \
+     [--shards N] [--data-root DIR] \
      [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...]]"
 }
 
@@ -150,6 +151,14 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     return Err("--max-batch must be at least 1".to_owned());
                 }
             }
+            "--shards" => {
+                // Engine shards per dataset: 0 = auto (available
+                // parallelism), always capped by each dataset's
+                // collection size.
+                config.shards = take("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be an integer".to_owned())?;
+            }
             "--data-root" => config.data_root = Some(take("--data-root")?.into()),
             "--data" => data = Some(take("--data")?),
             "--name" => name = Some(take("--name")?),
@@ -189,11 +198,16 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 source: DataSource::Path(path),
                 visual,
                 builtins: true,
+                shards: None,
             })
             .map_err(|e| e.to_string())?;
         println!(
-            "registered dataset `{}` ({} trendlines, {} points)",
-            entry.id, entry.trendline_count, entry.point_count
+            "registered dataset `{}` ({} trendlines, {} points, {} shard{})",
+            entry.id,
+            entry.trendline_count,
+            entry.point_count,
+            entry.shard_count,
+            if entry.shard_count == 1 { "" } else { "s" }
         );
     }
 

@@ -62,7 +62,7 @@ pub use shapesearch_similarity as similarity;
 pub mod prelude {
     pub use shapesearch_core::{
         Pattern, ScoreParams, Segmenter, SegmenterKind, ShapeEngine, ShapeQuery, ShapeSegment,
-        TopKResult,
+        ShardedEngine, TopKResult,
     };
     pub use shapesearch_datastore::{
         Aggregation, CompareOp, Predicate, Table, Trendline, VisualSpec,

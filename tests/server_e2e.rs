@@ -35,20 +35,33 @@ fn market_table() -> Table {
 }
 
 fn register_market(client: &Client) {
+    register_market_sharded(client, None);
+}
+
+/// Registers the market dataset, optionally pinning an engine shard
+/// count (None = the server's default).
+fn register_market_sharded(client: &Client, shards: Option<usize>) {
     let table = market_table();
-    let body = json::Json::Obj(vec![
+    let mut fields = vec![
         ("name".into(), "market".into()),
         ("id".into(), "market".into()),
         ("csv".into(), csv::write_str(&table).into()),
         ("z".into(), "ticker".into()),
         ("x".into(), "day".into()),
         ("y".into(), "price".into()),
-    ]);
+    ];
+    if let Some(shards) = shards {
+        fields.push(("shards".into(), shards.into()));
+    }
+    let body = json::Json::Obj(fields);
     let reply = client
         .post("/datasets", &body)
         .unwrap()
         .expect_ok("register");
     assert_eq!(reply.get("trendlines").unwrap().as_usize(), Some(48));
+    if let Some(shards) = shards {
+        assert_eq!(reply.get("shards").unwrap().as_usize(), Some(shards));
+    }
 }
 
 /// Decodes a `/query` response's `results` array into `TopKResult`s.
@@ -407,6 +420,102 @@ fn batch_matches_sequential_and_is_faster() {
     assert!(
         best_batch < best_sequential,
         "a 10-query batch should beat 10 sequential requests: batch {best_batch:?} vs sequential {best_sequential:?}"
+    );
+
+    service.shutdown();
+}
+
+/// Sharded execution end to end: a server whose datasets default to 4
+/// engine shards (fanned per query across the compute pool) returns
+/// exactly the answers of the unsharded in-process engine, and the
+/// envelope + health endpoint report the shard structure.
+#[test]
+fn sharded_server_matches_in_process_engine() {
+    let service = shapesearch::server::serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            shards: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let client = Client::new(service.addr());
+    register_market(&client);
+
+    // The default shard count applied: the registration got 4 shards.
+    let listing = client.get("/datasets").unwrap().expect_ok("list");
+    let datasets = listing.get("datasets").unwrap().as_array().unwrap();
+    assert_eq!(datasets[0].get("shards").unwrap().as_usize(), Some(4));
+
+    // Reference: the plain unsharded engine over the same table.
+    let table = market_table();
+    let spec = VisualSpec::new("ticker", "day", "price");
+    let engine = ShapeEngine::new(&table, &spec).unwrap();
+    for (q, k) in [("[p=up][p=down]", 10), ("[p=down][p=flat][p=up]", 48)] {
+        let want = engine.top_k(&parse_regex(q).unwrap(), k).unwrap();
+        let reply = client
+            .post("/query", &query_body(q, k))
+            .unwrap()
+            .expect_ok(&format!("sharded {q}"));
+        assert_eq!(decode_results(&reply), want, "sharded run diverged on {q}");
+        assert_eq!(reply.get("shards").unwrap().as_usize(), Some(4));
+        assert_eq!(
+            reply
+                .get("shard_micros")
+                .expect("cold responses carry per-shard timings")
+                .as_array()
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+
+    // Health reports the shard gauges consistently.
+    let health = client.get("/healthz").unwrap().expect_ok("healthz");
+    let shards = health.get("shards").unwrap();
+    assert_eq!(shards.get("default").unwrap().as_usize(), Some(4));
+    assert_eq!(shards.get("dataset_shards").unwrap().as_usize(), Some(4));
+    assert!(shards.get("tasks").unwrap().as_usize().unwrap() >= 8);
+    let cache = health.get("cache").unwrap();
+    assert_eq!(
+        cache.get("lookups").unwrap().as_usize().unwrap(),
+        cache.get("hits").unwrap().as_usize().unwrap()
+            + cache.get("misses").unwrap().as_usize().unwrap()
+            + cache.get("coalesced").unwrap().as_usize().unwrap()
+    );
+
+    service.shutdown();
+}
+
+/// Re-registering a dataset under a new shard count must invalidate its
+/// cached results (the key carries generation *and* shard count), while
+/// the recomputed answers stay identical — sharding never changes
+/// results.
+#[test]
+fn reregistration_under_new_shard_count_invalidates_cache() {
+    let service = shapesearch::server::serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::new(service.addr());
+    register_market_sharded(&client, Some(1));
+
+    let body = query_body("[p=up][p=down]", 6);
+    let cold = client.post("/query", &body).unwrap().expect_ok("cold");
+    assert_eq!(cold.get("cached").unwrap().as_bool(), Some(false));
+    let warm = client.post("/query", &body).unwrap().expect_ok("warm");
+    assert_eq!(warm.get("cached").unwrap().as_bool(), Some(true));
+
+    register_market_sharded(&client, Some(3));
+    let fresh = client.post("/query", &body).unwrap().expect_ok("fresh");
+    assert_eq!(
+        fresh.get("cached").unwrap().as_bool(),
+        Some(false),
+        "new shard layout must recompute, not serve the old entry"
+    );
+    assert_eq!(fresh.get("shards").unwrap().as_usize(), Some(3));
+    assert_eq!(
+        decode_results(&fresh),
+        decode_results(&cold),
+        "resharding must not change answers"
     );
 
     service.shutdown();
