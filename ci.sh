@@ -1,7 +1,67 @@
 #!/usr/bin/env sh
 # Tier-1 verification gate. Run from the repository root; any failure
-# aborts the script with a nonzero exit.
+# aborts the script with a nonzero exit. `.github/workflows/ci.yml` runs
+# this same script on every push/PR, so the gate is enforced, not
+# conventional.
 set -eu
+
+# ---------------------------------------------------------------------
+# Process / tempfile hygiene: every server the smoke steps boot records
+# its PID in CI_PIDS and every scratch file lands in CI_TMP, and ONE
+# trap cleans all of it up on any exit — success, failed assertion, or
+# signal. (Previously a failed assertion between `kill` and `trap -`
+# leaked the reply file, and a multi-server smoke would have orphaned
+# the other processes.)
+CI_PIDS=""
+CI_TMP=""
+cleanup() {
+    for pid in $CI_PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for f in $CI_TMP; do
+        rm -f "$f"
+    done
+}
+trap cleanup EXIT INT TERM
+
+# start_serve EXTRA_ARGS... — boots `shapesearch serve` on an
+# OS-assigned ephemeral port (`--addr 127.0.0.1:0`) and reads the bound
+# port back from the server's own "listening on" line. Letting the
+# kernel pick the port removes the bind-collision class outright (the
+# previous fixed `$$`-derived port raced concurrent CI runs and stale
+# servers — worse, a stale server on the chosen port would pass the
+# health probe and silently receive the smoke's queries); the outer
+# retry loop still covers transient boot failures. Prints "PID PORT" on
+# success. The caller appends the PID to CI_PIDS. (Runs in a command
+# substitution — a subshell — so it must not mutate parent state.)
+start_serve() {
+    for attempt in 1 2 3; do
+        log=$(mktemp "/tmp/ci_serve_$$_XXXXXX.log")
+        ./target/release/shapesearch serve --addr "127.0.0.1:0" "$@" \
+            >"$log" 2>&1 &
+        pid=$!
+        for _ in $(seq 1 100); do
+            port=$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9][0-9]*\).*#\1#p' "$log")
+            if [ -n "$port" ]; then
+                # The port is bound and (any --data preload) registered:
+                # the listening line prints after both.
+                echo "$pid $port"
+                rm -f "$log"
+                return 0
+            fi
+            if ! kill -0 "$pid" 2>/dev/null; then
+                break # died during boot: retry
+            fi
+            sleep 0.1
+        done
+        echo "ci: serve boot attempt $attempt failed; log:" >&2
+        cat "$log" >&2
+        rm -f "$log"
+        kill "$pid" 2>/dev/null || true
+    done
+    echo "ci: could not boot a server after 3 attempts" >&2
+    return 1
+}
 
 echo "==> cargo build --release"
 cargo build --release
@@ -21,36 +81,25 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 echo "==> sharded serve smoke (--shards 4, HTTP batch query)"
 # Guards the whole fan-out path end to end: CLI flag -> catalog default
 # -> shard partitioning -> compute-pool fan-out -> merge -> JSON reply.
-SMOKE_PORT=$((20000 + $$ % 20000))
-./target/release/shapesearch serve --addr "127.0.0.1:$SMOKE_PORT" --shards 4 \
+set -- $(start_serve --shards 4 \
     --data examples/data/sales.csv --name sales \
-    --z product --x week --y sales &
-SMOKE_PID=$!
-trap 'kill "$SMOKE_PID" 2>/dev/null || true' EXIT
-
-up=""
-for _ in $(seq 1 50); do
-    if curl -sf "http://127.0.0.1:$SMOKE_PORT/healthz" >/dev/null 2>&1; then
-        up=1
-        break
-    fi
-    sleep 0.1
-done
-[ -n "$up" ] || { echo "smoke: server never came up"; exit 1; }
+    --z product --x week --y sales)
+SMOKE_PID=$1 SMOKE_PORT=$2
+CI_PIDS="$CI_PIDS $SMOKE_PID"
 
 # The registration got the configured 4 shards.
 curl -sf "http://127.0.0.1:$SMOKE_PORT/datasets" | grep -q '"shards":4' || {
     echo "smoke: dataset did not register with 4 shards"; exit 1;
 }
 
-# Per-run reply file: like SMOKE_PORT, $$ keeps concurrent ci.sh runs
-# on one machine from clobbering each other.
-SMOKE_REPLY="/tmp/smoke_batch_$$.json"
+SMOKE_REPLY="/tmp/ci_smoke_batch_$$.json"
+CI_TMP="$CI_TMP $SMOKE_REPLY"
+BATCH_BODY='[
+  {"dataset":"sales","query":"[p=up][p=down]","k":3},
+  {"dataset":"sales","query":"[p=down][p=up]","k":3}
+]'
 BATCH_STATUS=$(curl -s -o "$SMOKE_REPLY" -w '%{http_code}' \
-    -X POST "http://127.0.0.1:$SMOKE_PORT/query" -d '[
-      {"dataset":"sales","query":"[p=up][p=down]","k":3},
-      {"dataset":"sales","query":"[p=down][p=up]","k":3}
-    ]')
+    -X POST "http://127.0.0.1:$SMOKE_PORT/query" -d "$BATCH_BODY")
 [ "$BATCH_STATUS" = "200" ] || {
     echo "smoke: batch query returned $BATCH_STATUS"
     cat "$SMOKE_REPLY"; exit 1;
@@ -64,10 +113,84 @@ grep -q '"shards":4' "$SMOKE_REPLY" || {
     echo "smoke: batch reply did not report sharded execution"
     cat "$SMOKE_REPLY"; exit 1;
 }
-
-kill "$SMOKE_PID" 2>/dev/null || true
-trap - EXIT
-rm -f "$SMOKE_REPLY"
 echo "smoke: sharded serve OK"
+
+echo "==> distributed serve smoke (2 shard servers + mixed-placement router, byte diff)"
+# The multi-machine topology end to end: two --shard-of shard servers
+# own partitions 0 and 1 of a 4-way split, a router places those two
+# shards remotely and the other two locally, and the router's batch
+# reply must be BYTE-IDENTICAL to the single-process --shards 4 reply
+# (after stripping the envelope's wall-clock "micros", the one
+# legitimately nondeterministic field).
+set -- $(start_serve --workers 4 --shard-of 0/4 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+SHARD0_PID=$1 SHARD0_PORT=$2
+CI_PIDS="$CI_PIDS $SHARD0_PID"
+set -- $(start_serve --workers 4 --shard-of 1/4 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+SHARD1_PID=$1 SHARD1_PORT=$2
+CI_PIDS="$CI_PIDS $SHARD1_PID"
+set -- $(start_serve --workers 4 --shards 4 \
+    --shard-endpoint "127.0.0.1:$SHARD0_PORT" \
+    --shard-endpoint "127.0.0.1:$SHARD1_PORT" \
+    --shard-endpoint local --shard-endpoint local \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+ROUTER_PID=$1 ROUTER_PORT=$2
+CI_PIDS="$CI_PIDS $ROUTER_PID"
+
+ROUTER_REPLY="/tmp/ci_router_batch_$$.json"
+SINGLE_REPLY="/tmp/ci_single_batch_$$.json"
+CI_TMP="$CI_TMP $ROUTER_REPLY $SINGLE_REPLY"
+# Fresh queries (cold on BOTH servers — the first smoke already warmed
+# BATCH_BODY on the single-process server, and a hit's "cached":true
+# would trivially break the byte diff).
+DIFF_BODY='[
+  {"dataset":"sales","query":"[p=up][p=down]","k":4},
+  {"dataset":"sales","query":"[p=down][p=up][p=down]","k":6},
+  {"dataset":"sales","query":"[p=up]","k":2}
+]'
+for target in "router 127.0.0.1:$ROUTER_PORT $ROUTER_REPLY" \
+              "single 127.0.0.1:$SMOKE_PORT $SINGLE_REPLY"; do
+    set -- $target
+    status=$(curl -s -o "$3.raw" -w '%{http_code}' \
+        -X POST "http://$2/query" -d "$DIFF_BODY")
+    CI_TMP="$CI_TMP $3.raw"
+    [ "$status" = "200" ] || {
+        echo "distributed smoke: $1 batch returned $status"
+        cat "$3.raw"; exit 1;
+    }
+    # Strip the envelope's wall-clock micros; everything else —
+    # results, scores, ranges, tie order, shard counts, cache flags —
+    # must match byte for byte.
+    sed 's/"micros":[0-9]*,//' "$3.raw" > "$3"
+done
+cmp "$ROUTER_REPLY" "$SINGLE_REPLY" || {
+    echo "distributed smoke: router and single-process replies diverged"
+    echo "--- router:"; cat "$ROUTER_REPLY"
+    echo "--- single-process:"; cat "$SINGLE_REPLY"
+    exit 1
+}
+grep -q '"key":' "$ROUTER_REPLY" || {
+    echo "distributed smoke: router reply carried no results"
+    cat "$ROUTER_REPLY"; exit 1;
+}
+# The router really did go over the wire: its healthz names both
+# endpoints with zero errors.
+ROUTER_HEALTH=$(curl -sf "http://127.0.0.1:$ROUTER_PORT/healthz")
+echo "$ROUTER_HEALTH" | grep -q "\"endpoint\":\"127.0.0.1:$SHARD0_PORT\"" || {
+    echo "distributed smoke: router healthz missing shard 0 endpoint"
+    echo "$ROUTER_HEALTH"; exit 1;
+}
+# Anchor on the remote_shards TOTALS block — a bare '"errors":0' would
+# match any zero anywhere (e.g. one healthy endpoint in by_endpoint)
+# and miss a partially erroring topology.
+echo "$ROUTER_HEALTH" | grep -Eq '"remote_shards":\{"endpoints":[0-9]+,"requests":[0-9]+,"errors":0,' || {
+    echo "distributed smoke: router reported remote errors"
+    echo "$ROUTER_HEALTH"; exit 1;
+}
+echo "smoke: distributed topology OK (router == single-process, byte for byte)"
 
 echo "ci: all green"

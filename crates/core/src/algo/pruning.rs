@@ -24,7 +24,7 @@ use crate::eval::{Evaluator, UdpRegistry};
 use crate::score::{score_down, score_flat, score_theta, score_up, ScoreParams};
 
 /// Configuration of the two-stage pruning driver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PruningConfig {
     /// Stage-1 sample size.
     pub sample_size: usize,

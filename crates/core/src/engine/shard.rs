@@ -49,6 +49,62 @@ impl ShardedEngine {
         Ok(Self::from_trendlines(trendlines, shard_count))
     }
 
+    /// Builds an engine over **one partition** of the collection: runs
+    /// EXTRACT, computes the same deterministic partition bounds a full
+    /// `shard_count`-way [`Self::new`] would, and keeps only shard
+    /// `index` (with its global `base_index` preserved). This is the
+    /// shard-server constructor for multi-machine sharding: a process
+    /// that loads the same source with the same visual spec and the same
+    /// `shard_count` owns byte-identically the partition a single-process
+    /// run would have given that shard, so its top-k partials merge with
+    /// the others under [`merge_topk`] exactly like local partials.
+    ///
+    /// # Errors
+    /// Propagates extraction errors, and rejects `index`es at or beyond
+    /// the *effective* shard count (the requested count is capped by the
+    /// collection size, exactly as in [`Self::new`]).
+    pub fn shard_of(
+        table: &Table,
+        spec: &VisualSpec,
+        shard_count: usize,
+        index: usize,
+    ) -> Result<Self> {
+        let trendlines = extract(table, spec, &ExtractOptions::default())?;
+        Self::from_trendlines_shard_of(trendlines, shard_count, index)
+    }
+
+    /// [`Self::shard_of`] over already-extracted trendlines.
+    ///
+    /// # Errors
+    /// Rejects `index`es at or beyond the effective shard count.
+    pub fn from_trendlines_shard_of(
+        trendlines: Vec<Trendline>,
+        shard_count: usize,
+        index: usize,
+    ) -> Result<Self> {
+        let bounds = partition_bounds(&trendlines, shard_count);
+        let Some(&(start, end)) = bounds.get(index) else {
+            return Err(crate::CoreError::Config(format!(
+                "shard index {index} out of range: the collection partitions \
+                 into {} shard(s)",
+                bounds.len()
+            )));
+        };
+        let mut rest = trendlines;
+        rest.truncate(end);
+        let part = rest.split_off(start);
+        let trendline_count = part.len();
+        let point_count = part.iter().map(|t| t.points.len()).sum();
+        Ok(Self {
+            shards: vec![Arc::new(
+                ShapeEngine::from_trendlines(part).with_base_index(start),
+            )],
+            options: EngineOptions::default(),
+            trendline_count,
+            point_count,
+        })
+    }
+
     /// Partitions `trendlines` into (at most) `shard_count` contiguous,
     /// size-balanced shards. Balancing is by **point count**, not
     /// trendline count — points drive segmentation cost — while keeping
@@ -139,6 +195,30 @@ impl ShardedEngine {
     /// Iterates every trendline in global index order.
     pub fn trendlines(&self) -> impl Iterator<Item = &Trendline> {
         self.shards.iter().flat_map(|s| s.trendlines().iter())
+    }
+
+    /// Releases shard `index`'s trendline payload, replacing its engine
+    /// with an empty one that keeps the partition's `base_index`. For
+    /// embedders that place a shard's *execution* elsewhere (the
+    /// server's remote shard placement): the partition bounds stay
+    /// deterministic and the shard count unchanged, but the router no
+    /// longer holds collection data it will never query — an all-remote
+    /// placement costs near-zero resident memory. After eviction the
+    /// collection-level query methods on *this* engine no longer see the
+    /// partition; only callers that route per shard (consulting their
+    /// placement) may use it.
+    ///
+    /// # Panics
+    /// Like UDP registration, only valid before shard handles have been
+    /// shared, and `index` must be in range.
+    pub fn evict_shard(&mut self, index: usize) {
+        let base = self.shards[index].base_index();
+        assert!(
+            Arc::get_mut(&mut self.shards[index]).is_some(),
+            "evict shards before sharing shard handles"
+        );
+        self.shards[index] =
+            Arc::new(ShapeEngine::from_trendlines(Vec::new()).with_base_index(base));
     }
 
     /// Registers a user-defined pattern on every shard.
@@ -544,6 +624,52 @@ mod tests {
         assert!(!sharded.top_k(&q, 4).unwrap().is_empty());
         let q = ShapeQuery::pattern(Pattern::Udp("spike".into()));
         assert!(sharded.top_k(&q, 4).is_ok());
+    }
+
+    #[test]
+    fn shard_of_owns_exactly_the_full_partition_slice() {
+        let tls = collection(23);
+        for shards in [1usize, 2, 4, 7] {
+            let full = ShardedEngine::from_trendlines(tls.clone(), shards);
+            for index in 0..full.shard_count() {
+                let one =
+                    ShardedEngine::from_trendlines_shard_of(tls.clone(), shards, index).unwrap();
+                assert_eq!(one.shard_count(), 1);
+                let want = &full.shards()[index];
+                let got = &one.shards()[0];
+                assert_eq!(got.base_index(), want.base_index());
+                let want_keys: Vec<_> = want.trendlines().iter().map(|t| &t.key).collect();
+                let got_keys: Vec<_> = got.trendlines().iter().map(|t| &t.key).collect();
+                assert_eq!(got_keys, want_keys, "shards={shards} index={index}");
+                assert_eq!(one.trendline_count(), want.trendlines().len());
+            }
+            // Out-of-range index is a structured error, not a panic.
+            assert!(matches!(
+                ShardedEngine::from_trendlines_shard_of(tls.clone(), shards, full.shard_count()),
+                Err(CoreError::Config(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn shard_of_partials_merge_to_the_unsharded_answer() {
+        // The distributed invariant, in-process: per-partition engines
+        // built independently via shard_of produce partials whose merge
+        // is byte-identical to the unsharded top-k.
+        let tls = collection(23);
+        let reference = ShapeEngine::from_trendlines(tls.clone());
+        let want = reference.top_k(&updown(), 10).unwrap();
+        for shards in [2usize, 4, 7] {
+            let partials: Vec<Vec<TopKResult>> = (0..shards)
+                .map(|i| {
+                    ShardedEngine::from_trendlines_shard_of(tls.clone(), shards, i)
+                        .unwrap()
+                        .top_k(&updown(), 10)
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(merge_topk(partials, 10), want, "shards={shards}");
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@ pub enum CoreError {
     UnknownUdp(String),
     /// The query is structurally invalid.
     InvalidQuery(String),
+    /// An engine construction parameter is invalid (e.g. a shard index
+    /// outside the collection's effective partition count).
+    Config(String),
     /// An error from the datastore layer.
     Data(shapesearch_datastore::DataError),
 }
@@ -21,6 +24,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::UnknownUdp(name) => write!(f, "unknown user-defined pattern `{name}`"),
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),
         }
     }

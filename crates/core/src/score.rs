@@ -25,7 +25,7 @@
 use std::f64::consts::{FRAC_PI_2, PI};
 
 /// Tunable scoring parameters. Defaults reproduce the paper's behaviour.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoreParams {
     /// Angle (degrees) at which a "sharp" rise/fall (`m=>>`) peaks.
     pub sharp_angle_deg: f64,

@@ -1,0 +1,91 @@
+//! The `parallel_threshold` measurement harness (ROADMAP
+//! "Engine-level parallelism by default"): times a collection just above
+//! the default threshold (1024 trendlines) sequentially vs auto-fanned,
+//! and a 4-shard fan-out on top, so the default can be judged on real
+//! hardware. `#[ignore]`d — it is a measurement, not an assertion; CI
+//! machines with one core have nothing to win and everything to time
+//! out on.
+//!
+//! Run with:
+//! ```sh
+//! cargo test --release -p shapesearch-core --test threshold_bench -- --ignored --nocapture
+//! ```
+//!
+//! Recorded runs live in ROADMAP.md next to the open item.
+
+use shapesearch_core::{EngineOptions, ShapeEngine, ShapeQuery, ShardedEngine};
+use shapesearch_datastore::Trendline;
+use std::time::{Duration, Instant};
+
+fn collection(n: usize, points: usize) -> Vec<Trendline> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / ((1u64 << 31) as f64) - 1.0
+    };
+    (0..n)
+        .map(|i| {
+            let mut y = 0.0;
+            let pairs: Vec<(f64, f64)> = (0..points)
+                .map(|t| {
+                    y += next() + ((i % 3) as f64 - 1.0) * 0.1;
+                    (t as f64, y)
+                })
+                .collect();
+            Trendline::from_pairs(format!("t{i}"), &pairs)
+        })
+        .collect()
+}
+
+fn best_of_3(mut run: impl FnMut() -> usize) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut len = 0;
+    for _ in 0..3 {
+        let started = Instant::now();
+        len = run();
+        best = best.min(started.elapsed());
+    }
+    (best, len)
+}
+
+#[test]
+#[ignore = "measurement harness, not an assertion — run with --ignored --nocapture"]
+fn measure_parallel_threshold_default() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Just above the 1024 default, so the auto-fan policy triggers.
+    let tls = collection(1200, 48);
+    let q = ShapeQuery::concat(vec![ShapeQuery::up(), ShapeQuery::down()]);
+
+    let sequential_opts = EngineOptions {
+        parallel: false,
+        parallel_threshold: usize::MAX,
+        ..EngineOptions::default()
+    };
+    let engine = ShapeEngine::from_trendlines(tls.clone());
+    let (t_seq, n_seq) = best_of_3(|| {
+        engine
+            .top_k_with_options(&q, 10, &sequential_opts)
+            .unwrap()
+            .len()
+    });
+    // Default options: 1200 ≥ 1024 ⇒ the engine auto-parallelizes.
+    let (t_auto, n_auto) = best_of_3(|| engine.top_k(&q, 10).unwrap().len());
+    assert_eq!(n_seq, n_auto);
+
+    let sharded = ShardedEngine::from_trendlines(tls, cores.max(2));
+    let (t_shard, n_shard) = best_of_3(|| sharded.top_k(&q, 10).unwrap().len());
+    assert_eq!(n_seq, n_shard);
+
+    println!(
+        "parallel_threshold bench: cores={cores} trendlines=1200 points=48 \
+         sequential={}µs auto-fan(default opts)={}µs sharded({} shards, auto)={}µs",
+        t_seq.as_micros(),
+        t_auto.as_micros(),
+        sharded.shard_count(),
+        t_shard.as_micros(),
+    );
+}

@@ -221,6 +221,13 @@ pub struct CacheKey {
     /// "a new shard count can never serve another layout's cached bytes"
     /// structural rather than an indirect consequence.
     pub shards: usize,
+    /// The registration's placement fingerprint (one `local`-or-endpoint
+    /// token per shard; [`crate::catalog::DatasetEntry::placement_fp`]).
+    /// Like `shards`, the generation bump already isolates
+    /// re-registrations — carrying the placement makes "re-pointing a
+    /// shard at a different endpoint can never serve bytes computed
+    /// under the old placement" structural.
+    pub placement: String,
     /// Canonical rendering of the parsed query AST.
     pub query_canon: String,
     /// Requested result count.
@@ -235,6 +242,7 @@ impl CacheKey {
         dataset: &str,
         generation: u64,
         shards: usize,
+        placement: &str,
         query: &shapesearch_core::ShapeQuery,
         k: usize,
         options: &EngineOptions,
@@ -243,6 +251,7 @@ impl CacheKey {
             dataset: dataset.to_owned(),
             generation,
             shards,
+            placement: placement.to_owned(),
             query_canon: query.to_string(),
             k,
             options_fp: options_fingerprint(options),
@@ -673,21 +682,21 @@ mod tests {
         let opts = EngineOptions::default();
         let a = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
         let b = shapesearch_parser::parse_regex(" [ p = up ] [ p = down ] ").unwrap();
-        let ka = CacheKey::new("ds1", 1, 1, &a, 5, &opts);
-        let kb = CacheKey::new("ds1", 1, 1, &b, 5, &opts);
+        let ka = CacheKey::new("ds1", 1, 1, "local", &a, 5, &opts);
+        let kb = CacheKey::new("ds1", 1, 1, "local", &b, 5, &opts);
         assert_eq!(ka, kb, "whitespace variants must share one cache entry");
         // Different k, dataset, generation, or algorithm each split the key.
-        assert_ne!(ka, CacheKey::new("ds1", 1, 1, &a, 6, &opts));
-        assert_ne!(ka, CacheKey::new("ds2", 1, 1, &a, 5, &opts));
-        assert_ne!(ka, CacheKey::new("ds1", 2, 1, &a, 5, &opts));
+        assert_ne!(ka, CacheKey::new("ds1", 1, 1, "local", &a, 6, &opts));
+        assert_ne!(ka, CacheKey::new("ds2", 1, 1, "local", &a, 5, &opts));
+        assert_ne!(ka, CacheKey::new("ds1", 2, 1, "local", &a, 5, &opts));
         let dp = EngineOptions {
             segmenter: SegmenterKind::Dp,
             ..EngineOptions::default()
         };
-        assert_ne!(ka, CacheKey::new("ds1", 1, 1, &a, 5, &dp));
+        assert_ne!(ka, CacheKey::new("ds1", 1, 1, "local", &a, 5, &dp));
         // A different shard layout also splits the key (belt and braces:
         // re-registration already bumps the generation).
-        assert_ne!(ka, CacheKey::new("ds1", 1, 4, &a, 5, &opts));
+        assert_ne!(ka, CacheKey::new("ds1", 1, 4, "local", &a, 5, &opts));
     }
 
     #[test]
@@ -713,9 +722,9 @@ mod tests {
         // lookups exactly — independently loaded atomics would tear.
         let cache = Arc::new(QueryCache::new(8));
         let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
-        let present = CacheKey::new("sales", 1, 1, &q, 3, &EngineOptions::default());
+        let present = CacheKey::new("sales", 1, 1, "local", &q, 3, &EngineOptions::default());
         cache.insert(present.clone(), Arc::new(Vec::new()));
-        let absent = CacheKey::new("sales", 1, 1, &q, 4, &EngineOptions::default());
+        let absent = CacheKey::new("sales", 1, 1, "local", &q, 4, &EngineOptions::default());
 
         let stop = Arc::new(AtomicU64::new(0));
         std::thread::scope(|scope| {
@@ -766,7 +775,7 @@ mod tests {
     fn singleflight_collapses_concurrent_identical_misses() {
         let cache = Arc::new(QueryCache::new(8));
         let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
-        let key = CacheKey::new("sales", 1, 1, &q, 3, &EngineOptions::default());
+        let key = CacheKey::new("sales", 1, 1, "local", &q, 3, &EngineOptions::default());
         let n = 8;
         let computations = Arc::new(AtomicU64::new(0));
 
@@ -813,7 +822,7 @@ mod tests {
     fn dropped_leader_wakes_waiters_with_failure() {
         let cache = QueryCache::new(4);
         let q = shapesearch_parser::parse_regex("[p=down]").unwrap();
-        let key = CacheKey::new("sales", 1, 1, &q, 1, &EngineOptions::default());
+        let key = CacheKey::new("sales", 1, 1, "local", &q, 1, &EngineOptions::default());
         let Lookup::Lead(guard) = cache.lookup(&key) else {
             panic!("first lookup must lead");
         };
@@ -831,14 +840,14 @@ mod tests {
     fn query_cache_counts_and_invalidates() {
         let cache = QueryCache::new(8);
         let q = shapesearch_parser::parse_regex("[p=up]").unwrap();
-        let key = CacheKey::new("sales", 1, 1, &q, 3, &EngineOptions::default());
+        let key = CacheKey::new("sales", 1, 1, "local", &q, 3, &EngineOptions::default());
         assert!(cache.get(&key).is_none());
         cache.insert(key.clone(), Arc::new(Vec::new()));
         assert!(cache.get(&key).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         // Invalidation drops every generation of the dataset.
-        let key2 = CacheKey::new("sales", 2, 1, &q, 3, &EngineOptions::default());
+        let key2 = CacheKey::new("sales", 2, 1, "local", &q, 3, &EngineOptions::default());
         cache.insert(key2.clone(), Arc::new(Vec::new()));
         cache.invalidate_dataset("sales", 3);
         assert!(cache.get(&key).is_none());
@@ -848,11 +857,11 @@ mod tests {
         // invalidation): they would be unreachable LRU pollution.
         cache.insert(key2, Arc::new(Vec::new()));
         assert_eq!(cache.stats().entries, 0, "stale insert must be dropped");
-        let live = CacheKey::new("sales", 3, 1, &q, 3, &EngineOptions::default());
+        let live = CacheKey::new("sales", 3, 1, "local", &q, 3, &EngineOptions::default());
         cache.insert(live.clone(), Arc::new(Vec::new()));
         assert!(cache.get(&live).is_some(), "live generation still inserts");
         // Other datasets are unaffected by the floor.
-        let other = CacheKey::new("genes", 1, 1, &q, 3, &EngineOptions::default());
+        let other = CacheKey::new("genes", 1, 1, "local", &q, 3, &EngineOptions::default());
         cache.insert(other.clone(), Arc::new(Vec::new()));
         assert!(cache.get(&other).is_some());
     }

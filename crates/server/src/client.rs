@@ -1,9 +1,20 @@
-//! A tiny blocking HTTP/JSON client for the server — used by the
-//! integration tests and handy for scripting against a running service.
+//! Blocking HTTP/JSON clients for the server.
+//!
+//! [`Client`] is the simple one-connection-per-call client used by the
+//! integration tests and handy for scripting. [`PooledClient`] is the
+//! router-side RPC client for multi-machine sharding: it keeps a small
+//! pool of keep-alive connections per shard endpoint (remote shard
+//! fan-out happens on every cache miss, so a TCP handshake per RPC
+//! would dominate small queries), frames responses by `Content-Length`
+//! instead of connection close, and retries once on connect failure
+//! before reporting a shard unreachable.
 
 use crate::json::{self, Json};
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// A parsed response: status code plus JSON body.
 #[derive(Debug, Clone)]
@@ -117,5 +128,413 @@ impl Client {
         let body = json::parse(&body_text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad body: {e}")))?;
         Ok(ClientResponse { status, body })
+    }
+}
+
+/// How long [`PooledClient`] waits for a TCP connect before declaring
+/// the endpoint unreachable (each failed connect is retried once).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Per-call socket read/write budget. Shard queries carry real engine
+/// work, so this is generous — it exists to bound a *dead* peer, not to
+/// race a slow one.
+const IO_TIMEOUT: Duration = Duration::from_secs(60);
+/// Idle connections kept per endpoint. Small on purpose: every parked
+/// keep-alive connection pins one worker on the shard server side.
+const MAX_IDLE_PER_ENDPOINT: usize = 4;
+/// Largest response body the client will buffer (matches the server's
+/// own request cap). The `Content-Length` is remote-supplied: a
+/// misconfigured endpoint pointing at an arbitrary service must produce
+/// a structured error, not an allocation the size of whatever number it
+/// sent.
+const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+/// Response status/header line length cap (same rationale).
+const MAX_RESPONSE_LINE: usize = 64 * 1024;
+/// Response header count cap.
+const MAX_RESPONSE_HEADERS: usize = 100;
+
+/// True for failures that mean the peer tore the connection down
+/// (rather than timing out while computing): EOF, reset, or a broken
+/// write. Only these — and only before any response byte, on a reused
+/// connection — are safe to retry without risking duplicate work.
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::WriteZero
+    )
+}
+
+/// Reads one `\n`-terminated response line of bounded length.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> io::Result<usize> {
+    let n = (&mut *reader)
+        .take(MAX_RESPONSE_LINE as u64)
+        .read_line(line)
+        .map_err(|e| io::Error::new(e.kind(), format!("reading response line: {e}")))?;
+    if n >= MAX_RESPONSE_LINE && !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response line too long",
+        ));
+    }
+    Ok(n)
+}
+
+/// A blocking HTTP/1.1 client that pools keep-alive connections per
+/// endpoint (`host:port`). Safe to share across threads; the pool is a
+/// simple mutex-guarded free list because checkouts are short and the
+/// expensive part (the RPC round trip) happens outside the lock.
+pub struct PooledClient {
+    idle: Mutex<HashMap<String, Vec<TcpStream>>>,
+}
+
+impl Default for PooledClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PooledClient {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// `POST path` with a JSON body against `endpoint` (`host:port`).
+    ///
+    /// Reuses a pooled connection when one is idle. Staleness is
+    /// handled without ever duplicating work on a live shard:
+    ///
+    /// * a non-blocking peek at checkout discards sockets the server
+    ///   already closed (the common case — the server enforces idle
+    ///   deadlines on parked keep-alive connections);
+    /// * if the server's close *races* the checkout (FIN still in
+    ///   flight), the round trip fails with an EOF/reset **before any
+    ///   response byte** — a server that closed the connection is not
+    ///   computing the request, so exactly that failure class on a
+    ///   *reused* connection is retried once on a fresh one;
+    /// * a read **timeout** is never retried: the shard may simply be
+    ///   slow, and re-sending would make it compute the same group
+    ///   twice.
+    ///
+    /// A fresh *connect* failure is also retried once before giving up,
+    /// so one dropped SYN never turns into a spurious
+    /// `shard_unavailable`.
+    ///
+    /// # Errors
+    /// Connect failures (after the retry), I/O failures, and malformed
+    /// responses.
+    pub fn post(&self, endpoint: &str, path: &str, body: &Json) -> io::Result<ClientResponse> {
+        let text = body.to_text();
+        if let Some(stream) = self.checkout(endpoint) {
+            let mut saw_response_byte = false;
+            match self.roundtrip(stream, endpoint, path, &text, &mut saw_response_byte) {
+                Ok(response) => return Ok(response),
+                // Reused connection died before yielding a single
+                // response byte: the request was never processed — safe
+                // to re-send on a fresh connection.
+                Err(e) if !saw_response_byte && is_disconnect(&e) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let stream = match Self::connect(endpoint) {
+            Ok(stream) => stream,
+            Err(_first_failure) => Self::connect(endpoint)?,
+        };
+        self.roundtrip(stream, endpoint, path, &text, &mut false)
+    }
+
+    fn connect(endpoint: &str) -> io::Result<TcpStream> {
+        let addr = endpoint.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("unresolvable endpoint {endpoint}"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    /// Pops pooled connections until one passes the staleness check.
+    fn checkout(&self, endpoint: &str) -> Option<TcpStream> {
+        loop {
+            let stream = self
+                .idle
+                .lock()
+                .expect("client pool lock")
+                .get_mut(endpoint)?
+                .pop()?;
+            if !Self::is_stale(&stream) {
+                return Some(stream);
+            }
+        }
+    }
+
+    /// True when an idle pooled connection must be discarded: the peer
+    /// closed it (EOF), delivered unexpected bytes (protocol desync), or
+    /// errored. A healthy idle connection has *nothing* to read, which
+    /// the non-blocking peek reports as `WouldBlock`.
+    fn is_stale(stream: &TcpStream) -> bool {
+        if stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let stale =
+            !matches!(stream.peek(&mut probe), Err(ref e) if e.kind() == io::ErrorKind::WouldBlock);
+        stream.set_nonblocking(false).is_err() || stale
+    }
+
+    fn checkin(&self, endpoint: &str, stream: TcpStream) {
+        let mut idle = self.idle.lock().expect("client pool lock");
+        let pool = idle.entry(endpoint.to_owned()).or_default();
+        if pool.len() < MAX_IDLE_PER_ENDPOINT {
+            pool.push(stream);
+        }
+    }
+
+    /// One keep-alive request/response exchange. The response is framed
+    /// by `Content-Length` (mandatory here — without it the connection
+    /// cannot be reused), and the connection returns to the pool unless
+    /// either side asked to close. `saw_response_byte` is raised the
+    /// moment any response data arrives — the caller's retry policy
+    /// hinges on it (a reply in progress must never be re-requested).
+    fn roundtrip(
+        &self,
+        stream: TcpStream,
+        endpoint: &str,
+        path: &str,
+        body: &str,
+        saw_response_byte: &mut bool,
+    ) -> io::Result<ClientResponse> {
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nhost: {endpoint}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(request.as_bytes())?;
+
+        let mut status_line = String::new();
+        if read_bounded_line(&mut reader, &mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the status line",
+            ));
+        }
+        *saw_response_byte = true;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+
+        let mut content_length: Option<usize> = None;
+        let mut keep_alive = true;
+        let mut header_count = 0usize;
+        loop {
+            let mut line = String::new();
+            if read_bounded_line(&mut reader, &mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof in headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            header_count += 1;
+            if header_count > MAX_RESPONSE_HEADERS {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "too many response headers",
+                ));
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let (k, v) = (k.trim(), v.trim());
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = Some(v.parse().map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("invalid content-length `{v}`"),
+                        )
+                    })?);
+                } else if k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                }
+            }
+        }
+        let content_length = content_length.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response without content-length cannot be framed on a pooled connection",
+            )
+        })?;
+        if content_length > MAX_RESPONSE_BODY {
+            // The length is remote-supplied; a rogue value must become a
+            // structured error, not an allocation of its choosing.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response body of {content_length} bytes exceeds the client cap"),
+            ));
+        }
+        // Grow as bytes arrive rather than trusting the header for the
+        // initial allocation.
+        let mut body_bytes = Vec::with_capacity(content_length.min(64 * 1024));
+        let mut chunk = [0u8; 64 * 1024];
+        while body_bytes.len() < content_length {
+            let want = (content_length - body_bytes.len()).min(chunk.len());
+            match reader.read(&mut chunk[..want])? {
+                0 => {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body"));
+                }
+                n => body_bytes.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body_text = String::from_utf8(body_bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not utf-8"))?;
+        let body = json::parse(&body_text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad body: {e}")))?;
+
+        if keep_alive {
+            self.checkin(endpoint, reader.into_inner());
+        }
+        Ok(ClientResponse { status, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Consumes one HTTP request (headers + content-length body) and
+    /// writes one keep-alive JSON reply carrying `n`.
+    fn serve_one(stream: &mut TcpStream, n: usize) {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().unwrap();
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        let reply_body = format!("{{\"n\":{n}}}");
+        let reply = format!(
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{reply_body}",
+            reply_body.len(),
+        );
+        stream.write_all(reply.as_bytes()).unwrap();
+    }
+
+    #[test]
+    fn pooled_client_reuses_connections_and_recovers_from_stale_ones() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let endpoint = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Connection 1: two requests back to back (proving reuse),
+            // then the server closes it while it idles in the pool.
+            let (mut a, _) = listener.accept().unwrap();
+            serve_one(&mut a, 1);
+            serve_one(&mut a, 2);
+            drop(a);
+            // Connection 2: the client's stale-retry lands here.
+            let (mut b, _) = listener.accept().unwrap();
+            serve_one(&mut b, 3);
+        });
+
+        let client = PooledClient::new();
+        let body = Json::Obj(Vec::new());
+        let first = client.post(&endpoint, "/shard/query", &body).unwrap();
+        assert_eq!(first.body.get("n").unwrap().as_usize(), Some(1));
+        assert_eq!(
+            client.idle.lock().unwrap().get(&endpoint).map(Vec::len),
+            Some(1),
+            "the keep-alive connection returns to the pool"
+        );
+        let second = client.post(&endpoint, "/shard/query", &body).unwrap();
+        assert_eq!(
+            second.body.get("n").unwrap().as_usize(),
+            Some(2),
+            "the second call reuses connection 1"
+        );
+        // Give the server a moment to close the pooled connection, then
+        // post again: the stale socket fails and the retry reconnects
+        // (landing on connection 2).
+        std::thread::sleep(Duration::from_millis(100));
+        let third = client.post(&endpoint, "/shard/query", &body).unwrap();
+        assert_eq!(third.body.get("n").unwrap().as_usize(), Some(3));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pooled_client_rejects_rogue_content_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let endpoint = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Consume the request headers + body, then claim a body far
+            // beyond the client's cap.
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if line.trim_end().is_empty() {
+                    break;
+                }
+                if let Some((k, v)) = line.trim_end().split_once(':') {
+                    if k.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = v.trim().parse().unwrap();
+                    }
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+            s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 99999999999\r\n\r\n")
+                .unwrap();
+        });
+        let client = PooledClient::new();
+        let outcome = client.post(&endpoint, "/shard/query", &Json::Obj(Vec::new()));
+        let err = outcome.expect_err("a rogue content-length must be refused");
+        assert!(err.to_string().contains("exceeds the client cap"), "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pooled_client_reports_dead_endpoints_quickly() {
+        // Bind-then-drop guarantees nothing listens on the port.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let endpoint = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let client = PooledClient::new();
+        let started = std::time::Instant::now();
+        let outcome = client.post(&endpoint, "/shard/query", &Json::Obj(Vec::new()));
+        assert!(outcome.is_err(), "a dead port must error, not hang");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "dead-endpoint detection took {:?}",
+            started.elapsed()
+        );
     }
 }

@@ -9,6 +9,10 @@ pub struct ServerError {
     pub status: u16,
     /// Human-readable description, surfaced as `{"error": …}`.
     pub message: String,
+    /// Optional machine-readable code (e.g. `shard_unavailable`),
+    /// surfaced as `{"code": …}` next to the message so clients can
+    /// branch programmatically instead of pattern-matching error text.
+    pub code: Option<&'static str>,
 }
 
 impl ServerError {
@@ -17,6 +21,7 @@ impl ServerError {
         Self {
             status: 400,
             message: message.into(),
+            code: None,
         }
     }
 
@@ -25,6 +30,7 @@ impl ServerError {
         Self {
             status: 404,
             message: message.into(),
+            code: None,
         }
     }
 
@@ -33,6 +39,20 @@ impl ServerError {
         Self {
             status: 500,
             message: message.into(),
+            code: None,
+        }
+    }
+
+    /// A 502 Bad Gateway carrying the machine-readable
+    /// `shard_unavailable` code: a remote shard endpoint could not be
+    /// reached (or answered garbage), so the query's global top-k could
+    /// not be assembled. The message names the endpoint — the one piece
+    /// of context an operator needs to repoint or restart the shard.
+    pub fn shard_unavailable(endpoint: &str, detail: impl fmt::Display) -> Self {
+        Self {
+            status: 502,
+            message: format!("shard endpoint {endpoint} unavailable: {detail}"),
+            code: Some("shard_unavailable"),
         }
     }
 }

@@ -16,28 +16,48 @@
 //! the same pool.
 
 use crate::cache::{CacheKey, Lookup, QueryCache};
-use crate::catalog::{Catalog, DataSource, DatasetEntry};
+use crate::catalog::{Catalog, DataSource, DatasetEntry, ShardPlacement};
+use crate::client::PooledClient;
 use crate::compute::ComputePool;
 use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
 use crate::protocol;
-use shapesearch_core::{merge_shard_outcomes, EngineOptions, ShapeQuery, TopKResult};
-use std::collections::HashMap;
+use shapesearch_core::{merge_topk, EngineOptions, ShapeQuery, TopKResult};
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Aggregate shard-execution gauges for `/healthz`. One mutex guards
-/// both fields, and every fan-out records them in a single critical
-/// section, so a snapshot can never be mutually inconsistent mid-update
-/// (e.g. tasks from one batch without its micros).
+/// Aggregate **local** shard-execution gauges for `/healthz`. One mutex
+/// guards both fields, and every fan-out records them in a single
+/// critical section, so a snapshot can never be mutually inconsistent
+/// mid-update (e.g. tasks from one batch without its micros). Remote
+/// shard RPCs are tracked separately in [`RemoteShardStats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Shard tasks executed (one per shard per query group).
+    /// Local shard tasks executed (one per local shard per query group).
     pub tasks: u64,
-    /// Total engine-side microseconds spent in shard tasks.
+    /// Total engine-side microseconds spent in local shard tasks.
+    pub micros_total: u64,
+}
+
+/// Per-endpoint remote-shard RPC gauges for the `/healthz`
+/// `remote_shards` block. Every RPC records all three fields in one
+/// critical section of the shared map's mutex, so the block is a
+/// consistent snapshot like the other healthz gauges.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteShardStats {
+    /// RPCs sent to this endpoint (one per shard per query group,
+    /// counting a connect-retry pair as one request).
+    pub requests: u64,
+    /// RPCs that failed (unreachable endpoint, non-200 reply, or a
+    /// malformed body) — each surfaced to the caller as a
+    /// `shard_unavailable` error naming the endpoint.
+    pub errors: u64,
+    /// Total round-trip microseconds spent on this endpoint's RPCs
+    /// (network plus the remote engine time).
     pub micros_total: u64,
 }
 
@@ -50,10 +70,20 @@ pub struct AppState {
     /// The shared compute pool shard tasks fan out on (HTTP workers
     /// submit to it and help drain it while they wait).
     pub compute: ComputePool,
-    /// Consistent-snapshot shard gauges for `/healthz`.
+    /// The connection-pooled RPC client remote shard tasks go out on.
+    pub remote: PooledClient,
+    /// Consistent-snapshot local shard gauges for `/healthz`.
     pub shard_stats: Mutex<ShardStats>,
+    /// Per-endpoint remote-shard RPC gauges for `/healthz`, keyed and
+    /// reported in endpoint order (a `BTreeMap` so the block serializes
+    /// deterministically).
+    pub remote_stats: Mutex<BTreeMap<String, RemoteShardStats>>,
     /// Total queries received (each batch item counts once).
     pub queries: AtomicU64,
+    /// Total `POST /shard/query` RPCs served (this process acting as a
+    /// shard server); kept apart from `queries` so a router's fan-in
+    /// doesn't inflate a shard server's user-facing query count.
+    pub shard_queries: AtomicU64,
     /// Per-dataset engine defaults; requests may override per call.
     pub default_options: EngineOptions,
     /// Worker-pool size, echoed in `/healthz`.
@@ -85,8 +115,11 @@ impl AppState {
             catalog: Catalog::with_default_shards(shards),
             cache: QueryCache::new(cache_capacity),
             compute: ComputePool::new(workers),
+            remote: PooledClient::new(),
             shard_stats: Mutex::new(ShardStats::default()),
+            remote_stats: Mutex::new(BTreeMap::new()),
             queries: AtomicU64::new(0),
+            shard_queries: AtomicU64::new(0),
             default_options: EngineOptions::default(),
             workers,
             max_batch: protocol::MAX_BATCH_SIZE,
@@ -145,9 +178,11 @@ pub fn route(state: &Arc<AppState>, request: &Request) -> Response {
         ("GET", "/datasets") => Ok(list_datasets(state)),
         ("POST", "/datasets") => register_dataset(state, request),
         ("POST", "/query") => query(state, request),
-        (_, "/healthz" | "/datasets" | "/query") => Err(ServerError {
+        ("POST", "/shard/query") => shard_query(state, request),
+        (_, "/healthz" | "/datasets" | "/query" | "/shard/query") => Err(ServerError {
             status: 405,
             message: format!("method {} not allowed here", request.method),
+            code: None,
         }),
         _ => Err(ServerError::not_found(format!(
             "no route {} {}",
@@ -173,6 +208,25 @@ fn healthz(state: &Arc<AppState>) -> Response {
     let stats = state.cache.stats();
     let shard_stats = state.shard_stats();
     let dataset_shards: usize = state.catalog.list().iter().map(|e| e.shard_count).sum();
+    // The remote gauges are one consistent snapshot too: every RPC
+    // records requests/errors/micros inside one critical section of this
+    // map's lock, and the whole block is read under one acquisition.
+    let remote: Vec<(String, RemoteShardStats)> = state
+        .remote_stats
+        .lock()
+        .expect("remote stats lock")
+        .iter()
+        .map(|(endpoint, s)| (endpoint.clone(), *s))
+        .collect();
+    let remote_totals = remote
+        .iter()
+        .fold(RemoteShardStats::default(), |acc, (_, s)| {
+            RemoteShardStats {
+                requests: acc.requests + s.requests,
+                errors: acc.errors + s.errors,
+                micros_total: acc.micros_total + s.micros_total,
+            }
+        });
     ok(obj([
         ("status", "ok".into()),
         ("datasets", state.catalog.len().into()),
@@ -198,6 +252,35 @@ fn healthz(state: &Arc<AppState>) -> Response {
                 ("compute_workers", state.compute.workers().into()),
                 ("tasks", shard_stats.tasks.into()),
                 ("micros_total", shard_stats.micros_total.into()),
+                (
+                    "shard_queries",
+                    state.shard_queries.load(Ordering::Relaxed).into(),
+                ),
+            ]),
+        ),
+        (
+            "remote_shards",
+            obj([
+                ("endpoints", remote.len().into()),
+                ("requests", remote_totals.requests.into()),
+                ("errors", remote_totals.errors.into()),
+                ("micros_total", remote_totals.micros_total.into()),
+                (
+                    "by_endpoint",
+                    Json::Arr(
+                        remote
+                            .iter()
+                            .map(|(endpoint, s)| {
+                                obj([
+                                    ("endpoint", endpoint.as_str().into()),
+                                    ("requests", s.requests.into()),
+                                    ("errors", s.errors.into()),
+                                    ("micros_total", s.micros_total.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ]))
@@ -256,6 +339,7 @@ fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, Server
         &entry.id,
         entry.generation,
         entry.shard_count,
+        &entry.placement_fp,
         &query_ast,
         req.k,
         &options,
@@ -271,28 +355,145 @@ fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, Server
     })
 }
 
+/// One shard's contribution to a query group: per-query outcomes (the
+/// shard's top-k partial or a structured error) plus the shard's
+/// microseconds (engine-side for local shards, RPC round-trip for remote
+/// ones).
+type ShardRun = (Vec<Result<Vec<TopKResult>, ServerError>>, u64);
+
+/// One **local** shard task: the batched engine pass over one partition,
+/// with its engine-side time (every execution path times shards the same
+/// way). Engine errors map to 400s here so local and remote partials
+/// carry one error type into the merge.
+fn run_local_shard(
+    shard: &shapesearch_core::ShapeEngine,
+    queries: &[(ShapeQuery, usize)],
+    options: &EngineOptions,
+) -> ShardRun {
+    let started = Instant::now();
+    let items: Vec<(&ShapeQuery, usize)> = queries.iter().map(|(q, k)| (q, *k)).collect();
+    let outcomes = shard
+        .top_k_batch(&items, options)
+        .into_iter()
+        .map(|outcome| outcome.map_err(|e| ServerError::bad_request(format!("query failed: {e}"))))
+        .collect();
+    (outcomes, started.elapsed().as_micros() as u64)
+}
+
+/// One **remote** shard task: ships the query group to the shard
+/// server's `POST /shard/query` over the pooled RPC client and decodes
+/// the per-query partials. Transport failures (connect — after the
+/// client's one retry —, I/O, a non-200 envelope, or a malformed body)
+/// become a [`ServerError::shard_unavailable`] naming the endpoint,
+/// replicated across every query of the group; *per-query* engine errors
+/// inside a 200 envelope pass through with their original status and
+/// message, so an all-remote placement reports the same errors an
+/// all-local one would. Records the endpoint's `/healthz` gauges either
+/// way.
+fn run_remote_shard(
+    state: &AppState,
+    endpoint: &str,
+    dataset: &str,
+    queries: &[(ShapeQuery, usize)],
+    options: &EngineOptions,
+) -> ShardRun {
+    let body = protocol::shard_request_to_json(dataset, queries, options);
+    let started = Instant::now();
+    let reply = state.remote.post(endpoint, "/shard/query", &body);
+    let micros = started.elapsed().as_micros() as u64;
+
+    let outcomes: Result<Vec<Result<Vec<TopKResult>, ServerError>>, String> = match &reply {
+        Ok(response) if response.status == 200 => {
+            protocol::shard_outcomes_from_json(&response.body, queries.len())
+        }
+        Ok(response) => Err(format!(
+            "status {}: {}",
+            response.status,
+            response
+                .body
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("(no error detail)")
+        )),
+        Err(e) => Err(e.to_string()),
+    };
+    let (outcomes, failed) = match outcomes {
+        Ok(outcomes) => (outcomes, false),
+        Err(detail) => (
+            vec![Err(ServerError::shard_unavailable(endpoint, detail)); queries.len()],
+            true,
+        ),
+    };
+    {
+        // All three gauges move in one critical section so a `/healthz`
+        // snapshot can never show a request without its error/micros.
+        let mut stats = state.remote_stats.lock().expect("remote stats lock");
+        let entry = stats.entry(endpoint.to_owned()).or_default();
+        entry.requests += 1;
+        entry.errors += u64::from(failed);
+        entry.micros_total += micros;
+    }
+    (outcomes, micros)
+}
+
+/// Merges per-shard runs into per-query outcomes under the engine's one
+/// ordering contract ([`merge_topk`]: score descending, ties to the
+/// lower global `viz_index`). The first failing shard's error (in
+/// partition order) stands for the query — a partial top-k missing a
+/// shard's candidates must never be passed off as the global answer.
+fn merge_shard_runs(
+    per_shard: Vec<Vec<Result<Vec<TopKResult>, ServerError>>>,
+    ks: impl Iterator<Item = usize>,
+) -> Vec<Result<Vec<TopKResult>, ServerError>> {
+    let mut iters: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
+    ks.map(|k| {
+        let mut partials = Vec::with_capacity(iters.len());
+        let mut first_err = None;
+        for shard in iters.iter_mut() {
+            match shard.next().expect("one outcome per query per shard") {
+                Ok(results) => partials.push(results),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(merge_topk(partials, k)),
+        }
+    })
+    .collect()
+}
+
 /// Executes one `(dataset, options)` query group over the dataset's
-/// engine shards and merges each query's per-shard top-k partials
-/// deterministically. Multi-shard datasets fan out **one compute-pool
-/// task per shard** — the submitting HTTP worker helps drain the pool
-/// while it waits, so a single query can saturate every core and large
-/// batches interleave with other requests as short shard tasks — unless
-/// `sequential` (a client's explicit `"parallel": false` CPU cap), which
-/// runs the shards inline one after another. Single-shard datasets run
-/// inline on the caller — with the options untouched, preserving the
-/// unsharded engine's exact execution profile (including its own
-/// viz-level parallelism policy), unless the client opted out, in which
-/// case the engine's auto-parallel threshold is disabled too (the cap
-/// must hold on every path).
+/// partition map and merges each query's per-shard top-k partials
+/// deterministically. Local shards fan out **one compute-pool task per
+/// shard** — the submitting HTTP worker helps drain the pool while it
+/// waits, so a single query can saturate every core and large batches
+/// interleave with other requests as short shard tasks — while remote
+/// shards go out as RPC tasks on the same pool (leaf work either way:
+/// neither submits further tasks, so the help-while-waiting protocol
+/// cannot deadlock). `sequential` (a client's explicit
+/// `"parallel": false` CPU cap) runs every slot inline one after
+/// another instead. Single-shard **local** datasets run inline on the
+/// caller — with the options untouched, preserving the unsharded
+/// engine's exact execution profile (including its own viz-level
+/// parallelism policy), unless the client opted out, in which case the
+/// engine's auto-parallel threshold is disabled too (the cap must hold
+/// on every path).
 ///
 /// This is the pool-task twin of the in-process fan-out in
 /// [`shapesearch_core::ShardedEngine::top_k_batch`] (which uses scoped
 /// threads over borrowed queries, where the server needs `'static`
 /// tasks over `Arc`s); the two must keep the same single-shard and
-/// inner-options policy.
+/// inner-options policy. The distributed invariant rides on the shared
+/// merge: partials are partials, whether they came off this process's
+/// pool or over the wire, so results stay byte-identical to a
+/// single-process run for every placement.
 ///
-/// Returns per-query outcomes plus the per-shard engine-side
-/// microseconds (also accumulated into the `/healthz` shard gauges).
+/// Returns per-query outcomes plus the per-shard microseconds
+/// (engine-side for local shards, RPC round-trip for remote ones; also
+/// accumulated into the `/healthz` gauges).
 fn execute_on_shards(
     state: &Arc<AppState>,
     entry: &Arc<DatasetEntry>,
@@ -300,81 +501,120 @@ fn execute_on_shards(
     options: &EngineOptions,
     sequential: bool,
 ) -> (Vec<Result<Vec<TopKResult>, ServerError>>, Vec<u64>) {
-    /// One shard task: the batched engine pass over one partition, with
-    /// its engine-side time (every execution path times shards the same
-    /// way).
-    fn run_shard(
-        shard: &shapesearch_core::ShapeEngine,
-        queries: &[(ShapeQuery, usize)],
-        options: &EngineOptions,
-    ) -> ShardOutcome {
-        let started = Instant::now();
-        let items: Vec<(&ShapeQuery, usize)> = queries.iter().map(|(q, k)| (q, *k)).collect();
-        let outcome = shard.top_k_batch(&items, options);
-        (outcome, started.elapsed().as_micros() as u64)
-    }
-    type ShardOutcome = (Vec<shapesearch_core::Result<Vec<TopKResult>>>, u64);
-
     let shards = entry.engine.shards();
     let ks: Vec<usize> = queries.iter().map(|&(_, k)| k).collect();
 
-    let (partials, shard_micros): (Vec<_>, Vec<u64>) = if shards.len() == 1 {
-        // An explicit opt-out must also defeat the engine's internal
-        // auto-parallel threshold — a capped client gets one thread no
-        // matter the collection size.
-        let capped = EngineOptions {
-            parallel: false,
-            parallel_threshold: usize::MAX,
-            ..options.clone()
-        };
-        let effective = if sequential { &capped } else { options };
-        let (outcome, micros) = run_shard(&shards[0], &queries, effective);
-        (vec![outcome], vec![micros])
-    } else {
-        // Shard tasks are the unit of parallelism: the engine's inner
-        // viz-level parallelism is switched off rather than
-        // oversubscribing the pool's cores.
-        let inner = EngineOptions {
-            parallel: false,
-            parallel_threshold: usize::MAX,
-            ..options.clone()
-        };
-        if sequential {
-            shards
-                .iter()
-                .map(|shard| run_shard(shard, &queries, &inner))
-                .unzip()
+    let (per_shard, shard_micros): (Vec<_>, Vec<u64>) =
+        if shards.len() == 1 && entry.placement[0] == ShardPlacement::Local {
+            // An explicit opt-out must also defeat the engine's internal
+            // auto-parallel threshold — a capped client gets one thread
+            // no matter the collection size.
+            let capped = EngineOptions {
+                parallel: false,
+                parallel_threshold: usize::MAX,
+                ..options.clone()
+            };
+            let effective = if sequential { &capped } else { options };
+            let (outcomes, micros) = run_local_shard(&shards[0], &queries, effective);
+            (vec![outcomes], vec![micros])
         } else {
-            // Pool tasks run on long-lived threads, so each owns `Arc`s
-            // of its shard and of the (shared) query list.
-            let queries = Arc::new(queries);
-            let tasks: Vec<Box<dyn FnOnce() -> ShardOutcome + Send>> = shards
-                .iter()
-                .map(|shard| {
-                    let shard = Arc::clone(shard);
-                    let queries = Arc::clone(&queries);
-                    let inner = inner.clone();
-                    Box::new(move || run_shard(&shard, &queries, &inner))
-                        as Box<dyn FnOnce() -> ShardOutcome + Send>
-                })
-                .collect();
-            state.compute.run_all(tasks).into_iter().unzip()
-        }
-    };
+            // Shard tasks are the unit of parallelism: the engine's inner
+            // viz-level parallelism is switched off rather than
+            // oversubscribing the pool's cores. (Remote shard servers
+            // schedule their own cores; scheduling never changes
+            // results.)
+            let inner = EngineOptions {
+                parallel: false,
+                parallel_threshold: usize::MAX,
+                ..options.clone()
+            };
+            if sequential {
+                entry
+                    .placement
+                    .iter()
+                    .zip(shards)
+                    .map(|(placement, shard)| match placement {
+                        ShardPlacement::Local => run_local_shard(shard, &queries, &inner),
+                        ShardPlacement::Remote(endpoint) => {
+                            run_remote_shard(state, endpoint, &entry.id, &queries, &inner)
+                        }
+                    })
+                    .unzip()
+            } else {
+                // Pool tasks run on long-lived threads, so each owns
+                // `Arc`s of its shard (or of the app state, for the RPC
+                // client and gauges) and of the shared query list.
+                let queries = Arc::new(queries);
+                let tasks: Vec<Box<dyn FnOnce() -> ShardRun + Send>> = entry
+                    .placement
+                    .iter()
+                    .zip(shards)
+                    .map(|(placement, shard)| match placement {
+                        ShardPlacement::Local => {
+                            let shard = Arc::clone(shard);
+                            let queries = Arc::clone(&queries);
+                            let inner = inner.clone();
+                            Box::new(move || run_local_shard(&shard, &queries, &inner))
+                                as Box<dyn FnOnce() -> ShardRun + Send>
+                        }
+                        ShardPlacement::Remote(endpoint) => {
+                            let state = Arc::clone(state);
+                            let entry = Arc::clone(entry);
+                            let endpoint = endpoint.clone();
+                            let queries = Arc::clone(&queries);
+                            let inner = inner.clone();
+                            Box::new(move || {
+                                run_remote_shard(&state, &endpoint, &entry.id, &queries, &inner)
+                            })
+                        }
+                    })
+                    .collect();
+                state.compute.run_all(tasks).into_iter().unzip()
+            }
+        };
 
     {
         // One critical section per fan-out keeps the gauges mutually
-        // consistent (never tasks without their micros).
+        // consistent (never tasks without their micros). Only local
+        // slots count here; remote RPCs were recorded per endpoint.
+        let local_micros: Vec<u64> = entry
+            .placement
+            .iter()
+            .zip(&shard_micros)
+            .filter(|(p, _)| matches!(p, ShardPlacement::Local))
+            .map(|(_, &m)| m)
+            .collect();
         let mut stats = state.shard_stats.lock().expect("shard stats lock");
-        stats.tasks += shard_micros.len() as u64;
-        stats.micros_total += shard_micros.iter().sum::<u64>();
+        stats.tasks += local_micros.len() as u64;
+        stats.micros_total += local_micros.iter().sum::<u64>();
     }
 
-    let merged = merge_shard_outcomes(partials, ks.into_iter())
-        .into_iter()
-        .map(|outcome| outcome.map_err(|e| ServerError::bad_request(format!("query failed: {e}"))))
-        .collect();
-    (merged, shard_micros)
+    (merge_shard_runs(per_shard, ks.into_iter()), shard_micros)
+}
+
+/// `POST /shard/query`: this process acting as a **shard server**. Runs
+/// the RPC's query group over the addressed dataset's own partition map
+/// (typically the single partition a `--shard-of` registration owns, but
+/// composable: a mid-tier router's shards — local or remote — answer the
+/// same way) and replies with per-query partials. Deliberately bypasses
+/// the result cache: the router caches the *merged* answer under a key
+/// that already fingerprints this shard's placement, and double-caching
+/// partials would double the memory for zero extra hits.
+fn shard_query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
+    let body = body_json(request)?;
+    let req = protocol::shard_request_from_json(&body)?;
+    let entry = state
+        .catalog
+        .get(&req.dataset)
+        .ok_or_else(|| ServerError::not_found(format!("unknown dataset `{}`", req.dataset)))?;
+    state.shard_queries.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let (outcomes, _shard_micros) =
+        execute_on_shards(state, &entry, req.queries, &req.options, false);
+    let micros = started.elapsed().as_micros() as u64;
+    Ok(ok(protocol::shard_outcomes_to_json(
+        &entry.id, &outcomes, micros,
+    )))
 }
 
 /// Runs one planned query on the engine (all shards), outside any
@@ -683,10 +923,7 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
                 cached,
                 coalesced,
             } => query_response(planned, value, *cached, *coalesced, None, None),
-            ItemProgress::Failed(e) => obj([
-                ("error", e.message.as_str().into()),
-                ("status", u64::from(e.status).into()),
-            ]),
+            ItemProgress::Failed(e) => protocol::error_item_to_json(e),
             ItemProgress::Waiting(..) | ItemProgress::Leading(..) => {
                 unreachable!("all items resolved before assembly")
             }
@@ -808,6 +1045,7 @@ mod tests {
             &old.id,
             old.generation,
             old.shard_count,
+            &old.placement_fp,
             &q,
             1,
             &state.default_options,
@@ -1112,6 +1350,158 @@ mod tests {
             + cache.get("misses").unwrap().as_usize().unwrap()
             + cache.get("coalesced").unwrap().as_usize().unwrap();
         assert_eq!(lookups, sum, "{}", health.body);
+    }
+
+    #[test]
+    fn shard_query_route_returns_mergeable_partials() {
+        let state = state();
+        register_sharded(&state, "t1", 2);
+
+        // The same group over /query (merged) and /shard/query (partials
+        // of the whole 2-shard entry — a shard server is just a server).
+        let merged = route(
+            &state,
+            &post(
+                "/query",
+                r#"{"dataset":"t1","query":"[p=up][p=down]","k":2}"#,
+            ),
+        );
+        assert_eq!(merged.status, 200, "{}", merged.body);
+        let merged = json::parse(&merged.body).unwrap();
+
+        let rpc_body = protocol::shard_request_to_json(
+            "t1",
+            &[(
+                shapesearch_parser::parse_regex("[p=up][p=down]").unwrap(),
+                2,
+            )],
+            &state.default_options,
+        );
+        let reply = route(&state, &post("/shard/query", &rpc_body.to_text()));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let parsed = json::parse(&reply.body).unwrap();
+        let outcomes = protocol::shard_outcomes_from_json(&parsed, 1).unwrap();
+        let partial = outcomes[0].as_ref().unwrap();
+        // This entry holds the WHOLE collection, so its "partial" is
+        // already the global answer — byte-identical to /query's.
+        assert_eq!(
+            protocol::results_to_json(partial).to_text(),
+            merged.get("results").unwrap().to_text()
+        );
+        // Shard RPCs are counted apart from user queries.
+        assert_eq!(state.shard_queries.load(Ordering::Relaxed), 1);
+        assert_eq!(state.queries.load(Ordering::Relaxed), 1);
+        // And they bypass the result cache entirely.
+        assert_eq!(state.cache.stats().lookups, 1, "only /query looked up");
+
+        // Per-query engine errors ride inside a 200 envelope.
+        let rpc_body = protocol::shard_request_to_json(
+            "t1",
+            &[(
+                shapesearch_core::ShapeQuery::pattern(shapesearch_core::Pattern::Udp(
+                    "nope".into(),
+                )),
+                1,
+            )],
+            &state.default_options,
+        );
+        let reply = route(&state, &post("/shard/query", &rpc_body.to_text()));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let outcomes =
+            protocol::shard_outcomes_from_json(&json::parse(&reply.body).unwrap(), 1).unwrap();
+        assert_eq!(outcomes[0].as_ref().unwrap_err().status, 400);
+
+        // Envelope-level failures: unknown dataset 404, malformed 400,
+        // wrong method 405.
+        let missing = rpc_body.to_text().replace("\"t1\"", "\"ghost\"");
+        assert_eq!(route(&state, &post("/shard/query", &missing)).status, 404);
+        assert_eq!(route(&state, &post("/shard/query", "{}")).status, 400);
+        assert_eq!(route(&state, &get("/shard/query")).status, 405);
+    }
+
+    #[test]
+    fn remote_placement_fans_out_over_http_and_degrades_structurally() {
+        // A live in-process "shard server" owning partition 1 of 2…
+        let shard_server = crate::serve(
+            "127.0.0.1:0",
+            crate::ServerConfig {
+                workers: 2,
+                ..crate::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let body = format!(
+            r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y","shard_of":"1/2"}}"#
+        );
+        let reply = route(shard_server.state(), &post("/datasets", &body));
+        assert_eq!(reply.status, 201, "{}", reply.body);
+
+        // …and a router whose dataset places shard 0 locally and shard 1
+        // on that server.
+        let router = state();
+        let body = format!(
+            r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y",
+                 "shard_endpoints":["local","{}"]}}"#,
+            shard_server.addr()
+        );
+        let reply = route(&router, &post("/datasets", &body));
+        assert_eq!(reply.status, 201, "{}", reply.body);
+        assert!(
+            reply.body.contains(&format!("\"{}\"", shard_server.addr())),
+            "{}",
+            reply.body
+        );
+
+        // Reference: the same dataset, all-local.
+        register_sharded(&router, "ref", 2);
+        let q = |ds: &str| format!(r#"{{"dataset":"{ds}","query":"[p=up][p=down]","k":2}}"#);
+        let want = route(&router, &post("/query", &q("ref")));
+        let got = route(&router, &post("/query", &q("t1")));
+        assert_eq!(got.status, 200, "{}", got.body);
+        let want = json::parse(&want.body).unwrap();
+        let got = json::parse(&got.body).unwrap();
+        assert_eq!(
+            got.get("results").unwrap().to_text(),
+            want.get("results").unwrap().to_text(),
+            "mixed placement must be byte-identical to all-local"
+        );
+
+        // Healthz gained the endpoint's gauges.
+        let health = route(&router, &get("/healthz"));
+        let parsed = json::parse(&health.body).unwrap();
+        let remote = parsed.get("remote_shards").unwrap();
+        assert_eq!(remote.get("endpoints").unwrap().as_usize(), Some(1));
+        assert_eq!(remote.get("requests").unwrap().as_usize(), Some(1));
+        assert_eq!(remote.get("errors").unwrap().as_usize(), Some(0));
+        let by = remote.get("by_endpoint").unwrap().as_array().unwrap();
+        assert_eq!(
+            by[0].get("endpoint").unwrap().as_str(),
+            Some(shard_server.addr().to_string().as_str())
+        );
+
+        // Kill the shard server: the next *cold* query degrades to a
+        // structured shard_unavailable naming the endpoint, and nothing
+        // poisons the cache.
+        let endpoint = shard_server.addr().to_string();
+        shard_server.shutdown();
+        let cold = route(
+            &router,
+            &post(
+                "/query",
+                r#"{"dataset":"t1","query":"[p=down][p=up]","k":1}"#,
+            ),
+        );
+        assert_eq!(cold.status, 502, "{}", cold.body);
+        assert!(
+            cold.body.contains("\"code\":\"shard_unavailable\""),
+            "{}",
+            cold.body
+        );
+        assert!(cold.body.contains(&endpoint), "{}", cold.body);
+
+        // The warmed key still hits; the failure did not evict it.
+        let warm = route(&router, &post("/query", &q("t1")));
+        assert!(warm.body.contains("\"cached\":true"), "{}", warm.body);
     }
 
     #[test]

@@ -104,6 +104,7 @@ fn status_text(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         _ => "Unknown",
     }
 }

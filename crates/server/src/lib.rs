@@ -31,6 +31,15 @@
 //!   merges the per-shard top-k partials deterministically — results are
 //!   byte-identical for every shard count, one query can use every core,
 //!   and large batches interleave fairly with other requests.
+//! * Shards can live in **other server processes**: a registration's
+//!   partition map ([`catalog::ShardPlacement`], set via
+//!   `"shard_endpoints"` / `--shard-endpoint`) routes remote shards over
+//!   a pooled HTTP client to shard servers (`serve --shard-of I/N`,
+//!   answering `POST /shard/query` with partials), merged by the same
+//!   contract — distributed results stay byte-identical to
+//!   single-process ones, and an unreachable shard degrades to a
+//!   structured `shard_unavailable` error instead of a silent partial
+//!   top-k (`docs/ARCHITECTURE.md`, "Distributed topology").
 //! * `POST /query` accepts one query object **or an array of them**
 //!   (regex or natural-language, any segmentation algorithm, per-request
 //!   engine overrides). A batch is deduplicated through the singleflight
@@ -87,8 +96,8 @@ pub mod json;
 pub mod protocol;
 
 pub use cache::{CacheKey, CacheStats, LruCache, QueryCache};
-pub use catalog::{Catalog, DataSource, DatasetEntry, DatasetSpec};
-pub use client::{Client, ClientResponse};
+pub use catalog::{Catalog, DataSource, DatasetEntry, DatasetSpec, ShardPlacement};
+pub use client::{Client, ClientResponse, PooledClient};
 pub use error::ServerError;
 pub use handlers::AppState;
 pub use http::{Request, Response, ServerHandle};

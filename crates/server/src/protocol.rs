@@ -1,12 +1,15 @@
 //! The JSON wire protocol: typed request extraction and response
-//! construction for the four routes.
+//! construction for the five routes.
 //!
 //! ```text
 //! POST /datasets  {"name", "id"?, "csv"|"jsonl"|"path", "z", "x", "y",
 //!                  "filters"?: [{"column","op","value"}], "agg"?,
-//!                  "builtins"?: bool, "shards"?: n}
+//!                  "builtins"?: bool, "shards"?: n,
+//!                  "shard_endpoints"?: ["host:port"|null, …],
+//!                  "shard_of"?: "index/total"}
 //! GET  /datasets  → {"datasets":[{"id","name","z","x","y",
-//!                  "trendlines","points","shards"}]}
+//!                  "trendlines","points","shards","placement",
+//!                  "shard_of"?}]}
 //! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
 //!                  "pushdown"?, "parallel"?}
 //!              or [ {…}, {…}, … ]       (a batch of up to the server's
@@ -17,16 +20,36 @@
 //!                         "results",…}
 //!              → batch:  {"batch": n, "micros": total,
 //!                         "responses": [per-query objects or
-//!                                       {"error","status"}]}
+//!                                       {"error","status","code"?}]}
+//! POST /shard/query   {"dataset", "queries":[{"query","k"}, …],
+//!                      "options": {…}}     (router → shard server RPC)
+//!              → {"dataset","outcomes":[{"results":[…]} or
+//!                 {"error","status","code"?}, …],"micros"}
 //! GET  /healthz   → {"status","datasets","queries",
 //!                    "cache":{"lookups","hits","misses","coalesced",…},
 //!                    "shards":{"default","dataset_shards",
-//!                              "compute_workers","tasks","micros_total"}}
+//!                              "compute_workers","tasks","micros_total"},
+//!                    "remote_shards":{"endpoints","requests","errors",
+//!                                     "micros_total","by_endpoint"}}
 //! ```
 //!
 //! Oversized batches are refused with a *structured* 400 so clients can
 //! split and retry programmatically:
 //! `{"error": …, "code": "batch_too_large", "max_batch": …, "batch_len": …}`.
+//! An unreachable remote shard likewise surfaces structurally:
+//! `{"error": "shard endpoint host:port unavailable: …",
+//! "code": "shard_unavailable", "status": 502}` — the endpoint is named
+//! in the message so an operator knows which shard to repoint.
+//!
+//! The `/shard/query` options object serializes **every result-affecting
+//! engine knob** explicitly (segmenter, binning, pushdown, all scoring
+//! parameters, pruning configuration) and the receiving shard server
+//! treats every field as required — a router and a shard server that
+//! disagree about the option vocabulary fail loudly at the RPC boundary
+//! instead of silently computing under different options. Scheduling
+//! knobs (`parallel`, `parallel_threshold`) are deliberately *not* on
+//! the wire: they never change results, and each process schedules its
+//! own cores.
 
 use crate::catalog::{DataSource, DatasetEntry, DatasetSpec};
 use crate::error::ServerError;
@@ -84,6 +107,47 @@ pub fn dataset_spec_from_json(body: &Json) -> Result<DatasetSpec, ServerError> {
         visual = visual.with_aggregation(agg);
     }
 
+    let shard_endpoints = match body.get("shard_endpoints") {
+        None => None,
+        Some(Json::Arr(items)) => {
+            let mut endpoints = Vec::with_capacity(items.len());
+            for item in items {
+                endpoints.push(match item {
+                    Json::Null => None,
+                    Json::Str(s) if s.eq_ignore_ascii_case("local") => None,
+                    Json::Str(s) if !s.is_empty() => Some(s.clone()),
+                    other => {
+                        return Err(ServerError::bad_request(format!(
+                            "`shard_endpoints` entries must be \"host:port\", \
+                             \"local\", or null; got {other:?}"
+                        )))
+                    }
+                });
+            }
+            if endpoints.is_empty() {
+                return Err(ServerError::bad_request(
+                    "`shard_endpoints` must name at least one shard",
+                ));
+            }
+            Some(endpoints)
+        }
+        Some(_) => {
+            return Err(ServerError::bad_request(
+                "`shard_endpoints` must be an array of \"host:port\"/null entries",
+            ))
+        }
+    };
+
+    let shard_of = match body.get("shard_of") {
+        None => None,
+        Some(Json::Str(text)) => Some(parse_shard_of(text).map_err(ServerError::bad_request)?),
+        Some(_) => {
+            return Err(ServerError::bad_request(
+                "`shard_of` must be a string of the form \"index/total\"",
+            ))
+        }
+    };
+
     Ok(DatasetSpec {
         id,
         name,
@@ -91,7 +155,30 @@ pub fn dataset_spec_from_json(body: &Json) -> Result<DatasetSpec, ServerError> {
         visual,
         builtins: body.get("builtins").and_then(Json::as_bool).unwrap_or(true),
         shards: body.get("shards").and_then(Json::as_usize),
+        shard_endpoints,
+        shard_of,
     })
+}
+
+/// Parses a `"index/total"` shard-of designator (shared by the wire
+/// protocol and the CLI's `--shard-of` flag).
+///
+/// # Errors
+/// Malformed text, `total` of zero, or `index >= total`.
+pub fn parse_shard_of(text: &str) -> Result<(usize, usize), String> {
+    let parsed = text
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.trim().parse().ok()?, n.trim().parse().ok()?)));
+    match parsed {
+        Some((_, 0)) => Err(format!("shard_of `{text}`: total must be at least 1")),
+        Some((index, total)) if index >= total => Err(format!(
+            "shard_of `{text}`: index {index} out of range for {total} shard(s)"
+        )),
+        Some(pair) => Ok(pair),
+        None => Err(format!(
+            "shard_of `{text}` is not of the form \"index/total\""
+        )),
+    }
 }
 
 fn predicate_from_json(f: &Json) -> Result<Predicate, ServerError> {
@@ -218,7 +305,7 @@ pub fn parse_query(request: &QueryRequest) -> Result<(ShapeQuery, Vec<String>), 
 
 /// Serializes a catalog entry for listings and registration replies.
 pub fn dataset_to_json(entry: &DatasetEntry) -> Json {
-    obj([
+    let mut fields = vec![
         ("id", entry.id.as_str().into()),
         ("name", entry.name.as_str().into()),
         ("z", entry.visual.z.as_str().into()),
@@ -227,7 +314,21 @@ pub fn dataset_to_json(entry: &DatasetEntry) -> Json {
         ("trendlines", entry.trendline_count.into()),
         ("points", entry.point_count.into()),
         ("shards", entry.shard_count.into()),
-    ])
+        (
+            "placement",
+            Json::Arr(
+                entry
+                    .placement
+                    .iter()
+                    .map(|p| p.fingerprint().into())
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some((index, total)) = entry.shard_of {
+        fields.push(("shard_of", format!("{index}/{total}").into()));
+    }
+    obj(fields)
 }
 
 /// Serializes a top-k answer as the wire `results` array.
@@ -255,9 +356,297 @@ pub fn results_to_json(results: &[TopKResult]) -> Json {
     )
 }
 
-/// Serializes an error as the wire `{"error": …}` object.
+/// Serializes an error as the wire `{"error": …}` object, with its
+/// machine-readable `code` when it has one.
 pub fn error_to_json(err: &ServerError) -> Json {
-    obj([("error", err.message.as_str().into())])
+    let mut fields = vec![("error", Json::Str(err.message.clone()))];
+    if let Some(code) = err.code {
+        fields.push(("code", code.into()));
+    }
+    obj(fields)
+}
+
+/// Serializes an error as a batch-item / shard-outcome object:
+/// `{"error", "status", "code"?}`.
+pub fn error_item_to_json(err: &ServerError) -> Json {
+    let mut fields = vec![
+        ("error", Json::Str(err.message.clone())),
+        ("status", u64::from(err.status).into()),
+    ];
+    if let Some(code) = err.code {
+        fields.push(("code", code.into()));
+    }
+    obj(fields)
+}
+
+/// Deserializes a batch-item / shard-outcome error object. The code is
+/// preserved when it is one this build knows (`shard_unavailable`), so a
+/// router can relay a downstream shard server's structured error intact.
+fn error_from_json(item: &Json) -> Option<ServerError> {
+    let message = item.get("error")?.as_str()?.to_owned();
+    let status = item.get("status")?.as_usize()? as u16;
+    let code = match item.get("code").and_then(Json::as_str) {
+        Some("shard_unavailable") => Some("shard_unavailable"),
+        _ => None,
+    };
+    Some(ServerError {
+        status,
+        message,
+        code,
+    })
+}
+
+/// Serializes every result-affecting engine option for the
+/// `/shard/query` RPC. Scheduling knobs are deliberately omitted (see
+/// the module docs).
+pub fn options_to_json(o: &EngineOptions) -> Json {
+    obj([
+        ("algo", o.segmenter.name().into()),
+        ("bin_width", o.bin_width.into()),
+        ("pushdown", o.pushdown.into()),
+        (
+            "params",
+            obj([
+                ("sharp_angle_deg", o.params.sharp_angle_deg.into()),
+                ("gradual_angle_deg", o.params.gradual_angle_deg.into()),
+                ("quantifier_threshold", o.params.quantifier_threshold.into()),
+                (
+                    "sketch_distance_scale",
+                    o.params.sketch_distance_scale.into(),
+                ),
+                ("y_tolerance", o.params.y_tolerance.into()),
+                ("min_width_frac", o.params.min_width_frac.into()),
+            ]),
+        ),
+        (
+            "pruning",
+            obj([
+                ("sample_size", o.pruning.sample_size.into()),
+                ("coarse_points", o.pruning.coarse_points.into()),
+                ("margin", o.pruning.margin.into()),
+            ]),
+        ),
+    ])
+}
+
+fn required_f64(body: &Json, key: &str) -> Result<f64, ServerError> {
+    body.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ServerError::bad_request(format!("missing numeric field `{key}`")))
+}
+
+fn required_usize(body: &Json, key: &str) -> Result<usize, ServerError> {
+    body.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ServerError::bad_request(format!("missing integer field `{key}`")))
+}
+
+/// Deserializes a `/shard/query` options object. Every field is
+/// **required**: option-vocabulary skew between a router and a shard
+/// server must fail the RPC, not silently fall back to a default that
+/// would break distributed-vs-local byte identity.
+///
+/// # Errors
+/// Missing or mistyped fields, unknown algorithm names.
+pub fn options_from_json(body: &Json) -> Result<EngineOptions, ServerError> {
+    let algo = required_str(body, "algo")?;
+    let segmenter = SegmenterKind::parse(algo)
+        .ok_or_else(|| ServerError::bad_request(format!("unknown algo `{algo}`")))?;
+    let params = body
+        .get("params")
+        .ok_or_else(|| ServerError::bad_request("missing `params` object"))?;
+    let pruning = body
+        .get("pruning")
+        .ok_or_else(|| ServerError::bad_request("missing `pruning` object"))?;
+    let mut options = EngineOptions {
+        segmenter,
+        bin_width: required_usize(body, "bin_width")?.max(1),
+        pushdown: body
+            .get("pushdown")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ServerError::bad_request("missing boolean field `pushdown`"))?,
+        ..EngineOptions::default()
+    };
+    options.params.sharp_angle_deg = required_f64(params, "sharp_angle_deg")?;
+    options.params.gradual_angle_deg = required_f64(params, "gradual_angle_deg")?;
+    options.params.quantifier_threshold = required_f64(params, "quantifier_threshold")?;
+    options.params.sketch_distance_scale = required_f64(params, "sketch_distance_scale")?;
+    options.params.y_tolerance = required_f64(params, "y_tolerance")?;
+    options.params.min_width_frac = required_f64(params, "min_width_frac")?;
+    options.pruning.sample_size = required_usize(pruning, "sample_size")?;
+    options.pruning.coarse_points = required_usize(pruning, "coarse_points")?;
+    options.pruning.margin = required_f64(pruning, "margin")?;
+    Ok(options)
+}
+
+/// The parsed body of a `POST /shard/query` RPC.
+pub struct ShardQueryRequest {
+    /// Dataset id on the shard server (the router registers its shard
+    /// servers under the same id it serves).
+    pub dataset: String,
+    /// The query group: canonical query text parsed back to ASTs, with
+    /// each query's `k`.
+    pub queries: Vec<(ShapeQuery, usize)>,
+    /// The fully pinned, result-affecting engine options.
+    pub options: EngineOptions,
+}
+
+/// Builds the `POST /shard/query` request body the router sends for one
+/// query group.
+pub fn shard_request_to_json(
+    dataset: &str,
+    queries: &[(ShapeQuery, usize)],
+    options: &EngineOptions,
+) -> Json {
+    obj([
+        ("dataset", dataset.into()),
+        (
+            "queries",
+            Json::Arr(
+                queries
+                    .iter()
+                    .map(|(q, k)| obj([("query", q.to_string().into()), ("k", (*k).into())]))
+                    .collect(),
+            ),
+        ),
+        ("options", options_to_json(options)),
+    ])
+}
+
+/// Parses a `POST /shard/query` body.
+///
+/// # Errors
+/// Missing fields, unparseable query text, bad options.
+pub fn shard_request_from_json(body: &Json) -> Result<ShardQueryRequest, ServerError> {
+    let dataset = required_str(body, "dataset")?.to_owned();
+    let items = body
+        .get("queries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ServerError::bad_request("missing `queries` array"))?;
+    if items.is_empty() {
+        return Err(ServerError::bad_request(
+            "`queries` must contain at least one entry",
+        ));
+    }
+    let mut queries = Vec::with_capacity(items.len());
+    for item in items {
+        let text = required_str(item, "query")?;
+        let query = shapesearch_parser::parse_regex(text)
+            .map_err(|e| ServerError::bad_request(format!("query parse error: {e}")))?;
+        queries.push((query, item.get("k").and_then(Json::as_usize).unwrap_or(5)));
+    }
+    let options = options_from_json(
+        body.get("options")
+            .ok_or_else(|| ServerError::bad_request("missing `options` object"))?,
+    )?;
+    Ok(ShardQueryRequest {
+        dataset,
+        queries,
+        options,
+    })
+}
+
+/// Serializes a shard server's per-query outcomes as the
+/// `POST /shard/query` response body.
+pub fn shard_outcomes_to_json(
+    dataset: &str,
+    outcomes: &[Result<Vec<TopKResult>, ServerError>],
+    micros: u64,
+) -> Json {
+    obj([
+        ("dataset", dataset.into()),
+        (
+            "outcomes",
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|outcome| match outcome {
+                        Ok(results) => obj([("results", results_to_json(results))]),
+                        Err(e) => error_item_to_json(e),
+                    })
+                    .collect(),
+            ),
+        ),
+        ("micros", micros.into()),
+    ])
+}
+
+/// Parses a shard server's `POST /shard/query` response back into
+/// per-query outcomes. `expected` is the number of queries the router
+/// sent; a reply with any other outcome count is malformed.
+///
+/// # Errors
+/// A human-readable description of what was malformed (the caller wraps
+/// it into a `shard_unavailable` naming the endpoint).
+pub fn shard_outcomes_from_json(
+    body: &Json,
+    expected: usize,
+) -> Result<Vec<Result<Vec<TopKResult>, ServerError>>, String> {
+    let items = body
+        .get("outcomes")
+        .and_then(Json::as_array)
+        .ok_or("reply carried no `outcomes` array")?;
+    if items.len() != expected {
+        return Err(format!(
+            "reply carried {} outcomes for {expected} queries",
+            items.len()
+        ));
+    }
+    items
+        .iter()
+        .map(|item| {
+            if let Some(results) = item.get("results") {
+                return Ok(Ok(results_from_json(results)?));
+            }
+            error_from_json(item)
+                .map(Err)
+                .ok_or_else(|| "outcome carried neither `results` nor a structured error".into())
+        })
+        .collect()
+}
+
+/// Deserializes a wire `results` array back into [`TopKResult`]s (the
+/// inverse of [`results_to_json`]; the merge step needs typed values).
+///
+/// # Errors
+/// A description of the malformed element.
+pub fn results_from_json(results: &Json) -> Result<Vec<TopKResult>, String> {
+    let items = results.as_array().ok_or("`results` is not an array")?;
+    items
+        .iter()
+        .map(|r| {
+            let key = r
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or("result without `key`")?
+                .to_owned();
+            let score = r
+                .get("score")
+                .and_then(Json::as_f64)
+                .ok_or("result without `score`")?;
+            let viz_index = r
+                .get("viz_index")
+                .and_then(Json::as_usize)
+                .ok_or("result without `viz_index`")?;
+            let ranges = r
+                .get("ranges")
+                .and_then(Json::as_array)
+                .ok_or("result without `ranges`")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array().filter(|p| p.len() == 2)?;
+                    Some((pair[0].as_usize()?, pair[1].as_usize()?))
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed `ranges` pair")?;
+            Ok(TopKResult {
+                key,
+                score,
+                viz_index,
+                ranges,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -306,6 +695,170 @@ mod tests {
         assert!(query_request_from_json(&body).is_err());
         let body = json::parse(r#"{"dataset":"s1","algo":"warp"}"#).unwrap();
         assert!(query_request_from_json(&body).is_err());
+    }
+
+    #[test]
+    fn dataset_spec_parses_shard_endpoints_and_shard_of() {
+        let body = json::parse(
+            r#"{"name":"s","csv":"z,x,y\na,1,2\n","z":"z","x":"x","y":"y",
+                "shard_endpoints":["127.0.0.1:9001",null,"local","127.0.0.1:9002"]}"#,
+        )
+        .unwrap();
+        let spec = dataset_spec_from_json(&body).unwrap();
+        assert_eq!(
+            spec.shard_endpoints,
+            Some(vec![
+                Some("127.0.0.1:9001".into()),
+                None,
+                None,
+                Some("127.0.0.1:9002".into())
+            ])
+        );
+
+        let body = json::parse(
+            r#"{"name":"s","csv":"z,x,y\na,1,2\n","z":"z","x":"x","y":"y","shard_of":"1/4"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            dataset_spec_from_json(&body).unwrap().shard_of,
+            Some((1, 4))
+        );
+
+        for bad in [
+            r#""shard_endpoints":[]"#,
+            r#""shard_endpoints":[7]"#,
+            r#""shard_endpoints":"x:1""#,
+            r#""shard_of":"4/4""#,
+            r#""shard_of":"1-4""#,
+            r#""shard_of":"1/0""#,
+            r#""shard_of":7"#,
+        ] {
+            let body = json::parse(&format!(
+                r#"{{"name":"s","csv":"a","z":"z","x":"x","y":"y",{bad}}}"#
+            ))
+            .unwrap();
+            assert!(dataset_spec_from_json(&body).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn engine_options_round_trip_the_shard_wire() {
+        let mut options = EngineOptions {
+            segmenter: SegmenterKind::Dp,
+            bin_width: 3,
+            pushdown: false,
+            ..EngineOptions::default()
+        };
+        options.params.min_width_frac = 0.125;
+        options.pruning.margin = 0.07;
+        let wire = json::parse(&options_to_json(&options).to_text()).unwrap();
+        let back = options_from_json(&wire).unwrap();
+        assert_eq!(back.segmenter, options.segmenter);
+        assert_eq!(back.bin_width, options.bin_width);
+        assert_eq!(back.pushdown, options.pushdown);
+        assert_eq!(back.params, options.params);
+        assert_eq!(back.pruning, options.pruning);
+        // Option-vocabulary skew fails loudly: a missing result-affecting
+        // field is an error, never a silent default.
+        let Json::Obj(mut fields) = wire.clone() else {
+            panic!("options serialize as an object")
+        };
+        fields.retain(|(k, _)| k != "params");
+        assert!(options_from_json(&Json::Obj(fields)).is_err());
+        let mut crippled = wire;
+        if let Some(Json::Obj(params)) = crippled.get("params").cloned() {
+            let mut params: Vec<_> = params;
+            params.retain(|(k, _)| k != "min_width_frac");
+            if let Json::Obj(fields) = &mut crippled {
+                for (k, v) in fields.iter_mut() {
+                    if k == "params" {
+                        *v = Json::Obj(params.clone());
+                    }
+                }
+            }
+        }
+        assert!(options_from_json(&crippled).is_err());
+    }
+
+    #[test]
+    fn shard_request_and_outcomes_round_trip() {
+        let q = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
+        let queries = vec![(q.clone(), 3), (q, 7)];
+        let wire = shard_request_to_json("sales", &queries, &EngineOptions::default());
+        let req = shard_request_from_json(&json::parse(&wire.to_text()).unwrap()).unwrap();
+        assert_eq!(req.dataset, "sales");
+        assert_eq!(req.queries.len(), 2);
+        assert_eq!(req.queries[0].1, 3);
+        assert_eq!(req.queries[1].1, 7);
+        assert_eq!(req.queries[0].0, queries[0].0);
+
+        let results = vec![TopKResult {
+            key: "widget".into(),
+            score: 0.875,
+            viz_index: 4,
+            ranges: vec![(0, 3), (3, 9)],
+        }];
+        let outcomes: Vec<Result<Vec<TopKResult>, ServerError>> = vec![
+            Ok(results.clone()),
+            Err(ServerError::shard_unavailable("10.0.0.9:7878", "boom")),
+        ];
+        let reply = shard_outcomes_to_json("sales", &outcomes, 42);
+        let back = shard_outcomes_from_json(&json::parse(&reply.to_text()).unwrap(), 2).unwrap();
+        assert_eq!(back[0].as_ref().unwrap(), &results);
+        let err = back[1].as_ref().unwrap_err();
+        assert_eq!(err.status, 502);
+        assert_eq!(err.code, Some("shard_unavailable"));
+        assert!(err.message.contains("10.0.0.9:7878"));
+        // Outcome-count mismatches are malformed replies.
+        assert!(shard_outcomes_from_json(&json::parse(&reply.to_text()).unwrap(), 3).is_err());
+    }
+
+    #[test]
+    fn results_round_trip_bytes_exactly() {
+        // The distributed invariant hinges on serialize→parse→serialize
+        // being the identity on result payloads, scores included.
+        let results = vec![
+            TopKResult {
+                key: "a".into(),
+                score: 0.123456789012345,
+                viz_index: 0,
+                ranges: vec![(0, 17)],
+            },
+            TopKResult {
+                key: "b".into(),
+                score: -1.0,
+                viz_index: 3,
+                ranges: vec![(2, 5), (5, 11)],
+            },
+            TopKResult {
+                key: "c".into(),
+                score: 1.0 / 3.0,
+                viz_index: 9,
+                ranges: vec![],
+            },
+        ];
+        let text = results_to_json(&results).to_text();
+        let back = results_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, results);
+        assert_eq!(results_to_json(&back).to_text(), text);
+    }
+
+    #[test]
+    fn error_json_carries_machine_readable_code() {
+        let err = ServerError::shard_unavailable("h:1", "connect refused");
+        assert!(error_to_json(&err)
+            .to_text()
+            .contains("\"code\":\"shard_unavailable\""));
+        let item = error_item_to_json(&err);
+        assert_eq!(item.get("status").unwrap().as_usize(), Some(502));
+        assert_eq!(
+            item.get("code").unwrap().as_str(),
+            Some("shard_unavailable")
+        );
+        // Plain errors stay code-less.
+        assert!(error_to_json(&ServerError::bad_request("x"))
+            .get("code")
+            .is_none());
     }
 
     #[test]

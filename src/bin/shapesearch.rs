@@ -43,7 +43,8 @@ fn usage() -> &'static str {
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
      shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
      [--shards N] [--data-root DIR] \
-     [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...]]"
+     [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...] \
+      [--shard-of I/N | --shard-endpoint HOST:PORT|local ...]]"
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -123,6 +124,8 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut y = None;
     let mut filters: Vec<String> = Vec::new();
     let mut agg: Option<String> = None;
+    let mut shard_of: Option<(usize, usize)> = None;
+    let mut shard_endpoints: Vec<Option<String>> = Vec::new();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -160,6 +163,24 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--shards must be an integer".to_owned())?;
             }
             "--data-root" => config.data_root = Some(take("--data-root")?.into()),
+            "--shard-of" => {
+                // Shard-server mode for the preloaded dataset: own
+                // partition I of a deterministic N-way split and answer
+                // POST /shard/query for a router.
+                shard_of = Some(shapesearch::server::protocol::parse_shard_of(&take(
+                    "--shard-of",
+                )?)?);
+            }
+            "--shard-endpoint" => {
+                // Repeatable; entries map to shard indices in flag
+                // order. `local` keeps that partition in this process.
+                let ep = take("--shard-endpoint")?;
+                shard_endpoints.push(if ep.eq_ignore_ascii_case("local") {
+                    None
+                } else {
+                    Some(ep)
+                });
+            }
             "--data" => data = Some(take("--data")?),
             "--name" => name = Some(take("--name")?),
             "--z" | "-z" => z = Some(take("--z")?),
@@ -199,16 +220,36 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 visual,
                 builtins: true,
                 shards: None,
+                shard_endpoints: if shard_endpoints.is_empty() {
+                    None
+                } else {
+                    Some(shard_endpoints)
+                },
+                shard_of,
             })
             .map_err(|e| e.to_string())?;
-        println!(
-            "registered dataset `{}` ({} trendlines, {} points, {} shard{})",
-            entry.id,
-            entry.trendline_count,
-            entry.point_count,
-            entry.shard_count,
-            if entry.shard_count == 1 { "" } else { "s" }
-        );
+        match entry.shard_of {
+            Some((index, total)) => println!(
+                "registered shard {index}/{total} of dataset `{}` \
+                 ({} trendlines, {} points) — answering POST /shard/query",
+                entry.id, entry.trendline_count, entry.point_count,
+            ),
+            None => println!(
+                "registered dataset `{}` ({} trendlines, {} points, {} shard{}{})",
+                entry.id,
+                entry.trendline_count,
+                entry.point_count,
+                entry.shard_count,
+                if entry.shard_count == 1 { "" } else { "s" },
+                if entry.has_remote_shards() {
+                    ", remote placements"
+                } else {
+                    ""
+                },
+            ),
+        }
+    } else if shard_of.is_some() || !shard_endpoints.is_empty() {
+        return Err("--shard-of / --shard-endpoint only apply to a --data preregistration".into());
     }
 
     let local = service.addr();

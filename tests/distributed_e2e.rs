@@ -1,0 +1,328 @@
+//! End-to-end tests of **multi-machine sharding**: real `shapesearch`
+//! services wired into a distributed topology over loopback HTTP — shard
+//! servers owning one partition each (`shard_of`), a router whose
+//! catalog maps shards to `Local` engines or `Remote` endpoints, and the
+//! deterministic merge on top.
+//!
+//! The headline invariant extends PR 3's: distributed execution is
+//! **byte-identical** to a single-process run — scores, tie order, and
+//! fitted `ranges` — for every placement {all-local, all-remote, mixed}
+//! × shard count {1, 2, 4}. The failure-path tests pin the degraded
+//! behavior: an unreachable shard is a structured `shard_unavailable`
+//! error naming the endpoint (never a hang, never a silent partial
+//! top-k), and a restored shard serves again — cacheably — without any
+//! re-registration.
+
+use shapesearch::server::{json, Client, ServerConfig, Service};
+use shapesearch_datastore::{csv, table_from_series, Table};
+
+/// A deterministic collection with mixed shapes and **exact duplicate
+/// trendlines** (every fourth series repeats one peak shape), so the
+/// top-k contains real score ties that straddle shard boundaries — the
+/// tie-order half of the byte-identity claim is exercised, not vacuous.
+fn market_table() -> Table {
+    let n_series = 12;
+    let n_points = 80;
+    let series: Vec<(String, Vec<(f64, f64)>)> = (0..n_series)
+        .map(|s| {
+            let points: Vec<(f64, f64)> = (0..n_points)
+                .map(|i| {
+                    let t = i as f64;
+                    let y = if s % 4 == 3 {
+                        // Exact duplicates of one peak: tied scores.
+                        if t < 40.0 {
+                            t
+                        } else {
+                            80.0 - t
+                        }
+                    } else {
+                        let phase = s as f64 * 0.61;
+                        let freq = 0.05 + (s % 5) as f64 * 0.021;
+                        (t * freq + phase).sin() * 2.0 + ((s % 3) as f64 - 1.0) * 0.01 * t
+                    };
+                    (t, y)
+                })
+                .collect();
+            (format!("series{s:02}"), points)
+        })
+        .collect();
+    table_from_series("ticker", "day", "price", &series)
+}
+
+fn boot() -> Service {
+    shapesearch::server::serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Registers `market_table` on a service over HTTP, with optional
+/// extras spliced into the registration object (`"shard_of": …`,
+/// `"shard_endpoints": …`, `"shards": …`).
+fn register(client: &Client, extras: Vec<(String, json::Json)>) -> json::Json {
+    let mut fields = vec![
+        ("name".into(), "market".into()),
+        ("id".into(), "market".into()),
+        ("csv".into(), csv::write_str(&market_table()).into()),
+        ("z".into(), "ticker".into()),
+        ("x".into(), "day".into()),
+        ("y".into(), "price".into()),
+    ];
+    fields.extend(extras);
+    client
+        .post("/datasets", &json::Json::Obj(fields))
+        .unwrap()
+        .expect_ok("register")
+}
+
+fn endpoints_json(placement: &[Option<String>]) -> json::Json {
+    json::Json::Arr(
+        placement
+            .iter()
+            .map(|ep| match ep {
+                Some(endpoint) => json::Json::Str(endpoint.clone()),
+                None => json::Json::Null,
+            })
+            .collect(),
+    )
+}
+
+fn query_body(query: &str, k: usize) -> json::Json {
+    json::parse(&format!(
+        r#"{{"dataset":"market","query":"{query}","k":{k}}}"#
+    ))
+    .unwrap()
+}
+
+/// The acceptance matrix: placements {all-local, all-remote, mixed} ×
+/// shard counts {1, 2, 4}, each compared byte-for-byte against the
+/// single-process single-shard reference.
+#[test]
+fn every_placement_and_shard_count_is_byte_identical_to_single_process() {
+    // Reference: one process, one shard.
+    let reference_service = boot();
+    let reference_client = Client::new(reference_service.addr());
+    register(&reference_client, vec![("shards".into(), 1usize.into())]);
+    let queries = [
+        ("[p=up][p=down]", 12),
+        ("[p=down][p=up]", 5),
+        ("[p=up][p=flat][p=down]", 7),
+    ];
+    let reference: Vec<String> = queries
+        .iter()
+        .map(|(q, k)| {
+            let reply = reference_client
+                .post("/query", &query_body(q, *k))
+                .unwrap()
+                .expect_ok(&format!("reference {q}"));
+            let results = reply.get("results").unwrap();
+            // The duplicate series really do tie in the top-k, in
+            // ascending global order — otherwise the tie-order half of
+            // the byte-identity claim would be vacuous.
+            if *q == "[p=up][p=down]" {
+                // The duplicated series sit at global indices 3, 7, 11.
+                let dup_indices: Vec<usize> = results
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.get("viz_index").unwrap().as_usize().unwrap())
+                    .filter(|i| i % 4 == 3)
+                    .collect();
+                assert!(dup_indices.len() >= 3, "expected tied duplicates in top-k");
+                assert!(dup_indices.windows(2).all(|w| w[0] < w[1]));
+            }
+            results.to_text()
+        })
+        .collect();
+
+    let router_service = boot();
+    let router = Client::new(router_service.addr());
+
+    for shards in [1usize, 2, 4] {
+        // One shard server per partition, each registering "market" as
+        // shard i of `shards` over plain HTTP.
+        let shard_services: Vec<Service> = (0..shards).map(|_| boot()).collect();
+        let endpoints: Vec<String> = shard_services
+            .iter()
+            .map(|s| s.addr().to_string())
+            .collect();
+        for (i, service) in shard_services.iter().enumerate() {
+            let reply = register(
+                &Client::new(service.addr()),
+                vec![("shard_of".into(), format!("{i}/{shards}").into())],
+            );
+            assert_eq!(
+                reply.get("shard_of").unwrap().as_str(),
+                Some(format!("{i}/{shards}").as_str())
+            );
+        }
+
+        let placements: Vec<(&str, Vec<Option<String>>)> = vec![
+            ("all-local", vec![None; shards]),
+            ("all-remote", endpoints.iter().cloned().map(Some).collect()),
+            (
+                "mixed",
+                endpoints
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ep)| if i % 2 == 0 { Some(ep.clone()) } else { None })
+                    .collect(),
+            ),
+        ];
+        for (label, placement) in placements {
+            let remote_count = placement.iter().flatten().count();
+            let reply = register(
+                &router,
+                vec![("shard_endpoints".into(), endpoints_json(&placement))],
+            );
+            assert_eq!(reply.get("shards").unwrap().as_usize(), Some(shards));
+
+            for ((q, k), want) in queries.iter().zip(&reference) {
+                let reply = router
+                    .post("/query", &query_body(q, *k))
+                    .unwrap()
+                    .expect_ok(&format!("{label} shards={shards} {q}"));
+                assert_eq!(reply.get("cached").unwrap().as_bool(), Some(false));
+                assert_eq!(reply.get("shards").unwrap().as_usize(), Some(shards));
+                assert_eq!(
+                    &reply.get("results").unwrap().to_text(),
+                    want,
+                    "{label} shards={shards} diverged on {q}"
+                );
+                // Batches route through the same fan-out; spot-check one.
+                let batch = router
+                    .query_batch(vec![query_body(q, *k)])
+                    .unwrap()
+                    .expect_ok("batch");
+                let responses = batch.get("responses").unwrap().as_array().unwrap();
+                assert_eq!(&responses[0].get("results").unwrap().to_text(), want);
+            }
+
+            // The router's healthz names every remote endpoint in play.
+            if remote_count > 0 {
+                let health = router.get("/healthz").unwrap().expect_ok("healthz");
+                let remote = health.get("remote_shards").unwrap();
+                assert!(
+                    remote.get("endpoints").unwrap().as_usize().unwrap() >= remote_count,
+                    "{}",
+                    health.to_text()
+                );
+                assert_eq!(remote.get("errors").unwrap().as_usize(), Some(0));
+            }
+        }
+        for service in shard_services {
+            service.shutdown();
+        }
+    }
+
+    router_service.shutdown();
+    reference_service.shutdown();
+}
+
+/// Failure handling end to end: a placement naming a dead port degrades
+/// to a structured `shard_unavailable` error (no hang, no silent
+/// partial top-k), and once a shard server comes up on that same
+/// endpoint the *same registration* serves again — and its results are
+/// cacheable.
+#[test]
+fn dead_shard_degrades_structurally_and_recovers_cacheably() {
+    // Reserve a port, then leave it dead.
+    let reserved = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let endpoint = reserved.local_addr().unwrap().to_string();
+    drop(reserved);
+
+    let router_service = boot();
+    let router = Client::new(router_service.addr());
+    register(
+        &router,
+        vec![(
+            "shard_endpoints".into(),
+            endpoints_json(&[None, Some(endpoint.clone())]),
+        )],
+    );
+
+    // Query against the dead endpoint: a prompt, structured 502.
+    let started = std::time::Instant::now();
+    let reply = router
+        .post("/query", &query_body("[p=up][p=down]", 6))
+        .unwrap();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "dead shard must fail fast, not hang: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(reply.status, 502, "{}", reply.body.to_text());
+    assert_eq!(
+        reply.body.get("code").unwrap().as_str(),
+        Some("shard_unavailable")
+    );
+    assert!(
+        reply
+            .body
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains(&endpoint),
+        "the error must name the endpoint: {}",
+        reply.body.to_text()
+    );
+    // The router tallied the failure against that endpoint.
+    let health = router.get("/healthz").unwrap().expect_ok("healthz");
+    let remote = health.get("remote_shards").unwrap();
+    assert!(remote.get("errors").unwrap().as_usize().unwrap() >= 1);
+
+    // Restore the shard on the very endpoint the placement names.
+    let shard_service = shapesearch::server::serve(
+        &endpoint,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    register(
+        &Client::new(shard_service.addr()),
+        vec![("shard_of".into(), "1/2".into())],
+    );
+
+    // Same registration, same query: healthy now, and byte-identical to
+    // an all-local run.
+    let healthy = router
+        .post("/query", &query_body("[p=up][p=down]", 6))
+        .unwrap()
+        .expect_ok("restored");
+    assert_eq!(healthy.get("cached").unwrap().as_bool(), Some(false));
+
+    let reference_service = boot();
+    let reference = Client::new(reference_service.addr());
+    register(&reference, vec![("shards".into(), 2usize.into())]);
+    let want = reference
+        .post("/query", &query_body("[p=up][p=down]", 6))
+        .unwrap()
+        .expect_ok("reference");
+    assert_eq!(
+        healthy.get("results").unwrap().to_text(),
+        want.get("results").unwrap().to_text()
+    );
+
+    // The recovered result is cacheable: the earlier failure neither
+    // cached garbage nor poisoned the key.
+    let warm = router
+        .post("/query", &query_body("[p=up][p=down]", 6))
+        .unwrap()
+        .expect_ok("warm");
+    assert_eq!(warm.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        warm.get("results").unwrap().to_text(),
+        healthy.get("results").unwrap().to_text()
+    );
+
+    shard_service.shutdown();
+    reference_service.shutdown();
+    router_service.shutdown();
+}
