@@ -78,6 +78,20 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+echo "==> engine perf report (pruning on/off x shards, writes BENCH_engine.json)"
+# The perf trajectory gate: runs the fixed seeded workload matrix,
+# asserts pruned results are byte-identical to unpruned, rewrites
+# BENCH_engine.json, and --check fails the build when the pruned default
+# is slower than SHAPESEARCH_BENCH_REGRESSION_FACTOR x the unpruned
+# baseline on any workload, or the needle-in-a-haystack speedup falls
+# below SHAPESEARCH_BENCH_MIN_NEEDLE_SPEEDUP (default 2 — real margin:
+# ~3.6x). The regression factor defaults to 1.25: the true common-case
+# overhead is ~1 % (recorded in the JSON), but a shared CI runner's
+# wall-clock noise makes a tight gate flaky by construction, so the
+# gate only catches meaningful regressions.
+./target/release/perf_report --check
+test -s BENCH_engine.json || { echo "perf_report wrote no BENCH_engine.json"; exit 1; }
+
 echo "==> sharded serve smoke (--shards 4, HTTP batch query)"
 # Guards the whole fan-out path end to end: CLI flag -> catalog default
 # -> shard partitioning -> compute-pool fan-out -> merge -> JSON reply.
@@ -150,7 +164,8 @@ CI_TMP="$CI_TMP $ROUTER_REPLY $SINGLE_REPLY"
 DIFF_BODY='[
   {"dataset":"sales","query":"[p=up][p=down]","k":4},
   {"dataset":"sales","query":"[p=down][p=up][p=down]","k":6},
-  {"dataset":"sales","query":"[p=up]","k":2}
+  {"dataset":"sales","query":"[p=up]","k":2},
+  {"dataset":"sales","query":"[p=down]","k":1}
 ]'
 for target in "router 127.0.0.1:$ROUTER_PORT $ROUTER_REPLY" \
               "single 127.0.0.1:$SMOKE_PORT $SINGLE_REPLY"; do
@@ -189,6 +204,13 @@ echo "$ROUTER_HEALTH" | grep -q "\"endpoint\":\"127.0.0.1:$SHARD0_PORT\"" || {
 # and miss a partially erroring topology.
 echo "$ROUTER_HEALTH" | grep -Eq '"remote_shards":\{"endpoints":[0-9]+,"requests":[0-9]+,"errors":0,' || {
     echo "distributed smoke: router reported remote errors"
+    echo "$ROUTER_HEALTH"; exit 1;
+}
+# The Section-6.3 bound path was actually exercised end to end: the
+# router's local shards computed at least one score upper bound (the
+# k=1 query guarantees a live threshold even on these tiny partitions).
+echo "$ROUTER_HEALTH" | grep -Eq '"pruning":\{"bounded":[1-9]' || {
+    echo "distributed smoke: router healthz shows no pruning activity"
     echo "$ROUTER_HEALTH"; exit 1;
 }
 echo "smoke: distributed topology OK (router == single-process, byte for byte)"

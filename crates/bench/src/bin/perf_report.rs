@@ -1,0 +1,334 @@
+//! `perf_report`: the engine performance trajectory benchmark.
+//!
+//! Runs a fixed, seeded workload matrix — needle-in-a-haystack and
+//! common-pattern queries × {1, 4} engine shards × §6.3 pruning
+//! {default-on, off} — asserts the pruned results are byte-identical to
+//! the unpruned ones, and writes `BENCH_engine.json` into the current
+//! directory (the repo root when run through `ci.sh`). This file is the
+//! start of the perf trajectory: each CI run uploads it as an artifact,
+//! so regressions have a recorded baseline to be compared against.
+//!
+//! ```sh
+//! cargo run -p shapesearch-bench --bin perf_report --release [-- --check]
+//! ```
+//!
+//! With `--check` the run additionally gates: pruning-on must never be
+//! slower than `SHAPESEARCH_BENCH_REGRESSION_FACTOR` (default 1.25 — the real overhead is ~1 %, but shared-runner wall-clock noise makes a tighter gate flaky)
+//! times pruning-off on any workload, and the needle workload must show
+//! at least `SHAPESEARCH_BENCH_MIN_NEEDLE_SPEEDUP` (default 2.0) — the
+//! paper's headline §6.3 effect.
+
+use shapesearch_core::{
+    EngineOptions, PruningMode, PruningSnapshot, ShapeQuery, ShardedEngine, SharedThresholds,
+};
+use shapesearch_datastore::Trendline;
+use shapesearch_parser::parse_regex;
+use std::time::Instant;
+
+/// Deterministic dataset seed (shared with the figure benches).
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+/// Collection size: above the engine's default auto-parallel threshold,
+/// so the measured path is the true default configuration.
+const TRENDLINES: usize = 1228;
+/// Points per trendline.
+const POINTS: usize = 48;
+/// Result count per query.
+const K: usize = 5;
+/// Timing repetitions (best-of).
+const REPS: usize = 5;
+
+/// A splitmix-ish LCG in [-1, 1).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as f64) / ((1u64 << 31) as f64) - 1.0
+    }
+}
+
+/// Needle-in-a-haystack: ~1 % clean peaks buried in strictly falling
+/// distractors (mild deterministic curvature, no up-blips — exactly the
+/// shape §6.3 prunes hardest).
+fn needle_collection() -> Vec<Trendline> {
+    let mut rng = Lcg(SEED);
+    (0..TRENDLINES)
+        .map(|i| {
+            if i % 100 == 37 {
+                let pairs: Vec<(f64, f64)> = (0..POINTS)
+                    .map(|t| {
+                        let t = t as f64;
+                        let mid = POINTS as f64 / 2.0;
+                        (t, if t < mid { t } else { 2.0 * mid - t })
+                    })
+                    .collect();
+                Trendline::from_pairs(format!("needle{i}"), &pairs)
+            } else {
+                let steep = 0.5 + rng.next().abs();
+                let pairs: Vec<(f64, f64)> = (0..POINTS)
+                    .map(|t| {
+                        let t = t as f64;
+                        (t, -steep * t - 0.002 * t * t)
+                    })
+                    .collect();
+                Trendline::from_pairs(format!("fall{i}"), &pairs)
+            }
+        })
+        .collect()
+}
+
+/// Common-pattern workload: random walks where up-then-down matches
+/// almost everything moderately well — bounds stay above the threshold,
+/// so this measures pure pruning overhead.
+fn common_collection() -> Vec<Trendline> {
+    let mut rng = Lcg(SEED ^ 0x5bf0_3635);
+    (0..TRENDLINES)
+        .map(|i| {
+            let mut y = 0.0;
+            let pairs: Vec<(f64, f64)> = (0..POINTS)
+                .map(|t| {
+                    y += rng.next();
+                    (t as f64, y)
+                })
+                .collect();
+            Trendline::from_pairs(format!("walk{i}"), &pairs)
+        })
+        .collect()
+}
+
+struct Measured {
+    micros: u64,
+    results: String,
+    pruning: PruningSnapshot,
+}
+
+/// Best-of-`REPS` wall clock of one configuration, with the counters of
+/// the final rep and a canonical rendering of its results.
+fn measure(
+    trendlines: &[Trendline],
+    shards: usize,
+    mode: PruningMode,
+    query: &ShapeQuery,
+) -> Measured {
+    let options = EngineOptions {
+        pruning_mode: mode,
+        ..EngineOptions::default()
+    };
+    let engine = ShardedEngine::from_trendlines(trendlines.to_vec(), shards).with_options(options);
+    let mut best = u64::MAX;
+    let mut last = None;
+    for _ in 0..REPS {
+        let shared = SharedThresholds::new(1);
+        let started = Instant::now();
+        let results = engine
+            .top_k_batch_shared(&[(query, K)], engine.options(), &shared)
+            .pop()
+            .expect("one outcome")
+            .expect("query runs");
+        best = best.min(started.elapsed().as_micros() as u64);
+        last = Some((results, shared.snapshot()));
+    }
+    let (results, pruning) = last.expect("REPS > 0");
+    let rendered: Vec<String> = results
+        .iter()
+        .map(|r| format!("{}:{}:{:?}:{:?}", r.key, r.viz_index, r.score, r.ranges))
+        .collect();
+    Measured {
+        micros: best,
+        results: rendered.join(";"),
+        pruning,
+    }
+}
+
+struct ConfigReport {
+    shards: usize,
+    on_micros: u64,
+    off_micros: u64,
+    speedup: f64,
+    pruning: PruningSnapshot,
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    query: &'static str,
+    configs: Vec<ConfigReport>,
+}
+
+fn run_workload(
+    name: &'static str,
+    query_text: &'static str,
+    data: &[Trendline],
+) -> WorkloadReport {
+    let query = parse_regex(query_text).expect("static query parses");
+    let configs = [1usize, 4]
+        .iter()
+        .map(|&shards| {
+            let on = measure(data, shards, PruningMode::Auto, &query);
+            let off = measure(data, shards, PruningMode::Off, &query);
+            assert_eq!(
+                on.results, off.results,
+                "{name} shards={shards}: pruning changed the answer"
+            );
+            eprintln!(
+                "{name:>7} shards={shards}: pruned={:>8}µs unpruned={:>8}µs speedup={:.2}x \
+                 (bounded={} pruned={} scored={} bound_micros={})",
+                on.micros,
+                off.micros,
+                off.micros as f64 / on.micros as f64,
+                on.pruning.bounded,
+                on.pruning.pruned,
+                on.pruning.scored,
+                on.pruning.bound_micros,
+            );
+            ConfigReport {
+                shards,
+                on_micros: on.micros,
+                off_micros: off.micros,
+                speedup: off.micros as f64 / on.micros as f64,
+                pruning: on.pruning,
+            }
+        })
+        .collect();
+    WorkloadReport {
+        name,
+        query: query_text,
+        configs,
+    }
+}
+
+fn render_json(workloads: &[WorkloadReport]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine_pruning\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"trendlines\": {TRENDLINES},\n"));
+    out.push_str(&format!("  \"points\": {POINTS},\n"));
+    out.push_str(&format!("  \"k\": {K},\n"));
+    out.push_str(&format!("  \"reps\": {REPS},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        out.push_str(&format!("      \"query\": \"{}\",\n", w.query));
+        out.push_str("      \"configs\": [\n");
+        for (ci, c) in w.configs.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"shards\": {}, \"pruning_on_micros\": {}, \
+                 \"pruning_off_micros\": {}, \"speedup\": {:.3}, \
+                 \"pruning\": {{\"bounded\": {}, \"pruned\": {}, \"scored\": {}, \
+                 \"bound_micros\": {}}}}}{}\n",
+                c.shards,
+                c.on_micros,
+                c.off_micros,
+                c.speedup,
+                c.pruning.bounded,
+                c.pruning.pruned,
+                c.pruning.scored,
+                c.pruning.bound_micros,
+                if ci + 1 == w.configs.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 == workloads.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Pulls `pruning_on_micros` for (workload, shards) out of a previous
+/// run's `BENCH_engine.json` (this binary's own output format).
+fn baseline_micros(text: &str, workload: &str, shards: usize) -> Option<u64> {
+    let name_key = format!("\"name\": \"{workload}\"");
+    let section = &text[text.find(&name_key)?..];
+    let needle = format!("\"shards\": {shards}, \"pruning_on_micros\": ");
+    let rest = &section[section.find(&needle)? + needle.len()..];
+    rest.split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    // A same-machine trajectory gate (opt in): point
+    // SHAPESEARCH_BENCH_BASELINE at a previous run's BENCH_engine.json
+    // and --check also compares absolute pruned-path times against it.
+    // Read BEFORE measuring/writing — the baseline may be the very file
+    // this run is about to overwrite. Off by default because absolute
+    // times only compare meaningfully on the same hardware.
+    let baseline = std::env::var("SHAPESEARCH_BENCH_BASELINE")
+        .ok()
+        .and_then(|path| match std::fs::read_to_string(&path) {
+            Ok(text) => Some((path, text)),
+            Err(e) => {
+                eprintln!("perf_report: baseline {path} unreadable ({e}); skipping that gate");
+                None
+            }
+        });
+
+    let workloads = vec![
+        run_workload("needle", "[p=up][p=down]", &needle_collection()),
+        run_workload("common", "[p=up][p=down]", &common_collection()),
+    ];
+
+    let json = render_json(&workloads);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    eprintln!("wrote BENCH_engine.json");
+
+    if check {
+        let regression_factor = env_f64("SHAPESEARCH_BENCH_REGRESSION_FACTOR", 1.25);
+        let min_needle_speedup = env_f64("SHAPESEARCH_BENCH_MIN_NEEDLE_SPEEDUP", 2.0);
+        let mut failures = Vec::new();
+        for w in &workloads {
+            for c in &w.configs {
+                if (c.on_micros as f64) > regression_factor * c.off_micros as f64 {
+                    failures.push(format!(
+                        "{} shards={}: pruned path {}µs exceeds {regression_factor}x \
+                         unpruned {}µs",
+                        w.name, c.shards, c.on_micros, c.off_micros
+                    ));
+                }
+                if w.name == "needle" && c.speedup < min_needle_speedup {
+                    failures.push(format!(
+                        "needle shards={}: speedup {:.2}x below the {min_needle_speedup}x gate",
+                        c.shards, c.speedup
+                    ));
+                }
+                if let Some((path, text)) = &baseline {
+                    if let Some(base) = baseline_micros(text, w.name, c.shards) {
+                        if (c.on_micros as f64) > regression_factor * base as f64 {
+                            failures.push(format!(
+                                "{} shards={}: pruned path {}µs exceeds {regression_factor}x \
+                                 the recorded baseline {base}µs ({path})",
+                                w.name, c.shards, c.on_micros
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perf_report check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("perf_report check OK");
+    }
+}

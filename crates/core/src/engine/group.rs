@@ -38,6 +38,15 @@ pub struct VizData {
     pub raw_y: (f64, f64),
     /// Prefix summarized statistics over the canvas coordinates.
     pub stats: StatsIndex,
+    /// Smallest slope among the intervals between adjacent canvas points
+    /// (the leaf level of the SegmentTree). Cached at GROUP time from the
+    /// prefix sums so the §6.3 score bounds are O(1) per query: any merged
+    /// range's fitted slope is a convex combination of its interval slopes
+    /// (the "law of the triangle" of Theorem 6.4), so it lies in
+    /// `[slope_min, slope_max]`.
+    pub slope_min: f64,
+    /// Largest interval slope; see [`Self::slope_min`].
+    pub slope_max: f64,
     /// Index of the source trendline in the engine's collection.
     pub source: usize,
 }
@@ -107,6 +116,7 @@ impl VizData {
             return None;
         }
         let stats = StatsIndex::new(&xs, &ys);
+        let (slope_min, slope_max) = slope_extent(&stats);
         Some(Self {
             key: t.key.clone(),
             xs,
@@ -114,6 +124,8 @@ impl VizData {
             raw_x,
             raw_y,
             stats,
+            slope_min,
+            slope_max,
             source,
         })
     }
@@ -123,9 +135,11 @@ impl VizData {
         self.xs.len()
     }
 
-    /// A coarsened copy with at most `target_points` points (used by the
-    /// pruning stage-1 sampled scoring, §6.3: "a DP-based scoring on a subset
-    /// of points distributed uniformly across the visualization").
+    /// A coarsened copy with at most `target_points` points (§6.3's "a
+    /// DP-based scoring on a subset of points distributed uniformly across
+    /// the visualization"; the engine's pruning driver now scores its
+    /// stage-1 sample exactly so the threshold stays a proven bound, but
+    /// coarsening remains available for approximate embedders).
     pub fn coarsened(&self, target_points: usize) -> VizData {
         let target = target_points.max(2);
         if self.n() <= target {
@@ -140,6 +154,7 @@ impl VizData {
             ys.push(cy.iter().sum::<f64>() / cy.len() as f64);
         }
         let stats = StatsIndex::new(&xs, &ys);
+        let (slope_min, slope_max) = slope_extent(&stats);
         VizData {
             key: self.key.clone(),
             xs,
@@ -147,6 +162,8 @@ impl VizData {
             raw_x: self.raw_x,
             raw_y: self.raw_y,
             stats,
+            slope_min,
+            slope_max,
             source: self.source,
         }
     }
@@ -187,6 +204,13 @@ impl VizData {
         let avg_step = 1.0 / (self.n() - 1) as f64;
         ((frac / avg_step).round() as usize).max(1)
     }
+}
+
+/// `(min, max)` of the slopes of the intervals between adjacent points —
+/// the leaf level of the SegmentTree, read off the prefix sums. The index
+/// always holds at least two points, so both extremes exist.
+fn slope_extent(stats: &StatsIndex) -> (f64, f64) {
+    extent((0..stats.len() - 1).map(|i| stats.slope(i, i + 1)))
 }
 
 fn extent(values: impl Iterator<Item = f64>) -> (f64, f64) {
@@ -308,6 +332,26 @@ mod tests {
         let c = v.coarsened(10);
         assert_eq!(c.n(), 3);
         assert_eq!(c.xs, v.xs);
+    }
+
+    #[test]
+    fn slope_extremes_cover_every_interval() {
+        let t = trend(&[(0.0, 0.0), (1.0, 3.0), (2.0, 1.0), (3.0, 2.0)]);
+        let v = VizData::from_trendline(&t, 0, 1).unwrap();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..v.n() - 1 {
+            let s = v.stats.slope(i, i + 1);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        assert_eq!(v.slope_min, lo);
+        assert_eq!(v.slope_max, hi);
+        assert!(v.slope_min < 0.0 && v.slope_max > 0.0);
+        // A monotone line's extremes collapse onto one slope.
+        let mono = trend(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let v = VizData::from_trendline(&mono, 0, 1).unwrap();
+        assert!((v.slope_min - v.slope_max).abs() < 1e-12);
     }
 
     #[test]

@@ -11,7 +11,9 @@ mod topk;
 use crate::algo::baseline::{BaselineMethod, WholeSeriesBaseline};
 use crate::algo::dp::DpSegmenter;
 use crate::algo::greedy::GreedySegmenter;
-use crate::algo::pruning::{run_pruned, PrunedOutcome, PruningConfig};
+use crate::algo::pruning::{
+    PruningConfig, PruningCounters, PruningDriver, PruningMode, PruningSnapshot, ThresholdCell,
+};
 use crate::algo::segment_tree::SegmentTreeSegmenter;
 use crate::algo::{MatchResult, Segmenter, SegmenterKind};
 use crate::ast::Pattern;
@@ -22,6 +24,7 @@ use crate::score::ScoreParams;
 use crate::ShapeQuery;
 use group::VizData;
 use shapesearch_datastore::{extract, ExtractOptions, Table, Trendline, VisualSpec};
+use std::sync::Arc;
 use topk::TopK;
 
 /// Collection size (in trendlines) at or above which a single query runs
@@ -49,8 +52,12 @@ pub struct EngineOptions {
     pub parallel_threshold: usize,
     /// Scoring parameters.
     pub params: ScoreParams,
-    /// Two-stage pruning configuration (used by
-    /// [`SegmenterKind::SegmentTreePruned`]).
+    /// When §6.3 bound pruning applies (default [`PruningMode::Auto`]:
+    /// every exact segmenter prunes). Like the scheduling knobs, pruning
+    /// never changes results — it only skips candidates that provably
+    /// cannot enter the top k.
+    pub pruning_mode: PruningMode,
+    /// Two-stage pruning configuration (stage-1 sample size).
     pub pruning: PruningConfig,
 }
 
@@ -63,8 +70,80 @@ impl Default for EngineOptions {
             parallel: false,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             params: ScoreParams::default(),
+            pruning_mode: PruningMode::default(),
             pruning: PruningConfig::default(),
         }
+    }
+}
+
+/// Cross-executor shared state for one batched computation: one
+/// [`ThresholdCell`] per query plus one set of pruning counters.
+///
+/// Everything that executes parts of the *same* logical computation —
+/// `run_per_viz`'s parallel chunks, a [`shard::ShardedEngine`]'s shards,
+/// the server's compute-pool shard tasks, even remote shard servers (via
+/// the wire `threshold_hint`) — should share one of these so every
+/// executor's progress tightens the pruning bound everywhere else. The
+/// plain entry points create a private one per call; embedders that fan
+/// a computation out themselves build it once via [`Self::new`] and pass
+/// clones (clones share the same cells) to every executor, then read the
+/// effectiveness [`Self::snapshot`] and any per-query hint debt
+/// ([`Self::hint_pruned`]) afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct SharedThresholds {
+    cells: Vec<Arc<ThresholdCell>>,
+    counters: Arc<PruningCounters>,
+}
+
+impl SharedThresholds {
+    /// Fresh state for a computation over `queries` queries.
+    pub fn new(queries: usize) -> Self {
+        Self {
+            cells: (0..queries)
+                .map(|_| Arc::new(ThresholdCell::new()))
+                .collect(),
+            counters: Arc::new(PruningCounters::new()),
+        }
+    }
+
+    /// Number of per-query cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when built for zero queries.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The shared threshold cell of query `query`.
+    ///
+    /// # Panics
+    /// When `query` is out of range.
+    pub fn cell(&self, query: usize) -> &ThresholdCell {
+        &self.cells[query]
+    }
+
+    /// The shared counter sink every driver of this computation feeds.
+    pub fn counters(&self) -> &PruningCounters {
+        &self.counters
+    }
+
+    /// A point-in-time copy of the pruning effectiveness counters.
+    pub fn snapshot(&self) -> PruningSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Plants an unproven `threshold_hint` for query `query` (see
+    /// [`ThresholdCell::seed_hint`]).
+    pub fn seed_hint(&self, query: usize, value: f64) {
+        self.cells[query].seed_hint(value);
+    }
+
+    /// The largest upper bound pruned on hint authority alone for query
+    /// `query`, if any (see [`ThresholdCell::hint_pruned`]).
+    pub fn hint_pruned(&self, query: usize) -> Option<f64> {
+        self.cells[query].hint_pruned()
     }
 }
 
@@ -229,6 +308,31 @@ impl ShapeEngine {
         items: &[(&ShapeQuery, usize)],
         options: &EngineOptions,
     ) -> Vec<Result<Vec<TopKResult>>> {
+        self.top_k_batch_shared(items, options, &SharedThresholds::new(items.len()))
+    }
+
+    /// [`Self::top_k_batch`] against caller-owned shared execution state:
+    /// the seam that lets an embedder fanning one computation across
+    /// several engines (the sharded engine's partitions, the server's
+    /// compute-pool shard tasks) give every executor the *same* per-query
+    /// [`ThresholdCell`]s, so each executor's proven top-k progress
+    /// prunes work in all the others. Results are byte-identical to the
+    /// private-state path — pruning only ever skips candidates that
+    /// provably cannot enter the top k.
+    ///
+    /// # Panics
+    /// When `shared` was not built for exactly `items.len()` queries.
+    pub fn top_k_batch_shared(
+        &self,
+        items: &[(&ShapeQuery, usize)],
+        options: &EngineOptions,
+        shared: &SharedThresholds,
+    ) -> Vec<Result<Vec<TopKResult>>> {
+        assert_eq!(
+            items.len(),
+            shared.len(),
+            "shared state must carry one ThresholdCell per query"
+        );
         struct Prep<'q> {
             query: &'q ShapeQuery,
             k: usize,
@@ -267,7 +371,7 @@ impl ShapeEngine {
         // once for the whole batch. A trendline every query prunes (or that
         // only restricted queries touch) is never GROUPed at all, so the
         // single-query case keeps its pre-batch work profile exactly.
-        let shared: Vec<Option<VizData>> = self
+        let grouped: Vec<Option<VizData>> = self
             .trendlines
             .iter()
             .enumerate()
@@ -283,7 +387,8 @@ impl ShapeEngine {
 
         preps
             .into_iter()
-            .map(|prep| {
+            .enumerate()
+            .map(|(qi, prep)| {
                 let p = prep?;
                 let private: Vec<VizData>;
                 let vizzes: Vec<&VizData> = if p.restrict {
@@ -305,18 +410,29 @@ impl ShapeEngine {
                 } else {
                     self.trendlines
                         .iter()
-                        .zip(&shared)
+                        .zip(&grouped)
                         .filter(|(t, _)| wants(&p, t))
                         .filter_map(|(_, v)| v.as_ref())
                         .collect()
                 };
 
-                let results = match options.segmenter {
-                    SegmenterKind::SegmentTreePruned => {
-                        self.run_pruned_driver(&vizzes, p.query, &p.chains, p.k, options)
-                    }
-                    kind => self.run_per_viz(&vizzes, &p.chains, kind, p.k, options),
-                };
+                let driver = options.pruning_mode.active_for(options.segmenter).then(|| {
+                    PruningDriver::new(
+                        p.query,
+                        &options.params,
+                        shared.cell(qi),
+                        shared.counters(),
+                        p.k,
+                    )
+                });
+                let results = self.run_per_viz(
+                    &vizzes,
+                    &p.chains,
+                    options.segmenter,
+                    p.k,
+                    options,
+                    driver.as_ref(),
+                );
 
                 Ok(results
                     .into_sorted()
@@ -340,6 +456,7 @@ impl ShapeEngine {
         kind: SegmenterKind,
         k: usize,
         options: &EngineOptions,
+        prune: Option<&PruningDriver<'_>>,
     ) -> TopK {
         let score_one = |viz: &VizData| -> MatchResult {
             let ev = Evaluator::new(viz, &options.params, &self.udps);
@@ -348,7 +465,10 @@ impl ShapeEngine {
             }
             match kind {
                 SegmenterKind::Dp => DpSegmenter.match_viz(&ev, chains),
-                SegmenterKind::SegmentTree => {
+                // The pruned variant is SegmentTree scoring; what made it
+                // "pruned" — the §6.3 bound check — is now the driver
+                // below, shared by every exact segmenter.
+                SegmenterKind::SegmentTree | SegmenterKind::SegmentTreePruned => {
                     SegmentTreeSegmenter::default().match_viz(&ev, chains)
                 }
                 SegmenterKind::Greedy => GreedySegmenter::new().match_viz(&ev, chains),
@@ -360,11 +480,54 @@ impl ShapeEngine {
                     method: BaselineMethod::Euclidean,
                 }
                 .match_viz(&ev, chains),
-                SegmenterKind::SegmentTreePruned => unreachable!("handled by the pruned driver"),
+            }
+        };
+        // One candidate through the driver: bound-check (skip if provably
+        // out), score, and publish the tightened proven k-th best. The
+        // threshold only prunes *strictly* below itself and only once some
+        // executor has k exact results, so the surviving top k is
+        // byte-identical to a prune-free pass.
+        let process = |viz: &VizData, topk: &mut TopK| {
+            if let Some(driver) = prune {
+                if driver.try_prune(viz) {
+                    return;
+                }
+                driver.record_scored();
+            }
+            let result = score_one(viz);
+            let score = result.score;
+            topk.push(viz.source, result);
+            if let Some(driver) = prune {
+                // Pool the exact score: once k scores exist *anywhere*
+                // (across chunks, shards, even processes via the server's
+                // fan-out), the global k-th becomes the proven threshold.
+                driver.observe(score);
             }
         };
 
         let mut topk = TopK::new(k);
+        // §6.3 stage 1, exactness-preserving form: score a strided sample
+        // first (exactly — the resulting threshold is proven, not
+        // estimated), so the bulk of the collection faces a live
+        // threshold from the start. Skipped when the collection is not
+        // meaningfully larger than the sample.
+        let sample = match prune {
+            Some(_) if k > 0 && vizzes.len() > options.pruning.sample_size.max(k) => {
+                let take = options.pruning.sample_size.max(1);
+                Some((vizzes.len() / take, take))
+            }
+            _ => None,
+        };
+        if let Some((stride, take)) = sample {
+            for pos in (0..vizzes.len()).step_by(stride).take(take) {
+                process(vizzes[pos], &mut topk);
+            }
+        }
+        let in_sample = move |pos: usize| match sample {
+            Some((stride, take)) => pos.is_multiple_of(stride) && pos / stride < take,
+            None => false,
+        };
+
         let parallel = options.parallel || vizzes.len() >= options.parallel_threshold;
         if parallel && vizzes.len() > 1 {
             let threads = std::thread::available_parallelism()
@@ -372,54 +535,39 @@ impl ShapeEngine {
                 .unwrap_or(4)
                 .min(vizzes.len());
             let chunk = vizzes.len().div_ceil(threads);
-            let mut all: Vec<(usize, MatchResult)> = Vec::with_capacity(vizzes.len());
             std::thread::scope(|scope| {
+                // Each chunk keeps a local top-k (pushing into it raises
+                // the shared threshold as results land, so chunks prune
+                // each other's work); merging the chunk top-ks is exact
+                // because a global top-k member is in its chunk's top-k.
                 let handles: Vec<_> = vizzes
                     .chunks(chunk)
-                    .map(|part| {
+                    .enumerate()
+                    .map(|(ci, part)| {
                         scope.spawn(move || {
-                            part.iter()
-                                .map(|v| (v.source, score_one(v)))
-                                .collect::<Vec<_>>()
+                            let mut local = TopK::new(k);
+                            for (off, v) in part.iter().enumerate() {
+                                if in_sample(ci * chunk + off) {
+                                    continue;
+                                }
+                                process(v, &mut local);
+                            }
+                            local.into_sorted()
                         })
                     })
                     .collect();
                 for h in handles {
-                    all.extend(h.join().expect("scoring thread panicked"));
+                    for s in h.join().expect("scoring thread panicked") {
+                        topk.push(s.viz, s.result);
+                    }
                 }
             });
-            for (src, r) in all {
-                topk.push(src, r);
-            }
         } else {
-            for v in vizzes {
-                topk.push(v.source, score_one(v));
-            }
-        }
-        topk
-    }
-
-    fn run_pruned_driver(
-        &self,
-        vizzes: &[&VizData],
-        query: &ShapeQuery,
-        chains: &[Chain],
-        k: usize,
-        options: &EngineOptions,
-    ) -> TopK {
-        let outcomes = run_pruned(
-            vizzes,
-            query,
-            chains,
-            &options.params,
-            &self.udps,
-            k,
-            &options.pruning,
-        );
-        let mut topk = TopK::new(k);
-        for (viz, outcome) in vizzes.iter().zip(outcomes) {
-            if let PrunedOutcome::Scored(r) = outcome {
-                topk.push(viz.source, r);
+            for (pos, v) in vizzes.iter().enumerate() {
+                if in_sample(pos) {
+                    continue;
+                }
+                process(v, &mut topk);
             }
         }
         topk
@@ -608,6 +756,118 @@ mod tests {
         assert!(matches!(outcomes[1], Err(CoreError::UnknownUdp(_))));
         let solo = engine.top_k(&good, 1).unwrap();
         assert_eq!(outcomes[2].as_ref().unwrap(), &solo);
+    }
+
+    /// A needle-in-a-haystack collection: a few peaks buried in falls.
+    fn haystack(n: usize) -> Vec<Trendline> {
+        (0..n)
+            .map(|i| {
+                if i % 17 == 3 {
+                    peaked(&format!("peak{i}"), 8.0, 16)
+                } else {
+                    falling(&format!("fall{i}"), 16)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_pruning_is_byte_identical_and_actually_prunes() {
+        let tls = haystack(120);
+        let q = updown();
+        let off = EngineOptions {
+            pruning_mode: PruningMode::Off,
+            ..EngineOptions::default()
+        };
+        let engine = ShapeEngine::from_trendlines(tls);
+        let want = engine.top_k_with_options(&q, 3, &off).unwrap();
+
+        for kind in [
+            SegmenterKind::Dp,
+            SegmenterKind::SegmentTree,
+            SegmenterKind::SegmentTreePruned,
+        ] {
+            let opts = EngineOptions {
+                segmenter: kind,
+                ..EngineOptions::default()
+            };
+            let want = if kind == SegmenterKind::Dp {
+                engine
+                    .top_k_with_options(
+                        &q,
+                        3,
+                        &EngineOptions {
+                            segmenter: kind,
+                            ..off.clone()
+                        },
+                    )
+                    .unwrap()
+            } else {
+                want.clone()
+            };
+            let shared = SharedThresholds::new(1);
+            let got = engine
+                .top_k_batch_shared(&[(&q, 3)], &opts, &shared)
+                .pop()
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, want, "{kind:?} diverged under default pruning");
+            let snap = shared.snapshot();
+            assert!(
+                snap.pruned > 50,
+                "{kind:?}: expected most falls pruned, got {snap:?}"
+            );
+            assert!(
+                snap.bounded >= snap.pruned && snap.scored >= 3,
+                "inconsistent counters: {snap:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_hint_is_always_detectable() {
+        // The satellite contract: a too-high threshold_hint may drop
+        // results from a partial, but the cell's hint-pruned debt must
+        // then fail the sender's safety check (k results with the k-th
+        // strictly above the debt), so a verifying caller always notices
+        // and retries hint-less — a poisoned hint can never *silently*
+        // drop a true top-k result.
+        let tls = haystack(60);
+        let q = updown();
+        let k = 3;
+        let engine = ShapeEngine::from_trendlines(tls);
+        let exact = engine.top_k(&q, k).unwrap();
+
+        let shared = SharedThresholds::new(1);
+        shared.seed_hint(0, 0.999); // above every real score: poison
+        let got = engine
+            .top_k_batch_shared(&[(&q, k)], engine.options(), &shared)
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_ne!(got, exact, "the poison must bite for this test to bite");
+        let debt = shared
+            .hint_pruned(0)
+            .expect("hint-justified prunes must be recorded");
+        let safe = got.len() == k && got[k - 1].score > debt;
+        assert!(!safe, "a deficient partial must fail the safety check");
+
+        // An honest hint (at/below the true k-th best) never trips the
+        // check even when it prunes.
+        let honest = SharedThresholds::new(1);
+        honest.seed_hint(0, exact[k - 1].score - 1e-9);
+        let got = engine
+            .top_k_batch_shared(&[(&q, k)], engine.options(), &honest)
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, exact, "an honest hint must not change results");
+        if let Some(debt) = honest.hint_pruned(0) {
+            assert!(
+                got[k - 1].score > debt,
+                "honest-hint debt must clear the safety check"
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! is on (or the collection crosses
 //! [`EngineOptions::parallel_threshold`]).
 
-use super::{EngineOptions, ShapeEngine, TopKResult};
+use super::{EngineOptions, ShapeEngine, SharedThresholds, TopKResult};
 use crate::error::Result;
 use crate::eval::UdpFn;
 use crate::ShapeQuery;
@@ -297,10 +297,28 @@ impl ShardedEngine {
         items: &[(&ShapeQuery, usize)],
         options: &EngineOptions,
     ) -> Vec<Result<Vec<TopKResult>>> {
+        self.top_k_batch_shared(items, options, &SharedThresholds::new(items.len()))
+    }
+
+    /// [`Self::top_k_batch`] against caller-owned shared execution state
+    /// (see [`ShapeEngine::top_k_batch_shared`]): every shard consumes
+    /// and tightens the same per-query [`super::ThresholdCell`]s, so a
+    /// shard that has found k strong results prunes the other shards'
+    /// candidates — across threads here, and across processes when the
+    /// embedder also seeds the cells from remote `threshold_hint`s.
+    ///
+    /// # Panics
+    /// When `shared` was not built for exactly `items.len()` queries.
+    pub fn top_k_batch_shared(
+        &self,
+        items: &[(&ShapeQuery, usize)],
+        options: &EngineOptions,
+        shared: &SharedThresholds,
+    ) -> Vec<Result<Vec<TopKResult>>> {
         if self.shards.len() == 1 {
             // Single shard: the plain engine path, viz-level parallelism
             // and all.
-            return self.shards[0].top_k_batch(items, options);
+            return self.shards[0].top_k_batch_shared(items, options, shared);
         }
         let fan_out = options.parallel || self.trendline_count >= options.parallel_threshold;
         let partials: Vec<Vec<Result<Vec<TopKResult>>>> = if fan_out {
@@ -318,7 +336,7 @@ impl ShardedEngine {
                     .iter()
                     .map(|shard| {
                         let inner = &inner;
-                        scope.spawn(move || shard.top_k_batch(items, inner))
+                        scope.spawn(move || shard.top_k_batch_shared(items, inner, shared))
                     })
                     .collect();
                 handles
@@ -329,7 +347,7 @@ impl ShardedEngine {
         } else {
             self.shards
                 .iter()
-                .map(|shard| shard.top_k_batch(items, options))
+                .map(|shard| shard.top_k_batch_shared(items, options, shared))
                 .collect()
         };
         merge_shard_outcomes(partials, items.iter().map(|&(_, k)| k))
@@ -384,6 +402,20 @@ pub fn merge_topk(partials: Vec<Vec<TopKResult>>, k: usize) -> Vec<TopKResult> {
     all.sort_by(|a, b| super::topk::rank(a.score, a.viz_index, b.score, b.viz_index));
     all.truncate(k);
     all
+}
+
+/// [`merge_topk`] over borrowed partials: the same ordering contract,
+/// cloning only the k winners — for embedders that must keep the
+/// per-shard partials around after the merge (e.g. the server's
+/// hint-verification pass, which may need to re-merge after a retry).
+pub fn merge_topk_refs<'a>(
+    partials: impl IntoIterator<Item = &'a [TopKResult]>,
+    k: usize,
+) -> Vec<TopKResult> {
+    let mut all: Vec<&TopKResult> = partials.into_iter().flatten().collect();
+    all.sort_by(|a, b| super::topk::rank(a.score, a.viz_index, b.score, b.viz_index));
+    all.truncate(k);
+    all.into_iter().cloned().collect()
 }
 
 /// Recombines per-shard batch outcomes (one

@@ -66,9 +66,22 @@ impl TopK {
         }
     }
 
-    /// The current k-th best score (the pruning lower bound), or −∞ when
-    /// fewer than k candidates have been seen.
-    #[allow(dead_code)] // used by collection-level drivers and tests
+    /// The current k-th best score — the proven pruning lower bound the
+    /// engine publishes into its shared
+    /// [`crate::algo::pruning::ThresholdCell`].
+    ///
+    /// **Pre-fill semantics:** returns `f64::NEG_INFINITY` until `k`
+    /// candidates have been admitted. That sentinel means "no pruning
+    /// possible yet" — fewer than k scores exist, so *nothing* can be
+    /// proven out of the top k. Consumers must treat it as the explicit
+    /// absence of a threshold (`PruningDriver` skips its bound check and
+    /// `publish` drops the value), never compare candidate bounds
+    /// against it.
+    // Not called on the engine's hot path anymore — thresholds are now
+    // proven through the ThresholdCell score pool — but kept (with its
+    // tests) for embedders that publish an already-collected k-th best
+    // via `PruningDriver::publish`.
+    #[allow(dead_code)]
     pub fn threshold(&self) -> f64 {
         if self.heap.len() < self.k {
             f64::NEG_INFINITY

@@ -53,11 +53,15 @@ pub mod score;
 pub mod stats;
 pub mod udps;
 
+pub use algo::pruning::{
+    query_bounds, PruningConfig, PruningCounters, PruningDriver, PruningMode, PruningSnapshot,
+    ThresholdCell,
+};
 pub use algo::{MatchResult, Segmenter, SegmenterKind};
 pub use ast::{IteratorSpec, Location, Modifier, Pattern, PosRef, ShapeQuery, ShapeSegment};
 pub use engine::group::VizData;
-pub use engine::shard::{merge_shard_outcomes, merge_topk, ShardedEngine};
-pub use engine::{EngineOptions, ShapeEngine, TopKResult};
+pub use engine::shard::{merge_shard_outcomes, merge_topk, merge_topk_refs, ShardedEngine};
+pub use engine::{EngineOptions, ShapeEngine, SharedThresholds, TopKResult};
 pub use error::{CoreError, Result};
 pub use eval::{Evaluator, PosContext, UdpFn, UdpRegistry};
 pub use score::ScoreParams;

@@ -23,7 +23,9 @@ use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
 use crate::protocol;
-use shapesearch_core::{merge_topk, EngineOptions, ShapeQuery, TopKResult};
+use shapesearch_core::{
+    merge_topk_refs, EngineOptions, PruningSnapshot, ShapeQuery, SharedThresholds, TopKResult,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +76,10 @@ pub struct AppState {
     pub remote: PooledClient,
     /// Consistent-snapshot local shard gauges for `/healthz`.
     pub shard_stats: Mutex<ShardStats>,
+    /// Process-lifetime §6.3 pruning gauges for `/healthz` (aggregated
+    /// per computation from the engine's shared counters; local engine
+    /// work only — a remote shard's counters show on *its* healthz).
+    pub pruning: Mutex<PruningSnapshot>,
     /// Per-endpoint remote-shard RPC gauges for `/healthz`, keyed and
     /// reported in endpoint order (a `BTreeMap` so the block serializes
     /// deterministically).
@@ -117,6 +123,7 @@ impl AppState {
             compute: ComputePool::new(workers),
             remote: PooledClient::new(),
             shard_stats: Mutex::new(ShardStats::default()),
+            pruning: Mutex::new(PruningSnapshot::default()),
             remote_stats: Mutex::new(BTreeMap::new()),
             queries: AtomicU64::new(0),
             shard_queries: AtomicU64::new(0),
@@ -207,6 +214,7 @@ fn healthz(state: &Arc<AppState>) -> Response {
     // lock.
     let stats = state.cache.stats();
     let shard_stats = state.shard_stats();
+    let pruning = *state.pruning.lock().expect("pruning stats lock");
     let dataset_shards: usize = state.catalog.list().iter().map(|e| e.shard_count).sum();
     // The remote gauges are one consistent snapshot too: every RPC
     // records requests/errors/micros inside one critical section of this
@@ -258,6 +266,7 @@ fn healthz(state: &Arc<AppState>) -> Response {
                 ),
             ]),
         ),
+        ("pruning", protocol::pruning_to_json(pruning)),
         (
             "remote_shards",
             obj([
@@ -356,28 +365,43 @@ fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, Server
 }
 
 /// One shard's contribution to a query group: per-query outcomes (the
-/// shard's top-k partial or a structured error) plus the shard's
+/// shard's top-k partial or a structured error), the shard's
 /// microseconds (engine-side for local shards, RPC round-trip for remote
-/// ones).
-type ShardRun = (Vec<Result<Vec<TopKResult>, ServerError>>, u64);
+/// ones), and — for remote shards — the per-query `pruned_bound`s the
+/// reply declared (what the shard pruned on our hint's authority alone;
+/// the verification pass must discharge every one of them).
+struct ShardRun {
+    outcomes: Vec<Result<Vec<TopKResult>, ServerError>>,
+    micros: u64,
+    pruned_bounds: Vec<Option<f64>>,
+}
 
 /// One **local** shard task: the batched engine pass over one partition,
-/// with its engine-side time (every execution path times shards the same
+/// against the computation's shared threshold cells (so this shard's
+/// proven progress prunes the other shards' work and vice versa), with
+/// its engine-side time (every execution path times shards the same
 /// way). Engine errors map to 400s here so local and remote partials
-/// carry one error type into the merge.
+/// carry one error type into the merge. Hint-justified prunes are
+/// tracked inside the shared cells, not per shard, so `pruned_bounds`
+/// is all-`None` here.
 fn run_local_shard(
     shard: &shapesearch_core::ShapeEngine,
     queries: &[(ShapeQuery, usize)],
     options: &EngineOptions,
+    shared: &SharedThresholds,
 ) -> ShardRun {
     let started = Instant::now();
     let items: Vec<(&ShapeQuery, usize)> = queries.iter().map(|(q, k)| (q, *k)).collect();
     let outcomes = shard
-        .top_k_batch(&items, options)
+        .top_k_batch_shared(&items, options, shared)
         .into_iter()
         .map(|outcome| outcome.map_err(|e| ServerError::bad_request(format!("query failed: {e}"))))
         .collect();
-    (outcomes, started.elapsed().as_micros() as u64)
+    ShardRun {
+        outcomes,
+        micros: started.elapsed().as_micros() as u64,
+        pruned_bounds: vec![None; queries.len()],
+    }
 }
 
 /// One **remote** shard task: ships the query group to the shard
@@ -396,13 +420,14 @@ fn run_remote_shard(
     dataset: &str,
     queries: &[(ShapeQuery, usize)],
     options: &EngineOptions,
+    hints: &[Option<f64>],
 ) -> ShardRun {
-    let body = protocol::shard_request_to_json(dataset, queries, options);
+    let body = protocol::shard_request_to_json(dataset, queries, hints, options);
     let started = Instant::now();
     let reply = state.remote.post(endpoint, "/shard/query", &body);
     let micros = started.elapsed().as_micros() as u64;
 
-    let outcomes: Result<Vec<Result<Vec<TopKResult>, ServerError>>, String> = match &reply {
+    let partials: Result<protocol::ShardPartials, String> = match &reply {
         Ok(response) if response.status == 200 => {
             protocol::shard_outcomes_from_json(&response.body, queries.len())
         }
@@ -417,10 +442,11 @@ fn run_remote_shard(
         )),
         Err(e) => Err(e.to_string()),
     };
-    let (outcomes, failed) = match outcomes {
-        Ok(outcomes) => (outcomes, false),
+    let (outcomes, pruned_bounds, failed) = match partials {
+        Ok(partials) => (partials.outcomes, partials.pruned_bounds, false),
         Err(detail) => (
             vec![Err(ServerError::shard_unavailable(endpoint, detail)); queries.len()],
+            vec![None; queries.len()],
             true,
         ),
     };
@@ -433,36 +459,79 @@ fn run_remote_shard(
         entry.errors += u64::from(failed);
         entry.micros_total += micros;
     }
-    (outcomes, micros)
+    ShardRun {
+        outcomes,
+        micros,
+        pruned_bounds,
+    }
 }
 
 /// Merges per-shard runs into per-query outcomes under the engine's one
-/// ordering contract ([`merge_topk`]: score descending, ties to the
-/// lower global `viz_index`). The first failing shard's error (in
+/// ordering contract ([`merge_topk_refs`]: score descending, ties to
+/// the lower global `viz_index`). The first failing shard's error (in
 /// partition order) stands for the query — a partial top-k missing a
 /// shard's candidates must never be passed off as the global answer.
-fn merge_shard_runs(
-    per_shard: Vec<Vec<Result<Vec<TopKResult>, ServerError>>>,
-    ks: impl Iterator<Item = usize>,
-) -> Vec<Result<Vec<TopKResult>, ServerError>> {
-    let mut iters: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
-    ks.map(|k| {
-        let mut partials = Vec::with_capacity(iters.len());
-        let mut first_err = None;
-        for shard in iters.iter_mut() {
-            match shard.next().expect("one outcome per query per shard") {
-                Ok(results) => partials.push(results),
-                Err(e) => {
-                    first_err.get_or_insert(e);
+/// Borrows the runs (cloning only each query's k winners) because the
+/// hint-verification pass may re-merge after retrying a shard.
+fn merge_shard_runs(runs: &[ShardRun], ks: &[usize]) -> Vec<Result<Vec<TopKResult>, ServerError>> {
+    ks.iter()
+        .enumerate()
+        .map(|(qi, &k)| {
+            let mut partials: Vec<&[TopKResult]> = Vec::with_capacity(runs.len());
+            let mut first_err = None;
+            for run in runs {
+                match &run.outcomes[qi] {
+                    Ok(results) => partials.push(results),
+                    Err(e) => {
+                        first_err.get_or_insert_with(|| e.clone());
+                    }
                 }
             }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(merge_topk_refs(partials, k)),
+            }
+        })
+        .collect()
+}
+
+/// Everything one shard fan-out produced: the merged per-query outcomes,
+/// the per-shard timings (placement order), the per-query hint debt this
+/// computation still owes *its own* caller (largest upper bound pruned on
+/// the authority of a caller-supplied hint — forwarded up the
+/// `/shard/query` reply so the caller can verify), and the computation's
+/// pruning counter snapshot.
+struct ShardExec {
+    outcomes: Vec<Result<Vec<TopKResult>, ServerError>>,
+    shard_micros: Vec<u64>,
+    hint_pruned: Vec<Option<f64>>,
+    pruning: PruningSnapshot,
+}
+
+/// True when a shard's reported hint-pruned bound is **not** discharged
+/// by the merged answer: with fewer than `k` merged results, or a k-th
+/// score not strictly above the bound, a candidate that shard pruned on
+/// our hint's authority could still belong to the true top k (strictness
+/// covers score ties, which break by index). The merged k-th is proven —
+/// it comes from exactly scored candidates — and the global k-th can
+/// only be higher, so a discharged bound is sound no matter what the
+/// hint was.
+fn hint_undischarged(
+    outcome: &Result<Vec<TopKResult>, ServerError>,
+    k: usize,
+    pruned_bound: Option<f64>,
+) -> bool {
+    // k = 0 asks for nothing, so nothing prunable can be dropped.
+    if k == 0 {
+        return false;
+    }
+    match (outcome, pruned_bound) {
+        (Ok(results), Some(bound)) => {
+            results.len() < k
+                || results[k - 1].score.total_cmp(&bound) != std::cmp::Ordering::Greater
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(merge_topk(partials, k)),
-        }
-    })
-    .collect()
+        _ => false,
+    }
 }
 
 /// Executes one `(dataset, options)` query group over the dataset's
@@ -482,6 +551,20 @@ fn merge_shard_runs(
 /// engine's auto-parallel threshold is disabled too (the cap must hold
 /// on every path).
 ///
+/// **Threshold flow.** Every local shard task shares one
+/// [`SharedThresholds`] (one cell per query), seeded from the caller's
+/// `hints` (a `/shard/query` RPC's `threshold_hint`s; empty for
+/// user-facing queries). Remote RPC tasks are enqueued *after* the local
+/// tasks and read the cells at execution time, so whatever the local
+/// shards have proven by then rides along as the remote
+/// `threshold_hint` — hints are pure accelerators and arrive as fresh as
+/// scheduling allows. After the merge, every remote-reported
+/// `pruned_bound` must be discharged by the merged answer
+/// ([`hint_undischarged`]); shards that fail verification are re-queried
+/// **hint-less** (their exact partial) and the merge repeats — which is
+/// what makes a stale or poisoned hint unable to silently drop a true
+/// top-k result.
+///
 /// This is the pool-task twin of the in-process fan-out in
 /// [`shapesearch_core::ShardedEngine::top_k_batch`] (which uses scoped
 /// threads over borrowed queries, where the server needs `'static`
@@ -490,88 +573,109 @@ fn merge_shard_runs(
 /// merge: partials are partials, whether they came off this process's
 /// pool or over the wire, so results stay byte-identical to a
 /// single-process run for every placement.
-///
-/// Returns per-query outcomes plus the per-shard microseconds
-/// (engine-side for local shards, RPC round-trip for remote ones; also
-/// accumulated into the `/healthz` gauges).
 fn execute_on_shards(
     state: &Arc<AppState>,
     entry: &Arc<DatasetEntry>,
     queries: Vec<(ShapeQuery, usize)>,
     options: &EngineOptions,
     sequential: bool,
-) -> (Vec<Result<Vec<TopKResult>, ServerError>>, Vec<u64>) {
+    hints: &[Option<f64>],
+) -> ShardExec {
     let shards = entry.engine.shards();
     let ks: Vec<usize> = queries.iter().map(|&(_, k)| k).collect();
+    let queries = Arc::new(queries);
+    let shared = SharedThresholds::new(queries.len());
+    for (i, hint) in hints.iter().enumerate().take(shared.len()) {
+        if let Some(hint) = hint {
+            shared.seed_hint(i, *hint);
+        }
+    }
+    // Shard tasks are the unit of parallelism: the engine's inner
+    // viz-level parallelism is switched off rather than oversubscribing
+    // the pool's cores. (Remote shard servers schedule their own cores;
+    // scheduling never changes results.) Also the options any
+    // verification retry re-sends.
+    let inner = EngineOptions {
+        parallel: false,
+        parallel_threshold: usize::MAX,
+        ..options.clone()
+    };
 
-    let (per_shard, shard_micros): (Vec<_>, Vec<u64>) =
-        if shards.len() == 1 && entry.placement[0] == ShardPlacement::Local {
-            // An explicit opt-out must also defeat the engine's internal
-            // auto-parallel threshold — a capped client gets one thread
-            // no matter the collection size.
-            let capped = EngineOptions {
-                parallel: false,
-                parallel_threshold: usize::MAX,
-                ..options.clone()
-            };
-            let effective = if sequential { &capped } else { options };
-            let (outcomes, micros) = run_local_shard(&shards[0], &queries, effective);
-            (vec![outcomes], vec![micros])
-        } else {
-            // Shard tasks are the unit of parallelism: the engine's inner
-            // viz-level parallelism is switched off rather than
-            // oversubscribing the pool's cores. (Remote shard servers
-            // schedule their own cores; scheduling never changes
-            // results.)
-            let inner = EngineOptions {
-                parallel: false,
-                parallel_threshold: usize::MAX,
-                ..options.clone()
-            };
-            if sequential {
-                entry
-                    .placement
-                    .iter()
-                    .zip(shards)
-                    .map(|(placement, shard)| match placement {
-                        ShardPlacement::Local => run_local_shard(shard, &queries, &inner),
-                        ShardPlacement::Remote(endpoint) => {
-                            run_remote_shard(state, endpoint, &entry.id, &queries, &inner)
-                        }
-                    })
-                    .unzip()
-            } else {
-                // Pool tasks run on long-lived threads, so each owns
-                // `Arc`s of its shard (or of the app state, for the RPC
-                // client and gauges) and of the shared query list.
-                let queries = Arc::new(queries);
-                let tasks: Vec<Box<dyn FnOnce() -> ShardRun + Send>> = entry
-                    .placement
-                    .iter()
-                    .zip(shards)
-                    .map(|(placement, shard)| match placement {
-                        ShardPlacement::Local => {
-                            let shard = Arc::clone(shard);
-                            let queries = Arc::clone(&queries);
-                            let inner = inner.clone();
-                            Box::new(move || run_local_shard(&shard, &queries, &inner))
-                                as Box<dyn FnOnce() -> ShardRun + Send>
-                        }
-                        ShardPlacement::Remote(endpoint) => {
-                            let state = Arc::clone(state);
-                            let entry = Arc::clone(entry);
-                            let endpoint = endpoint.clone();
-                            let queries = Arc::clone(&queries);
-                            let inner = inner.clone();
-                            Box::new(move || {
-                                run_remote_shard(&state, &endpoint, &entry.id, &queries, &inner)
-                            })
-                        }
-                    })
-                    .collect();
-                state.compute.run_all(tasks).into_iter().unzip()
-            }
+    let mut runs: Vec<ShardRun> = if shards.len() == 1
+        && entry.placement[0] == ShardPlacement::Local
+    {
+        // An explicit opt-out must also defeat the engine's internal
+        // auto-parallel threshold — a capped client gets one thread
+        // no matter the collection size.
+        let capped = EngineOptions {
+            parallel: false,
+            parallel_threshold: usize::MAX,
+            ..options.clone()
         };
+        let effective = if sequential { &capped } else { options };
+        vec![run_local_shard(&shards[0], &queries, effective, &shared)]
+    } else if sequential {
+        entry
+            .placement
+            .iter()
+            .zip(shards)
+            .map(|(placement, shard)| match placement {
+                ShardPlacement::Local => run_local_shard(shard, &queries, &inner, &shared),
+                ShardPlacement::Remote(endpoint) => {
+                    let hints = live_hints(&shared);
+                    run_remote_shard(state, endpoint, &entry.id, &queries, &inner, &hints)
+                }
+            })
+            .collect()
+    } else {
+        // Pool tasks run on long-lived threads, so each owns `Arc`s
+        // of its shard (or of the app state, for the RPC client and
+        // gauges) and of the shared query list. Local tasks are
+        // enqueued first so the queue's FIFO order gives remote RPCs
+        // the freshest possible threshold hints; `order` maps the
+        // submission order back onto placement slots.
+        let mut order: Vec<usize> = Vec::with_capacity(shards.len());
+        let mut tasks: Vec<Box<dyn FnOnce() -> ShardRun + Send>> = Vec::with_capacity(shards.len());
+        for (slot, (placement, shard)) in entry.placement.iter().zip(shards).enumerate() {
+            if *placement != ShardPlacement::Local {
+                continue;
+            }
+            let shard = Arc::clone(shard);
+            let queries = Arc::clone(&queries);
+            let inner = inner.clone();
+            let shared = shared.clone();
+            order.push(slot);
+            tasks.push(Box::new(move || {
+                run_local_shard(&shard, &queries, &inner, &shared)
+            }));
+        }
+        for (slot, placement) in entry.placement.iter().enumerate() {
+            let ShardPlacement::Remote(endpoint) = placement else {
+                continue;
+            };
+            let state = Arc::clone(state);
+            let entry = Arc::clone(entry);
+            let endpoint = endpoint.clone();
+            let queries = Arc::clone(&queries);
+            let inner = inner.clone();
+            let shared = shared.clone();
+            order.push(slot);
+            tasks.push(Box::new(move || {
+                // Hints read at execution time: locals enqueued ahead
+                // may already have proven a threshold.
+                let hints = live_hints(&shared);
+                run_remote_shard(&state, &endpoint, &entry.id, &queries, &inner, &hints)
+            }));
+        }
+        let mut slots: Vec<Option<ShardRun>> = (0..shards.len()).map(|_| None).collect();
+        for (slot, run) in order.into_iter().zip(state.compute.run_all(tasks)) {
+            slots[slot] = Some(run);
+        }
+        slots
+            .into_iter()
+            .map(|run| run.expect("every shard slot ran"))
+            .collect()
+    };
 
     {
         // One critical section per fan-out keeps the gauges mutually
@@ -580,26 +684,88 @@ fn execute_on_shards(
         let local_micros: Vec<u64> = entry
             .placement
             .iter()
-            .zip(&shard_micros)
+            .zip(&runs)
             .filter(|(p, _)| matches!(p, ShardPlacement::Local))
-            .map(|(_, &m)| m)
+            .map(|(_, run)| run.micros)
             .collect();
         let mut stats = state.shard_stats.lock().expect("shard stats lock");
         stats.tasks += local_micros.len() as u64;
         stats.micros_total += local_micros.iter().sum::<u64>();
     }
 
-    (merge_shard_runs(per_shard, ks.into_iter()), shard_micros)
+    let mut outcomes = merge_shard_runs(&runs, &ks);
+
+    // Verification: every remote-reported hint-pruned bound must be
+    // strictly cleared by the merged answer; shards owing an
+    // undischarged bound are re-queried hint-less (their reply is then
+    // the exact partial, with nothing left to verify).
+    let retry: Vec<usize> = entry
+        .placement
+        .iter()
+        .enumerate()
+        .filter(|(slot, placement)| {
+            matches!(placement, ShardPlacement::Remote(_))
+                && runs[*slot]
+                    .pruned_bounds
+                    .iter()
+                    .zip(&outcomes)
+                    .zip(&ks)
+                    .any(|((&bound, outcome), &k)| hint_undischarged(outcome, k, bound))
+        })
+        .map(|(slot, _)| slot)
+        .collect();
+    if !retry.is_empty() {
+        let no_hints = vec![None; queries.len()];
+        for slot in retry {
+            let ShardPlacement::Remote(endpoint) = &entry.placement[slot] else {
+                unreachable!("only remote shards are retried");
+            };
+            runs[slot] = run_remote_shard(state, endpoint, &entry.id, &queries, &inner, &no_hints);
+        }
+        outcomes = merge_shard_runs(&runs, &ks);
+    }
+
+    let pruning = shared.snapshot();
+    state
+        .pruning
+        .lock()
+        .expect("pruning stats lock")
+        .add(pruning);
+
+    ShardExec {
+        outcomes,
+        shard_micros: runs.iter().map(|run| run.micros).collect(),
+        hint_pruned: (0..queries.len()).map(|i| shared.hint_pruned(i)).collect(),
+        pruning,
+    }
+}
+
+/// The per-query `threshold_hint`s to forward to a remote shard: each
+/// cell's current effective threshold (proven progress plus any hint
+/// this process itself received — sound to forward because every tier
+/// verifies the bounds its downstream reports), or `None` while a cell
+/// is still empty.
+fn live_hints(shared: &SharedThresholds) -> Vec<Option<f64>> {
+    (0..shared.len())
+        .map(|i| {
+            let threshold = shared.cell(i).get();
+            (threshold > f64::NEG_INFINITY).then_some(threshold)
+        })
+        .collect()
 }
 
 /// `POST /shard/query`: this process acting as a **shard server**. Runs
 /// the RPC's query group over the addressed dataset's own partition map
 /// (typically the single partition a `--shard-of` registration owns, but
 /// composable: a mid-tier router's shards — local or remote — answer the
-/// same way) and replies with per-query partials. Deliberately bypasses
-/// the result cache: the router caches the *merged* answer under a key
-/// that already fingerprints this shard's placement, and double-caching
-/// partials would double the memory for zero extra hits.
+/// same way) and replies with per-query partials. The request's
+/// `threshold_hint`s seed this computation's shared threshold cells;
+/// whatever was pruned on their authority alone is reported back per
+/// query as `pruned_bound` for the caller's verification pass, along
+/// with this RPC's pruning counters. Deliberately bypasses the result
+/// cache: the router caches the *merged* answer under a key that already
+/// fingerprints this shard's placement, and double-caching partials
+/// would double the memory for zero extra hits.
 fn shard_query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
     let body = body_json(request)?;
     let req = protocol::shard_request_from_json(&body)?;
@@ -609,11 +775,14 @@ fn shard_query(state: &Arc<AppState>, request: &Request) -> Result<Response, Ser
         .ok_or_else(|| ServerError::not_found(format!("unknown dataset `{}`", req.dataset)))?;
     state.shard_queries.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
-    let (outcomes, _shard_micros) =
-        execute_on_shards(state, &entry, req.queries, &req.options, false);
+    let exec = execute_on_shards(state, &entry, req.queries, &req.options, false, &req.hints);
     let micros = started.elapsed().as_micros() as u64;
     Ok(ok(protocol::shard_outcomes_to_json(
-        &entry.id, &outcomes, micros,
+        &entry.id,
+        &exec.outcomes,
+        &exec.hint_pruned,
+        exec.pruning,
+        micros,
     )))
 }
 
@@ -623,17 +792,18 @@ fn compute(
     state: &Arc<AppState>,
     planned: &PlannedQuery,
 ) -> Result<(Arc<Vec<TopKResult>>, Vec<u64>), ServerError> {
-    let (mut outcomes, shard_micros) = execute_on_shards(
+    let mut exec = execute_on_shards(
         state,
         &planned.entry,
         vec![(planned.query_ast.clone(), planned.k)],
         &planned.options,
         planned.parallel_opt_out,
+        &[],
     );
-    outcomes
+    exec.outcomes
         .pop()
         .expect("one outcome per query")
-        .map(|results| (Arc::new(results), shard_micros))
+        .map(|results| (Arc::new(results), exec.shard_micros))
 }
 
 /// The per-query response body (shared between the single and batch
@@ -848,9 +1018,8 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
         } else if specs.len() > 1 {
             options.parallel = true;
         }
-        let (outcomes, _shard_micros) =
-            execute_on_shards(state, &entry, specs, &options, opted_out);
-        for (&i, outcome) in indices.iter().zip(outcomes) {
+        let exec = execute_on_shards(state, &entry, specs, &options, opted_out, &[]);
+        for (&i, outcome) in indices.iter().zip(exec.outcomes) {
             let ItemProgress::Leading(planned, guard) = std::mem::replace(
                 &mut progress[i],
                 ItemProgress::Failed(ServerError::internal("batch item resolved twice")),
@@ -1375,13 +1544,18 @@ mod tests {
                 shapesearch_parser::parse_regex("[p=up][p=down]").unwrap(),
                 2,
             )],
+            &[None],
             &state.default_options,
         );
         let reply = route(&state, &post("/shard/query", &rpc_body.to_text()));
         assert_eq!(reply.status, 200, "{}", reply.body);
+        // The reply carries its engine-side pruning counters.
+        assert!(reply.body.contains("\"pruning\":{"), "{}", reply.body);
         let parsed = json::parse(&reply.body).unwrap();
-        let outcomes = protocol::shard_outcomes_from_json(&parsed, 1).unwrap();
-        let partial = outcomes[0].as_ref().unwrap();
+        let partials = protocol::shard_outcomes_from_json(&parsed, 1).unwrap();
+        // No hint was sent, so no hint debt can exist.
+        assert_eq!(partials.pruned_bounds, vec![None]);
+        let partial = partials.outcomes[0].as_ref().unwrap();
         // This entry holds the WHOLE collection, so its "partial" is
         // already the global answer — byte-identical to /query's.
         assert_eq!(
@@ -1403,13 +1577,14 @@ mod tests {
                 )),
                 1,
             )],
+            &[None],
             &state.default_options,
         );
         let reply = route(&state, &post("/shard/query", &rpc_body.to_text()));
         assert_eq!(reply.status, 200, "{}", reply.body);
-        let outcomes =
+        let partials =
             protocol::shard_outcomes_from_json(&json::parse(&reply.body).unwrap(), 1).unwrap();
-        assert_eq!(outcomes[0].as_ref().unwrap_err().status, 400);
+        assert_eq!(partials.outcomes[0].as_ref().unwrap_err().status, 400);
 
         // Envelope-level failures: unknown dataset 404, malformed 400,
         // wrong method 405.
@@ -1502,6 +1677,192 @@ mod tests {
         // The warmed key still hits; the failure did not evict it.
         let warm = route(&router, &post("/query", &q("t1")));
         assert!(warm.body.contains("\"cached\":true"), "{}", warm.body);
+    }
+
+    /// A CSV with clear peaks buried among falls, big enough that a
+    /// poisoned pruning hint actually bites.
+    fn haystack_csv() -> String {
+        let mut csv = String::from("z,x,y");
+        for series in 0..12 {
+            for t in 0..16 {
+                let y = if series % 5 == 2 {
+                    if t < 8 {
+                        t as f64
+                    } else {
+                        16.0 - t as f64
+                    }
+                } else {
+                    16.0 - t as f64 - 0.05 * series as f64
+                };
+                csv.push_str(&format!("\ns{series},{t},{y}"));
+            }
+        }
+        csv
+    }
+
+    #[test]
+    fn poisoned_threshold_hint_is_retried_and_never_drops_results() {
+        // Two live shard servers owning partitions 0/2 and 1/2…
+        let csv = haystack_csv().replace('\n', "\\n");
+        let mut servers = Vec::new();
+        for index in 0..2 {
+            let server = crate::serve(
+                "127.0.0.1:0",
+                crate::ServerConfig {
+                    workers: 2,
+                    ..crate::ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let body = format!(
+                r#"{{"name":"t","id":"t1","csv":"{csv}","z":"z","x":"x","y":"y","shard_of":"{index}/2"}}"#
+            );
+            let reply = route(server.state(), &post("/datasets", &body));
+            assert_eq!(reply.status, 201, "{}", reply.body);
+            servers.push(server);
+        }
+        // …an all-remote router over them, and an all-local reference.
+        let router = state();
+        let body = format!(
+            r#"{{"name":"t","id":"t1","csv":"{csv}","z":"z","x":"x","y":"y",
+                 "shard_endpoints":["{}","{}"]}}"#,
+            servers[0].addr(),
+            servers[1].addr()
+        );
+        assert_eq!(route(&router, &post("/datasets", &body)).status, 201);
+        let body = format!(
+            r#"{{"name":"t","id":"ref","csv":"{csv}","z":"z","x":"x","y":"y","shards":2}}"#
+        );
+        assert_eq!(route(&router, &post("/datasets", &body)).status, 201);
+        let want = route(
+            &router,
+            &post(
+                "/query",
+                r#"{"dataset":"ref","query":"[p=up][p=down]","k":2}"#,
+            ),
+        );
+        assert_eq!(want.status, 200, "{}", want.body);
+        let want = json::parse(&want.body).unwrap();
+        let want = want.get("results").unwrap().to_text();
+
+        // Drive the fan-out directly with a POISONED hint — far above any
+        // real score, as a stale or buggy upstream could send. The
+        // forwarded hint makes both shard servers prune everything; the
+        // verification pass must catch the undischarged pruned_bounds and
+        // re-query hint-less, so the final outcomes are still exact.
+        let entry = router.catalog.get("t1").unwrap();
+        let q = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
+        let exec = execute_on_shards(
+            &router,
+            &entry,
+            vec![(q, 2)],
+            &router.default_options,
+            false,
+            &[Some(0.999)],
+        );
+        let got = exec.outcomes[0].as_ref().unwrap();
+        assert_eq!(
+            protocol::results_to_json(got).to_text(),
+            want,
+            "a poisoned threshold_hint must never drop a true top-k result"
+        );
+        // The retry really happened: each endpoint answered the original
+        // (hinted) RPC plus the hint-less retry.
+        let stats = router.remote_stats.lock().unwrap();
+        for (endpoint, s) in stats.iter() {
+            assert!(
+                s.requests >= 2,
+                "endpoint {endpoint} should have been re-queried (got {} requests)",
+                s.requests
+            );
+            assert_eq!(s.errors, 0, "retries are not transport errors");
+        }
+        drop(stats);
+
+        // Sanity: the honest path (no hints) does exactly one RPC per
+        // endpoint and produces the same answer.
+        let got = route(
+            &router,
+            &post(
+                "/query",
+                r#"{"dataset":"t1","query":"[p=up][p=down]","k":2}"#,
+            ),
+        );
+        assert_eq!(got.status, 200, "{}", got.body);
+        let got = json::parse(&got.body).unwrap();
+        assert_eq!(got.get("results").unwrap().to_text(), want);
+
+        for server in servers {
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn shard_query_reports_hint_debt_for_unverifiable_hints() {
+        // A shard server handed a poisoned hint over the wire replies
+        // with a deficient partial, but MUST flag it: pruned_bound is
+        // reported, and the partial's own k-th (if any) cannot clear it —
+        // the caller's hint_undischarged() check always fires.
+        let state = state();
+        let csv = haystack_csv().replace('\n', "\\n");
+        let body = format!(r#"{{"name":"t","id":"t1","csv":"{csv}","z":"z","x":"x","y":"y"}}"#);
+        assert_eq!(route(&state, &post("/datasets", &body)).status, 201);
+
+        let q = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
+        let k = 2;
+        let rpc = protocol::shard_request_to_json(
+            "t1",
+            &[(q.clone(), k)],
+            &[Some(0.999)],
+            &state.default_options,
+        );
+        let reply = route(&state, &post("/shard/query", &rpc.to_text()));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let partials =
+            protocol::shard_outcomes_from_json(&json::parse(&reply.body).unwrap(), 1).unwrap();
+        let outcome = &partials.outcomes[0];
+        let bound = partials.pruned_bounds[0];
+        assert!(
+            bound.is_some(),
+            "hint-justified prunes must be reported: {}",
+            reply.body
+        );
+        assert!(
+            hint_undischarged(outcome, k, bound),
+            "a deficient partial must fail the discharge check"
+        );
+
+        // The same RPC with a null hint is the exact partial, debt-free.
+        let rpc = protocol::shard_request_to_json(
+            "t1",
+            &[(q.clone(), k)],
+            &[None],
+            &state.default_options,
+        );
+        let reply = route(&state, &post("/shard/query", &rpc.to_text()));
+        let partials =
+            protocol::shard_outcomes_from_json(&json::parse(&reply.body).unwrap(), 1).unwrap();
+        assert_eq!(partials.pruned_bounds[0], None);
+        assert_eq!(partials.outcomes[0].as_ref().unwrap().len(), k);
+
+        // k = 0 with a hint must neither panic the verification pass nor
+        // report anything undischarged (a top-0 has nothing to drop).
+        let rpc = protocol::shard_request_to_json(
+            "t1",
+            &[(q, 0)],
+            &[Some(0.999)],
+            &state.default_options,
+        );
+        let reply = route(&state, &post("/shard/query", &rpc.to_text()));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let partials =
+            protocol::shard_outcomes_from_json(&json::parse(&reply.body).unwrap(), 1).unwrap();
+        assert!(partials.outcomes[0].as_ref().unwrap().is_empty());
+        assert!(!hint_undischarged(
+            &partials.outcomes[0],
+            0,
+            partials.pruned_bounds[0]
+        ));
     }
 
     #[test]

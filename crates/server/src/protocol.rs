@@ -11,7 +11,7 @@
 //!                  "trendlines","points","shards","placement",
 //!                  "shard_of"?}]}
 //! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
-//!                  "pushdown"?, "parallel"?}
+//!                  "pushdown"?, "parallel"?, "pruning"?}
 //!              or [ {…}, {…}, … ]       (a batch of up to the server's
 //!                                        max batch size, default
 //!                                        MAX_BATCH_SIZE)
@@ -21,17 +21,34 @@
 //!              → batch:  {"batch": n, "micros": total,
 //!                         "responses": [per-query objects or
 //!                                       {"error","status","code"?}]}
-//! POST /shard/query   {"dataset", "queries":[{"query","k"}, …],
+//! POST /shard/query   {"dataset", "queries":[{"query","k",
+//!                      "threshold_hint": score|null}, …],
 //!                      "options": {…}}     (router → shard server RPC)
-//!              → {"dataset","outcomes":[{"results":[…]} or
-//!                 {"error","status","code"?}, …],"micros"}
+//!              → {"dataset","outcomes":[{"results":[…],
+//!                 "pruned_bound": score|null} or
+//!                 {"error","status","code"?}, …],
+//!                 "pruning":{"bounded","pruned","scored","bound_micros"},
+//!                 "micros"}
 //! GET  /healthz   → {"status","datasets","queries",
 //!                    "cache":{"lookups","hits","misses","coalesced",…},
 //!                    "shards":{"default","dataset_shards",
 //!                              "compute_workers","tasks","micros_total"},
+//!                    "pruning":{"bounded","pruned","scored",
+//!                               "bound_micros"},
 //!                    "remote_shards":{"endpoints","requests","errors",
 //!                                     "micros_total","by_endpoint"}}
 //! ```
+//!
+//! `threshold_hint` is the §6.3 top-k threshold the router has proven so
+//! far for that query — a pure accelerator the shard server seeds its
+//! own [`shapesearch_core::ThresholdCell`]s with. It is
+//! **required-but-nullable** (send `null` when nothing is proven yet) so
+//! the option-vocabulary strictness below still applies to it. A shard's
+//! `pruned_bound` is the largest §6.3 upper bound it pruned on the
+//! hint's authority alone (null when every prune was locally proven):
+//! the router verifies its merged top k strictly clears every reported
+//! bound and recomputes hint-less otherwise, so a stale or poisoned hint
+//! can never silently drop a true top-k result.
 //!
 //! Oversized batches are refused with a *structured* 400 so clients can
 //! split and retry programmatically:
@@ -54,7 +71,9 @@
 use crate::catalog::{DataSource, DatasetEntry, DatasetSpec};
 use crate::error::ServerError;
 use crate::json::{obj, Json};
-use shapesearch_core::{EngineOptions, SegmenterKind, ShapeQuery, TopKResult};
+use shapesearch_core::{
+    EngineOptions, PruningMode, PruningSnapshot, SegmenterKind, ShapeQuery, TopKResult,
+};
 use shapesearch_datastore::{Aggregation, CompareOp, Predicate, Value, VisualSpec};
 
 /// Default upper bound on the number of queries one `POST /query` batch
@@ -236,6 +255,8 @@ pub struct QueryRequest {
     pub pushdown: Option<bool>,
     /// Engine viz-level parallelism override.
     pub parallel: Option<bool>,
+    /// §6.3 bound-pruning mode override (`auto` / `off` / `force`).
+    pub pruning: Option<PruningMode>,
 }
 
 /// Parses one query object of a `POST /query` body.
@@ -255,6 +276,14 @@ pub fn query_request_from_json(body: &Json) -> Result<QueryRequest, ServerError>
         ),
         None => None,
     };
+    let pruning = match body.get("pruning").and_then(Json::as_str) {
+        Some(name) => Some(PruningMode::parse(name).ok_or_else(|| {
+            ServerError::bad_request(format!(
+                "unknown pruning mode `{name}` (expected auto, off, or force)"
+            ))
+        })?),
+        None => None,
+    };
     Ok(QueryRequest {
         dataset,
         query,
@@ -264,6 +293,7 @@ pub fn query_request_from_json(body: &Json) -> Result<QueryRequest, ServerError>
         bin_width: body.get("bin_width").and_then(Json::as_usize),
         pushdown: body.get("pushdown").and_then(Json::as_bool),
         parallel: body.get("parallel").and_then(Json::as_bool),
+        pruning,
     })
 }
 
@@ -283,6 +313,9 @@ impl QueryRequest {
         }
         if let Some(parallel) = self.parallel {
             options.parallel = parallel;
+        }
+        if let Some(pruning) = self.pruning {
+            options.pruning_mode = pruning;
         }
         options
     }
@@ -421,9 +454,8 @@ pub fn options_to_json(o: &EngineOptions) -> Json {
         (
             "pruning",
             obj([
+                ("mode", o.pruning_mode.name().into()),
                 ("sample_size", o.pruning.sample_size.into()),
-                ("coarse_points", o.pruning.coarse_points.into()),
-                ("margin", o.pruning.margin.into()),
             ]),
         ),
     ])
@@ -473,9 +505,10 @@ pub fn options_from_json(body: &Json) -> Result<EngineOptions, ServerError> {
     options.params.sketch_distance_scale = required_f64(params, "sketch_distance_scale")?;
     options.params.y_tolerance = required_f64(params, "y_tolerance")?;
     options.params.min_width_frac = required_f64(params, "min_width_frac")?;
+    let mode = required_str(pruning, "mode")?;
+    options.pruning_mode = PruningMode::parse(mode)
+        .ok_or_else(|| ServerError::bad_request(format!("unknown pruning mode `{mode}`")))?;
     options.pruning.sample_size = required_usize(pruning, "sample_size")?;
-    options.pruning.coarse_points = required_usize(pruning, "coarse_points")?;
-    options.pruning.margin = required_f64(pruning, "margin")?;
     Ok(options)
 }
 
@@ -487,15 +520,20 @@ pub struct ShardQueryRequest {
     /// The query group: canonical query text parsed back to ASTs, with
     /// each query's `k`.
     pub queries: Vec<(ShapeQuery, usize)>,
+    /// Per-query `threshold_hint`s, aligned with `queries` (`None` =
+    /// wire `null` = no hint).
+    pub hints: Vec<Option<f64>>,
     /// The fully pinned, result-affecting engine options.
     pub options: EngineOptions,
 }
 
 /// Builds the `POST /shard/query` request body the router sends for one
-/// query group.
+/// query group. `hints` must align with `queries`; a missing slot
+/// serializes as the explicit `null`.
 pub fn shard_request_to_json(
     dataset: &str,
     queries: &[(ShapeQuery, usize)],
+    hints: &[Option<f64>],
     options: &EngineOptions,
 ) -> Json {
     obj([
@@ -505,7 +543,20 @@ pub fn shard_request_to_json(
             Json::Arr(
                 queries
                     .iter()
-                    .map(|(q, k)| obj([("query", q.to_string().into()), ("k", (*k).into())]))
+                    .enumerate()
+                    .map(|(i, (q, k))| {
+                        obj([
+                            ("query", q.to_string().into()),
+                            ("k", (*k).into()),
+                            (
+                                "threshold_hint",
+                                match hints.get(i).copied().flatten() {
+                                    Some(hint) => hint.into(),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ])
+                    })
                     .collect(),
             ),
         ),
@@ -513,7 +564,9 @@ pub fn shard_request_to_json(
     ])
 }
 
-/// Parses a `POST /shard/query` body.
+/// Parses a `POST /shard/query` body. Every query entry must carry
+/// `threshold_hint` explicitly (`null` for "no hint") — the same
+/// fail-loudly rule the options object follows.
 ///
 /// # Errors
 /// Missing fields, unparseable query text, bad options.
@@ -529,11 +582,24 @@ pub fn shard_request_from_json(body: &Json) -> Result<ShardQueryRequest, ServerE
         ));
     }
     let mut queries = Vec::with_capacity(items.len());
+    let mut hints = Vec::with_capacity(items.len());
     for item in items {
         let text = required_str(item, "query")?;
         let query = shapesearch_parser::parse_regex(text)
             .map_err(|e| ServerError::bad_request(format!("query parse error: {e}")))?;
+        let hint = match item.get("threshold_hint") {
+            None => {
+                return Err(ServerError::bad_request(
+                    "missing `threshold_hint` (send null when nothing is proven)",
+                ))
+            }
+            Some(Json::Null) => None,
+            Some(value) => Some(value.as_f64().ok_or_else(|| {
+                ServerError::bad_request("`threshold_hint` must be a number or null")
+            })?),
+        };
         queries.push((query, item.get("k").and_then(Json::as_usize).unwrap_or(5)));
+        hints.push(hint);
     }
     let options = options_from_json(
         body.get("options")
@@ -542,15 +608,32 @@ pub fn shard_request_from_json(body: &Json) -> Result<ShardQueryRequest, ServerE
     Ok(ShardQueryRequest {
         dataset,
         queries,
+        hints,
         options,
     })
 }
 
+/// Serializes the `/healthz` / shard-reply pruning counters block.
+pub fn pruning_to_json(snapshot: PruningSnapshot) -> Json {
+    obj([
+        ("bounded", snapshot.bounded.into()),
+        ("pruned", snapshot.pruned.into()),
+        ("scored", snapshot.scored.into()),
+        ("bound_micros", snapshot.bound_micros.into()),
+    ])
+}
+
 /// Serializes a shard server's per-query outcomes as the
-/// `POST /shard/query` response body.
+/// `POST /shard/query` response body. `pruned_bounds` aligns with
+/// `outcomes`: the largest upper bound each query pruned on hint
+/// authority alone (`None` → wire `null`), which the router's
+/// verification pass checks the merged answer against. `pruning` is the
+/// RPC's engine-side counter snapshot.
 pub fn shard_outcomes_to_json(
     dataset: &str,
     outcomes: &[Result<Vec<TopKResult>, ServerError>],
+    pruned_bounds: &[Option<f64>],
+    pruning: PruningSnapshot,
     micros: u64,
 ) -> Json {
     obj([
@@ -560,15 +643,36 @@ pub fn shard_outcomes_to_json(
             Json::Arr(
                 outcomes
                     .iter()
-                    .map(|outcome| match outcome {
-                        Ok(results) => obj([("results", results_to_json(results))]),
+                    .enumerate()
+                    .map(|(i, outcome)| match outcome {
+                        Ok(results) => obj([
+                            ("results", results_to_json(results)),
+                            (
+                                "pruned_bound",
+                                match pruned_bounds.get(i).copied().flatten() {
+                                    Some(bound) => bound.into(),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ]),
                         Err(e) => error_item_to_json(e),
                     })
                     .collect(),
             ),
         ),
+        ("pruning", pruning_to_json(pruning)),
         ("micros", micros.into()),
     ])
+}
+
+/// A shard server's parsed `POST /shard/query` reply: per-query partial
+/// outcomes plus the per-query hint-pruned bounds the router must verify
+/// its merged answer against.
+pub struct ShardPartials {
+    /// Per-query partial top-k results (or structured per-query errors).
+    pub outcomes: Vec<Result<Vec<TopKResult>, ServerError>>,
+    /// Per-query largest hint-justified pruned upper bound, when any.
+    pub pruned_bounds: Vec<Option<f64>>,
 }
 
 /// Parses a shard server's `POST /shard/query` response back into
@@ -578,10 +682,7 @@ pub fn shard_outcomes_to_json(
 /// # Errors
 /// A human-readable description of what was malformed (the caller wraps
 /// it into a `shard_unavailable` naming the endpoint).
-pub fn shard_outcomes_from_json(
-    body: &Json,
-    expected: usize,
-) -> Result<Vec<Result<Vec<TopKResult>, ServerError>>, String> {
+pub fn shard_outcomes_from_json(body: &Json, expected: usize) -> Result<ShardPartials, String> {
     let items = body
         .get("outcomes")
         .and_then(Json::as_array)
@@ -592,17 +693,23 @@ pub fn shard_outcomes_from_json(
             items.len()
         ));
     }
-    items
-        .iter()
-        .map(|item| {
-            if let Some(results) = item.get("results") {
-                return Ok(Ok(results_from_json(results)?));
-            }
-            error_from_json(item)
-                .map(Err)
-                .ok_or_else(|| "outcome carried neither `results` nor a structured error".into())
-        })
-        .collect()
+    let mut outcomes = Vec::with_capacity(items.len());
+    let mut pruned_bounds = Vec::with_capacity(items.len());
+    for item in items {
+        if let Some(results) = item.get("results") {
+            outcomes.push(Ok(results_from_json(results)?));
+            pruned_bounds.push(item.get("pruned_bound").and_then(Json::as_f64));
+            continue;
+        }
+        let err = error_from_json(item)
+            .ok_or("outcome carried neither `results` nor a structured error")?;
+        outcomes.push(Err(err));
+        pruned_bounds.push(None);
+    }
+    Ok(ShardPartials {
+        outcomes,
+        pruned_bounds,
+    })
 }
 
 /// Deserializes a wire `results` array back into [`TopKResult`]s (the
@@ -750,13 +857,15 @@ mod tests {
             ..EngineOptions::default()
         };
         options.params.min_width_frac = 0.125;
-        options.pruning.margin = 0.07;
+        options.pruning_mode = PruningMode::Force;
+        options.pruning.sample_size = 24;
         let wire = json::parse(&options_to_json(&options).to_text()).unwrap();
         let back = options_from_json(&wire).unwrap();
         assert_eq!(back.segmenter, options.segmenter);
         assert_eq!(back.bin_width, options.bin_width);
         assert_eq!(back.pushdown, options.pushdown);
         assert_eq!(back.params, options.params);
+        assert_eq!(back.pruning_mode, options.pruning_mode);
         assert_eq!(back.pruning, options.pruning);
         // Option-vocabulary skew fails loudly: a missing result-affecting
         // field is an error, never a silent default.
@@ -784,13 +893,20 @@ mod tests {
     fn shard_request_and_outcomes_round_trip() {
         let q = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
         let queries = vec![(q.clone(), 3), (q, 7)];
-        let wire = shard_request_to_json("sales", &queries, &EngineOptions::default());
+        let hints = vec![Some(0.625), None];
+        let wire = shard_request_to_json("sales", &queries, &hints, &EngineOptions::default());
         let req = shard_request_from_json(&json::parse(&wire.to_text()).unwrap()).unwrap();
         assert_eq!(req.dataset, "sales");
         assert_eq!(req.queries.len(), 2);
         assert_eq!(req.queries[0].1, 3);
         assert_eq!(req.queries[1].1, 7);
         assert_eq!(req.queries[0].0, queries[0].0);
+        assert_eq!(req.hints, hints, "hints round-trip, null included");
+
+        // `threshold_hint` is required-but-nullable: dropping the key is
+        // a malformed request, like any option-vocabulary skew.
+        let stripped = wire.to_text().replace(",\"threshold_hint\":0.625", "");
+        assert!(shard_request_from_json(&json::parse(&stripped).unwrap()).is_err());
 
         let results = vec![TopKResult {
             key: "widget".into(),
@@ -802,10 +918,18 @@ mod tests {
             Ok(results.clone()),
             Err(ServerError::shard_unavailable("10.0.0.9:7878", "boom")),
         ];
-        let reply = shard_outcomes_to_json("sales", &outcomes, 42);
+        let snapshot = PruningSnapshot {
+            bounded: 9,
+            pruned: 7,
+            scored: 2,
+            bound_micros: 11,
+        };
+        let reply = shard_outcomes_to_json("sales", &outcomes, &[Some(0.5), None], snapshot, 42);
+        assert!(reply.to_text().contains("\"pruning\":{\"bounded\":9"));
         let back = shard_outcomes_from_json(&json::parse(&reply.to_text()).unwrap(), 2).unwrap();
-        assert_eq!(back[0].as_ref().unwrap(), &results);
-        let err = back[1].as_ref().unwrap_err();
+        assert_eq!(back.outcomes[0].as_ref().unwrap(), &results);
+        assert_eq!(back.pruned_bounds, vec![Some(0.5), None]);
+        let err = back.outcomes[1].as_ref().unwrap_err();
         assert_eq!(err.status, 502);
         assert_eq!(err.code, Some("shard_unavailable"));
         assert!(err.message.contains("10.0.0.9:7878"));
@@ -872,6 +996,7 @@ mod tests {
             bin_width: None,
             pushdown: None,
             parallel: None,
+            pruning: None,
         };
         let (nl_query, _) = parse_query(&nl_req).unwrap();
         let direct = shapesearch_parser::parse_regex(&nl_query.to_string()).unwrap();

@@ -19,7 +19,7 @@
 //! `shapesearch-server` crate docs for the protocol.
 
 use shapesearch::prelude::*;
-use shapesearch_core::SegmenterKind;
+use shapesearch_core::{PruningMode, SegmenterKind};
 use std::process::ExitCode;
 
 #[derive(Debug, Default)]
@@ -32,6 +32,7 @@ struct Cli {
     nl: Option<String>,
     k: usize,
     algo: SegmenterKind,
+    pruning: PruningMode,
     filters: Vec<String>,
     agg: Option<String>,
     builtins: bool,
@@ -40,6 +41,7 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: shapesearch --data FILE --z COL --x COL --y COL \
      (--query REGEX | --nl TEXT) [--k N] [--algo dp|tree|pruned|greedy|dtw|euclid] \
+     [--pruning auto|off|force] \
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
      shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
      [--shards N] [--data-root DIR] \
@@ -74,6 +76,11 @@ fn parse_cli() -> Result<Cli, String> {
                 let name = take("--algo")?;
                 cli.algo = SegmenterKind::parse(&name)
                     .ok_or_else(|| format!("unknown algorithm `{name}`"))?;
+            }
+            "--pruning" => {
+                let name = take("--pruning")?;
+                cli.pruning = PruningMode::parse(&name)
+                    .ok_or_else(|| format!("unknown pruning mode `{name}`"))?;
             }
             "--filter" => cli.filters.push(take("--filter")?),
             "--agg" => cli.agg = Some(take("--agg")?),
@@ -308,6 +315,7 @@ fn run() -> Result<(), String> {
     let mut engine = ShapeEngine::new(&table, &spec)
         .map_err(|e| e.to_string())?
         .with_segmenter(cli.algo);
+    engine.options_mut().pruning_mode = cli.pruning;
     if cli.builtins {
         engine.register_builtin_udps();
     }

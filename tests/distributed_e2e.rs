@@ -223,6 +223,79 @@ fn every_placement_and_shard_count_is_byte_identical_to_single_process() {
     reference_service.shutdown();
 }
 
+/// §6.3 pruning across the distributed topology: `"pruning":"off"` and
+/// the default (`auto`) must be byte-identical over a mixed placement,
+/// and the healthz `pruning` gauges must show the bound path really ran
+/// on both the router's local shard and the remote shard server.
+#[test]
+fn pruning_modes_are_byte_identical_across_a_mixed_topology() {
+    // A shard server owning partition 0 of 2; shard 1 stays local on the
+    // router.
+    let shard_service = boot();
+    register(
+        &Client::new(shard_service.addr()),
+        vec![("shard_of".into(), "0/2".into())],
+    );
+    let router_service = boot();
+    let router = Client::new(router_service.addr());
+    let placement = vec![Some(shard_service.addr().to_string()), None];
+
+    let queries = [("[p=up][p=down]", 3), ("[p=down][p=up]", 2)];
+    for (q, k) in queries {
+        // Cold pass with pruning off…
+        register(
+            &router,
+            vec![("shard_endpoints".into(), endpoints_json(&placement))],
+        );
+        let body = json::parse(&format!(
+            r#"{{"dataset":"market","query":"{q}","k":{k},"pruning":"off"}}"#
+        ))
+        .unwrap();
+        let off = router.post("/query", &body).unwrap().expect_ok("off");
+        assert_eq!(off.get("cached").unwrap().as_bool(), Some(false));
+
+        // …re-register (generation bump clears the cache), cold pass
+        // under the default mode, byte-identical results.
+        register(
+            &router,
+            vec![("shard_endpoints".into(), endpoints_json(&placement))],
+        );
+        let auto = router
+            .post("/query", &query_body(q, k))
+            .unwrap()
+            .expect_ok("auto");
+        assert_eq!(auto.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            auto.get("results").unwrap().to_text(),
+            off.get("results").unwrap().to_text(),
+            "pruning off vs default diverged on {q}"
+        );
+    }
+
+    // The bound path really ran: the router's local shard computed
+    // bounds and scored survivors, and so did the remote shard server.
+    for (who, client) in [
+        ("router", &router),
+        ("shard server", &Client::new(shard_service.addr())),
+    ] {
+        let health = client.get("/healthz").unwrap().expect_ok("healthz");
+        let pruning = health.get("pruning").unwrap();
+        assert!(
+            pruning.get("scored").unwrap().as_usize().unwrap() > 0,
+            "{who} never scored under the driver: {}",
+            health.to_text()
+        );
+        assert!(
+            pruning.get("bounded").unwrap().as_usize().unwrap() > 0,
+            "{who} never computed a bound: {}",
+            health.to_text()
+        );
+    }
+
+    router_service.shutdown();
+    shard_service.shutdown();
+}
+
 /// Failure handling end to end: a placement naming a dead port degrades
 /// to a structured `shard_unavailable` error (no hang, no silent
 /// partial top-k), and once a shard server comes up on that same

@@ -12,6 +12,7 @@ use shapesearch_core::algo::greedy::GreedySegmenter;
 use shapesearch_core::algo::pruning::query_bounds;
 use shapesearch_core::algo::segment_tree::SegmentTreeSegmenter;
 use shapesearch_core::chain::expand_chains;
+use shapesearch_core::{EngineOptions, PruningMode, SegmenterKind, ShapeEngine, ShardedEngine};
 use shapesearch_core::{
     Evaluator, Modifier, Pattern, ScoreParams, Segmenter, ShapeQuery, ShapeSegment, StatsIndex,
     SummaryStats, UdpRegistry, VizData,
@@ -180,6 +181,59 @@ proptest! {
         let b = shapesearch_similarity::znormalize(&transformed);
         for (x, y) in a.iter().zip(&b) {
             prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pruned_execution_is_byte_identical_for_exact_segmenters_and_shards(
+        collection in proptest::collection::vec(ys_strategy(), 8..24),
+        q in query_strategy(),
+        k in 1usize..8,
+    ) {
+        let tls: Vec<shapesearch_datastore::Trendline> = collection
+            .iter()
+            .enumerate()
+            .map(|(i, ys)| {
+                let pairs: Vec<(f64, f64)> =
+                    ys.iter().enumerate().map(|(t, &y)| (t as f64, y)).collect();
+                shapesearch_datastore::Trendline::from_pairs(format!("t{i}"), &pairs)
+            })
+            .collect();
+        // (segmenter, the mode under which it prunes): every exact
+        // segmenter under the Auto default, plus Greedy under Force.
+        let matrix = [
+            (SegmenterKind::Dp, PruningMode::Auto),
+            (SegmenterKind::SegmentTree, PruningMode::Auto),
+            (SegmenterKind::SegmentTreePruned, PruningMode::Auto),
+            (SegmenterKind::Greedy, PruningMode::Force),
+        ];
+        for (kind, mode) in matrix {
+            let off = EngineOptions {
+                segmenter: kind,
+                pruning_mode: PruningMode::Off,
+                ..EngineOptions::default()
+            };
+            let on = EngineOptions {
+                segmenter: kind,
+                pruning_mode: mode,
+                ..EngineOptions::default()
+            };
+            let want = ShapeEngine::from_trendlines(tls.clone())
+                .with_options(off)
+                .top_k(&q, k);
+            let want = want.expect("strategy queries carry no UDPs");
+            for shards in [1usize, 2, 7] {
+                let got = ShardedEngine::from_trendlines(tls.clone(), shards)
+                    .with_options(on.clone())
+                    .top_k(&q, k)
+                    .expect("strategy queries carry no UDPs");
+                // Byte-identical: scores, tie order, and fitted ranges.
+                prop_assert_eq!(
+                    &got, &want,
+                    "{:?}/{:?} shards={} k={} diverged on {}",
+                    kind, mode, shards, k, q
+                );
+            }
         }
     }
 
