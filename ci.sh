@@ -215,4 +215,65 @@ echo "$ROUTER_HEALTH" | grep -Eq '"pruning":\{"bounded":[1-9]' || {
 }
 echo "smoke: distributed topology OK (router == single-process, byte for byte)"
 
+echo "==> observability smoke (explain trace across the topology, /metrics exposition)"
+# A fresh explain:true query against the router must return ONE stitched
+# span tree covering every shard slot — the two remote slots carrying
+# the shard SERVERS' own spans, proving the trace ID crossed the
+# /shard/query wire and came back.
+EXPLAIN_REPLY="/tmp/ci_router_explain_$$.json"
+CI_TMP="$CI_TMP $EXPLAIN_REPLY"
+EXPLAIN_STATUS=$(curl -s -o "$EXPLAIN_REPLY" -w '%{http_code}' \
+    -X POST "http://127.0.0.1:$ROUTER_PORT/query" \
+    -d '{"dataset":"sales","query":"[p=up][p=flat][p=down]","k":3,"explain":true}')
+[ "$EXPLAIN_STATUS" = "200" ] || {
+    echo "observability smoke: explain query returned $EXPLAIN_STATUS"
+    cat "$EXPLAIN_REPLY"; exit 1;
+}
+grep -q '"trace_id":"' "$EXPLAIN_REPLY" || {
+    echo "observability smoke: explain reply carried no trace"
+    cat "$EXPLAIN_REPLY"; exit 1;
+}
+for needle in '"name":"request"' '"name":"shard_fanout"' '"name":"merge"'; do
+    grep -q "$needle" "$EXPLAIN_REPLY" || {
+        echo "observability smoke: explain trace missing $needle"
+        cat "$EXPLAIN_REPLY"; exit 1;
+    }
+done
+# A span for every shard: 2 remote_rpc slots, each stitching the shard
+# server's shard_request reply tree (which adds its own shard_compute),
+# plus the router's 2 local shard_compute spans — >= 4 computes total.
+rpc_count=$(grep -o '"name":"remote_rpc"' "$EXPLAIN_REPLY" | wc -l)
+echo_count=$(grep -o '"name":"shard_request"' "$EXPLAIN_REPLY" | wc -l)
+compute_count=$(grep -o '"name":"shard_compute"' "$EXPLAIN_REPLY" | wc -l)
+if [ "$rpc_count" -ne 2 ] || [ "$echo_count" -ne 2 ] || [ "$compute_count" -lt 4 ]; then
+    echo "observability smoke: span tree does not cover every shard" \
+         "(remote_rpc=$rpc_count shard_request=$echo_count shard_compute=$compute_count)"
+    cat "$EXPLAIN_REPLY"; exit 1;
+fi
+
+# The router's /metrics exposition parses: non-empty, the known series
+# are present, and the stage histograms actually saw samples.
+ROUTER_METRICS=$(curl -sf "http://127.0.0.1:$ROUTER_PORT/metrics")
+[ -n "$ROUTER_METRICS" ] || { echo "observability smoke: empty /metrics"; exit 1; }
+for series in 'shapesearch_queries_total ' \
+              'shapesearch_cache_lookups_total ' \
+              '# TYPE shapesearch_request_duration_micros histogram'; do
+    echo "$ROUTER_METRICS" | grep -q "$series" || {
+        echo "observability smoke: /metrics missing $series"
+        echo "$ROUTER_METRICS"; exit 1;
+    }
+done
+echo "$ROUTER_METRICS" | grep -Eq 'shapesearch_request_duration_micros_count [1-9]' || {
+    echo "observability smoke: request histogram saw no samples"
+    echo "$ROUTER_METRICS"; exit 1;
+}
+for stage in parse_plan cache_lookup shard_compute remote_rpc merge serialize; do
+    echo "$ROUTER_METRICS" | \
+        grep -Eq "shapesearch_stage_duration_micros_count\{stage=\"$stage\"\} [1-9]" || {
+        echo "observability smoke: stage histogram \"$stage\" saw no samples"
+        echo "$ROUTER_METRICS"; exit 1;
+    }
+done
+echo "smoke: observability OK (stitched explain trace + parsing /metrics)"
+
 echo "ci: all green"

@@ -199,12 +199,32 @@ fn run_workload(
     }
 }
 
+/// The git revision this report was produced from: baked in at compile
+/// time when CI exports `SHAPESEARCH_GIT_REV`, otherwise asked of the
+/// working tree at run time (numbers without provenance are unanswerable
+/// questions later).
+fn git_rev() -> String {
+    if let Some(rev) = option_env!("SHAPESEARCH_GIT_REV") {
+        return rev.to_owned();
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
 fn render_json(workloads: &[WorkloadReport]) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_pruning\",\n");
+    out.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
     out.push_str(&format!("  \"seed\": {SEED},\n"));
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"trendlines\": {TRENDLINES},\n"));

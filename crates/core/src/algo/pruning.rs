@@ -35,6 +35,7 @@
 use crate::algo::SegmenterKind;
 use crate::ast::{Pattern, ShapeQuery, ShapeSegment};
 use crate::engine::group::VizData;
+use crate::engine::observe::{EngineStage, StageObserver, NOOP_OBSERVER};
 use crate::score::{score_down, score_flat, score_theta, score_up, ScoreParams};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -345,13 +346,26 @@ impl PruningSnapshot {
 /// driver is borrowed by every executor of a query; all state lives in
 /// the shared cell and counters, so the driver itself is `Copy`-cheap
 /// and thread-safe by construction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct PruningDriver<'a> {
     query: &'a ShapeQuery,
     params: &'a ScoreParams,
     cell: &'a ThresholdCell,
     counters: &'a PruningCounters,
     k: usize,
+    observer: &'a dyn StageObserver,
+}
+
+impl std::fmt::Debug for PruningDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PruningDriver")
+            .field("query", &self.query)
+            .field("params", &self.params)
+            .field("cell", &self.cell)
+            .field("counters", &self.counters)
+            .field("k", &self.k)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> PruningDriver<'a> {
@@ -370,7 +384,18 @@ impl<'a> PruningDriver<'a> {
             cell,
             counters,
             k,
+            observer: &NOOP_OBSERVER,
         }
+    }
+
+    /// Routes this driver's §6.3 bound-computation timings to `observer`
+    /// (as [`EngineStage::PruneBound`] samples, one per bound-checked
+    /// candidate) in addition to the shared counters. Returns `self` for
+    /// chaining.
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'a dyn StageObserver) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Bound-checks one candidate. Returns `true` when the candidate is
@@ -387,10 +412,12 @@ impl<'a> PruningDriver<'a> {
         }
         let started = Instant::now();
         let (_, upper) = query_bounds(self.query, viz, self.params);
+        let bound_micros = started.elapsed().as_micros() as u64;
         self.counters.bounded.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bound_micros
-            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .fetch_add(bound_micros, Ordering::Relaxed);
+        self.observer.stage(EngineStage::PruneBound, bound_micros);
         // Strictly below the threshold: even a tie could not displace
         // the k-th result, so the candidate is gone for good.
         if upper < threshold {

@@ -4,6 +4,7 @@
 //! find top k visualizations that maximize SF(Q, Vᵢ)".
 
 pub mod group;
+pub mod observe;
 pub mod pushdown;
 pub mod shard;
 mod topk;
@@ -23,8 +24,10 @@ use crate::eval::{Evaluator, UdpFn, UdpRegistry};
 use crate::score::ScoreParams;
 use crate::ShapeQuery;
 use group::VizData;
+use observe::{EngineStage, StageObserver, NOOP_OBSERVER};
 use shapesearch_datastore::{extract, ExtractOptions, Table, Trendline, VisualSpec};
 use std::sync::Arc;
+use std::time::Instant;
 use topk::TopK;
 
 /// Collection size (in trendlines) at or above which a single query runs
@@ -328,6 +331,24 @@ impl ShapeEngine {
         options: &EngineOptions,
         shared: &SharedThresholds,
     ) -> Vec<Result<Vec<TopKResult>>> {
+        self.top_k_batch_observed(items, options, shared, &NOOP_OBSERVER)
+    }
+
+    /// [`Self::top_k_batch_shared`] with stage timing reported to
+    /// `observer`: the GROUP stage once per batch, SEGMENT+SCORE once
+    /// per query, and §6.3 bound computations per bound-checked
+    /// candidate (see [`observe::EngineStage`]). Observation never
+    /// changes results — the observer only receives durations.
+    ///
+    /// # Panics
+    /// When `shared` was not built for exactly `items.len()` queries.
+    pub fn top_k_batch_observed(
+        &self,
+        items: &[(&ShapeQuery, usize)],
+        options: &EngineOptions,
+        shared: &SharedThresholds,
+        observer: &dyn StageObserver,
+    ) -> Vec<Result<Vec<TopKResult>>> {
         assert_eq!(
             items.len(),
             shared.len(),
@@ -371,6 +392,7 @@ impl ShapeEngine {
         // once for the whole batch. A trendline every query prunes (or that
         // only restricted queries touch) is never GROUPed at all, so the
         // single-query case keeps its pre-batch work profile exactly.
+        let group_started = Instant::now();
         let grouped: Vec<Option<VizData>> = self
             .trendlines
             .iter()
@@ -384,6 +406,10 @@ impl ShapeEngine {
                     .flatten()
             })
             .collect();
+        observer.stage(
+            EngineStage::Group,
+            group_started.elapsed().as_micros() as u64,
+        );
 
         preps
             .into_iter()
@@ -424,7 +450,9 @@ impl ShapeEngine {
                         shared.counters(),
                         p.k,
                     )
+                    .with_observer(observer)
                 });
+                let score_started = Instant::now();
                 let results = self.run_per_viz(
                     &vizzes,
                     &p.chains,
@@ -432,6 +460,10 @@ impl ShapeEngine {
                     p.k,
                     options,
                     driver.as_ref(),
+                );
+                observer.stage(
+                    EngineStage::SegmentScore,
+                    score_started.elapsed().as_micros() as u64,
                 );
 
                 Ok(results

@@ -315,10 +315,27 @@ impl ShardedEngine {
         options: &EngineOptions,
         shared: &SharedThresholds,
     ) -> Vec<Result<Vec<TopKResult>>> {
+        self.top_k_batch_observed(items, options, shared, &super::observe::NOOP_OBSERVER)
+    }
+
+    /// [`Self::top_k_batch_shared`] with per-stage timings reported to
+    /// `observer` (see [`ShapeEngine::top_k_batch_observed`]). Every
+    /// shard feeds the same observer — samples aggregate across the
+    /// fan-out exactly like the pruning counters do.
+    ///
+    /// # Panics
+    /// When `shared` was not built for exactly `items.len()` queries.
+    pub fn top_k_batch_observed(
+        &self,
+        items: &[(&ShapeQuery, usize)],
+        options: &EngineOptions,
+        shared: &SharedThresholds,
+        observer: &dyn super::observe::StageObserver,
+    ) -> Vec<Result<Vec<TopKResult>>> {
         if self.shards.len() == 1 {
             // Single shard: the plain engine path, viz-level parallelism
             // and all.
-            return self.shards[0].top_k_batch_shared(items, options, shared);
+            return self.shards[0].top_k_batch_observed(items, options, shared, observer);
         }
         let fan_out = options.parallel || self.trendline_count >= options.parallel_threshold;
         let partials: Vec<Vec<Result<Vec<TopKResult>>>> = if fan_out {
@@ -336,7 +353,9 @@ impl ShardedEngine {
                     .iter()
                     .map(|shard| {
                         let inner = &inner;
-                        scope.spawn(move || shard.top_k_batch_shared(items, inner, shared))
+                        scope.spawn(move || {
+                            shard.top_k_batch_observed(items, inner, shared, observer)
+                        })
                     })
                     .collect();
                 handles
@@ -347,7 +366,7 @@ impl ShardedEngine {
         } else {
             self.shards
                 .iter()
-                .map(|shard| shard.top_k_batch_shared(items, options, shared))
+                .map(|shard| shard.top_k_batch_observed(items, options, shared, observer))
                 .collect()
         };
         merge_shard_outcomes(partials, items.iter().map(|&(_, k)| k))

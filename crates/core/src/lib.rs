@@ -60,6 +60,7 @@ pub use algo::pruning::{
 pub use algo::{MatchResult, Segmenter, SegmenterKind};
 pub use ast::{IteratorSpec, Location, Modifier, Pattern, PosRef, ShapeQuery, ShapeSegment};
 pub use engine::group::VizData;
+pub use engine::observe::{EngineStage, NoopObserver, StageObserver};
 pub use engine::shard::{merge_shard_outcomes, merge_topk, merge_topk_refs, ShardedEngine};
 pub use engine::{EngineOptions, ShapeEngine, SharedThresholds, TopKResult};
 pub use error::{CoreError, Result};

@@ -86,7 +86,28 @@ impl Client {
         self.post("/query", &Json::Arr(queries))
     }
 
+    /// `GET path`, returning the status and the **raw body text** — for
+    /// non-JSON endpoints like the Prometheus `/metrics` exposition.
+    ///
+    /// # Errors
+    /// Propagates socket failures.
+    pub fn get_text(&self, path: &str) -> io::Result<(u16, String)> {
+        self.send_raw("GET", path, None)
+    }
+
     fn send(&self, method: &str, path: &str, body: Option<String>) -> io::Result<ClientResponse> {
+        let (status, body_text) = self.send_raw(method, path, body)?;
+        let body = json::parse(&body_text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad body: {e}")))?;
+        Ok(ClientResponse { status, body })
+    }
+
+    fn send_raw(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+    ) -> io::Result<(u16, String)> {
         let addr = self
             .addr
             .to_socket_addrs()?
@@ -125,9 +146,7 @@ impl Client {
         }
         let mut body_text = String::new();
         reader.read_to_string(&mut body_text)?;
-        let body = json::parse(&body_text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad body: {e}")))?;
-        Ok(ClientResponse { status, body })
+        Ok((status, body_text))
     }
 }
 

@@ -22,15 +22,28 @@ use crate::compute::ComputePool;
 use crate::error::ServerError;
 use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
+use crate::obs::{self, Span};
 use crate::protocol;
 use shapesearch_core::{
-    merge_topk_refs, EngineOptions, PruningSnapshot, ShapeQuery, SharedThresholds, TopKResult,
+    merge_topk_refs, EngineOptions, EngineStage, PruningSnapshot, ShapeQuery, SharedThresholds,
+    StageObserver, TopKResult,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// The crate version baked into `/healthz` and `/metrics` build info.
+fn build_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// The git revision baked in at compile time (`SHAPESEARCH_GIT_REV`,
+/// stamped by CI/release builds), or `"unknown"` for plain builds.
+fn build_git_rev() -> &'static str {
+    option_env!("SHAPESEARCH_GIT_REV").unwrap_or("unknown")
+}
 
 /// Aggregate **local** shard-execution gauges for `/healthz`. One mutex
 /// guards both fields, and every fan-out records them in a single
@@ -103,6 +116,19 @@ pub struct AppState {
     /// server-local files. In-process registration (CLI preload) is
     /// unrestricted.
     pub data_root: Option<PathBuf>,
+    /// The latency histogram registry `GET /metrics` exposes: request
+    /// and per-stage duration histograms plus per-endpoint RPC series.
+    /// Assembled from the same counters `/healthz` reads, so the two
+    /// endpoints always reconcile.
+    pub metrics: obs::Metrics,
+    /// Process start (monotonic), for `uptime_secs`.
+    pub started: Instant,
+    /// Process start as Unix epoch seconds, for `started_at`.
+    pub started_at_epoch: u64,
+    /// `POST /query` requests slower than this many microseconds emit a
+    /// structured `slow-query` stderr line carrying the trace ID; `0`
+    /// disables the log.
+    pub slow_query_micros: u64,
 }
 
 impl AppState {
@@ -131,6 +157,13 @@ impl AppState {
             workers,
             max_batch: protocol::MAX_BATCH_SIZE,
             data_root,
+            metrics: obs::Metrics::new(),
+            started: Instant::now(),
+            started_at_epoch: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            slow_query_micros: 0,
         }
     }
 
@@ -182,15 +215,18 @@ pub fn route(state: &Arc<AppState>, request: &Request) -> Response {
     let path = request.path.split('?').next().unwrap_or("");
     let result = match (request.method.as_str(), path) {
         ("GET", "/healthz") => Ok(healthz(state)),
+        ("GET", "/metrics") => Ok(metrics(state)),
         ("GET", "/datasets") => Ok(list_datasets(state)),
         ("POST", "/datasets") => register_dataset(state, request),
         ("POST", "/query") => query(state, request),
         ("POST", "/shard/query") => shard_query(state, request),
-        (_, "/healthz" | "/datasets" | "/query" | "/shard/query") => Err(ServerError {
-            status: 405,
-            message: format!("method {} not allowed here", request.method),
-            code: None,
-        }),
+        (_, "/healthz" | "/metrics" | "/datasets" | "/query" | "/shard/query") => {
+            Err(ServerError {
+                status: 405,
+                message: format!("method {} not allowed here", request.method),
+                code: None,
+            })
+        }
         _ => Err(ServerError::not_found(format!(
             "no route {} {}",
             request.method, request.path
@@ -237,6 +273,10 @@ fn healthz(state: &Arc<AppState>) -> Response {
         });
     ok(obj([
         ("status", "ok".into()),
+        ("version", build_version().into()),
+        ("git_rev", build_git_rev().into()),
+        ("uptime_secs", state.started.elapsed().as_secs().into()),
+        ("started_at", state.started_at_epoch.into()),
         ("datasets", state.catalog.len().into()),
         ("queries", state.queries.load(Ordering::Relaxed).into()),
         ("workers", state.workers.into()),
@@ -295,6 +335,169 @@ fn healthz(state: &Arc<AppState>) -> Response {
     ]))
 }
 
+/// `GET /metrics`: Prometheus text exposition assembled from the same
+/// registries `/healthz` reads — the counter series here always
+/// reconcile with the healthz totals, and the histograms add the
+/// latency distributions healthz's monotonic counters cannot carry.
+/// Metric names follow one scheme: `shapesearch_<noun>_<unit|total>`,
+/// with `stage`/`endpoint`/`event`/`outcome` labels for families.
+fn metrics(state: &Arc<AppState>) -> Response {
+    let stats = state.cache.stats();
+    let shard_stats = state.shard_stats();
+    let pruning = *state.pruning.lock().expect("pruning stats lock");
+    let remote: Vec<(String, RemoteShardStats)> = state
+        .remote_stats
+        .lock()
+        .expect("remote stats lock")
+        .iter()
+        .map(|(endpoint, s)| (endpoint.clone(), *s))
+        .collect();
+
+    let mut expo = obs::Exposition::new();
+    expo.gauge(
+        "shapesearch_uptime_seconds",
+        "Seconds since this server process started.",
+        state.started.elapsed().as_secs(),
+    );
+    expo.gauge(
+        "shapesearch_datasets",
+        "Registered datasets.",
+        state.catalog.len() as u64,
+    );
+    expo.counter(
+        "shapesearch_queries_total",
+        "Queries received on POST /query (each batch item counts once).",
+        state.queries.load(Ordering::Relaxed),
+    );
+    expo.counter(
+        "shapesearch_shard_queries_total",
+        "POST /shard/query RPCs served by this process.",
+        state.shard_queries.load(Ordering::Relaxed),
+    );
+
+    expo.counter(
+        "shapesearch_cache_lookups_total",
+        "Query-cache lookups.",
+        stats.lookups,
+    );
+    expo.counter_family(
+        "shapesearch_cache_events_total",
+        "Query-cache lookup outcomes (hit + miss + coalesced = lookups).",
+        "event",
+        &[
+            ("hit", stats.hits),
+            ("miss", stats.misses),
+            ("coalesced", stats.coalesced),
+        ],
+    );
+    expo.gauge(
+        "shapesearch_cache_entries",
+        "Live query-cache entries.",
+        stats.entries as u64,
+    );
+    expo.gauge(
+        "shapesearch_cache_capacity",
+        "Query-cache capacity in entries.",
+        stats.capacity as u64,
+    );
+
+    expo.counter(
+        "shapesearch_shard_tasks_total",
+        "Local shard tasks executed.",
+        shard_stats.tasks,
+    );
+    expo.counter(
+        "shapesearch_shard_micros_total",
+        "Engine-side microseconds spent in local shard tasks.",
+        shard_stats.micros_total,
+    );
+
+    expo.counter_family(
+        "shapesearch_pruning_candidates_total",
+        "Pruning-driver candidate outcomes (bounded = bound-checked, \
+         pruned = skipped, scored = segmented in full).",
+        "outcome",
+        &[
+            ("bounded", pruning.bounded),
+            ("pruned", pruning.pruned),
+            ("scored", pruning.scored),
+        ],
+    );
+    expo.counter(
+        "shapesearch_pruning_bound_micros_total",
+        "Microseconds spent computing pruning upper bounds.",
+        pruning.bound_micros,
+    );
+
+    let requests: Vec<(&str, u64)> = remote
+        .iter()
+        .map(|(e, s)| (e.as_str(), s.requests))
+        .collect();
+    let errors: Vec<(&str, u64)> = remote.iter().map(|(e, s)| (e.as_str(), s.errors)).collect();
+    let micros: Vec<(&str, u64)> = remote
+        .iter()
+        .map(|(e, s)| (e.as_str(), s.micros_total))
+        .collect();
+    if !remote.is_empty() {
+        expo.counter_family(
+            "shapesearch_remote_requests_total",
+            "Remote shard RPCs sent, by endpoint.",
+            "endpoint",
+            &requests,
+        );
+        expo.counter_family(
+            "shapesearch_remote_errors_total",
+            "Failed remote shard RPCs, by endpoint.",
+            "endpoint",
+            &errors,
+        );
+        expo.counter_family(
+            "shapesearch_remote_micros_total",
+            "Round-trip microseconds of remote shard RPCs, by endpoint.",
+            "endpoint",
+            &micros,
+        );
+    }
+
+    expo.histogram_family(
+        "shapesearch_request_duration_micros",
+        "End-to-end POST /query latency.",
+        &[(None, state.metrics.requests.snapshot())],
+    );
+    expo.histogram_family(
+        "shapesearch_shard_request_duration_micros",
+        "End-to-end POST /shard/query service latency.",
+        &[(None, state.metrics.shard_requests.snapshot())],
+    );
+    let stages: Vec<(Option<(&str, &str)>, obs::HistogramSnapshot)> = obs::Stage::ALL
+        .iter()
+        .map(|&stage| {
+            (
+                Some(("stage", stage.name())),
+                state.metrics.stage_snapshot(stage),
+            )
+        })
+        .collect();
+    expo.histogram_family(
+        "shapesearch_stage_duration_micros",
+        "Per-stage latency across the request pipeline.",
+        &stages,
+    );
+    let remote_hists = state.metrics.remote_snapshots();
+    if !remote_hists.is_empty() {
+        let series: Vec<(Option<(&str, &str)>, obs::HistogramSnapshot)> = remote_hists
+            .iter()
+            .map(|(endpoint, snap)| (Some(("endpoint", endpoint.as_str())), *snap))
+            .collect();
+        expo.histogram_family(
+            "shapesearch_remote_rpc_duration_micros",
+            "Remote shard RPC round-trip latency, by endpoint.",
+            &series,
+        );
+    }
+    Response::metrics_text(200, expo.finish())
+}
+
 fn list_datasets(state: &Arc<AppState>) -> Response {
     let datasets: Vec<Json> = state
         .catalog
@@ -334,6 +537,10 @@ struct PlannedQuery {
     /// The request explicitly sent `"parallel": false` — batch groups
     /// honor the opt-out instead of defaulting parallelism on.
     parallel_opt_out: bool,
+    /// The request asked for its trace (`"explain": true`) in the
+    /// response envelope. Never part of the cache key: tracing observes
+    /// the computation, it does not change it.
+    explain: bool,
 }
 
 fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, ServerError> {
@@ -361,7 +568,59 @@ fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, Server
         options,
         key,
         parallel_opt_out: req.parallel == Some(false),
+        explain: req.explain,
     })
+}
+
+/// Accumulated engine-stage time of one local shard task, for its trace
+/// span (the same samples also land in the global stage histograms).
+#[derive(Debug, Default, Clone, Copy)]
+struct StageMicros {
+    group: u64,
+    segment_score: u64,
+    prune_bound: u64,
+}
+
+/// The per-task [`StageObserver`]: forwards every engine stage sample
+/// into the process-wide histograms and accumulates per-task totals for
+/// the task's span. Atomics because the engine may report from several
+/// scoring threads at once.
+struct StageTap<'m> {
+    metrics: &'m obs::Metrics,
+    group: AtomicU64,
+    segment_score: AtomicU64,
+    prune_bound: AtomicU64,
+}
+
+impl<'m> StageTap<'m> {
+    fn new(metrics: &'m obs::Metrics) -> Self {
+        Self {
+            metrics,
+            group: AtomicU64::new(0),
+            segment_score: AtomicU64::new(0),
+            prune_bound: AtomicU64::new(0),
+        }
+    }
+
+    fn totals(&self) -> StageMicros {
+        StageMicros {
+            group: self.group.load(Ordering::Relaxed),
+            segment_score: self.segment_score.load(Ordering::Relaxed),
+            prune_bound: self.prune_bound.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StageObserver for StageTap<'_> {
+    fn stage(&self, stage: EngineStage, micros: u64) {
+        self.metrics.stage(obs::Stage::from_engine(stage), micros);
+        let slot = match stage {
+            EngineStage::Group => &self.group,
+            EngineStage::SegmentScore => &self.segment_score,
+            EngineStage::PruneBound => &self.prune_bound,
+        };
+        slot.fetch_add(micros, Ordering::Relaxed);
+    }
 }
 
 /// One shard's contribution to a query group: per-query outcomes (the
@@ -374,6 +633,12 @@ struct ShardRun {
     outcomes: Vec<Result<Vec<TopKResult>, ServerError>>,
     micros: u64,
     pruned_bounds: Vec<Option<f64>>,
+    /// Engine-stage totals of a local task (zero for remote shards —
+    /// their engine time shows in their own spans below).
+    stages: StageMicros,
+    /// A remote shard server's own span tree (present only when the RPC
+    /// carried a `trace_id`; always empty for local shards).
+    remote_spans: Vec<Span>,
 }
 
 /// One **local** shard task: the batched engine pass over one partition,
@@ -385,22 +650,28 @@ struct ShardRun {
 /// tracked inside the shared cells, not per shard, so `pruned_bounds`
 /// is all-`None` here.
 fn run_local_shard(
+    state: &AppState,
     shard: &shapesearch_core::ShapeEngine,
     queries: &[(ShapeQuery, usize)],
     options: &EngineOptions,
     shared: &SharedThresholds,
 ) -> ShardRun {
+    let tap = StageTap::new(&state.metrics);
     let started = Instant::now();
     let items: Vec<(&ShapeQuery, usize)> = queries.iter().map(|(q, k)| (q, *k)).collect();
     let outcomes = shard
-        .top_k_batch_shared(&items, options, shared)
+        .top_k_batch_observed(&items, options, shared, &tap)
         .into_iter()
         .map(|outcome| outcome.map_err(|e| ServerError::bad_request(format!("query failed: {e}"))))
         .collect();
+    let micros = started.elapsed().as_micros() as u64;
+    state.metrics.stage(obs::Stage::ShardCompute, micros);
     ShardRun {
         outcomes,
-        micros: started.elapsed().as_micros() as u64,
+        micros,
         pruned_bounds: vec![None; queries.len()],
+        stages: tap.totals(),
+        remote_spans: Vec::new(),
     }
 }
 
@@ -421,11 +692,14 @@ fn run_remote_shard(
     queries: &[(ShapeQuery, usize)],
     options: &EngineOptions,
     hints: &[Option<f64>],
+    trace: Option<&str>,
 ) -> ShardRun {
-    let body = protocol::shard_request_to_json(dataset, queries, hints, options);
+    let body = protocol::shard_request_to_json(dataset, queries, hints, options, trace);
     let started = Instant::now();
     let reply = state.remote.post(endpoint, "/shard/query", &body);
     let micros = started.elapsed().as_micros() as u64;
+    state.metrics.stage(obs::Stage::RemoteRpc, micros);
+    state.metrics.record_remote(endpoint, micros);
 
     let partials: Result<protocol::ShardPartials, String> = match &reply {
         Ok(response) if response.status == 200 => {
@@ -442,11 +716,17 @@ fn run_remote_shard(
         )),
         Err(e) => Err(e.to_string()),
     };
-    let (outcomes, pruned_bounds, failed) = match partials {
-        Ok(partials) => (partials.outcomes, partials.pruned_bounds, false),
+    let (outcomes, pruned_bounds, remote_spans, failed) = match partials {
+        Ok(partials) => (
+            partials.outcomes,
+            partials.pruned_bounds,
+            partials.spans,
+            false,
+        ),
         Err(detail) => (
             vec![Err(ServerError::shard_unavailable(endpoint, detail)); queries.len()],
             vec![None; queries.len()],
+            Vec::new(),
             true,
         ),
     };
@@ -463,6 +743,8 @@ fn run_remote_shard(
         outcomes,
         micros,
         pruned_bounds,
+        stages: StageMicros::default(),
+        remote_spans,
     }
 }
 
@@ -506,6 +788,10 @@ struct ShardExec {
     shard_micros: Vec<u64>,
     hint_pruned: Vec<Option<f64>>,
     pruning: PruningSnapshot,
+    /// The fan-out's span forest, one span per shard slot (stitching in
+    /// remote servers' own spans) plus the merge span. Empty unless the
+    /// computation was traced.
+    spans: Vec<Span>,
 }
 
 /// True when a shard's reported hint-pruned bound is **not** discharged
@@ -580,6 +866,7 @@ fn execute_on_shards(
     options: &EngineOptions,
     sequential: bool,
     hints: &[Option<f64>],
+    trace: Option<&str>,
 ) -> ShardExec {
     let shards = entry.engine.shards();
     let ks: Vec<usize> = queries.iter().map(|&(_, k)| k).collect();
@@ -613,17 +900,19 @@ fn execute_on_shards(
             ..options.clone()
         };
         let effective = if sequential { &capped } else { options };
-        vec![run_local_shard(&shards[0], &queries, effective, &shared)]
+        vec![run_local_shard(
+            state, &shards[0], &queries, effective, &shared,
+        )]
     } else if sequential {
         entry
             .placement
             .iter()
             .zip(shards)
             .map(|(placement, shard)| match placement {
-                ShardPlacement::Local => run_local_shard(shard, &queries, &inner, &shared),
+                ShardPlacement::Local => run_local_shard(state, shard, &queries, &inner, &shared),
                 ShardPlacement::Remote(endpoint) => {
                     let hints = live_hints(&shared);
-                    run_remote_shard(state, endpoint, &entry.id, &queries, &inner, &hints)
+                    run_remote_shard(state, endpoint, &entry.id, &queries, &inner, &hints, trace)
                 }
             })
             .collect()
@@ -640,13 +929,14 @@ fn execute_on_shards(
             if *placement != ShardPlacement::Local {
                 continue;
             }
+            let task_state = Arc::clone(state);
             let shard = Arc::clone(shard);
             let queries = Arc::clone(&queries);
             let inner = inner.clone();
             let shared = shared.clone();
             order.push(slot);
             tasks.push(Box::new(move || {
-                run_local_shard(&shard, &queries, &inner, &shared)
+                run_local_shard(&task_state, &shard, &queries, &inner, &shared)
             }));
         }
         for (slot, placement) in entry.placement.iter().enumerate() {
@@ -659,12 +949,21 @@ fn execute_on_shards(
             let queries = Arc::clone(&queries);
             let inner = inner.clone();
             let shared = shared.clone();
+            let trace = trace.map(str::to_owned);
             order.push(slot);
             tasks.push(Box::new(move || {
                 // Hints read at execution time: locals enqueued ahead
                 // may already have proven a threshold.
                 let hints = live_hints(&shared);
-                run_remote_shard(&state, &endpoint, &entry.id, &queries, &inner, &hints)
+                run_remote_shard(
+                    &state,
+                    &endpoint,
+                    &entry.id,
+                    &queries,
+                    &inner,
+                    &hints,
+                    trace.as_deref(),
+                )
             }));
         }
         let mut slots: Vec<Option<ShardRun>> = (0..shards.len()).map(|_| None).collect();
@@ -693,7 +992,9 @@ fn execute_on_shards(
         stats.micros_total += local_micros.iter().sum::<u64>();
     }
 
+    let merge_started = Instant::now();
     let mut outcomes = merge_shard_runs(&runs, &ks);
+    let mut merge_micros = merge_started.elapsed().as_micros() as u64;
 
     // Verification: every remote-reported hint-pruned bound must be
     // strictly cleared by the merged answer; shards owing an
@@ -720,10 +1021,15 @@ fn execute_on_shards(
             let ShardPlacement::Remote(endpoint) = &entry.placement[slot] else {
                 unreachable!("only remote shards are retried");
             };
-            runs[slot] = run_remote_shard(state, endpoint, &entry.id, &queries, &inner, &no_hints);
+            runs[slot] = run_remote_shard(
+                state, endpoint, &entry.id, &queries, &inner, &no_hints, trace,
+            );
         }
+        let remerge_started = Instant::now();
         outcomes = merge_shard_runs(&runs, &ks);
+        merge_micros += remerge_started.elapsed().as_micros() as u64;
     }
+    state.metrics.stage(obs::Stage::Merge, merge_micros);
 
     let pruning = shared.snapshot();
     state
@@ -732,11 +1038,53 @@ fn execute_on_shards(
         .expect("pruning stats lock")
         .add(pruning);
 
+    // The fan-out's span forest: one span per shard slot — a local
+    // shard's engine-stage breakdown, or a remote RPC with the remote
+    // server's own spans stitched underneath — plus the merge. Built
+    // only for traced computations; untraced requests pay nothing here.
+    let spans = if trace.is_some() {
+        let mut spans: Vec<Span> = entry
+            .placement
+            .iter()
+            .zip(&runs)
+            .enumerate()
+            .map(|(slot, (placement, run))| match placement {
+                ShardPlacement::Local => {
+                    let mut span = Span::new("shard_compute", run.micros)
+                        .with_detail(format!("shard {slot} local"));
+                    for (stage, micros) in [
+                        (obs::Stage::Group, run.stages.group),
+                        (obs::Stage::SegmentScore, run.stages.segment_score),
+                        (obs::Stage::PruneBound, run.stages.prune_bound),
+                    ] {
+                        if micros > 0 {
+                            span.push(Span::new(stage.name(), micros));
+                        }
+                    }
+                    span
+                }
+                ShardPlacement::Remote(endpoint) => {
+                    let mut span = Span::new("remote_rpc", run.micros)
+                        .with_detail(format!("shard {slot} @ {endpoint}"));
+                    for remote_span in &run.remote_spans {
+                        span.push(remote_span.clone());
+                    }
+                    span
+                }
+            })
+            .collect();
+        spans.push(Span::new("merge", merge_micros));
+        spans
+    } else {
+        Vec::new()
+    };
+
     ShardExec {
         outcomes,
         shard_micros: runs.iter().map(|run| run.micros).collect(),
         hint_pruned: (0..queries.len()).map(|i| shared.hint_pruned(i)).collect(),
         pruning,
+        spans,
     }
 }
 
@@ -775,23 +1123,46 @@ fn shard_query(state: &Arc<AppState>, request: &Request) -> Result<Response, Ser
         .ok_or_else(|| ServerError::not_found(format!("unknown dataset `{}`", req.dataset)))?;
     state.shard_queries.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
-    let exec = execute_on_shards(state, &entry, req.queries, &req.options, false, &req.hints);
+    let exec = execute_on_shards(
+        state,
+        &entry,
+        req.queries,
+        &req.options,
+        false,
+        &req.hints,
+        req.trace_id.as_deref(),
+    );
     let micros = started.elapsed().as_micros() as u64;
+    state.metrics.shard_requests.record(micros);
+    // A traced RPC replies with this server's own span tree under one
+    // root, so the router stitches a cross-process trace whose remote
+    // branches carry the remote servers' own timings.
+    let spans = req.trace_id.as_deref().map(|trace_id| {
+        let mut root = Span::new("shard_request", micros).with_detail(format!("trace {trace_id}"));
+        for span in exec.spans {
+            root.push(span);
+        }
+        vec![root]
+    });
     Ok(ok(protocol::shard_outcomes_to_json(
         &entry.id,
         &exec.outcomes,
         &exec.hint_pruned,
         exec.pruning,
         micros,
+        spans.as_deref(),
     )))
 }
 
 /// Runs one planned query on the engine (all shards), outside any
-/// singleflight. Returns the merged results plus per-shard micros.
+/// singleflight. Returns the merged results plus per-shard micros, the
+/// fan-out's spans (when traced), and the computation's pruning stats.
+#[allow(clippy::type_complexity)]
 fn compute(
     state: &Arc<AppState>,
     planned: &PlannedQuery,
-) -> Result<(Arc<Vec<TopKResult>>, Vec<u64>), ServerError> {
+    trace: Option<&str>,
+) -> Result<(Arc<Vec<TopKResult>>, Vec<u64>, Vec<Span>, PruningSnapshot), ServerError> {
     let mut exec = execute_on_shards(
         state,
         &planned.entry,
@@ -799,11 +1170,19 @@ fn compute(
         &planned.options,
         planned.parallel_opt_out,
         &[],
+        trace,
     );
     exec.outcomes
         .pop()
         .expect("one outcome per query")
-        .map(|results| (Arc::new(results), exec.shard_micros))
+        .map(|results| {
+            (
+                Arc::new(results),
+                exec.shard_micros,
+                exec.spans,
+                exec.pruning,
+            )
+        })
 }
 
 /// The per-query response body (shared between the single and batch
@@ -848,61 +1227,176 @@ fn query_response(
     obj(fields)
 }
 
-/// `(results, cached, coalesced, shard_micros)` of one resolved query;
-/// the per-shard timings exist only when this caller led the computation
-/// itself.
-type Resolved = (Arc<Vec<TopKResult>>, bool, bool, Option<Vec<u64>>);
+/// One resolved query: the results, how they were obtained, and — when
+/// this caller led the computation itself — its per-shard timings, trace
+/// spans, and pruning stats.
+struct ResolvedQuery {
+    value: Arc<Vec<TopKResult>>,
+    cached: bool,
+    coalesced: bool,
+    shard_micros: Option<Vec<u64>>,
+    /// Total time spent in cache lookups (and coalesced waiting) before
+    /// the outcome was known.
+    lookup_micros: u64,
+    /// The computation's span forest; empty unless this caller led a
+    /// traced computation.
+    exec_spans: Vec<Span>,
+    /// Pruning stats of the led computation (zeros on hits/waits — a
+    /// cached answer did no pruning work for this request).
+    pruning: PruningSnapshot,
+}
 
 /// Resolves one planned query through the singleflight cache, blocking
 /// as long as it takes. When a foreign leader fails, the waiters retry
 /// the lookup — the next one elects itself leader (a fresh, *counted*
 /// miss) and the rest re-coalesce onto it — so every engine computation
 /// shows up as exactly one `misses` tick, even on error paths.
-fn resolve_query(state: &Arc<AppState>, planned: &PlannedQuery) -> Result<Resolved, ServerError> {
+fn resolve_query(
+    state: &Arc<AppState>,
+    planned: &PlannedQuery,
+    trace: Option<&str>,
+) -> Result<ResolvedQuery, ServerError> {
+    let mut lookup_micros = 0u64;
     loop {
-        match state.cache.lookup(&planned.key) {
-            Lookup::Hit(v) => return Ok((v, true, false, None)),
-            Lookup::Pending(waiter) => match waiter.wait() {
-                Some(v) => return Ok((v, true, true, None)),
-                // Leader failed: its flight is gone; loop to contend for
-                // the vacated key (engine errors are deterministic, so
-                // whoever wins next will surface the same error).
-                None => continue,
-            },
+        let lookup_started = Instant::now();
+        let lookup = state.cache.lookup(&planned.key);
+        let this_lookup = lookup_started.elapsed().as_micros() as u64;
+        state.metrics.stage(obs::Stage::CacheLookup, this_lookup);
+        lookup_micros += this_lookup;
+        match lookup {
+            Lookup::Hit(v) => {
+                return Ok(ResolvedQuery {
+                    value: v,
+                    cached: true,
+                    coalesced: false,
+                    shard_micros: None,
+                    lookup_micros,
+                    exec_spans: Vec::new(),
+                    pruning: PruningSnapshot::default(),
+                })
+            }
+            Lookup::Pending(waiter) => {
+                let wait_started = Instant::now();
+                let outcome = waiter.wait();
+                lookup_micros += wait_started.elapsed().as_micros() as u64;
+                match outcome {
+                    Some(v) => {
+                        return Ok(ResolvedQuery {
+                            value: v,
+                            cached: true,
+                            coalesced: true,
+                            shard_micros: None,
+                            lookup_micros,
+                            exec_spans: Vec::new(),
+                            pruning: PruningSnapshot::default(),
+                        })
+                    }
+                    // Leader failed: its flight is gone; loop to contend
+                    // for the vacated key (engine errors are
+                    // deterministic, so whoever wins next will surface
+                    // the same error).
+                    None => continue,
+                }
+            }
             Lookup::Lead(guard) => {
                 // `?` drops the guard on error, publishing the failure so
                 // coalesced waiters wake instead of deadlocking.
-                let (v, shard_micros) = compute(state, planned)?;
+                let (v, shard_micros, exec_spans, pruning) = compute(state, planned, trace)?;
                 guard.complete(Arc::clone(&v));
-                return Ok((v, false, false, Some(shard_micros)));
+                return Ok(ResolvedQuery {
+                    value: v,
+                    cached: false,
+                    coalesced: false,
+                    shard_micros: Some(shard_micros),
+                    lookup_micros,
+                    exec_spans,
+                    pruning,
+                });
             }
         }
     }
 }
 
 fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
+    let received = Instant::now();
     let body = body_json(request)?;
     if let Json::Arr(items) = &body {
-        return query_batch(state, items);
+        return query_batch(state, items, received);
     }
     // Counted on receipt — like batch items — so `queries` means
     // "queries that reached planning", whether or not they planned
     // cleanly.
     state.queries.fetch_add(1, Ordering::Relaxed);
-    let planned = plan_query(state, &body)?;
+    let trace_id = obs::new_trace_id();
+    let plan_started = Instant::now();
+    let planned = plan_query(state, &body);
+    let plan_micros = plan_started.elapsed().as_micros() as u64;
+    state.metrics.stage(obs::Stage::ParsePlan, plan_micros);
+    let planned = planned?;
+    // The trace ID rides the shard wire only for explained requests:
+    // remote span collection is strictly opt-in per query, so the
+    // distributed reply stays byte-identical for everyone else.
+    let trace = planned.explain.then_some(trace_id.as_str());
 
     let started = Instant::now();
-    let (results, cached, coalesced, shard_micros) = resolve_query(state, &planned)?;
+    let resolved = resolve_query(state, &planned, trace)?;
     let micros = started.elapsed().as_micros() as u64;
 
-    Ok(ok(query_response(
+    let serialize_started = Instant::now();
+    let mut response = query_response(
         &planned,
-        &results,
-        cached,
-        coalesced,
+        &resolved.value,
+        resolved.cached,
+        resolved.coalesced,
         Some(micros),
-        shard_micros.as_deref(),
-    )))
+        resolved.shard_micros.as_deref(),
+    );
+    let serialize_micros = serialize_started.elapsed().as_micros() as u64;
+    state.metrics.stage(obs::Stage::Serialize, serialize_micros);
+    let total_micros = received.elapsed().as_micros() as u64;
+    state.metrics.requests.record(total_micros);
+
+    if planned.explain {
+        // One stitched tree: parse → cache → the fan-out (per-shard
+        // spans, remote servers' own timings included) → serialize
+        // (envelope assembly, measured just above).
+        let outcome = match (resolved.cached, resolved.coalesced) {
+            (true, true) => "coalesced",
+            (true, false) => "hit",
+            _ => "miss",
+        };
+        let mut root = Span::new("request", total_micros).with_detail(format!("trace {trace_id}"));
+        root.push(Span::new(obs::Stage::ParsePlan.name(), plan_micros));
+        root.push(
+            Span::new(obs::Stage::CacheLookup.name(), resolved.lookup_micros).with_detail(outcome),
+        );
+        if !resolved.exec_spans.is_empty() {
+            let mut fanout = Span::new("shard_fanout", micros);
+            for span in resolved.exec_spans {
+                fanout.push(span);
+            }
+            root.push(fanout);
+        }
+        root.push(Span::new(obs::Stage::Serialize.name(), serialize_micros));
+        if let Json::Obj(fields) = &mut response {
+            fields.push((
+                "trace".to_owned(),
+                obj([
+                    ("trace_id", trace_id.as_str().into()),
+                    ("spans", obs::spans_to_json(&[root])),
+                    ("pruning", protocol::pruning_to_json(resolved.pruning)),
+                ]),
+            ));
+        }
+    }
+
+    if state.slow_query_micros > 0 && total_micros >= state.slow_query_micros {
+        eprintln!(
+            "slow-query trace_id={trace_id} dataset={} query={} micros={total_micros} cached={}",
+            planned.entry.id, planned.query_ast, resolved.cached
+        );
+    }
+    Ok(ok(response))
 }
 
 /// Progress of one batch item through plan → singleflight → engine.
@@ -913,12 +1407,31 @@ enum ItemProgress<'a> {
         value: Arc<Vec<TopKResult>>,
         cached: bool,
         coalesced: bool,
+        /// The item's assembled `trace` object, present only when the
+        /// item sent `"explain": true`.
+        trace: Option<Json>,
     },
     Waiting(PlannedQuery, crate::cache::FlightWaiter),
     Leading(PlannedQuery, crate::cache::FlightGuard<'a>),
 }
 
-fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, ServerError> {
+/// One batch item's `trace` envelope object (batch items share the
+/// request's trace ID; each explained item carries the spans of how *it*
+/// was resolved — its group's fan-out when it led, its cache outcome
+/// otherwise).
+fn item_trace(trace_id: &str, spans: &[Span], pruning: PruningSnapshot) -> Json {
+    obj([
+        ("trace_id", trace_id.into()),
+        ("spans", obs::spans_to_json(spans)),
+        ("pruning", protocol::pruning_to_json(pruning)),
+    ])
+}
+
+fn query_batch(
+    state: &Arc<AppState>,
+    items: &[Json],
+    received: Instant,
+) -> Result<Response, ServerError> {
     if items.is_empty() {
         return Err(ServerError::bad_request(
             "batch must contain at least one query object",
@@ -950,6 +1463,7 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
         .queries
         .fetch_add(items.len() as u64, Ordering::Relaxed);
     let started = Instant::now();
+    let trace_id = obs::new_trace_id();
 
     // Phase 1 — plan every item and run each through the singleflight
     // lookup, in order. Duplicate keys *within* the batch coalesce here
@@ -957,18 +1471,38 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
     // very flight this request is about to compute.
     let mut progress: Vec<ItemProgress<'_>> = items
         .iter()
-        .map(|item| match plan_query(state, item) {
-            Err(e) => ItemProgress::Failed(e),
-            Ok(planned) => match state.cache.lookup(&planned.key) {
-                Lookup::Hit(value) => ItemProgress::Ready {
-                    planned,
-                    value,
-                    cached: true,
-                    coalesced: false,
-                },
+        .map(|item| {
+            let plan_started = Instant::now();
+            let planned = plan_query(state, item);
+            state.metrics.stage(
+                obs::Stage::ParsePlan,
+                plan_started.elapsed().as_micros() as u64,
+            );
+            let planned = match planned {
+                Ok(planned) => planned,
+                Err(e) => return ItemProgress::Failed(e),
+            };
+            let lookup_started = Instant::now();
+            let lookup = state.cache.lookup(&planned.key);
+            let lookup_micros = lookup_started.elapsed().as_micros() as u64;
+            state.metrics.stage(obs::Stage::CacheLookup, lookup_micros);
+            match lookup {
+                Lookup::Hit(value) => {
+                    let trace = planned.explain.then(|| {
+                        let span = Span::new("cache_lookup", lookup_micros).with_detail("hit");
+                        item_trace(&trace_id, &[span], PruningSnapshot::default())
+                    });
+                    ItemProgress::Ready {
+                        planned,
+                        value,
+                        cached: true,
+                        coalesced: false,
+                        trace,
+                    }
+                }
                 Lookup::Pending(waiter) => ItemProgress::Waiting(planned, waiter),
                 Lookup::Lead(guard) => ItemProgress::Leading(planned, guard),
-            },
+            }
         })
         .collect();
 
@@ -1018,7 +1552,22 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
         } else if specs.len() > 1 {
             options.parallel = true;
         }
-        let exec = execute_on_shards(state, &entry, specs, &options, opted_out, &[]);
+        // One member asking for `explain` traces the whole group's
+        // fan-out — the computation is shared, so its spans are too.
+        let traced = indices
+            .iter()
+            .any(|&i| matches!(&progress[i], ItemProgress::Leading(p, _) if p.explain));
+        let exec = execute_on_shards(
+            state,
+            &entry,
+            specs,
+            &options,
+            opted_out,
+            &[],
+            traced.then_some(trace_id.as_str()),
+        );
+        let group_spans = exec.spans;
+        let group_pruning = exec.pruning;
         for (&i, outcome) in indices.iter().zip(exec.outcomes) {
             let ItemProgress::Leading(planned, guard) = std::mem::replace(
                 &mut progress[i],
@@ -1030,11 +1579,15 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
                 Ok(results) => {
                     let value = Arc::new(results);
                     guard.complete(Arc::clone(&value));
+                    let trace = planned
+                        .explain
+                        .then(|| item_trace(&trace_id, &group_spans, group_pruning));
                     ItemProgress::Ready {
                         planned,
                         value,
                         cached: false,
                         coalesced: false,
+                        trace,
                     }
                 }
                 Err(e) => {
@@ -1061,28 +1614,48 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
         ) else {
             unreachable!("matched Waiting above");
         };
-        *p = match waiter.wait() {
-            Some(value) => ItemProgress::Ready {
-                planned,
-                value,
-                cached: true,
-                coalesced: true,
-            },
-            // Leader failed: re-contend through the singleflight so the
-            // retry is a counted miss (or re-coalesces onto whoever wins).
-            None => match resolve_query(state, &planned) {
-                Ok((value, cached, coalesced, _shard_micros)) => ItemProgress::Ready {
+        let wait_started = Instant::now();
+        let outcome = waiter.wait();
+        let wait_micros = wait_started.elapsed().as_micros() as u64;
+        *p = match outcome {
+            Some(value) => {
+                let trace = planned.explain.then(|| {
+                    let span = Span::new("cache_lookup", wait_micros).with_detail("coalesced");
+                    item_trace(&trace_id, &[span], PruningSnapshot::default())
+                });
+                ItemProgress::Ready {
                     planned,
                     value,
-                    cached,
-                    coalesced,
-                },
-                Err(e) => ItemProgress::Failed(e),
-            },
+                    cached: true,
+                    coalesced: true,
+                    trace,
+                }
+            }
+            // Leader failed: re-contend through the singleflight so the
+            // retry is a counted miss (or re-coalesces onto whoever wins).
+            None => {
+                let trace = planned.explain.then_some(trace_id.as_str());
+                match resolve_query(state, &planned, trace) {
+                    Ok(resolved) => {
+                        let trace = planned
+                            .explain
+                            .then(|| item_trace(&trace_id, &resolved.exec_spans, resolved.pruning));
+                        ItemProgress::Ready {
+                            planned,
+                            value: resolved.value,
+                            cached: resolved.cached,
+                            coalesced: resolved.coalesced,
+                            trace,
+                        }
+                    }
+                    Err(e) => ItemProgress::Failed(e),
+                }
+            }
         };
     }
 
     let micros = started.elapsed().as_micros() as u64;
+    let serialize_started = Instant::now();
     let responses: Vec<Json> = progress
         .iter()
         .map(|p| match p {
@@ -1091,18 +1664,38 @@ fn query_batch(state: &Arc<AppState>, items: &[Json]) -> Result<Response, Server
                 value,
                 cached,
                 coalesced,
-            } => query_response(planned, value, *cached, *coalesced, None, None),
+                trace,
+            } => {
+                let mut item = query_response(planned, value, *cached, *coalesced, None, None);
+                if let (Some(trace), Json::Obj(fields)) = (trace, &mut item) {
+                    fields.push(("trace".into(), trace.clone()));
+                }
+                item
+            }
             ItemProgress::Failed(e) => protocol::error_item_to_json(e),
             ItemProgress::Waiting(..) | ItemProgress::Leading(..) => {
                 unreachable!("all items resolved before assembly")
             }
         })
         .collect();
-    Ok(ok(obj([
+    let response = ok(obj([
         ("batch", items.len().into()),
         ("micros", micros.into()),
         ("responses", Json::Arr(responses)),
-    ])))
+    ]));
+    state.metrics.stage(
+        obs::Stage::Serialize,
+        serialize_started.elapsed().as_micros() as u64,
+    );
+    let total_micros = received.elapsed().as_micros() as u64;
+    state.metrics.requests.record(total_micros);
+    if state.slow_query_micros > 0 && total_micros >= state.slow_query_micros {
+        eprintln!(
+            "slow-query trace_id={trace_id} batch={} micros={total_micros}",
+            items.len()
+        );
+    }
+    Ok(response)
 }
 
 #[cfg(test)]
@@ -1546,6 +2139,7 @@ mod tests {
             )],
             &[None],
             &state.default_options,
+            None,
         );
         let reply = route(&state, &post("/shard/query", &rpc_body.to_text()));
         assert_eq!(reply.status, 200, "{}", reply.body);
@@ -1579,6 +2173,7 @@ mod tests {
             )],
             &[None],
             &state.default_options,
+            None,
         );
         let reply = route(&state, &post("/shard/query", &rpc_body.to_text()));
         assert_eq!(reply.status, 200, "{}", reply.body);
@@ -1759,6 +2354,7 @@ mod tests {
             &router.default_options,
             false,
             &[Some(0.999)],
+            None,
         );
         let got = exec.outcomes[0].as_ref().unwrap();
         assert_eq!(
@@ -1815,6 +2411,7 @@ mod tests {
             &[(q.clone(), k)],
             &[Some(0.999)],
             &state.default_options,
+            None,
         );
         let reply = route(&state, &post("/shard/query", &rpc.to_text()));
         assert_eq!(reply.status, 200, "{}", reply.body);
@@ -1838,6 +2435,7 @@ mod tests {
             &[(q.clone(), k)],
             &[None],
             &state.default_options,
+            None,
         );
         let reply = route(&state, &post("/shard/query", &rpc.to_text()));
         let partials =
@@ -1852,6 +2450,7 @@ mod tests {
             &[(q, 0)],
             &[Some(0.999)],
             &state.default_options,
+            None,
         );
         let reply = route(&state, &post("/shard/query", &rpc.to_text()));
         assert_eq!(reply.status, 200, "{}", reply.body);

@@ -93,6 +93,16 @@ impl Response {
             content_type: "application/json",
         }
     }
+
+    /// A Prometheus text-exposition response (the `version=0.0.4`
+    /// content type scrapers negotiate on).
+    pub fn metrics_text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+        }
+    }
 }
 
 fn status_text(status: u16) -> &'static str {

@@ -93,6 +93,7 @@ pub mod error;
 pub mod handlers;
 pub mod http;
 pub mod json;
+pub mod obs;
 pub mod protocol;
 
 pub use cache::{CacheKey, CacheStats, LruCache, QueryCache};
@@ -101,6 +102,7 @@ pub use client::{Client, ClientResponse, PooledClient};
 pub use error::ServerError;
 pub use handlers::AppState;
 pub use http::{Request, Response, ServerHandle};
+pub use obs::{Histogram, HistogramSnapshot, Metrics, Span, Stage};
 
 use std::io;
 use std::sync::Arc;
@@ -128,6 +130,10 @@ pub struct ServerConfig {
     /// `None` (the default) disables path registration over HTTP so
     /// remote clients cannot read arbitrary server-local files.
     pub data_root: Option<std::path::PathBuf>,
+    /// `POST /query` requests slower than this many microseconds emit a
+    /// structured `slow-query` line (with the trace ID) on stderr; `0`
+    /// (the default) disables slow-query logging.
+    pub slow_query_micros: u64,
 }
 
 impl Default for ServerConfig {
@@ -140,6 +146,7 @@ impl Default for ServerConfig {
             max_batch: protocol::MAX_BATCH_SIZE,
             shards: 0,
             data_root: None,
+            slow_query_micros: 0,
         }
     }
 }
@@ -183,6 +190,7 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
         config.shards,
     );
     state.max_batch = config.max_batch.max(1);
+    state.slow_query_micros = config.slow_query_micros;
     let state = Arc::new(state);
     let router_state = Arc::clone(&state);
     let handle = http::serve(

@@ -1,5 +1,5 @@
 //! The JSON wire protocol: typed request extraction and response
-//! construction for the five routes.
+//! construction for the six routes.
 //!
 //! ```text
 //! POST /datasets  {"name", "id"?, "csv"|"jsonl"|"path", "z", "x", "y",
@@ -11,25 +11,28 @@
 //!                  "trendlines","points","shards","placement",
 //!                  "shard_of"?}]}
 //! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
-//!                  "pushdown"?, "parallel"?, "pruning"?}
+//!                  "pushdown"?, "parallel"?, "pruning"?, "explain"?}
 //!              or [ {…}, {…}, … ]       (a batch of up to the server's
 //!                                        max batch size, default
 //!                                        MAX_BATCH_SIZE)
 //!              → single: {"dataset","query","k","algo","shards","cached",
 //!                         "coalesced","micros","shard_micros"?,
-//!                         "results",…}
+//!                         "results",…,
+//!                         "trace"?: {"trace_id","spans","pruning"}}
 //!              → batch:  {"batch": n, "micros": total,
 //!                         "responses": [per-query objects or
 //!                                       {"error","status","code"?}]}
 //! POST /shard/query   {"dataset", "queries":[{"query","k",
 //!                      "threshold_hint": score|null}, …],
-//!                      "options": {…}}     (router → shard server RPC)
+//!                      "options": {…}, "trace_id"?: "hex"}
+//!                                          (router → shard server RPC)
 //!              → {"dataset","outcomes":[{"results":[…],
 //!                 "pruned_bound": score|null} or
 //!                 {"error","status","code"?}, …],
 //!                 "pruning":{"bounded","pruned","scored","bound_micros"},
-//!                 "micros"}
-//! GET  /healthz   → {"status","datasets","queries",
+//!                 "micros", "spans"?: [span tree, traced RPCs only]}
+//! GET  /healthz   → {"status","version","git_rev","uptime_secs",
+//!                    "started_at","datasets","queries",
 //!                    "cache":{"lookups","hits","misses","coalesced",…},
 //!                    "shards":{"default","dataset_shards",
 //!                              "compute_workers","tasks","micros_total"},
@@ -37,7 +40,22 @@
 //!                               "bound_micros"},
 //!                    "remote_shards":{"endpoints","requests","errors",
 //!                                     "micros_total","by_endpoint"}}
+//! GET  /metrics   → Prometheus text exposition (0.0.4) of the same
+//!                   counters plus request/stage/endpoint latency
+//!                   histograms (see docs/ARCHITECTURE.md,
+//!                   "Observability")
 //! ```
+//!
+//! `explain` requests a per-request trace: the response gains a `trace`
+//! object with a request-scoped `trace_id`, a span tree
+//! (`{"name", "detail"?, "micros", "spans"?}` via [`crate::obs::Span`])
+//! covering every stage, and the computation's pruning counters. For
+//! traced computations the `trace_id` rides each outgoing
+//! `/shard/query` RPC and the shard server replies with its own span
+//! tree (`spans`), which the router stitches under the corresponding
+//! `remote_rpc` span — tracing is opt-in per query and never changes
+//! results or cache keys, and untraced RPC replies omit `spans`
+//! entirely.
 //!
 //! `threshold_hint` is the §6.3 top-k threshold the router has proven so
 //! far for that query — a pure accelerator the shard server seeds its
@@ -257,6 +275,11 @@ pub struct QueryRequest {
     pub parallel: Option<bool>,
     /// §6.3 bound-pruning mode override (`auto` / `off` / `force`).
     pub pruning: Option<PruningMode>,
+    /// When `true`, the response envelope carries the request's trace:
+    /// the stitched span tree (including remote shards' own timings)
+    /// and pruning stats. Purely additive — it never affects results or
+    /// caching, so `explain` is not part of the cache key.
+    pub explain: bool,
 }
 
 /// Parses one query object of a `POST /query` body.
@@ -294,6 +317,7 @@ pub fn query_request_from_json(body: &Json) -> Result<QueryRequest, ServerError>
         pushdown: body.get("pushdown").and_then(Json::as_bool),
         parallel: body.get("parallel").and_then(Json::as_bool),
         pruning,
+        explain: body.get("explain").and_then(Json::as_bool).unwrap_or(false),
     })
 }
 
@@ -525,19 +549,26 @@ pub struct ShardQueryRequest {
     pub hints: Vec<Option<f64>>,
     /// The fully pinned, result-affecting engine options.
     pub options: EngineOptions,
+    /// The router's trace ID, when the fan-out is being traced: the
+    /// shard server reports its own span tree back under this ID so the
+    /// router can stitch one cross-process trace.
+    pub trace_id: Option<String>,
 }
 
 /// Builds the `POST /shard/query` request body the router sends for one
 /// query group. `hints` must align with `queries`; a missing slot
-/// serializes as the explicit `null`.
+/// serializes as the explicit `null`. A `trace` ID (present only when
+/// the originating request is traced) asks the shard server to time its
+/// stages and return its span tree in the reply.
 pub fn shard_request_to_json(
     dataset: &str,
     queries: &[(ShapeQuery, usize)],
     hints: &[Option<f64>],
     options: &EngineOptions,
+    trace: Option<&str>,
 ) -> Json {
-    obj([
-        ("dataset", dataset.into()),
+    let mut fields = vec![
+        ("dataset", Json::from(dataset)),
         (
             "queries",
             Json::Arr(
@@ -561,7 +592,11 @@ pub fn shard_request_to_json(
             ),
         ),
         ("options", options_to_json(options)),
-    ])
+    ];
+    if let Some(trace) = trace {
+        fields.push(("trace_id", trace.into()));
+    }
+    obj(fields)
 }
 
 /// Parses a `POST /shard/query` body. Every query entry must carry
@@ -605,11 +640,21 @@ pub fn shard_request_from_json(body: &Json) -> Result<ShardQueryRequest, ServerE
         body.get("options")
             .ok_or_else(|| ServerError::bad_request("missing `options` object"))?,
     )?;
+    let trace_id = match body.get("trace_id") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(
+            value
+                .as_str()
+                .ok_or_else(|| ServerError::bad_request("`trace_id` must be a string"))?
+                .to_owned(),
+        ),
+    };
     Ok(ShardQueryRequest {
         dataset,
         queries,
         hints,
         options,
+        trace_id,
     })
 }
 
@@ -628,16 +673,19 @@ pub fn pruning_to_json(snapshot: PruningSnapshot) -> Json {
 /// `outcomes`: the largest upper bound each query pruned on hint
 /// authority alone (`None` → wire `null`), which the router's
 /// verification pass checks the merged answer against. `pruning` is the
-/// RPC's engine-side counter snapshot.
+/// RPC's engine-side counter snapshot. `spans` (present only when the
+/// request carried a `trace_id`) is the shard server's own span tree,
+/// which the router stitches under its RPC span.
 pub fn shard_outcomes_to_json(
     dataset: &str,
     outcomes: &[Result<Vec<TopKResult>, ServerError>],
     pruned_bounds: &[Option<f64>],
     pruning: PruningSnapshot,
     micros: u64,
+    spans: Option<&[crate::obs::Span]>,
 ) -> Json {
-    obj([
-        ("dataset", dataset.into()),
+    let mut fields = vec![
+        ("dataset", Json::from(dataset)),
         (
             "outcomes",
             Json::Arr(
@@ -662,7 +710,11 @@ pub fn shard_outcomes_to_json(
         ),
         ("pruning", pruning_to_json(pruning)),
         ("micros", micros.into()),
-    ])
+    ];
+    if let Some(spans) = spans {
+        fields.push(("spans", crate::obs::spans_to_json(spans)));
+    }
+    obj(fields)
 }
 
 /// A shard server's parsed `POST /shard/query` reply: per-query partial
@@ -673,6 +725,9 @@ pub struct ShardPartials {
     pub outcomes: Vec<Result<Vec<TopKResult>, ServerError>>,
     /// Per-query largest hint-justified pruned upper bound, when any.
     pub pruned_bounds: Vec<Option<f64>>,
+    /// The shard server's own span tree (empty unless the router sent a
+    /// `trace_id` and the reply carried well-formed spans).
+    pub spans: Vec<crate::obs::Span>,
 }
 
 /// Parses a shard server's `POST /shard/query` response back into
@@ -706,9 +761,14 @@ pub fn shard_outcomes_from_json(body: &Json, expected: usize) -> Result<ShardPar
         outcomes.push(Err(err));
         pruned_bounds.push(None);
     }
+    let spans = body
+        .get("spans")
+        .and_then(crate::obs::spans_from_json)
+        .unwrap_or_default();
     Ok(ShardPartials {
         outcomes,
         pruned_bounds,
+        spans,
     })
 }
 
@@ -894,7 +954,8 @@ mod tests {
         let q = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
         let queries = vec![(q.clone(), 3), (q, 7)];
         let hints = vec![Some(0.625), None];
-        let wire = shard_request_to_json("sales", &queries, &hints, &EngineOptions::default());
+        let wire =
+            shard_request_to_json("sales", &queries, &hints, &EngineOptions::default(), None);
         let req = shard_request_from_json(&json::parse(&wire.to_text()).unwrap()).unwrap();
         assert_eq!(req.dataset, "sales");
         assert_eq!(req.queries.len(), 2);
@@ -902,6 +963,18 @@ mod tests {
         assert_eq!(req.queries[1].1, 7);
         assert_eq!(req.queries[0].0, queries[0].0);
         assert_eq!(req.hints, hints, "hints round-trip, null included");
+        assert_eq!(req.trace_id, None, "untraced requests omit trace_id");
+
+        // A traced fan-out carries its ID to the shard server.
+        let traced = shard_request_to_json(
+            "sales",
+            &queries,
+            &hints,
+            &EngineOptions::default(),
+            Some("deadbeef01234567"),
+        );
+        let req = shard_request_from_json(&json::parse(&traced.to_text()).unwrap()).unwrap();
+        assert_eq!(req.trace_id.as_deref(), Some("deadbeef01234567"));
 
         // `threshold_hint` is required-but-nullable: dropping the key is
         // a malformed request, like any option-vocabulary skew.
@@ -924,11 +997,31 @@ mod tests {
             scored: 2,
             bound_micros: 11,
         };
-        let reply = shard_outcomes_to_json("sales", &outcomes, &[Some(0.5), None], snapshot, 42);
+        let reply =
+            shard_outcomes_to_json("sales", &outcomes, &[Some(0.5), None], snapshot, 42, None);
         assert!(reply.to_text().contains("\"pruning\":{\"bounded\":9"));
+        assert!(
+            !reply.to_text().contains("\"spans\""),
+            "untraced replies omit spans"
+        );
         let back = shard_outcomes_from_json(&json::parse(&reply.to_text()).unwrap(), 2).unwrap();
         assert_eq!(back.outcomes[0].as_ref().unwrap(), &results);
         assert_eq!(back.pruned_bounds, vec![Some(0.5), None]);
+        assert!(back.spans.is_empty());
+
+        // A traced reply round-trips its span tree for router stitching.
+        let shard_spans =
+            vec![crate::obs::Span::new("shard_request", 42).with_detail("trace deadbeef01234567")];
+        let traced = shard_outcomes_to_json(
+            "sales",
+            &outcomes,
+            &[Some(0.5), None],
+            snapshot,
+            42,
+            Some(&shard_spans),
+        );
+        let back = shard_outcomes_from_json(&json::parse(&traced.to_text()).unwrap(), 2).unwrap();
+        assert_eq!(back.spans, shard_spans);
         let err = back.outcomes[1].as_ref().unwrap_err();
         assert_eq!(err.status, 502);
         assert_eq!(err.code, Some("shard_unavailable"));
@@ -997,6 +1090,7 @@ mod tests {
             pushdown: None,
             parallel: None,
             pruning: None,
+            explain: false,
         };
         let (nl_query, _) = parse_query(&nl_req).unwrap();
         let direct = shapesearch_parser::parse_regex(&nl_query.to_string()).unwrap();

@@ -44,7 +44,7 @@ fn usage() -> &'static str {
      [--pruning auto|off|force] \
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
      shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
-     [--shards N] [--data-root DIR] \
+     [--shards N] [--data-root DIR] [--slow-query-micros N] \
      [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...] \
       [--shard-of I/N | --shard-endpoint HOST:PORT|local ...]]"
 }
@@ -170,6 +170,13 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--shards must be an integer".to_owned())?;
             }
             "--data-root" => config.data_root = Some(take("--data-root")?.into()),
+            "--slow-query-micros" => {
+                // Queries slower than this emit a structured stderr line
+                // carrying the trace ID; 0 (the default) disables it.
+                config.slow_query_micros = take("--slow-query-micros")?
+                    .parse()
+                    .map_err(|_| "--slow-query-micros must be an integer".to_owned())?;
+            }
             "--shard-of" => {
                 // Shard-server mode for the preloaded dataset: own
                 // partition I of a deterministic N-way split and answer

@@ -399,3 +399,319 @@ fn dead_shard_degrades_structurally_and_recovers_cacheably() {
     reference_service.shutdown();
     router_service.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Observability across the topology: trace propagation and /metrics.
+// ---------------------------------------------------------------------
+
+/// Depth-first collection of every span named `name` in a trace's span
+/// forest (spans are wire JSON: `{"name", "detail"?, "micros", "spans"?}`).
+fn spans_named<'a>(span: &'a json::Json, name: &str, out: &mut Vec<&'a json::Json>) {
+    if span.get("name").and_then(json::Json::as_str) == Some(name) {
+        out.push(span);
+    }
+    if let Some(children) = span.get("spans").and_then(json::Json::as_array) {
+        for child in children {
+            spans_named(child, name, out);
+        }
+    }
+}
+
+fn find_spans<'a>(trace: &'a json::Json, name: &str) -> Vec<&'a json::Json> {
+    let mut out = Vec::new();
+    for root in trace.get("spans").unwrap().as_array().unwrap() {
+        spans_named(root, name, &mut out);
+    }
+    out
+}
+
+/// One counter/count sample's value out of a Prometheus text exposition,
+/// matched on the exact `name{labels}` prefix.
+fn metric_value(text: &str, series: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| {
+            l.strip_prefix(series)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Satellite: the router's trace ID rides the `/shard/query` wire, and
+/// each live shard *server* echoes it back over its own span tree — the
+/// stitched trace proves cross-process propagation, not just local
+/// bookkeeping.
+#[test]
+fn explain_traces_propagate_to_live_remote_shard_servers() {
+    let shard_services: Vec<Service> = (0..2).map(|_| boot()).collect();
+    let endpoints: Vec<Option<String>> = shard_services
+        .iter()
+        .map(|s| Some(s.addr().to_string()))
+        .collect();
+    for (i, service) in shard_services.iter().enumerate() {
+        register(
+            &Client::new(service.addr()),
+            vec![("shard_of".into(), format!("{i}/2").into())],
+        );
+    }
+    let router_service = boot();
+    let router = Client::new(router_service.addr());
+    register(
+        &router,
+        vec![("shard_endpoints".into(), endpoints_json(&endpoints))],
+    );
+
+    // An untraced query stays untraced: no `trace` key, and (because the
+    // shard RPC then carries no trace_id) nothing extra on the wire.
+    let plain = router
+        .post("/query", &query_body("[p=down][p=up]", 3))
+        .unwrap()
+        .expect_ok("plain");
+    assert!(plain.get("trace").is_none(), "{}", plain.to_text());
+
+    let body = json::parse(r#"{"dataset":"market","query":"[p=up][p=down]","k":4,"explain":true}"#)
+        .unwrap();
+    let reply = router.post("/query", &body).unwrap().expect_ok("explain");
+    let trace = reply
+        .get("trace")
+        .unwrap_or_else(|| panic!("explain:true must return a trace: {}", reply.to_text()));
+    let trace_id = trace.get("trace_id").unwrap().as_str().unwrap().to_owned();
+    assert_eq!(trace_id.len(), 16, "trace_id {trace_id:?}");
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // One root: the request span, tagged with the same trace ID.
+    let roots = trace.get("spans").unwrap().as_array().unwrap();
+    assert_eq!(roots.len(), 1);
+    assert_eq!(
+        roots[0].get("name").unwrap().as_str(),
+        Some("request"),
+        "{}",
+        trace.to_text()
+    );
+    assert!(roots[0]
+        .get("detail")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains(&trace_id));
+
+    // Both remote slots appear, and under each RPC span sits the shard
+    // *server's* own reply tree, echoing the router's trace ID — the
+    // ID crossed process boundaries and came back.
+    let rpcs = find_spans(trace, "remote_rpc");
+    assert_eq!(rpcs.len(), 2, "{}", trace.to_text());
+    for rpc in &rpcs {
+        let mut echoes = Vec::new();
+        spans_named(rpc, "shard_request", &mut echoes);
+        assert_eq!(echoes.len(), 1, "{}", rpc.to_text());
+        assert!(
+            echoes[0]
+                .get("detail")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains(&trace_id),
+            "remote span must echo the router's trace ID: {}",
+            rpc.to_text()
+        );
+        // …and carries the remote server's own engine timing.
+        let mut computes = Vec::new();
+        spans_named(rpc, "shard_compute", &mut computes);
+        assert!(!computes.is_empty(), "{}", rpc.to_text());
+    }
+
+    for service in shard_services {
+        service.shutdown();
+    }
+    router_service.shutdown();
+}
+
+/// The acceptance path: an `explain:true` query over a **mixed
+/// local/remote 4-shard topology** returns one stitched span tree with a
+/// span for every shard — the remote ones carrying the shard servers'
+/// own timings — and the router's `/metrics` exposition reconciles with
+/// its healthz totals.
+#[test]
+fn explain_spans_cover_a_mixed_four_shard_topology_and_metrics_reconcile() {
+    // Shards 0 and 2 on live shard servers; 1 and 3 local to the router.
+    let shard_services: Vec<Service> = (0..2).map(|_| boot()).collect();
+    for (i, service) in shard_services.iter().enumerate() {
+        register(
+            &Client::new(service.addr()),
+            vec![("shard_of".into(), format!("{}/4", i * 2).into())],
+        );
+    }
+    let placement = vec![
+        Some(shard_services[0].addr().to_string()),
+        None,
+        Some(shard_services[1].addr().to_string()),
+        None,
+    ];
+    let router_service = boot();
+    let router = Client::new(router_service.addr());
+    register(
+        &router,
+        vec![("shard_endpoints".into(), endpoints_json(&placement))],
+    );
+
+    let body = json::parse(r#"{"dataset":"market","query":"[p=up][p=down]","k":6,"explain":true}"#)
+        .unwrap();
+    let reply = router.post("/query", &body).unwrap().expect_ok("explain");
+    let trace = reply
+        .get("trace")
+        .expect("explain:true must return a trace");
+
+    // One span per shard slot: local slots as shard_compute, remote
+    // slots as remote_rpc — each of the latter stitching in the shard
+    // server's own tree (its shard_request root and its engine-side
+    // shard_compute timing).
+    let fanout = find_spans(trace, "shard_fanout");
+    assert_eq!(fanout.len(), 1, "{}", trace.to_text());
+    let slots = fanout[0].get("spans").unwrap().as_array().unwrap();
+    let slot_names: Vec<&str> = slots
+        .iter()
+        .filter_map(|s| s.get("name").and_then(json::Json::as_str))
+        .collect();
+    assert_eq!(
+        slot_names,
+        [
+            "remote_rpc",
+            "shard_compute",
+            "remote_rpc",
+            "shard_compute",
+            "merge"
+        ],
+        "{}",
+        trace.to_text()
+    );
+    for rpc in find_spans(trace, "remote_rpc") {
+        let mut remote_computes = Vec::new();
+        spans_named(rpc, "shard_compute", &mut remote_computes);
+        assert!(
+            !remote_computes.is_empty(),
+            "remote slot must carry the shard server's own timings: {}",
+            rpc.to_text()
+        );
+        for span in remote_computes {
+            assert!(span.get("micros").unwrap().as_usize().is_some());
+        }
+    }
+
+    // A couple more queries (one repeated: a cache hit) so the counters
+    // have texture, then reconcile /metrics against healthz.
+    router
+        .post("/query", &query_body("[p=down][p=up]", 2))
+        .unwrap()
+        .expect_ok("warm-up");
+    let hit = router.post("/query", &body).unwrap().expect_ok("hit");
+    assert_eq!(hit.get("cached").unwrap().as_bool(), Some(true));
+
+    let health = router.get("/healthz").unwrap().expect_ok("healthz");
+    let (status, text) = router.get_text("/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(!text.is_empty());
+
+    let want_queries = health.get("queries").unwrap().as_usize().unwrap() as u64;
+    assert_eq!(
+        metric_value(&text, "shapesearch_queries_total"),
+        Some(want_queries),
+        "{text}"
+    );
+    let cache = health.get("cache").unwrap();
+    for (event, field) in [
+        ("hit", "hits"),
+        ("miss", "misses"),
+        ("coalesced", "coalesced"),
+    ] {
+        assert_eq!(
+            metric_value(
+                &text,
+                &format!("shapesearch_cache_events_total{{event=\"{event}\"}}")
+            ),
+            Some(cache.get(field).unwrap().as_usize().unwrap() as u64),
+            "{text}"
+        );
+    }
+    assert_eq!(
+        metric_value(&text, "shapesearch_cache_lookups_total"),
+        Some(cache.get("lookups").unwrap().as_usize().unwrap() as u64),
+    );
+    assert_eq!(
+        metric_value(&text, "shapesearch_shard_tasks_total"),
+        Some(
+            health
+                .get("shards")
+                .unwrap()
+                .get("tasks")
+                .unwrap()
+                .as_usize()
+                .unwrap() as u64
+        ),
+    );
+    // Every HTTP request landed in the request histogram, and the hot
+    // stages all saw samples.
+    assert_eq!(
+        metric_value(&text, "shapesearch_request_duration_micros_count"),
+        Some(want_queries),
+        "{text}"
+    );
+    for stage in [
+        "parse_plan",
+        "cache_lookup",
+        "shard_compute",
+        "merge",
+        "serialize",
+    ] {
+        let count = metric_value(
+            &text,
+            &format!("shapesearch_stage_duration_micros_count{{stage=\"{stage}\"}}"),
+        );
+        assert!(count.unwrap_or(0) > 0, "stage {stage} unsampled:\n{text}");
+    }
+    // Remote RPC latencies are tracked per endpoint.
+    let remote_rpc_count: u64 = placement
+        .iter()
+        .flatten()
+        .filter_map(|ep| {
+            metric_value(
+                &text,
+                &format!("shapesearch_remote_rpc_duration_micros_count{{endpoint=\"{ep}\"}}"),
+            )
+        })
+        .sum();
+    assert!(remote_rpc_count >= 2, "{text}");
+
+    // And each shard server's own exposition counts the RPCs it served.
+    for service in &shard_services {
+        let shard_health = Client::new(service.addr())
+            .get("/healthz")
+            .unwrap()
+            .expect_ok("shard healthz");
+        let (status, shard_text) = Client::new(service.addr()).get_text("/metrics").unwrap();
+        assert_eq!(status, 200);
+        let served = shard_health
+            .get("shards")
+            .unwrap()
+            .get("shard_queries")
+            .unwrap()
+            .as_usize()
+            .unwrap() as u64;
+        assert!(served >= 1);
+        assert_eq!(
+            metric_value(&shard_text, "shapesearch_shard_queries_total"),
+            Some(served),
+        );
+        assert_eq!(
+            metric_value(
+                &shard_text,
+                "shapesearch_shard_request_duration_micros_count"
+            ),
+            Some(served),
+        );
+    }
+
+    for service in shard_services {
+        service.shutdown();
+    }
+    router_service.shutdown();
+}
