@@ -276,4 +276,142 @@ for stage in parse_plan cache_lookup shard_compute remote_rpc merge serialize; d
 done
 echo "smoke: observability OK (stitched explain trace + parsing /metrics)"
 
+echo "==> chaos smoke (replica failover, then opt-in partial results)"
+# The replication tier end to end: shard 1 of 2 lives behind a
+# TWO-replica list while shard 0 stays local. Killing one replica must
+# leave batch results byte-identical to a single-process run (failover,
+# not degradation); killing both must 502 a plain query but turn a
+# "partial":true query into a 200 with a degraded block — and that
+# degraded response must never be cached.
+set -- $(start_serve --workers 4 --shard-of 1/2 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+REPLICA_A_PID=$1 REPLICA_A_PORT=$2
+CI_PIDS="$CI_PIDS $REPLICA_A_PID"
+set -- $(start_serve --workers 4 --shard-of 1/2 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+REPLICA_B_PID=$1 REPLICA_B_PORT=$2
+CI_PIDS="$CI_PIDS $REPLICA_B_PID"
+set -- $(start_serve --workers 4 --shards 2 \
+    --shard-endpoint local \
+    --shard-endpoint "127.0.0.1:$REPLICA_A_PORT|127.0.0.1:$REPLICA_B_PORT" \
+    --shard-connect-timeout-ms 1000 --shard-io-timeout-ms 2000 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+CHAOS_ROUTER_PID=$1 CHAOS_ROUTER_PORT=$2
+CI_PIDS="$CI_PIDS $CHAOS_ROUTER_PID"
+# The byte-identity reference: a fresh single-process server with the
+# same shard count (cold for every query below).
+set -- $(start_serve --workers 4 --shards 2 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+CHAOS_REF_PID=$1 CHAOS_REF_PORT=$2
+CI_PIDS="$CI_PIDS $CHAOS_REF_PID"
+
+chaos_diff() { # BODY LABEL — router batch reply must equal reference's
+    body=$1; label=$2
+    r="/tmp/ci_chaos_router_$$_$label.json"
+    s="/tmp/ci_chaos_ref_$$_$label.json"
+    CI_TMP="$CI_TMP $r $s $r.raw $s.raw"
+    for target in "router 127.0.0.1:$CHAOS_ROUTER_PORT $r" \
+                  "reference 127.0.0.1:$CHAOS_REF_PORT $s"; do
+        set -- $target
+        status=$(curl -s -o "$3.raw" -w '%{http_code}' \
+            -X POST "http://$2/query" -d "$body")
+        [ "$status" = "200" ] || {
+            echo "chaos smoke [$label]: $1 batch returned $status"
+            cat "$3.raw"; return 1;
+        }
+        sed 's/"micros":[0-9]*,//' "$3.raw" > "$3"
+    done
+    cmp "$r" "$s" || {
+        echo "chaos smoke [$label]: router and reference replies diverged"
+        echo "--- router:"; cat "$r"
+        echo "--- reference:"; cat "$s"
+        return 1
+    }
+    grep -q '"key":' "$r" || {
+        echo "chaos smoke [$label]: reply carried no results"
+        cat "$r"; return 1;
+    }
+}
+
+# Both replicas healthy: the batch goes over the wire and matches.
+chaos_diff '[
+  {"dataset":"sales","query":"[p=up][p=down]","k":5},
+  {"dataset":"sales","query":"[p=down][p=up]","k":4}
+]' both_alive
+
+# Kill replica A mid-batch-sequence; the router's pooled connection to
+# it is now dead and the next (fresh, uncached) batch must fail over to
+# replica B — still byte-identical, never a partial answer.
+kill "$REPLICA_A_PID"
+for _ in $(seq 1 50); do
+    kill -0 "$REPLICA_A_PID" 2>/dev/null || break
+    sleep 0.1
+done
+chaos_diff '[
+  {"dataset":"sales","query":"[p=up][p=flat][p=down]","k":5},
+  {"dataset":"sales","query":"[p=up]","k":3}
+]' one_dead
+# The failover left a trail: healthz names replica A with errors.
+CHAOS_HEALTH=$(curl -sf "http://127.0.0.1:$CHAOS_ROUTER_PORT/healthz")
+echo "$CHAOS_HEALTH" | grep -q "\"endpoint\":\"127.0.0.1:$REPLICA_A_PORT\"" || {
+    echo "chaos smoke: healthz lost track of the killed replica"
+    echo "$CHAOS_HEALTH"; exit 1;
+}
+
+# Kill replica B too: shard 1 has no replicas left. A plain query is a
+# structured 502 naming BOTH attempted replicas…
+kill "$REPLICA_B_PID"
+for _ in $(seq 1 50); do
+    kill -0 "$REPLICA_B_PID" 2>/dev/null || break
+    sleep 0.1
+done
+DEAD_REPLY="/tmp/ci_chaos_dead_$$.json"
+CI_TMP="$CI_TMP $DEAD_REPLY"
+DEAD_STATUS=$(curl -s -o "$DEAD_REPLY" -w '%{http_code}' \
+    -X POST "http://127.0.0.1:$CHAOS_ROUTER_PORT/query" \
+    -d '{"dataset":"sales","query":"[p=down]","k":2}')
+[ "$DEAD_STATUS" = "502" ] || {
+    echo "chaos smoke: total replica loss should 502 a plain query, got $DEAD_STATUS"
+    cat "$DEAD_REPLY"; exit 1;
+}
+grep -q '"code":"shard_unavailable"' "$DEAD_REPLY" || {
+    echo "chaos smoke: 502 is not a structured shard_unavailable"
+    cat "$DEAD_REPLY"; exit 1;
+}
+for port in "$REPLICA_A_PORT" "$REPLICA_B_PORT"; do
+    grep -q "127.0.0.1:$port" "$DEAD_REPLY" || {
+        echo "chaos smoke: shard_unavailable must name every attempted replica"
+        cat "$DEAD_REPLY"; exit 1;
+    }
+done
+
+# …while the SAME query with "partial":true is a 200 whose degraded
+# block names the missing shard, computed from the shards still alive.
+PARTIAL_REPLY="/tmp/ci_chaos_partial_$$.json"
+CI_TMP="$CI_TMP $PARTIAL_REPLY"
+for pass in first second; do
+    PARTIAL_STATUS=$(curl -s -o "$PARTIAL_REPLY" -w '%{http_code}' \
+        -X POST "http://127.0.0.1:$CHAOS_ROUTER_PORT/query" \
+        -d '{"dataset":"sales","query":"[p=down]","k":2,"partial":true}')
+    [ "$PARTIAL_STATUS" = "200" ] || {
+        echo "chaos smoke: partial:true should degrade to 200, got $PARTIAL_STATUS"
+        cat "$PARTIAL_REPLY"; exit 1;
+    }
+    grep -q '"degraded":{"missing_shards":\[1\]' "$PARTIAL_REPLY" || {
+        echo "chaos smoke: degraded block missing or not naming shard 1"
+        cat "$PARTIAL_REPLY"; exit 1;
+    }
+    # Never cached: the second pass must be another cold degraded
+    # computation, not a cache hit serving yesterday's partial answer.
+    grep -q '"cached":false' "$PARTIAL_REPLY" || {
+        echo "chaos smoke: degraded response must never be cached ($pass pass)"
+        cat "$PARTIAL_REPLY"; exit 1;
+    }
+done
+echo "smoke: chaos OK (failover byte-identical, partial degrades, never cached)"
+
 echo "ci: all green"

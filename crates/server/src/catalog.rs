@@ -10,19 +10,23 @@
 //!
 //! The catalog also carries each dataset's **partition map**: one
 //! [`ShardPlacement`] per shard, recording whether that shard executes
-//! in this process ([`ShardPlacement::Local`]) or on a remote shard
-//! server ([`ShardPlacement::Remote`], reached over `POST /shard/query`).
-//! Placements are set at registration (`"shard_endpoints"` in the HTTP
-//! body, `--shard-endpoint` on the CLI) and are immutable afterwards —
+//! in this process ([`ShardPlacement::Local`]) or on remote shard
+//! servers ([`ShardPlacement::Remote`], a *replica list* of equivalent
+//! `host:port` endpoints reached over `POST /shard/query` with
+//! health-checked failover). Placements are set at registration
+//! (`"shard_endpoints"` in the HTTP body, `--shard-endpoint` on the
+//! CLI, or resolved from the heartbeat [`Registry`] with
+//! `"shard_endpoints": "registry"`) and are immutable afterwards —
 //! repointing a shard means re-registering, which bumps the generation
 //! *and* changes the placement fingerprint baked into cache keys.
 
 use crate::error::ServerError;
 use shapesearch_core::ShardedEngine;
 use shapesearch_datastore::{csv, json, Table, VisualSpec};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Where one shard of a dataset executes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,20 +34,196 @@ pub enum ShardPlacement {
     /// The shard's engine lives in this process; its tasks run on the
     /// server's compute pool.
     Local,
-    /// The shard is owned by a remote shard server (a `shapesearch serve
-    /// --shard-of` process) at `host:port`, queried over
-    /// `POST /shard/query`.
-    Remote(String),
+    /// The shard is owned by remote shard servers (`shapesearch serve
+    /// --shard-of` processes) — a non-empty list of *replica* endpoints
+    /// (`host:port`) holding the identical partition, queried over
+    /// `POST /shard/query` in declared order with failover.
+    Remote(Vec<String>),
 }
 
 impl ShardPlacement {
     /// The placement's cache-fingerprint token: `local`, or the remote
-    /// endpoint itself.
-    pub fn fingerprint(&self) -> &str {
+    /// replica endpoints `|`-joined (a singleton replica list is the
+    /// bare endpoint — byte-compatible with pre-replication keys).
+    pub fn fingerprint(&self) -> String {
         match self {
-            ShardPlacement::Local => "local",
-            ShardPlacement::Remote(endpoint) => endpoint,
+            ShardPlacement::Local => "local".to_owned(),
+            ShardPlacement::Remote(replicas) => replicas.join("|"),
         }
+    }
+}
+
+/// How a registration names its per-shard placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardEndpoints {
+    /// One entry per shard in partition order: `None` = local,
+    /// `Some(replicas)` = a non-empty replica list of remote shard
+    /// servers holding that partition.
+    Explicit(Vec<Option<Vec<String>>>),
+    /// Resolve the placement from the heartbeat [`Registry`] at
+    /// registration time (`"shard_endpoints": "registry"` on the wire).
+    /// Requires an explicit dataset id; the resolved placement is then
+    /// immutable like an explicit one — later heartbeats change the
+    /// registry, not a registered dataset.
+    FromRegistry,
+}
+
+/// How long one heartbeat keeps a shard-server endpoint *fresh* in the
+/// [`Registry`]. Shard servers announce every few seconds
+/// (`serve --announce`), so 30 s tolerates a couple of missed beats
+/// without resolving a placement onto a corpse.
+pub const REGISTRY_TTL_SECS: u64 = 30;
+
+/// One row of a [`Registry`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// The dataset id the shard server announced for.
+    pub dataset: String,
+    /// The partition index it owns.
+    pub shard: usize,
+    /// The total partition count it was split with.
+    pub shards: usize,
+    /// The shard server's `host:port`.
+    pub endpoint: String,
+    /// Seconds since its last heartbeat.
+    pub age_secs: u64,
+    /// Whether the entry is still within [`REGISTRY_TTL_SECS`].
+    pub fresh: bool,
+}
+
+/// The topology registry: shard servers `POST /registry/heartbeat`
+/// `{dataset, shard_of: "i/n", endpoint}` every few seconds, and a
+/// registration with `"shard_endpoints": "registry"` resolves its
+/// partition map from the *fresh* entries instead of being told one.
+/// `GET /registry` exposes the whole table for operators.
+#[derive(Default)]
+pub struct Registry {
+    /// `(dataset, shard index, total)` → endpoint → last heartbeat.
+    inner: Mutex<RegistryTable>,
+}
+
+/// `(dataset, shard index, total)` → endpoint → last heartbeat.
+type RegistryTable = BTreeMap<(String, usize, usize), BTreeMap<String, Instant>>;
+
+impl Registry {
+    /// Records (or refreshes) one shard server's announcement.
+    ///
+    /// # Errors
+    /// Rejects an out-of-range index, a zero total, or an empty
+    /// endpoint.
+    pub fn heartbeat(
+        &self,
+        dataset: &str,
+        shard: usize,
+        shards: usize,
+        endpoint: &str,
+    ) -> Result<(), ServerError> {
+        if dataset.is_empty() {
+            return Err(ServerError::bad_request("heartbeat without a dataset id"));
+        }
+        if shards == 0 || shard >= shards {
+            return Err(ServerError::bad_request(format!(
+                "heartbeat shard_of {shard}/{shards} is out of range"
+            )));
+        }
+        if endpoint.is_empty() {
+            return Err(ServerError::bad_request("heartbeat without an endpoint"));
+        }
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .entry((dataset.to_owned(), shard, shards))
+            .or_default()
+            .insert(endpoint.to_owned(), Instant::now());
+        Ok(())
+    }
+
+    /// Every announcement ever heard, in deterministic
+    /// (dataset, shard, endpoint) order, stale ones included (marked).
+    pub fn snapshot(&self) -> Vec<RegistryEntry> {
+        let ttl = Duration::from_secs(REGISTRY_TTL_SECS);
+        let now = Instant::now();
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .iter()
+            .flat_map(|((dataset, shard, shards), endpoints)| {
+                endpoints.iter().map(move |(endpoint, at)| {
+                    let age = now.saturating_duration_since(*at);
+                    RegistryEntry {
+                        dataset: dataset.clone(),
+                        shard: *shard,
+                        shards: *shards,
+                        endpoint: endpoint.clone(),
+                        age_secs: age.as_secs(),
+                        fresh: age <= ttl,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Resolves a dataset's full placement from fresh heartbeats: one
+    /// replica list per partition, replicas in lexicographic endpoint
+    /// order (announcement timing must not change the placement
+    /// fingerprint).
+    ///
+    /// # Errors
+    /// Describes exactly what is missing: no announcements, shard
+    /// servers disagreeing on the total, or an uncovered partition.
+    pub fn resolve(&self, dataset: &str) -> Result<Vec<Vec<String>>, String> {
+        let ttl = Duration::from_secs(REGISTRY_TTL_SECS);
+        let now = Instant::now();
+        let inner = self.inner.lock().expect("registry lock");
+        let mut totals: Vec<usize> = Vec::new();
+        let mut by_shard: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for ((ds, shard, shards), endpoints) in inner.iter() {
+            if ds != dataset {
+                continue;
+            }
+            let fresh: Vec<String> = endpoints
+                .iter()
+                .filter(|(_, at)| now.saturating_duration_since(**at) <= ttl)
+                .map(|(ep, _)| ep.clone())
+                .collect();
+            if fresh.is_empty() {
+                continue;
+            }
+            if !totals.contains(shards) {
+                totals.push(*shards);
+            }
+            by_shard.entry(*shard).or_default().extend(fresh);
+        }
+        if by_shard.is_empty() {
+            return Err(format!(
+                "no fresh heartbeat for dataset `{dataset}` in the registry"
+            ));
+        }
+        if totals.len() > 1 {
+            totals.sort_unstable();
+            return Err(format!(
+                "shard servers for `{dataset}` disagree on the partition \
+                 total: {totals:?}"
+            ));
+        }
+        let total = totals[0];
+        let mut placement = Vec::with_capacity(total);
+        for shard in 0..total {
+            match by_shard.get(&shard) {
+                Some(replicas) => {
+                    let mut replicas = replicas.clone();
+                    replicas.sort_unstable();
+                    replicas.dedup();
+                    placement.push(replicas);
+                }
+                None => {
+                    return Err(format!(
+                        "partition {shard}/{total} of `{dataset}` has no fresh \
+                         heartbeat"
+                    ))
+                }
+            }
+        }
+        Ok(placement)
     }
 }
 
@@ -78,12 +258,11 @@ pub struct DatasetSpec {
     /// when that is 0/auto); any value is capped by the collection size
     /// so no shard is ever empty.
     pub shards: Option<usize>,
-    /// Optional per-shard placement, one entry per shard in partition
-    /// order: `None` = local, `Some(endpoint)` = a remote shard server.
-    /// When set, the length *is* the shard count (it must agree with
+    /// Optional per-shard placement; see [`ShardEndpoints`]. When
+    /// explicit, the length *is* the shard count (it must agree with
     /// `shards` if both are given) and must survive the collection-size
     /// cap — remote endpoints cannot be silently dropped.
-    pub shard_endpoints: Option<Vec<Option<String>>>,
+    pub shard_endpoints: Option<ShardEndpoints>,
     /// Shard-server mode: `Some((index, total))` registers only
     /// partition `index` of a deterministic `total`-way split of the
     /// source (global `viz_index`es preserved). The entry then answers
@@ -160,6 +339,9 @@ pub struct Catalog {
     /// Shard count applied when a registration does not pin one.
     /// 0 = auto (the machine's available parallelism).
     default_shards: usize,
+    /// Topology announcements from shard servers; consulted when a
+    /// registration asks for `"shard_endpoints": "registry"`.
+    registry: Registry,
 }
 
 impl Default for Catalog {
@@ -183,12 +365,18 @@ impl Catalog {
             next_id: AtomicU64::new(1),
             next_generation: AtomicU64::new(1),
             default_shards,
+            registry: Registry::default(),
         }
     }
 
     /// The configured default shard count (0 = auto).
     pub fn default_shards(&self) -> usize {
         self.default_shards
+    }
+
+    /// The heartbeat registry shard servers announce into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Resolves a registration's shard request: explicit request, else
@@ -234,9 +422,54 @@ impl Catalog {
     pub fn register(&self, spec: DatasetSpec) -> Result<Arc<DatasetEntry>, ServerError> {
         let table = Self::load_table(&spec.source)?;
 
+        // Resolve the placement request into an explicit per-shard
+        // replica-list map before anything else, so the registry path
+        // and the wire path flow through identical validation.
+        let endpoints: Option<Vec<Option<Vec<String>>>> = match &spec.shard_endpoints {
+            None => None,
+            Some(ShardEndpoints::Explicit(eps)) => Some(eps.clone()),
+            Some(ShardEndpoints::FromRegistry) => {
+                let id = spec
+                    .id
+                    .as_deref()
+                    .filter(|id| !id.is_empty())
+                    .ok_or_else(|| {
+                        ServerError::bad_request(
+                            "`shard_endpoints: \"registry\"` needs an explicit \
+                             dataset id — heartbeats are keyed by it",
+                        )
+                    })?;
+                let resolved = self
+                    .registry
+                    .resolve(id)
+                    .map_err(ServerError::bad_request)?;
+                Some(resolved.into_iter().map(Some).collect())
+            }
+        };
+        if let Some(eps) = &endpoints {
+            for (i, replicas) in eps.iter().enumerate() {
+                let Some(replicas) = replicas else { continue };
+                if replicas.is_empty() || replicas.iter().any(String::is_empty) {
+                    return Err(ServerError::bad_request(format!(
+                        "shard {i}: a remote replica list must name at least \
+                         one non-empty endpoint (use null for a local shard)"
+                    )));
+                }
+                let mut seen = replicas.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                if seen.len() != replicas.len() {
+                    return Err(ServerError::bad_request(format!(
+                        "shard {i}: duplicate replica endpoint — each replica \
+                         must be a distinct shard server"
+                    )));
+                }
+            }
+        }
+
         // The shard count: an explicit placement pins it (every entry of
         // the map addresses one shard), else the spec / catalog default.
-        let shards = match (&spec.shard_endpoints, spec.shards) {
+        let shards = match (&endpoints, spec.shards) {
             (Some(eps), Some(n)) if eps.len() != n => {
                 return Err(ServerError::bad_request(format!(
                     "`shards` ({n}) disagrees with the {} entries of \
@@ -267,7 +500,7 @@ impl Catalog {
         .map_err(|e| ServerError::bad_request(format!("extracting trendlines: {e}")))?;
 
         // Resolve the partition map against the *effective* shard count.
-        let placement: Vec<ShardPlacement> = match &spec.shard_endpoints {
+        let placement: Vec<ShardPlacement> = match &endpoints {
             Some(eps) => {
                 if spec.shard_of.is_some() {
                     return Err(ServerError::bad_request(
@@ -285,7 +518,7 @@ impl Catalog {
                 }
                 eps.iter()
                     .map(|ep| match ep {
-                        Some(endpoint) => ShardPlacement::Remote(endpoint.clone()),
+                        Some(replicas) => ShardPlacement::Remote(replicas.clone()),
                         None => ShardPlacement::Local,
                     })
                     .collect()
@@ -471,9 +704,14 @@ gadget,4,12
         assert_eq!(local.placement_fp, "local;local");
         assert!(!local.has_remote_shards());
 
-        // A mixed placement pins the shard count and names its remotes.
+        // A mixed placement pins the shard count and names its remotes;
+        // a singleton replica list fingerprints as the bare endpoint
+        // (byte-compatible with pre-replication cache keys).
         let mut s = spec(Some("mixed"));
-        s.shard_endpoints = Some(vec![Some("127.0.0.1:9001".into()), None]);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![
+            Some(vec!["127.0.0.1:9001".into()]),
+            None,
+        ]));
         let mixed = catalog.register(s).unwrap();
         assert_eq!(mixed.shard_count, 2);
         assert_eq!(mixed.placement_fp, "127.0.0.1:9001;local");
@@ -482,16 +720,36 @@ gadget,4,12
         // Re-pointing the remote changes the fingerprint (the cache-key
         // ingredient) even at the same shard count.
         let mut s = spec(Some("mixed"));
-        s.shard_endpoints = Some(vec![Some("127.0.0.1:9002".into()), None]);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![
+            Some(vec!["127.0.0.1:9002".into()]),
+            None,
+        ]));
         let repointed = catalog.register(s).unwrap();
         assert_ne!(repointed.placement_fp, mixed.placement_fp);
+
+        // Adding a replica is a placement change too: the two-replica
+        // list joins with `|` inside the shard's token.
+        let mut s = spec(Some("mixed"));
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![
+            Some(vec!["127.0.0.1:9002".into(), "127.0.0.1:9003".into()]),
+            None,
+        ]));
+        let replicated = catalog.register(s).unwrap();
+        assert_eq!(
+            replicated.placement_fp,
+            "127.0.0.1:9002|127.0.0.1:9003;local"
+        );
+        assert_ne!(replicated.placement_fp, repointed.placement_fp);
     }
 
     #[test]
     fn remote_shard_payloads_are_evicted_from_the_router() {
         let catalog = Catalog::new();
         let mut s = spec(Some("m"));
-        s.shard_endpoints = Some(vec![Some("10.0.0.1:7878".into()), None]);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![
+            Some(vec!["10.0.0.1:7878".into()]),
+            None,
+        ]));
         let entry = catalog.register(s).unwrap();
         // Listings still describe the full collection…
         assert_eq!(entry.trendline_count, 2);
@@ -512,16 +770,31 @@ gadget,4,12
         // `shards` disagreeing with the placement length.
         let mut s = spec(None);
         s.shards = Some(3);
-        s.shard_endpoints = Some(vec![None, None]);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![None, None]));
         assert!(catalog.register(s).is_err());
         // More endpoints than trendlines: the cap would drop a remote.
         let mut s = spec(None);
-        s.shard_endpoints = Some(vec![Some("a:1".into()), Some("b:2".into()), None]);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![
+            Some(vec!["a:1".into()]),
+            Some(vec!["b:2".into()]),
+            None,
+        ]));
+        assert!(catalog.register(s).is_err());
+        // An empty replica list is neither local nor reachable.
+        let mut s = spec(None);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![Some(vec![]), None]));
+        assert!(catalog.register(s).is_err());
+        // Duplicate replicas within one shard's list.
+        let mut s = spec(None);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![
+            Some(vec!["a:1".into(), "a:1".into()]),
+            None,
+        ]));
         assert!(catalog.register(s).is_err());
         // shard_of + endpoints is contradictory.
         let mut s = spec(None);
         s.shard_of = Some((0, 2));
-        s.shard_endpoints = Some(vec![None, None]);
+        s.shard_endpoints = Some(ShardEndpoints::Explicit(vec![None, None]));
         assert!(catalog.register(s).is_err());
         // shard_of index out of range.
         let mut s = spec(None);
@@ -571,5 +844,86 @@ gadget,4,12
             one.engine.top_k(&q, 2).unwrap(),
             two.engine.top_k(&q, 2).unwrap()
         );
+    }
+
+    #[test]
+    fn registry_heartbeats_resolve_into_a_deterministic_placement() {
+        let registry = Registry::default();
+        // Announcement order must not matter: replicas come back sorted.
+        registry.heartbeat("sales", 1, 2, "10.0.0.2:7001").unwrap();
+        registry.heartbeat("sales", 0, 2, "10.0.0.1:7002").unwrap();
+        registry.heartbeat("sales", 0, 2, "10.0.0.1:7001").unwrap();
+        registry.heartbeat("other", 0, 1, "10.0.0.9:7999").unwrap();
+        let placement = registry.resolve("sales").unwrap();
+        assert_eq!(
+            placement,
+            vec![
+                vec!["10.0.0.1:7001".to_owned(), "10.0.0.1:7002".to_owned()],
+                vec!["10.0.0.2:7001".to_owned()],
+            ]
+        );
+        // A re-announcement refreshes rather than duplicates.
+        registry.heartbeat("sales", 0, 2, "10.0.0.1:7001").unwrap();
+        assert_eq!(registry.resolve("sales").unwrap(), placement);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.len(), 4);
+        assert!(snapshot.iter().all(|e| e.fresh));
+    }
+
+    #[test]
+    fn registry_rejects_malformed_and_incomplete_topologies() {
+        let registry = Registry::default();
+        assert!(registry.heartbeat("", 0, 1, "a:1").is_err());
+        assert!(registry.heartbeat("d", 0, 0, "a:1").is_err());
+        assert!(registry.heartbeat("d", 2, 2, "a:1").is_err());
+        assert!(registry.heartbeat("d", 0, 1, "").is_err());
+
+        // Nothing announced at all.
+        let err = registry.resolve("sales").unwrap_err();
+        assert!(err.contains("no fresh heartbeat"), "{err}");
+
+        // A hole in the partition coverage is named precisely.
+        registry.heartbeat("sales", 0, 3, "a:1").unwrap();
+        registry.heartbeat("sales", 2, 3, "c:1").unwrap();
+        let err = registry.resolve("sales").unwrap_err();
+        assert!(err.contains("partition 1/3"), "{err}");
+
+        // Disagreeing totals are a topology bug, not a coin flip.
+        registry.heartbeat("sales", 1, 3, "b:1").unwrap();
+        registry.heartbeat("sales", 0, 2, "z:1").unwrap();
+        let err = registry.resolve("sales").unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+    }
+
+    #[test]
+    fn registration_can_resolve_its_placement_from_the_registry() {
+        let catalog = Catalog::new();
+        catalog
+            .registry()
+            .heartbeat("sales", 0, 2, "10.0.0.1:7001")
+            .unwrap();
+        catalog
+            .registry()
+            .heartbeat("sales", 1, 2, "10.0.0.2:7001")
+            .unwrap();
+        catalog
+            .registry()
+            .heartbeat("sales", 1, 2, "10.0.0.2:7002")
+            .unwrap();
+
+        let mut s = spec(Some("sales"));
+        s.shard_endpoints = Some(ShardEndpoints::FromRegistry);
+        let entry = catalog.register(s).unwrap();
+        assert_eq!(entry.shard_count, 2);
+        assert_eq!(
+            entry.placement_fp,
+            "10.0.0.1:7001;10.0.0.2:7001|10.0.0.2:7002"
+        );
+
+        // Registry placement without an id has no heartbeat key.
+        let mut s = spec(None);
+        s.shard_endpoints = Some(ShardEndpoints::FromRegistry);
+        let err = catalog.register(s).unwrap_err();
+        assert!(err.message.contains("dataset id"), "{}", err.message);
     }
 }

@@ -6,15 +6,28 @@
 //! pool of keep-alive connections per shard endpoint (remote shard
 //! fan-out happens on every cache miss, so a TCP handshake per RPC
 //! would dominate small queries), frames responses by `Content-Length`
-//! instead of connection close, and retries once on connect failure
-//! before reporting a shard unreachable.
+//! instead of connection close, and retries connect failures (a
+//! configurable number of times, [`ClientConfig::retries`]) before
+//! reporting an endpoint unreachable.
+//!
+//! For replicated shards, [`PooledClient::post_replicas`] generalizes
+//! that single-endpoint retry into **try-next-replica failover** with
+//! per-endpoint health state: an endpoint that fails
+//! [`ClientConfig::eject_after`] consecutive calls is *ejected* —
+//! demoted to last resort so healthy replicas stop paying its connect
+//! timeout — and re-admitted to its declared position after
+//! [`ClientConfig::probe_after`] for one probe call (a circuit
+//! breaker's closed → open → half-open cycle). Ejected endpoints are
+//! still tried when every healthy replica has failed: a call fails
+//! only once **every** replica has been attempted, so replica order is
+//! a latency preference, never a correctness decision.
 
 use crate::json::{self, Json};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A parsed response: status code plus JSON body.
 #[derive(Debug, Clone)]
@@ -150,13 +163,45 @@ impl Client {
     }
 }
 
-/// How long [`PooledClient`] waits for a TCP connect before declaring
-/// the endpoint unreachable (each failed connect is retried once).
-const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
-/// Per-call socket read/write budget. Shard queries carry real engine
-/// work, so this is generous — it exists to bound a *dead* peer, not to
-/// race a slow one.
-const IO_TIMEOUT: Duration = Duration::from_secs(60);
+/// Tunable [`PooledClient`] policy. The defaults reproduce the
+/// historical hardcoded behavior (2 s connect timeout, one connect
+/// retry, 60 s I/O budget); `serve --shard-connect-timeout-ms` /
+/// `--shard-retries` / `--shard-io-timeout-ms` surface the first three
+/// on the CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// How long a TCP connect may take before the endpoint is declared
+    /// unreachable for this attempt.
+    pub connect_timeout: Duration,
+    /// Per-call socket read/write budget. Shard queries carry real
+    /// engine work, so the default is generous — it exists to bound a
+    /// *dead or black-holed* peer, not to race a slow one.
+    pub io_timeout: Duration,
+    /// Extra connect attempts after the first failure (so `1` means "a
+    /// dropped SYN never turns into a spurious `shard_unavailable`";
+    /// `0` means one attempt, period).
+    pub retries: u32,
+    /// Consecutive failed calls after which an endpoint is ejected
+    /// (demoted to last resort in [`PooledClient::post_replicas`]'s
+    /// ordering until its probe window opens).
+    pub eject_after: u32,
+    /// How long an ejected endpoint sits out before it is re-admitted
+    /// to its declared position for one probe call.
+    pub probe_after: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(60),
+            retries: 1,
+            eject_after: 3,
+            probe_after: Duration::from_secs(5),
+        }
+    }
+}
+
 /// Idle connections kept per endpoint. Small on purpose: every parked
 /// keep-alive connection pins one worker on the shard server side.
 const MAX_IDLE_PER_ENDPOINT: usize = 4;
@@ -201,12 +246,76 @@ fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> io
     Ok(n)
 }
 
+/// Per-endpoint circuit-breaker state, keyed by `host:port` in the
+/// client's health map. All fields are behind the health mutex.
+#[derive(Debug, Default)]
+struct EndpointHealth {
+    /// Calls failed since the last success; reset to zero on success.
+    consecutive_failures: u32,
+    /// While `Some` and in the future, the endpoint is ejected: demoted
+    /// to last resort in [`PooledClient::post_replicas`]'s try order.
+    /// Once the instant passes, the endpoint is re-admitted for a probe.
+    ejected_until: Option<Instant>,
+    /// Times this endpoint has transitioned into the ejected state
+    /// (including a failed probe re-ejecting it).
+    ejections: u64,
+    /// TCP connects attempted (counts retries; excludes pooled reuse).
+    connect_attempts: u64,
+}
+
+/// A point-in-time copy of one endpoint's health for `/healthz` and
+/// `/metrics` — see [`PooledClient::health_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointHealthSnapshot {
+    /// The endpoint (`host:port`).
+    pub endpoint: String,
+    /// Calls failed since the last success.
+    pub consecutive_failures: u32,
+    /// Whether the endpoint is currently ejected (sidelined until its
+    /// probe window opens).
+    pub ejected: bool,
+    /// Times this endpoint has been ejected over the client's lifetime.
+    pub ejections: u64,
+    /// TCP connects attempted (counts retries; excludes pooled reuse).
+    pub connect_attempts: u64,
+}
+
+/// One entry in a [`ReplicaOutcome`]'s failover trail: which endpoint
+/// was tried, how long the attempt took, and why it failed (if it did).
+#[derive(Debug, Clone)]
+pub struct ReplicaAttempt {
+    /// The endpoint tried.
+    pub endpoint: String,
+    /// Wall-clock microseconds the attempt took (connect + round trip).
+    pub micros: u64,
+    /// `None` for the accepted attempt; the failure description
+    /// otherwise (I/O error, or the caller's `accept` rejection).
+    pub error: Option<String>,
+}
+
+/// What [`PooledClient::post_replicas`] observed: the full ordered
+/// attempt trail, plus the accepted value and the endpoint that served
+/// it when any replica succeeded. `accepted: None` means **every**
+/// replica was attempted and failed — the per-attempt errors in
+/// `attempts` are the operator's failover path.
+#[derive(Debug)]
+pub struct ReplicaOutcome<T> {
+    /// Every attempt made, in try order (the accepted one last).
+    pub attempts: Vec<ReplicaAttempt>,
+    /// `(value, endpoint)` for the first accepted response.
+    pub accepted: Option<(T, String)>,
+}
+
 /// A blocking HTTP/1.1 client that pools keep-alive connections per
 /// endpoint (`host:port`). Safe to share across threads; the pool is a
 /// simple mutex-guarded free list because checkouts are short and the
-/// expensive part (the RPC round trip) happens outside the lock.
+/// expensive part (the RPC round trip) happens outside the lock. The
+/// separate health map drives [`post_replicas`](Self::post_replicas)
+/// failover ordering.
 pub struct PooledClient {
     idle: Mutex<HashMap<String, Vec<TcpStream>>>,
+    config: ClientConfig,
+    health: Mutex<BTreeMap<String, EndpointHealth>>,
 }
 
 impl Default for PooledClient {
@@ -216,11 +325,23 @@ impl Default for PooledClient {
 }
 
 impl PooledClient {
-    /// An empty pool.
+    /// An empty pool with the default [`ClientConfig`].
     pub fn new() -> Self {
+        Self::with_config(ClientConfig::default())
+    }
+
+    /// An empty pool with an explicit policy.
+    pub fn with_config(config: ClientConfig) -> Self {
         Self {
             idle: Mutex::new(HashMap::new()),
+            config,
+            health: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The policy this client was built with.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
     }
 
     /// `POST path` with a JSON body against `endpoint` (`host:port`).
@@ -240,18 +361,21 @@ impl PooledClient {
     ///   slow, and re-sending would make it compute the same group
     ///   twice.
     ///
-    /// A fresh *connect* failure is also retried once before giving up,
-    /// so one dropped SYN never turns into a spurious
-    /// `shard_unavailable`.
+    /// A fresh *connect* failure is retried [`ClientConfig::retries`]
+    /// times before giving up, so one dropped SYN never turns into a
+    /// spurious `shard_unavailable`.
     ///
     /// # Errors
-    /// Connect failures (after the retry), I/O failures, and malformed
-    /// responses.
+    /// Connect failures (after the retries), I/O failures, and
+    /// malformed responses.
     pub fn post(&self, endpoint: &str, path: &str, body: &Json) -> io::Result<ClientResponse> {
-        let text = body.to_text();
+        self.post_text(endpoint, path, &body.to_text())
+    }
+
+    fn post_text(&self, endpoint: &str, path: &str, text: &str) -> io::Result<ClientResponse> {
         if let Some(stream) = self.checkout(endpoint) {
             let mut saw_response_byte = false;
-            match self.roundtrip(stream, endpoint, path, &text, &mut saw_response_byte) {
+            match self.roundtrip(stream, endpoint, path, text, &mut saw_response_byte) {
                 Ok(response) => return Ok(response),
                 // Reused connection died before yielding a single
                 // response byte: the request was never processed — safe
@@ -260,23 +384,157 @@ impl PooledClient {
                 Err(e) => return Err(e),
             }
         }
-        let stream = match Self::connect(endpoint) {
-            Ok(stream) => stream,
-            Err(_first_failure) => Self::connect(endpoint)?,
-        };
-        self.roundtrip(stream, endpoint, path, &text, &mut false)
+        let mut stream = self.connect(endpoint);
+        for _ in 0..self.config.retries {
+            if stream.is_ok() {
+                break;
+            }
+            stream = self.connect(endpoint);
+        }
+        self.roundtrip(stream?, endpoint, path, text, &mut false)
     }
 
-    fn connect(endpoint: &str) -> io::Result<TcpStream> {
+    /// `POST path` against a replica list with health-checked failover.
+    ///
+    /// Replicas are tried in declared order, except that currently
+    /// *ejected* endpoints (those that failed
+    /// [`ClientConfig::eject_after`] consecutive calls and whose
+    /// [`ClientConfig::probe_after`] window has not yet opened) are
+    /// demoted to the back of the line. An attempt succeeds only when
+    /// both the transport **and** the caller's `accept` closure accept
+    /// the response — `accept` rejecting (say, a non-200 status or an
+    /// unparsable payload) counts as an endpoint failure and failover
+    /// moves on, exactly like a connect failure would. The call as a
+    /// whole gives up only after **every** replica has been attempted,
+    /// ejected or not: ordering is a latency preference, never a
+    /// correctness decision.
+    ///
+    /// Infallible by construction — inspect
+    /// [`ReplicaOutcome::accepted`] for the result and
+    /// [`ReplicaOutcome::attempts`] for the full failover trail.
+    pub fn post_replicas<T>(
+        &self,
+        replicas: &[String],
+        path: &str,
+        body: &Json,
+        mut accept: impl FnMut(&ClientResponse) -> Result<T, String>,
+    ) -> ReplicaOutcome<T> {
+        let text = body.to_text();
+        let mut attempts = Vec::with_capacity(replicas.len());
+        for endpoint in self.plan(replicas) {
+            let started = Instant::now();
+            let verdict = match self.post_text(&endpoint, path, &text) {
+                Ok(response) => accept(&response),
+                Err(e) => Err(e.to_string()),
+            };
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            match verdict {
+                Ok(value) => {
+                    self.record_success(&endpoint);
+                    attempts.push(ReplicaAttempt {
+                        endpoint: endpoint.clone(),
+                        micros,
+                        error: None,
+                    });
+                    return ReplicaOutcome {
+                        attempts,
+                        accepted: Some((value, endpoint)),
+                    };
+                }
+                Err(why) => {
+                    self.record_failure(&endpoint);
+                    attempts.push(ReplicaAttempt {
+                        endpoint,
+                        micros,
+                        error: Some(why),
+                    });
+                }
+            }
+        }
+        ReplicaOutcome {
+            attempts,
+            accepted: None,
+        }
+    }
+
+    /// The try order for one `post_replicas` call: non-ejected (and
+    /// probe-due) endpoints in declared order, then still-ejected ones
+    /// in declared order. Every replica appears exactly once.
+    fn plan(&self, replicas: &[String]) -> Vec<String> {
+        let now = Instant::now();
+        let health = self.health.lock().expect("client health lock");
+        let mut preferred = Vec::with_capacity(replicas.len());
+        let mut sidelined = Vec::new();
+        for endpoint in replicas {
+            let ejected = health
+                .get(endpoint)
+                .and_then(|h| h.ejected_until)
+                .is_some_and(|until| until > now);
+            if ejected {
+                sidelined.push(endpoint.clone());
+            } else {
+                preferred.push(endpoint.clone());
+            }
+        }
+        preferred.extend(sidelined);
+        preferred
+    }
+
+    fn record_success(&self, endpoint: &str) {
+        let mut health = self.health.lock().expect("client health lock");
+        let h = health.entry(endpoint.to_owned()).or_default();
+        h.consecutive_failures = 0;
+        h.ejected_until = None;
+    }
+
+    fn record_failure(&self, endpoint: &str) {
+        let mut health = self.health.lock().expect("client health lock");
+        let h = health.entry(endpoint.to_owned()).or_default();
+        h.consecutive_failures += 1;
+        if h.consecutive_failures >= self.config.eject_after {
+            let now = Instant::now();
+            // Count the transition into ejection — both the first one
+            // and a failed probe pushing the endpoint back out.
+            if h.ejected_until.is_none_or(|until| until <= now) {
+                h.ejections += 1;
+            }
+            h.ejected_until = Some(now + self.config.probe_after);
+        }
+    }
+
+    /// Health of every endpoint this client has ever dialed, in
+    /// deterministic (lexicographic) endpoint order.
+    pub fn health_snapshot(&self) -> Vec<EndpointHealthSnapshot> {
+        let now = Instant::now();
+        let health = self.health.lock().expect("client health lock");
+        health
+            .iter()
+            .map(|(endpoint, h)| EndpointHealthSnapshot {
+                endpoint: endpoint.clone(),
+                consecutive_failures: h.consecutive_failures,
+                ejected: h.ejected_until.is_some_and(|until| until > now),
+                ejections: h.ejections,
+                connect_attempts: h.connect_attempts,
+            })
+            .collect()
+    }
+
+    fn connect(&self, endpoint: &str) -> io::Result<TcpStream> {
+        self.health
+            .lock()
+            .expect("client health lock")
+            .entry(endpoint.to_owned())
+            .or_default()
+            .connect_attempts += 1;
         let addr = endpoint.to_socket_addrs()?.next().ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("unresolvable endpoint {endpoint}"),
             )
         })?;
-        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
-        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
         let _ = stream.set_nodelay(true);
         Ok(stream)
     }
@@ -555,5 +813,261 @@ mod tests {
             "dead-endpoint detection took {:?}",
             started.elapsed()
         );
+    }
+
+    /// A dead (bind-then-dropped) endpoint for connect-policy tests.
+    fn dead_endpoint() -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let endpoint = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        endpoint
+    }
+
+    fn connect_attempts(client: &PooledClient, endpoint: &str) -> u64 {
+        client
+            .health_snapshot()
+            .into_iter()
+            .find(|s| s.endpoint == endpoint)
+            .map(|s| s.connect_attempts)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn connect_retries_honor_the_configured_upper_bound() {
+        let endpoint = dead_endpoint();
+        let client = PooledClient::with_config(ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            retries: 3,
+            ..ClientConfig::default()
+        });
+        let outcome = client.post(&endpoint, "/shard/query", &Json::Obj(Vec::new()));
+        assert!(outcome.is_err());
+        assert_eq!(
+            connect_attempts(&client, &endpoint),
+            4,
+            "retries=3 means one initial attempt plus three retries"
+        );
+    }
+
+    #[test]
+    fn connect_retries_honor_the_configured_lower_bound() {
+        let endpoint = dead_endpoint();
+        let client = PooledClient::with_config(ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            retries: 0,
+            ..ClientConfig::default()
+        });
+        let outcome = client.post(&endpoint, "/shard/query", &Json::Obj(Vec::new()));
+        assert!(outcome.is_err());
+        assert_eq!(
+            connect_attempts(&client, &endpoint),
+            1,
+            "retries=0 means exactly one attempt, period"
+        );
+    }
+
+    #[test]
+    fn configured_connect_timeout_bounds_total_latency() {
+        // 10.255.255.1 is a reserved-range address that black-holes the
+        // SYN on typical CI hosts, so the connect can only end by
+        // timeout. If some exotic network answers immediately instead,
+        // the refusal is still fast and the bound below still holds.
+        let client = PooledClient::with_config(ClientConfig {
+            connect_timeout: Duration::from_millis(150),
+            retries: 1,
+            ..ClientConfig::default()
+        });
+        let started = std::time::Instant::now();
+        let outcome = client.post("10.255.255.1:9", "/shard/query", &Json::Obj(Vec::new()));
+        assert!(outcome.is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "two 150 ms connect attempts must finish well under the old \
+             hardcoded 2 s budget, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn post_replicas_fails_over_and_names_every_attempt() {
+        let dead = dead_endpoint();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            serve_one(&mut s, 7);
+        });
+        let client = PooledClient::with_config(ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            retries: 0,
+            ..ClientConfig::default()
+        });
+        let replicas = vec![dead.clone(), live.clone()];
+        let outcome =
+            client.post_replicas(&replicas, "/shard/query", &Json::Obj(Vec::new()), |r| {
+                r.body
+                    .get("n")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| "missing n".to_owned())
+            });
+        server.join().unwrap();
+        let (value, served_by) = outcome.accepted.expect("the live replica must serve");
+        assert_eq!(value, 7);
+        assert_eq!(served_by, live);
+        let trail: Vec<&str> = outcome
+            .attempts
+            .iter()
+            .map(|a| a.endpoint.as_str())
+            .collect();
+        assert_eq!(trail, vec![dead.as_str(), live.as_str()]);
+        assert!(outcome.attempts[0].error.is_some(), "dead attempt is named");
+        assert!(outcome.attempts[1].error.is_none());
+    }
+
+    #[test]
+    fn post_replicas_counts_rejected_responses_as_endpoint_failures() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let bad = listener.local_addr().unwrap().to_string();
+        let listener_ok = TcpListener::bind("127.0.0.1:0").unwrap();
+        let good = listener_ok.local_addr().unwrap().to_string();
+        let t1 = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            serve_one(&mut s, 0); // transport-valid, but `accept` rejects n=0
+        });
+        let t2 = std::thread::spawn(move || {
+            let (mut s, _) = listener_ok.accept().unwrap();
+            serve_one(&mut s, 5);
+        });
+        let client = PooledClient::new();
+        let replicas = vec![bad.clone(), good];
+        let outcome = client.post_replicas(
+            &replicas,
+            "/shard/query",
+            &Json::Obj(Vec::new()),
+            |r| match r.body.get("n").and_then(Json::as_usize) {
+                Some(n) if n > 0 => Ok(n),
+                _ => Err("rejected by accept".to_owned()),
+            },
+        );
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(outcome.accepted.map(|(n, _)| n), Some(5));
+        assert_eq!(outcome.attempts.len(), 2);
+        assert_eq!(
+            outcome.attempts[0].error.as_deref(),
+            Some("rejected by accept"),
+            "an accept rejection reads like any other endpoint failure"
+        );
+        let bad_health = client
+            .health_snapshot()
+            .into_iter()
+            .find(|s| s.endpoint == bad)
+            .unwrap();
+        assert_eq!(bad_health.consecutive_failures, 1);
+    }
+
+    #[test]
+    fn ejection_demotes_an_endpoint_until_its_probe_window_opens() {
+        let dead = dead_endpoint();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = listener.local_addr().unwrap().to_string();
+        let client = PooledClient::with_config(ClientConfig {
+            connect_timeout: Duration::from_millis(100),
+            retries: 0,
+            eject_after: 2,
+            probe_after: Duration::from_millis(150),
+            ..ClientConfig::default()
+        });
+        let replicas = vec![dead.clone(), live.clone()];
+
+        // Two failing calls eject the dead primary...
+        for expected_n in [1, 2] {
+            let l = listener.try_clone().unwrap();
+            let server = std::thread::spawn(move || {
+                let (mut s, _) = l.accept().unwrap();
+                serve_one(&mut s, expected_n);
+            });
+            let outcome =
+                client.post_replicas(&replicas, "/shard/query", &Json::Obj(Vec::new()), |r| {
+                    r.body
+                        .get("n")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| "missing n".to_owned())
+                });
+            server.join().unwrap();
+            assert_eq!(outcome.attempts[0].endpoint, dead, "primary tried first");
+            assert_eq!(outcome.accepted.as_ref().map(|(n, _)| *n), Some(expected_n));
+        }
+        let snap = client
+            .health_snapshot()
+            .into_iter()
+            .find(|s| s.endpoint == dead)
+            .unwrap();
+        assert!(snap.ejected, "two consecutive failures ejected the primary");
+        assert_eq!(snap.ejections, 1);
+
+        // ...so the next call goes straight to the healthy fallback
+        // without paying the dead primary's connect timeout.
+        assert_eq!(client.plan(&replicas), vec![live.clone(), dead.clone()]);
+
+        // Once the probe window opens, the primary is re-admitted to
+        // its declared position for one probe call.
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(client.plan(&replicas), vec![dead.clone(), live.clone()]);
+
+        // A successful probe fully reinstates it.
+        drop(listener);
+        let probe_listener = TcpListener::bind(dead.as_str());
+        if let Ok(probe_listener) = probe_listener {
+            // The OS let us rebind the primary's port: prove recovery
+            // end to end. (Port reuse can race on busy CI — the state
+            // machine above is the load-bearing assertion.)
+            let server = std::thread::spawn(move || {
+                let (mut s, _) = probe_listener.accept().unwrap();
+                serve_one(&mut s, 9);
+            });
+            let outcome =
+                client.post_replicas(&replicas, "/shard/query", &Json::Obj(Vec::new()), |r| {
+                    r.body
+                        .get("n")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| "missing n".to_owned())
+                });
+            server.join().unwrap();
+            assert_eq!(outcome.accepted, Some((9, dead.clone())));
+            let snap = client
+                .health_snapshot()
+                .into_iter()
+                .find(|s| s.endpoint == dead)
+                .unwrap();
+            assert!(!snap.ejected, "a successful probe reinstates the endpoint");
+            assert_eq!(snap.consecutive_failures, 0);
+        }
+    }
+
+    #[test]
+    fn post_replicas_still_tries_ejected_endpoints_as_a_last_resort() {
+        let dead = dead_endpoint();
+        let client = PooledClient::with_config(ClientConfig {
+            connect_timeout: Duration::from_millis(100),
+            retries: 0,
+            eject_after: 1,
+            probe_after: Duration::from_secs(60),
+            ..ClientConfig::default()
+        });
+        let replicas = vec![dead.clone()];
+        for round in 1..=3 {
+            let outcome =
+                client.post_replicas(&replicas, "/shard/query", &Json::Obj(Vec::new()), |_| {
+                    Ok::<usize, String>(0)
+                });
+            assert!(outcome.accepted.is_none());
+            assert_eq!(
+                outcome.attempts.len(),
+                1,
+                "round {round}: even a deeply ejected endpoint is attempted \
+                 when it is all there is"
+            );
+        }
     }
 }

@@ -55,6 +55,29 @@ impl ServerError {
             code: Some("shard_unavailable"),
         }
     }
+
+    /// A 502 `shard_unavailable` for a replicated shard whose **every**
+    /// replica failed. Unlike [`shard_unavailable`](Self::shard_unavailable)
+    /// (which names one endpoint), the message lists every attempted
+    /// replica with its failure, in try order — the operator reads the
+    /// whole failover path, not just the last stop.
+    pub fn replicas_unavailable<'a>(
+        attempts: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Self {
+        let attempts: Vec<String> = attempts
+            .into_iter()
+            .map(|(endpoint, why)| format!("{endpoint} ({why})"))
+            .collect();
+        Self {
+            status: 502,
+            message: format!(
+                "shard unavailable after {} replica attempt(s): {}",
+                attempts.len(),
+                attempts.join("; ")
+            ),
+            code: Some("shard_unavailable"),
+        }
+    }
 }
 
 impl fmt::Display for ServerError {

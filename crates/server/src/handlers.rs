@@ -16,8 +16,8 @@
 //! the same pool.
 
 use crate::cache::{CacheKey, Lookup, QueryCache};
-use crate::catalog::{Catalog, DataSource, DatasetEntry, ShardPlacement};
-use crate::client::PooledClient;
+use crate::catalog::{Catalog, DataSource, DatasetEntry, ShardPlacement, REGISTRY_TTL_SECS};
+use crate::client::{EndpointHealthSnapshot, PooledClient};
 use crate::compute::ComputePool;
 use crate::error::ServerError;
 use crate::http::{Request, Response};
@@ -64,12 +64,14 @@ pub struct ShardStats {
 /// consistent snapshot like the other healthz gauges.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RemoteShardStats {
-    /// RPCs sent to this endpoint (one per shard per query group,
-    /// counting a connect-retry pair as one request).
+    /// RPC attempts sent to this endpoint — one per *replica attempt*,
+    /// so a failover that tries two replicas books one request on each
+    /// (a connect-retry pair within one attempt still counts once).
     pub requests: u64,
-    /// RPCs that failed (unreachable endpoint, non-200 reply, or a
-    /// malformed body) — each surfaced to the caller as a
-    /// `shard_unavailable` error naming the endpoint.
+    /// Attempts that failed (unreachable endpoint, non-200 reply, or a
+    /// malformed body). A failed attempt makes failover move on to the
+    /// shard's next replica; only when every replica fails does the
+    /// caller see a `shard_unavailable` error naming each attempt.
     pub errors: u64,
     /// Total round-trip microseconds spent on this endpoint's RPCs
     /// (network plus the remote engine time).
@@ -220,13 +222,22 @@ pub fn route(state: &Arc<AppState>, request: &Request) -> Response {
         ("POST", "/datasets") => register_dataset(state, request),
         ("POST", "/query") => query(state, request),
         ("POST", "/shard/query") => shard_query(state, request),
-        (_, "/healthz" | "/metrics" | "/datasets" | "/query" | "/shard/query") => {
-            Err(ServerError {
-                status: 405,
-                message: format!("method {} not allowed here", request.method),
-                code: None,
-            })
-        }
+        ("POST", "/registry/heartbeat") => registry_heartbeat(state, request),
+        ("GET", "/registry") => Ok(registry_list(state)),
+        (
+            _,
+            "/healthz"
+            | "/metrics"
+            | "/datasets"
+            | "/query"
+            | "/shard/query"
+            | "/registry"
+            | "/registry/heartbeat",
+        ) => Err(ServerError {
+            status: 405,
+            message: format!("method {} not allowed here", request.method),
+            code: None,
+        }),
         _ => Err(ServerError::not_found(format!(
             "no route {} {}",
             request.method, request.path
@@ -255,22 +266,36 @@ fn healthz(state: &Arc<AppState>) -> Response {
     // The remote gauges are one consistent snapshot too: every RPC
     // records requests/errors/micros inside one critical section of this
     // map's lock, and the whole block is read under one acquisition.
-    let remote: Vec<(String, RemoteShardStats)> = state
+    // The failover client's per-endpoint health (consecutive failures,
+    // ejection state, ejection count) is a second snapshot, merged by
+    // endpoint — the union of keys, since an endpoint can have been
+    // dialed (health) without ever completing an RPC (stats), and
+    // vice versa after a restart.
+    let mut remote: BTreeMap<String, RemoteShardStats> = state
         .remote_stats
         .lock()
         .expect("remote stats lock")
         .iter()
         .map(|(endpoint, s)| (endpoint.clone(), *s))
         .collect();
-    let remote_totals = remote
-        .iter()
-        .fold(RemoteShardStats::default(), |acc, (_, s)| {
-            RemoteShardStats {
+    let health: BTreeMap<String, EndpointHealthSnapshot> = state
+        .remote
+        .health_snapshot()
+        .into_iter()
+        .map(|h| (h.endpoint.clone(), h))
+        .collect();
+    for endpoint in health.keys() {
+        remote.entry(endpoint.clone()).or_default();
+    }
+    let remote_totals =
+        remote
+            .values()
+            .fold(RemoteShardStats::default(), |acc, s| RemoteShardStats {
                 requests: acc.requests + s.requests,
                 errors: acc.errors + s.errors,
                 micros_total: acc.micros_total + s.micros_total,
-            }
-        });
+            });
+    let ejections_total: u64 = health.values().map(|h| h.ejections).sum();
     ok(obj([
         ("status", "ok".into()),
         ("version", build_version().into()),
@@ -313,6 +338,7 @@ fn healthz(state: &Arc<AppState>) -> Response {
                 ("endpoints", remote.len().into()),
                 ("requests", remote_totals.requests.into()),
                 ("errors", remote_totals.errors.into()),
+                ("ejections", ejections_total.into()),
                 ("micros_total", remote_totals.micros_total.into()),
                 (
                     "by_endpoint",
@@ -320,11 +346,22 @@ fn healthz(state: &Arc<AppState>) -> Response {
                         remote
                             .iter()
                             .map(|(endpoint, s)| {
+                                let h = health.get(endpoint);
                                 obj([
                                     ("endpoint", endpoint.as_str().into()),
                                     ("requests", s.requests.into()),
                                     ("errors", s.errors.into()),
                                     ("micros_total", s.micros_total.into()),
+                                    (
+                                        "connect_attempts",
+                                        h.map_or(0, |h| h.connect_attempts).into(),
+                                    ),
+                                    (
+                                        "consecutive_failures",
+                                        u64::from(h.map_or(0, |h| h.consecutive_failures)).into(),
+                                    ),
+                                    ("ejected", h.is_some_and(|h| h.ejected).into()),
+                                    ("ejections", h.map_or(0, |h| h.ejections).into()),
                                 ])
                             })
                             .collect(),
@@ -458,6 +495,31 @@ fn metrics(state: &Arc<AppState>) -> Response {
             &micros,
         );
     }
+    let health = state.remote.health_snapshot();
+    if !health.is_empty() {
+        let ejections: Vec<(&str, u64)> = health
+            .iter()
+            .map(|h| (h.endpoint.as_str(), h.ejections))
+            .collect();
+        expo.counter_family(
+            "shapesearch_remote_ejections_total",
+            "Replica endpoints ejected by the failover circuit breaker \
+             (each transition into ejection counts once), by endpoint.",
+            "endpoint",
+            &ejections,
+        );
+        let ejected: Vec<(&str, u64)> = health
+            .iter()
+            .map(|h| (h.endpoint.as_str(), u64::from(h.ejected)))
+            .collect();
+        expo.gauge_family(
+            "shapesearch_remote_ejected",
+            "Whether the failover circuit breaker currently holds this \
+             replica endpoint ejected (1) or admits it (0), by endpoint.",
+            "endpoint",
+            &ejected,
+        );
+    }
 
     expo.histogram_family(
         "shapesearch_request_duration_micros",
@@ -525,6 +587,39 @@ fn register_dataset(state: &Arc<AppState>, request: &Request) -> Result<Response
     ))
 }
 
+/// `POST /registry/heartbeat`: a shard server announcing (or refreshing)
+/// that it serves one partition of a dataset. Heartbeats feed the
+/// in-memory placement registry that `"shard_endpoints": "registry"`
+/// registrations resolve against; an entry stays fresh for
+/// [`REGISTRY_TTL_SECS`] and is simply re-announced on the sender's
+/// cadence.
+fn registry_heartbeat(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
+    let body = body_json(request)?;
+    let (dataset, (shard, shards), endpoint) = protocol::heartbeat_from_json(&body)?;
+    state
+        .catalog
+        .registry()
+        .heartbeat(&dataset, shard, shards, &endpoint)?;
+    Ok(ok(obj([("registered", true.into())])))
+}
+
+/// `GET /registry`: the placement registry's current contents — every
+/// heartbeat row with its age and freshness, stale rows included (they
+/// are what an operator needs to see to debug a dead shard server).
+fn registry_list(state: &Arc<AppState>) -> Response {
+    let entries: Vec<Json> = state
+        .catalog
+        .registry()
+        .snapshot()
+        .iter()
+        .map(protocol::registry_entry_to_json)
+        .collect();
+    ok(obj([
+        ("entries", Json::Arr(entries)),
+        ("ttl_secs", REGISTRY_TTL_SECS.into()),
+    ]))
+}
+
 /// One query of a request, planned: dataset resolved, query text parsed
 /// to its canonical AST, effective options and cache key computed.
 struct PlannedQuery {
@@ -541,6 +636,12 @@ struct PlannedQuery {
     /// response envelope. Never part of the cache key: tracing observes
     /// the computation, it does not change it.
     explain: bool,
+    /// The request opted into degraded answers (`"partial": true`): if
+    /// every replica of some shard is down, it prefers the responsive
+    /// shards' merged partial (flagged with a `degraded` block) over a
+    /// 502. Never part of the cache key — a degraded answer is never
+    /// cached, and the exact answer is the same either way.
+    partial: bool,
 }
 
 fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, ServerError> {
@@ -569,6 +670,7 @@ fn plan_query(state: &Arc<AppState>, body: &Json) -> Result<PlannedQuery, Server
         key,
         parallel_opt_out: req.parallel == Some(false),
         explain: req.explain,
+        partial: req.partial,
     })
 }
 
@@ -675,19 +777,24 @@ fn run_local_shard(
     }
 }
 
-/// One **remote** shard task: ships the query group to the shard
-/// server's `POST /shard/query` over the pooled RPC client and decodes
-/// the per-query partials. Transport failures (connect — after the
-/// client's one retry —, I/O, a non-200 envelope, or a malformed body)
-/// become a [`ServerError::shard_unavailable`] naming the endpoint,
-/// replicated across every query of the group; *per-query* engine errors
-/// inside a 200 envelope pass through with their original status and
-/// message, so an all-remote placement reports the same errors an
-/// all-local one would. Records the endpoint's `/healthz` gauges either
-/// way.
+/// One **remote** shard task: ships the query group to the shard's
+/// replica list over the pooled RPC client's health-checked failover
+/// ([`PooledClient::post_replicas`]) and decodes the per-query partials
+/// from the first replica that answers well. Per-replica failures
+/// (connect — after the client's configured retries —, I/O, a non-200
+/// envelope, or a malformed body) make failover move to the next
+/// replica; this is safe for any failure class because `/shard/query`
+/// is a pure idempotent read — at worst a slow replica computes an
+/// answer nobody consumes. Only when **every** replica has failed does
+/// the group get a [`ServerError::replicas_unavailable`] naming each
+/// attempted endpoint with its failure, replicated across every query
+/// of the group. *Per-query* engine errors inside a 200 envelope pass
+/// through with their original status and message, so an all-remote
+/// placement reports the same errors an all-local one would. Records
+/// every attempted endpoint's `/healthz` gauges, successful or not.
 fn run_remote_shard(
     state: &AppState,
-    endpoint: &str,
+    replicas: &[String],
     dataset: &str,
     queries: &[(ShapeQuery, usize)],
     options: &EngineOptions,
@@ -696,55 +803,65 @@ fn run_remote_shard(
 ) -> ShardRun {
     let body = protocol::shard_request_to_json(dataset, queries, hints, options, trace);
     let started = Instant::now();
-    let reply = state.remote.post(endpoint, "/shard/query", &body);
+    let outcome = state
+        .remote
+        .post_replicas(replicas, "/shard/query", &body, |response| {
+            if response.status == 200 {
+                protocol::shard_outcomes_from_json(&response.body, queries.len())
+            } else {
+                Err(format!(
+                    "status {}: {}",
+                    response.status,
+                    response
+                        .body
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("(no error detail)")
+                ))
+            }
+        });
     let micros = started.elapsed().as_micros() as u64;
     state.metrics.stage(obs::Stage::RemoteRpc, micros);
-    state.metrics.record_remote(endpoint, micros);
-
-    let partials: Result<protocol::ShardPartials, String> = match &reply {
-        Ok(response) if response.status == 200 => {
-            protocol::shard_outcomes_from_json(&response.body, queries.len())
-        }
-        Ok(response) => Err(format!(
-            "status {}: {}",
-            response.status,
-            response
-                .body
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("(no error detail)")
-        )),
-        Err(e) => Err(e.to_string()),
-    };
-    let (outcomes, pruned_bounds, remote_spans, failed) = match partials {
-        Ok(partials) => (
-            partials.outcomes,
-            partials.pruned_bounds,
-            partials.spans,
-            false,
-        ),
-        Err(detail) => (
-            vec![Err(ServerError::shard_unavailable(endpoint, detail)); queries.len()],
-            vec![None; queries.len()],
-            Vec::new(),
-            true,
-        ),
-    };
     {
-        // All three gauges move in one critical section so a `/healthz`
-        // snapshot can never show a request without its error/micros.
+        // All of an endpoint's gauges move in one critical section so a
+        // `/healthz` snapshot can never show a request without its
+        // error/micros; one acquisition covers the whole failover trail.
         let mut stats = state.remote_stats.lock().expect("remote stats lock");
-        let entry = stats.entry(endpoint.to_owned()).or_default();
-        entry.requests += 1;
-        entry.errors += u64::from(failed);
-        entry.micros_total += micros;
+        for attempt in &outcome.attempts {
+            let entry = stats.entry(attempt.endpoint.clone()).or_default();
+            entry.requests += 1;
+            entry.errors += u64::from(attempt.error.is_some());
+            entry.micros_total += attempt.micros;
+        }
     }
-    ShardRun {
-        outcomes,
-        micros,
-        pruned_bounds,
-        stages: StageMicros::default(),
-        remote_spans,
+    for attempt in &outcome.attempts {
+        state
+            .metrics
+            .record_remote(&attempt.endpoint, attempt.micros);
+    }
+    match outcome.accepted {
+        Some((partials, _served_by)) => ShardRun {
+            outcomes: partials.outcomes,
+            micros,
+            pruned_bounds: partials.pruned_bounds,
+            stages: StageMicros::default(),
+            remote_spans: partials.spans,
+        },
+        None => {
+            let err = ServerError::replicas_unavailable(outcome.attempts.iter().map(|a| {
+                (
+                    a.endpoint.as_str(),
+                    a.error.as_deref().unwrap_or("unknown failure"),
+                )
+            }));
+            ShardRun {
+                outcomes: vec![Err(err); queries.len()],
+                micros,
+                pruned_bounds: vec![None; queries.len()],
+                stages: StageMicros::default(),
+                remote_spans: Vec::new(),
+            }
+        }
     }
 }
 
@@ -792,6 +909,31 @@ struct ShardExec {
     /// remote servers' own spans) plus the merge span. Empty unless the
     /// computation was traced.
     spans: Vec<Span>,
+    /// Per query: the best *partial* answer assemblable from the shards
+    /// that did respond, present only when the query failed **and** the
+    /// failure is maskable — every failing shard failed with
+    /// `shard_unavailable` (all replicas dead; an engine error is never
+    /// maskable) and the computation was seeded with no caller hints (a
+    /// `/shard/query` callee must report its failure upward, not degrade
+    /// on the router's behalf). Consumed only by queries that opted in
+    /// with `"partial": true`; everyone else keeps the error.
+    degraded: Vec<Option<DegradedQuery>>,
+}
+
+/// A partial answer for one query: the deterministic merge of the
+/// responsive shards' top-k partials, plus which partitions are missing
+/// and why. Never cached, never presented as exact.
+struct DegradedQuery {
+    results: Vec<TopKResult>,
+    info: DegradedInfo,
+}
+
+/// The `degraded` response block of a partial answer: the missing
+/// partition indices and each one's replica-failure message.
+#[derive(Debug, Clone)]
+struct DegradedInfo {
+    missing: Vec<usize>,
+    errors: Vec<(usize, String)>,
 }
 
 /// True when a shard's reported hint-pruned bound is **not** discharged
@@ -910,9 +1052,9 @@ fn execute_on_shards(
             .zip(shards)
             .map(|(placement, shard)| match placement {
                 ShardPlacement::Local => run_local_shard(state, shard, &queries, &inner, &shared),
-                ShardPlacement::Remote(endpoint) => {
+                ShardPlacement::Remote(replicas) => {
                     let hints = live_hints(&shared);
-                    run_remote_shard(state, endpoint, &entry.id, &queries, &inner, &hints, trace)
+                    run_remote_shard(state, replicas, &entry.id, &queries, &inner, &hints, trace)
                 }
             })
             .collect()
@@ -940,12 +1082,12 @@ fn execute_on_shards(
             }));
         }
         for (slot, placement) in entry.placement.iter().enumerate() {
-            let ShardPlacement::Remote(endpoint) = placement else {
+            let ShardPlacement::Remote(replicas) = placement else {
                 continue;
             };
             let state = Arc::clone(state);
             let entry = Arc::clone(entry);
-            let endpoint = endpoint.clone();
+            let replicas = replicas.clone();
             let queries = Arc::clone(&queries);
             let inner = inner.clone();
             let shared = shared.clone();
@@ -957,7 +1099,7 @@ fn execute_on_shards(
                 let hints = live_hints(&shared);
                 run_remote_shard(
                     &state,
-                    &endpoint,
+                    &replicas,
                     &entry.id,
                     &queries,
                     &inner,
@@ -1018,11 +1160,11 @@ fn execute_on_shards(
     if !retry.is_empty() {
         let no_hints = vec![None; queries.len()];
         for slot in retry {
-            let ShardPlacement::Remote(endpoint) = &entry.placement[slot] else {
+            let ShardPlacement::Remote(replicas) = &entry.placement[slot] else {
                 unreachable!("only remote shards are retried");
             };
             runs[slot] = run_remote_shard(
-                state, endpoint, &entry.id, &queries, &inner, &no_hints, trace,
+                state, replicas, &entry.id, &queries, &inner, &no_hints, trace,
             );
         }
         let remerge_started = Instant::now();
@@ -1063,9 +1205,9 @@ fn execute_on_shards(
                     }
                     span
                 }
-                ShardPlacement::Remote(endpoint) => {
+                ShardPlacement::Remote(replicas) => {
                     let mut span = Span::new("remote_rpc", run.micros)
-                        .with_detail(format!("shard {slot} @ {endpoint}"));
+                        .with_detail(format!("shard {slot} @ {}", replicas.join("|")));
                     for remote_span in &run.remote_spans {
                         span.push(remote_span.clone());
                     }
@@ -1079,12 +1221,48 @@ fn execute_on_shards(
         Vec::new()
     };
 
+    // Degraded fallbacks, computed only for queries that failed: the
+    // merge of whatever shards *did* answer, offered upward so a
+    // `"partial": true` caller can trade completeness for availability.
+    // A fan-out seeded with caller hints is a `/shard/query` callee —
+    // its caller owns the degradation decision, so nothing is offered.
+    let no_caller_hints = hints.iter().all(Option::is_none);
+    let degraded: Vec<Option<DegradedQuery>> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(qi, outcome)| {
+            if outcome.is_ok() || !no_caller_hints {
+                return None;
+            }
+            let mut partials: Vec<&[TopKResult]> = Vec::new();
+            let mut missing = Vec::new();
+            let mut errors = Vec::new();
+            for (slot, run) in runs.iter().enumerate() {
+                match &run.outcomes[qi] {
+                    Ok(results) => partials.push(results),
+                    Err(e) if e.code == Some("shard_unavailable") => {
+                        missing.push(slot);
+                        errors.push((slot, e.message.clone()));
+                    }
+                    // A real engine error on any shard poisons the whole
+                    // query — masking it as "degraded" would hide a bug.
+                    Err(_) => return None,
+                }
+            }
+            Some(DegradedQuery {
+                results: merge_topk_refs(partials, ks[qi]),
+                info: DegradedInfo { missing, errors },
+            })
+        })
+        .collect();
+
     ShardExec {
         outcomes,
         shard_micros: runs.iter().map(|run| run.micros).collect(),
         hint_pruned: (0..queries.len()).map(|i| shared.hint_pruned(i)).collect(),
         pruning,
         spans,
+        degraded,
     }
 }
 
@@ -1154,15 +1332,24 @@ fn shard_query(state: &Arc<AppState>, request: &Request) -> Result<Response, Ser
     )))
 }
 
+/// One planned query's computation, outside any singleflight: either the
+/// exact merged results or the error — alongside the degraded fallback
+/// (when one was assemblable), the per-shard micros, the fan-out's spans
+/// (when traced), and the computation's pruning stats.
+struct Computed {
+    outcome: Result<Arc<Vec<TopKResult>>, ServerError>,
+    /// The best partial answer when `outcome` failed maskably (every
+    /// failing shard had all replicas down). `None` on success or on
+    /// engine errors; consumed only by `"partial": true` requests.
+    degraded: Option<DegradedQuery>,
+    shard_micros: Vec<u64>,
+    spans: Vec<Span>,
+    pruning: PruningSnapshot,
+}
+
 /// Runs one planned query on the engine (all shards), outside any
-/// singleflight. Returns the merged results plus per-shard micros, the
-/// fan-out's spans (when traced), and the computation's pruning stats.
-#[allow(clippy::type_complexity)]
-fn compute(
-    state: &Arc<AppState>,
-    planned: &PlannedQuery,
-    trace: Option<&str>,
-) -> Result<(Arc<Vec<TopKResult>>, Vec<u64>, Vec<Span>, PruningSnapshot), ServerError> {
+/// singleflight.
+fn compute(state: &Arc<AppState>, planned: &PlannedQuery, trace: Option<&str>) -> Computed {
     let mut exec = execute_on_shards(
         state,
         &planned.entry,
@@ -1172,17 +1359,17 @@ fn compute(
         &[],
         trace,
     );
-    exec.outcomes
-        .pop()
-        .expect("one outcome per query")
-        .map(|results| {
-            (
-                Arc::new(results),
-                exec.shard_micros,
-                exec.spans,
-                exec.pruning,
-            )
-        })
+    Computed {
+        outcome: exec
+            .outcomes
+            .pop()
+            .expect("one outcome per query")
+            .map(Arc::new),
+        degraded: exec.degraded.pop().expect("one fallback slot per query"),
+        shard_micros: exec.shard_micros,
+        spans: exec.spans,
+        pruning: exec.pruning,
+    }
 }
 
 /// The per-query response body (shared between the single and batch
@@ -1198,6 +1385,7 @@ fn query_response(
     coalesced: bool,
     micros: Option<u64>,
     shard_micros: Option<&[u64]>,
+    degraded: Option<&DegradedInfo>,
 ) -> Json {
     let mut fields = vec![
         ("dataset", Json::Str(planned.entry.id.clone())),
@@ -1215,6 +1403,34 @@ fn query_response(
         fields.push((
             "shard_micros",
             Json::Arr(shard_micros.iter().map(|&m| m.into()).collect()),
+        ));
+    }
+    if let Some(degraded) = degraded {
+        // The one block that marks an answer as inexact: which
+        // partitions are missing, and the replica trail of each failure.
+        fields.push((
+            "degraded",
+            obj([
+                (
+                    "missing_shards",
+                    Json::Arr(degraded.missing.iter().map(|&s| s.into()).collect()),
+                ),
+                (
+                    "errors",
+                    Json::Arr(
+                        degraded
+                            .errors
+                            .iter()
+                            .map(|(slot, message)| {
+                                obj([
+                                    ("shard", (*slot).into()),
+                                    ("error", message.as_str().into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         ));
     }
     fields.push(("results", protocol::results_to_json(results)));
@@ -1244,6 +1460,12 @@ struct ResolvedQuery {
     /// Pruning stats of the led computation (zeros on hits/waits — a
     /// cached answer did no pruning work for this request).
     pruning: PruningSnapshot,
+    /// Present when `value` is a **degraded** partial answer: the
+    /// missing partitions and their failures. Only ever set for
+    /// `"partial": true` requests that led a computation; degraded
+    /// values are never cached, so hits and coalesced waits are always
+    /// exact.
+    degraded: Option<DegradedInfo>,
 }
 
 /// Resolves one planned query through the singleflight cache, blocking
@@ -1273,6 +1495,7 @@ fn resolve_query(
                     lookup_micros,
                     exec_spans: Vec::new(),
                     pruning: PruningSnapshot::default(),
+                    degraded: None,
                 })
             }
             Lookup::Pending(waiter) => {
@@ -1289,6 +1512,7 @@ fn resolve_query(
                             lookup_micros,
                             exec_spans: Vec::new(),
                             pruning: PruningSnapshot::default(),
+                            degraded: None,
                         })
                     }
                     // Leader failed: its flight is gone; loop to contend
@@ -1299,19 +1523,46 @@ fn resolve_query(
                 }
             }
             Lookup::Lead(guard) => {
-                // `?` drops the guard on error, publishing the failure so
-                // coalesced waiters wake instead of deadlocking.
-                let (v, shard_micros, exec_spans, pruning) = compute(state, planned, trace)?;
-                guard.complete(Arc::clone(&v));
-                return Ok(ResolvedQuery {
-                    value: v,
-                    cached: false,
-                    coalesced: false,
-                    shard_micros: Some(shard_micros),
-                    lookup_micros,
-                    exec_spans,
-                    pruning,
-                });
+                let computed = compute(state, planned, trace);
+                match computed.outcome {
+                    Ok(v) => {
+                        guard.complete(Arc::clone(&v));
+                        return Ok(ResolvedQuery {
+                            value: v,
+                            cached: false,
+                            coalesced: false,
+                            shard_micros: Some(computed.shard_micros),
+                            lookup_micros,
+                            exec_spans: computed.spans,
+                            pruning: computed.pruning,
+                            degraded: None,
+                        });
+                    }
+                    Err(e) => {
+                        // Dropping the guard publishes the failure so
+                        // coalesced waiters wake (and re-contend) instead
+                        // of deadlocking — crucially it also means a
+                        // degraded answer is NEVER cached: only this
+                        // opted-in caller sees it, and the next request
+                        // recomputes from scratch.
+                        drop(guard);
+                        if planned.partial {
+                            if let Some(DegradedQuery { results, info }) = computed.degraded {
+                                return Ok(ResolvedQuery {
+                                    value: Arc::new(results),
+                                    cached: false,
+                                    coalesced: false,
+                                    shard_micros: Some(computed.shard_micros),
+                                    lookup_micros,
+                                    exec_spans: computed.spans,
+                                    pruning: computed.pruning,
+                                    degraded: Some(info),
+                                });
+                            }
+                        }
+                        return Err(e);
+                    }
+                }
             }
         }
     }
@@ -1350,6 +1601,7 @@ fn query(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerErr
         resolved.coalesced,
         Some(micros),
         resolved.shard_micros.as_deref(),
+        resolved.degraded.as_ref(),
     );
     let serialize_micros = serialize_started.elapsed().as_micros() as u64;
     state.metrics.stage(obs::Stage::Serialize, serialize_micros);
@@ -1407,6 +1659,9 @@ enum ItemProgress<'a> {
         value: Arc<Vec<TopKResult>>,
         cached: bool,
         coalesced: bool,
+        /// The item's `degraded` block, present only when the item opted
+        /// into partial answers and some shard had every replica down.
+        degraded: Option<DegradedInfo>,
         /// The item's assembled `trace` object, present only when the
         /// item sent `"explain": true`.
         trace: Option<Json>,
@@ -1497,6 +1752,7 @@ fn query_batch(
                         value,
                         cached: true,
                         coalesced: false,
+                        degraded: None,
                         trace,
                     }
                 }
@@ -1568,7 +1824,7 @@ fn query_batch(
         );
         let group_spans = exec.spans;
         let group_pruning = exec.pruning;
-        for (&i, outcome) in indices.iter().zip(exec.outcomes) {
+        for ((&i, outcome), fallback) in indices.iter().zip(exec.outcomes).zip(exec.degraded) {
             let ItemProgress::Leading(planned, guard) = std::mem::replace(
                 &mut progress[i],
                 ItemProgress::Failed(ServerError::internal("batch item resolved twice")),
@@ -1587,14 +1843,32 @@ fn query_batch(
                         value,
                         cached: false,
                         coalesced: false,
+                        degraded: None,
                         trace,
                     }
                 }
                 Err(e) => {
                     // Dropping the guard publishes the failure and frees
-                    // the key for the next attempt.
+                    // the key for the next attempt — which is also what
+                    // keeps a degraded partial out of the cache when the
+                    // item opted into one below.
                     drop(guard);
-                    ItemProgress::Failed(e)
+                    match (planned.partial, fallback) {
+                        (true, Some(DegradedQuery { results, info })) => {
+                            let trace = planned
+                                .explain
+                                .then(|| item_trace(&trace_id, &group_spans, group_pruning));
+                            ItemProgress::Ready {
+                                planned,
+                                value: Arc::new(results),
+                                cached: false,
+                                coalesced: false,
+                                degraded: Some(info),
+                                trace,
+                            }
+                        }
+                        _ => ItemProgress::Failed(e),
+                    }
                 }
             };
         }
@@ -1628,6 +1902,7 @@ fn query_batch(
                     value,
                     cached: true,
                     coalesced: true,
+                    degraded: None,
                     trace,
                 }
             }
@@ -1645,6 +1920,7 @@ fn query_batch(
                             value: resolved.value,
                             cached: resolved.cached,
                             coalesced: resolved.coalesced,
+                            degraded: resolved.degraded,
                             trace,
                         }
                     }
@@ -1664,9 +1940,18 @@ fn query_batch(
                 value,
                 cached,
                 coalesced,
+                degraded,
                 trace,
             } => {
-                let mut item = query_response(planned, value, *cached, *coalesced, None, None);
+                let mut item = query_response(
+                    planned,
+                    value,
+                    *cached,
+                    *coalesced,
+                    None,
+                    None,
+                    degraded.as_ref(),
+                );
                 if let (Some(trace), Json::Obj(fields)) = (trace, &mut item) {
                     fields.push(("trace".into(), trace.clone()));
                 }
@@ -2272,6 +2557,281 @@ mod tests {
         // The warmed key still hits; the failure did not evict it.
         let warm = route(&router, &post("/query", &q("t1")));
         assert!(warm.body.contains("\"cached\":true"), "{}", warm.body);
+    }
+
+    #[test]
+    fn failover_to_a_live_replica_keeps_results_exact() {
+        // A live shard server owning partition 1 of 2…
+        let shard_server = crate::serve(
+            "127.0.0.1:0",
+            crate::ServerConfig {
+                workers: 2,
+                ..crate::ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let body = format!(
+            r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y","shard_of":"1/2"}}"#
+        );
+        assert_eq!(
+            route(shard_server.state(), &post("/datasets", &body)).status,
+            201
+        );
+
+        // …and a router that lists a dead replica FIRST, so every cold
+        // query must fail over to reach the live one.
+        let router = state();
+        let body = format!(
+            r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y",
+                 "shard_endpoints":["local",["127.0.0.1:1","{}"]]}}"#,
+            shard_server.addr()
+        );
+        let reply = route(&router, &post("/datasets", &body));
+        assert_eq!(reply.status, 201, "{}", reply.body);
+        // The 201 reply names the replica set in placement order.
+        assert!(
+            reply
+                .body
+                .contains(&format!("\"127.0.0.1:1|{}\"", shard_server.addr())),
+            "{}",
+            reply.body
+        );
+
+        register_sharded(&router, "ref", 2);
+        let q = |ds: &str| format!(r#"{{"dataset":"{ds}","query":"[p=up][p=down]","k":2}}"#);
+        let want = route(&router, &post("/query", &q("ref")));
+        let got = route(&router, &post("/query", &q("t1")));
+        assert_eq!(got.status, 200, "{}", got.body);
+        let want = json::parse(&want.body).unwrap();
+        let got = json::parse(&got.body).unwrap();
+        assert_eq!(
+            got.get("results").unwrap().to_text(),
+            want.get("results").unwrap().to_text(),
+            "failover must be byte-identical to all-local"
+        );
+
+        // Healthz books the whole failover trail: one failed attempt on
+        // the dead replica, one clean request on the live one, and the
+        // totals reconcile with the per-endpoint rows.
+        let health = route(&router, &get("/healthz"));
+        let parsed = json::parse(&health.body).unwrap();
+        let remote = parsed.get("remote_shards").unwrap();
+        assert_eq!(remote.get("endpoints").unwrap().as_usize(), Some(2));
+        let by = remote.get("by_endpoint").unwrap().as_array().unwrap();
+        let row = |endpoint: &str| {
+            by.iter()
+                .find(|row| row.get("endpoint").unwrap().as_str() == Some(endpoint))
+                .unwrap_or_else(|| panic!("no healthz row for {endpoint}: {}", health.body))
+        };
+        let dead = row("127.0.0.1:1");
+        assert_eq!(dead.get("requests").unwrap().as_usize(), Some(1));
+        assert_eq!(dead.get("errors").unwrap().as_usize(), Some(1));
+        assert_eq!(
+            dead.get("consecutive_failures").unwrap().as_usize(),
+            Some(1)
+        );
+        let live = row(&shard_server.addr().to_string());
+        assert_eq!(live.get("requests").unwrap().as_usize(), Some(1));
+        assert_eq!(live.get("errors").unwrap().as_usize(), Some(0));
+        assert_eq!(live.get("ejected").unwrap().as_bool(), Some(false));
+        let total: usize = by
+            .iter()
+            .map(|row| row.get("requests").unwrap().as_usize().unwrap())
+            .sum();
+        assert_eq!(remote.get("requests").unwrap().as_usize(), Some(total));
+
+        shard_server.shutdown();
+    }
+
+    #[test]
+    fn partial_opt_in_turns_total_replica_loss_into_a_degraded_200() {
+        // Shard 0 local, shard 1's every replica dead.
+        let router = state();
+        let body = format!(
+            r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y",
+                 "shard_endpoints":["local",["127.0.0.1:1","127.0.0.1:2"]]}}"#
+        );
+        assert_eq!(route(&router, &post("/datasets", &body)).status, 201);
+
+        // Without the flag: a structured 502 naming BOTH attempted
+        // replicas, in try order.
+        let plain = r#"{"dataset":"t1","query":"[p=up][p=down]","k":2}"#;
+        let refused = route(&router, &post("/query", plain));
+        assert_eq!(refused.status, 502, "{}", refused.body);
+        assert!(
+            refused.body.contains("\"code\":\"shard_unavailable\""),
+            "{}",
+            refused.body
+        );
+        assert!(refused.body.contains("127.0.0.1:1"), "{}", refused.body);
+        assert!(refused.body.contains("127.0.0.1:2"), "{}", refused.body);
+
+        // With it: a 200 flagged degraded, naming the missing partition
+        // and carrying shard 0's merged partial.
+        let partial = r#"{"dataset":"t1","query":"[p=up][p=down]","k":2,"partial":true}"#;
+        let degraded = route(&router, &post("/query", partial));
+        assert_eq!(degraded.status, 200, "{}", degraded.body);
+        let parsed = json::parse(&degraded.body).unwrap();
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(false));
+        let block = parsed
+            .get("degraded")
+            .unwrap_or_else(|| panic!("no degraded block: {}", degraded.body));
+        assert_eq!(
+            block.get("missing_shards").unwrap().to_text(),
+            "[1]",
+            "{}",
+            degraded.body
+        );
+        let errors = block.get("errors").unwrap().as_array().unwrap();
+        assert_eq!(errors[0].get("shard").unwrap().as_usize(), Some(1));
+        assert!(
+            errors[0]
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("127.0.0.1:1"),
+            "{}",
+            degraded.body
+        );
+        assert!(
+            !parsed
+                .get("results")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "the responsive shard's partial must be served: {}",
+            degraded.body
+        );
+
+        // NEVER cached: an identical repeat recomputes from scratch
+        // (a later exact answer must not be masked by a stale partial).
+        let repeat = route(&router, &post("/query", partial));
+        let repeat = json::parse(&repeat.body).unwrap();
+        assert_eq!(
+            repeat.get("cached").unwrap().as_bool(),
+            Some(false),
+            "degraded answers must never be cached"
+        );
+        assert_eq!(router.cache.stats().hits, 0);
+
+        // Batch: the opted-in item degrades, the plain item keeps its
+        // structured 502 — per item, same request.
+        let reply = route(&router, &post("/query", &format!("[{partial},{plain}]")));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let batch = json::parse(&reply.body).unwrap();
+        let responses = batch.get("responses").unwrap().as_array().unwrap();
+        assert!(responses[0].get("degraded").is_some(), "{}", reply.body);
+        assert_eq!(
+            responses[1].get("status").and_then(|s| s.as_usize()),
+            Some(502),
+            "{}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn heartbeat_discovery_resolves_a_queryable_placement() {
+        // Two live shard servers, each announcing its partition to the
+        // router's registry the way `serve --announce` would.
+        let mut servers = Vec::new();
+        for index in 0..2 {
+            let server = crate::serve(
+                "127.0.0.1:0",
+                crate::ServerConfig {
+                    workers: 2,
+                    ..crate::ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let body = format!(
+                r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y","shard_of":"{index}/2"}}"#
+            );
+            assert_eq!(route(server.state(), &post("/datasets", &body)).status, 201);
+            servers.push(server);
+        }
+
+        let router = state();
+        for (index, server) in servers.iter().enumerate() {
+            let beat = format!(
+                r#"{{"dataset":"t1","shard_of":"{index}/2","endpoint":"{}"}}"#,
+                server.addr()
+            );
+            let reply = route(&router, &post("/registry/heartbeat", &beat));
+            assert_eq!(reply.status, 200, "{}", reply.body);
+            assert!(reply.body.contains("\"registered\":true"), "{}", reply.body);
+        }
+
+        // The registry lists both rows as fresh, with the TTL.
+        let listing = route(&router, &get("/registry"));
+        assert_eq!(listing.status, 200, "{}", listing.body);
+        let parsed = json::parse(&listing.body).unwrap();
+        assert_eq!(
+            parsed.get("entries").unwrap().as_array().unwrap().len(),
+            2,
+            "{}",
+            listing.body
+        );
+        assert!(listing.body.contains("\"fresh\":true"), "{}", listing.body);
+        assert_eq!(
+            parsed.get("ttl_secs").unwrap().as_usize(),
+            Some(REGISTRY_TTL_SECS as usize)
+        );
+
+        // Registering with the `registry` sentinel resolves the announced
+        // placement, and the dataset answers exactly like an all-local
+        // twin.
+        let body = format!(
+            r#"{{"name":"t","id":"t1","csv":"{CSV}","z":"z","x":"x","y":"y",
+                 "shard_endpoints":"registry"}}"#
+        );
+        let reply = route(&router, &post("/datasets", &body));
+        assert_eq!(reply.status, 201, "{}", reply.body);
+        for server in &servers {
+            assert!(
+                reply.body.contains(&server.addr().to_string()),
+                "{}",
+                reply.body
+            );
+        }
+        register_sharded(&router, "ref", 2);
+        let q = |ds: &str| format!(r#"{{"dataset":"{ds}","query":"[p=up][p=down]","k":2}}"#);
+        let want = route(&router, &post("/query", &q("ref")));
+        let got = route(&router, &post("/query", &q("t1")));
+        assert_eq!(got.status, 200, "{}", got.body);
+        assert_eq!(
+            json::parse(&got.body)
+                .unwrap()
+                .get("results")
+                .unwrap()
+                .to_text(),
+            json::parse(&want.body)
+                .unwrap()
+                .get("results")
+                .unwrap()
+                .to_text(),
+            "registry-resolved placement must be byte-identical to all-local"
+        );
+
+        // Without any fresh heartbeat the sentinel is a structured 400.
+        let empty = state();
+        let reply = route(&empty, &post("/datasets", &body));
+        assert_eq!(reply.status, 400, "{}", reply.body);
+        assert!(reply.body.contains("no fresh heartbeat"), "{}", reply.body);
+
+        // Malformed heartbeats are 400s; wrong methods 405.
+        let bad = r#"{"dataset":"t1","shard_of":"2/2","endpoint":"h:1"}"#;
+        assert_eq!(
+            route(&router, &post("/registry/heartbeat", bad)).status,
+            400
+        );
+        assert_eq!(route(&router, &get("/registry/heartbeat")).status, 405);
+        assert_eq!(route(&router, &post("/registry", "{}")).status, 405);
+
+        for server in servers {
+            server.shutdown();
+        }
     }
 
     /// A CSV with clear peaks buried among falls, big enough that a

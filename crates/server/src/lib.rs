@@ -87,6 +87,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod chaos;
 pub mod client;
 pub mod compute;
 pub mod error;
@@ -98,7 +99,8 @@ pub mod protocol;
 
 pub use cache::{CacheKey, CacheStats, LruCache, QueryCache};
 pub use catalog::{Catalog, DataSource, DatasetEntry, DatasetSpec, ShardPlacement};
-pub use client::{Client, ClientResponse, PooledClient};
+pub use chaos::{ChaosMode, ChaosProxy};
+pub use client::{Client, ClientConfig, ClientResponse, PooledClient};
 pub use error::ServerError;
 pub use handlers::AppState;
 pub use http::{Request, Response, ServerHandle};
@@ -134,10 +136,25 @@ pub struct ServerConfig {
     /// structured `slow-query` line (with the trace ID) on stderr; `0`
     /// (the default) disables slow-query logging.
     pub slow_query_micros: u64,
+    /// Connect timeout (milliseconds) of the remote-shard RPC client
+    /// (`--shard-connect-timeout-ms`). Bounds how long ONE connect
+    /// attempt to one replica may take before failover moves on.
+    pub shard_connect_timeout_ms: u64,
+    /// I/O (read/write) timeout in milliseconds of the remote-shard RPC
+    /// client (`--shard-io-timeout-ms`). Bounds how long a black-holed
+    /// replica — accepting connections but never answering — can stall a
+    /// fan-out before failover moves on.
+    pub shard_io_timeout_ms: u64,
+    /// Extra connect attempts per replica endpoint after the first
+    /// fails (`--shard-retries`): `1` (the default) retries a refused
+    /// connect once — riding out a shard server restarting — before the
+    /// endpoint counts as failed and failover tries the next replica.
+    pub shard_retries: u32,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let client = client::ClientConfig::default();
         Self {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -147,6 +164,9 @@ impl Default for ServerConfig {
             shards: 0,
             data_root: None,
             slow_query_micros: 0,
+            shard_connect_timeout_ms: client.connect_timeout.as_millis() as u64,
+            shard_io_timeout_ms: client.io_timeout.as_millis() as u64,
+            shard_retries: client.retries,
         }
     }
 }
@@ -191,6 +211,12 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
     );
     state.max_batch = config.max_batch.max(1);
     state.slow_query_micros = config.slow_query_micros;
+    state.remote = PooledClient::with_config(client::ClientConfig {
+        connect_timeout: std::time::Duration::from_millis(config.shard_connect_timeout_ms.max(1)),
+        io_timeout: std::time::Duration::from_millis(config.shard_io_timeout_ms.max(1)),
+        retries: config.shard_retries,
+        ..client::ClientConfig::default()
+    });
     let state = Arc::new(state);
     let router_state = Arc::clone(&state);
     let handle = http::serve(

@@ -327,6 +327,14 @@ impl Exposition {
         self.sample(name, &[], value);
     }
 
+    /// A gauge family with one series per label value.
+    pub fn gauge_family(&mut self, name: &str, help: &str, label: &str, series: &[(&str, u64)]) {
+        self.header(name, help, "gauge");
+        for (value, count) in series {
+            self.sample(name, &[(label, value)], *count);
+        }
+    }
+
     /// A histogram family: one `{le}`-bucketed series per entry (an
     /// entry with no extra label renders unlabeled). Buckets render
     /// cumulatively, ending in `+Inf`, plus `_sum` and `_count`.

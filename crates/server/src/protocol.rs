@@ -1,27 +1,40 @@
 //! The JSON wire protocol: typed request extraction and response
-//! construction for the six routes.
+//! construction for the eight routes.
 //!
 //! ```text
 //! POST /datasets  {"name", "id"?, "csv"|"jsonl"|"path", "z", "x", "y",
 //!                  "filters"?: [{"column","op","value"}], "agg"?,
 //!                  "builtins"?: bool, "shards"?: n,
-//!                  "shard_endpoints"?: ["host:port"|null, …],
+//!                  "shard_endpoints"?: ["host:port"
+//!                                       |["host:port", …]   (replicas)
+//!                                       |null, …]
+//!                                    | "registry",
 //!                  "shard_of"?: "index/total"}
 //! GET  /datasets  → {"datasets":[{"id","name","z","x","y",
 //!                  "trendlines","points","shards","placement",
 //!                  "shard_of"?}]}
 //! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
-//!                  "pushdown"?, "parallel"?, "pruning"?, "explain"?}
+//!                  "pushdown"?, "parallel"?, "pruning"?, "explain"?,
+//!                  "partial"?}
 //!              or [ {…}, {…}, … ]       (a batch of up to the server's
 //!                                        max batch size, default
 //!                                        MAX_BATCH_SIZE)
 //!              → single: {"dataset","query","k","algo","shards","cached",
 //!                         "coalesced","micros","shard_micros"?,
 //!                         "results",…,
+//!                         "degraded"?: {"missing_shards":[i,…],
+//!                                       "errors":[{"shard","error"},…]},
 //!                         "trace"?: {"trace_id","spans","pruning"}}
 //!              → batch:  {"batch": n, "micros": total,
 //!                         "responses": [per-query objects or
 //!                                       {"error","status","code"?}]}
+//! POST /registry/heartbeat  {"dataset", "shard_of": "index/total",
+//!                            "endpoint": "host:port"}
+//!                                    (shard server → router announce)
+//!              → {"registered": true}
+//! GET  /registry  → {"entries":[{"dataset","shard","shards",
+//!                    "endpoint","age_secs","fresh"}],
+//!                    "ttl_secs": REGISTRY_TTL_SECS}
 //! POST /shard/query   {"dataset", "queries":[{"query","k",
 //!                      "threshold_hint": score|null}, …],
 //!                      "options": {…}, "trace_id"?: "hex"}
@@ -71,10 +84,21 @@
 //! Oversized batches are refused with a *structured* 400 so clients can
 //! split and retry programmatically:
 //! `{"error": …, "code": "batch_too_large", "max_batch": …, "batch_len": …}`.
-//! An unreachable remote shard likewise surfaces structurally:
-//! `{"error": "shard endpoint host:port unavailable: …",
-//! "code": "shard_unavailable", "status": 502}` — the endpoint is named
-//! in the message so an operator knows which shard to repoint.
+//! A remote shard whose **every** replica failed likewise surfaces
+//! structurally: `{"error": "shard unavailable after N replica
+//! attempt(s): host:port (why); …", "code": "shard_unavailable",
+//! "status": 502}` — every attempted replica is named with its failure
+//! so an operator can read the full failover path, not just the last
+//! stop.
+//!
+//! `"partial": true` opts a query into **degraded** results: when every
+//! replica of a shard is dead, the response is still a 200 carrying the
+//! merged results of the reachable shards plus a `degraded` block naming
+//! the missing shard indices and their errors. Degraded responses are
+//! **never cached** (the next identical query retries the dead shard)
+//! and never silently exact — the block is always present on a partial
+//! answer. Without the flag, an unreachable shard is the same 502 it
+//! always was. `partial`, like `explain`, is not part of the cache key.
 //!
 //! The `/shard/query` options object serializes **every result-affecting
 //! engine knob** explicitly (segmenter, binning, pushdown, all scoring
@@ -86,7 +110,7 @@
 //! the wire: they never change results, and each process schedules its
 //! own cores.
 
-use crate::catalog::{DataSource, DatasetEntry, DatasetSpec};
+use crate::catalog::{DataSource, DatasetEntry, DatasetSpec, RegistryEntry, ShardEndpoints};
 use crate::error::ServerError;
 use crate::json::{obj, Json};
 use shapesearch_core::{
@@ -146,17 +170,45 @@ pub fn dataset_spec_from_json(body: &Json) -> Result<DatasetSpec, ServerError> {
 
     let shard_endpoints = match body.get("shard_endpoints") {
         None => None,
+        Some(Json::Str(s)) if s.eq_ignore_ascii_case("registry") => {
+            Some(ShardEndpoints::FromRegistry)
+        }
         Some(Json::Arr(items)) => {
             let mut endpoints = Vec::with_capacity(items.len());
             for item in items {
                 endpoints.push(match item {
                     Json::Null => None,
                     Json::Str(s) if s.eq_ignore_ascii_case("local") => None,
-                    Json::Str(s) if !s.is_empty() => Some(s.clone()),
+                    Json::Str(s) if !s.is_empty() => Some(vec![s.clone()]),
+                    Json::Arr(replicas) => {
+                        let mut list = Vec::with_capacity(replicas.len());
+                        for replica in replicas {
+                            match replica {
+                                Json::Str(s)
+                                    if !s.is_empty() && !s.eq_ignore_ascii_case("local") =>
+                                {
+                                    list.push(s.clone())
+                                }
+                                other => {
+                                    return Err(ServerError::bad_request(format!(
+                                        "replica entries must be \"host:port\" \
+                                         strings; got {other:?} (use null at \
+                                         the shard level for a local shard)"
+                                    )))
+                                }
+                            }
+                        }
+                        if list.is_empty() {
+                            return Err(ServerError::bad_request(
+                                "a replica list must name at least one endpoint",
+                            ));
+                        }
+                        Some(list)
+                    }
                     other => {
                         return Err(ServerError::bad_request(format!(
                             "`shard_endpoints` entries must be \"host:port\", \
-                             \"local\", or null; got {other:?}"
+                             a replica array, \"local\", or null; got {other:?}"
                         )))
                     }
                 });
@@ -166,11 +218,12 @@ pub fn dataset_spec_from_json(body: &Json) -> Result<DatasetSpec, ServerError> {
                     "`shard_endpoints` must name at least one shard",
                 ));
             }
-            Some(endpoints)
+            Some(ShardEndpoints::Explicit(endpoints))
         }
         Some(_) => {
             return Err(ServerError::bad_request(
-                "`shard_endpoints` must be an array of \"host:port\"/null entries",
+                "`shard_endpoints` must be an array of \"host:port\"/replica-\
+                 array/null entries, or the string \"registry\"",
             ))
         }
     };
@@ -280,6 +333,12 @@ pub struct QueryRequest {
     /// and pruning stats. Purely additive — it never affects results or
     /// caching, so `explain` is not part of the cache key.
     pub explain: bool,
+    /// When `true`, the query opts into **degraded** results: a shard
+    /// whose every replica is dead becomes a 200 with a `degraded`
+    /// block instead of a 502. Degraded answers are never cached, so
+    /// `partial` — a failure *policy*, not a result-affecting option —
+    /// is not part of the cache key either.
+    pub partial: bool,
 }
 
 /// Parses one query object of a `POST /query` body.
@@ -318,7 +377,33 @@ pub fn query_request_from_json(body: &Json) -> Result<QueryRequest, ServerError>
         parallel: body.get("parallel").and_then(Json::as_bool),
         pruning,
         explain: body.get("explain").and_then(Json::as_bool).unwrap_or(false),
+        partial: body.get("partial").and_then(Json::as_bool).unwrap_or(false),
     })
+}
+
+/// Parses a `POST /registry/heartbeat` body into
+/// `(dataset, (shard index, total), endpoint)`.
+///
+/// # Errors
+/// Missing fields or a malformed `shard_of` designator.
+pub fn heartbeat_from_json(body: &Json) -> Result<(String, (usize, usize), String), ServerError> {
+    let dataset = required_str(body, "dataset")?.to_owned();
+    let shard_of =
+        parse_shard_of(required_str(body, "shard_of")?).map_err(ServerError::bad_request)?;
+    let endpoint = required_str(body, "endpoint")?.to_owned();
+    Ok((dataset, shard_of, endpoint))
+}
+
+/// Serializes one registry row for `GET /registry`.
+pub fn registry_entry_to_json(entry: &RegistryEntry) -> Json {
+    obj([
+        ("dataset", entry.dataset.as_str().into()),
+        ("shard", entry.shard.into()),
+        ("shards", entry.shards.into()),
+        ("endpoint", entry.endpoint.as_str().into()),
+        ("age_secs", entry.age_secs.into()),
+        ("fresh", entry.fresh.into()),
+    ])
 }
 
 impl QueryRequest {
@@ -874,12 +959,37 @@ mod tests {
         let spec = dataset_spec_from_json(&body).unwrap();
         assert_eq!(
             spec.shard_endpoints,
-            Some(vec![
-                Some("127.0.0.1:9001".into()),
+            Some(ShardEndpoints::Explicit(vec![
+                Some(vec!["127.0.0.1:9001".into()]),
                 None,
                 None,
-                Some("127.0.0.1:9002".into())
-            ])
+                Some(vec!["127.0.0.1:9002".into()])
+            ])),
+            "bare endpoint strings stay the singleton-replica shorthand"
+        );
+
+        // A replica array per shard is the N-way form; the "registry"
+        // sentinel defers placement to heartbeats.
+        let body = json::parse(
+            r#"{"name":"s","csv":"z,x,y\na,1,2\n","z":"z","x":"x","y":"y",
+                "shard_endpoints":[["h1:1","h2:2"],null]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            dataset_spec_from_json(&body).unwrap().shard_endpoints,
+            Some(ShardEndpoints::Explicit(vec![
+                Some(vec!["h1:1".into(), "h2:2".into()]),
+                None
+            ]))
+        );
+        let body = json::parse(
+            r#"{"name":"s","csv":"z,x,y\na,1,2\n","z":"z","x":"x","y":"y",
+                "shard_endpoints":"registry"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            dataset_spec_from_json(&body).unwrap().shard_endpoints,
+            Some(ShardEndpoints::FromRegistry)
         );
 
         let body = json::parse(
@@ -895,6 +1005,9 @@ mod tests {
             r#""shard_endpoints":[]"#,
             r#""shard_endpoints":[7]"#,
             r#""shard_endpoints":"x:1""#,
+            r#""shard_endpoints":[[]]"#,
+            r#""shard_endpoints":[["h:1",null]]"#,
+            r#""shard_endpoints":[["h:1","local"],null]"#,
             r#""shard_of":"4/4""#,
             r#""shard_of":"1-4""#,
             r#""shard_of":"1/0""#,
@@ -1076,6 +1189,56 @@ mod tests {
         assert!(error_to_json(&ServerError::bad_request("x"))
             .get("code")
             .is_none());
+
+        // An all-replicas failure names every attempt in try order, and
+        // keeps the same machine-readable code so routers relay it.
+        let err = ServerError::replicas_unavailable([
+            ("h1:1", "connect refused"),
+            ("h2:2", "status 500: boom"),
+        ]);
+        assert_eq!(err.status, 502);
+        assert_eq!(err.code, Some("shard_unavailable"));
+        assert!(err.message.contains("2 replica attempt(s)"), "{err}");
+        assert!(err.message.contains("h1:1 (connect refused)"), "{err}");
+        assert!(err.message.contains("h2:2 (status 500: boom)"), "{err}");
+    }
+
+    #[test]
+    fn heartbeat_and_registry_rows_round_the_wire() {
+        let body =
+            json::parse(r#"{"dataset":"sales","shard_of":"1/4","endpoint":"10.0.0.2:7001"}"#)
+                .unwrap();
+        assert_eq!(
+            heartbeat_from_json(&body).unwrap(),
+            ("sales".to_owned(), (1, 4), "10.0.0.2:7001".to_owned())
+        );
+        for bad in [
+            r#"{"shard_of":"1/4","endpoint":"e:1"}"#,
+            r#"{"dataset":"d","shard_of":"4/4","endpoint":"e:1"}"#,
+            r#"{"dataset":"d","shard_of":"1/4"}"#,
+        ] {
+            assert!(heartbeat_from_json(&json::parse(bad).unwrap()).is_err());
+        }
+        let row = registry_entry_to_json(&RegistryEntry {
+            dataset: "sales".into(),
+            shard: 1,
+            shards: 4,
+            endpoint: "10.0.0.2:7001".into(),
+            age_secs: 3,
+            fresh: true,
+        });
+        assert_eq!(
+            row.to_text(),
+            r#"{"dataset":"sales","shard":1,"shards":4,"endpoint":"10.0.0.2:7001","age_secs":3,"fresh":true}"#
+        );
+    }
+
+    #[test]
+    fn partial_flag_parses_and_defaults_off() {
+        let body = json::parse(r#"{"dataset":"d","query":"[p=up]"}"#).unwrap();
+        assert!(!query_request_from_json(&body).unwrap().partial);
+        let body = json::parse(r#"{"dataset":"d","query":"[p=up]","partial":true}"#).unwrap();
+        assert!(query_request_from_json(&body).unwrap().partial);
     }
 
     #[test]
@@ -1091,6 +1254,7 @@ mod tests {
             parallel: None,
             pruning: None,
             explain: false,
+            partial: false,
         };
         let (nl_query, _) = parse_query(&nl_req).unwrap();
         let direct = shapesearch_parser::parse_regex(&nl_query.to_string()).unwrap();

@@ -45,8 +45,10 @@ fn usage() -> &'static str {
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
      shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
      [--shards N] [--data-root DIR] [--slow-query-micros N] \
+     [--shard-connect-timeout-ms N] [--shard-io-timeout-ms N] [--shard-retries N] \
      [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...] \
-      [--shard-of I/N | --shard-endpoint HOST:PORT|local ...]]"
+      [--shard-of I/N [--announce ROUTER ...] [--advertise HOST:PORT] \
+       | --shard-endpoint 'HOST:PORT[|HOST:PORT...]'|local|registry ...]]"
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -120,6 +122,7 @@ fn parse_filter(text: &str) -> Result<Predicate, String> {
 
 /// Parses and runs `shapesearch serve ...`, blocking until killed.
 fn run_serve(args: &[String]) -> Result<(), String> {
+    use shapesearch::server::catalog::ShardEndpoints;
     use shapesearch::server::{DataSource, DatasetSpec, ServerConfig};
 
     let mut addr = "127.0.0.1:7878".to_owned();
@@ -132,7 +135,10 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut filters: Vec<String> = Vec::new();
     let mut agg: Option<String> = None;
     let mut shard_of: Option<(usize, usize)> = None;
-    let mut shard_endpoints: Vec<Option<String>> = Vec::new();
+    let mut from_registry = false;
+    let mut shard_endpoints: Vec<Option<Vec<String>>> = Vec::new();
+    let mut announce: Vec<String> = Vec::new();
+    let mut advertise: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -187,13 +193,55 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             }
             "--shard-endpoint" => {
                 // Repeatable; entries map to shard indices in flag
-                // order. `local` keeps that partition in this process.
+                // order. `local` keeps that partition in this process;
+                // `HOST:PORT|HOST:PORT` (pipe-separated) declares a
+                // replica set for that partition; a single `registry`
+                // resolves the whole placement from heartbeats instead.
                 let ep = take("--shard-endpoint")?;
-                shard_endpoints.push(if ep.eq_ignore_ascii_case("local") {
-                    None
+                if ep.eq_ignore_ascii_case("registry") {
+                    from_registry = true;
+                } else if ep.eq_ignore_ascii_case("local") {
+                    shard_endpoints.push(None);
                 } else {
-                    Some(ep)
-                });
+                    let replicas: Vec<String> = ep.split('|').map(str::to_owned).collect();
+                    if replicas.iter().any(String::is_empty) {
+                        return Err(format!("--shard-endpoint `{ep}` has an empty replica"));
+                    }
+                    shard_endpoints.push(Some(replicas));
+                }
+            }
+            "--shard-connect-timeout-ms" => {
+                // Bounds ONE connect attempt to one replica before
+                // failover moves on.
+                config.shard_connect_timeout_ms = take("--shard-connect-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--shard-connect-timeout-ms must be an integer".to_owned())?;
+            }
+            "--shard-io-timeout-ms" => {
+                // Bounds how long a black-holed replica can stall a
+                // fan-out before failover moves on.
+                config.shard_io_timeout_ms = take("--shard-io-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--shard-io-timeout-ms must be an integer".to_owned())?;
+            }
+            "--shard-retries" => {
+                // Extra connect attempts per replica after the first
+                // fails, before failover tries the next replica.
+                config.shard_retries = take("--shard-retries")?
+                    .parse()
+                    .map_err(|_| "--shard-retries must be an integer".to_owned())?;
+            }
+            "--announce" => {
+                // Repeatable: a router to send placement heartbeats to,
+                // so `"shard_endpoints": "registry"` registrations there
+                // can discover this shard server.
+                announce.push(take("--announce")?);
+            }
+            "--advertise" => {
+                // The endpoint heartbeats claim; defaults to the bound
+                // address (pass this when routers reach this process
+                // through a different host, e.g. behind NAT).
+                advertise = Some(take("--advertise")?);
             }
             "--data" => data = Some(take("--data")?),
             "--name" => name = Some(take("--name")?),
@@ -234,10 +282,17 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 visual,
                 builtins: true,
                 shards: None,
-                shard_endpoints: if shard_endpoints.is_empty() {
+                shard_endpoints: if from_registry {
+                    if !shard_endpoints.is_empty() {
+                        return Err(
+                            "--shard-endpoint registry cannot mix with explicit endpoints".into(),
+                        );
+                    }
+                    Some(ShardEndpoints::FromRegistry)
+                } else if shard_endpoints.is_empty() {
                     None
                 } else {
-                    Some(shard_endpoints)
+                    Some(ShardEndpoints::Explicit(shard_endpoints))
                 },
                 shard_of,
             })
@@ -262,8 +317,39 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 },
             ),
         }
-    } else if shard_of.is_some() || !shard_endpoints.is_empty() {
+        // Placement heartbeats: announce this shard server's partition
+        // to each router every few seconds so their
+        // `"shard_endpoints": "registry"` registrations can resolve it.
+        // Failures are silently retried on the next beat — a router
+        // being down must never take a shard server with it.
+        if !announce.is_empty() {
+            let Some((index, total)) = entry.shard_of else {
+                return Err("--announce requires --shard-of (only shard servers announce)".into());
+            };
+            let endpoint = advertise.unwrap_or_else(|| service.addr().to_string());
+            let beat = format!(
+                r#"{{"dataset":"{}","shard_of":"{index}/{total}","endpoint":"{endpoint}"}}"#,
+                entry.id
+            );
+            let beat = shapesearch::server::json::parse(&beat).map_err(|e| e.to_string())?;
+            for router in &announce {
+                println!(
+                    "announcing shard {index}/{total} of `{}` to {router}",
+                    entry.id
+                );
+            }
+            std::thread::spawn(move || loop {
+                for router in &announce {
+                    let _ =
+                        shapesearch::server::Client::new(router).post("/registry/heartbeat", &beat);
+                }
+                std::thread::sleep(std::time::Duration::from_secs(2));
+            });
+        }
+    } else if shard_of.is_some() || !shard_endpoints.is_empty() || from_registry {
         return Err("--shard-of / --shard-endpoint only apply to a --data preregistration".into());
+    } else if !announce.is_empty() || advertise.is_some() {
+        return Err("--announce / --advertise require a --data --shard-of preregistration".into());
     }
 
     let local = service.addr();
