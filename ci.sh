@@ -83,14 +83,27 @@ echo "==> engine perf report (pruning on/off x shards, writes BENCH_engine.json)
 # asserts pruned results are byte-identical to unpruned, rewrites
 # BENCH_engine.json, and --check fails the build when the pruned default
 # is slower than SHAPESEARCH_BENCH_REGRESSION_FACTOR x the unpruned
-# baseline on any workload, or the needle-in-a-haystack speedup falls
+# baseline on any workload, the needle-in-a-haystack speedup falls
 # below SHAPESEARCH_BENCH_MIN_NEEDLE_SPEEDUP (default 2 — real margin:
-# ~3.6x). The regression factor defaults to 1.25: the true common-case
-# overhead is ~1 % (recorded in the JSON), but a shared CI runner's
+# ~4x), or the columnar kernel's throughput drops below the scalar
+# reference's (SHAPESEARCH_BENCH_MIN_KERNEL_RATIO, default 1.0). The
+# regression factor defaults to 1.25: the true common-case overhead is
+# a few percent (recorded in the JSON), but a shared CI runner's
 # wall-clock noise makes a tight gate flaky by construction, so the
 # gate only catches meaningful regressions.
 ./target/release/perf_report --check
 test -s BENCH_engine.json || { echo "perf_report wrote no BENCH_engine.json"; exit 1; }
+grep -q '"kernel":' BENCH_engine.json || {
+    echo "perf_report wrote no kernel block"; exit 1;
+}
+
+echo "==> kernel microbench smoke (columnar vs scalar, equivalence gated)"
+# The #[ignore]d throughput check in core::columnar: its bitwise
+# columnar-vs-scalar equivalence assertions are the gate; the printed
+# M windows/s figure is informational only (BENCH_engine.json's kernel
+# block carries the recorded ratio, gated above by perf_report --check
+# via SHAPESEARCH_BENCH_MIN_KERNEL_RATIO).
+cargo test -q -p shapesearch-core --release kernel_throughput -- --ignored --nocapture
 
 echo "==> sharded serve smoke (--shards 4, HTTP batch query)"
 # Guards the whole fan-out path end to end: CLI flag -> catalog default

@@ -18,8 +18,10 @@
 //! at least `SHAPESEARCH_BENCH_MIN_NEEDLE_SPEEDUP` (default 2.0) — the
 //! paper's headline §6.3 effect.
 
+use shapesearch_core::score::score_up;
 use shapesearch_core::{
-    EngineOptions, PruningMode, PruningSnapshot, ShapeQuery, ShardedEngine, SharedThresholds,
+    group_collection, EngineOptions, PruningMode, PruningSnapshot, ShapeQuery, ShardedEngine,
+    SharedThresholds, StatsIndex,
 };
 use shapesearch_datastore::Trendline;
 use shapesearch_parser::parse_regex;
@@ -199,6 +201,94 @@ fn run_workload(
     }
 }
 
+/// Raw scoring-kernel throughput: every start-anchored candidate window
+/// of every GROUPed visualization gets an interval regression slope plus
+/// a pattern score, once through the columnar [`shapesearch_core::ColumnarArena`]
+/// batch kernel and once through the retained scalar [`StatsIndex`]
+/// reference. Both paths must agree bit for bit (asserted here, every
+/// run); the ratio is the tentpole's microscopic win, gated by `--check`
+/// independently of engine wall clock.
+struct KernelReport {
+    windows: u64,
+    columnar_points_per_sec: f64,
+    scalar_points_per_sec: f64,
+    ratio: f64,
+}
+
+/// Timing passes per rep: enough windows per measurement that the
+/// sub-millisecond kernel outruns timer granularity.
+const KERNEL_PASSES: usize = 8;
+
+fn run_kernel(data: &[Trendline]) -> KernelReport {
+    let grouped = group_collection(data, 1);
+    let vizzes: Vec<_> = grouped.iter().flatten().collect();
+    let scalar_indexes: Vec<StatsIndex> = vizzes
+        .iter()
+        .map(|v| StatsIndex::new(v.xs(), v.ys()))
+        .collect();
+    let windows_per_pass: u64 = vizzes.iter().map(|v| (v.n() - 1) as u64).sum();
+
+    // Equivalence first (outside timing): the batch kernel must
+    // reproduce the scalar reference exactly, NaNs and degenerate
+    // denominators included.
+    let mut out = Vec::new();
+    for (v, idx) in vizzes.iter().zip(&scalar_indexes) {
+        v.arena().window_slopes(v.slot(), 0, 1, v.n() - 1, &mut out);
+        for (off, &slope) in out.iter().enumerate() {
+            let want = idx.slope(0, 1 + off);
+            assert_eq!(
+                slope.to_bits(),
+                want.to_bits(),
+                "columnar kernel diverged from the scalar reference"
+            );
+        }
+    }
+
+    let mut best_columnar = u64::MAX;
+    let mut best_scalar = u64::MAX;
+    let mut sink = 0.0f64;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        for _ in 0..KERNEL_PASSES {
+            for v in &vizzes {
+                v.arena().window_slopes(v.slot(), 0, 1, v.n() - 1, &mut out);
+                for &slope in &out {
+                    sink += score_up(slope);
+                }
+            }
+        }
+        best_columnar = best_columnar.min(started.elapsed().as_micros() as u64);
+
+        let started = Instant::now();
+        for _ in 0..KERNEL_PASSES {
+            for (v, idx) in vizzes.iter().zip(&scalar_indexes) {
+                for j in 1..v.n() {
+                    sink += score_up(idx.slope(0, j));
+                }
+            }
+        }
+        best_scalar = best_scalar.min(started.elapsed().as_micros() as u64);
+    }
+    std::hint::black_box(sink);
+
+    let windows = windows_per_pass * KERNEL_PASSES as u64;
+    let pps = |micros: u64| windows as f64 / (micros.max(1) as f64 / 1e6);
+    let report = KernelReport {
+        windows,
+        columnar_points_per_sec: pps(best_columnar),
+        scalar_points_per_sec: pps(best_scalar),
+        ratio: best_scalar as f64 / best_columnar.max(1) as f64,
+    };
+    eprintln!(
+        " kernel: columnar={:.1}M windows/s scalar={:.1}M windows/s ratio={:.2}x ({} windows/pass)",
+        report.columnar_points_per_sec / 1e6,
+        report.scalar_points_per_sec / 1e6,
+        report.ratio,
+        windows_per_pass,
+    );
+    report
+}
+
 /// The git revision this report was produced from: baked in at compile
 /// time when CI exports `SHAPESEARCH_GIT_REV`, otherwise asked of the
 /// working tree at run time (numbers without provenance are unanswerable
@@ -218,7 +308,7 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
-fn render_json(workloads: &[WorkloadReport]) -> String {
+fn render_json(workloads: &[WorkloadReport], kernel: &KernelReport) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -260,7 +350,21 @@ fn render_json(workloads: &[WorkloadReport]) -> String {
             if wi + 1 == workloads.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"kernel\": {\n");
+    out.push_str(&format!("    \"windows\": {},\n", kernel.windows));
+    out.push_str("    \"configs\": [\n");
+    out.push_str(&format!(
+        "      {{\"name\": \"columnar\", \"points_per_sec\": {:.0}}},\n",
+        kernel.columnar_points_per_sec
+    ));
+    out.push_str(&format!(
+        "      {{\"name\": \"scalar\", \"points_per_sec\": {:.0}}}\n",
+        kernel.scalar_points_per_sec
+    ));
+    out.push_str("    ],\n");
+    out.push_str(&format!("    \"ratio\": {:.3}\n", kernel.ratio));
+    out.push_str("  }\n}\n");
     out
 }
 
@@ -306,15 +410,29 @@ fn main() {
         run_workload("needle", "[p=up][p=down]", &needle_collection()),
         run_workload("common", "[p=up][p=down]", &common_collection()),
     ];
+    let kernel = run_kernel(&common_collection());
 
-    let json = render_json(&workloads);
+    let json = render_json(&workloads, &kernel);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
 
     if check {
         let regression_factor = env_f64("SHAPESEARCH_BENCH_REGRESSION_FACTOR", 1.25);
         let min_needle_speedup = env_f64("SHAPESEARCH_BENCH_MIN_NEEDLE_SPEEDUP", 2.0);
+        // Kernel-throughput floor: the columnar batch kernel must stay at
+        // least this many times the scalar reference's throughput. A
+        // ratio (not an absolute windows/s floor) so the gate carries
+        // across machines; 1.0 = "never slower than the path it
+        // replaced", with the usual env override for stricter trackers.
+        let min_kernel_ratio = env_f64("SHAPESEARCH_BENCH_MIN_KERNEL_RATIO", 1.0);
         let mut failures = Vec::new();
+        if kernel.ratio < min_kernel_ratio {
+            failures.push(format!(
+                "kernel: columnar/scalar throughput ratio {:.2} below the {min_kernel_ratio}x floor \
+                 (columnar {:.0} vs scalar {:.0} windows/s)",
+                kernel.ratio, kernel.columnar_points_per_sec, kernel.scalar_points_per_sec
+            ));
+        }
         for w in &workloads {
             for c in &w.configs {
                 if (c.on_micros as f64) > regression_factor * c.off_micros as f64 {

@@ -33,7 +33,7 @@ impl Segmenter for WholeSeriesBaseline {
         if n < 2 {
             return MatchResult::infeasible();
         }
-        let series = znormalize(&ev.viz.ys);
+        let series = znormalize(ev.viz.ys());
         let mut best = MatchResult::infeasible();
         for chain in chains {
             let proto = znormalize(&prototype(chain, n));

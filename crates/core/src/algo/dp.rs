@@ -19,7 +19,7 @@
 
 use super::{best_over_chains, MatchResult, Segmenter};
 use crate::chain::{Chain, Unit};
-use crate::eval::{chain_score_with_positions, Evaluator};
+use crate::eval::{chain_score_with_positions, slope_leaf, Evaluator, SlopeLeaf};
 
 /// The optimal DP segmenter.
 #[derive(Debug, Clone, Copy, Default)]
@@ -96,24 +96,49 @@ pub(crate) fn solve_chain(
     // Virtual "unit -1" ends at run_lo with score 0.
     prev_layer[run_lo] = 0.0;
 
+    // Slope-leaf classification per unit (once per chain, not per
+    // window): leaf units run the O(n²) inner loops through the batched
+    // window kernel instead of per-window `eval_node` calls.
+    let leaves: Vec<Option<SlopeLeaf>> = chain.units.iter().map(|u| slope_leaf(&u.query)).collect();
+    let mut run_scores: Vec<f64> = Vec::new();
+
     for (t, unit) in chain.units.iter().enumerate() {
         let mut layer: Vec<f64> = vec![NEG; width];
         let place = placement(ev, unit);
         let last = t + 1 == k;
+        let leaf = leaves[t];
         for pe in run_lo..=run_hi {
             let base = prev_layer[pe];
             if base == NEG {
                 continue;
             }
             let parent_t = &mut parent[t];
-            let mut try_range = |layer: &mut Vec<f64>, s: usize, e: usize| {
-                if e <= s || e > run_hi {
-                    return;
-                }
-                let sc = base + unit.weight * ev.eval_node(&unit.query, s, e, None);
-                if sc > layer[e] {
-                    layer[e] = sc;
-                    parent_t[e] = (pe as u32, s as u32);
+            let try_range =
+                |layer: &mut Vec<f64>, parent_t: &mut Vec<(u32, u32)>, s: usize, e: usize| {
+                    if e <= s || e > run_hi {
+                        return;
+                    }
+                    let sc = base + unit.weight * ev.eval_unit(leaf, &unit.query, s, e);
+                    if sc > layer[e] {
+                        layer[e] = sc;
+                        parent_t[e] = (pe as u32, s as u32);
+                    }
+                };
+            // A leaf unit's whole candidate run `[s, s+1..=run_hi]` in
+            // one batched kernel pass; identical admission logic.
+            let try_run = |layer: &mut Vec<f64>,
+                           parent_t: &mut Vec<(u32, u32)>,
+                           run_scores: &mut Vec<f64>,
+                           l: SlopeLeaf,
+                           s: usize| {
+                ev.eval_leaf_run(l, s, s + 1, run_hi, run_scores);
+                for (off, &leaf_score) in run_scores.iter().enumerate() {
+                    let e = s + 1 + off;
+                    let sc = base + unit.weight * leaf_score;
+                    if sc > layer[e] {
+                        layer[e] = sc;
+                        parent_t[e] = (pe as u32, s as u32);
+                    }
                 }
             };
             match place {
@@ -124,7 +149,7 @@ pub(crate) fn solve_chain(
                         if e > run_hi {
                             break;
                         }
-                        try_range(&mut layer, s, e);
+                        try_range(&mut layer, parent_t, s, e);
                     }
                 }
                 Placement::Pinned { start, end } => {
@@ -137,22 +162,30 @@ pub(crate) fn solve_chain(
                         None => pe,
                     };
                     match end {
-                        Some(e) => try_range(&mut layer, s, e),
-                        None => {
-                            let e_lo = if last { run_hi } else { s + 1 };
-                            for e in e_lo..=run_hi {
-                                try_range(&mut layer, s, e);
+                        Some(e) => try_range(&mut layer, parent_t, s, e),
+                        None if last => try_range(&mut layer, parent_t, s, run_hi),
+                        None => match leaf {
+                            Some(l) => try_run(&mut layer, parent_t, &mut run_scores, l, s),
+                            None => {
+                                for e in (s + 1)..=run_hi {
+                                    try_range(&mut layer, parent_t, s, e);
+                                }
                             }
-                        }
+                        },
                     }
                 }
                 Placement::Fuzzy => {
                     let s = pe;
                     if last {
-                        try_range(&mut layer, s, n_last);
+                        try_range(&mut layer, parent_t, s, n_last);
                     } else {
-                        for e in (s + 1)..=run_hi {
-                            try_range(&mut layer, s, e);
+                        match leaf {
+                            Some(l) => try_run(&mut layer, parent_t, &mut run_scores, l, s),
+                            None => {
+                                for e in (s + 1)..=run_hi {
+                                    try_range(&mut layer, parent_t, s, e);
+                                }
+                            }
                         }
                     }
                 }

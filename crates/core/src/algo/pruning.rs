@@ -37,8 +37,22 @@ use crate::ast::{Pattern, ShapeQuery, ShapeSegment};
 use crate::engine::group::VizData;
 use crate::engine::observe::{EngineStage, StageObserver, NOOP_OBSERVER};
 use crate::score::{score_down, score_flat, score_theta, score_up, ScoreParams};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Budget of consecutive *non-pruning* bound computations a query's
+/// executors will pay before concluding the workload is unprunable and
+/// entering skip mode (any successful prune refills the budget in full).
+/// Sized so a prunable workload never skips — on one the budget refills
+/// long before it drains — while an unprunable one caps its bound
+/// overhead at roughly this many bound passes plus the probes below.
+const BOUND_CREDITS: i64 = 64;
+
+/// In skip mode, one candidate in this many still pays a probe bound so
+/// a regime change — the threshold has risen, or a run of weak
+/// candidates arrived — is noticed and full-rate bounding resumes (a
+/// probe that prunes refills the credit budget).
+const PROBE_STRIDE: u64 = 64;
 
 /// Configuration of the two-stage pruning driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +207,13 @@ pub struct ThresholdCell {
     hint: AtomicU64,
     hint_pruned: AtomicU64,
     pool: std::sync::Mutex<ScorePool>,
+    /// Remaining non-pruning bound computations before skip mode (see
+    /// [`BOUND_CREDITS`]). Shared like the threshold itself: once any
+    /// executor of the query proves the workload unprunable, all of them
+    /// stop paying for bounds.
+    bound_credits: AtomicI64,
+    /// Skip-mode candidate counter driving the [`PROBE_STRIDE`] probes.
+    probe_ticket: AtomicU64,
 }
 
 impl Default for ThresholdCell {
@@ -209,6 +230,34 @@ impl ThresholdCell {
             hint: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
             hint_pruned: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
             pool: std::sync::Mutex::new(ScorePool::default()),
+            bound_credits: AtomicI64::new(BOUND_CREDITS),
+            probe_ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the §6.3 bound pass is currently worth paying for: `true`
+    /// while credit remains, else `true` only for the periodic skip-mode
+    /// probe. Skipping the bound pass never changes results — an
+    /// unbounded candidate is simply scored in full, exactly as if its
+    /// bound had not pruned — so this is purely an overhead/benefit
+    /// trade, which is why a cheap racy heuristic is sound here.
+    fn bound_pass_admitted(&self) -> bool {
+        if self.bound_credits.load(Ordering::Relaxed) > 0 {
+            return true;
+        }
+        self.probe_ticket
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(PROBE_STRIDE)
+    }
+
+    /// Feeds one bound outcome back into the adaptive gate: a prune
+    /// refills the credit budget (the pass is paying for itself), a miss
+    /// drains one credit toward skip mode.
+    fn note_bound_outcome(&self, pruned: bool) {
+        if pruned {
+            self.bound_credits.store(BOUND_CREDITS, Ordering::Relaxed);
+        } else {
+            self.bound_credits.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
@@ -410,6 +459,15 @@ impl<'a> PruningDriver<'a> {
         if threshold == f64::NEG_INFINITY {
             return false;
         }
+        // Adaptive stop: when a sliding window of bounds has pruned
+        // nothing (a common-pattern workload where every candidate beats
+        // the threshold's reach), stop paying for the bound pass — clock
+        // reads plus bound arithmetic per candidate would otherwise cost
+        // more than the segmentation they fail to skip. Periodic probes
+        // resume full-rate bounding the moment pruning bites again.
+        if !self.cell.bound_pass_admitted() {
+            return false;
+        }
         let started = Instant::now();
         let (_, upper) = query_bounds(self.query, viz, self.params);
         let bound_micros = started.elapsed().as_micros() as u64;
@@ -420,7 +478,9 @@ impl<'a> PruningDriver<'a> {
         self.observer.stage(EngineStage::PruneBound, bound_micros);
         // Strictly below the threshold: even a tie could not displace
         // the k-th result, so the candidate is gone for good.
-        if upper < threshold {
+        let pruned = upper < threshold;
+        self.cell.note_bound_outcome(pruned);
+        if pruned {
             self.counters.pruned.fetch_add(1, Ordering::Relaxed);
             if upper >= self.cell.proven() {
                 // The proven component alone would not have pruned this:
@@ -777,6 +837,62 @@ mod tests {
         let debt = cell2.hint_pruned().expect("hint prune must be recorded");
         let (_, ub) = query_bounds(&q, &fall, &params);
         assert_eq!(debt, ub);
+    }
+
+    #[test]
+    fn unprunable_workload_stops_paying_for_bounds_but_keeps_probing() {
+        // A threshold no candidate falls below: every bound is a miss,
+        // so after BOUND_CREDITS misses the driver must go to skip mode
+        // and only probe every PROBE_STRIDE-th candidate.
+        let params = ScoreParams::default();
+        let q = ShapeQuery::up();
+        let cell = ThresholdCell::new();
+        let counters = PruningCounters::new();
+        let driver = PruningDriver::new(&q, &params, &cell, &counters, 1);
+        let rise = viz(
+            &(0..16).map(|t| (t as f64, t as f64)).collect::<Vec<_>>(),
+            0,
+        );
+        // Below rise's upper bound (score_up(1) = 0.5): never prunes.
+        driver.publish(0.2);
+        let candidates = 10_000u64;
+        for _ in 0..candidates {
+            assert!(!driver.try_prune(&rise), "nothing may prune here");
+        }
+        let bounded = counters.snapshot().bounded;
+        let ceiling = BOUND_CREDITS as u64 + candidates / PROBE_STRIDE + 1;
+        assert!(
+            bounded <= ceiling,
+            "skip mode must cap bound work: {bounded} bounds for {candidates} candidates (cap {ceiling})"
+        );
+        assert!(
+            bounded >= BOUND_CREDITS as u64,
+            "the credit window must be paid before skipping: {bounded}"
+        );
+
+        // A probe that prunes refills the budget: full-rate bounding
+        // resumes for the next credit window.
+        // A monotone fall normalizes onto canvas slope −1, so its upper
+        // bound (score_up(−1) = −0.5) sits strictly below the threshold.
+        let fall = viz(
+            &(0..16).map(|t| (t as f64, -(t as f64))).collect::<Vec<_>>(),
+            1,
+        );
+        let mut probe_pruned = false;
+        for _ in 0..PROBE_STRIDE {
+            if driver.try_prune(&fall) {
+                probe_pruned = true;
+                break;
+            }
+        }
+        assert!(probe_pruned, "a skip-mode probe must still prune");
+        let before = counters.snapshot().bounded;
+        assert!(!driver.try_prune(&rise));
+        assert_eq!(
+            counters.snapshot().bounded,
+            before + 1,
+            "a pruning probe must restore full-rate bounding"
+        );
     }
 
     #[test]

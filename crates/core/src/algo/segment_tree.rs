@@ -29,7 +29,7 @@
 
 use super::{best_over_chains, MatchResult, Segmenter};
 use crate::chain::{Chain, Unit};
-use crate::eval::{chain_score_with_positions, Evaluator};
+use crate::eval::{chain_score_with_positions, slope_leaf, Evaluator, SlopeLeaf};
 
 /// The SegmentTree segmenter.
 ///
@@ -62,12 +62,64 @@ impl Segmenter for SegmentTreeSegmenter {
     }
 }
 
+/// Chains up to this many units keep their break points inline in the
+/// node-table entry; longer chains (rare — `expand_chains` caps chains
+/// well before break lists get long) spill to the heap. Inline storage
+/// matters because the tree creates a few break lists per node per viz —
+/// heap-allocating each one dominated the scoring loop's profile.
+const INLINE_BREAKS: usize = 6;
+
+/// A break-point list with inline small-capacity storage.
+#[derive(Debug, Clone)]
+enum Breaks {
+    Inline { len: u8, buf: [u32; INLINE_BREAKS] },
+    Heap(Vec<u32>),
+}
+
+impl Breaks {
+    fn new() -> Self {
+        Self::Inline {
+            len: 0,
+            buf: [0; INLINE_BREAKS],
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Self::Inline { len, buf } => &buf[..*len as usize],
+            Self::Heap(v) => v,
+        }
+    }
+
+    fn push(&mut self, value: u32) {
+        match self {
+            Self::Inline { len, buf } if (*len as usize) < INLINE_BREAKS => {
+                buf[*len as usize] = value;
+                *len += 1;
+            }
+            Self::Inline { len, buf } => {
+                let mut v = Vec::with_capacity(*len as usize + 1);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.push(value);
+                *self = Self::Heap(v);
+            }
+            Self::Heap(v) => v.push(value),
+        }
+    }
+
+    fn extend_from_slice(&mut self, values: &[u32]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+}
+
 /// One stored placement: the partial weighted score and the unit-boundary
 /// points strictly inside the covered range.
 #[derive(Debug, Clone)]
 struct Entry {
     score: f64,
-    breaks: Vec<u32>,
+    breaks: Breaks,
 }
 
 /// Per-node table of best entries, indexed by sub-chain (l, r).
@@ -76,12 +128,23 @@ struct NodeTable {
     entries: Vec<Option<Entry>>,
 }
 
+/// Recycles node-table entry buffers across the recursion: a tree over n
+/// points creates ~2n tables, and taking the buffers from a pool instead
+/// of the allocator keeps the combine loop allocation-free once the pool
+/// warms up (two buffers per recursion level).
+type TablePool = Vec<Vec<Option<Entry>>>;
+
 impl NodeTable {
-    fn new(k: usize) -> Self {
-        Self {
-            k,
-            entries: vec![None; (k + 1) * (k + 1)],
-        }
+    fn new(k: usize, pool: &mut TablePool) -> Self {
+        let mut entries = pool.pop().unwrap_or_default();
+        entries.clear();
+        entries.resize((k + 1) * (k + 1), None);
+        Self { k, entries }
+    }
+
+    /// Returns the entry buffer to the pool for reuse.
+    fn recycle(self, pool: &mut TablePool) {
+        pool.push(self.entries);
     }
 
     fn get(&self, l: usize, r: usize) -> Option<&Entry> {
@@ -172,7 +235,7 @@ fn solve_hybrid(ev: &Evaluator<'_>, chain: &Chain, bridges: bool) -> MatchResult
             {
                 return MatchResult::infeasible();
             }
-            score += unit.weight * ev.eval_node(&unit.query, s, e, None);
+            score += unit.weight * ev.eval_unit(slope_leaf(&unit.query), &unit.query, s, e);
             ranges.push((s, e));
             prev_end = e;
         } else {
@@ -199,11 +262,13 @@ fn tree_range(
     if k == 0 || hi <= lo || hi - lo < k {
         return None;
     }
-    let table = solve_node(ev, units, lo, hi, bridges);
+    let leaves: Vec<Option<SlopeLeaf>> = units.iter().map(|u| slope_leaf(&u.query)).collect();
+    let mut pool = TablePool::new();
+    let table = solve_node(ev, units, &leaves, lo, hi, bridges, &mut pool);
     let entry = table.get(0, k)?;
     let mut ranges = Vec::with_capacity(k);
     let mut start = lo;
-    for (t, &b) in entry.breaks.iter().enumerate() {
+    for (t, &b) in entry.breaks.as_slice().iter().enumerate() {
         debug_assert!(t < k - 1);
         ranges.push((start, b as usize));
         start = b as usize;
@@ -217,12 +282,14 @@ fn tree_range(
 fn solve_node(
     ev: &Evaluator<'_>,
     units: &[Unit],
+    leaves: &[Option<SlopeLeaf>],
     lo: usize,
     hi: usize,
     bridges: bool,
+    pool: &mut TablePool,
 ) -> NodeTable {
     let k = units.len();
-    let mut table = NodeTable::new(k);
+    let mut table = NodeTable::new(k, pool);
     let intervals = hi - lo;
 
     // Direct single-unit entries: unit t spans the whole node range.
@@ -231,8 +298,8 @@ fn solve_node(
             t,
             t + 1,
             Entry {
-                score: u.weight * ev.eval_node(&u.query, lo, hi, None),
-                breaks: Vec::new(),
+                score: u.weight * ev.eval_unit(leaves[t], &u.query, lo, hi),
+                breaks: Breaks::new(),
             },
         );
     }
@@ -241,8 +308,8 @@ fn solve_node(
     }
 
     let mid = lo + intervals / 2;
-    let left = solve_node(ev, units, lo, mid, bridges);
-    let right = solve_node(ev, units, mid, hi, bridges);
+    let left = solve_node(ev, units, leaves, lo, mid, bridges, pool);
+    let right = solve_node(ev, units, leaves, mid, hi, bridges, pool);
 
     for len in 2..=k.min(intervals) {
         for l in 0..=(k - len) {
@@ -252,10 +319,10 @@ fn solve_node(
                 let (Some(le), Some(re)) = (left.get(l, m), right.get(m, r)) else {
                     continue;
                 };
-                let mut breaks = Vec::with_capacity(len - 1);
-                breaks.extend_from_slice(&le.breaks);
+                let mut breaks = Breaks::new();
+                breaks.extend_from_slice(le.breaks.as_slice());
                 breaks.push(mid as u32);
-                breaks.extend_from_slice(&re.breaks);
+                breaks.extend_from_slice(re.breaks.as_slice());
                 table.set_max(
                     l,
                     r,
@@ -275,16 +342,17 @@ fn solve_node(
                     continue;
                 };
                 // Unit b's sub-ranges in each child.
-                let left_start = le.breaks.last().map_or(lo, |&x| x as usize);
-                let right_end = re.breaks.first().map_or(hi, |&x| x as usize);
+                let left_start = le.breaks.as_slice().last().map_or(lo, |&x| x as usize);
+                let right_end = re.breaks.as_slice().first().map_or(hi, |&x| x as usize);
                 let w = units[b].weight;
                 let q = &units[b].query;
-                let old_left = w * ev.eval_node(q, left_start, mid, None);
-                let old_right = w * ev.eval_node(q, mid, right_end, None);
-                let merged = w * ev.eval_node(q, left_start, right_end, None);
-                let mut breaks = Vec::with_capacity(len - 1);
-                breaks.extend_from_slice(&le.breaks);
-                breaks.extend_from_slice(&re.breaks);
+                let leaf = leaves[b];
+                let old_left = w * ev.eval_unit(leaf, q, left_start, mid);
+                let old_right = w * ev.eval_unit(leaf, q, mid, right_end);
+                let merged = w * ev.eval_unit(leaf, q, left_start, right_end);
+                let mut breaks = Breaks::new();
+                breaks.extend_from_slice(le.breaks.as_slice());
+                breaks.extend_from_slice(re.breaks.as_slice());
                 table.set_max(
                     l,
                     r,
@@ -296,6 +364,8 @@ fn solve_node(
             }
         }
     }
+    left.recycle(pool);
+    right.recycle(pool);
     table
 }
 

@@ -1,0 +1,558 @@
+//! Columnar (structure-of-arrays) GROUP state and batched window kernels.
+//!
+//! The per-viz `Vec`-of-structs [`StatsIndex`](crate::stats::StatsIndex)
+//! answers one range query at a time through struct fields that sit 40
+//! bytes apart in memory. The scoring hot path, however, asks the same
+//! question for *runs* of candidate windows — every DP inner loop, every
+//! quantifier scan, and the GROUP-time slope extremes walk adjacent
+//! windows in order. [`ColumnarArena`] stores the whole collection's
+//! post-GROUP state as contiguous columns (`xs`, `ys`, and the prefix
+//! sums `sum_x`/`sum_y`/`sum_xy`/`sum_xx` of §5.3's summarized
+//! statistics) so those runs become branch-light streaming loops over
+//! flat `f64` slices — the shape the compiler auto-vectorizes without
+//! any intrinsics (the `#[ignore]`d `kernel_throughput` test keeps the
+//! claim honest).
+//!
+//! ## Bit-for-bit contract
+//!
+//! Every kernel reproduces the scalar reference arithmetic exactly:
+//! prefix columns are accumulated in the same operation order as
+//! [`StatsIndex::new`](crate::stats::StatsIndex::new), range statistics
+//! are the same per-field `hi − lo` subtraction, and slopes apply
+//! [`SummaryStats::slope`](crate::stats::SummaryStats::slope)'s guards
+//! (`n < 2` and `|denom| < 1e-12` → 0) with identical operand order. The
+//! same IEEE operations in the same order produce the same bits, so an
+//! engine running on columnar state returns byte-identical `top_k*`
+//! results to the per-viz index it replaced (`tests/columnar_prop.rs`
+//! asserts this across segmenters and shard counts).
+//!
+//! ## Memory layout
+//!
+//! One arena holds V visualizations totalling P canvas points:
+//!
+//! ```text
+//! xs, ys                len P      point t of viz v at point_starts[v] + t
+//! sum_x … sum_xx        len P + V  prefix sums, one leading 0 per viz
+//! point_starts          len V + 1  per-viz point offsets
+//! slope_min, slope_max  len V     GROUP-time interval-slope extremes
+//! ```
+//!
+//! The prefix columns carry one extra leading zero per viz (the empty
+//! prefix), so viz `v`'s prefix run starts at `point_starts[v] + v` and
+//! holds `n + 1` entries. Statistics over the inclusive point range
+//! `[i, j]` are then a per-column `prefix[j + 1] − prefix[i]` — O(1),
+//! with the four subtractions sitting in four independent streams.
+//!
+//! This layout is also the planned on-disk snapshot format for the
+//! bigger-than-RAM roadmap item: six flat `f64` columns plus one offset
+//! column mmap directly, with no pointer fix-up.
+
+use crate::stats::SummaryStats;
+use std::fmt;
+
+/// Structure-of-arrays GROUP output for a whole collection: contiguous
+/// coordinate and prefix-statistic columns shared (via `Arc`) by every
+/// [`VizData`](crate::engine::group::VizData) handle cut from it.
+#[derive(Clone, Default)]
+pub struct ColumnarArena {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    sum_x: Vec<f64>,
+    sum_y: Vec<f64>,
+    sum_xy: Vec<f64>,
+    sum_xx: Vec<f64>,
+    point_starts: Vec<usize>,
+    slope_min: Vec<f64>,
+    slope_max: Vec<f64>,
+}
+
+impl fmt::Debug for ColumnarArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ColumnarArena")
+            .field("vizzes", &self.viz_count())
+            .field("points", &self.xs.len())
+            .finish()
+    }
+}
+
+impl ColumnarArena {
+    /// Number of visualizations in the arena.
+    pub fn viz_count(&self) -> usize {
+        self.point_starts.len().saturating_sub(1)
+    }
+
+    /// Total canvas points across all visualizations.
+    pub fn point_count(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Number of canvas points in viz `slot`.
+    pub fn n(&self, slot: usize) -> usize {
+        self.point_starts[slot + 1] - self.point_starts[slot]
+    }
+
+    /// Canvas x coordinates of viz `slot`.
+    pub fn xs(&self, slot: usize) -> &[f64] {
+        &self.xs[self.point_starts[slot]..self.point_starts[slot + 1]]
+    }
+
+    /// Canvas y coordinates of viz `slot`.
+    pub fn ys(&self, slot: usize) -> &[f64] {
+        &self.ys[self.point_starts[slot]..self.point_starts[slot + 1]]
+    }
+
+    /// GROUP-time `(min, max)` of viz `slot`'s adjacent-interval slopes
+    /// (the §6.3 bound inputs).
+    pub fn slope_extent(&self, slot: usize) -> (f64, f64) {
+        (self.slope_min[slot], self.slope_max[slot])
+    }
+
+    /// Start of viz `slot`'s prefix run: each earlier viz contributes
+    /// its points plus one leading zero entry.
+    #[inline]
+    fn prefix_start(&self, slot: usize) -> usize {
+        self.point_starts[slot] + slot
+    }
+
+    /// Summarized statistics over the inclusive point range `[i, j]` of
+    /// viz `slot` — the same per-field subtraction as
+    /// [`StatsIndex::range`](crate::stats::StatsIndex::range), so the
+    /// result is bit-identical.
+    ///
+    /// # Panics
+    /// Panics when `j < i` (debug) or `j` is out of bounds.
+    #[inline]
+    pub fn range_stats(&self, slot: usize, i: usize, j: usize) -> SummaryStats {
+        debug_assert!(i <= j, "range [{i}, {j}] is inverted");
+        let p = self.prefix_start(slot);
+        let (lo, hi) = (p + i, p + j + 1);
+        debug_assert!(hi <= self.prefix_start(slot) + self.n(slot));
+        SummaryStats {
+            sx: self.sum_x[hi] - self.sum_x[lo],
+            sy: self.sum_y[hi] - self.sum_y[lo],
+            sxy: self.sum_xy[hi] - self.sum_xy[lo],
+            sxx: self.sum_xx[hi] - self.sum_xx[lo],
+            n: (j + 1 - i) as u32,
+        }
+    }
+
+    /// Fitted slope over the inclusive point range `[i, j]` of viz
+    /// `slot` (bit-identical to
+    /// [`StatsIndex::slope`](crate::stats::StatsIndex::slope)).
+    #[inline]
+    pub fn slope(&self, slot: usize, i: usize, j: usize) -> f64 {
+        self.range_stats(slot, i, j).slope()
+    }
+
+    /// Batched kernel: the fitted slope of every adjacent-point window
+    /// `[t, t+1]` of viz `slot`, appended to `out` (cleared first).
+    ///
+    /// Window statistics are `prefix[t+2] − prefix[t]` per column and
+    /// `n = 2` is constant, so the scalar guard `n < 2` vanishes and the
+    /// loop body is a handful of independent mul/subs plus one select —
+    /// exactly the shape LLVM turns into SIMD lanes.
+    pub fn interval_slopes(&self, slot: usize, out: &mut Vec<f64>) {
+        let n = self.n(slot);
+        if n < 2 {
+            out.clear();
+            return;
+        }
+        self.interval_slopes_in(slot, 0, n - 1, out);
+    }
+
+    /// [`Self::interval_slopes`] restricted to windows `[t, t+1]` for
+    /// `t` in `lo..hi` (so the last window is `[hi-1, hi]`), appended to
+    /// `out` (cleared first) — the quantifier scan's candidate set.
+    pub fn interval_slopes_in(&self, slot: usize, lo: usize, hi: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if hi <= lo {
+            return;
+        }
+        debug_assert!(hi < self.n(slot));
+        let p = self.prefix_start(slot);
+        let sx = &self.sum_x[p + lo..p + hi + 2];
+        let sy = &self.sum_y[p + lo..p + hi + 2];
+        let sxy = &self.sum_xy[p + lo..p + hi + 2];
+        let sxx = &self.sum_xx[p + lo..p + hi + 2];
+        out.reserve(hi - lo);
+        out.extend(
+            sx.windows(3)
+                .zip(sy.windows(3))
+                .zip(sxy.windows(3).zip(sxx.windows(3)))
+                .map(|((wx, wy), (wxy, wxx))| {
+                    let dsx = wx[2] - wx[0];
+                    let dsy = wy[2] - wy[0];
+                    let dsxy = wxy[2] - wxy[0];
+                    let dsxx = wxx[2] - wxx[0];
+                    let denom = 2.0 * dsxx - dsx * dsx;
+                    let num = 2.0 * dsxy - dsx * dsy;
+                    let slope = num / denom;
+                    if denom.abs() < 1e-12 {
+                        0.0
+                    } else {
+                        slope
+                    }
+                }),
+        );
+    }
+
+    /// Batched kernel: fitted slopes of the anchored window run
+    /// `[s, e]` for every end `e` in `e_lo..=e_hi` of viz `slot`,
+    /// appended to `out` (cleared first) — a DP inner loop's whole
+    /// candidate set in one streaming pass over the prefix columns.
+    ///
+    /// The start-side statistics are loop-invariant scalars; per lane
+    /// only the four end-side loads vary, and both scalar guards become
+    /// selects.
+    pub fn window_slopes(
+        &self,
+        slot: usize,
+        s: usize,
+        e_lo: usize,
+        e_hi: usize,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if e_hi < e_lo {
+            return;
+        }
+        debug_assert!(s <= e_lo && e_hi < self.n(slot));
+        let p = self.prefix_start(slot);
+        let (lo_x, lo_y) = (self.sum_x[p + s], self.sum_y[p + s]);
+        let (lo_xy, lo_xx) = (self.sum_xy[p + s], self.sum_xx[p + s]);
+        let (hb, he) = (p + e_lo + 1, p + e_hi + 2);
+        let sx = &self.sum_x[hb..he];
+        let sy = &self.sum_y[hb..he];
+        let sxy = &self.sum_xy[hb..he];
+        let sxx = &self.sum_xx[hb..he];
+        let n0 = (e_lo + 1 - s) as f64;
+        out.reserve(e_hi - e_lo + 1);
+        out.extend(sx.iter().zip(sy).zip(sxy.iter().zip(sxx)).enumerate().map(
+            |(idx, ((&hx, &hy), (&hxy, &hxx)))| {
+                let nf = n0 + idx as f64;
+                let dsx = hx - lo_x;
+                let dsy = hy - lo_y;
+                let dsxy = hxy - lo_xy;
+                let dsxx = hxx - lo_xx;
+                let denom = nf * dsxx - dsx * dsx;
+                let num = nf * dsxy - dsx * dsy;
+                let slope = num / denom;
+                if nf < 2.0 || denom.abs() < 1e-12 {
+                    0.0
+                } else {
+                    slope
+                }
+            },
+        ));
+    }
+}
+
+/// Incremental [`ColumnarArena`] construction: one `push_viz` per
+/// GROUP'd visualization, in slot order.
+#[derive(Debug, Default)]
+pub struct ArenaBuilder {
+    arena: ColumnarArena,
+}
+
+impl ArenaBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        let mut arena = ColumnarArena::default();
+        arena.point_starts.push(0);
+        Self { arena }
+    }
+
+    /// A builder pre-sized for `points` total canvas points across
+    /// `vizzes` visualizations.
+    pub fn with_capacity(vizzes: usize, points: usize) -> Self {
+        let mut b = Self::new();
+        let a = &mut b.arena;
+        a.xs.reserve(points);
+        a.ys.reserve(points);
+        for col in [&mut a.sum_x, &mut a.sum_y, &mut a.sum_xy, &mut a.sum_xx] {
+            col.reserve(points + vizzes);
+        }
+        a.point_starts.reserve(vizzes);
+        a.slope_min.reserve(vizzes);
+        a.slope_max.reserve(vizzes);
+        b
+    }
+
+    /// Appends one visualization's canvas points, returning its slot.
+    ///
+    /// Prefix sums accumulate per column in the same operation order as
+    /// [`StatsIndex::new`](crate::stats::StatsIndex::new) (`acc + x`,
+    /// `acc + y`, `acc + x·y`, `acc + x·x` per point, after a leading
+    /// zero), so every downstream range query is bit-identical to the
+    /// scalar index.
+    ///
+    /// # Panics
+    /// Panics when `xs` and `ys` differ in length.
+    pub fn push_viz(&mut self, xs: &[f64], ys: &[f64]) -> usize {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must align");
+        let a = &mut self.arena;
+        let slot = a.point_starts.len() - 1;
+        a.xs.extend_from_slice(xs);
+        a.ys.extend_from_slice(ys);
+        let (mut ax, mut ay, mut axy, mut axx) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        a.sum_x.push(0.0);
+        a.sum_y.push(0.0);
+        a.sum_xy.push(0.0);
+        a.sum_xx.push(0.0);
+        for (&x, &y) in xs.iter().zip(ys) {
+            ax += x;
+            ay += y;
+            axy += x * y;
+            axx += x * x;
+            a.sum_x.push(ax);
+            a.sum_y.push(ay);
+            a.sum_xy.push(axy);
+            a.sum_xx.push(axx);
+        }
+        a.point_starts.push(a.xs.len());
+        // GROUP-time slope extremes straight off the fresh prefix run.
+        let mut scratch = Vec::new();
+        a.interval_slopes(slot, &mut scratch);
+        // NaN-propagating fold: `f64::min`/`max` would *ignore* a NaN
+        // interval slope and hand pruning a finite bound for a viz whose
+        // actual score is NaN — which `total_cmp` ranks above every real
+        // score, so pruning it would change the top-k. A NaN extent makes
+        // every derived bound NaN and the viz unprunable.
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut saw_nan = false;
+        for &s in &scratch {
+            saw_nan |= s.is_nan();
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        if saw_nan {
+            lo = f64::NAN;
+            hi = f64::NAN;
+        }
+        a.slope_min.push(lo);
+        a.slope_max.push(hi);
+        slot
+    }
+
+    /// Finalizes the arena.
+    pub fn finish(self) -> ColumnarArena {
+        self.arena
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StatsIndex;
+
+    fn demo_series(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) - 1.0
+        };
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+        let mut y = 0.0;
+        let ys: Vec<f64> = (0..n)
+            .map(|_| {
+                y += next();
+                y
+            })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn range_stats_match_stats_index_bit_for_bit() {
+        let mut b = ArenaBuilder::new();
+        let mut refs = Vec::new();
+        for (seed, n) in [(1u64, 2usize), (7, 13), (42, 48)] {
+            let (xs, ys) = demo_series(seed, n);
+            b.push_viz(&xs, &ys);
+            refs.push(StatsIndex::new(&xs, &ys));
+        }
+        let a = b.finish();
+        assert_eq!(a.viz_count(), 3);
+        for (slot, idx) in refs.iter().enumerate() {
+            let n = a.n(slot);
+            assert_eq!(n, idx.len());
+            for i in 0..n {
+                for j in i..n {
+                    let want = idx.range(i, j);
+                    let got = a.range_stats(slot, i, j);
+                    assert_eq!(want.sx.to_bits(), got.sx.to_bits());
+                    assert_eq!(want.sy.to_bits(), got.sy.to_bits());
+                    assert_eq!(want.sxy.to_bits(), got.sxy.to_bits());
+                    assert_eq!(want.sxx.to_bits(), got.sxx.to_bits());
+                    assert_eq!(want.n, got.n);
+                    assert_eq!(
+                        idx.slope(i, j).to_bits(),
+                        a.slope(slot, i, j).to_bits(),
+                        "slot {slot} [{i}, {j}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_and_window_kernels_match_scalar_reference() {
+        let (xs, ys) = demo_series(9, 48);
+        let idx = StatsIndex::new(&xs, &ys);
+        let mut b = ArenaBuilder::new();
+        let slot = b.push_viz(&xs, &ys);
+        let a = b.finish();
+        let mut out = Vec::new();
+        a.interval_slopes(slot, &mut out);
+        assert_eq!(out.len(), 47);
+        for (t, &got) in out.iter().enumerate() {
+            assert_eq!(got.to_bits(), idx.slope(t, t + 1).to_bits(), "interval {t}");
+        }
+        for s in [0usize, 3, 20] {
+            a.window_slopes(slot, s, s + 1, 47, &mut out);
+            for (k, &got) in out.iter().enumerate() {
+                let e = s + 1 + k;
+                assert_eq!(
+                    got.to_bits(),
+                    idx.slope(s, e).to_bits(),
+                    "window [{s}, {e}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_windows_report_zero_like_the_scalar_path() {
+        // Duplicate x values make the denominator collapse below 1e-12.
+        let xs = [0.5, 0.5, 0.5];
+        let ys = [0.0, 1.0, 2.0];
+        let idx = StatsIndex::new(&xs, &ys);
+        let mut b = ArenaBuilder::new();
+        let slot = b.push_viz(&xs, &ys);
+        let a = b.finish();
+        let mut out = Vec::new();
+        a.interval_slopes(slot, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+        a.window_slopes(slot, 0, 1, 2, &mut out);
+        assert_eq!(out[0].to_bits(), idx.slope(0, 1).to_bits());
+        assert_eq!(out[1].to_bits(), idx.slope(0, 2).to_bits());
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn nan_inputs_propagate_identically() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [0.0, f64::NAN, 1.0];
+        let idx = StatsIndex::new(&xs, &ys);
+        let mut b = ArenaBuilder::new();
+        let slot = b.push_viz(&xs, &ys);
+        let a = b.finish();
+        for i in 0..3 {
+            for j in i..3 {
+                assert_eq!(
+                    idx.slope(i, j).to_bits(),
+                    a.slope(slot, i, j).to_bits(),
+                    "[{i}, {j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slope_extent_matches_group_time_extremes() {
+        let (xs, ys) = demo_series(33, 30);
+        let idx = StatsIndex::new(&xs, &ys);
+        let mut b = ArenaBuilder::new();
+        let slot = b.push_viz(&xs, &ys);
+        let a = b.finish();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for t in 0..29 {
+            let s = idx.slope(t, t + 1);
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        assert_eq!(a.slope_extent(slot), (lo, hi));
+    }
+
+    #[test]
+    fn empty_arena_and_empty_runs_are_fine() {
+        let a = ArenaBuilder::new().finish();
+        assert_eq!(a.viz_count(), 0);
+        assert_eq!(a.point_count(), 0);
+        let mut b = ArenaBuilder::with_capacity(1, 2);
+        let slot = b.push_viz(&[0.0, 1.0], &[0.0, 1.0]);
+        let a = b.finish();
+        let mut out = vec![1.0];
+        a.window_slopes(slot, 0, 1, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// The honesty check for the "auto-vectorizes" claim: measures the
+    /// batched kernels against the scalar `StatsIndex` reference on a
+    /// perf_report-sized collection. The bitwise-equivalence assertions
+    /// gate; the printed points/sec throughput is informational (run
+    /// with `--ignored --nocapture`, ideally `--release`).
+    #[test]
+    #[ignore = "throughput measurement; run explicitly with --ignored --nocapture"]
+    fn kernel_throughput() {
+        const VIZZES: usize = 1228;
+        const POINTS: usize = 48;
+        const PASSES: usize = 40;
+        let mut b = ArenaBuilder::with_capacity(VIZZES, VIZZES * POINTS);
+        let mut refs = Vec::with_capacity(VIZZES);
+        for v in 0..VIZZES {
+            let (xs, ys) = demo_series(v as u64 + 1, POINTS);
+            b.push_viz(&xs, &ys);
+            refs.push(StatsIndex::new(&xs, &ys));
+        }
+        let a = b.finish();
+
+        // Gating: every window the throughput loop touches is bitwise
+        // equal between the batched kernel and the scalar reference.
+        let mut out = Vec::new();
+        for (slot, idx) in refs.iter().enumerate() {
+            a.window_slopes(slot, 0, 1, POINTS - 1, &mut out);
+            for (k, &got) in out.iter().enumerate() {
+                assert_eq!(got.to_bits(), idx.slope(0, k + 1).to_bits());
+            }
+            a.interval_slopes(slot, &mut out);
+            for (t, &got) in out.iter().enumerate() {
+                assert_eq!(got.to_bits(), idx.slope(t, t + 1).to_bits());
+            }
+        }
+
+        // Non-gating: windows/sec, columnar vs scalar.
+        let mut sink = 0.0f64;
+        let started = std::time::Instant::now();
+        for _ in 0..PASSES {
+            for slot in 0..VIZZES {
+                for s in 0..POINTS - 1 {
+                    a.window_slopes(slot, s, s + 1, POINTS - 1, &mut out);
+                    sink += out.iter().sum::<f64>();
+                }
+            }
+        }
+        let columnar = started.elapsed();
+        let started = std::time::Instant::now();
+        for _ in 0..PASSES {
+            for idx in &refs {
+                for s in 0..POINTS - 1 {
+                    for e in s + 1..POINTS {
+                        sink += idx.slope(s, e);
+                    }
+                }
+            }
+        }
+        let scalar = started.elapsed();
+        let windows = (PASSES * VIZZES * (POINTS - 1) * POINTS / 2) as f64;
+        eprintln!(
+            "kernel_throughput: columnar {:.1}M windows/s, scalar {:.1}M windows/s \
+             (ratio {:.2}, sink {sink:.3})",
+            windows / columnar.as_secs_f64() / 1e6,
+            windows / scalar.as_secs_f64() / 1e6,
+            scalar.as_secs_f64() / columnar.as_secs_f64(),
+        );
+    }
+}

@@ -9,6 +9,13 @@
 //! summarized statistics so any sub-range's fitted line is O(1)
 //! (Theorem 5.1).
 //!
+//! The prefix statistics live in a shared structure-of-arrays
+//! [`ColumnarArena`] (see [`crate::columnar`]): [`group_collection`]
+//! GROUPs a whole collection into one arena and every [`VizData`] is an
+//! `Arc`-shared handle (slot + offsets) into it, which is what lets the
+//! scoring kernels stream over contiguous columns instead of chasing
+//! per-viz `Vec`s.
+//!
 //! Push-down optimization (c) of §5.4 is supported via
 //! [`VizData::from_trendline_restricted`]: statistics are computed only over
 //! the x ranges the query references.
@@ -20,24 +27,22 @@
 //! z-normalization for slope-based scoring while keeping raw coordinate
 //! mappings available for y-location constraints.
 
-use crate::stats::StatsIndex;
+use crate::columnar::{ArenaBuilder, ColumnarArena};
+use crate::stats::SummaryStats;
 use shapesearch_datastore::Trendline;
+use std::sync::Arc;
 
-/// A candidate visualization prepared for segmentation and scoring.
+/// A candidate visualization prepared for segmentation and scoring: an
+/// `Arc`-shared handle into a [`ColumnarArena`] slot plus the per-viz
+/// scalars scoring needs (raw extents, slope extremes, source index).
 #[derive(Debug, Clone)]
 pub struct VizData {
     /// The `z` value identifying the visualization.
     pub key: String,
-    /// Canvas x coordinates in `[0, 1]`, ascending.
-    pub xs: Vec<f64>,
-    /// Canvas y coordinates in `[0, 1]`.
-    pub ys: Vec<f64>,
     /// Raw x domain (min, max) for mapping query literals.
     pub raw_x: (f64, f64),
     /// Raw y domain (min, max).
     pub raw_y: (f64, f64),
-    /// Prefix summarized statistics over the canvas coordinates.
-    pub stats: StatsIndex,
     /// Smallest slope among the intervals between adjacent canvas points
     /// (the leaf level of the SegmentTree). Cached at GROUP time from the
     /// prefix sums so the §6.3 score bounds are O(1) per query: any merged
@@ -49,6 +54,49 @@ pub struct VizData {
     pub slope_max: f64,
     /// Index of the source trendline in the engine's collection.
     pub source: usize,
+    arena: Arc<ColumnarArena>,
+    slot: usize,
+}
+
+/// The normalized canvas points of one trendline, pre-arena.
+struct Normalized {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    raw_x: (f64, f64),
+    raw_y: (f64, f64),
+}
+
+/// GROUPs a whole collection into **one shared arena**: every returned
+/// [`VizData`] handle (index = source index; `None` where GROUP rejects
+/// the trendline) points into the same `Arc`-shared columns. This is the
+/// engine's batch/cached GROUP path — per-viz construction stays
+/// available via [`VizData::from_trendline`], which builds a one-slot
+/// arena with identical bits.
+pub fn group_collection(trendlines: &[Trendline], bin: usize) -> Vec<Option<VizData>> {
+    let parts: Vec<Option<Normalized>> =
+        trendlines.iter().map(|t| normalize(t, bin, None)).collect();
+    let points = parts.iter().flatten().map(|p| p.xs.len()).sum::<usize>();
+    let mut builder = ArenaBuilder::with_capacity(trendlines.len(), points);
+    let slots: Vec<Option<usize>> = parts
+        .iter()
+        .map(|p| p.as_ref().map(|p| builder.push_viz(&p.xs, &p.ys)))
+        .collect();
+    let arena = Arc::new(builder.finish());
+    parts
+        .into_iter()
+        .zip(slots)
+        .enumerate()
+        .map(|(source, (part, slot))| {
+            let (part, slot) = (part?, slot?);
+            Some(VizData::from_slot(
+                trendlines[source].key.clone(),
+                part,
+                source,
+                &arena,
+                slot,
+            ))
+        })
+        .collect()
 }
 
 impl VizData {
@@ -77,69 +125,79 @@ impl VizData {
         bin: usize,
         restrict: Option<&[(f64, f64)]>,
     ) -> Option<Self> {
-        if t.points.len() < 2 {
-            return None;
-        }
-        let bin = bin.max(1);
-        let raw_x = extent(t.points.iter().map(|p| p.x));
-        let raw_y = extent(t.points.iter().map(|p| p.y));
-        let x_span = span(raw_x);
-        let y_span = span(raw_y);
+        let part = normalize(t, bin, restrict)?;
+        let mut builder = ArenaBuilder::with_capacity(1, part.xs.len());
+        let slot = builder.push_viz(&part.xs, &part.ys);
+        let arena = Arc::new(builder.finish());
+        Some(Self::from_slot(t.key.clone(), part, source, &arena, slot))
+    }
 
-        let mut xs = Vec::with_capacity(t.points.len() / bin + 1);
-        let mut ys = Vec::with_capacity(xs.capacity());
-        let mut chunk_x = 0.0;
-        let mut chunk_y = 0.0;
-        let mut chunk_n = 0usize;
-        for p in &t.points {
-            if let Some(ranges) = restrict {
-                if !ranges.iter().any(|&(lo, hi)| p.x >= lo && p.x <= hi) {
-                    continue;
-                }
-            }
-            chunk_x += (p.x - raw_x.0) / x_span;
-            chunk_y += (p.y - raw_y.0) / y_span;
-            chunk_n += 1;
-            if chunk_n == bin {
-                xs.push(chunk_x / bin as f64);
-                ys.push(chunk_y / bin as f64);
-                chunk_x = 0.0;
-                chunk_y = 0.0;
-                chunk_n = 0;
-            }
-        }
-        if chunk_n > 0 {
-            xs.push(chunk_x / chunk_n as f64);
-            ys.push(chunk_y / chunk_n as f64);
-        }
-        if xs.len() < 2 {
-            return None;
-        }
-        let stats = StatsIndex::new(&xs, &ys);
-        let (slope_min, slope_max) = slope_extent(&stats);
-        Some(Self {
-            key: t.key.clone(),
-            xs,
-            ys,
-            raw_x,
-            raw_y,
-            stats,
+    fn from_slot(
+        key: String,
+        part: Normalized,
+        source: usize,
+        arena: &Arc<ColumnarArena>,
+        slot: usize,
+    ) -> Self {
+        let (slope_min, slope_max) = arena.slope_extent(slot);
+        Self {
+            key,
+            raw_x: part.raw_x,
+            raw_y: part.raw_y,
             slope_min,
             slope_max,
             source,
-        })
+            arena: Arc::clone(arena),
+            slot,
+        }
     }
 
     /// Number of canvas points.
     pub fn n(&self) -> usize {
-        self.xs.len()
+        self.arena.n(self.slot)
+    }
+
+    /// Canvas x coordinates in `[0, 1]`, ascending.
+    pub fn xs(&self) -> &[f64] {
+        self.arena.xs(self.slot)
+    }
+
+    /// Canvas y coordinates in `[0, 1]`.
+    pub fn ys(&self) -> &[f64] {
+        self.arena.ys(self.slot)
+    }
+
+    /// Fitted slope over the inclusive canvas point range `[i, j]`
+    /// (O(1) from the prefix columns).
+    #[inline]
+    pub fn slope(&self, i: usize, j: usize) -> f64 {
+        self.arena.slope(self.slot, i, j)
+    }
+
+    /// Summarized statistics over the inclusive canvas point range
+    /// `[i, j]`.
+    #[inline]
+    pub fn range_stats(&self, i: usize, j: usize) -> SummaryStats {
+        self.arena.range_stats(self.slot, i, j)
+    }
+
+    /// The shared column arena this visualization lives in (for the
+    /// batched window kernels).
+    pub fn arena(&self) -> &ColumnarArena {
+        &self.arena
+    }
+
+    /// This visualization's slot in [`Self::arena`].
+    pub fn slot(&self) -> usize {
+        self.slot
     }
 
     /// A coarsened copy with at most `target_points` points (§6.3's "a
     /// DP-based scoring on a subset of points distributed uniformly across
     /// the visualization"; the engine's pruning driver now scores its
     /// stage-1 sample exactly so the threshold stays a proven bound, but
-    /// coarsening remains available for approximate embedders).
+    /// coarsening remains available for approximate embedders). The copy
+    /// owns a fresh one-slot arena.
     pub fn coarsened(&self, target_points: usize) -> VizData {
         let target = target_points.max(2);
         if self.n() <= target {
@@ -148,24 +206,26 @@ impl VizData {
         let bin = self.n().div_ceil(target);
         let mut xs = Vec::with_capacity(target);
         let mut ys = Vec::with_capacity(target);
-        for chunk in self.xs.chunks(bin).zip(self.ys.chunks(bin)) {
+        for chunk in self.xs().chunks(bin).zip(self.ys().chunks(bin)) {
             let (cx, cy) = chunk;
             xs.push(cx.iter().sum::<f64>() / cx.len() as f64);
             ys.push(cy.iter().sum::<f64>() / cy.len() as f64);
         }
-        let stats = StatsIndex::new(&xs, &ys);
-        let (slope_min, slope_max) = slope_extent(&stats);
-        VizData {
-            key: self.key.clone(),
-            xs,
-            ys,
-            raw_x: self.raw_x,
-            raw_y: self.raw_y,
-            stats,
-            slope_min,
-            slope_max,
-            source: self.source,
-        }
+        let mut builder = ArenaBuilder::with_capacity(1, xs.len());
+        let slot = builder.push_viz(&xs, &ys);
+        let arena = Arc::new(builder.finish());
+        Self::from_slot(
+            self.key.clone(),
+            Normalized {
+                xs,
+                ys,
+                raw_x: self.raw_x,
+                raw_y: self.raw_y,
+            },
+            self.source,
+            &arena,
+            slot,
+        )
     }
 
     /// Maps a raw x value onto the canvas.
@@ -182,13 +242,14 @@ impl VizData {
     /// the valid range.
     pub fn x_to_index(&self, raw: f64) -> usize {
         let target = self.norm_x(raw);
-        match self.xs.binary_search_by(|probe| probe.total_cmp(&target)) {
+        let xs = self.xs();
+        match xs.binary_search_by(|probe| probe.total_cmp(&target)) {
             Ok(i) => i,
             Err(0) => 0,
-            Err(i) if i >= self.xs.len() => self.xs.len() - 1,
+            Err(i) if i >= xs.len() => xs.len() - 1,
             Err(i) => {
                 // Choose the nearer neighbour.
-                if (self.xs[i] - target).abs() < (target - self.xs[i - 1]).abs() {
+                if (xs[i] - target).abs() < (target - xs[i - 1]).abs() {
                     i
                 } else {
                     i - 1
@@ -206,11 +267,53 @@ impl VizData {
     }
 }
 
-/// `(min, max)` of the slopes of the intervals between adjacent points —
-/// the leaf level of the SegmentTree, read off the prefix sums. The index
-/// always holds at least two points, so both extremes exist.
-fn slope_extent(stats: &StatsIndex) -> (f64, f64) {
-    extent((0..stats.len() - 1).map(|i| stats.slope(i, i + 1)))
+/// Normalizes a trendline onto the unit canvas with binning and optional
+/// x-range restriction; `None` when fewer than two canvas points remain.
+fn normalize(t: &Trendline, bin: usize, restrict: Option<&[(f64, f64)]>) -> Option<Normalized> {
+    if t.points.len() < 2 {
+        return None;
+    }
+    let bin = bin.max(1);
+    let raw_x = extent(t.points.iter().map(|p| p.x));
+    let raw_y = extent(t.points.iter().map(|p| p.y));
+    let x_span = span(raw_x);
+    let y_span = span(raw_y);
+
+    let mut xs = Vec::with_capacity(t.points.len() / bin + 1);
+    let mut ys = Vec::with_capacity(xs.capacity());
+    let mut chunk_x = 0.0;
+    let mut chunk_y = 0.0;
+    let mut chunk_n = 0usize;
+    for p in &t.points {
+        if let Some(ranges) = restrict {
+            if !ranges.iter().any(|&(lo, hi)| p.x >= lo && p.x <= hi) {
+                continue;
+            }
+        }
+        chunk_x += (p.x - raw_x.0) / x_span;
+        chunk_y += (p.y - raw_y.0) / y_span;
+        chunk_n += 1;
+        if chunk_n == bin {
+            xs.push(chunk_x / bin as f64);
+            ys.push(chunk_y / bin as f64);
+            chunk_x = 0.0;
+            chunk_y = 0.0;
+            chunk_n = 0;
+        }
+    }
+    if chunk_n > 0 {
+        xs.push(chunk_x / chunk_n as f64);
+        ys.push(chunk_y / chunk_n as f64);
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    Some(Normalized {
+        xs,
+        ys,
+        raw_x,
+        raw_y,
+    })
 }
 
 fn extent(values: impl Iterator<Item = f64>) -> (f64, f64) {
@@ -245,8 +348,8 @@ mod tests {
     fn normalizes_to_unit_canvas() {
         let t = trend(&[(10.0, 100.0), (20.0, 300.0), (30.0, 200.0)]);
         let v = VizData::from_trendline(&t, 0, 1).unwrap();
-        assert_eq!(v.xs, vec![0.0, 0.5, 1.0]);
-        assert_eq!(v.ys, vec![0.0, 1.0, 0.5]);
+        assert_eq!(v.xs(), &[0.0, 0.5, 1.0]);
+        assert_eq!(v.ys(), &[0.0, 1.0, 0.5]);
         assert_eq!(v.raw_x, (10.0, 30.0));
         assert_eq!(v.raw_y, (100.0, 300.0));
     }
@@ -255,7 +358,7 @@ mod tests {
     fn constant_series_does_not_divide_by_zero() {
         let t = trend(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]);
         let v = VizData::from_trendline(&t, 0, 1).unwrap();
-        assert!(v.ys.iter().all(|&y| y == 0.0));
+        assert!(v.ys().iter().all(|&y| y == 0.0));
     }
 
     #[test]
@@ -264,7 +367,7 @@ mod tests {
         let v = VizData::from_trendline(&t, 0, 2).unwrap();
         assert_eq!(v.n(), 2);
         // First bin: x mean of (0, 1/3), y mean of (0, 1) = 0.5.
-        assert!((v.ys[0] - 0.5).abs() < 1e-12);
+        assert!((v.ys()[0] - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -302,7 +405,7 @@ mod tests {
         let v = VizData::from_trendline_restricted(&t, 0, 1, &[(1.0, 3.0)]).unwrap();
         assert_eq!(v.n(), 3);
         // Normalization still spans the full extents.
-        assert_eq!(v.xs, vec![0.25, 0.5, 0.75]);
+        assert_eq!(v.xs(), &[0.25, 0.5, 0.75]);
     }
 
     #[test]
@@ -319,7 +422,7 @@ mod tests {
         assert!(c.n() <= 10);
         assert!(c.n() >= 2);
         // A straight diagonal stays a straight diagonal.
-        assert!((c.stats.slope(0, c.n() - 1) - 1.0).abs() < 1e-9);
+        assert!((c.slope(0, c.n() - 1) - 1.0).abs() < 1e-9);
         // Raw extents preserved for literal mapping.
         assert_eq!(c.raw_x, v.raw_x);
         assert_eq!(c.raw_y, v.raw_y);
@@ -331,7 +434,7 @@ mod tests {
         let v = VizData::from_trendline(&t, 0, 1).unwrap();
         let c = v.coarsened(10);
         assert_eq!(c.n(), 3);
-        assert_eq!(c.xs, v.xs);
+        assert_eq!(c.xs(), v.xs());
     }
 
     #[test]
@@ -341,7 +444,7 @@ mod tests {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for i in 0..v.n() - 1 {
-            let s = v.stats.slope(i, i + 1);
+            let s = v.slope(i, i + 1);
             lo = lo.min(s);
             hi = hi.max(s);
         }
@@ -359,6 +462,40 @@ mod tests {
         let t = trend(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
         let v = VizData::from_trendline(&t, 0, 1).unwrap();
         // Canvas diagonal: slope 1.
-        assert!((v.stats.slope(0, 2) - 1.0).abs() < 1e-12);
+        assert!((v.slope(0, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collection_group_matches_per_viz_group_bit_for_bit() {
+        let tls = vec![
+            trend(&[(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 4.0)]),
+            Trendline::from_pairs("short", &[(0.0, 1.0)]), // rejected by GROUP
+            Trendline::from_pairs("u", &[(0.0, 3.0), (1.0, 0.0), (2.0, 3.5)]),
+        ];
+        let grouped = group_collection(&tls, 1);
+        assert_eq!(grouped.len(), 3);
+        assert!(grouped[1].is_none());
+        for (source, t) in tls.iter().enumerate() {
+            let Some(got) = &grouped[source] else {
+                continue;
+            };
+            let want = VizData::from_trendline(t, source, 1).unwrap();
+            assert_eq!(got.key, want.key);
+            assert_eq!(got.source, source);
+            assert_eq!(got.xs(), want.xs());
+            assert_eq!(got.ys(), want.ys());
+            assert_eq!(got.slope_min.to_bits(), want.slope_min.to_bits());
+            assert_eq!(got.slope_max.to_bits(), want.slope_max.to_bits());
+            for i in 0..got.n() {
+                for j in i..got.n() {
+                    assert_eq!(got.slope(i, j).to_bits(), want.slope(i, j).to_bits());
+                }
+            }
+        }
+        // All live handles share one arena.
+        let a = grouped[0].as_ref().unwrap();
+        let b = grouped[2].as_ref().unwrap();
+        assert!(std::ptr::eq(a.arena(), b.arena()));
+        assert_ne!(a.slot(), b.slot());
     }
 }

@@ -26,7 +26,7 @@ use crate::ShapeQuery;
 use group::VizData;
 use observe::{EngineStage, StageObserver, NOOP_OBSERVER};
 use shapesearch_datastore::{extract, ExtractOptions, Table, Trendline, VisualSpec};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use topk::TopK;
 
@@ -182,7 +182,18 @@ pub struct ShapeEngine {
     /// Added to every local index on the way out so reported
     /// `viz_index`es are collection-global.
     base_index: usize,
+    /// Lazily built columnar GROUP state, keyed by bin width: one
+    /// [`crate::ColumnarArena`]-backed collection per width ever queried.
+    /// `Arc`-shared so repeated batches (and everything holding this
+    /// engine behind an `Arc` — shards, the server catalog) reuse one
+    /// arena instead of re-running GROUP per call. A handful of widths at
+    /// most, so a linear scan beats a map.
+    grouped_cache: Mutex<Vec<(usize, GroupedCollection)>>,
 }
+
+/// One `Arc`-shared GROUP run over the whole collection: `None` where
+/// GROUP rejected the trendline (fewer than two canvas points).
+type GroupedCollection = Arc<Vec<Option<VizData>>>;
 
 impl ShapeEngine {
     /// Builds an engine by running EXTRACT over a table with the given
@@ -202,7 +213,33 @@ impl ShapeEngine {
             options: EngineOptions::default(),
             udps: UdpRegistry::new(),
             base_index: 0,
+            grouped_cache: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The GROUPed collection for `bin_width`, built on first use and
+    /// cached: every trendline normalized/binned into one shared
+    /// [`crate::ColumnarArena`], `None` where GROUP rejects (fewer than
+    /// two points). Handles are bit-identical to per-trendline GROUP.
+    fn grouped(&self, bin_width: usize) -> GroupedCollection {
+        let mut cache = self
+            .grouped_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some((_, g)) = cache.iter().find(|(b, _)| *b == bin_width) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(group::group_collection(&self.trendlines, bin_width));
+        cache.push((bin_width, Arc::clone(&g)));
+        g
+    }
+
+    /// Eagerly builds (and caches) the columnar GROUP state for
+    /// `bin_width`, so the first query pays segmentation only. Embedders
+    /// that register an engine long before its first query — the server
+    /// catalog — call this at registration time.
+    pub fn warm(&self, bin_width: usize) {
+        let _ = self.grouped(bin_width);
     }
 
     /// Declares this engine a shard of a larger collection whose first
@@ -388,24 +425,14 @@ impl ShapeEngine {
             !options.pushdown || p.pinned.is_empty() || pushdown::covers_ranges(t, &p.pinned)
         };
 
-        // Shared GROUP: each trendline is normalized/binned/indexed at most
-        // once for the whole batch. A trendline every query prunes (or that
-        // only restricted queries touch) is never GROUPed at all, so the
-        // single-query case keeps its pre-batch work profile exactly.
+        // Shared GROUP: the whole collection is normalized/binned into one
+        // columnar arena at most once per bin width for the engine's entire
+        // lifetime (see [`Self::grouped`]) — every batch after the first
+        // reuses the cached arena, so repeated queries pay segmentation
+        // only. Grouping is per-trendline-independent, so grouping
+        // trendlines a query later filters out cannot change any result.
         let group_started = Instant::now();
-        let grouped: Vec<Option<VizData>> = self
-            .trendlines
-            .iter()
-            .enumerate()
-            .map(|(source, t)| {
-                preps
-                    .iter()
-                    .flatten()
-                    .any(|p| !p.restrict && wants(p, t))
-                    .then(|| VizData::from_trendline(t, source, options.bin_width))
-                    .flatten()
-            })
-            .collect();
+        let grouped: GroupedCollection = self.grouped(options.bin_width);
         observer.stage(
             EngineStage::Group,
             group_started.elapsed().as_micros() as u64,
@@ -436,7 +463,7 @@ impl ShapeEngine {
                 } else {
                     self.trendlines
                         .iter()
-                        .zip(&grouped)
+                        .zip(grouped.iter())
                         .filter(|(t, _)| wants(&p, t))
                         .filter_map(|(_, v)| v.as_ref())
                         .collect()
@@ -469,7 +496,6 @@ impl ShapeEngine {
                 Ok(results
                     .into_sorted()
                     .into_iter()
-                    .filter(|s| s.result.score > -1.0 || !s.result.ranges.is_empty())
                     .map(|s| TopKResult {
                         key: self.trendlines[s.viz].key.clone(),
                         score: s.result.score,
@@ -528,11 +554,22 @@ impl ShapeEngine {
             }
             let result = score_one(viz);
             let score = result.score;
-            topk.push(viz.source, result);
+            // "No match" placeholders — floor score with nothing fitted —
+            // are filtered at ADMISSION, not after the k-cut: a filtered
+            // candidate must never occupy a top-k slot, or an unsharded
+            // cut could spend its k on placeholders that a per-shard cut
+            // (which filters before the merge) would have skipped, making
+            // the merged answer differ from the unsharded one.
+            if score > -1.0 || !result.ranges.is_empty() {
+                topk.push(viz.source, result);
+            }
             if let Some(driver) = prune {
                 // Pool the exact score: once k scores exist *anywhere*
                 // (across chunks, shards, even processes via the server's
                 // fan-out), the global k-th becomes the proven threshold.
+                // Filtered placeholders still offer their −1 floor — it
+                // can never raise the threshold above a real score, and
+                // no upper bound sits strictly below −1.
                 driver.observe(score);
             }
         };

@@ -172,6 +172,16 @@ impl ShardedEngine {
         &self.shards
     }
 
+    /// Pre-builds every shard's columnar GROUP arena for the current
+    /// options' bin width, so the first query pays only SEGMENT+SCORE.
+    /// Registration-time warming: the arenas are `Arc`-cached inside
+    /// each [`ShapeEngine`] and shared by all subsequent queries.
+    pub fn warm(&self) {
+        for shard in &self.shards {
+            shard.warm(self.options.bin_width);
+        }
+    }
+
     /// Total trendlines across all shards.
     pub fn trendline_count(&self) -> usize {
         self.trendline_count

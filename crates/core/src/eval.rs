@@ -81,6 +81,48 @@ pub struct PosContext<'a> {
     pub current: usize,
 }
 
+/// A query node that reduces to a single slope-scored leaf: a bare
+/// segment with one of the Table-5 slope patterns, no modifier, no
+/// sketch, and no LOCATION constraints. For such nodes the full
+/// [`Evaluator::eval_node`] walk collapses to "fitted slope → score
+/// function → width penalty → clamp", which the batched kernels compute
+/// for whole runs of candidate windows at once. Derived once per chain
+/// unit (see [`slope_leaf`]), never per candidate window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlopeLeaf {
+    /// `Pattern::Up` — [`score_up`].
+    Up,
+    /// `Pattern::Down` — [`score_down`].
+    Down,
+    /// `Pattern::Flat` — [`score_flat`].
+    Flat,
+    /// `Pattern::Any` — constant 1.
+    Any,
+    /// `Pattern::Slope(deg)` — [`score_theta`] against `deg`.
+    Slope(f64),
+}
+
+/// Classifies a query node as a [`SlopeLeaf`] when its evaluation is a
+/// pure function of the window's fitted slope (see the enum docs for the
+/// exact conditions). `None` means the node needs the general
+/// [`Evaluator::eval_node`] path.
+pub fn slope_leaf(q: &ShapeQuery) -> Option<SlopeLeaf> {
+    let ShapeQuery::Segment(s) = q else {
+        return None;
+    };
+    if !s.location.is_empty() || s.sketch.is_some() || s.modifier.is_some() {
+        return None;
+    }
+    match s.pattern {
+        Some(Pattern::Up) => Some(SlopeLeaf::Up),
+        Some(Pattern::Down) => Some(SlopeLeaf::Down),
+        Some(Pattern::Flat) => Some(SlopeLeaf::Flat),
+        Some(Pattern::Any) => Some(SlopeLeaf::Any),
+        Some(Pattern::Slope(deg)) => Some(SlopeLeaf::Slope(deg)),
+        _ => None,
+    }
+}
+
 /// Scores query nodes over ranges of one visualization.
 #[derive(Debug, Clone, Copy)]
 pub struct Evaluator<'a> {
@@ -146,35 +188,110 @@ impl<'a> Evaluator<'a> {
             return -1.0;
         }
 
-        // Part 2: pattern / sketch / target-line similarity.
-        let mut components: Vec<f64> = Vec::with_capacity(2);
+        // Part 2: pattern / sketch / target-line similarity, accumulated
+        // without a component buffer (this runs once per candidate window
+        // on the hot path; the sum/count average keeps the single- and
+        // two-component results bit-identical to the old Vec path).
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
         if let Some(p) = &s.pattern {
-            components.push(self.pattern_score(p, s.modifier, i, j, pos));
+            sum += self.pattern_score(p, s.modifier, i, j, pos);
+            count += 1;
         }
         if let Some(v) = &s.sketch {
-            components.push(self.sketch_score(v, i, j));
+            sum += self.sketch_score(v, i, j);
+            count += 1;
         }
-        if s.pattern.is_none() && s.sketch.is_none() {
+        if count == 0 {
             if let Some(target) = self.target_line_slope(s, i, j) {
                 // Location-only segment with y endpoints: match the implied
                 // line segment.
-                components.push(score_theta(self.viz.stats.slope(i, j), target));
+                sum += score_theta(self.viz.slope(i, j), target);
             } else {
                 // Location-only constraints already satisfied: wildcard.
-                components.push(1.0);
+                sum += 1.0;
             }
+            count += 1;
         }
-        let score = components.iter().sum::<f64>() / components.len() as f64;
+        let score = sum / count as f64;
         // Optional minimum-segment-width fit term (off by default): a
         // segment too narrow to be perceptual evidence cannot claim a
         // strong score, which blocks the degenerate
         // steep-sliver/flat/steep-sliver CONCAT segmentations.
         let score = score::width_penalty(
             score,
-            self.viz.xs[j] - self.viz.xs[i],
+            self.viz.xs()[j] - self.viz.xs()[i],
             self.params.min_width_frac,
         );
         clamp_score(score)
+    }
+
+    /// [`Evaluator::eval_node`] specialized to a [`SlopeLeaf`]:
+    /// bit-identical to the general walk (same slope bits from the
+    /// prefix columns, same score function, same width penalty and
+    /// clamp), minus all the dispatch the leaf can't reach.
+    #[inline]
+    pub fn eval_slope_leaf(&self, leaf: SlopeLeaf, i: usize, j: usize) -> f64 {
+        // `0.0 +` replicates the general path's sum/count accumulation
+        // bit for bit: IEEE `0.0 + (-0.0)` is `+0.0`, so a raw `-0.0`
+        // pattern score must flip sign here exactly as it does there.
+        let score = (0.0 + self.apply_slope_leaf(leaf, self.viz.slope(i, j))) / 1.0;
+        let score = score::width_penalty(
+            score,
+            self.viz.xs()[j] - self.viz.xs()[i],
+            self.params.min_width_frac,
+        );
+        clamp_score(score)
+    }
+
+    /// Scores `q` over `[i, j]` through the leaf fast path when `leaf`
+    /// (its precomputed classification) allows, the general walk
+    /// otherwise. The segmenters derive `leaf` once per chain unit.
+    #[inline]
+    pub fn eval_unit(&self, leaf: Option<SlopeLeaf>, q: &ShapeQuery, i: usize, j: usize) -> f64 {
+        match leaf {
+            Some(l) => self.eval_slope_leaf(l, i, j),
+            None => self.eval_node(q, i, j, None),
+        }
+    }
+
+    /// Batched leaf evaluation: scores of windows `[s, e]` for every `e`
+    /// in `e_lo..=e_hi`, written to `out` (cleared first). One streaming
+    /// pass of the window-slope kernel followed by a dispatch-free score
+    /// map — the DP inner loop's whole candidate set per call, each
+    /// entry bit-identical to `eval_node` over the same window.
+    pub fn eval_leaf_run(
+        &self,
+        leaf: SlopeLeaf,
+        s: usize,
+        e_lo: usize,
+        e_hi: usize,
+        out: &mut Vec<f64>,
+    ) {
+        self.viz
+            .arena()
+            .window_slopes(self.viz.slot(), s, e_lo, e_hi, out);
+        let xs = self.viz.xs();
+        let min_width = self.params.min_width_frac;
+        for (k, v) in out.iter_mut().enumerate() {
+            // `0.0 +` matches the general path's accumulator (see
+            // `eval_slope_leaf`): signed zeros must come out identical.
+            let score = (0.0 + self.apply_slope_leaf(leaf, *v)) / 1.0;
+            let score = score::width_penalty(score, xs[e_lo + k] - xs[s], min_width);
+            *v = clamp_score(score);
+        }
+    }
+
+    /// The Table-5 score function a [`SlopeLeaf`] stands for.
+    #[inline]
+    fn apply_slope_leaf(&self, leaf: SlopeLeaf, slope: f64) -> f64 {
+        match leaf {
+            SlopeLeaf::Up => score_up(slope),
+            SlopeLeaf::Down => score_down(slope),
+            SlopeLeaf::Flat => score_flat(slope),
+            SlopeLeaf::Any => 1.0,
+            SlopeLeaf::Slope(deg) => score_theta(slope, deg),
+        }
     }
 
     /// Checks the hard LOCATION constraints (x pins verified against the
@@ -190,17 +307,21 @@ impl<'a> Evaluator<'a> {
                 return false;
             }
         }
-        let stats = self.viz.stats.range(i, j);
+        if s.location.y_start.is_none() && s.location.y_end.is_none() {
+            // No y endpoints: skip the fitted-line computation entirely.
+            return true;
+        }
+        let stats = self.viz.range_stats(i, j);
         let (slope, intercept) = (stats.slope(), stats.intercept());
         let tol = self.params.y_tolerance;
         if let Some(ys) = s.location.y_start {
-            let fitted = intercept + slope * self.viz.xs[i];
+            let fitted = intercept + slope * self.viz.xs()[i];
             if (fitted - self.viz.norm_y(ys)).abs() > tol {
                 return false;
             }
         }
         if let Some(ye) = s.location.y_end {
-            let fitted = intercept + slope * self.viz.xs[j];
+            let fitted = intercept + slope * self.viz.xs()[j];
             if (fitted - self.viz.norm_y(ye)).abs() > tol {
                 return false;
             }
@@ -212,7 +333,7 @@ impl<'a> Evaluator<'a> {
     /// when both are present.
     fn target_line_slope(&self, s: &ShapeSegment, i: usize, j: usize) -> Option<f64> {
         let (ys, ye) = (s.location.y_start?, s.location.y_end?);
-        let dx = self.viz.xs[j] - self.viz.xs[i];
+        let dx = self.viz.xs()[j] - self.viz.xs()[i];
         if dx <= 0.0 {
             return None;
         }
@@ -232,7 +353,7 @@ impl<'a> Evaluator<'a> {
         if let Some(Modifier::Quantifier { min, max }) = modifier {
             return self.quantifier_score(p, min, max, i, j);
         }
-        let slope = self.viz.stats.slope(i, j);
+        let slope = self.viz.slope(i, j);
         match p {
             Pattern::Up => match modifier {
                 // Sharp is monotone in steepness; gradual peaks at the
@@ -256,7 +377,7 @@ impl<'a> Evaluator<'a> {
             Pattern::Any => 1.0,
             Pattern::Slope(deg) => score_theta(slope, *deg),
             Pattern::Udp(name) => match self.udps.get(name) {
-                Some(f) => clamp_score(f(&self.viz.ys[i..=j])),
+                Some(f) => clamp_score(f(&self.viz.ys()[i..=j])),
                 None => -1.0,
             },
             Pattern::Position(r) => self.position_score(*r, modifier, slope, pos),
@@ -388,11 +509,14 @@ impl<'a> Evaluator<'a> {
                 out
             }
             _ => {
-                // Maximal runs of positive interval-level scores.
+                // Maximal runs of positive interval-level scores; the
+                // per-interval scores come from one batched kernel pass.
+                let mut scores = Vec::new();
+                self.interval_leaf_scores(p, i, j, &mut scores);
                 let mut out = Vec::new();
                 let mut run_start: Option<usize> = None;
                 for t in i..j {
-                    let sc = self.leaf_pattern_score(p, t, t + 1);
+                    let sc = scores[t - i];
                     if sc > thr {
                         run_start.get_or_insert(t);
                     } else if let Some(rs) = run_start.take() {
@@ -415,7 +539,7 @@ impl<'a> Evaluator<'a> {
 
     /// Modifier-free pattern score over a range (quantifier helper).
     fn leaf_pattern_score(&self, p: &Pattern, i: usize, j: usize) -> f64 {
-        let slope = self.viz.stats.slope(i, j);
+        let slope = self.viz.slope(i, j);
         match p {
             Pattern::Up => score_up(slope),
             Pattern::Down => score_down(slope),
@@ -425,9 +549,37 @@ impl<'a> Evaluator<'a> {
             Pattern::Udp(name) => self
                 .udps
                 .get(name)
-                .map_or(-1.0, |f| clamp_score(f(&self.viz.ys[i..=j]))),
+                .map_or(-1.0, |f| clamp_score(f(&self.viz.ys()[i..=j]))),
             Pattern::Position(_) => 0.0,
             Pattern::Nested(q) => self.eval_node(q, i, j, None),
+        }
+    }
+
+    /// [`Self::leaf_pattern_score`] over every adjacent interval
+    /// `[t, t+1]`, `t` in `i..j`, written to `out` (cleared first) —
+    /// slope-mapped patterns go through the batched interval kernel,
+    /// everything else falls back to per-interval calls.
+    fn interval_leaf_scores(&self, p: &Pattern, i: usize, j: usize, out: &mut Vec<f64>) {
+        match p {
+            Pattern::Up | Pattern::Down | Pattern::Flat | Pattern::Any | Pattern::Slope(_) => {
+                self.viz
+                    .arena()
+                    .interval_slopes_in(self.viz.slot(), i, j, out);
+                for v in out.iter_mut() {
+                    *v = match p {
+                        Pattern::Up => score_up(*v),
+                        Pattern::Down => score_down(*v),
+                        Pattern::Flat => score_flat(*v),
+                        Pattern::Any => 1.0,
+                        Pattern::Slope(deg) => score_theta(*v, *deg),
+                        _ => unreachable!("matched slope patterns only"),
+                    };
+                }
+            }
+            _ => {
+                out.clear();
+                out.extend((i..j).map(|t| self.leaf_pattern_score(p, t, t + 1)));
+            }
         }
     }
 
@@ -439,7 +591,7 @@ impl<'a> Evaluator<'a> {
             return -1.0;
         }
         let target: Vec<f64> = sketch.iter().map(|&(_, y)| self.viz.norm_y(y)).collect();
-        let window = &self.viz.ys[i..=j];
+        let window = &self.viz.ys()[i..=j];
         let resampled = resample_linear(&target, window.len());
         let dist = shapesearch_similarity::euclidean(&resampled, window);
         let scale = self.params.sketch_distance_scale * (window.len() as f64).sqrt();
@@ -455,10 +607,7 @@ pub fn chain_score_with_positions(
     ranges: &[(usize, usize)],
 ) -> f64 {
     debug_assert_eq!(chain.len(), ranges.len());
-    let slopes: Vec<f64> = ranges
-        .iter()
-        .map(|&(i, j)| ev.viz.stats.slope(i, j))
-        .collect();
+    let slopes: Vec<f64> = ranges.iter().map(|&(i, j)| ev.viz.slope(i, j)).collect();
     let mut total = 0.0;
     for (idx, (unit, &(i, j))) in chain.units.iter().zip(ranges).enumerate() {
         let ctx = PosContext {

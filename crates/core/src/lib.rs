@@ -46,6 +46,7 @@
 pub mod algo;
 pub mod ast;
 pub mod chain;
+pub mod columnar;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -59,11 +60,12 @@ pub use algo::pruning::{
 };
 pub use algo::{MatchResult, Segmenter, SegmenterKind};
 pub use ast::{IteratorSpec, Location, Modifier, Pattern, PosRef, ShapeQuery, ShapeSegment};
-pub use engine::group::VizData;
+pub use columnar::{ArenaBuilder, ColumnarArena};
+pub use engine::group::{group_collection, VizData};
 pub use engine::observe::{EngineStage, NoopObserver, StageObserver};
 pub use engine::shard::{merge_shard_outcomes, merge_topk, merge_topk_refs, ShardedEngine};
 pub use engine::{EngineOptions, ShapeEngine, SharedThresholds, TopKResult};
 pub use error::{CoreError, Result};
-pub use eval::{Evaluator, PosContext, UdpFn, UdpRegistry};
+pub use eval::{slope_leaf, Evaluator, PosContext, SlopeLeaf, UdpFn, UdpRegistry};
 pub use score::ScoreParams;
 pub use stats::{StatsIndex, SummaryStats};

@@ -91,6 +91,29 @@ pub struct RegistryEntry {
     pub fresh: bool,
 }
 
+/// One shard slot's heartbeat-staleness rollup for `/healthz`: a slot
+/// is one announced `(dataset, shard, shards)` partition key, and its
+/// replicas are every endpoint that has ever announced for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotStaleness {
+    /// The dataset id announced for.
+    pub dataset: String,
+    /// The partition index.
+    pub shard: usize,
+    /// The partition total it was split with.
+    pub shards: usize,
+    /// Endpoints ever heard for this slot (fresh or stale).
+    pub replicas: usize,
+    /// Endpoints still within [`REGISTRY_TTL_SECS`].
+    pub fresh_replicas: usize,
+    /// Seconds since the most recent heartbeat across the slot's
+    /// replicas.
+    pub freshest_age_secs: u64,
+    /// Seconds since the oldest heartbeat across the slot's replicas —
+    /// the replica closest to falling out of the registry.
+    pub stalest_age_secs: u64,
+}
+
 /// The topology registry: shard servers `POST /registry/heartbeat`
 /// `{dataset, shard_of: "i/n", endpoint}` every few seconds, and a
 /// registration with `"shard_endpoints": "registry"` resolves its
@@ -158,6 +181,38 @@ impl Registry {
                         fresh: age <= ttl,
                     }
                 })
+            })
+            .collect()
+    }
+
+    /// Per-slot staleness rollup for `/healthz`: one row per announced
+    /// `(dataset, shard, shards)` slot with the age of its freshest and
+    /// stalest heartbeat and how many of its replicas are still fresh.
+    /// Deterministic slot order (the table is a `BTreeMap`).
+    pub fn slot_staleness(&self) -> Vec<SlotStaleness> {
+        let ttl = Duration::from_secs(REGISTRY_TTL_SECS);
+        let now = Instant::now();
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .iter()
+            .map(|((dataset, shard, shards), endpoints)| {
+                let ages: Vec<u64> = endpoints
+                    .values()
+                    .map(|at| now.saturating_duration_since(*at).as_secs())
+                    .collect();
+                let fresh = endpoints
+                    .values()
+                    .filter(|at| now.saturating_duration_since(**at) <= ttl)
+                    .count();
+                SlotStaleness {
+                    dataset: dataset.clone(),
+                    shard: *shard,
+                    shards: *shards,
+                    replicas: endpoints.len(),
+                    fresh_replicas: fresh,
+                    freshest_age_secs: ages.iter().copied().min().unwrap_or(0),
+                    stalest_age_secs: ages.iter().copied().max().unwrap_or(0),
+                }
             })
             .collect()
     }
@@ -543,6 +598,11 @@ impl Catalog {
         if spec.builtins {
             engine.register_builtin_udps();
         }
+        // Registration is the expensive, rare operation — build the
+        // columnar GROUP arenas now so the first query on every shard
+        // pays only SEGMENT+SCORE. (Evicted remote shards warm an empty
+        // collection: a no-op.)
+        engine.warm();
         let id = match spec.id {
             Some(id) if !id.is_empty() => id,
             _ => format!("ds{}", self.next_id.fetch_add(1, Ordering::Relaxed)),

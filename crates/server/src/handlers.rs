@@ -287,6 +287,15 @@ fn healthz(state: &Arc<AppState>) -> Response {
     for endpoint in health.keys() {
         remote.entry(endpoint.clone()).or_default();
     }
+    // Registry staleness: one consistent snapshot of every announced
+    // shard slot with the age of its freshest and stalest heartbeat, so
+    // an operator can see a replica about to fall out of the TTL before
+    // a registry-placed registration starts failing.
+    let registry_slots = state.catalog.registry().slot_staleness();
+    let registry_stale_slots = registry_slots
+        .iter()
+        .filter(|s| s.fresh_replicas == 0)
+        .count();
     let remote_totals =
         remote
             .values()
@@ -362,6 +371,32 @@ fn healthz(state: &Arc<AppState>) -> Response {
                                     ),
                                     ("ejected", h.is_some_and(|h| h.ejected).into()),
                                     ("ejections", h.map_or(0, |h| h.ejections).into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "registry",
+            obj([
+                ("slots", registry_slots.len().into()),
+                ("stale_slots", registry_stale_slots.into()),
+                (
+                    "by_slot",
+                    Json::Arr(
+                        registry_slots
+                            .iter()
+                            .map(|s| {
+                                obj([
+                                    ("dataset", s.dataset.as_str().into()),
+                                    ("shard", s.shard.into()),
+                                    ("shards", s.shards.into()),
+                                    ("replicas", s.replicas.into()),
+                                    ("fresh_replicas", s.fresh_replicas.into()),
+                                    ("freshest_age_secs", s.freshest_age_secs.into()),
+                                    ("stalest_age_secs", s.stalest_age_secs.into()),
                                 ])
                             })
                             .collect(),
@@ -2832,6 +2867,57 @@ mod tests {
         for server in servers {
             server.shutdown();
         }
+    }
+
+    #[test]
+    fn healthz_surfaces_registry_staleness_per_slot() {
+        let state = state();
+
+        // Before any heartbeat the registry block is present but empty.
+        let health = route(&state, &get("/healthz"));
+        let parsed = json::parse(&health.body).unwrap();
+        let registry = parsed.get("registry").unwrap();
+        assert_eq!(registry.get("slots").unwrap().as_usize(), Some(0));
+        assert_eq!(registry.get("stale_slots").unwrap().as_usize(), Some(0));
+        assert!(registry
+            .get("by_slot")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+
+        // Two replicas of slot 0, one of slot 1 — the rollup aggregates
+        // per (dataset, shard, shards) key in deterministic order.
+        for beat in [
+            r#"{"dataset":"t1","shard_of":"0/2","endpoint":"a:1"}"#,
+            r#"{"dataset":"t1","shard_of":"0/2","endpoint":"a:2"}"#,
+            r#"{"dataset":"t1","shard_of":"1/2","endpoint":"b:1"}"#,
+        ] {
+            assert_eq!(
+                route(&state, &post("/registry/heartbeat", beat)).status,
+                200
+            );
+        }
+        let health = route(&state, &get("/healthz"));
+        let parsed = json::parse(&health.body).unwrap();
+        let registry = parsed.get("registry").unwrap();
+        assert_eq!(registry.get("slots").unwrap().as_usize(), Some(2));
+        assert_eq!(registry.get("stale_slots").unwrap().as_usize(), Some(0));
+        let by_slot = registry.get("by_slot").unwrap().as_array().unwrap();
+        assert_eq!(by_slot.len(), 2, "{}", health.body);
+        let slot0 = &by_slot[0];
+        assert_eq!(slot0.get("dataset").unwrap().as_str(), Some("t1"));
+        assert_eq!(slot0.get("shard").unwrap().as_usize(), Some(0));
+        assert_eq!(slot0.get("shards").unwrap().as_usize(), Some(2));
+        assert_eq!(slot0.get("replicas").unwrap().as_usize(), Some(2));
+        assert_eq!(slot0.get("fresh_replicas").unwrap().as_usize(), Some(2));
+        // Just-announced heartbeats: both ages are ~0 and freshest can
+        // never exceed stalest.
+        let freshest = slot0.get("freshest_age_secs").unwrap().as_usize().unwrap();
+        let stalest = slot0.get("stalest_age_secs").unwrap().as_usize().unwrap();
+        assert!(freshest <= stalest && stalest <= 1, "{}", health.body);
+        assert_eq!(by_slot[1].get("shard").unwrap().as_usize(), Some(1));
+        assert_eq!(by_slot[1].get("replicas").unwrap().as_usize(), Some(1));
     }
 
     /// A CSV with clear peaks buried among falls, big enough that a
