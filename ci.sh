@@ -19,7 +19,7 @@ cleanup() {
         kill "$pid" 2>/dev/null || true
     done
     for f in $CI_TMP; do
-        rm -f "$f"
+        rm -rf "$f"
     done
 }
 trap cleanup EXIT INT TERM
@@ -426,5 +426,89 @@ for pass in first second; do
     }
 done
 echo "smoke: chaos OK (failover byte-identical, partial degrades, never cached)"
+
+echo "==> snapshot smoke (cold boot from columnar snapshot, byte diff vs CSV)"
+# The on-disk snapshot tier end to end: build a snapshot from the CSV
+# with the CLI, boot one server from the snapshot (lazy mmap shards
+# behind a 1-slot resident LRU) and one from the CSV (eager EXTRACT),
+# and their batch replies must be BYTE-IDENTICAL after stripping the
+# envelope's wall-clock micros. Then a deliberately corrupted copy of
+# the snapshot must be refused at registration with the structured
+# snapshot_invalid error — never a panic, never garbage results.
+SNAP_DIR=$(mktemp -d "/tmp/ci_snap_$$_XXXXXX")
+CI_TMP="$CI_TMP $SNAP_DIR"
+./target/release/shapesearch snapshot \
+    --data examples/data/sales.csv --z product --x week --y sales \
+    --out "$SNAP_DIR/sales.snap"
+test -s "$SNAP_DIR/sales.snap" || { echo "snapshot smoke: no snapshot written"; exit 1; }
+
+set -- $(start_serve --workers 4 --shards 2 --resident-shards 1 \
+    --data-root "$SNAP_DIR" --snapshot "$SNAP_DIR/sales.snap" --name sales)
+SNAP_PID=$1 SNAP_PORT=$2
+CI_PIDS="$CI_PIDS $SNAP_PID"
+set -- $(start_serve --workers 4 --shards 2 \
+    --data examples/data/sales.csv --name sales \
+    --z product --x week --y sales)
+CSV_PID=$1 CSV_PORT=$2
+CI_PIDS="$CI_PIDS $CSV_PID"
+
+SNAP_REPLY="/tmp/ci_snap_reply_$$.json"
+CSV_REPLY="/tmp/ci_csv_reply_$$.json"
+CI_TMP="$CI_TMP $SNAP_REPLY $CSV_REPLY $SNAP_REPLY.raw $CSV_REPLY.raw"
+SNAP_BODY='[
+  {"dataset":"sales","query":"[p=up][p=down]","k":4},
+  {"dataset":"sales","query":"[p=down][p=up]","k":3},
+  {"dataset":"sales","query":"[p=up]","k":1}
+]'
+for target in "snapshot 127.0.0.1:$SNAP_PORT $SNAP_REPLY" \
+              "csv 127.0.0.1:$CSV_PORT $CSV_REPLY"; do
+    set -- $target
+    status=$(curl -s -o "$3.raw" -w '%{http_code}' \
+        -X POST "http://$2/query" -d "$SNAP_BODY")
+    [ "$status" = "200" ] || {
+        echo "snapshot smoke: $1 batch returned $status"
+        cat "$3.raw"; exit 1;
+    }
+    sed 's/"micros":[0-9]*,//' "$3.raw" > "$3"
+done
+cmp "$SNAP_REPLY" "$CSV_REPLY" || {
+    echo "snapshot smoke: snapshot-backed and CSV-backed replies diverged"
+    echo "--- snapshot:"; cat "$SNAP_REPLY"
+    echo "--- csv:"; cat "$CSV_REPLY"
+    exit 1
+}
+grep -q '"key":' "$SNAP_REPLY" || {
+    echo "snapshot smoke: reply carried no results"; cat "$SNAP_REPLY"; exit 1;
+}
+# The lazy path really ran: both shards were loaded on first touch and
+# the 1-slot cap forced at least one eviction.
+SNAP_HEALTH=$(curl -sf "http://127.0.0.1:$SNAP_PORT/healthz")
+echo "$SNAP_HEALTH" | grep -Eq '"snapshots":\{"resident":[0-9]+,"capacity":1,"loads":[1-9]' || {
+    echo "snapshot smoke: healthz shows no lazy shard loads"
+    echo "$SNAP_HEALTH"; exit 1;
+}
+echo "$SNAP_HEALTH" | grep -Eq '"evictions":[1-9]' || {
+    echo "snapshot smoke: 2 shards over a 1-slot cap evicted nothing"
+    echo "$SNAP_HEALTH"; exit 1;
+}
+
+# A torn snapshot (one payload byte flipped) is a structured 400 at
+# registration — the checksum refuses it before any data is served.
+cp "$SNAP_DIR/sales.snap" "$SNAP_DIR/torn.snap"
+printf '\377' | dd of="$SNAP_DIR/torn.snap" bs=1 seek=400 conv=notrunc 2>/dev/null
+TORN_REPLY="/tmp/ci_snap_torn_$$.json"
+CI_TMP="$CI_TMP $TORN_REPLY"
+TORN_STATUS=$(curl -s -o "$TORN_REPLY" -w '%{http_code}' \
+    -X POST "http://127.0.0.1:$SNAP_PORT/datasets" \
+    -d "{\"name\":\"torn\",\"id\":\"torn\",\"snapshot\":\"$SNAP_DIR/torn.snap\"}")
+[ "$TORN_STATUS" = "400" ] || {
+    echo "snapshot smoke: corrupted snapshot should 400, got $TORN_STATUS"
+    cat "$TORN_REPLY"; exit 1;
+}
+grep -q '"code":"snapshot_invalid"' "$TORN_REPLY" || {
+    echo "snapshot smoke: refusal is not a structured snapshot_invalid"
+    cat "$TORN_REPLY"; exit 1;
+}
+echo "smoke: snapshot OK (cold load == eager CSV byte for byte, torn file refused)"
 
 echo "ci: all green"

@@ -289,6 +289,104 @@ fn run_kernel(data: &[Trendline]) -> KernelReport {
     report
 }
 
+/// Cold-load trajectory: time-to-first-answer from an on-disk columnar
+/// snapshot (mmap open + validation + one-partition seed + first query)
+/// against the eager boot path (parse the CSV + EXTRACT + GROUP + first
+/// query) — what a `serve --snapshot` registration saves over
+/// re-extracting at boot. Both paths must answer bit-for-bit
+/// identically (asserted every run); `ratio` is eager/cold, so >1 means
+/// the snapshot is faster to first answer.
+struct ColdLoadReport {
+    eager_micros: u64,
+    cold_micros: u64,
+    ratio: f64,
+    snapshot_bytes: usize,
+}
+
+fn run_cold_load(data: &[Trendline]) -> ColdLoadReport {
+    use shapesearch_core::{snapshot, ShapeEngine};
+    use std::sync::Arc;
+
+    let query = parse_regex("[p=up][p=down]").expect("static query parses");
+    let path = std::env::temp_dir().join(format!("shapesearch-bench-{}.snap", std::process::id()));
+    let stats = snapshot::write(&path, data, 1).expect("write snapshot");
+
+    // The eager baseline is a real boot: parse the CSV, EXTRACT, GROUP,
+    // answer. (The snapshot build did the first three once, offline.)
+    // Rust float formatting round-trips, so the parsed collection is
+    // bit-identical to `data`.
+    let mut csv = String::from("z,x,y\n");
+    for t in data {
+        for p in &t.points {
+            csv.push_str(&format!("{},{},{}\n", t.key, p.x, p.y));
+        }
+    }
+    let spec = shapesearch_datastore::VisualSpec::new("z", "x", "y");
+
+    let options = EngineOptions::default();
+    let render = |results: &[shapesearch_core::TopKResult]| {
+        let rendered: Vec<String> = results
+            .iter()
+            .map(|r| format!("{}:{}:{:?}:{:?}", r.key, r.viz_index, r.score, r.ranges))
+            .collect();
+        rendered.join(";")
+    };
+    let first_answer = |engine: &ShardedEngine| {
+        engine
+            .top_k_batch_shared(&[(&query, K)], &options, &SharedThresholds::new(1))
+            .pop()
+            .expect("one outcome")
+            .expect("query runs")
+    };
+
+    let mut best_eager = u64::MAX;
+    let mut best_cold = u64::MAX;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let table = shapesearch_datastore::csv::read_str(&csv).expect("csv parses");
+        let trendlines = shapesearch_datastore::extract(
+            &table,
+            &spec,
+            &shapesearch_datastore::ExtractOptions::default(),
+        )
+        .expect("extract runs");
+        let engine = ShardedEngine::from_trendlines(trendlines, 1).with_options(options.clone());
+        engine.warm();
+        let results = first_answer(&engine);
+        best_eager = best_eager.min(started.elapsed().as_micros() as u64);
+        let eager_results = render(&results);
+
+        let started = Instant::now();
+        let snap = snapshot::Snapshot::open(&path).expect("open snapshot");
+        let part = snap.partition(0, snap.trendline_count());
+        let shard = ShapeEngine::from_trendlines(part.trendlines);
+        shard.seed_grouped(snap.bin_width(), part.grouped);
+        let engine =
+            ShardedEngine::from_shard_engines(vec![Arc::new(shard)]).with_options(options.clone());
+        let results = first_answer(&engine);
+        best_cold = best_cold.min(started.elapsed().as_micros() as u64);
+        let cold_results = render(&results);
+
+        assert_eq!(
+            eager_results, cold_results,
+            "snapshot cold load changed the answer"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+
+    let report = ColdLoadReport {
+        eager_micros: best_eager,
+        cold_micros: best_cold,
+        ratio: best_eager as f64 / best_cold.max(1) as f64,
+        snapshot_bytes: stats.bytes,
+    };
+    eprintln!(
+        "cold_load: eager={:>8}µs snapshot={:>8}µs ratio={:.2}x ({} snapshot bytes)",
+        report.eager_micros, report.cold_micros, report.ratio, report.snapshot_bytes,
+    );
+    report
+}
+
 /// The git revision this report was produced from: baked in at compile
 /// time when CI exports `SHAPESEARCH_GIT_REV`, otherwise asked of the
 /// working tree at run time (numbers without provenance are unanswerable
@@ -308,7 +406,11 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
-fn render_json(workloads: &[WorkloadReport], kernel: &KernelReport) -> String {
+fn render_json(
+    workloads: &[WorkloadReport],
+    kernel: &KernelReport,
+    cold: &ColdLoadReport,
+) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -364,7 +466,13 @@ fn render_json(workloads: &[WorkloadReport], kernel: &KernelReport) -> String {
     ));
     out.push_str("    ],\n");
     out.push_str(&format!("    \"ratio\": {:.3}\n", kernel.ratio));
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"cold_load\": {{\"eager_micros\": {}, \"cold_micros\": {}, \
+         \"ratio\": {:.3}, \"snapshot_bytes\": {}}}\n",
+        cold.eager_micros, cold.cold_micros, cold.ratio, cold.snapshot_bytes,
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -411,8 +519,9 @@ fn main() {
         run_workload("common", "[p=up][p=down]", &common_collection()),
     ];
     let kernel = run_kernel(&common_collection());
+    let cold = run_cold_load(&common_collection());
 
-    let json = render_json(&workloads, &kernel);
+    let json = render_json(&workloads, &kernel, &cold);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
 
@@ -425,12 +534,25 @@ fn main() {
         // across machines; 1.0 = "never slower than the path it
         // replaced", with the usual env override for stricter trackers.
         let min_kernel_ratio = env_f64("SHAPESEARCH_BENCH_MIN_KERNEL_RATIO", 1.0);
+        // Cold-load floor: time-to-first-answer from a snapshot must be
+        // at least this many times the eager parse+EXTRACT+GROUP boot
+        // path. 1.0 = "never slower than the path it shortcuts"; the
+        // usual env override lets same-machine trackers pin the real
+        // (larger) win.
+        let min_cold_ratio = env_f64("SHAPESEARCH_BENCH_MIN_COLD_LOAD_RATIO", 1.0);
         let mut failures = Vec::new();
         if kernel.ratio < min_kernel_ratio {
             failures.push(format!(
                 "kernel: columnar/scalar throughput ratio {:.2} below the {min_kernel_ratio}x floor \
                  (columnar {:.0} vs scalar {:.0} windows/s)",
                 kernel.ratio, kernel.columnar_points_per_sec, kernel.scalar_points_per_sec
+            ));
+        }
+        if cold.ratio < min_cold_ratio {
+            failures.push(format!(
+                "cold_load: snapshot time-to-first-answer ratio {:.2} below the \
+                 {min_cold_ratio}x floor (eager {}µs vs snapshot {}µs)",
+                cold.ratio, cold.eager_micros, cold.cold_micros
             ));
         }
         for w in &workloads {

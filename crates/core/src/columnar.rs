@@ -43,27 +43,147 @@
 //! `[i, j]` are then a per-column `prefix[j + 1] − prefix[i]` — O(1),
 //! with the four subtractions sitting in four independent streams.
 //!
-//! This layout is also the planned on-disk snapshot format for the
-//! bigger-than-RAM roadmap item: six flat `f64` columns plus one offset
-//! column mmap directly, with no pointer fix-up.
+//! This layout is also the on-disk snapshot format
+//! ([`crate::snapshot`]): the flat `f64` columns plus the offset column
+//! serialize byte for byte, and an opened snapshot's columns map
+//! straight back into an arena with no pointer fix-up — each column is
+//! then a `Column::Mapped` zero-copy view kept alive by the mapping's
+//! `Arc`.
 
 use crate::stats::SummaryStats;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// One flat `f64` column of a [`ColumnarArena`]: either heap-owned (the
+/// eager GROUP path) or a zero-copy view into a mapped snapshot, kept
+/// alive by an `Arc` on the mapping. Derefs to `&[f64]`, so every kernel
+/// reads both backings identically — same bytes, same bits, same
+/// results.
+#[derive(Clone)]
+pub(crate) enum Column {
+    /// A heap-allocated column (the [`ArenaBuilder`] output).
+    Owned(Vec<f64>),
+    /// An aligned little-endian `f64` run inside a mapped snapshot file.
+    Mapped {
+        /// First element of the run (8-byte aligned, inside `keep`).
+        ptr: *const f64,
+        /// Element count.
+        len: usize,
+        /// Keeps the mapping (and so `ptr`) alive; only held, never read.
+        #[allow(dead_code)]
+        keep: Arc<memmap2::Mmap>,
+    },
+}
+
+// Safety: a Mapped column points into a read-only private mapping that
+// stays alive for as long as `keep` does and is never written through;
+// Owned is a plain Vec. Sharing across threads therefore cannot race.
+unsafe impl Send for Column {}
+unsafe impl Sync for Column {}
+
+impl Column {
+    /// A zero-copy column over `len` `f64`s starting `byte_offset` bytes
+    /// into `map`.
+    ///
+    /// # Panics
+    /// The run must lie inside the mapping and start 8-byte aligned —
+    /// the snapshot loader validates both before calling.
+    pub(crate) fn mapped(map: &Arc<memmap2::Mmap>, byte_offset: usize, len: usize) -> Self {
+        let bytes = len.checked_mul(8).expect("column byte length overflows");
+        let end = byte_offset
+            .checked_add(bytes)
+            .expect("column end overflows");
+        assert!(end <= map.len(), "column run outside the mapping");
+        let ptr = unsafe { map.as_ptr().add(byte_offset) };
+        assert_eq!(
+            ptr as usize % std::mem::align_of::<f64>(),
+            0,
+            "column run misaligned"
+        );
+        Self::Mapped {
+            ptr: ptr.cast::<f64>(),
+            len,
+            keep: Arc::clone(map),
+        }
+    }
+
+    /// Mutable access to the backing vector — builder-side only.
+    ///
+    /// # Panics
+    /// Panics on a mapped column (mapped snapshots are immutable).
+    fn vec_mut(&mut self) -> &mut Vec<f64> {
+        match self {
+            Self::Owned(v) => v,
+            Self::Mapped { .. } => unreachable!("mapped columns are immutable"),
+        }
+    }
+}
+
+impl Deref for Column {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        match self {
+            Self::Owned(v) => v,
+            Self::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl Default for Column {
+    fn default() -> Self {
+        Self::Owned(Vec::new())
+    }
+}
+
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Self::Owned(v)
+    }
+}
+
+impl fmt::Debug for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self {
+            Self::Owned(_) => "owned",
+            Self::Mapped { .. } => "mapped",
+        };
+        f.debug_struct("Column")
+            .field("kind", &kind)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Borrowed views of every arena column, in snapshot serialization
+/// order — the writer's one-stop read access.
+pub(crate) struct RawColumns<'a> {
+    pub xs: &'a [f64],
+    pub ys: &'a [f64],
+    pub sum_x: &'a [f64],
+    pub sum_y: &'a [f64],
+    pub sum_xy: &'a [f64],
+    pub sum_xx: &'a [f64],
+    pub point_starts: &'a [usize],
+    pub slope_min: &'a [f64],
+    pub slope_max: &'a [f64],
+}
 
 /// Structure-of-arrays GROUP output for a whole collection: contiguous
 /// coordinate and prefix-statistic columns shared (via `Arc`) by every
 /// [`VizData`](crate::engine::group::VizData) handle cut from it.
 #[derive(Clone, Default)]
 pub struct ColumnarArena {
-    xs: Vec<f64>,
-    ys: Vec<f64>,
-    sum_x: Vec<f64>,
-    sum_y: Vec<f64>,
-    sum_xy: Vec<f64>,
-    sum_xx: Vec<f64>,
+    xs: Column,
+    ys: Column,
+    sum_x: Column,
+    sum_y: Column,
+    sum_xy: Column,
+    sum_xx: Column,
     point_starts: Vec<usize>,
-    slope_min: Vec<f64>,
-    slope_max: Vec<f64>,
+    slope_min: Column,
+    slope_max: Column,
 }
 
 impl fmt::Debug for ColumnarArena {
@@ -76,6 +196,52 @@ impl fmt::Debug for ColumnarArena {
 }
 
 impl ColumnarArena {
+    /// Assembles an arena straight from pre-built columns — the snapshot
+    /// loader's constructor. The caller (only [`crate::snapshot`])
+    /// guarantees the columns satisfy the layout invariants above:
+    /// monotone `point_starts`, prefix columns of length
+    /// `points + vizzes`, slope columns of length `vizzes`.
+    #[allow(clippy::too_many_arguments)] // nine columns are the format, not an API smell
+    pub(crate) fn from_columns(
+        xs: Column,
+        ys: Column,
+        sum_x: Column,
+        sum_y: Column,
+        sum_xy: Column,
+        sum_xx: Column,
+        point_starts: Vec<usize>,
+        slope_min: Column,
+        slope_max: Column,
+    ) -> Self {
+        Self {
+            xs,
+            ys,
+            sum_x,
+            sum_y,
+            sum_xy,
+            sum_xx,
+            point_starts,
+            slope_min,
+            slope_max,
+        }
+    }
+
+    /// Borrowed views of every column — the snapshot writer's read
+    /// access.
+    pub(crate) fn raw(&self) -> RawColumns<'_> {
+        RawColumns {
+            xs: &self.xs,
+            ys: &self.ys,
+            sum_x: &self.sum_x,
+            sum_y: &self.sum_y,
+            sum_xy: &self.sum_xy,
+            sum_xx: &self.sum_xx,
+            point_starts: &self.point_starts,
+            slope_min: &self.slope_min,
+            slope_max: &self.slope_max,
+        }
+    }
+
     /// Number of visualizations in the arena.
     pub fn viz_count(&self) -> usize {
         self.point_starts.len().saturating_sub(1)
@@ -267,14 +433,14 @@ impl ArenaBuilder {
     pub fn with_capacity(vizzes: usize, points: usize) -> Self {
         let mut b = Self::new();
         let a = &mut b.arena;
-        a.xs.reserve(points);
-        a.ys.reserve(points);
+        a.xs.vec_mut().reserve(points);
+        a.ys.vec_mut().reserve(points);
         for col in [&mut a.sum_x, &mut a.sum_y, &mut a.sum_xy, &mut a.sum_xx] {
-            col.reserve(points + vizzes);
+            col.vec_mut().reserve(points + vizzes);
         }
         a.point_starts.reserve(vizzes);
-        a.slope_min.reserve(vizzes);
-        a.slope_max.reserve(vizzes);
+        a.slope_min.vec_mut().reserve(vizzes);
+        a.slope_max.vec_mut().reserve(vizzes);
         b
     }
 
@@ -292,22 +458,22 @@ impl ArenaBuilder {
         assert_eq!(xs.len(), ys.len(), "xs and ys must align");
         let a = &mut self.arena;
         let slot = a.point_starts.len() - 1;
-        a.xs.extend_from_slice(xs);
-        a.ys.extend_from_slice(ys);
+        a.xs.vec_mut().extend_from_slice(xs);
+        a.ys.vec_mut().extend_from_slice(ys);
         let (mut ax, mut ay, mut axy, mut axx) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        a.sum_x.push(0.0);
-        a.sum_y.push(0.0);
-        a.sum_xy.push(0.0);
-        a.sum_xx.push(0.0);
+        a.sum_x.vec_mut().push(0.0);
+        a.sum_y.vec_mut().push(0.0);
+        a.sum_xy.vec_mut().push(0.0);
+        a.sum_xx.vec_mut().push(0.0);
         for (&x, &y) in xs.iter().zip(ys) {
             ax += x;
             ay += y;
             axy += x * y;
             axx += x * x;
-            a.sum_x.push(ax);
-            a.sum_y.push(ay);
-            a.sum_xy.push(axy);
-            a.sum_xx.push(axx);
+            a.sum_x.vec_mut().push(ax);
+            a.sum_y.vec_mut().push(ay);
+            a.sum_xy.vec_mut().push(axy);
+            a.sum_xx.vec_mut().push(axx);
         }
         a.point_starts.push(a.xs.len());
         // GROUP-time slope extremes straight off the fresh prefix run.
@@ -329,8 +495,8 @@ impl ArenaBuilder {
             lo = f64::NAN;
             hi = f64::NAN;
         }
-        a.slope_min.push(lo);
-        a.slope_max.push(hi);
+        a.slope_min.vec_mut().push(lo);
+        a.slope_max.vec_mut().push(hi);
         slot
     }
 

@@ -99,6 +99,36 @@ pub fn group_collection(trendlines: &[Trendline], bin: usize) -> Vec<Option<VizD
         .collect()
 }
 
+/// Rebuilds the GROUP handles for `trendlines` over a pre-built arena —
+/// the snapshot load path ([`crate::snapshot`]). Slot assignments come
+/// from the snapshot (`None` where GROUP rejected the trendline at
+/// build time) and the per-viz raw extents are recomputed with the
+/// exact `extent` fold [`normalize`] uses, so the returned handles are
+/// bit-identical to an eager [`group_collection`] over the same
+/// trendlines.
+pub(crate) fn vizzes_from_arena(
+    trendlines: &[Trendline],
+    slots: &[Option<usize>],
+    arena: &Arc<ColumnarArena>,
+) -> Vec<Option<VizData>> {
+    debug_assert_eq!(trendlines.len(), slots.len());
+    trendlines
+        .iter()
+        .zip(slots)
+        .enumerate()
+        .map(|(source, (t, slot))| {
+            let slot = (*slot)?;
+            let part = Normalized {
+                xs: Vec::new(),
+                ys: Vec::new(),
+                raw_x: extent(t.points.iter().map(|p| p.x)),
+                raw_y: extent(t.points.iter().map(|p| p.y)),
+            };
+            Some(VizData::from_slot(t.key.clone(), part, source, arena, slot))
+        })
+        .collect()
+}
+
 impl VizData {
     /// Builds the GROUP output for a trendline, binning every `bin` raw
     /// points into one canvas point (bin = 1 keeps all points). Returns

@@ -242,6 +242,34 @@ impl ShapeEngine {
         let _ = self.grouped(bin_width);
     }
 
+    /// Installs a pre-built GROUP run for `bin_width` into the engine's
+    /// cache — the snapshot load path: a [`crate::snapshot::Snapshot`]
+    /// partition hands back the mapped arena plus its `VizData` handles,
+    /// and seeding them here means the default-width query path never
+    /// re-runs GROUP. The caller guarantees `grouped` is the GROUP of
+    /// this engine's trendlines at `bin_width` (the snapshot writer and
+    /// loader keep that bit-identical); queries at *other* bin widths
+    /// still re-GROUP from the trendlines as usual. A width already in
+    /// the cache is left untouched.
+    ///
+    /// # Panics
+    /// Panics when `grouped` does not have one entry per trendline.
+    pub fn seed_grouped(&self, bin_width: usize, grouped: Vec<Option<VizData>>) {
+        assert_eq!(
+            grouped.len(),
+            self.trendlines.len(),
+            "seeded GROUP must cover every trendline"
+        );
+        let mut cache = self
+            .grouped_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if cache.iter().any(|(b, _)| *b == bin_width) {
+            return;
+        }
+        cache.push((bin_width, Arc::new(grouped)));
+    }
+
     /// Declares this engine a shard of a larger collection whose first
     /// trendline sits at global index `base`: every reported `viz_index`
     /// becomes `base + local index`, keeping indices (and tie ordering)

@@ -134,6 +134,29 @@ impl ShardedEngine {
         }
     }
 
+    /// Assembles a sharded engine from pre-built shard engines — the
+    /// snapshot load path, where each shard was materialized from a
+    /// mapped snapshot partition (its `base_index` already set to the
+    /// partition start). The shards must be the deterministic
+    /// contiguous partitions of one collection, in partition order —
+    /// [`partition_bounds_by_points`] is the rule — so merges stay
+    /// byte-identical to every other sharding path. Counts are summed
+    /// from the shards.
+    pub fn from_shard_engines(shards: Vec<Arc<ShapeEngine>>) -> Self {
+        let trendline_count = shards.iter().map(|s| s.trendlines().len()).sum();
+        let point_count = shards
+            .iter()
+            .flat_map(|s| s.trendlines().iter())
+            .map(|t| t.points.len())
+            .sum();
+        Self {
+            shards,
+            options: EngineOptions::default(),
+            trendline_count,
+            point_count,
+        }
+    }
+
     /// Replaces the engine options, returning `self` for chaining.
     #[must_use]
     pub fn with_options(mut self, options: EngineOptions) -> Self {
@@ -387,18 +410,34 @@ impl ShardedEngine {
 /// size-balanced shards. Balancing minimizes the spread of per-shard
 /// point totals by cutting at the cumulative-points quantiles.
 fn partition_bounds(trendlines: &[Trendline], shard_count: usize) -> Vec<(usize, usize)> {
-    let n = trendlines.len();
+    let counts: Vec<usize> = trendlines.iter().map(|t| t.points.len()).collect();
+    partition_bounds_by_points(&counts, shard_count)
+}
+
+/// [`partition_bounds`](ShardedEngine) over bare per-trendline **raw**
+/// point counts: contiguous `(start, end)` trendline ranges for (at
+/// most) `shard_count` size-balanced shards, cutting at the
+/// cumulative-points quantiles with every shard kept non-empty. This is
+/// the single deterministic partitioning rule every sharding path uses —
+/// in-process shards, `--shard-of` shard servers, and the snapshot
+/// loader (which stores raw point counts precisely so it can reproduce
+/// these bounds without materializing trendlines).
+pub fn partition_bounds_by_points(
+    point_counts: &[usize],
+    shard_count: usize,
+) -> Vec<(usize, usize)> {
+    let n = point_counts.len();
     let shards = shard_count.clamp(1, n.max(1));
     if n == 0 || shards == 1 {
         return vec![(0, n)];
     }
-    let total: usize = trendlines.iter().map(|t| t.points.len()).sum();
+    let total: usize = point_counts.iter().sum();
     let mut bounds = Vec::with_capacity(shards);
     let mut start = 0usize;
     let mut seen = 0usize;
     let mut cut = 1usize; // which quantile boundary is being sought
-    for (i, t) in trendlines.iter().enumerate() {
-        seen += t.points.len();
+    for (i, &points) in point_counts.iter().enumerate() {
+        seen += points;
         if cut == shards {
             break;
         }

@@ -51,6 +51,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod score;
+pub mod snapshot;
 pub mod stats;
 pub mod udps;
 
@@ -63,9 +64,12 @@ pub use ast::{IteratorSpec, Location, Modifier, Pattern, PosRef, ShapeQuery, Sha
 pub use columnar::{ArenaBuilder, ColumnarArena};
 pub use engine::group::{group_collection, VizData};
 pub use engine::observe::{EngineStage, NoopObserver, StageObserver};
-pub use engine::shard::{merge_shard_outcomes, merge_topk, merge_topk_refs, ShardedEngine};
+pub use engine::shard::{
+    merge_shard_outcomes, merge_topk, merge_topk_refs, partition_bounds_by_points, ShardedEngine,
+};
 pub use engine::{EngineOptions, ShapeEngine, SharedThresholds, TopKResult};
 pub use error::{CoreError, Result};
 pub use eval::{slope_leaf, Evaluator, PosContext, SlopeLeaf, UdpFn, UdpRegistry};
 pub use score::ScoreParams;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotPartition, SnapshotStats};
 pub use stats::{StatsIndex, SummaryStats};

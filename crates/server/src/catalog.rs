@@ -21,7 +21,8 @@
 //! *and* changes the placement fingerprint baked into cache keys.
 
 use crate::error::ServerError;
-use shapesearch_core::ShardedEngine;
+use crate::resident::ResidentShards;
+use shapesearch_core::{ShapeEngine, ShardedEngine, Snapshot, SnapshotError};
 use shapesearch_datastore::{csv, json, Table, VisualSpec};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -292,6 +293,10 @@ pub enum DataSource {
     InlineCsv(String),
     /// Inline JSON-lines text shipped in the request body.
     InlineJsonl(String),
+    /// A server-local on-disk snapshot (`shapesearch snapshot` output):
+    /// pre-extracted, pre-GROUPed columnar state served via mmap with
+    /// lazily resident shards instead of an eager EXTRACT.
+    Snapshot(String),
 }
 
 /// A catalog registration request.
@@ -324,6 +329,37 @@ pub struct DatasetSpec {
     /// `POST /shard/query` for a router whose partition map names this
     /// process.
     pub shard_of: Option<(usize, usize)>,
+}
+
+/// The lazy backing of a snapshot-registered dataset: the validated
+/// mapped snapshot, the deterministic partition bounds of every shard
+/// slot, and a handle on the catalog-wide resident-shard LRU the slots
+/// materialize through. Local shards load on first touch
+/// ([`DatasetEntry::local_shard`]) and evict under `--resident-shards`
+/// pressure; remote slots are never materialized in this process.
+pub struct SnapshotShards {
+    /// The open, validated snapshot (kept mapped for the entry's life).
+    pub snapshot: Arc<Snapshot>,
+    /// Partition bounds per shard slot, aligned with the placement map.
+    pub bounds: Vec<(usize, usize)>,
+    /// The owning entry's generation — half of every residency key, so
+    /// a replaced registration's shards can never be served again.
+    pub generation: u64,
+    /// Whether lazily loaded shards register the built-in UDPs.
+    pub builtins: bool,
+    /// The catalog-wide LRU shards load through.
+    pub resident: Arc<ResidentShards>,
+}
+
+impl std::fmt::Debug for SnapshotShards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotShards")
+            .field("snapshot", &self.snapshot)
+            .field("bounds", &self.bounds)
+            .field("generation", &self.generation)
+            .field("builtins", &self.builtins)
+            .finish()
+    }
 }
 
 /// An immutable registered dataset, shared across request threads.
@@ -365,6 +401,11 @@ pub struct DatasetEntry {
     /// Total points across all trendlines (of the owned partition, in
     /// shard-of mode).
     pub point_count: usize,
+    /// `Some` when this entry serves from an on-disk snapshot: local
+    /// shards then materialize lazily through the resident LRU and
+    /// `engine` holds only empty placeholder shards carrying the slot
+    /// layout (count and base indices).
+    pub snapshot: Option<SnapshotShards>,
 }
 
 impl DatasetEntry {
@@ -373,6 +414,46 @@ impl DatasetEntry {
         self.placement
             .iter()
             .any(|p| matches!(p, ShardPlacement::Remote(_)))
+    }
+
+    /// True when this entry serves from an on-disk snapshot.
+    pub fn from_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// The engine for **local** shard slot `slot` — the resident Arc for
+    /// an eager entry, or a lazily materialized (and LRU-cached)
+    /// partition of the snapshot for a snapshot entry. Loading is
+    /// singleflight: queries racing a cold shard share one load.
+    /// Byte-identity holds either way — a snapshot partition seeds the
+    /// exact GROUP arena the eager path would build.
+    ///
+    /// # Errors
+    /// Propagates a failed snapshot shard load (the slot is vacated for
+    /// retry).
+    ///
+    /// # Panics
+    /// Panics when `slot` is out of range or names a remote slot of a
+    /// snapshot entry (remote partitions are never materialized here).
+    pub fn local_shard(&self, slot: usize) -> Result<Arc<ShapeEngine>, ServerError> {
+        let Some(snap) = &self.snapshot else {
+            return Ok(Arc::clone(&self.engine.shards()[slot]));
+        };
+        assert_eq!(
+            self.placement[slot],
+            ShardPlacement::Local,
+            "remote snapshot slots are served by their shard servers"
+        );
+        snap.resident.get_or_load((snap.generation, slot), || {
+            let (start, end) = snap.bounds[slot];
+            let part = snap.snapshot.partition(start, end);
+            let mut engine = ShapeEngine::from_trendlines(part.trendlines).with_base_index(start);
+            if snap.builtins {
+                engine.register_builtin_udps();
+            }
+            engine.seed_grouped(snap.snapshot.bin_width(), part.grouped);
+            Ok(Arc::new(engine))
+        })
     }
 }
 
@@ -397,6 +478,9 @@ pub struct Catalog {
     /// Topology announcements from shard servers; consulted when a
     /// registration asks for `"shard_endpoints": "registry"`.
     registry: Registry,
+    /// The resident-shard LRU snapshot-backed datasets load through;
+    /// shared so one `--resident-shards` budget caps the whole process.
+    resident: Arc<ResidentShards>,
 }
 
 impl Default for Catalog {
@@ -421,12 +505,24 @@ impl Catalog {
             next_generation: AtomicU64::new(1),
             default_shards,
             registry: Registry::default(),
+            resident: Arc::new(ResidentShards::default()),
         }
     }
 
     /// The configured default shard count (0 = auto).
     pub fn default_shards(&self) -> usize {
         self.default_shards
+    }
+
+    /// The resident-shard LRU snapshot-backed datasets load through.
+    pub fn resident(&self) -> &Arc<ResidentShards> {
+        &self.resident
+    }
+
+    /// Caps how many snapshot shards may be resident at once (0 =
+    /// unlimited); the server's `--resident-shards` flag.
+    pub fn set_resident_capacity(&self, capacity: usize) {
+        self.resident.set_capacity(capacity);
     }
 
     /// The heartbeat registry shard servers announce into.
@@ -458,6 +554,9 @@ impl Catalog {
             }
             DataSource::InlineCsv(text) => csv::read_str(text),
             DataSource::InlineJsonl(text) => json::read_str(text),
+            DataSource::Snapshot(_) => {
+                unreachable!("snapshot sources take the register_snapshot path")
+            }
         };
         table.map_err(|e| ServerError::bad_request(format!("loading dataset: {e}")))
     }
@@ -475,11 +574,179 @@ impl Catalog {
     /// mismatches (including a collection too small for the number of
     /// named endpoints — a remote shard is never silently dropped).
     pub fn register(&self, spec: DatasetSpec) -> Result<Arc<DatasetEntry>, ServerError> {
+        if let DataSource::Snapshot(path) = &spec.source {
+            let path = path.clone();
+            return self.register_snapshot(spec, &path);
+        }
         let table = Self::load_table(&spec.source)?;
 
         // Resolve the placement request into an explicit per-shard
         // replica-list map before anything else, so the registry path
         // and the wire path flow through identical validation.
+        let endpoints = self.resolve_endpoints(&spec)?;
+        let shards = self.resolve_shard_request(&spec, endpoints.as_deref())?;
+
+        let mut engine = match spec.shard_of {
+            Some((index, total)) => ShardedEngine::shard_of(&table, &spec.visual, total, index),
+            None => ShardedEngine::new(&table, &spec.visual, shards),
+        }
+        .map_err(|e| ServerError::bad_request(format!("extracting trendlines: {e}")))?;
+
+        // Resolve the partition map against the *effective* shard count.
+        let placement = Self::resolve_placement(
+            endpoints.as_deref(),
+            spec.shard_of.is_some(),
+            engine.shard_count(),
+        )?;
+
+        // A remotely-placed shard's engine is never queried in this
+        // process — its shard server owns the (identical, deterministic)
+        // partition — so drop the payload now: an all-remote router must
+        // not pay a whole collection's memory to route. The counts below
+        // were taken before eviction, so listings still describe the
+        // full collection.
+        let trendline_count = engine.trendline_count();
+        let point_count = engine.point_count();
+        for (i, p) in placement.iter().enumerate() {
+            if matches!(p, ShardPlacement::Remote(_)) {
+                engine.evict_shard(i);
+            }
+        }
+
+        if spec.builtins {
+            engine.register_builtin_udps();
+        }
+        // Registration is the expensive, rare operation — build the
+        // columnar GROUP arenas now so the first query on every shard
+        // pays only SEGMENT+SCORE. (Evicted remote shards warm an empty
+        // collection: a no-op.)
+        engine.warm();
+        let id = match spec.id {
+            Some(id) if !id.is_empty() => id,
+            _ => format!("ds{}", self.next_id.fetch_add(1, Ordering::Relaxed)),
+        };
+        let entry = Arc::new(DatasetEntry {
+            id: id.clone(),
+            generation: self.next_generation.fetch_add(1, Ordering::Relaxed),
+            name: spec.name,
+            visual: spec.visual,
+            shard_count: engine.shard_count(),
+            placement_fp: placement_fingerprint(&placement),
+            placement,
+            shard_of: spec.shard_of,
+            trendline_count,
+            point_count,
+            engine,
+            snapshot: None,
+        });
+        self.publish(id, entry)
+    }
+
+    /// Registers a dataset served from an on-disk snapshot
+    /// ([`shapesearch_core::snapshot`]): opens and validates the file
+    /// (mmap + checksums + structural invariants — a torn or corrupted
+    /// snapshot is refused here with a structured `snapshot_invalid`
+    /// error, before anything is published), computes the deterministic
+    /// partition bounds, and publishes an entry whose **local shards
+    /// materialize lazily** through the catalog's resident LRU on first
+    /// touch. The entry's `engine` holds only empty placeholder shards
+    /// carrying the slot layout; memory is paid per touched shard, not
+    /// per registration.
+    ///
+    /// The snapshot stores extraction *output*, so `visual` is carried
+    /// for listings but no EXTRACT runs; results are byte-identical to
+    /// registering the original source eagerly.
+    fn register_snapshot(
+        &self,
+        spec: DatasetSpec,
+        path: &str,
+    ) -> Result<Arc<DatasetEntry>, ServerError> {
+        let snapshot = Snapshot::open(path).map_err(|e| match e {
+            SnapshotError::Io { .. } => ServerError::bad_request(format!("loading dataset: {e}")),
+            corrupt => ServerError::invalid_snapshot(corrupt.to_string()),
+        })?;
+        let snapshot = Arc::new(snapshot);
+
+        let endpoints = self.resolve_endpoints(&spec)?;
+        let shards = self.resolve_shard_request(&spec, endpoints.as_deref())?;
+
+        // The slot layout: the full deterministic partition, or the one
+        // owned partition in shard-of mode (mirroring the eager path's
+        // out-of-range error).
+        let bounds = match spec.shard_of {
+            Some((index, total)) => {
+                let all = snapshot.partition_bounds(total);
+                let Some(&owned) = all.get(index) else {
+                    return Err(ServerError::bad_request(format!(
+                        "extracting trendlines: config error: shard index {index} \
+                         out of range: the collection partitions into {} shard(s)",
+                        all.len()
+                    )));
+                };
+                vec![owned]
+            }
+            None => snapshot.partition_bounds(shards),
+        };
+        let placement =
+            Self::resolve_placement(endpoints.as_deref(), spec.shard_of.is_some(), bounds.len())?;
+
+        // Counts for listings: the whole collection, or the owned
+        // partition in shard-of mode — same contract as the eager path.
+        let per_trendline = snapshot.raw_point_counts();
+        let (trendline_count, point_count) = match spec.shard_of {
+            Some(_) => {
+                let (start, end) = bounds[0];
+                (end - start, per_trendline[start..end].iter().sum())
+            }
+            None => (snapshot.trendline_count(), snapshot.raw_point_count()),
+        };
+
+        // Placeholder shard engines: empty payloads with the real base
+        // indices, so the fan-out sees the correct slot layout while
+        // every byte of data stays on disk until a slot is touched.
+        let placeholders = bounds
+            .iter()
+            .map(|&(start, _)| {
+                Arc::new(ShapeEngine::from_trendlines(Vec::new()).with_base_index(start))
+            })
+            .collect();
+        let engine = ShardedEngine::from_shard_engines(placeholders);
+
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        let id = match spec.id {
+            Some(id) if !id.is_empty() => id,
+            _ => format!("ds{}", self.next_id.fetch_add(1, Ordering::Relaxed)),
+        };
+        let entry = Arc::new(DatasetEntry {
+            id: id.clone(),
+            generation,
+            name: spec.name,
+            visual: spec.visual,
+            shard_count: bounds.len(),
+            placement_fp: placement_fingerprint(&placement),
+            placement,
+            shard_of: spec.shard_of,
+            trendline_count,
+            point_count,
+            engine,
+            snapshot: Some(SnapshotShards {
+                snapshot,
+                bounds,
+                generation,
+                builtins: spec.builtins,
+                resident: Arc::clone(&self.resident),
+            }),
+        });
+        self.publish(id, entry)
+    }
+
+    /// Resolves a registration's `shard_endpoints` request into an
+    /// explicit per-shard replica-list map (registry and wire paths flow
+    /// through identical validation).
+    fn resolve_endpoints(
+        &self,
+        spec: &DatasetSpec,
+    ) -> Result<Option<Vec<Option<Vec<String>>>>, ServerError> {
         let endpoints: Option<Vec<Option<Vec<String>>>> = match &spec.shard_endpoints {
             None => None,
             Some(ShardEndpoints::Explicit(eps)) => Some(eps.clone()),
@@ -521,10 +788,20 @@ impl Catalog {
                 }
             }
         }
+        Ok(endpoints)
+    }
 
-        // The shard count: an explicit placement pins it (every entry of
-        // the map addresses one shard), else the spec / catalog default.
-        let shards = match (&endpoints, spec.shards) {
+    /// Resolves the requested shard count: an explicit placement pins it
+    /// (every entry of the map addresses one shard), else the spec /
+    /// catalog default. Also refuses a `shards` that disagrees with an
+    /// explicit placement length or a `shard_of` total — both silent
+    /// wrong-partition-bounds hazards.
+    fn resolve_shard_request(
+        &self,
+        spec: &DatasetSpec,
+        endpoints: Option<&[Option<Vec<String>>]>,
+    ) -> Result<usize, ServerError> {
+        let shards = match (endpoints, spec.shards) {
             (Some(eps), Some(n)) if eps.len() != n => {
                 return Err(ServerError::bad_request(format!(
                     "`shards` ({n}) disagrees with the {} entries of \
@@ -535,10 +812,6 @@ impl Catalog {
             (Some(eps), _) => eps.len(),
             (None, _) => self.resolve_shards(spec.shards),
         };
-
-        // A shard-of registration that also pins a *different* total is
-        // a silent wrong-partition-bounds hazard — refuse it like the
-        // endpoint-count mismatch above.
         if let (Some((_, total)), Some(n)) = (spec.shard_of, spec.shards) {
             if n != total {
                 return Err(ServerError::bad_request(format!(
@@ -547,83 +820,60 @@ impl Catalog {
                 )));
             }
         }
+        Ok(shards)
+    }
 
-        let mut engine = match spec.shard_of {
-            Some((index, total)) => ShardedEngine::shard_of(&table, &spec.visual, total, index),
-            None => ShardedEngine::new(&table, &spec.visual, shards),
-        }
-        .map_err(|e| ServerError::bad_request(format!("extracting trendlines: {e}")))?;
-
-        // Resolve the partition map against the *effective* shard count.
-        let placement: Vec<ShardPlacement> = match &endpoints {
+    /// Resolves the partition map against the *effective* shard count.
+    fn resolve_placement(
+        endpoints: Option<&[Option<Vec<String>>]>,
+        shard_of: bool,
+        effective: usize,
+    ) -> Result<Vec<ShardPlacement>, ServerError> {
+        match endpoints {
             Some(eps) => {
-                if spec.shard_of.is_some() {
+                if shard_of {
                     return Err(ServerError::bad_request(
                         "`shard_of` and `shard_endpoints` are mutually exclusive: \
                          a shard server owns its partition locally",
                     ));
                 }
-                if engine.shard_count() != eps.len() {
+                if effective != eps.len() {
                     return Err(ServerError::bad_request(format!(
                         "placement names {} shards but the collection only \
-                         partitions into {} (one trendline per shard minimum)",
-                        eps.len(),
-                        engine.shard_count()
+                         partitions into {effective} (one trendline per shard minimum)",
+                        eps.len()
                     )));
                 }
-                eps.iter()
+                Ok(eps
+                    .iter()
                     .map(|ep| match ep {
                         Some(replicas) => ShardPlacement::Remote(replicas.clone()),
                         None => ShardPlacement::Local,
                     })
-                    .collect()
+                    .collect())
             }
-            None => vec![ShardPlacement::Local; engine.shard_count()],
-        };
-
-        // A remotely-placed shard's engine is never queried in this
-        // process — its shard server owns the (identical, deterministic)
-        // partition — so drop the payload now: an all-remote router must
-        // not pay a whole collection's memory to route. The counts below
-        // were taken before eviction, so listings still describe the
-        // full collection.
-        let trendline_count = engine.trendline_count();
-        let point_count = engine.point_count();
-        for (i, p) in placement.iter().enumerate() {
-            if matches!(p, ShardPlacement::Remote(_)) {
-                engine.evict_shard(i);
-            }
+            None => Ok(vec![ShardPlacement::Local; effective]),
         }
+    }
 
-        if spec.builtins {
-            engine.register_builtin_udps();
-        }
-        // Registration is the expensive, rare operation — build the
-        // columnar GROUP arenas now so the first query on every shard
-        // pays only SEGMENT+SCORE. (Evicted remote shards warm an empty
-        // collection: a no-op.)
-        engine.warm();
-        let id = match spec.id {
-            Some(id) if !id.is_empty() => id,
-            _ => format!("ds{}", self.next_id.fetch_add(1, Ordering::Relaxed)),
-        };
-        let entry = Arc::new(DatasetEntry {
-            id: id.clone(),
-            generation: self.next_generation.fetch_add(1, Ordering::Relaxed),
-            name: spec.name,
-            visual: spec.visual,
-            shard_count: engine.shard_count(),
-            placement_fp: placement_fingerprint(&placement),
-            placement,
-            shard_of: spec.shard_of,
-            trendline_count,
-            point_count,
-            engine,
-        });
-        self.inner
+    /// Publishes an entry under `id`, purging any replaced snapshot
+    /// registration's resident shards (its generation can never be
+    /// served again).
+    fn publish(
+        &self,
+        id: String,
+        entry: Arc<DatasetEntry>,
+    ) -> Result<Arc<DatasetEntry>, ServerError> {
+        let replaced = self
+            .inner
             .write()
             .expect("catalog lock")
             .insert(id, Arc::clone(&entry));
+        if let Some(old) = replaced {
+            if let Some(snap) = &old.snapshot {
+                self.resident.purge_generation(snap.generation);
+            }
+        }
         Ok(entry)
     }
 

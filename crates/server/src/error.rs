@@ -43,6 +43,20 @@ impl ServerError {
         }
     }
 
+    /// A 400 Bad Request carrying the machine-readable
+    /// `snapshot_invalid` code: the named snapshot file failed
+    /// validation at open (bad magic, unknown format version, checksum
+    /// mismatch, truncation, or a violated structural invariant). The
+    /// registration is refused before any data is served — a torn
+    /// snapshot is a structured error, never a panic or garbage top-k.
+    pub fn invalid_snapshot(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+            code: Some("snapshot_invalid"),
+        }
+    }
+
     /// A 502 Bad Gateway carrying the machine-readable
     /// `shard_unavailable` code: a remote shard endpoint could not be
     /// reached (or answered garbage), so the query's global top-k could

@@ -183,8 +183,8 @@ impl AppState {
 fn check_path_source(path: &str, data_root: Option<&Path>) -> Result<PathBuf, ServerError> {
     let Some(root) = data_root else {
         return Err(ServerError::bad_request(
-            "`path` registration over HTTP is disabled; start the server with \
-             --data-root, or send the data inline via `csv`/`jsonl`",
+            "`path`/`snapshot` registration over HTTP is disabled; start the server \
+             with --data-root, or send the data inline via `csv`/`jsonl`",
         ));
     };
     let root = root
@@ -262,6 +262,7 @@ fn healthz(state: &Arc<AppState>) -> Response {
     let stats = state.cache.stats();
     let shard_stats = state.shard_stats();
     let pruning = *state.pruning.lock().expect("pruning stats lock");
+    let snapshots = state.catalog.resident().stats();
     let dataset_shards: usize = state.catalog.list().iter().map(|e| e.shard_count).sum();
     // The remote gauges are one consistent snapshot too: every RPC
     // records requests/errors/micros inside one critical section of this
@@ -341,6 +342,16 @@ fn healthz(state: &Arc<AppState>) -> Response {
             ]),
         ),
         ("pruning", protocol::pruning_to_json(pruning)),
+        (
+            "snapshots",
+            obj([
+                ("resident", snapshots.resident.into()),
+                ("capacity", snapshots.capacity.into()),
+                ("loads", snapshots.loads.into()),
+                ("evictions", snapshots.evictions.into()),
+                ("load_micros_total", snapshots.load_micros_total.into()),
+            ]),
+        ),
         (
             "remote_shards",
             obj([
@@ -501,6 +512,33 @@ fn metrics(state: &Arc<AppState>) -> Response {
         pruning.bound_micros,
     );
 
+    let snapshots = state.catalog.resident().stats();
+    expo.gauge(
+        "shapesearch_snapshot_resident_shards",
+        "Snapshot shards currently materialized in memory.",
+        snapshots.resident as u64,
+    );
+    expo.gauge(
+        "shapesearch_snapshot_resident_capacity",
+        "Resident-shard cap (--resident-shards; 0 = unlimited).",
+        snapshots.capacity as u64,
+    );
+    expo.counter(
+        "shapesearch_snapshot_loads_total",
+        "Cold snapshot-shard loads (first touch or reload after eviction).",
+        snapshots.loads,
+    );
+    expo.counter(
+        "shapesearch_snapshot_evictions_total",
+        "Snapshot shards evicted by the resident-shard LRU.",
+        snapshots.evictions,
+    );
+    expo.counter(
+        "shapesearch_snapshot_load_micros_total",
+        "Microseconds spent materializing snapshot shards.",
+        snapshots.load_micros_total,
+    );
+
     let requests: Vec<(&str, u64)> = remote
         .iter()
         .map(|(e, s)| (e.as_str(), s.requests))
@@ -608,7 +646,7 @@ fn list_datasets(state: &Arc<AppState>) -> Response {
 fn register_dataset(state: &Arc<AppState>, request: &Request) -> Result<Response, ServerError> {
     let body = body_json(request)?;
     let mut spec = protocol::dataset_spec_from_json(&body)?;
-    if let DataSource::Path(path) = &mut spec.source {
+    if let DataSource::Path(path) | DataSource::Snapshot(path) = &mut spec.source {
         let resolved = check_path_source(path, state.data_root.as_deref())?;
         *path = resolved.to_string_lossy().into_owned();
     }
@@ -1045,8 +1083,34 @@ fn execute_on_shards(
     hints: &[Option<f64>],
     trace: Option<&str>,
 ) -> ShardExec {
-    let shards = entry.engine.shards();
     let ks: Vec<usize> = queries.iter().map(|&(_, k)| k).collect();
+    // Resolve every local slot's engine up front. An eager entry hands
+    // back its resident Arcs for free; a snapshot entry materializes
+    // cold shards through the catalog's resident LRU (singleflight —
+    // queries racing one cold shard share a single load, and the load
+    // happens before the fan-out so pool tasks never block on I/O). A
+    // failed load fails the whole fan-out with its structured error:
+    // a partial answer must never pass as the global top-k.
+    let mut local: Vec<Option<Arc<shapesearch_core::ShapeEngine>>> =
+        Vec::with_capacity(entry.placement.len());
+    for (slot, placement) in entry.placement.iter().enumerate() {
+        match placement {
+            ShardPlacement::Local => match entry.local_shard(slot) {
+                Ok(engine) => local.push(Some(engine)),
+                Err(e) => {
+                    return ShardExec {
+                        outcomes: ks.iter().map(|_| Err(e.clone())).collect(),
+                        shard_micros: Vec::new(),
+                        hint_pruned: vec![None; ks.len()],
+                        pruning: PruningSnapshot::default(),
+                        spans: Vec::new(),
+                        degraded: ks.iter().map(|_| None).collect(),
+                    }
+                }
+            },
+            ShardPlacement::Remote(_) => local.push(None),
+        }
+    }
     let queries = Arc::new(queries);
     let shared = SharedThresholds::new(queries.len());
     for (i, hint) in hints.iter().enumerate().take(shared.len()) {
@@ -1065,8 +1129,7 @@ fn execute_on_shards(
         ..options.clone()
     };
 
-    let mut runs: Vec<ShardRun> = if shards.len() == 1
-        && entry.placement[0] == ShardPlacement::Local
+    let mut runs: Vec<ShardRun> = if local.len() == 1 && entry.placement[0] == ShardPlacement::Local
     {
         // An explicit opt-out must also defeat the engine's internal
         // auto-parallel threshold — a capped client gets one thread
@@ -1077,16 +1140,18 @@ fn execute_on_shards(
             ..options.clone()
         };
         let effective = if sequential { &capped } else { options };
-        vec![run_local_shard(
-            state, &shards[0], &queries, effective, &shared,
-        )]
+        let shard = local[0].as_ref().expect("single local slot resolved");
+        vec![run_local_shard(state, shard, &queries, effective, &shared)]
     } else if sequential {
         entry
             .placement
             .iter()
-            .zip(shards)
+            .zip(&local)
             .map(|(placement, shard)| match placement {
-                ShardPlacement::Local => run_local_shard(state, shard, &queries, &inner, &shared),
+                ShardPlacement::Local => {
+                    let shard = shard.as_ref().expect("local slot resolved");
+                    run_local_shard(state, shard, &queries, &inner, &shared)
+                }
                 ShardPlacement::Remote(replicas) => {
                     let hints = live_hints(&shared);
                     run_remote_shard(state, replicas, &entry.id, &queries, &inner, &hints, trace)
@@ -1100,14 +1165,14 @@ fn execute_on_shards(
         // enqueued first so the queue's FIFO order gives remote RPCs
         // the freshest possible threshold hints; `order` maps the
         // submission order back onto placement slots.
-        let mut order: Vec<usize> = Vec::with_capacity(shards.len());
-        let mut tasks: Vec<Box<dyn FnOnce() -> ShardRun + Send>> = Vec::with_capacity(shards.len());
-        for (slot, (placement, shard)) in entry.placement.iter().zip(shards).enumerate() {
+        let mut order: Vec<usize> = Vec::with_capacity(local.len());
+        let mut tasks: Vec<Box<dyn FnOnce() -> ShardRun + Send>> = Vec::with_capacity(local.len());
+        for (slot, (placement, shard)) in entry.placement.iter().zip(&local).enumerate() {
             if *placement != ShardPlacement::Local {
                 continue;
             }
             let task_state = Arc::clone(state);
-            let shard = Arc::clone(shard);
+            let shard = Arc::clone(shard.as_ref().expect("local slot resolved"));
             let queries = Arc::clone(&queries);
             let inner = inner.clone();
             let shared = shared.clone();
@@ -1143,7 +1208,7 @@ fn execute_on_shards(
                 )
             }));
         }
-        let mut slots: Vec<Option<ShardRun>> = (0..shards.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<ShardRun>> = (0..local.len()).map(|_| None).collect();
         for (slot, run) in order.into_iter().zip(state.compute.run_all(tasks)) {
             slots[slot] = Some(run);
         }
@@ -3132,5 +3197,188 @@ mod tests {
             before.get("results").unwrap().to_text(),
             after.get("results").unwrap().to_text()
         );
+    }
+
+    /// Writes a v1 snapshot whose trendlines mirror [`CSV`] exactly, so
+    /// a snapshot registration and a CSV registration answer from the
+    /// same logical collection.
+    fn demo_snapshot(dir: &std::path::Path, name: &str) -> std::path::PathBuf {
+        use shapesearch_datastore::Trendline;
+        let trendlines = vec![
+            Trendline::from_pairs("a", &[(1.0, 1.0), (2.0, 3.0), (3.0, 1.0)]),
+            Trendline::from_pairs("b", &[(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]),
+        ];
+        let path = dir.join(name);
+        shapesearch_core::snapshot::write(&path, &trendlines, 1).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ss-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn results_of(body: &str) -> String {
+        json::parse(body)
+            .unwrap()
+            .get("results")
+            .unwrap_or_else(|| panic!("no results in {body}"))
+            .to_text()
+    }
+
+    #[test]
+    fn snapshot_registration_answers_byte_identical_to_csv() {
+        let dir = temp_dir("snap-http");
+        let snap = demo_snapshot(&dir, "identity.snap");
+        let state = Arc::new(AppState::new(16, 2, Some(dir.clone()), 1));
+        register(&state); // "t1", inline CSV, eager
+        let body = format!(
+            r#"{{"name":"s","id":"s1","snapshot":"{}"}}"#,
+            snap.display()
+        );
+        let resp = route(&state, &post("/datasets", &body));
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        assert!(resp.body.contains("\"snapshot\":true"), "{}", resp.body);
+
+        for q in ["[p=up][p=down]", "[p=down]", "[p=up]"] {
+            let eager = route(
+                &state,
+                &post(
+                    "/query",
+                    &format!(r#"{{"dataset":"t1","query":"{q}","k":2}}"#),
+                ),
+            );
+            let lazy = route(
+                &state,
+                &post(
+                    "/query",
+                    &format!(r#"{{"dataset":"s1","query":"{q}","k":2}}"#),
+                ),
+            );
+            assert_eq!(eager.status, 200, "{}", eager.body);
+            assert_eq!(lazy.status, 200, "{}", lazy.body);
+            assert_eq!(results_of(&eager.body), results_of(&lazy.body), "query {q}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_refused_with_structured_error() {
+        let dir = temp_dir("snap-corrupt");
+        let snap = demo_snapshot(&dir, "torn.snap");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() - 9; // payload byte: header parses, checksum must not
+        bytes[mid] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let state = Arc::new(AppState::new(16, 2, Some(dir.clone()), 1));
+        let body = format!(
+            r#"{{"name":"s","id":"s1","snapshot":"{}"}}"#,
+            snap.display()
+        );
+        let resp = route(&state, &post("/datasets", &body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(
+            resp.body.contains("\"code\":\"snapshot_invalid\""),
+            "{}",
+            resp.body
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_registration_is_gated_by_data_root() {
+        let dir = temp_dir("snap-root");
+        let snap = demo_snapshot(&dir, "gated.snap");
+        let body = format!(
+            r#"{{"name":"s","id":"s1","snapshot":"{}"}}"#,
+            snap.display()
+        );
+
+        // Without --data-root, snapshot paths are refused like `path`.
+        let closed = state();
+        let resp = route(&closed, &post("/datasets", &body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("disabled"), "{}", resp.body);
+
+        // A snapshot outside the root is refused even with a root set.
+        let elsewhere = temp_dir("snap-elsewhere");
+        let outside = demo_snapshot(&elsewhere, "outside.snap");
+        let open = Arc::new(AppState::new(16, 2, Some(dir.clone()), 1));
+        let body = format!(
+            r#"{{"name":"s","id":"s1","snapshot":"{}"}}"#,
+            outside.display()
+        );
+        let resp = route(&open, &post("/datasets", &body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("data root"), "{}", resp.body);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&elsewhere).ok();
+    }
+
+    #[test]
+    fn snapshot_registration_rejects_extraction_keys() {
+        let dir = temp_dir("snap-keys");
+        let snap = demo_snapshot(&dir, "keys.snap");
+        let state = Arc::new(AppState::new(16, 2, Some(dir.clone()), 1));
+        let body = format!(
+            r#"{{"name":"s","id":"s1","snapshot":"{}","z":"z","x":"x","y":"y"}}"#,
+            snap.display()
+        );
+        let resp = route(&state, &post("/datasets", &body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(
+            resp.body
+                .contains("does not apply to a `snapshot` registration"),
+            "{}",
+            resp.body
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_lru_evicts_and_reloads_identically_under_pressure() {
+        let dir = temp_dir("snap-lru");
+        let snap = demo_snapshot(&dir, "lru.snap");
+        let state = Arc::new(AppState::new(16, 2, Some(dir.clone()), 2));
+        state.catalog.set_resident_capacity(1);
+        let body = format!(
+            r#"{{"name":"s","id":"s1","snapshot":"{}","shards":2}}"#,
+            snap.display()
+        );
+        let resp = route(&state, &post("/datasets", &body));
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        assert!(resp.body.contains("\"shards\":2"), "{}", resp.body);
+
+        let q = r#"{"dataset":"s1","query":"[p=up][p=down]","k":2}"#;
+        let cold = route(&state, &post("/query", q));
+        assert_eq!(cold.status, 200, "{}", cold.body);
+
+        // Two shards, one resident slot: the fan-out loaded both and
+        // the cap evicted down to one.
+        let stats = state.catalog.resident().stats();
+        assert_eq!(stats.loads, 2, "{stats:?}");
+        assert_eq!(stats.resident, 1, "{stats:?}");
+        assert!(stats.evictions >= 1, "{stats:?}");
+
+        // Re-registering the same id purges that generation's residents
+        // and invalidates its cache entries; the re-query reloads every
+        // shard from disk and still answers byte-identically.
+        let resp = route(&state, &post("/datasets", &body));
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        let warm = route(&state, &post("/query", q));
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        assert!(warm.body.contains("\"cached\":false"), "{}", warm.body);
+        assert_eq!(results_of(&cold.body), results_of(&warm.body));
+        let stats = state.catalog.resident().stats();
+        assert_eq!(stats.loads, 4, "{stats:?}");
+        assert_eq!(stats.resident, 1, "{stats:?}");
+
+        // The healthz snapshot block reports the same counters.
+        let health = route(&state, &get("/healthz"));
+        assert!(health.body.contains("\"snapshots\":{"), "{}", health.body);
+        assert!(health.body.contains("\"capacity\":1"), "{}", health.body);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -96,6 +96,7 @@ pub mod http;
 pub mod json;
 pub mod obs;
 pub mod protocol;
+pub mod resident;
 
 pub use cache::{CacheKey, CacheStats, LruCache, QueryCache};
 pub use catalog::{Catalog, DataSource, DatasetEntry, DatasetSpec, ShardPlacement};
@@ -105,6 +106,7 @@ pub use error::ServerError;
 pub use handlers::AppState;
 pub use http::{Request, Response, ServerHandle};
 pub use obs::{Histogram, HistogramSnapshot, Metrics, Span, Stage};
+pub use resident::{ResidentShards, ResidentStats};
 
 use std::io;
 use std::sync::Arc;
@@ -150,6 +152,11 @@ pub struct ServerConfig {
     /// connect once — riding out a shard server restarting — before the
     /// endpoint counts as failed and failover tries the next replica.
     pub shard_retries: u32,
+    /// Maximum snapshot shards resident in memory at once
+    /// (`--resident-shards`). Snapshot-registered datasets materialize
+    /// shards lazily on first touch and evict least-recently-used ones
+    /// over this cap; `0` (the default) means unlimited.
+    pub resident_shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -167,6 +174,7 @@ impl Default for ServerConfig {
             shard_connect_timeout_ms: client.connect_timeout.as_millis() as u64,
             shard_io_timeout_ms: client.io_timeout.as_millis() as u64,
             shard_retries: client.retries,
+            resident_shards: 0,
         }
     }
 }
@@ -211,6 +219,7 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
     );
     state.max_batch = config.max_batch.max(1);
     state.slow_query_micros = config.slow_query_micros;
+    state.catalog.set_resident_capacity(config.resident_shards);
     state.remote = PooledClient::with_config(client::ClientConfig {
         connect_timeout: std::time::Duration::from_millis(config.shard_connect_timeout_ms.max(1)),
         io_timeout: std::time::Duration::from_millis(config.shard_io_timeout_ms.max(1)),

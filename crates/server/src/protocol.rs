@@ -2,7 +2,8 @@
 //! construction for the eight routes.
 //!
 //! ```text
-//! POST /datasets  {"name", "id"?, "csv"|"jsonl"|"path", "z", "x", "y",
+//! POST /datasets  {"name", "id"?, "csv"|"jsonl"|"path"|"snapshot",
+//!                  "z", "x", "y",       (not with "snapshot" — baked in)
 //!                  "filters"?: [{"column","op","value"}], "agg"?,
 //!                  "builtins"?: bool, "shards"?: n,
 //!                  "shard_endpoints"?: ["host:port"
@@ -12,7 +13,7 @@
 //!                  "shard_of"?: "index/total"}
 //! GET  /datasets  → {"datasets":[{"id","name","z","x","y",
 //!                  "trendlines","points","shards","placement",
-//!                  "shard_of"?}]}
+//!                  "shard_of"?,"snapshot"?}]}
 //! POST /query     {"dataset", "query"|"nl", "k"?, "algo"?, "bin_width"?,
 //!                  "pushdown"?, "parallel"?, "pruning"?, "explain"?,
 //!                  "partial"?}
@@ -141,22 +142,44 @@ pub fn dataset_spec_from_json(body: &Json) -> Result<DatasetSpec, ServerError> {
         body.get("csv").and_then(Json::as_str),
         body.get("jsonl").and_then(Json::as_str),
         body.get("path").and_then(Json::as_str),
+        body.get("snapshot").and_then(Json::as_str),
     ) {
-        (Some(text), None, None) => DataSource::InlineCsv(text.to_owned()),
-        (None, Some(text), None) => DataSource::InlineJsonl(text.to_owned()),
-        (None, None, Some(path)) => DataSource::Path(path.to_owned()),
+        (Some(text), None, None, None) => DataSource::InlineCsv(text.to_owned()),
+        (None, Some(text), None, None) => DataSource::InlineJsonl(text.to_owned()),
+        (None, None, Some(path), None) => DataSource::Path(path.to_owned()),
+        (None, None, None, Some(path)) => DataSource::Snapshot(path.to_owned()),
         _ => {
             return Err(ServerError::bad_request(
-                "exactly one of `csv`, `jsonl`, or `path` is required",
+                "exactly one of `csv`, `jsonl`, `path`, or `snapshot` is required",
             ))
         }
     };
 
-    let mut visual = VisualSpec::new(
-        required_str(body, "z")?,
-        required_str(body, "x")?,
-        required_str(body, "y")?,
-    );
+    // A snapshot carries post-GROUP state: EXTRACT never runs against
+    // it, so the visual mapping — and `filters`/`agg`, which act during
+    // extraction — was baked in when the snapshot was built. Rejecting
+    // the keys (rather than ignoring them) keeps a client from
+    // believing a filter it sent was applied.
+    let snapshot_source = matches!(source, DataSource::Snapshot(_));
+    if snapshot_source {
+        for key in ["z", "x", "y", "filters", "agg"] {
+            if body.get(key).is_some() {
+                return Err(ServerError::bad_request(format!(
+                    "`{key}` does not apply to a `snapshot` registration: the \
+                     snapshot already contains extracted, grouped trendlines"
+                )));
+            }
+        }
+    }
+    let mut visual = if snapshot_source {
+        VisualSpec::new("z", "x", "y")
+    } else {
+        VisualSpec::new(
+            required_str(body, "z")?,
+            required_str(body, "x")?,
+            required_str(body, "y")?,
+        )
+    };
     if let Some(filters) = body.get("filters").and_then(Json::as_array) {
         for f in filters {
             visual = visual.with_filter(predicate_from_json(f)?);
@@ -469,6 +492,9 @@ pub fn dataset_to_json(entry: &DatasetEntry) -> Json {
     ];
     if let Some((index, total)) = entry.shard_of {
         fields.push(("shard_of", format!("{index}/{total}").into()));
+    }
+    if entry.snapshot.is_some() {
+        fields.push(("snapshot", true.into()));
     }
     obj(fields)
 }

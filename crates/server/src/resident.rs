@@ -1,0 +1,373 @@
+//! The resident-shard LRU for snapshot-backed datasets: shards load
+//! lazily on first touch (mapped partition → engine) and evict under
+//! capacity pressure, so a server can register snapshots whose total
+//! working set exceeds RAM and pay memory only for the partitions
+//! queries actually hit.
+//!
+//! Loads are **singleflight**: concurrent queries racing a cold shard
+//! block on one loader instead of duplicating the (CPU- and
+//! memory-expensive) materialization — the same coalescing discipline
+//! the query cache applies to identical queries. Keys are
+//! `(generation, shard slot)`, so a re-registered dataset can never be
+//! served a predecessor's partitions; the catalog purges the stale
+//! generation's residents on replacement.
+
+use crate::error::ServerError;
+use shapesearch_core::ShapeEngine;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A point-in-time snapshot of the LRU's `/healthz` gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResidentStats {
+    /// Shards currently resident (loaded and not evicted).
+    pub resident: usize,
+    /// Configured capacity (0 = unlimited).
+    pub capacity: usize,
+    /// Cold loads performed over the process lifetime.
+    pub loads: u64,
+    /// Shards evicted under capacity pressure.
+    pub evictions: u64,
+    /// Total microseconds spent in cold shard loads.
+    pub load_micros_total: u64,
+}
+
+/// One shard slot's residency state.
+enum Slot {
+    /// Some thread is materializing the shard; waiters block on the
+    /// condvar until it publishes (or fails and vacates the slot).
+    Loading,
+    /// The shard is resident. `touched` is the LRU clock tick of its
+    /// last use.
+    Ready {
+        engine: Arc<ShapeEngine>,
+        touched: u64,
+    },
+}
+
+struct Inner {
+    /// Monotone use counter; bigger = more recently used.
+    clock: u64,
+    /// `(generation, shard slot)` → residency state.
+    slots: HashMap<(u64, usize), Slot>,
+}
+
+/// The shared resident-shard LRU; one per catalog.
+pub struct ResidentShards {
+    /// Max resident shards across all snapshot datasets (0 = unlimited).
+    capacity: AtomicUsize,
+    inner: Mutex<Inner>,
+    loaded: Condvar,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    load_micros: AtomicU64,
+}
+
+impl Default for ResidentShards {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl ResidentShards {
+    /// An empty LRU holding at most `capacity` resident shards
+    /// (0 = unlimited).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: AtomicUsize::new(capacity),
+            inner: Mutex::new(Inner {
+                clock: 0,
+                slots: HashMap::new(),
+            }),
+            loaded: Condvar::new(),
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            load_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Reconfigures the capacity (0 = unlimited). Takes effect on the
+    /// next load; already-resident shards are not proactively evicted.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot of the gauges.
+    pub fn stats(&self) -> ResidentStats {
+        let inner = self.inner.lock().expect("resident lock");
+        ResidentStats {
+            resident: inner
+                .slots
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count(),
+            capacity: self.capacity.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            load_micros_total: self.load_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every resident shard of `generation` — called when a
+    /// dataset re-registration replaces that generation, whose
+    /// partitions must never be served again. In-flight loads of the
+    /// stale generation are left to complete (their result is simply
+    /// never touched again and ages out of the LRU).
+    pub fn purge_generation(&self, generation: u64) {
+        let mut inner = self.inner.lock().expect("resident lock");
+        inner
+            .slots
+            .retain(|(gen, _), slot| *gen != generation || matches!(slot, Slot::Loading));
+    }
+
+    /// The shard for `key`, touching it in the LRU — loading it via
+    /// `load` first if it is not resident. Exactly one caller runs the
+    /// loader per cold slot; the rest block until it publishes. A failed
+    /// load returns its error to the loader only and vacates the slot —
+    /// a blocked waiter wakes, finds the slot empty, and becomes the
+    /// next loader rather than inheriting a failure it can retry.
+    ///
+    /// # Errors
+    /// Whatever `load` returns; the LRU adds nothing.
+    pub fn get_or_load(
+        &self,
+        key: (u64, usize),
+        load: impl FnOnce() -> Result<Arc<ShapeEngine>, ServerError>,
+    ) -> Result<Arc<ShapeEngine>, ServerError> {
+        let mut inner = self.inner.lock().expect("resident lock");
+        loop {
+            match inner.slots.get(&key) {
+                Some(Slot::Ready { .. }) => {
+                    inner.clock += 1;
+                    let clock = inner.clock;
+                    let Some(Slot::Ready { engine, touched }) = inner.slots.get_mut(&key) else {
+                        unreachable!("checked above under the same lock hold");
+                    };
+                    *touched = clock;
+                    return Ok(Arc::clone(engine));
+                }
+                Some(Slot::Loading) => {
+                    inner = self.loaded.wait(inner).expect("resident lock");
+                }
+                None => {
+                    inner.slots.insert(key, Slot::Loading);
+                    break;
+                }
+            }
+        }
+        drop(inner);
+
+        // The expensive part runs outside the lock: other slots stay
+        // servable while this one materializes.
+        let started = Instant::now();
+        let outcome = load();
+        let micros = started.elapsed().as_micros() as u64;
+
+        let mut inner = self.inner.lock().expect("resident lock");
+        match outcome {
+            Ok(engine) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                self.load_micros.fetch_add(micros, Ordering::Relaxed);
+                inner.clock += 1;
+                let touched = inner.clock;
+                inner.slots.insert(
+                    key,
+                    Slot::Ready {
+                        engine: Arc::clone(&engine),
+                        touched,
+                    },
+                );
+                self.evict_over_capacity(&mut inner);
+                self.loaded.notify_all();
+                Ok(engine)
+            }
+            Err(e) => {
+                // Vacate so a later (or waiting) caller can retry the
+                // load instead of inheriting this failure forever.
+                inner.slots.remove(&key);
+                self.loaded.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Evicts least-recently-touched **ready** shards until the resident
+    /// count fits the capacity. `Loading` slots are never evicted (their
+    /// loader holds no LRU position yet, and evicting one would strand
+    /// its waiters).
+    fn evict_over_capacity(&self, inner: &mut Inner) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            return;
+        }
+        loop {
+            let ready = inner
+                .slots
+                .iter()
+                .filter_map(|(key, slot)| match slot {
+                    Slot::Ready { touched, .. } => Some((*touched, *key)),
+                    Slot::Loading => None,
+                })
+                .collect::<Vec<_>>();
+            if ready.len() <= capacity {
+                return;
+            }
+            let (_, coldest) = ready
+                .into_iter()
+                .min()
+                .expect("non-empty: len > capacity >= 1");
+            inner.slots.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapesearch_datastore::Trendline;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn demo_engine(slot: usize) -> Arc<ShapeEngine> {
+        let t = Trendline::from_pairs(
+            format!("s{slot}"),
+            &[(0.0, 0.0), (1.0, slot as f64 + 1.0), (2.0, 0.0)],
+        );
+        Arc::new(ShapeEngine::from_trendlines(vec![t]).with_base_index(slot))
+    }
+
+    /// A loader that counts its invocations.
+    fn counting_loader(
+        counter: &Arc<AtomicUsize>,
+        slot: usize,
+    ) -> impl FnOnce() -> Result<Arc<ShapeEngine>, ServerError> {
+        let counter = Arc::clone(counter);
+        move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(demo_engine(slot))
+        }
+    }
+
+    #[test]
+    fn loads_once_then_serves_resident() {
+        let lru = ResidentShards::new(0);
+        let loads = Arc::new(AtomicUsize::new(0));
+        let a = lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        let b = lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second touch must reuse the resident");
+        assert_eq!(loads.load(Ordering::SeqCst), 1);
+        let stats = lru.stats();
+        assert_eq!(stats.resident, 1);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_touched_first() {
+        let lru = ResidentShards::new(2);
+        let loads = Arc::new(AtomicUsize::new(0));
+        lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        lru.get_or_load((1, 1), counting_loader(&loads, 1)).unwrap();
+        // Touch 0 so 1 is now the coldest…
+        lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        // …and loading 2 must evict 1, not 0.
+        lru.get_or_load((1, 2), counting_loader(&loads, 2)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 3);
+        let stats = lru.stats();
+        assert_eq!((stats.resident, stats.evictions), (2, 1));
+        // 0 and 2 are warm (no new load); 1 is cold (one new load).
+        lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        lru.get_or_load((1, 2), counting_loader(&loads, 2)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 3);
+        lru.get_or_load((1, 1), counting_loader(&loads, 1)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn reload_after_eviction_answers_identically() {
+        let q = shapesearch_parser::parse_regex("[p=up][p=down]").unwrap();
+        let lru = ResidentShards::new(1);
+        let first = lru.get_or_load((7, 3), || Ok(demo_engine(3))).unwrap();
+        let want = first.top_k(&q, 1).unwrap();
+        // Push it out, then reload the same deterministic partition.
+        lru.get_or_load((7, 4), || Ok(demo_engine(4))).unwrap();
+        assert_eq!(lru.stats().evictions, 1);
+        let again = lru.get_or_load((7, 3), || Ok(demo_engine(3))).unwrap();
+        assert!(!Arc::ptr_eq(&first, &again), "must be a fresh load");
+        let got = again.top_k(&q, 1).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.key, w.key);
+            assert_eq!(g.viz_index, w.viz_index);
+            assert_eq!(g.score.to_bits(), w.score.to_bits());
+            assert_eq!(g.ranges, w.ranges);
+        }
+    }
+
+    #[test]
+    fn concurrent_cold_touch_loads_exactly_once() {
+        const THREADS: usize = 8;
+        let lru = Arc::new(ResidentShards::new(1));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(THREADS));
+        let engines: Vec<Arc<ShapeEngine>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let lru = Arc::clone(&lru);
+                    let loads = Arc::clone(&loads);
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || {
+                        gate.wait();
+                        lru.get_or_load((1, 0), move || {
+                            loads.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window: waiters must block,
+                            // not spawn their own loads.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(demo_engine(0))
+                        })
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "singleflight violated");
+        for e in &engines[1..] {
+            assert!(Arc::ptr_eq(&engines[0], e));
+        }
+        assert_eq!(lru.stats().loads, 1);
+    }
+
+    #[test]
+    fn failed_load_vacates_the_slot_for_retry() {
+        let lru = ResidentShards::new(0);
+        let err = lru
+            .get_or_load((1, 0), || Err(ServerError::internal("disk on fire")))
+            .unwrap_err();
+        assert_eq!(err.status, 500);
+        assert_eq!(lru.stats().loads, 0);
+        // The failure did not wedge the slot: the next touch loads.
+        let loads = Arc::new(AtomicUsize::new(0));
+        lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn purge_generation_drops_only_that_generation() {
+        let lru = ResidentShards::new(0);
+        lru.get_or_load((1, 0), || Ok(demo_engine(0))).unwrap();
+        lru.get_or_load((2, 0), || Ok(demo_engine(0))).unwrap();
+        assert_eq!(lru.stats().resident, 2);
+        lru.purge_generation(1);
+        assert_eq!(lru.stats().resident, 1);
+        // Generation 2 stays warm; generation 1 reloads cold.
+        let loads = Arc::new(AtomicUsize::new(0));
+        lru.get_or_load((2, 0), counting_loader(&loads, 0)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 0);
+        lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 1);
+    }
+}

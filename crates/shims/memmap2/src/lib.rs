@@ -1,0 +1,217 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! The build environment has no network access, so instead of the real
+//! `memmap2` this workspace ships a minimal, std-only implementation of
+//! the one API surface it uses: a **read-only, private** mapping of a
+//! whole file that derefs to `&[u8]`.
+//!
+//! On unix the mapping is a real `mmap(2)` through a raw `extern "C"`
+//! declaration (the same thin-syscall-shim spirit as the other
+//! `crates/shims/*`: no libc crate, just the stable C ABI). Everywhere
+//! else — and for zero-length files, which `mmap` rejects with `EINVAL`
+//! — the "mapping" is the file read into an 8-byte-aligned buffer, so
+//! callers that reinterpret aligned regions as `f64`/`u64` columns (the
+//! snapshot loader) behave identically on both backings.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// `MAP_FAILED` is `(void *)-1`, not null.
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+/// A read-only memory map of a whole file (or, off-unix / for empty
+/// files, an owned aligned copy of its bytes). Derefs to `&[u8]`.
+pub struct Mmap {
+    backing: Backing,
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    /// File bytes copied into a `u64`-backed buffer: 8-byte aligned by
+    /// construction, `len` is the real byte count (the last word may be
+    /// padding).
+    Owned { buf: Vec<u64>, len: usize },
+}
+
+impl Mmap {
+    /// Maps `file` read-only, private.
+    ///
+    /// # Safety
+    /// The real `memmap2` marks this unsafe because the mapping's
+    /// contents can change (or the access can fault) if the underlying
+    /// file is truncated or rewritten while mapped. The caller promises
+    /// the file stays put for the mapping's lifetime.
+    ///
+    /// # Errors
+    /// Propagates metadata/`mmap`/read failures from the OS.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Owned {
+                    buf: Vec::new(),
+                    len: 0,
+                },
+            });
+        }
+        Self::map_inner(file, len)
+    }
+
+    #[cfg(unix)]
+    unsafe fn map_inner(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr == sys::map_failed() || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            backing: Backing::Mapped { ptr, len },
+        })
+    }
+
+    #[cfg(not(unix))]
+    unsafe fn map_inner(file: &File, len: usize) -> io::Result<Mmap> {
+        Self::read_aligned(file, len)
+    }
+
+    /// The fallback backing: the whole file copied into an 8-byte-aligned
+    /// buffer.
+    #[cfg_attr(unix, allow(dead_code))]
+    fn read_aligned(mut file: &File, len: usize) -> io::Result<Mmap> {
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // Safe view of the buffer's bytes: u64 -> u8 reinterpretation is
+        // always valid, and the buffer is exclusively owned here.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+        file.read_exact(bytes)?;
+        Ok(Mmap {
+            backing: Backing::Owned { buf, len },
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(ptr.cast::<u8>(), *len)
+            },
+            Backing::Owned { buf, len } => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len)
+            },
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+// Safety: the mapping is read-only and private (never written through),
+// so sharing references across threads cannot race; the raw pointer is
+// owned by this struct and unmapped exactly once on drop.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // Nothing useful to do on failure during drop.
+            unsafe {
+                let _ = sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2_shim_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 13).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fallback_buffer_is_8_byte_aligned() {
+        let path = temp_path("aligned");
+        File::create(&path).unwrap().write_all(&[1u8; 24]).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::read_aligned(&file, 24).unwrap();
+        assert_eq!(map.len(), 24);
+        assert_eq!(map.as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

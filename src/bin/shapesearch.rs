@@ -8,8 +8,11 @@
 //! shapesearch --data genes.csv -z gene -x time -y expr \
 //!             --nl "rising then falling sharply"
 //! shapesearch serve [--addr 127.0.0.1:7878] [--workers N] [--cache-cap N] \
-//!             [--max-batch N] [--shards N] \
-//!             [--data FILE --z COL --x COL --y COL [--name NAME]]
+//!             [--max-batch N] [--shards N] [--resident-shards N] \
+//!             [--data FILE --z COL --x COL --y COL [--name NAME]] \
+//!             [--snapshot FILE [--name NAME]]
+//! shapesearch snapshot --data FILE --z COL --x COL --y COL --out FILE \
+//!             [--bin N] [--filter "col<=value"] [--agg avg]
 //! ```
 //!
 //! One-shot mode prints the ranked matches with scores and the fitted
@@ -44,11 +47,14 @@ fn usage() -> &'static str {
      [--pruning auto|off|force] \
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
      shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
-     [--shards N] [--data-root DIR] [--slow-query-micros N] \
+     [--shards N] [--resident-shards N] [--data-root DIR] [--slow-query-micros N] \
      [--shard-connect-timeout-ms N] [--shard-io-timeout-ms N] [--shard-retries N] \
      [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...] \
+      | --snapshot FILE [--name NAME]] \
       [--shard-of I/N [--announce ROUTER ...] [--advertise HOST:PORT] \
-       | --shard-endpoint 'HOST:PORT[|HOST:PORT...]'|local|registry ...]]"
+       | --shard-endpoint 'HOST:PORT[|HOST:PORT...]'|local|registry ...]\n\
+     shapesearch snapshot --data FILE --z COL --x COL --y COL --out FILE \
+     [--bin N] [--filter 'col OP value']... [--agg avg|sum|min|max|count]"
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -128,6 +134,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut config = ServerConfig::default();
     let mut data: Option<String> = None;
+    let mut snapshot: Option<String> = None;
     let mut name: Option<String> = None;
     let mut z = None;
     let mut x = None;
@@ -174,6 +181,15 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 config.shards = take("--shards")?
                     .parse()
                     .map_err(|_| "--shards must be an integer".to_owned())?;
+            }
+            "--resident-shards" => {
+                // Cap on snapshot shards held in memory at once; the
+                // least-recently-touched shard is evicted over the cap
+                // and reloads from its snapshot on the next touch.
+                // 0 (the default) = unlimited.
+                config.resident_shards = take("--resident-shards")?
+                    .parse()
+                    .map_err(|_| "--resident-shards must be an integer".to_owned())?;
             }
             "--data-root" => config.data_root = Some(take("--data-root")?.into()),
             "--slow-query-micros" => {
@@ -244,6 +260,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 advertise = Some(take("--advertise")?);
             }
             "--data" => data = Some(take("--data")?),
+            "--snapshot" => snapshot = Some(take("--snapshot")?),
             "--name" => name = Some(take("--name")?),
             "--z" | "-z" => z = Some(take("--z")?),
             "--x" | "-x" => x = Some(take("--x")?),
@@ -257,28 +274,54 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let service =
         shapesearch::server::serve(&addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
 
-    // Optional preregistration so the service starts useful.
-    if let Some(path) = data {
-        let (z, x, y) = match (z, x, y) {
-            (Some(z), Some(x), Some(y)) => (z, x, y),
-            _ => return Err("--data needs --z, --x, and --y".to_owned()),
+    // Optional preregistration so the service starts useful: an eager
+    // --data extraction, or a --snapshot whose shards load lazily on
+    // first touch (and stay under the --resident-shards cap).
+    let prereg = match (data, snapshot) {
+        (Some(_), Some(_)) => {
+            return Err("--data and --snapshot are mutually exclusive: build the \
+                        snapshot with `shapesearch snapshot`, then serve it"
+                .into())
+        }
+        (Some(path), None) => {
+            let (z, x, y) = match (z, x, y) {
+                (Some(z), Some(x), Some(y)) => (z, x, y),
+                _ => return Err("--data needs --z, --x, and --y".to_owned()),
+            };
+            let mut visual = VisualSpec::new(z, x, y);
+            for f in &filters {
+                visual = visual.with_filter(parse_filter(f)?);
+            }
+            if let Some(agg) = &agg {
+                visual = visual.with_aggregation(
+                    Aggregation::parse(agg)
+                        .ok_or_else(|| format!("unknown aggregation `{agg}`"))?,
+                );
+            }
+            Some((DataSource::Path(path), visual))
+        }
+        (None, Some(path)) => {
+            if z.is_some() || x.is_some() || y.is_some() || !filters.is_empty() || agg.is_some() {
+                return Err("--snapshot bakes the visual mapping in at build time; \
+                            --z/--x/--y/--filter/--agg do not apply"
+                    .into());
+            }
+            Some((DataSource::Snapshot(path), VisualSpec::new("z", "x", "y")))
+        }
+        (None, None) => None,
+    };
+    if let Some((source, visual)) = prereg {
+        let path = match &source {
+            DataSource::Path(p) | DataSource::Snapshot(p) => p.clone(),
+            _ => unreachable!("preregistration sources are file paths"),
         };
-        let mut visual = VisualSpec::new(z, x, y);
-        for f in &filters {
-            visual = visual.with_filter(parse_filter(f)?);
-        }
-        if let Some(agg) = &agg {
-            visual = visual.with_aggregation(
-                Aggregation::parse(agg).ok_or_else(|| format!("unknown aggregation `{agg}`"))?,
-            );
-        }
         let entry = service
             .state()
             .catalog
             .register(DatasetSpec {
                 id: name.clone(),
-                name: name.unwrap_or_else(|| path.clone()),
-                source: DataSource::Path(path),
+                name: name.unwrap_or(path),
+                source,
                 visual,
                 builtins: true,
                 shards: None,
@@ -347,7 +390,10 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             });
         }
     } else if shard_of.is_some() || !shard_endpoints.is_empty() || from_registry {
-        return Err("--shard-of / --shard-endpoint only apply to a --data preregistration".into());
+        return Err(
+            "--shard-of / --shard-endpoint only apply to a --data/--snapshot preregistration"
+                .into(),
+        );
     } else if !announce.is_empty() || advertise.is_some() {
         return Err("--announce / --advertise require a --data --shard-of preregistration".into());
     }
@@ -360,10 +406,93 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parses and runs `shapesearch snapshot ...`: EXTRACT + GROUP once,
+/// then persist the columnar state to a versioned on-disk snapshot that
+/// `serve --snapshot` (or a `"snapshot"` registration) can mmap and
+/// load shard-by-shard — byte-identical to re-extracting the source.
+fn run_snapshot(args: &[String]) -> Result<(), String> {
+    let mut data: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut z = None;
+    let mut x = None;
+    let mut y = None;
+    let mut bin = 1usize;
+    let mut filters: Vec<String> = Vec::new();
+    let mut agg: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--data" => data = Some(take("--data")?),
+            "--out" | "-o" => out = Some(take("--out")?),
+            "--z" | "-z" => z = Some(take("--z")?),
+            "--x" | "-x" => x = Some(take("--x")?),
+            "--y" | "-y" => y = Some(take("--y")?),
+            "--bin" => {
+                bin = take("--bin")?
+                    .parse()
+                    .map_err(|_| "--bin must be an integer".to_owned())?;
+                if bin == 0 {
+                    return Err("--bin must be at least 1".to_owned());
+                }
+            }
+            "--filter" => filters.push(take("--filter")?),
+            "--agg" => agg = Some(take("--agg")?),
+            other => return Err(format!("unknown snapshot argument `{other}`\n{}", usage())),
+        }
+    }
+    let data = data.ok_or("snapshot needs --data")?;
+    let out = out.ok_or("snapshot needs --out")?;
+    let (z, x, y) = match (z, x, y) {
+        (Some(z), Some(x), Some(y)) => (z, x, y),
+        _ => return Err("snapshot needs --z, --x, and --y".to_owned()),
+    };
+
+    let table = if data.ends_with(".json") || data.ends_with(".jsonl") {
+        shapesearch::datastore::json::read_file(&data)
+    } else {
+        shapesearch::datastore::csv::read_file(&data)
+    }
+    .map_err(|e| format!("loading {data}: {e}"))?;
+
+    let mut spec = VisualSpec::new(z, x, y);
+    for f in &filters {
+        spec = spec.with_filter(parse_filter(f)?);
+    }
+    if let Some(agg) = &agg {
+        spec = spec.with_aggregation(
+            Aggregation::parse(agg).ok_or_else(|| format!("unknown aggregation `{agg}`"))?,
+        );
+    }
+
+    let trendlines = shapesearch::datastore::extract(
+        &table,
+        &spec,
+        &shapesearch::datastore::ExtractOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let stats =
+        shapesearch::core::snapshot::write(&out, &trendlines, bin).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} trendlines ({} accepted), {} raw points, \
+         {} canvas points, bin width {bin}, {} bytes",
+        stats.trendlines, stats.vizzes, stats.raw_points, stats.canvas_points, stats.bytes,
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         return run_serve(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("snapshot") {
+        return run_snapshot(&argv[1..]);
     }
     let cli = parse_cli()?;
     let data = cli.data.ok_or_else(|| usage().to_owned())?;
