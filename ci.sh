@@ -78,6 +78,24 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+# The connection-scaling steps below park an idle keep-alive crowd
+# against an in-process server: ~2 fds per parked connection, all in one
+# process. Raise the soft fd ceiling where allowed and size the crowd to
+# whatever budget we actually got (1,000 when it fits).
+ulimit -n 4096 2>/dev/null || true
+FDS=$(ulimit -n)
+case "$FDS" in
+    unlimited) IDLE_CONNS=1000 ;;
+    *)
+        if [ "$FDS" -ge 2400 ]; then
+            IDLE_CONNS=1000
+        else
+            IDLE_CONNS=$(( (FDS - 300) / 2 ))
+        fi
+        ;;
+esac
+export SHAPESEARCH_BENCH_IDLE_CONNS="$IDLE_CONNS"
+
 echo "==> engine perf report (pruning on/off x shards, writes BENCH_engine.json)"
 # The perf trajectory gate: runs the fixed seeded workload matrix,
 # asserts pruned results are byte-identical to unpruned, rewrites
@@ -96,6 +114,9 @@ test -s BENCH_engine.json || { echo "perf_report wrote no BENCH_engine.json"; ex
 grep -q '"kernel":' BENCH_engine.json || {
     echo "perf_report wrote no kernel block"; exit 1;
 }
+grep -q '"connections":' BENCH_engine.json || {
+    echo "perf_report wrote no connections block"; exit 1;
+}
 
 echo "==> kernel microbench smoke (columnar vs scalar, equivalence gated)"
 # The #[ignore]d throughput check in core::columnar: its bitwise
@@ -104,6 +125,15 @@ echo "==> kernel microbench smoke (columnar vs scalar, equivalence gated)"
 # block carries the recorded ratio, gated above by perf_report --check
 # via SHAPESEARCH_BENCH_MIN_KERNEL_RATIO).
 cargo test -q -p shapesearch-core --release kernel_throughput -- --ignored --nocapture
+
+echo "==> idle keep-alive connection smoke ($IDLE_CONNS parked connections, 2 event threads)"
+# The evented core's scaling claim, enforced end to end: a server with
+# --event-threads 2 holds the whole idle crowd, answers the standard
+# batch query through one of the HELD keep-alive connections
+# byte-identically to a fresh connection (after normalizing the
+# timing-dependent "micros" and "cached" fields), and reclaims every
+# connection slot once the crowd hangs up.
+./target/release/conn_smoke "$IDLE_CONNS"
 
 echo "==> sharded serve smoke (--shards 4, HTTP batch query)"
 # Guards the whole fan-out path end to end: CLI flag -> catalog default

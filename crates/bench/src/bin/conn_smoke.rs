@@ -1,0 +1,267 @@
+//! `conn_smoke`: the evented-HTTP-core scaling smoke.
+//!
+//! Boots an in-process server with **2 event threads**, parks a crowd of
+//! idle keep-alive connections against it (1,000 in CI), then runs the
+//! standard batch query twice — once **through one of the held
+//! keep-alive connections** and once on a fresh `connection: close`
+//! socket — and byte-diffs the two replies after normalizing the
+//! timing-dependent `"micros"` and `"cached"` fields. A diff, a missing
+//! connection gauge, or slots that fail to drain after the crowd hangs
+//! up all exit nonzero.
+//!
+//! ```sh
+//! cargo run -p shapesearch-bench --bin conn_smoke --release [-- N_IDLE]
+//! ```
+//!
+//! `N_IDLE` defaults to 1000; `ci.sh` raises `ulimit -n` first and
+//! passes a smaller crowd when the fd budget cannot fit two sockets per
+//! connection plus headroom.
+
+use shapesearch_server::{json, Client, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Deterministic registration CSV: a small mixed collection with clean
+/// peaks so the batch query has real answers.
+fn demo_csv() -> String {
+    let mut csv = String::from("series,t,v\n");
+    for s in 0..24 {
+        for t in 0..40 {
+            let tf = t as f64;
+            let v = if s % 3 == 0 {
+                if tf < 20.0 {
+                    tf
+                } else {
+                    40.0 - tf
+                }
+            } else {
+                (tf * (0.08 + s as f64 * 0.013)).sin() * 3.0
+            };
+            csv.push_str(&format!("s{s},{t},{v}\n"));
+        }
+    }
+    csv
+}
+
+fn batch_body() -> String {
+    r#"[{"dataset":"crowd","query":"[p=up][p=down]","k":4},{"dataset":"crowd","query":"[p=down][p=up]","k":3}]"#.to_owned()
+}
+
+/// One keep-alive request/response round trip on an already-open
+/// socket: writes the request, parses the status line and headers, and
+/// reads exactly `content-length` body bytes — leaving the connection
+/// open and reusable.
+fn keepalive_roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: x\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Zeroes every `"micros":<n>` and pins every `"cached":<bool>` so two
+/// replies that differ only in timing/cache provenance compare equal.
+fn normalize(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut rest = body;
+    loop {
+        let micros = rest.find("\"micros\":");
+        let cached = rest.find("\"cached\":");
+        let (at, key) = match (micros, cached) {
+            (Some(m), Some(c)) if m < c => (m, "\"micros\":"),
+            (_, Some(c)) => (c, "\"cached\":"),
+            (Some(m), None) => (m, "\"micros\":"),
+            (None, None) => {
+                out.push_str(rest);
+                return out;
+            }
+        };
+        let value_at = at + key.len();
+        out.push_str(&rest[..value_at]);
+        out.push_str(if key == "\"micros\":" { "0" } else { "false" });
+        rest = &rest[value_at..];
+        let skipped = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        rest = &rest[skipped..];
+    }
+}
+
+fn connections_gauge(client: &Client, field: &str) -> u64 {
+    client
+        .get("/healthz")
+        .expect("healthz")
+        .expect_ok("healthz")
+        .get("connections")
+        .unwrap_or_else(|| panic!("healthz has no connections block"))
+        .get(field)
+        .unwrap_or_else(|| panic!("connections block has no {field}"))
+        .as_usize()
+        .unwrap_or_else(|| panic!("connections.{field} is not a number")) as u64
+}
+
+fn main() {
+    let want_idle: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("N_IDLE must be an integer"))
+        .unwrap_or(1000);
+
+    let service = shapesearch_server::serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            event_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = service.addr();
+    let client = Client::new(addr);
+
+    let reply = client
+        .post(
+            "/datasets",
+            &json::Json::Obj(vec![
+                ("name".into(), "crowd".into()),
+                ("id".into(), "crowd".into()),
+                ("csv".into(), demo_csv().into()),
+                ("z".into(), "series".into()),
+                ("x".into(), "t".into()),
+                ("y".into(), "v".into()),
+            ]),
+        )
+        .expect("register");
+    assert_eq!(
+        reply.status,
+        201,
+        "register failed: {}",
+        reply.body.to_text()
+    );
+
+    // Park the crowd. Every held socket exercises the readiness path: a
+    // warmed prefix completes one keep-alive round trip first (so it is
+    // parked *between* requests), the rest idle before their first byte.
+    let mut held: Vec<TcpStream> = Vec::with_capacity(want_idle);
+    for i in 0..want_idle {
+        match TcpStream::connect(addr) {
+            Ok(mut s) => {
+                s.set_nodelay(true).ok();
+                if i < 8 {
+                    let (status, _) = keepalive_roundtrip(&mut s, "GET", "/healthz", "");
+                    assert_eq!(status, 200, "warm-up round trip failed");
+                }
+                held.push(s);
+            }
+            Err(e) => {
+                eprintln!(
+                    "conn_smoke: connect #{i} failed ({e}); holding {} instead",
+                    held.len()
+                );
+                break;
+            }
+        }
+    }
+    assert!(
+        held.len() >= want_idle / 2,
+        "could not hold even half the requested crowd ({}/{want_idle})",
+        held.len()
+    );
+
+    // The gauges see the whole crowd (+1 for the healthz probe itself).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let active = connections_gauge(&client, "active");
+        if active > held.len() as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "active={active} never reached the crowd size {}",
+            held.len()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(connections_gauge(&client, "accepted_total") >= held.len() as u64);
+
+    // The standard batch query, once through a held keep-alive socket…
+    let body = batch_body();
+    let mut through = held.pop().expect("crowd is non-empty");
+    let (status_held, reply_held) = keepalive_roundtrip(&mut through, "POST", "/query", &body);
+    assert_eq!(status_held, 200, "held-connection batch: {reply_held}");
+    held.push(through);
+
+    // …and once on a fresh connection: byte-identical after normalizing
+    // the timing fields.
+    let (status_fresh, reply_fresh) = {
+        let reply = client
+            .post("/query", &json::parse(&body).expect("batch body parses"))
+            .expect("fresh batch");
+        (reply.status, reply.body.to_text())
+    };
+    assert_eq!(status_fresh, 200, "fresh-connection batch: {reply_fresh}");
+    let (held_norm, fresh_norm) = (normalize(&reply_held), normalize(&reply_fresh));
+    assert!(
+        held_norm == fresh_norm,
+        "replies diverged between a held keep-alive connection and a fresh one:\n\
+         held:  {held_norm}\nfresh: {fresh_norm}"
+    );
+    assert!(
+        held_norm.contains("\"results\""),
+        "batch reply carried no results: {held_norm}"
+    );
+
+    // Hang up the crowd: every slot must drain back to just the probe.
+    let crowd = held.len() as u64;
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let active = connections_gauge(&client, "active");
+        if active == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{active} connections still active after the crowd hung up"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    println!(
+        "conn_smoke OK: {crowd} idle keep-alive connections on 2 event threads, \
+         held == fresh byte-for-byte, slots drained"
+    );
+    service.shutdown();
+}

@@ -387,6 +387,119 @@ fn run_cold_load(data: &[Trendline]) -> ColdLoadReport {
     report
 }
 
+/// Idle-connection scaling trajectory: time-to-answer of the standard
+/// batch query over HTTP against a 2-event-thread server, quiet (0 idle
+/// peers) vs crowded (`SHAPESEARCH_BENCH_IDLE_CONNS` idle keep-alive
+/// connections parked on the same listener, default 1000). `penalty` is
+/// crowded/quiet; the evented core's claim is that parked connections
+/// cost readiness-table slots, not threads, so the gate
+/// (`SHAPESEARCH_BENCH_MAX_IDLE_CONN_PENALTY`, default 3.0) bounds how
+/// much a crowd may slow a live query.
+struct ConnectionsReport {
+    idle_peers: usize,
+    quiet_micros: u64,
+    crowded_micros: u64,
+    penalty: f64,
+}
+
+fn run_connections(data: &[Trendline]) -> ConnectionsReport {
+    use shapesearch_server::{json, Client, ServerConfig};
+    use std::net::TcpStream;
+
+    let mut csv = String::from("z,x,y\n");
+    for t in data {
+        for p in &t.points {
+            csv.push_str(&format!("{},{},{}\n", t.key, p.x, p.y));
+        }
+    }
+    let service = shapesearch_server::serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            event_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let client = Client::new(service.addr());
+    let batch = json::parse(
+        r#"[{"dataset":"conn","query":"[p=up][p=down]","k":5},
+            {"dataset":"conn","query":"[p=down][p=up]","k":5}]"#,
+    )
+    .expect("static batch parses");
+
+    // Each phase re-registers the dataset first: the generation bump
+    // clears the query cache, so neither phase inherits the other's
+    // warm answers and the two measurements do identical work.
+    let measure = |label: &str| -> u64 {
+        let reply = client
+            .post(
+                "/datasets",
+                &json::Json::Obj(vec![
+                    ("name".into(), "conn".into()),
+                    ("id".into(), "conn".into()),
+                    ("csv".into(), csv.clone().into()),
+                    ("z".into(), "z".into()),
+                    ("x".into(), "x".into()),
+                    ("y".into(), "y".into()),
+                ]),
+            )
+            .expect("register");
+        assert_eq!(
+            reply.status,
+            201,
+            "{label} register: {}",
+            reply.body.to_text()
+        );
+        let mut best = u64::MAX;
+        for _ in 0..REPS {
+            let started = Instant::now();
+            client
+                .post("/query", &batch)
+                .expect("batch query")
+                .expect_ok(label);
+            best = best.min(started.elapsed().as_micros() as u64);
+        }
+        best
+    };
+
+    let quiet = measure("quiet");
+
+    let want_idle: usize = std::env::var("SHAPESEARCH_BENCH_IDLE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let mut held: Vec<TcpStream> = Vec::with_capacity(want_idle);
+    for i in 0..want_idle {
+        match TcpStream::connect(service.addr()) {
+            Ok(s) => held.push(s),
+            Err(e) => {
+                eprintln!(
+                    "connections: connect #{i} failed ({e}); measuring against {} idle peers",
+                    held.len()
+                );
+                break;
+            }
+        }
+    }
+    let crowd = held.len();
+    let crowded = measure("crowded");
+    drop(held);
+
+    let report = ConnectionsReport {
+        idle_peers: crowd,
+        quiet_micros: quiet,
+        crowded_micros: crowded,
+        penalty: crowded as f64 / quiet.max(1) as f64,
+    };
+    eprintln!(
+        "connections: quiet={:>8}µs crowded={:>8}µs penalty={:.2}x ({} idle keep-alive peers)",
+        report.quiet_micros, report.crowded_micros, report.penalty, report.idle_peers,
+    );
+    service.shutdown();
+    report
+}
+
 /// The git revision this report was produced from: baked in at compile
 /// time when CI exports `SHAPESEARCH_GIT_REV`, otherwise asked of the
 /// working tree at run time (numbers without provenance are unanswerable
@@ -410,6 +523,7 @@ fn render_json(
     workloads: &[WorkloadReport],
     kernel: &KernelReport,
     cold: &ColdLoadReport,
+    conn: &ConnectionsReport,
 ) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -469,8 +583,13 @@ fn render_json(
     out.push_str("  },\n");
     out.push_str(&format!(
         "  \"cold_load\": {{\"eager_micros\": {}, \"cold_micros\": {}, \
-         \"ratio\": {:.3}, \"snapshot_bytes\": {}}}\n",
+         \"ratio\": {:.3}, \"snapshot_bytes\": {}}},\n",
         cold.eager_micros, cold.cold_micros, cold.ratio, cold.snapshot_bytes,
+    ));
+    out.push_str(&format!(
+        "  \"connections\": {{\"idle_peers\": {}, \"quiet_micros\": {}, \
+         \"crowded_micros\": {}, \"penalty\": {:.3}}}\n",
+        conn.idle_peers, conn.quiet_micros, conn.crowded_micros, conn.penalty,
     ));
     out.push_str("}\n");
     out
@@ -520,8 +639,9 @@ fn main() {
     ];
     let kernel = run_kernel(&common_collection());
     let cold = run_cold_load(&common_collection());
+    let conn = run_connections(&common_collection());
 
-    let json = render_json(&workloads, &kernel, &cold);
+    let json = render_json(&workloads, &kernel, &cold, &conn);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     eprintln!("wrote BENCH_engine.json");
 
@@ -540,7 +660,20 @@ fn main() {
         // usual env override lets same-machine trackers pin the real
         // (larger) win.
         let min_cold_ratio = env_f64("SHAPESEARCH_BENCH_MIN_COLD_LOAD_RATIO", 1.0);
+        // Idle-connection ceiling: a parked keep-alive crowd may not
+        // slow a live query by more than this factor. Generous by
+        // default — the roundtrip is sub-millisecond, so wall-clock
+        // noise is proportionally large — with the usual env override
+        // for same-machine trackers.
+        let max_idle_penalty = env_f64("SHAPESEARCH_BENCH_MAX_IDLE_CONN_PENALTY", 3.0);
         let mut failures = Vec::new();
+        if conn.penalty > max_idle_penalty {
+            failures.push(format!(
+                "connections: {} idle keep-alive peers slowed the batch query {:.2}x \
+                 (quiet {}µs vs crowded {}µs), above the {max_idle_penalty}x ceiling",
+                conn.idle_peers, conn.penalty, conn.quiet_micros, conn.crowded_micros
+            ));
+        }
         if kernel.ratio < min_kernel_ratio {
             failures.push(format!(
                 "kernel: columnar/scalar throughput ratio {:.2} below the {min_kernel_ratio}x floor \

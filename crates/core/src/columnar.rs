@@ -247,6 +247,22 @@ impl ColumnarArena {
         self.point_starts.len().saturating_sub(1)
     }
 
+    /// Total bytes held (or mapped) by the arena's columns — the
+    /// resident-memory cost a server pays to keep this arena hot, used
+    /// by the resident-shard byte budget (`--resident-bytes`).
+    pub fn byte_size(&self) -> usize {
+        let f64_cells = self.xs.len()
+            + self.ys.len()
+            + self.sum_x.len()
+            + self.sum_y.len()
+            + self.sum_xy.len()
+            + self.sum_xx.len()
+            + self.slope_min.len()
+            + self.slope_max.len();
+        f64_cells * std::mem::size_of::<f64>()
+            + self.point_starts.len() * std::mem::size_of::<usize>()
+    }
+
     /// Total canvas points across all visualizations.
     pub fn point_count(&self) -> usize {
         self.xs.len()

@@ -242,6 +242,29 @@ impl ShapeEngine {
         let _ = self.grouped(bin_width);
     }
 
+    /// Total bytes of columnar GROUP state this engine currently holds
+    /// resident: the sum of each cached bin width's arena byte size.
+    /// Every [`VizData`] in one GROUP run shares a single arena, so one
+    /// handle per width is enough to account for the whole collection.
+    /// This is the dominant memory cost of a resident snapshot shard —
+    /// the server's `--resident-bytes` budget evicts on it.
+    pub fn grouped_byte_size(&self) -> usize {
+        let cache = self
+            .grouped_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        cache
+            .iter()
+            .map(|(_, grouped)| {
+                grouped
+                    .iter()
+                    .flatten()
+                    .next()
+                    .map_or(0, |viz| viz.arena().byte_size())
+            })
+            .sum()
+    }
+
     /// Installs a pre-built GROUP run for `bin_width` into the engine's
     /// cache — the snapshot load path: a [`crate::snapshot::Snapshot`]
     /// partition hands back the mapped arena plus its `VizData` handles,

@@ -525,6 +525,14 @@ impl Catalog {
         self.resident.set_capacity(capacity);
     }
 
+    /// Caps the byte budget of resident snapshot shards (0 = unlimited);
+    /// the server's `--resident-bytes` flag. The budget counts each
+    /// resident shard's columnar-arena size and never evicts below one
+    /// shard.
+    pub fn set_resident_capacity_bytes(&self, capacity_bytes: u64) {
+        self.resident.set_capacity_bytes(capacity_bytes);
+    }
+
     /// The heartbeat registry shard servers announce into.
     pub fn registry(&self) -> &Registry {
         &self.registry

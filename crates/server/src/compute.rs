@@ -208,6 +208,111 @@ impl Drop for ComputePool {
     }
 }
 
+/// The request-dispatch tier of the evented HTTP core: a fixed set of
+/// threads that run router closures handed over by the event loops.
+///
+/// Deliberately **not** [`ComputePool`]: compute tasks are leaf work and
+/// their submitters help drain the queue, which is exactly wrong for
+/// router jobs — a router job *submits* compute batches, so a helping
+/// router thread could pop another router job mid-wait and recurse
+/// without bound. Dispatch workers are plain consumers: one queued job
+/// at a time, completion delivered back to the owning event loop via its
+/// inbox + waker, never by the dispatcher touching sockets.
+pub struct DispatchPool {
+    inner: Arc<PoolInner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl DispatchPool {
+    /// A pool of `threads` dispatch threads (at least one: unlike the
+    /// compute pool there is no helping submitter to fall back on).
+    pub fn new(threads: usize) -> Self {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut queue = inner.queue.lock().expect("dispatch queue");
+                        loop {
+                            // Pop before honoring shutdown: queued jobs
+                            // carry in-flight requests whose connections
+                            // wait on their completions, so shutdown
+                            // drains the queue instead of dropping it.
+                            if let Some(job) = queue.jobs.pop_front() {
+                                break job;
+                            }
+                            if queue.shutdown {
+                                return;
+                            }
+                            queue = inner.ready.wait(queue).expect("dispatch queue");
+                        }
+                    };
+                    // Router jobs catch their own panics (they must
+                    // always deliver a completion); this is a backstop
+                    // for the pool thread itself.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                })
+            })
+            .collect();
+        Self {
+            inner,
+            threads: Mutex::new(handles),
+        }
+    }
+
+    /// Number of dispatch threads.
+    pub fn workers(&self) -> usize {
+        self.threads.lock().expect("dispatch threads").len()
+    }
+
+    /// Enqueues `job` for the next free dispatch thread. If the pool has
+    /// already shut down (a shutdown/enqueue race at server stop), the
+    /// job runs inline on the caller so its completion is never lost.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let job: Job = Box::new(job);
+        let job = {
+            let mut queue = self.inner.queue.lock().expect("dispatch queue");
+            if queue.shutdown {
+                Some(job)
+            } else {
+                queue.jobs.push_back(job);
+                None
+            }
+        };
+        match job {
+            Some(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            None => self.inner.ready.notify_one(),
+        }
+    }
+
+    /// Closes the queue, runs every queued job to completion, and joins
+    /// the threads. Idempotent; callable through a shared reference (the
+    /// event loops and the server handle share the pool via `Arc`).
+    pub fn shutdown(&self) {
+        self.inner.queue.lock().expect("dispatch queue").shutdown = true;
+        self.inner.ready.notify_all();
+        let handles = std::mem::take(&mut *self.threads.lock().expect("dispatch threads"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DispatchPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +361,27 @@ mod tests {
             }
         });
         assert_eq!(executed.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn dispatch_pool_runs_jobs_and_drains_on_shutdown() {
+        let pool = DispatchPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Shutdown must run every queued job, not drop the backlog.
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 50);
+        // Post-shutdown spawns run inline so completions are never lost.
+        let ran2 = Arc::clone(&ran);
+        pool.spawn(move || {
+            ran2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 51);
     }
 
     #[test]

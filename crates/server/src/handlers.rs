@@ -131,6 +131,11 @@ pub struct AppState {
     /// structured `slow-query` stderr line carrying the trace ID; `0`
     /// disables the log.
     pub slow_query_micros: u64,
+    /// Connection counters maintained by the evented HTTP core, exposed
+    /// in the `/healthz` `connections` block and the
+    /// `shapesearch_connections_*` metrics series. Shared with
+    /// [`crate::http::serve`] through [`crate::http::HttpConfig`].
+    pub conn_stats: Arc<crate::http::ConnStats>,
 }
 
 impl AppState {
@@ -166,6 +171,7 @@ impl AppState {
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
             slow_query_micros: 0,
+            conn_stats: Arc::new(crate::http::ConnStats::default()),
         }
     }
 
@@ -347,9 +353,48 @@ fn healthz(state: &Arc<AppState>) -> Response {
             obj([
                 ("resident", snapshots.resident.into()),
                 ("capacity", snapshots.capacity.into()),
+                ("resident_bytes", snapshots.resident_bytes.into()),
+                ("capacity_bytes", snapshots.capacity_bytes.into()),
                 ("loads", snapshots.loads.into()),
                 ("evictions", snapshots.evictions.into()),
                 ("load_micros_total", snapshots.load_micros_total.into()),
+            ]),
+        ),
+        (
+            "connections",
+            obj([
+                (
+                    "active",
+                    state.conn_stats.active.load(Ordering::Relaxed).into(),
+                ),
+                (
+                    "idle_keepalive",
+                    state
+                        .conn_stats
+                        .idle_keepalive
+                        .load(Ordering::Relaxed)
+                        .into(),
+                ),
+                (
+                    "accepted_total",
+                    state
+                        .conn_stats
+                        .accepted_total
+                        .load(Ordering::Relaxed)
+                        .into(),
+                ),
+                (
+                    "timeouts",
+                    state.conn_stats.timeouts.load(Ordering::Relaxed).into(),
+                ),
+                (
+                    "event_loop_wakeups",
+                    state
+                        .conn_stats
+                        .event_loop_wakeups
+                        .load(Ordering::Relaxed)
+                        .into(),
+                ),
             ]),
         ),
         (
@@ -537,6 +582,42 @@ fn metrics(state: &Arc<AppState>) -> Response {
         "shapesearch_snapshot_load_micros_total",
         "Microseconds spent materializing snapshot shards.",
         snapshots.load_micros_total,
+    );
+    expo.gauge(
+        "shapesearch_snapshot_resident_bytes",
+        "Columnar-arena bytes held by resident snapshot shards.",
+        snapshots.resident_bytes,
+    );
+    expo.gauge(
+        "shapesearch_snapshot_resident_capacity_bytes",
+        "Resident-shard byte budget (--resident-bytes; 0 = unlimited).",
+        snapshots.capacity_bytes,
+    );
+
+    expo.gauge(
+        "shapesearch_connections_active",
+        "Open client connections (any phase, including keep-alive idle).",
+        state.conn_stats.active.load(Ordering::Relaxed),
+    );
+    expo.gauge(
+        "shapesearch_connections_idle_keepalive",
+        "Open client connections parked idle between keep-alive requests.",
+        state.conn_stats.idle_keepalive.load(Ordering::Relaxed),
+    );
+    expo.counter(
+        "shapesearch_connections_accepted_total",
+        "Client connections accepted since startup.",
+        state.conn_stats.accepted_total.load(Ordering::Relaxed),
+    );
+    expo.counter(
+        "shapesearch_connections_timeouts_total",
+        "Connections cut by the idle or slow-request deadline.",
+        state.conn_stats.timeouts.load(Ordering::Relaxed),
+    );
+    expo.counter(
+        "shapesearch_connections_event_loop_wakeups_total",
+        "Readiness event-loop wakeups that delivered at least one event.",
+        state.conn_stats.event_loop_wakeups.load(Ordering::Relaxed),
     );
 
     let requests: Vec<(&str, u64)> = remote

@@ -11,8 +11,8 @@
 //! root walks the full request lifecycle):
 //!
 //! ```text
-//!        TcpListener ──► worker pool (http) ──► route (handlers)
-//!                                                   │
+//!        TcpListener ─► event loops (http) ─► dispatch ─► route (handlers)
+//!                       (epoll readiness)     (CPU tier)         │
 //!                    ┌──────────────┬───────────────┼──────────────┐
 //!                    ▼              ▼               ▼              ▼
 //!              Catalog (catalog)  QueryCache    protocol/json  ComputePool
@@ -104,7 +104,7 @@ pub use chaos::{ChaosMode, ChaosProxy};
 pub use client::{Client, ClientConfig, ClientResponse, PooledClient};
 pub use error::ServerError;
 pub use handlers::AppState;
-pub use http::{Request, Response, ServerHandle};
+pub use http::{ConnStats, HttpConfig, Request, Response, ServerHandle};
 pub use obs::{Histogram, HistogramSnapshot, Metrics, Span, Stage};
 pub use resident::{ResidentShards, ResidentStats};
 
@@ -114,8 +114,10 @@ use std::sync::Arc;
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads handling connections (defaults to the machine's
-    /// available parallelism).
+    /// Dispatch (CPU tier) threads running request handlers, and the
+    /// compute pool's size (defaults to the machine's available
+    /// parallelism). Socket I/O is handled separately by
+    /// `event_threads` readiness loops.
     pub workers: usize,
     /// Query-result cache capacity in entries.
     pub cache_capacity: usize,
@@ -157,6 +159,18 @@ pub struct ServerConfig {
     /// shards lazily on first touch and evict least-recently-used ones
     /// over this cap; `0` (the default) means unlimited.
     pub resident_shards: usize,
+    /// Byte budget for resident snapshot shards (`--resident-bytes`):
+    /// the sum of every resident shard's columnar-arena byte size.
+    /// Eviction runs least-recently-used while over budget (alongside
+    /// the `resident_shards` count cap); `0` (the default) means
+    /// unlimited. At least one shard always stays resident, so a single
+    /// shard larger than the budget still serves.
+    pub resident_bytes: u64,
+    /// Readiness event-loop threads of the evented HTTP core
+    /// (`--event-threads`). `0` (the default) means auto: the machine's
+    /// available parallelism. Event loops only do socket I/O — `workers`
+    /// sizes the dispatch (CPU) tier that runs the handlers.
+    pub event_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -175,6 +189,8 @@ impl Default for ServerConfig {
             shard_io_timeout_ms: client.io_timeout.as_millis() as u64,
             shard_retries: client.retries,
             resident_shards: 0,
+            resident_bytes: 0,
+            event_threads: 0,
         }
     }
 }
@@ -220,6 +236,9 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
     state.max_batch = config.max_batch.max(1);
     state.slow_query_micros = config.slow_query_micros;
     state.catalog.set_resident_capacity(config.resident_shards);
+    state
+        .catalog
+        .set_resident_capacity_bytes(config.resident_bytes);
     state.remote = PooledClient::with_config(client::ClientConfig {
         connect_timeout: std::time::Duration::from_millis(config.shard_connect_timeout_ms.max(1)),
         io_timeout: std::time::Duration::from_millis(config.shard_io_timeout_ms.max(1)),
@@ -230,7 +249,11 @@ pub fn serve(addr: &str, config: ServerConfig) -> io::Result<Service> {
     let router_state = Arc::clone(&state);
     let handle = http::serve(
         addr,
-        config.workers,
+        http::HttpConfig {
+            event_threads: config.event_threads,
+            dispatch_threads: config.workers,
+            stats: Arc::clone(&state.conn_stats),
+        },
         Arc::new(move |request| handlers::route(&router_state, request)),
     )?;
     Ok(Service { handle, state })

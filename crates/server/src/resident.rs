@@ -26,6 +26,10 @@ pub struct ResidentStats {
     pub resident: usize,
     /// Configured capacity (0 = unlimited).
     pub capacity: usize,
+    /// Total columnar-arena bytes held by the resident shards.
+    pub resident_bytes: u64,
+    /// Configured byte budget (0 = unlimited).
+    pub capacity_bytes: u64,
     /// Cold loads performed over the process lifetime.
     pub loads: u64,
     /// Shards evicted under capacity pressure.
@@ -40,10 +44,12 @@ enum Slot {
     /// condvar until it publishes (or fails and vacates the slot).
     Loading,
     /// The shard is resident. `touched` is the LRU clock tick of its
-    /// last use.
+    /// last use; `bytes` is its columnar-arena footprint, measured once
+    /// at publish time (resident engines are immutable).
     Ready {
         engine: Arc<ShapeEngine>,
         touched: u64,
+        bytes: u64,
     },
 }
 
@@ -58,6 +64,10 @@ struct Inner {
 pub struct ResidentShards {
     /// Max resident shards across all snapshot datasets (0 = unlimited).
     capacity: AtomicUsize,
+    /// Byte budget across all resident shards' columnar arenas
+    /// (0 = unlimited). Eviction never goes below one resident shard,
+    /// so a single shard bigger than the budget still serves.
+    capacity_bytes: AtomicU64,
     inner: Mutex<Inner>,
     loaded: Condvar,
     loads: AtomicU64,
@@ -77,6 +87,7 @@ impl ResidentShards {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: AtomicUsize::new(capacity),
+            capacity_bytes: AtomicU64::new(0),
             inner: Mutex::new(Inner {
                 clock: 0,
                 slots: HashMap::new(),
@@ -94,6 +105,12 @@ impl ResidentShards {
         self.capacity.store(capacity, Ordering::Relaxed);
     }
 
+    /// Reconfigures the byte budget (0 = unlimited). Takes effect on the
+    /// next load; already-resident shards are not proactively evicted.
+    pub fn set_capacity_bytes(&self, capacity_bytes: u64) {
+        self.capacity_bytes.store(capacity_bytes, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot of the gauges.
     pub fn stats(&self) -> ResidentStats {
         let inner = self.inner.lock().expect("resident lock");
@@ -104,6 +121,15 @@ impl ResidentShards {
                 .filter(|s| matches!(s, Slot::Ready { .. }))
                 .count(),
             capacity: self.capacity.load(Ordering::Relaxed),
+            resident_bytes: inner
+                .slots
+                .values()
+                .map(|s| match s {
+                    Slot::Ready { bytes, .. } => *bytes,
+                    Slot::Loading => 0,
+                })
+                .sum(),
+            capacity_bytes: self.capacity_bytes.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             load_micros_total: self.load_micros.load(Ordering::Relaxed),
@@ -142,7 +168,10 @@ impl ResidentShards {
                 Some(Slot::Ready { .. }) => {
                     inner.clock += 1;
                     let clock = inner.clock;
-                    let Some(Slot::Ready { engine, touched }) = inner.slots.get_mut(&key) else {
+                    let Some(Slot::Ready {
+                        engine, touched, ..
+                    }) = inner.slots.get_mut(&key)
+                    else {
                         unreachable!("checked above under the same lock hold");
                     };
                     *touched = clock;
@@ -172,11 +201,16 @@ impl ResidentShards {
                 self.load_micros.fetch_add(micros, Ordering::Relaxed);
                 inner.clock += 1;
                 let touched = inner.clock;
+                // Measured once here: resident engines are immutable, and
+                // snapshot loads pre-seed the grouped arena, so this is
+                // the shard's steady-state footprint.
+                let bytes = engine.grouped_byte_size() as u64;
                 inner.slots.insert(
                     key,
                     Slot::Ready {
                         engine: Arc::clone(&engine),
                         touched,
+                        bytes,
                     },
                 );
                 self.evict_over_capacity(&mut inner);
@@ -194,12 +228,15 @@ impl ResidentShards {
     }
 
     /// Evicts least-recently-touched **ready** shards until the resident
-    /// count fits the capacity. `Loading` slots are never evicted (their
-    /// loader holds no LRU position yet, and evicting one would strand
-    /// its waiters).
+    /// count fits the capacity AND the resident byte sum fits the byte
+    /// budget. `Loading` slots are never evicted (their loader holds no
+    /// LRU position yet, and evicting one would strand its waiters). The
+    /// byte budget never evicts below one resident shard: a single shard
+    /// bigger than the whole budget must still serve.
     fn evict_over_capacity(&self, inner: &mut Inner) {
         let capacity = self.capacity.load(Ordering::Relaxed);
-        if capacity == 0 {
+        let capacity_bytes = self.capacity_bytes.load(Ordering::Relaxed);
+        if capacity == 0 && capacity_bytes == 0 {
             return;
         }
         loop {
@@ -207,17 +244,20 @@ impl ResidentShards {
                 .slots
                 .iter()
                 .filter_map(|(key, slot)| match slot {
-                    Slot::Ready { touched, .. } => Some((*touched, *key)),
+                    Slot::Ready { touched, bytes, .. } => Some((*touched, *key, *bytes)),
                     Slot::Loading => None,
                 })
                 .collect::<Vec<_>>();
-            if ready.len() <= capacity {
+            let total_bytes: u64 = ready.iter().map(|(_, _, bytes)| bytes).sum();
+            let over_count = capacity != 0 && ready.len() > capacity;
+            let over_bytes = capacity_bytes != 0 && total_bytes > capacity_bytes && ready.len() > 1;
+            if !over_count && !over_bytes {
                 return;
             }
-            let (_, coldest) = ready
+            let (_, coldest, _) = ready
                 .into_iter()
                 .min()
-                .expect("non-empty: len > capacity >= 1");
+                .expect("non-empty: an over-budget set has at least one shard");
             inner.slots.remove(&coldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -353,6 +393,44 @@ mod tests {
         let loads = Arc::new(AtomicUsize::new(0));
         lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
         assert_eq!(loads.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_coldest_but_never_the_last_resident() {
+        // Warmed engines, like the snapshot load path produces: the byte
+        // budget measures the grouped arena, which a cold engine lacks.
+        fn warmed_engine(slot: usize) -> Arc<ShapeEngine> {
+            let engine = demo_engine(slot);
+            engine.warm(1);
+            engine
+        }
+        let lru = ResidentShards::new(0);
+        lru.get_or_load((1, 0), || Ok(warmed_engine(0))).unwrap();
+        let per_shard = lru.stats().resident_bytes;
+        assert!(per_shard > 0, "demo engine must have a measurable arena");
+        // Budget for exactly two shards: the third load evicts the coldest.
+        lru.set_capacity_bytes(per_shard * 2);
+        lru.get_or_load((1, 1), || Ok(warmed_engine(1))).unwrap();
+        assert_eq!(lru.stats().evictions, 0);
+        // Touch 0 so 1 is the coldest…
+        lru.get_or_load((1, 0), || Ok(warmed_engine(0))).unwrap();
+        lru.get_or_load((1, 2), || Ok(warmed_engine(2))).unwrap();
+        let stats = lru.stats();
+        assert_eq!((stats.resident, stats.evictions), (2, 1));
+        assert!(stats.resident_bytes <= stats.capacity_bytes);
+        // …so 0 stays warm and 1 went cold.
+        let loads = Arc::new(AtomicUsize::new(0));
+        lru.get_or_load((1, 0), counting_loader(&loads, 0)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 0);
+        lru.get_or_load((1, 1), counting_loader(&loads, 1)).unwrap();
+        assert_eq!(loads.load(Ordering::SeqCst), 1);
+        // A budget smaller than any single shard keeps exactly one
+        // resident rather than thrashing to zero.
+        lru.set_capacity_bytes(1);
+        lru.get_or_load((1, 3), || Ok(warmed_engine(3))).unwrap();
+        let stats = lru.stats();
+        assert_eq!(stats.resident, 1);
+        assert!(stats.resident_bytes > stats.capacity_bytes);
     }
 
     #[test]

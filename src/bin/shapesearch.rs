@@ -7,8 +7,9 @@
 //!             [--filter "col<=value"] [--agg avg]
 //! shapesearch --data genes.csv -z gene -x time -y expr \
 //!             --nl "rising then falling sharply"
-//! shapesearch serve [--addr 127.0.0.1:7878] [--workers N] [--cache-cap N] \
-//!             [--max-batch N] [--shards N] [--resident-shards N] \
+//! shapesearch serve [--addr 127.0.0.1:7878] [--workers N] [--event-threads N] \
+//!             [--cache-cap N] [--max-batch N] [--shards N] \
+//!             [--resident-shards N] [--resident-bytes N] \
 //!             [--data FILE --z COL --x COL --y COL [--name NAME]] \
 //!             [--snapshot FILE [--name NAME]]
 //! shapesearch snapshot --data FILE --z COL --x COL --y COL --out FILE \
@@ -46,8 +47,9 @@ fn usage() -> &'static str {
      (--query REGEX | --nl TEXT) [--k N] [--algo dp|tree|pruned|greedy|dtw|euclid] \
      [--pruning auto|off|force] \
      [--filter 'col OP value']... [--agg avg|sum|min|max|count] [--builtins]\n\
-     shapesearch serve [--addr HOST:PORT] [--workers N] [--cache-cap N] [--max-batch N] \
-     [--shards N] [--resident-shards N] [--data-root DIR] [--slow-query-micros N] \
+     shapesearch serve [--addr HOST:PORT] [--workers N] [--event-threads N] [--cache-cap N] \
+     [--max-batch N] [--shards N] [--resident-shards N] [--resident-bytes N] \
+     [--data-root DIR] [--slow-query-micros N] \
      [--shard-connect-timeout-ms N] [--shard-io-timeout-ms N] [--shard-retries N] \
      [--data FILE --z COL --x COL --y COL [--name NAME] [--filter ...] [--agg ...] \
       | --snapshot FILE [--name NAME]] \
@@ -190,6 +192,23 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 config.resident_shards = take("--resident-shards")?
                     .parse()
                     .map_err(|_| "--resident-shards must be an integer".to_owned())?;
+            }
+            "--resident-bytes" => {
+                // Byte budget for resident snapshot shards (sum of their
+                // columnar-arena sizes); least-recently-touched shards
+                // evict while over it, but never below one resident.
+                // 0 (the default) = unlimited.
+                config.resident_bytes = take("--resident-bytes")?
+                    .parse()
+                    .map_err(|_| "--resident-bytes must be an integer".to_owned())?;
+            }
+            "--event-threads" => {
+                // Readiness event-loop threads of the evented HTTP core;
+                // 0 (the default) = auto (available parallelism). These
+                // only do socket I/O — --workers sizes the CPU tier.
+                config.event_threads = take("--event-threads")?
+                    .parse()
+                    .map_err(|_| "--event-threads must be an integer".to_owned())?;
             }
             "--data-root" => config.data_root = Some(take("--data-root")?.into()),
             "--slow-query-micros" => {

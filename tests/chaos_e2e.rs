@@ -590,3 +590,123 @@ fn replica_permutations_and_failure_subsets_merge_byte_identical_to_unsharded() 
     router_service.shutdown();
     reference_service.shutdown();
 }
+
+/// Chaos modes aimed straight at the **evented listener** (no failover
+/// tier in between): a client talking through a [`ChaosProxy`] to a
+/// 2-event-thread server gets byte-identical `results` under `Pass` and
+/// `Delay`, a `Truncate`d response dies mid-write without wedging
+/// anything, and after every mode the connection slots are fully
+/// reclaimed — `/healthz` `connections.active` returns to exactly the
+/// one connection carrying the healthz probe itself.
+#[test]
+fn evented_listener_survives_delay_and_truncate_with_clean_slot_reclamation() {
+    use std::io::{Read, Write};
+
+    let service = boot_with(ServerConfig {
+        workers: 2,
+        event_threads: 2,
+        ..ServerConfig::default()
+    });
+    let direct = Client::new(service.addr());
+    register_market(&direct, vec![("shards".into(), 1usize.into())]);
+    let want = direct
+        .post("/query", &query_body("[p=up][p=down]", 6))
+        .unwrap()
+        .expect_ok("reference")
+        .get("results")
+        .unwrap()
+        .to_text();
+
+    // `connections.active` as /healthz reports it: the probe's own
+    // connection is itself active while the handler runs, so a fully
+    // drained server reports exactly 1.
+    let active = || {
+        direct
+            .get("/healthz")
+            .unwrap()
+            .expect_ok("healthz")
+            .get("connections")
+            .unwrap()
+            .get("active")
+            .unwrap()
+            .as_usize()
+            .unwrap()
+    };
+    let wait_drained = |label: &str| {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let now = active();
+            if now == 1 {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "after {label}: {now} connections still active — slots not reclaimed"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    let proxy = ChaosProxy::start(&service.addr().to_string()).unwrap();
+    let through = Client::new(proxy.addr());
+
+    for (label, mode) in [
+        ("pass", ChaosMode::Pass),
+        ("delay", ChaosMode::Delay(Duration::from_millis(100))),
+        ("pass-after-delay", ChaosMode::Pass),
+    ] {
+        proxy.set_mode(mode);
+        let reply = through
+            .post("/query", &query_body("[p=up][p=down]", 6))
+            .unwrap()
+            .expect_ok(&format!("mode {label}"));
+        assert_eq!(
+            reply.get("results").unwrap().to_text(),
+            want,
+            "results diverged through the proxy under mode {label}"
+        );
+        wait_drained(label);
+    }
+
+    // Truncate: the server writes a full response but the far side
+    // vanishes after 64 bytes. The client must NOT see a valid reply,
+    // and the server must notice the dead peer and free the slot.
+    proxy.set_mode(ChaosMode::Truncate(64));
+    let mut stream = std::net::TcpStream::connect(proxy.addr()).unwrap();
+    let body = query_body("[p=up][p=down]", 6).to_text();
+    write!(
+        stream,
+        "POST /query HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut got = Vec::new();
+    stream.read_to_end(&mut got).unwrap_or(0);
+    assert!(
+        got.len() <= 64,
+        "truncate relayed {} bytes, expected at most 64",
+        got.len()
+    );
+    drop(stream);
+    wait_drained("truncate");
+
+    // The listener is unharmed: a healthy query straight at it (and one
+    // more through the now-clean proxy) still answers identically.
+    proxy.set_mode(ChaosMode::Pass);
+    for (label, client) in [("direct", &direct), ("proxy", &through)] {
+        let reply = client
+            .post("/query", &query_body("[p=up][p=down]", 6))
+            .unwrap()
+            .expect_ok(label);
+        assert_eq!(reply.get("results").unwrap().to_text(), want, "{label}");
+    }
+    wait_drained("final");
+
+    let health = direct.get("/healthz").unwrap().expect_ok("healthz");
+    let conns = health.get("connections").unwrap();
+    let accepted = conns.get("accepted_total").unwrap().as_usize().unwrap();
+    assert!(accepted >= 8, "accepted_total={accepted}");
+
+    drop(proxy);
+    service.shutdown();
+}

@@ -681,6 +681,57 @@ fn explain_spans_cover_a_mixed_four_shard_topology_and_metrics_reconcile() {
         .sum();
     assert!(remote_rpc_count >= 2, "{text}");
 
+    // The evented listener's connection gauges tell one story across
+    // /healthz and /metrics. The test client opens one
+    // `connection: close` socket per request, so by the time any handler
+    // runs, every earlier connection is already torn down: `active` is
+    // exactly the connection carrying the request, `accepted_total`
+    // advances by exactly one between the healthz and metrics fetches
+    // (the metrics connection itself), and nothing ever idles in
+    // keep-alive or times out.
+    let conns = health.get("connections").unwrap();
+    let conn_field = |field: &str| conns.get(field).unwrap().as_usize().unwrap() as u64;
+    assert_eq!(conn_field("active"), 1, "{}", health.to_text());
+    assert_eq!(conn_field("idle_keepalive"), 0, "{}", health.to_text());
+    assert_eq!(conn_field("timeouts"), 0, "{}", health.to_text());
+    assert!(conn_field("accepted_total") >= 5, "{}", health.to_text());
+    assert!(conn_field("event_loop_wakeups") > 0, "{}", health.to_text());
+    assert_eq!(
+        metric_value(&text, "shapesearch_connections_active"),
+        Some(1)
+    );
+    assert_eq!(
+        metric_value(&text, "shapesearch_connections_idle_keepalive"),
+        Some(0)
+    );
+    assert_eq!(
+        metric_value(&text, "shapesearch_connections_timeouts_total"),
+        Some(0)
+    );
+    assert_eq!(
+        metric_value(&text, "shapesearch_connections_accepted_total"),
+        Some(conn_field("accepted_total") + 1),
+        "metrics must count exactly one more accept — its own connection:\n{text}"
+    );
+    assert!(
+        metric_value(&text, "shapesearch_connections_event_loop_wakeups_total")
+            .is_some_and(|w| w >= conn_field("event_loop_wakeups")),
+        "{text}"
+    );
+    // The snapshot byte gauges are exposed on both surfaces too (zero
+    // here: no snapshot datasets in this topology).
+    let snapshots = health.get("snapshots").unwrap();
+    assert_eq!(snapshots.get("resident_bytes").unwrap().as_usize(), Some(0));
+    assert_eq!(snapshots.get("capacity_bytes").unwrap().as_usize(), Some(0));
+    assert_eq!(
+        metric_value(&text, "shapesearch_snapshot_resident_bytes"),
+        Some(0)
+    );
+    assert_eq!(
+        metric_value(&text, "shapesearch_snapshot_resident_capacity_bytes"),
+        Some(0)
+    );
+
     // And each shard server's own exposition counts the RPCs it served.
     for service in &shard_services {
         let shard_health = Client::new(service.addr())
